@@ -1,0 +1,44 @@
+//! §5.2 ASIC feasibility: chip area of Menshen vs. baseline RMT at 1 GHz
+//! (FreePDK45), including how the overhead shrinks as match tables grow.
+
+use menshen_bench::{header, write_json};
+use menshen_cost::AsicAreaModel;
+
+fn main() {
+    header("ASIC area: Menshen vs. RMT (FreePDK45, 1 GHz)");
+    let model = AsicAreaModel::default();
+    let report = model.report();
+    println!("{:<32} {:>12} {:>14} {:>12}", "component", "RMT (mm²)", "Menshen (mm²)", "overhead");
+    for component in &report.components {
+        println!(
+            "{:<32} {:>12.3} {:>14.3} {:>11.1}%",
+            component.name,
+            component.rmt_mm2,
+            component.menshen_mm2,
+            component.overhead() * 100.0
+        );
+    }
+    println!();
+    println!(
+        "5-stage pipeline total: RMT {:.2} mm², Menshen {:.2} mm²  (+{:.1}%)",
+        report.rmt_total_mm2,
+        report.menshen_total_mm2,
+        report.pipeline_overhead * 100.0
+    );
+    println!(
+        "Effective whole-chip overhead (match-action logic ≤ 50% of the chip): {:.1}%",
+        report.chip_overhead * 100.0
+    );
+    write_json("asic_area", &report);
+
+    println!();
+    println!("Overhead vs. match-table depth (the paper's concluding observation):");
+    println!("{:>18} {:>12}", "entries/stage", "overhead");
+    let mut sweep = Vec::new();
+    for entries in [16usize, 64, 256, 1024, 4096] {
+        let report = AsicAreaModel { match_entries_per_stage: entries, ..AsicAreaModel::default() }.report();
+        println!("{:>18} {:>11.2}%", entries, report.pipeline_overhead * 100.0);
+        sweep.push((entries, report.pipeline_overhead));
+    }
+    write_json("asic_area_vs_table_depth", &sweep);
+}

@@ -1,0 +1,78 @@
+//! Figure 9: hardware configuration time vs. number of match-action entries
+//! for each program, plus the Tofino runtime-API comparison.
+//!
+//! The number of daisy-chain writes for each program is measured by loading
+//! the real compiled module onto the Menshen pipeline and counting its
+//! reconfiguration packets; the per-packet cost comes from the calibrated
+//! configuration-time model (`menshen-cost`).
+
+use menshen_bench::{header, write_json};
+use menshen_compiler::{compile_source, CompileOptions};
+use menshen_core::MenshenPipeline;
+use menshen_cost::ConfigTimeModel;
+use menshen_programs::figure8_program_sources;
+use menshen_rmt::PipelineParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    program: String,
+    entries: usize,
+    reconfig_packets: usize,
+    config_time_ms: f64,
+}
+
+fn main() {
+    header("Figure 9: configuration time vs. match-action entries");
+    let model = ConfigTimeModel::default();
+    let entry_counts = [16usize, 64, 256, 1024];
+    let mut rows = Vec::new();
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}   (ms)",
+        "program", 16, 64, 256, 1024
+    );
+    for (name, source) in figure8_program_sources() {
+        let mut times = Vec::new();
+        for &entries in &entry_counts {
+            // Compile with the requested entry count against a pipeline deep
+            // enough to hold them, then count the daisy-chain writes needed
+            // to load the module.
+            let params = PipelineParams::default().with_table_depth(entries.max(16) * 2);
+            let options = CompileOptions::new(1)
+                .with_initial_entries(entries)
+                .with_params(params);
+            let compiled = compile_source(source, &options).expect("program compiles");
+            let mut pipeline = MenshenPipeline::new(params);
+            let report = pipeline.load_module(&compiled.config).expect("module loads");
+            let ms = model.daisy_chain_time_s(report.reconfig_packets) * 1e3;
+            times.push(ms);
+            rows.push(Row {
+                program: name.to_string(),
+                entries,
+                reconfig_packets: report.reconfig_packets,
+                config_time_ms: ms,
+            });
+        }
+        println!(
+            "{:<16} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name, times[0], times[1], times[2], times[3]
+        );
+    }
+
+    println!();
+    println!("Tofino runtime-API comparison (CALC program entry counts):");
+    let comparison = model.figure9_comparison(&entry_counts);
+    println!("{:>8} {:>14} {:>14}", "entries", "Menshen (ms)", "Tofino (ms)");
+    for row in &comparison {
+        println!("{:>8} {:>14.1} {:>14.1}", row.entries, row.menshen_ms, row.tofino_ms);
+    }
+
+    write_json("fig9_config_time", &rows);
+    write_json("fig9_tofino_comparison", &comparison);
+    println!();
+    println!(
+        "Shape check: configuration time grows linearly with entries and is comparable to \
+         Tofino's runtime APIs, as in the paper."
+    );
+}

@@ -1,0 +1,39 @@
+//! §5.2 latency: per-packet pipeline cycle counts and nanosecond latency on
+//! both platforms at the minimum (64 B) and maximum (1500 B) packet sizes.
+
+use menshen_bench::{header, write_json};
+use menshen_rmt::clock::{CORUNDUM_OPTIMIZED, NETFPGA_OPTIMIZED};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    platform: String,
+    frame_len: usize,
+    cycles: f64,
+    latency_ns: f64,
+}
+
+fn main() {
+    header("§5.2 latency: pipeline cycles and latency per platform");
+    let mut rows = Vec::new();
+    println!("{:<24} {:>10} {:>10} {:>14}", "platform", "size (B)", "cycles", "latency (ns)");
+    for platform in [&NETFPGA_OPTIMIZED, &CORUNDUM_OPTIMIZED] {
+        for &size in &[64usize, 1500] {
+            let cycles = platform.latency_cycles(size);
+            let ns = platform.latency_ns(size);
+            println!("{:<24} {:>10} {:>10.1} {:>14.1}", platform.name, size, cycles, ns);
+            rows.push(Row {
+                platform: platform.name.to_string(),
+                frame_len: size,
+                cycles,
+                latency_ns: ns,
+            });
+        }
+    }
+    println!();
+    println!(
+        "Paper: 79 cycles / 505.6 ns (NetFPGA, 64 B), 106 cycles / 424 ns (Corundum, 64 B); \
+         ≈146 and ≈129 cycles at 1500 B."
+    );
+    write_json("latency_cycles", &rows);
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every table/figure of the paper's evaluation has a binary in `src/bin/`
+//! that regenerates it (see DESIGN.md for the index). Each binary prints a
+//! human-readable table to stdout and, via [`write_json`], drops a
+//! machine-readable copy under `results/` so EXPERIMENTS.md numbers can be
+//! re-derived mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the harness binaries write their JSON results into.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serialises `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(error) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {error}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(error) => eprintln!("warning: could not serialise {name}: {error}"),
+    }
+}
+
+/// Prints a section header in the style used by all harness binaries.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable_and_json_written() {
+        let dir = results_dir();
+        assert!(dir.exists());
+        write_json("bench_selftest", &vec![1, 2, 3]);
+        let path = dir.join("bench_selftest.json");
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.contains('1'));
+    }
+}

@@ -1,0 +1,307 @@
+//! Abstract syntax tree of the Menshen module DSL.
+//!
+//! The DSL is a compact P4-16-like language covering the subset the Menshen
+//! backend supports: header declarations, a linear parser, exact-match tables
+//! with VLIW-able actions, per-module stateful registers, and an `apply`
+//! block that fixes the table order. The surface syntax is parsed by
+//! [`crate::parser`]; programs may also construct the AST directly.
+
+/// A reference to a header field: `header.field` or a bare metadata name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// Header name (`ethernet`, `ipv4`, `udp`, `vlan`, or a custom header).
+    pub header: String,
+    /// Field name within the header.
+    pub field: String,
+}
+
+impl FieldRef {
+    /// Creates a field reference.
+    pub fn new(header: impl Into<String>, field: impl Into<String>) -> Self {
+        FieldRef { header: header.into(), field: field.into() }
+    }
+
+    /// Renders as `header.field`.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.header, self.field)
+    }
+}
+
+/// An expression appearing on the right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A header field.
+    Field(FieldRef),
+    /// An integer literal.
+    Const(u64),
+    /// Addition of two operands.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction of two operands.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+/// A statement inside an action body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `dst = expr;`
+    Assign {
+        /// Destination field.
+        dst: FieldRef,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `mark_drop();` — discard the packet.
+    MarkDrop,
+    /// `set_port(expr);` — choose the egress port.
+    SetPort(Expr),
+    /// `dst = reg.read(index);` — read a stateful register.
+    RegisterRead {
+        /// Destination field.
+        dst: FieldRef,
+        /// Register (state block) name.
+        register: String,
+        /// Register index expression (constant or field).
+        index: Expr,
+    },
+    /// `reg.write(index, value);` — write a stateful register.
+    RegisterWrite {
+        /// Register name.
+        register: String,
+        /// Register index expression.
+        index: Expr,
+        /// Value to store (a field).
+        value: Expr,
+    },
+    /// `dst = reg.count(index);` — read-and-increment (the `loadd` ALU op).
+    RegisterCount {
+        /// Destination field.
+        dst: FieldRef,
+        /// Register name.
+        register: String,
+        /// Register index expression.
+        index: Expr,
+    },
+    /// `recirculate();` — forbidden by the static checker, represented so the
+    /// checker can produce a precise diagnostic.
+    Recirculate,
+}
+
+/// A header declaration: an ordered list of `(field name, width in bits)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderDecl {
+    /// Header name.
+    pub name: String,
+    /// Fields in wire order.
+    pub fields: Vec<(String, u32)>,
+}
+
+impl HeaderDecl {
+    /// Total header width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.fields.iter().map(|(_, w)| *w).sum()
+    }
+}
+
+/// A stateful register array declaration: `state name[size];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    /// Register name.
+    pub name: String,
+    /// Number of words.
+    pub size: usize,
+}
+
+/// A table declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// Exact-match key fields.
+    pub keys: Vec<FieldRef>,
+    /// Names of the actions the table may invoke.
+    pub actions: Vec<String>,
+    /// Requested number of entries.
+    pub size: usize,
+}
+
+/// An action declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDecl {
+    /// Action name.
+    pub name: String,
+    /// Body statements, executed as one VLIW instruction.
+    pub statements: Vec<Statement>,
+}
+
+/// A parsed module: the unit the Menshen compiler compiles and loads.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleAst {
+    /// Module name.
+    pub name: String,
+    /// Custom header declarations (standard headers are built in).
+    pub headers: Vec<HeaderDecl>,
+    /// Headers the parser extracts, in order. Standard names (`ethernet`,
+    /// `vlan`, `ipv4`, `udp`, `tcp`) refer to built-in layouts; other names
+    /// must be declared in `headers` and are laid out after the UDP header.
+    pub parses: Vec<String>,
+    /// Stateful register declarations.
+    pub states: Vec<StateDecl>,
+    /// Table declarations.
+    pub tables: Vec<TableDecl>,
+    /// Action declarations.
+    pub actions: Vec<ActionDecl>,
+    /// The order tables are applied in.
+    pub apply: Vec<String>,
+}
+
+impl ModuleAst {
+    /// Looks up a declared header.
+    pub fn header(&self, name: &str) -> Option<&HeaderDecl> {
+        self.headers.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a declared table.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a declared action.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a declared register.
+    pub fn state(&self, name: &str) -> Option<&StateDecl> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Every field referenced anywhere in the module (keys, action reads and
+    /// writes), without duplicates, in first-use order.
+    pub fn referenced_fields(&self) -> Vec<FieldRef> {
+        let mut fields = Vec::new();
+        let mut push = |f: &FieldRef| {
+            if !fields.contains(f) {
+                fields.push(f.clone());
+            }
+        };
+        for table in &self.tables {
+            for key in &table.keys {
+                push(key);
+            }
+        }
+        for action in &self.actions {
+            for statement in &action.statements {
+                collect_statement_fields(statement, &mut push);
+            }
+        }
+        fields
+    }
+
+    /// Fields written by any action (these must be deparsed back into the
+    /// packet).
+    pub fn written_fields(&self) -> Vec<FieldRef> {
+        let mut fields = Vec::new();
+        for action in &self.actions {
+            for statement in &action.statements {
+                let dst = match statement {
+                    Statement::Assign { dst, .. }
+                    | Statement::RegisterRead { dst, .. }
+                    | Statement::RegisterCount { dst, .. } => Some(dst),
+                    _ => None,
+                };
+                if let Some(dst) = dst {
+                    if !fields.contains(dst) {
+                        fields.push(dst.clone());
+                    }
+                }
+            }
+        }
+        fields
+    }
+}
+
+fn collect_expr_fields(expr: &Expr, push: &mut impl FnMut(&FieldRef)) {
+    match expr {
+        Expr::Field(f) => push(f),
+        Expr::Const(_) => {}
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            collect_expr_fields(a, push);
+            collect_expr_fields(b, push);
+        }
+    }
+}
+
+fn collect_statement_fields(statement: &Statement, push: &mut impl FnMut(&FieldRef)) {
+    match statement {
+        Statement::Assign { dst, value } => {
+            push(dst);
+            collect_expr_fields(value, push);
+        }
+        Statement::MarkDrop | Statement::Recirculate => {}
+        Statement::SetPort(expr) => collect_expr_fields(expr, push),
+        Statement::RegisterRead { dst, index, .. } | Statement::RegisterCount { dst, index, .. } => {
+            push(dst);
+            collect_expr_fields(index, push);
+        }
+        Statement::RegisterWrite { index, value, .. } => {
+            collect_expr_fields(index, push);
+            collect_expr_fields(value, push);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModuleAst {
+        ModuleAst {
+            name: "sample".into(),
+            headers: vec![HeaderDecl {
+                name: "calc".into(),
+                fields: vec![("op".into(), 16), ("a".into(), 32), ("b".into(), 32)],
+            }],
+            parses: vec!["ethernet".into(), "vlan".into(), "ipv4".into(), "udp".into(), "calc".into()],
+            states: vec![StateDecl { name: "counter".into(), size: 16 }],
+            tables: vec![TableDecl {
+                name: "t".into(),
+                keys: vec![FieldRef::new("calc", "op")],
+                actions: vec!["do_add".into()],
+                size: 4,
+            }],
+            actions: vec![ActionDecl {
+                name: "do_add".into(),
+                statements: vec![Statement::Assign {
+                    dst: FieldRef::new("calc", "a"),
+                    value: Expr::Add(
+                        Box::new(Expr::Field(FieldRef::new("calc", "a"))),
+                        Box::new(Expr::Field(FieldRef::new("calc", "b"))),
+                    ),
+                }],
+            }],
+            apply: vec!["t".into()],
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let ast = sample();
+        assert!(ast.header("calc").is_some());
+        assert!(ast.header("nope").is_none());
+        assert!(ast.table("t").is_some());
+        assert!(ast.action("do_add").is_some());
+        assert!(ast.state("counter").is_some());
+        assert_eq!(ast.header("calc").unwrap().width_bits(), 80);
+    }
+
+    #[test]
+    fn referenced_and_written_fields() {
+        let ast = sample();
+        let refs = ast.referenced_fields();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], FieldRef::new("calc", "op"));
+        let written = ast.written_fields();
+        assert_eq!(written, vec![FieldRef::new("calc", "a")]);
+        assert_eq!(written[0].qualified(), "calc.a");
+    }
+}

@@ -1,0 +1,274 @@
+//! The Menshen static checker (§3.4).
+//!
+//! Three properties of a module's source are verified before compilation:
+//!
+//! 1. the module does not modify system-provided statistics (`sys.*`);
+//! 2. the module does not modify its VLAN ID (module ID) — a module can span
+//!    several devices and a changed VID on one device would mis-attribute its
+//!    packets downstream;
+//! 3. the module does not recirculate packets (all modules share ingress
+//!    bandwidth, so recirculation would degrade others).
+//!
+//! Name-resolution sanity (every table/action/register/header referenced is
+//! actually defined) is checked here too, so the backend can assume a
+//! well-formed module.
+
+use crate::ast::{Expr, FieldRef, ModuleAst, Statement};
+use crate::error::CompileError;
+use crate::layout::SYS_HEADER;
+use crate::Result;
+
+/// Runs every static check; returns the first violation found.
+pub fn check_module(ast: &ModuleAst) -> Result<()> {
+    check_name_resolution(ast)?;
+    check_no_recirculation(ast)?;
+    check_no_vid_modification(ast)?;
+    check_no_system_stat_writes(ast)?;
+    Ok(())
+}
+
+fn written_fields_of(statement: &Statement) -> Option<&FieldRef> {
+    match statement {
+        Statement::Assign { dst, .. }
+        | Statement::RegisterRead { dst, .. }
+        | Statement::RegisterCount { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+/// Check 3: no `recirculate()` anywhere.
+pub fn check_no_recirculation(ast: &ModuleAst) -> Result<()> {
+    for action in &ast.actions {
+        if action.statements.iter().any(|s| matches!(s, Statement::Recirculate)) {
+            return Err(CompileError::StaticCheck(format!(
+                "action `{}` recirculates packets; recirculation is forbidden because all \
+                 modules share ingress bandwidth",
+                action.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Check 2: the module never writes its VLAN ID.
+pub fn check_no_vid_modification(ast: &ModuleAst) -> Result<()> {
+    for action in &ast.actions {
+        for statement in &action.statements {
+            if let Some(dst) = written_fields_of(statement) {
+                if dst.header == "vlan" && (dst.field == "vid" || dst.field == "tci") {
+                    return Err(CompileError::StaticCheck(format!(
+                        "action `{}` modifies the VLAN ID; the module ID must not change \
+                         inside the pipeline",
+                        action.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check 1: system-provided statistics are read-only to modules.
+pub fn check_no_system_stat_writes(ast: &ModuleAst) -> Result<()> {
+    for action in &ast.actions {
+        for statement in &action.statements {
+            if let Some(dst) = written_fields_of(statement) {
+                if dst.header == SYS_HEADER {
+                    return Err(CompileError::StaticCheck(format!(
+                        "action `{}` writes system statistic `{}`; these are provided by \
+                         the system-level module and are read-only",
+                        action.name,
+                        dst.qualified()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Name resolution: tables in `apply` exist, actions named by tables exist,
+/// registers used by actions exist, no duplicate definitions.
+pub fn check_name_resolution(ast: &ModuleAst) -> Result<()> {
+    // Duplicates.
+    for (kind, names) in [
+        ("header", ast.headers.iter().map(|h| h.name.clone()).collect::<Vec<_>>()),
+        ("table", ast.tables.iter().map(|t| t.name.clone()).collect()),
+        ("action", ast.actions.iter().map(|a| a.name.clone()).collect()),
+        ("state", ast.states.iter().map(|s| s.name.clone()).collect()),
+    ] {
+        let mut seen = std::collections::HashSet::new();
+        for name in names {
+            if !seen.insert(name.clone()) {
+                return Err(CompileError::Duplicate { kind, name });
+            }
+        }
+    }
+    // Apply references.
+    for table in &ast.apply {
+        if ast.table(table).is_none() {
+            return Err(CompileError::Undefined { kind: "table", name: table.clone() });
+        }
+    }
+    // Table → action references.
+    for table in &ast.tables {
+        for action in &table.actions {
+            if ast.action(action).is_none() {
+                return Err(CompileError::Undefined { kind: "action", name: action.clone() });
+            }
+        }
+        if table.keys.is_empty() {
+            return Err(CompileError::StaticCheck(format!(
+                "table `{}` has no key fields",
+                table.name
+            )));
+        }
+    }
+    // Action → register references.
+    for action in &ast.actions {
+        for statement in &action.statements {
+            let register = match statement {
+                Statement::RegisterRead { register, .. }
+                | Statement::RegisterWrite { register, .. }
+                | Statement::RegisterCount { register, .. } => Some(register),
+                _ => None,
+            };
+            if let Some(register) = register {
+                if ast.state(register).is_none() {
+                    return Err(CompileError::Undefined {
+                        kind: "state",
+                        name: register.clone(),
+                    });
+                }
+            }
+            // Register indices must be compile-time constants: the VLIW ALU
+            // address field is an immediate.
+            let index = match statement {
+                Statement::RegisterRead { index, .. }
+                | Statement::RegisterWrite { index, .. }
+                | Statement::RegisterCount { index, .. } => Some(index),
+                _ => None,
+            };
+            if let Some(index) = index {
+                if !matches!(index, Expr::Const(_)) {
+                    return Err(CompileError::StaticCheck(format!(
+                        "action `{}` indexes a register with a non-constant expression; \
+                         register addresses must be compile-time constants",
+                        action.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn module_with_action(body: &str) -> ModuleAst {
+        parse_module(&format!(
+            r#"
+module m {{
+    parser {{ extract ipv4; }}
+    state reg[16];
+    table t {{ key = {{ ipv4.dst_addr; }} actions = {{ a; }} }}
+    action a() {{ {body} }}
+    apply {{ t.apply(); }}
+}}
+"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        let ast = module_with_action("ipv4.dst_addr = 1; set_port(2);");
+        assert!(check_module(&ast).is_ok());
+    }
+
+    #[test]
+    fn recirculation_rejected() {
+        let ast = module_with_action("recirculate();");
+        let err = check_module(&ast).unwrap_err();
+        assert!(err.to_string().contains("recircul"));
+    }
+
+    #[test]
+    fn vid_modification_rejected() {
+        for body in ["vlan.vid = 5;", "vlan.tci = reg.read(0);"] {
+            let ast = module_with_action(body);
+            let err = check_module(&ast).unwrap_err();
+            assert!(err.to_string().contains("VLAN"), "body {body}: {err}");
+        }
+    }
+
+    #[test]
+    fn system_stat_writes_rejected() {
+        let ast = module_with_action("sys.queue_len = 0;");
+        let err = check_module(&ast).unwrap_err();
+        assert!(err.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn undefined_names_rejected() {
+        let source = r#"
+module m {
+    parser { extract ipv4; }
+    table t { key = { ipv4.dst_addr; } actions = { ghost; } }
+    action a() { mark_drop(); }
+    apply { t.apply(); nope.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = check_module(&ast).unwrap_err();
+        assert!(matches!(err, CompileError::Undefined { .. }));
+    }
+
+    #[test]
+    fn undefined_register_rejected() {
+        let ast = module_with_action("ipv4.dst_addr = ghostreg.read(0);");
+        assert!(matches!(
+            check_module(&ast),
+            Err(CompileError::Undefined { kind: "state", .. })
+        ));
+    }
+
+    #[test]
+    fn non_constant_register_index_rejected() {
+        let ast = module_with_action("ipv4.dst_addr = reg.read(ipv4.src_addr);");
+        let err = check_module(&ast).unwrap_err();
+        assert!(err.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let source = r#"
+module m {
+    parser { extract ipv4; }
+    table t { key = { ipv4.dst_addr; } actions = { a; } }
+    table t { key = { ipv4.src_addr; } actions = { a; } }
+    action a() { mark_drop(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        assert!(matches!(check_module(&ast), Err(CompileError::Duplicate { .. })));
+    }
+
+    #[test]
+    fn keyless_table_rejected() {
+        let source = r#"
+module m {
+    parser { extract ipv4; }
+    table t { key = { } actions = { a; } }
+    action a() { mark_drop(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        assert!(check_module(&ast).is_err());
+    }
+}

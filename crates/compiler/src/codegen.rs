@@ -1,0 +1,662 @@
+//! The Menshen backend: lowering a checked module AST to hardware
+//! configuration (`menshen_core::ModuleConfig`).
+//!
+//! The backend (a) allocates PHV containers and emits parser/deparser
+//! entries, (b) assigns tables to stages following the `apply` order and the
+//! table-dependency analysis of RMT compilers, (c) builds per-stage key
+//! extractor entries and key masks, (d) compiles each action into one VLIW
+//! instruction, (e) lays the module's registers out in its per-stage stateful
+//! segments, and (f) generates the initial set of distinct match-action
+//! entries the paper's compiler always emits when a module is (re)compiled
+//! (§5.1, Figure 8 — compilation time scales with this entry count).
+
+use crate::ast::{ActionDecl, Expr, FieldRef, ModuleAst, Statement};
+use crate::checks::check_module;
+use crate::error::CompileError;
+use crate::layout::PhvAllocation;
+use crate::Result;
+use menshen_core::module::{MatchRule, ModuleConfig, ModuleId, StageModuleConfig};
+use menshen_rmt::action::{AluInstruction, VliwAction};
+use menshen_rmt::config::{KeyExtractEntry, KeyMask};
+use menshen_rmt::key_extractor::KEY_SLOT_WIDTHS;
+use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::params::PipelineParams;
+use menshen_rmt::phv::ContainerType;
+use std::collections::BTreeMap;
+
+/// Options controlling compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// The module ID (VLAN ID) the module will be loaded under.
+    pub module_id: u16,
+    /// Pipeline parameters to compile against.
+    pub params: PipelineParams,
+    /// Number of distinct initial match-action entries to generate per table.
+    /// `None` generates `table.size` entries (the paper's behaviour); `Some(0)`
+    /// generates none (useful when the caller installs its own rules).
+    pub initial_entries_per_table: Option<usize>,
+    /// First stage available to this module (the system-level module occupies
+    /// stage 0 and the last stage when `reserve_system_stages` is used by the
+    /// caller; the default gives the module the whole pipeline).
+    pub start_stage: usize,
+}
+
+impl CompileOptions {
+    /// Default options for a module ID with the Table 5 pipeline.
+    pub fn new(module_id: u16) -> Self {
+        CompileOptions {
+            module_id,
+            params: PipelineParams::default(),
+            initial_entries_per_table: Some(0),
+            start_stage: 0,
+        }
+    }
+
+    /// Sets the number of generated initial entries per table.
+    pub fn with_initial_entries(mut self, entries: usize) -> Self {
+        self.initial_entries_per_table = Some(entries);
+        self
+    }
+
+    /// Uses the table's declared `size` as the initial entry count.
+    pub fn with_declared_sizes(mut self) -> Self {
+        self.initial_entries_per_table = None;
+        self
+    }
+
+    /// Sets the pipeline parameters.
+    pub fn with_params(mut self, params: PipelineParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// How one table was mapped onto the hardware; enough information for callers
+/// (workload generators, control planes) to build keys for concrete packets.
+#[derive(Debug, Clone)]
+pub struct CompiledTable {
+    /// Table name.
+    pub name: String,
+    /// Stage the table was placed in.
+    pub stage: usize,
+    /// Key fields and the key slot (0–5, in 6B/6B/4B/4B/2B/2B order) each one
+    /// occupies.
+    pub key_fields: Vec<(FieldRef, usize)>,
+    /// The key-extractor entry programmed for this module in this stage.
+    pub key_extract: KeyExtractEntry,
+    /// The key mask programmed for this module in this stage.
+    pub key_mask: KeyMask,
+}
+
+impl CompiledTable {
+    /// Builds the lookup key matching the given field values (fields not
+    /// listed default to zero). Use this to install rules or predict hits.
+    pub fn key(&self, values: &[(&FieldRef, u64)]) -> LookupKey {
+        let mut slots: [(u64, usize); 6] = [
+            (0, KEY_SLOT_WIDTHS[0]),
+            (0, KEY_SLOT_WIDTHS[1]),
+            (0, KEY_SLOT_WIDTHS[2]),
+            (0, KEY_SLOT_WIDTHS[3]),
+            (0, KEY_SLOT_WIDTHS[4]),
+            (0, KEY_SLOT_WIDTHS[5]),
+        ];
+        for (field, value) in values {
+            if let Some((_, slot)) = self.key_fields.iter().find(|(f, _)| &f == field) {
+                slots[*slot].0 = *value;
+            }
+        }
+        LookupKey::from_slots(slots, false).masked(&self.key_mask)
+    }
+}
+
+/// The result of compiling one module.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The loadable configuration.
+    pub config: ModuleConfig,
+    /// The PHV allocation (field → container).
+    pub phv: PhvAllocation,
+    /// Per-table placement and key layout.
+    pub tables: Vec<CompiledTable>,
+    /// Compiled VLIW form of each action.
+    pub actions: BTreeMap<String, VliwAction>,
+}
+
+impl CompiledModule {
+    /// Looks up a compiled table by name.
+    pub fn table(&self, name: &str) -> Option<&CompiledTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Builds a [`MatchRule`] for `table` matching `values` and executing
+    /// `action` — the convenience used by the evaluated programs to install
+    /// their real entries.
+    pub fn rule(
+        &self,
+        table: &str,
+        values: &[(&FieldRef, u64)],
+        action: &str,
+    ) -> Result<MatchRule> {
+        let table = self.table(table).ok_or_else(|| CompileError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        let action = self
+            .actions
+            .get(action)
+            .ok_or_else(|| CompileError::Undefined { kind: "action", name: action.to_string() })?;
+        Ok(MatchRule {
+            key: table.key(values),
+            action: action.clone(),
+        })
+    }
+
+    /// Total number of generated initial entries (what Figure 8 sweeps).
+    pub fn generated_entries(&self) -> usize {
+        self.config.total_rules()
+    }
+}
+
+/// Dependencies between tables: `b` depends on `a` when `b`'s key reads a
+/// field written by one of `a`'s actions, so `a` must be placed in an earlier
+/// stage (the match-dependency of the RMT compiler literature).
+pub fn table_dependencies(ast: &ModuleAst) -> Vec<(String, String)> {
+    let mut deps = Vec::new();
+    for a in &ast.tables {
+        let written: Vec<&FieldRef> = a
+            .actions
+            .iter()
+            .filter_map(|name| ast.action(name))
+            .flat_map(|action| {
+                action.statements.iter().filter_map(|s| match s {
+                    Statement::Assign { dst, .. }
+                    | Statement::RegisterRead { dst, .. }
+                    | Statement::RegisterCount { dst, .. } => Some(dst),
+                    _ => None,
+                })
+            })
+            .collect();
+        for b in &ast.tables {
+            if a.name != b.name && b.keys.iter().any(|k| written.contains(&k)) {
+                deps.push((a.name.clone(), b.name.clone()));
+            }
+        }
+    }
+    deps
+}
+
+/// Compiles a checked AST into a loadable module configuration.
+pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<CompiledModule> {
+    check_module(ast)?;
+    let phv = PhvAllocation::build(ast)?;
+
+    // Stage assignment: tables take consecutive stages in `apply` order.
+    let apply_order: Vec<&str> = if ast.apply.is_empty() {
+        ast.tables.iter().map(|t| t.name.as_str()).collect()
+    } else {
+        ast.apply.iter().map(|s| s.as_str()).collect()
+    };
+    let stages_available = options.params.num_stages.saturating_sub(options.start_stage);
+    if apply_order.len() > stages_available {
+        return Err(CompileError::ResourceLimit(format!(
+            "module applies {} tables but only {} stages are available",
+            apply_order.len(),
+            stages_available
+        )));
+    }
+    // Verify the apply order respects match dependencies.
+    let deps = table_dependencies(ast);
+    for (before, after) in &deps {
+        let pos = |name: &str| apply_order.iter().position(|t| *t == name);
+        if let (Some(b), Some(a)) = (pos(before), pos(after)) {
+            if b >= a {
+                return Err(CompileError::StaticCheck(format!(
+                    "table `{after}` reads fields written by `{before}` but is applied first"
+                )));
+            }
+        }
+    }
+
+    // Register layout: each register lives in the stage of the first table
+    // whose actions use it, at the next free offset of that module's segment.
+    let mut register_stage: BTreeMap<String, usize> = BTreeMap::new();
+    let mut register_base: BTreeMap<String, u16> = BTreeMap::new();
+    let mut stage_stateful_words: BTreeMap<usize, usize> = BTreeMap::new();
+    for (position, table_name) in apply_order.iter().enumerate() {
+        let stage = options.start_stage + position;
+        let table = ast.table(table_name).ok_or_else(|| CompileError::Undefined {
+            kind: "table",
+            name: table_name.to_string(),
+        })?;
+        for action_name in &table.actions {
+            let action = ast.action(action_name).ok_or_else(|| CompileError::Undefined {
+                kind: "action",
+                name: action_name.clone(),
+            })?;
+            for statement in &action.statements {
+                let register = match statement {
+                    Statement::RegisterRead { register, .. }
+                    | Statement::RegisterWrite { register, .. }
+                    | Statement::RegisterCount { register, .. } => Some(register),
+                    _ => None,
+                };
+                if let Some(register) = register {
+                    match register_stage.get(register) {
+                        Some(&existing) if existing != stage => {
+                            return Err(CompileError::ResourceLimit(format!(
+                                "register `{register}` is used by tables in stages {existing} and \
+                                 {stage}; a register must live in a single stage"
+                            )));
+                        }
+                        Some(_) => {}
+                        None => {
+                            let decl = ast.state(register).ok_or_else(|| CompileError::Undefined {
+                                kind: "state",
+                                name: register.clone(),
+                            })?;
+                            let base = *stage_stateful_words.get(&stage).unwrap_or(&0);
+                            register_stage.insert(register.clone(), stage);
+                            register_base.insert(register.clone(), base as u16);
+                            stage_stateful_words.insert(stage, base + decl.size);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Compile every action once.
+    let mut actions = BTreeMap::new();
+    for action in &ast.actions {
+        actions.insert(action.name.clone(), compile_action(action, &phv, &register_base)?);
+    }
+
+    // Build per-stage configuration.
+    let mut config = ModuleConfig::empty(
+        ModuleId::new(options.module_id),
+        ast.name.clone(),
+        options.params.num_stages,
+    );
+    config.parser = phv.parser_entry()?;
+    config.deparser = phv.deparser_entry(&ast.written_fields())?;
+
+    let mut compiled_tables = Vec::new();
+    for (position, table_name) in apply_order.iter().enumerate() {
+        let stage = options.start_stage + position;
+        let table = ast.table(table_name).expect("checked above");
+        let (key_fields, key_extract, key_mask) = build_key_config(table_name, &table.keys, &phv)?;
+
+        let compiled = CompiledTable {
+            name: table.name.clone(),
+            stage,
+            key_fields,
+            key_extract,
+            key_mask,
+        };
+
+        // Initial entries: distinct keys, actions round-robined.
+        let entry_count = options.initial_entries_per_table.unwrap_or(table.size);
+        let mut rules = Vec::with_capacity(entry_count);
+        for i in 0..entry_count {
+            let first_key_field = compiled.key_fields[0].0.clone();
+            let key = compiled.key(&[(&first_key_field, (i + 1) as u64)]);
+            let action_name = &table.actions[i % table.actions.len().max(1)];
+            let action = actions
+                .get(action_name)
+                .cloned()
+                .unwrap_or_else(VliwAction::nop);
+            rules.push(MatchRule { key, action });
+        }
+
+        config.stages[stage] = StageModuleConfig {
+            key_extract: Some(compiled.key_extract),
+            key_mask: Some(compiled.key_mask),
+            rules,
+            stateful_words: *stage_stateful_words.get(&stage).unwrap_or(&0),
+        };
+        compiled_tables.push(compiled);
+    }
+
+    Ok(CompiledModule {
+        config,
+        phv,
+        tables: compiled_tables,
+        actions,
+    })
+}
+
+/// Builds the key-extractor entry, key mask and field→slot mapping for one
+/// table's key fields.
+fn build_key_config(
+    table: &str,
+    keys: &[FieldRef],
+    phv: &PhvAllocation,
+) -> Result<(Vec<(FieldRef, usize)>, KeyExtractEntry, KeyMask)> {
+    let mut entry = KeyExtractEntry {
+        slots_6b: [0, 0],
+        slots_4b: [0, 0],
+        slots_2b: [0, 0],
+        predicate: None,
+    };
+    let mut used = [false; 6];
+    let mut key_fields = Vec::new();
+    for field in keys {
+        let container = phv.container(field).ok_or_else(|| CompileError::Undefined {
+            kind: "field",
+            name: field.qualified(),
+        })?;
+        let (first_slot, slots) = match container.ty {
+            ContainerType::H6 => (0, &mut entry.slots_6b),
+            ContainerType::H4 => (2, &mut entry.slots_4b),
+            ContainerType::H2 => (4, &mut entry.slots_2b),
+        };
+        let within = if !used[first_slot] {
+            0
+        } else if !used[first_slot + 1] {
+            1
+        } else {
+            return Err(CompileError::ResourceLimit(format!(
+                "table `{table}` uses more than 2 key fields of the {} container class",
+                container.ty.width_bytes()
+            )));
+        };
+        slots[within] = container.index;
+        used[first_slot + within] = true;
+        key_fields.push((field.clone(), first_slot + within));
+    }
+    let mask = KeyMask::for_slots(used, false);
+    Ok((key_fields, entry, mask))
+}
+
+/// Compiles one action declaration into a VLIW instruction.
+fn compile_action(
+    action: &ActionDecl,
+    phv: &PhvAllocation,
+    register_base: &BTreeMap<String, u16>,
+) -> Result<VliwAction> {
+    let mut vliw = VliwAction::nop();
+    let mut used_slots = std::collections::HashSet::new();
+    let mut place = |vliw: &mut VliwAction, slot: usize, instr: AluInstruction| -> Result<()> {
+        if !used_slots.insert(slot) {
+            return Err(CompileError::ResourceLimit(format!(
+                "action `{}` drives the same ALU twice; each PHV container has one ALU",
+                action.name
+            )));
+        }
+        vliw.set_slot(slot, Some(instr))
+            .map_err(|e| CompileError::ResourceLimit(e.to_string()))
+    };
+    let container_of = |field: &FieldRef| {
+        phv.container(field).ok_or_else(|| CompileError::Undefined {
+            kind: "field",
+            name: field.qualified(),
+        })
+    };
+    let reg_addr = |register: &str, index: &Expr| -> Result<u16> {
+        let base = register_base.get(register).copied().ok_or_else(|| CompileError::Undefined {
+            kind: "state",
+            name: register.to_string(),
+        })?;
+        match index {
+            Expr::Const(value) => Ok(base + *value as u16),
+            _ => Err(CompileError::StaticCheck(
+                "register indices must be compile-time constants".into(),
+            )),
+        }
+    };
+
+    const METADATA_SLOT: usize = menshen_rmt::params::NUM_CONTAINERS - 1;
+
+    for statement in &action.statements {
+        match statement {
+            Statement::Assign { dst, value } => {
+                let dst_container = container_of(dst)?;
+                let instr = match value {
+                    Expr::Const(c) => AluInstruction::set(*c as u16),
+                    Expr::Field(src) => AluInstruction::addi(container_of(src)?, 0),
+                    Expr::Add(a, b) => match (a.as_ref(), b.as_ref()) {
+                        (Expr::Field(a), Expr::Field(b)) => {
+                            AluInstruction::add(container_of(a)?, container_of(b)?)
+                        }
+                        (Expr::Field(a), Expr::Const(c)) | (Expr::Const(c), Expr::Field(a)) => {
+                            AluInstruction::addi(container_of(a)?, *c as u16)
+                        }
+                        _ => {
+                            return Err(CompileError::StaticCheck(format!(
+                                "action `{}`: unsupported addition operands",
+                                action.name
+                            )))
+                        }
+                    },
+                    Expr::Sub(a, b) => match (a.as_ref(), b.as_ref()) {
+                        (Expr::Field(a), Expr::Field(b)) => {
+                            AluInstruction::sub(container_of(a)?, container_of(b)?)
+                        }
+                        (Expr::Field(a), Expr::Const(c)) => {
+                            AluInstruction::subi(container_of(a)?, *c as u16)
+                        }
+                        _ => {
+                            return Err(CompileError::StaticCheck(format!(
+                                "action `{}`: unsupported subtraction operands",
+                                action.name
+                            )))
+                        }
+                    },
+                };
+                place(&mut vliw, dst_container.flat_index(), instr)?;
+            }
+            Statement::MarkDrop => place(&mut vliw, METADATA_SLOT, AluInstruction::discard())?,
+            Statement::SetPort(expr) => {
+                let port = match expr {
+                    Expr::Const(value) => *value as u16,
+                    _ => {
+                        return Err(CompileError::StaticCheck(format!(
+                            "action `{}`: set_port takes a constant port",
+                            action.name
+                        )))
+                    }
+                };
+                place(&mut vliw, METADATA_SLOT, AluInstruction::port(port))?;
+            }
+            Statement::RegisterRead { dst, register, index } => {
+                let dst_container = container_of(dst)?;
+                let addr = reg_addr(register, index)?;
+                place(&mut vliw, dst_container.flat_index(), AluInstruction::load(addr))?;
+            }
+            Statement::RegisterWrite { register, index, value } => {
+                let addr = reg_addr(register, index)?;
+                let src = match value {
+                    Expr::Field(f) => container_of(f)?,
+                    _ => {
+                        return Err(CompileError::StaticCheck(format!(
+                            "action `{}`: register writes store a field value",
+                            action.name
+                        )))
+                    }
+                };
+                // The store runs on the source container's ALU (its container
+                // value is not modified by a store).
+                place(&mut vliw, src.flat_index(), AluInstruction::store(src, addr))?;
+            }
+            Statement::RegisterCount { dst, register, index } => {
+                let dst_container = container_of(dst)?;
+                let addr = reg_addr(register, index)?;
+                place(&mut vliw, dst_container.flat_index(), AluInstruction::loadd(addr))?;
+            }
+            Statement::Recirculate => {
+                return Err(CompileError::StaticCheck("recirculation is forbidden".into()))
+            }
+        }
+    }
+    Ok(vliw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use menshen_rmt::TABLE5;
+
+    const CALC: &str = r#"
+module calc {
+    header calc_hdr {
+        opcode : 16;
+        operand_a : 32;
+        operand_b : 32;
+        result : 32;
+    }
+    parser { extract ethernet; extract vlan; extract ipv4; extract udp; extract calc_hdr; }
+    state hits[16];
+    table calc_table {
+        key = { calc_hdr.opcode; }
+        actions = { do_add; do_sub; do_drop; }
+        size = 8;
+    }
+    action do_add() {
+        calc_hdr.result = calc_hdr.operand_a + calc_hdr.operand_b;
+        calc_hdr.opcode = hits.count(0);
+    }
+    action do_sub() {
+        calc_hdr.result = calc_hdr.operand_a - calc_hdr.operand_b;
+    }
+    action do_drop() { mark_drop(); }
+    apply { calc_table.apply(); }
+}
+"#;
+
+    fn compile_calc(entries: usize) -> CompiledModule {
+        let ast = parse_module(CALC).unwrap();
+        compile_ast(&ast, &CompileOptions::new(3).with_initial_entries(entries)).unwrap()
+    }
+
+    #[test]
+    fn compiles_parser_stage_and_actions() {
+        let compiled = compile_calc(0);
+        assert_eq!(compiled.config.module_id, ModuleId::new(3));
+        assert_eq!(compiled.config.name, "calc");
+        assert!(!compiled.config.parser.actions.is_empty());
+        // Written fields (result, opcode) are deparsed.
+        assert_eq!(compiled.config.deparser.actions.len(), 2);
+        let table = compiled.table("calc_table").unwrap();
+        assert_eq!(table.stage, 0);
+        assert_eq!(table.key_fields.len(), 1);
+        assert_eq!(compiled.config.stages[0].stateful_words, 16);
+        assert!(compiled.actions.contains_key("do_add"));
+        assert_eq!(compiled.generated_entries(), 0);
+    }
+
+    #[test]
+    fn generated_entries_are_distinct_and_scale() {
+        let compiled = compile_calc(16);
+        assert_eq!(compiled.generated_entries(), 16);
+        let keys: std::collections::HashSet<_> = compiled.config.stages[0]
+            .rules
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(keys.len(), 16, "all generated keys are distinct");
+        let more = compile_calc(256);
+        assert_eq!(more.generated_entries(), 256);
+    }
+
+    #[test]
+    fn declared_size_used_when_requested() {
+        let ast = parse_module(CALC).unwrap();
+        let compiled = compile_ast(&ast, &CompileOptions::new(3).with_declared_sizes()).unwrap();
+        assert_eq!(compiled.generated_entries(), 8);
+    }
+
+    #[test]
+    fn rule_builder_produces_matching_key() {
+        let compiled = compile_calc(0);
+        let opcode = FieldRef::new("calc_hdr", "opcode");
+        let rule = compiled.rule("calc_table", &[(&opcode, 0x0001)], "do_add").unwrap();
+        let table = compiled.table("calc_table").unwrap();
+        assert_eq!(rule.key, table.key(&[(&opcode, 1)]));
+        assert!(compiled.rule("nope", &[], "do_add").is_err());
+        assert!(compiled.rule("calc_table", &[], "ghost").is_err());
+    }
+
+    #[test]
+    fn too_many_tables_for_pipeline_rejected() {
+        let mut source = String::from("module wide { parser { extract ipv4; } action a() { mark_drop(); } ");
+        for i in 0..6 {
+            source.push_str(&format!(
+                "table t{i} {{ key = {{ ipv4.dst_addr; }} actions = {{ a; }} }} "
+            ));
+        }
+        source.push_str("apply { ");
+        for i in 0..6 {
+            source.push_str(&format!("t{i}.apply(); "));
+        }
+        source.push_str("} }");
+        let ast = parse_module(&source).unwrap();
+        let err = compile_ast(&ast, &CompileOptions::new(1).with_params(TABLE5)).unwrap_err();
+        assert!(matches!(err, CompileError::ResourceLimit(_)));
+    }
+
+    #[test]
+    fn dependency_violations_detected() {
+        let source = r#"
+module dep {
+    parser { extract ipv4; extract udp; }
+    table reads_port { key = { udp.dst_port; } actions = { nopa; } }
+    table writes_port { key = { ipv4.dst_addr; } actions = { rewrite; } }
+    action nopa() { set_port(1); }
+    action rewrite() { udp.dst_port = 99; }
+    apply { reads_port.apply(); writes_port.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let deps = table_dependencies(&ast);
+        assert_eq!(deps, vec![("writes_port".to_string(), "reads_port".to_string())]);
+        let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
+        assert!(err.to_string().contains("applied first"));
+        // Reordering the apply block fixes it.
+        let fixed = source.replace(
+            "apply { reads_port.apply(); writes_port.apply(); }",
+            "apply { writes_port.apply(); reads_port.apply(); }",
+        );
+        let ast = parse_module(&fixed).unwrap();
+        assert!(compile_ast(&ast, &CompileOptions::new(1)).is_ok());
+    }
+
+    #[test]
+    fn key_with_too_many_fields_of_one_class_rejected() {
+        let source = r#"
+module k {
+    parser { extract ipv4; extract udp; }
+    table t { key = { udp.src_port; udp.dst_port; udp.length; } actions = { a; } }
+    action a() { mark_drop(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
+        assert!(err.to_string().contains("2 key fields"));
+    }
+
+    #[test]
+    fn conflicting_alu_use_rejected() {
+        let source = r#"
+module conflict {
+    parser { extract ipv4; }
+    table t { key = { ipv4.dst_addr; } actions = { a; } }
+    action a() { ipv4.src_addr = 1; ipv4.src_addr = 2; }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
+        assert!(err.to_string().contains("ALU"));
+    }
+
+    #[test]
+    fn loadable_onto_the_menshen_pipeline() {
+        use menshen_core::MenshenPipeline;
+        let compiled = compile_calc(4);
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let report = pipeline.load_module(&compiled.config).unwrap();
+        assert!(report.reconfig_packets >= 4 + 4 + 2 + 2 + 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Compiler error type.
+
+use core::fmt;
+
+/// Errors produced by the Menshen compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A lexical error: unexpected character.
+    Lex {
+        /// Line number (1-based).
+        line: usize,
+        /// Offending character.
+        found: char,
+    },
+    /// A syntax error.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// A reference to an undefined name (header, field, table, action, state).
+    Undefined {
+        /// What kind of thing was referenced.
+        kind: &'static str,
+        /// The name that could not be resolved.
+        name: String,
+    },
+    /// A name was defined twice.
+    Duplicate {
+        /// What kind of thing was redefined.
+        kind: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A static check failed (§3.4): the message names the violated rule.
+    StaticCheck(String),
+    /// The program does not fit the pipeline (stages, containers, key slots…).
+    ResourceLimit(String),
+    /// A field width or offset is unsupported by the hardware layout.
+    Layout(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex { line, found } => {
+                write!(f, "line {line}: unexpected character `{found}`")
+            }
+            CompileError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CompileError::Undefined { kind, name } => write!(f, "undefined {kind} `{name}`"),
+            CompileError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            CompileError::StaticCheck(msg) => write!(f, "static check failed: {msg}"),
+            CompileError::ResourceLimit(msg) => write!(f, "resource limit exceeded: {msg}"),
+            CompileError::Layout(msg) => write!(f, "layout error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(CompileError::Lex { line: 3, found: '$' }.to_string().contains('$'));
+        assert!(
+            CompileError::Undefined { kind: "table", name: "t0".into() }
+                .to_string()
+                .contains("t0")
+        );
+        assert!(
+            CompileError::StaticCheck("modifies VLAN ID".into())
+                .to_string()
+                .contains("VLAN")
+        );
+        assert!(CompileError::Parse { line: 9, message: "expected `{`".into() }
+            .to_string()
+            .contains("line 9"));
+        assert!(CompileError::Duplicate { kind: "action", name: "a".into() }
+            .to_string()
+            .contains("duplicate"));
+        assert!(CompileError::ResourceLimit("too many tables".into())
+            .to_string()
+            .contains("tables"));
+        assert!(CompileError::Layout("odd width".into()).to_string().contains("odd"));
+    }
+}

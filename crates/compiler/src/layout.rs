@@ -1,0 +1,383 @@
+//! Header layout and PHV container allocation.
+//!
+//! The backend needs to know, for every field a module references, (a) where
+//! the field sits in the packet (byte offset and width) and (b) which PHV
+//! container carries it through the pipeline. Standard headers (Ethernet,
+//! 802.1Q, IPv4, UDP, TCP) have fixed offsets because every Menshen data
+//! packet is VLAN-tagged; custom headers declared by the module are laid out
+//! after the UDP header, i.e. at the start of the UDP payload (§4.1 parses
+//! module-specific headers out of the TCP/UDP payload).
+
+use crate::ast::{FieldRef, ModuleAst};
+use crate::error::CompileError;
+use crate::Result;
+use menshen_rmt::config::{ParseAction, ParserEntry};
+use menshen_rmt::params::PARSE_ACTIONS_PER_ENTRY;
+use menshen_rmt::phv::{ContainerRef, ContainerType};
+
+/// Byte offset where custom (module-specific) headers begin: right after the
+/// Ethernet(14) + VLAN(4) + IPv4(20) + UDP(8) headers.
+pub const CUSTOM_HEADER_BASE: usize = 46;
+
+/// The pseudo-header name for system-provided, read-only statistics.
+pub const SYS_HEADER: &str = "sys";
+
+/// A field's position in the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLocation {
+    /// Byte offset from the start of the frame.
+    pub offset: usize,
+    /// Width in bytes.
+    pub width: usize,
+}
+
+/// Returns the location of a built-in (standard header) field, if it exists.
+pub fn builtin_field(field: &FieldRef) -> Option<FieldLocation> {
+    let loc = |offset, width| Some(FieldLocation { offset, width });
+    match (field.header.as_str(), field.field.as_str()) {
+        ("ethernet", "dst_addr") => loc(0, 6),
+        ("ethernet", "src_addr") => loc(6, 6),
+        ("ethernet", "ethertype") => loc(12, 2),
+        ("vlan", "tci") | ("vlan", "vid") => loc(14, 2),
+        ("vlan", "ethertype") => loc(16, 2),
+        ("ipv4", "total_len") => loc(20, 2),
+        ("ipv4", "identification") => loc(22, 2),
+        ("ipv4", "src_addr") => loc(30, 4),
+        ("ipv4", "dst_addr") => loc(34, 4),
+        ("udp", "src_port") | ("tcp", "src_port") => loc(38, 2),
+        ("udp", "dst_port") | ("tcp", "dst_port") => loc(40, 2),
+        ("udp", "length") => loc(42, 2),
+        ("tcp", "seq_no") => loc(42, 4),
+        ("tcp", "ack_no") => loc(46, 4),
+        ("tcp", "window") => loc(52, 2),
+        _ => None,
+    }
+}
+
+/// Resolves a field reference to its packet location, consulting the module's
+/// custom header declarations for non-standard headers.
+pub fn resolve_field(ast: &ModuleAst, field: &FieldRef) -> Result<FieldLocation> {
+    if field.header == SYS_HEADER {
+        // System statistics live in metadata, not in the packet; they have no
+        // packet location. The static checker forbids writing them and the
+        // backend rejects reading them as match keys.
+        return Err(CompileError::Layout(format!(
+            "system statistic `{}` cannot be used as a packet field",
+            field.qualified()
+        )));
+    }
+    if let Some(loc) = builtin_field(field) {
+        return Ok(loc);
+    }
+    // Ensure the custom header exists before walking the extract order.
+    ast.header(&field.header).ok_or_else(|| CompileError::Undefined {
+        kind: "header",
+        name: field.header.clone(),
+    })?;
+    if !ast.parses.iter().any(|p| p == &field.header) {
+        return Err(CompileError::Layout(format!(
+            "header `{}` is declared but never extracted by the parser",
+            field.header
+        )));
+    }
+    // Custom headers are laid out in declaration order after the UDP header,
+    // in the order the parser extracts them.
+    let mut base = CUSTOM_HEADER_BASE;
+    for extracted in &ast.parses {
+        if builtin_field(&FieldRef::new(extracted.clone(), "dst_addr")).is_some()
+            || matches!(extracted.as_str(), "ethernet" | "vlan" | "ipv4" | "udp" | "tcp")
+        {
+            continue;
+        }
+        let decl = ast.header(extracted).ok_or_else(|| CompileError::Undefined {
+            kind: "header",
+            name: extracted.clone(),
+        })?;
+        if extracted == &field.header {
+            let mut offset = base;
+            for (name, width_bits) in &decl.fields {
+                if width_bits % 8 != 0 || *width_bits == 0 || *width_bits > 48 {
+                    return Err(CompileError::Layout(format!(
+                        "field `{}.{}` has unsupported width {} bits (must be a multiple of 8, at most 48)",
+                        decl.name, name, width_bits
+                    )));
+                }
+                let width = (*width_bits / 8) as usize;
+                if name == &field.field {
+                    return Ok(FieldLocation { offset, width });
+                }
+                offset += width;
+            }
+            return Err(CompileError::Undefined {
+                kind: "field",
+                name: field.qualified(),
+            });
+        }
+        base += (decl.width_bits() / 8) as usize;
+    }
+    // The header exists and is extracted but was not found above (can only
+    // happen if `header` resolves differently from `parses` content).
+    Err(CompileError::Undefined { kind: "header", name: field.header.clone() })
+}
+
+/// The container class used for a field of `width` bytes.
+pub fn container_type_for_width(width: usize) -> Result<ContainerType> {
+    match width {
+        1 | 2 => Ok(ContainerType::H2),
+        3 | 4 => Ok(ContainerType::H4),
+        5 | 6 => Ok(ContainerType::H6),
+        other => Err(CompileError::Layout(format!(
+            "field width {other} bytes does not fit any PHV container"
+        ))),
+    }
+}
+
+/// The PHV allocation for one module: where each referenced field lives.
+#[derive(Debug, Clone, Default)]
+pub struct PhvAllocation {
+    assignments: Vec<(FieldRef, FieldLocation, ContainerRef)>,
+}
+
+impl PhvAllocation {
+    /// Allocates containers for every field the module references.
+    pub fn build(ast: &ModuleAst) -> Result<Self> {
+        let mut allocation = PhvAllocation::default();
+        let mut next = [0u8; 3]; // next free index per container class
+        for field in ast.referenced_fields() {
+            if field.header == SYS_HEADER {
+                // Reads of system statistics are resolved to metadata by the
+                // backend; they occupy no header container.
+                continue;
+            }
+            let location = resolve_field(ast, &field)?;
+            let ty = container_type_for_width(location.width)?;
+            let class = match ty {
+                ContainerType::H2 => 0,
+                ContainerType::H4 => 1,
+                ContainerType::H6 => 2,
+            };
+            if usize::from(next[class]) >= ty.count() {
+                return Err(CompileError::ResourceLimit(format!(
+                    "module needs more than {} {}-byte PHV containers",
+                    ty.count(),
+                    ty.width_bytes()
+                )));
+            }
+            let container = ContainerRef::new(ty, next[class]).expect("index checked");
+            next[class] += 1;
+            allocation.assignments.push((field, location, container));
+        }
+        Ok(allocation)
+    }
+
+    /// The container assigned to `field`, if any.
+    pub fn container(&self, field: &FieldRef) -> Option<ContainerRef> {
+        self.assignments
+            .iter()
+            .find(|(f, _, _)| f == field)
+            .map(|(_, _, c)| *c)
+    }
+
+    /// The packet location of `field`, if allocated.
+    pub fn location(&self, field: &FieldRef) -> Option<FieldLocation> {
+        self.assignments
+            .iter()
+            .find(|(f, _, _)| f == field)
+            .map(|(_, l, _)| *l)
+    }
+
+    /// Number of allocated containers.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True if nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Iterates over `(field, location, container)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = &(FieldRef, FieldLocation, ContainerRef)> {
+        self.assignments.iter()
+    }
+
+    /// Builds the parser-table entry: one parse action per allocated field.
+    pub fn parser_entry(&self) -> Result<ParserEntry> {
+        if self.assignments.len() > PARSE_ACTIONS_PER_ENTRY {
+            return Err(CompileError::ResourceLimit(format!(
+                "module parses {} fields but a parser entry holds at most {}",
+                self.assignments.len(),
+                PARSE_ACTIONS_PER_ENTRY
+            )));
+        }
+        let mut actions = Vec::new();
+        for (field, location, container) in &self.assignments {
+            let action = ParseAction::new(location.offset as u8, *container).map_err(|_| {
+                CompileError::Layout(format!(
+                    "field `{}` at offset {} is outside the 128-byte parseable region",
+                    field.qualified(),
+                    location.offset
+                ))
+            })?;
+            actions.push(action);
+        }
+        ParserEntry::new(actions).map_err(|_| {
+            CompileError::ResourceLimit("too many parser actions".into())
+        })
+    }
+
+    /// Builds the deparser entry: parse actions only for fields the module
+    /// writes (only modified fields need writing back, §4.1).
+    pub fn deparser_entry(&self, written: &[FieldRef]) -> Result<ParserEntry> {
+        let mut actions = Vec::new();
+        for (field, location, container) in &self.assignments {
+            if written.contains(field) {
+                let action = ParseAction::new(location.offset as u8, *container).map_err(|_| {
+                    CompileError::Layout(format!(
+                        "written field `{}` at offset {} is outside the deparseable region",
+                        field.qualified(),
+                        location.offset
+                    ))
+                })?;
+                actions.push(action);
+            }
+        }
+        ParserEntry::new(actions)
+            .map_err(|_| CompileError::ResourceLimit("too many deparser actions".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    const SOURCE: &str = r#"
+module calc {
+    header calc_hdr {
+        opcode : 16;
+        operand_a : 32;
+        operand_b : 32;
+        result : 32;
+    }
+    parser { extract ethernet; extract vlan; extract ipv4; extract udp; extract calc_hdr; }
+    table t {
+        key = { calc_hdr.opcode; ipv4.dst_addr; }
+        actions = { add; }
+    }
+    action add() { calc_hdr.result = calc_hdr.operand_a + calc_hdr.operand_b; }
+    apply { t.apply(); }
+}
+"#;
+
+    #[test]
+    fn builtin_fields_have_expected_offsets() {
+        assert_eq!(
+            builtin_field(&FieldRef::new("ipv4", "dst_addr")),
+            Some(FieldLocation { offset: 34, width: 4 })
+        );
+        assert_eq!(
+            builtin_field(&FieldRef::new("udp", "dst_port")),
+            Some(FieldLocation { offset: 40, width: 2 })
+        );
+        assert_eq!(
+            builtin_field(&FieldRef::new("ethernet", "dst_addr")),
+            Some(FieldLocation { offset: 0, width: 6 })
+        );
+        assert!(builtin_field(&FieldRef::new("ipv4", "nonsense")).is_none());
+    }
+
+    #[test]
+    fn custom_header_fields_follow_udp() {
+        let ast = parse_module(SOURCE).unwrap();
+        let opcode = resolve_field(&ast, &FieldRef::new("calc_hdr", "opcode")).unwrap();
+        assert_eq!(opcode, FieldLocation { offset: 46, width: 2 });
+        let a = resolve_field(&ast, &FieldRef::new("calc_hdr", "operand_a")).unwrap();
+        assert_eq!(a, FieldLocation { offset: 48, width: 4 });
+        let result = resolve_field(&ast, &FieldRef::new("calc_hdr", "result")).unwrap();
+        assert_eq!(result, FieldLocation { offset: 56, width: 4 });
+        assert!(resolve_field(&ast, &FieldRef::new("calc_hdr", "missing")).is_err());
+        assert!(resolve_field(&ast, &FieldRef::new("nothere", "x")).is_err());
+        assert!(resolve_field(&ast, &FieldRef::new("sys", "queue_len")).is_err());
+    }
+
+    #[test]
+    fn phv_allocation_assigns_matching_container_widths() {
+        let ast = parse_module(SOURCE).unwrap();
+        let phv = PhvAllocation::build(&ast).unwrap();
+        assert!(!phv.is_empty());
+        let opcode = phv.container(&FieldRef::new("calc_hdr", "opcode")).unwrap();
+        assert_eq!(opcode.ty, ContainerType::H2);
+        let dst = phv.container(&FieldRef::new("ipv4", "dst_addr")).unwrap();
+        assert_eq!(dst.ty, ContainerType::H4);
+        assert!(phv.location(&FieldRef::new("ipv4", "dst_addr")).is_some());
+        // Distinct fields get distinct containers.
+        let a = phv.container(&FieldRef::new("calc_hdr", "operand_a")).unwrap();
+        let b = phv.container(&FieldRef::new("calc_hdr", "operand_b")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(phv.len(), phv.iter().count());
+    }
+
+    #[test]
+    fn parser_and_deparser_entries() {
+        let ast = parse_module(SOURCE).unwrap();
+        let phv = PhvAllocation::build(&ast).unwrap();
+        let parser = phv.parser_entry().unwrap();
+        assert_eq!(parser.actions.len(), phv.len());
+        let deparser = phv.deparser_entry(&ast.written_fields()).unwrap();
+        assert_eq!(deparser.actions.len(), 1, "only calc_hdr.result is written");
+        assert_eq!(deparser.actions[0].offset, 56);
+    }
+
+    #[test]
+    fn too_many_containers_of_one_class_rejected() {
+        // 9 distinct 4-byte fields exceed the 8 available 4-byte containers.
+        let mut source = String::from(
+            "module big { header h { ",
+        );
+        for i in 0..9 {
+            source.push_str(&format!("f{i} : 32; "));
+        }
+        source.push_str("} parser { extract h; } table t { key = { ");
+        for i in 0..9 {
+            source.push_str(&format!("h.f{i}; "));
+        }
+        source.push_str("} actions = { a; } } action a() { mark_drop(); } apply { t.apply(); } }");
+        let ast = parse_module(&source).unwrap();
+        assert!(matches!(
+            PhvAllocation::build(&ast),
+            Err(CompileError::ResourceLimit(_))
+        ));
+    }
+
+    #[test]
+    fn odd_width_fields_rejected() {
+        let source = r#"
+module odd {
+    header h { weird : 12; }
+    parser { extract h; }
+    table t { key = { h.weird; } actions = { a; } }
+    action a() { mark_drop(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        assert!(matches!(PhvAllocation::build(&ast), Err(CompileError::Layout(_))));
+    }
+
+    #[test]
+    fn undeclared_extract_is_rejected() {
+        let source = r#"
+module m {
+    header h { a : 16; }
+    parser { extract ipv4; }
+    table t { key = { h.a; } actions = { x; } }
+    action x() { mark_drop(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = resolve_field(&ast, &FieldRef::new("h", "a")).unwrap_err();
+        assert!(matches!(err, CompileError::Layout(_)));
+    }
+}

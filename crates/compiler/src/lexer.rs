@@ -1,0 +1,173 @@
+//! Tokeniser for the module DSL.
+
+use crate::error::CompileError;
+use crate::Result;
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or 0x-prefixed hexadecimal).
+    Number(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+/// Tokenises DSL source text. `//` comments run to end of line.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(CompileError::Lex { line, found: '/' });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(ident), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut literal = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        literal.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let cleaned = literal.replace('_', "");
+                let value = if let Some(hex) = cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    cleaned.parse()
+                }
+                .map_err(|_| CompileError::Parse {
+                    line,
+                    message: format!("invalid number literal `{literal}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semicolon,
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '=' => TokenKind::Equals,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    other => return Err(CompileError::Lex { line, found: other }),
+                };
+                chars.next();
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_identifiers_numbers_and_punctuation() {
+        let tokens = tokenize("table t { key = ipv4.dst_addr; size = 16; }").unwrap();
+        let kinds: Vec<_> = tokens.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "table"));
+        assert!(kinds.contains(&&TokenKind::Dot));
+        assert!(kinds.contains(&&TokenKind::Number(16)));
+        assert!(kinds.contains(&&TokenKind::Semicolon));
+    }
+
+    #[test]
+    fn hex_and_underscored_numbers() {
+        let tokens = tokenize("0xf1f2 1_000").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Number(0xf1f2));
+        assert_eq!(tokens[1].kind, TokenKind::Number(1000));
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let tokens = tokenize("a // comment\nb\nc").unwrap();
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+
+    #[test]
+    fn bad_characters_rejected_with_line() {
+        let err = tokenize("a\nb $").unwrap_err();
+        assert!(matches!(err, CompileError::Lex { line: 2, found: '$' }));
+        assert!(tokenize("a / b").is_err());
+        assert!(tokenize("0xzz").is_err());
+    }
+}

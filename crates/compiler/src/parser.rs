@@ -1,0 +1,448 @@
+//! Recursive-descent parser for the module DSL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! module  := "module" IDENT "{" item* "}"
+//! item    := header | parser | state | table | action | apply
+//! header  := "header" IDENT "{" (IDENT ":" NUMBER ";")* "}"
+//! parser  := "parser" "{" ("extract" IDENT ";")* "}"
+//! state   := "state" IDENT "[" NUMBER "]" ";"
+//! table   := "table" IDENT "{" "key" "=" "{" (fieldref ";")* "}"
+//!            "actions" "=" "{" (IDENT ";")* "}" ["size" "=" NUMBER ";"] "}"
+//! action  := "action" IDENT "(" ")" "{" statement* "}"
+//! apply   := "apply" "{" (IDENT "." "apply" "(" ")" ";")* "}"
+//! statement :=
+//!     fieldref "=" expr ";"
+//!   | fieldref "=" IDENT "." ("read"|"count") "(" expr ")" ";"
+//!   | IDENT "." "write" "(" expr "," expr ")" ";"
+//!   | "mark_drop" "(" ")" ";"
+//!   | "set_port" "(" expr ")" ";"
+//!   | "recirculate" "(" ")" ";"
+//! expr    := operand (("+"|"-") operand)*
+//! operand := NUMBER | fieldref
+//! fieldref:= IDENT "." IDENT
+//! ```
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::Result;
+
+/// Parses DSL source text into a [`ModuleAst`].
+pub fn parse_module(source: &str) -> Result<ModuleAst> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::Parse { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let kind = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if kind.is_some() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn expect(&mut self, expected: TokenKind) -> Result<()> {
+        match self.next() {
+            Some(kind) if kind == expected => Ok(()),
+            other => Err(self.error(format!("expected {expected:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(TokenKind::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<()> {
+        let name = self.expect_ident()?;
+        if name == keyword {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{keyword}`, found `{name}`")))
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(TokenKind::Number(value)) => Ok(value),
+            other => Err(self.error(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn module(&mut self) -> Result<ModuleAst> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut ast = ModuleAst { name, ..ModuleAst::default() };
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(TokenKind::Ident(word)) => {
+                    let word = word.clone();
+                    match word.as_str() {
+                        "header" => ast.headers.push(self.header()?),
+                        "parser" => ast.parses = self.parser_block()?,
+                        "state" => ast.states.push(self.state()?),
+                        "table" => ast.tables.push(self.table()?),
+                        "action" => ast.actions.push(self.action()?),
+                        "apply" => ast.apply = self.apply_block()?,
+                        other => return Err(self.error(format!("unexpected item `{other}`"))),
+                    }
+                }
+                other => return Err(self.error(format!("unexpected token {other:?}"))),
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.error("trailing tokens after module"));
+        }
+        Ok(ast)
+    }
+
+    fn header(&mut self) -> Result<HeaderDecl> {
+        self.expect_keyword("header")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let field = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let width = self.expect_number()? as u32;
+            self.expect(TokenKind::Semicolon)?;
+            fields.push((field, width));
+        }
+        Ok(HeaderDecl { name, fields })
+    }
+
+    fn parser_block(&mut self) -> Result<Vec<String>> {
+        self.expect_keyword("parser")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut extracts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            self.expect_keyword("extract")?;
+            extracts.push(self.expect_ident()?);
+            self.expect(TokenKind::Semicolon)?;
+        }
+        Ok(extracts)
+    }
+
+    fn state(&mut self) -> Result<StateDecl> {
+        self.expect_keyword("state")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LBracket)?;
+        let size = self.expect_number()? as usize;
+        self.expect(TokenKind::RBracket)?;
+        self.expect(TokenKind::Semicolon)?;
+        Ok(StateDecl { name, size })
+    }
+
+    fn table(&mut self) -> Result<TableDecl> {
+        self.expect_keyword("table")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut keys = Vec::new();
+        let mut actions = Vec::new();
+        let mut size = 16usize;
+        while !self.eat(&TokenKind::RBrace) {
+            let section = self.expect_ident()?;
+            self.expect(TokenKind::Equals)?;
+            match section.as_str() {
+                "key" => {
+                    self.expect(TokenKind::LBrace)?;
+                    while !self.eat(&TokenKind::RBrace) {
+                        keys.push(self.field_ref()?);
+                        self.expect(TokenKind::Semicolon)?;
+                    }
+                }
+                "actions" => {
+                    self.expect(TokenKind::LBrace)?;
+                    while !self.eat(&TokenKind::RBrace) {
+                        actions.push(self.expect_ident()?);
+                        self.expect(TokenKind::Semicolon)?;
+                    }
+                }
+                "size" => {
+                    size = self.expect_number()? as usize;
+                    self.expect(TokenKind::Semicolon)?;
+                }
+                other => return Err(self.error(format!("unknown table section `{other}`"))),
+            }
+        }
+        Ok(TableDecl { name, keys, actions, size })
+    }
+
+    fn action(&mut self) -> Result<ActionDecl> {
+        self.expect_keyword("action")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut statements = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            statements.push(self.statement()?);
+        }
+        Ok(ActionDecl { name, statements })
+    }
+
+    fn apply_block(&mut self) -> Result<Vec<String>> {
+        self.expect_keyword("apply")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut order = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let table = self.expect_ident()?;
+            self.expect(TokenKind::Dot)?;
+            self.expect_keyword("apply")?;
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semicolon)?;
+            order.push(table);
+        }
+        Ok(order)
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let first = self.expect_ident()?;
+        // Zero-argument built-ins.
+        if first == "mark_drop" || first == "recirculate" {
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(if first == "mark_drop" {
+                Statement::MarkDrop
+            } else {
+                Statement::Recirculate
+            });
+        }
+        if first == "set_port" {
+            self.expect(TokenKind::LParen)?;
+            let expr = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(Statement::SetPort(expr));
+        }
+        // `first` is either `header` in `header.field = …` or a register name
+        // in `reg.write(…)`.
+        self.expect(TokenKind::Dot)?;
+        let second = self.expect_ident()?;
+        if second == "write" {
+            self.expect(TokenKind::LParen)?;
+            let index = self.expr()?;
+            self.expect(TokenKind::Comma)?;
+            let value = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(Statement::RegisterWrite { register: first, index, value });
+        }
+        let dst = FieldRef::new(first, second);
+        self.expect(TokenKind::Equals)?;
+        // Either an expression or `reg.read(idx)` / `reg.count(idx)`.
+        if let (Some(TokenKind::Ident(name)), Some(TokenKind::Dot)) =
+            (self.peek().cloned(), self.tokens.get(self.pos + 1).map(|t| t.kind.clone()))
+        {
+            if let Some(TokenKind::Ident(method)) = self.tokens.get(self.pos + 2).map(|t| t.kind.clone()) {
+                if method == "read" || method == "count" {
+                    self.pos += 3;
+                    self.expect(TokenKind::LParen)?;
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    self.expect(TokenKind::Semicolon)?;
+                    return Ok(if method == "read" {
+                        Statement::RegisterRead { dst, register: name, index }
+                    } else {
+                        Statement::RegisterCount { dst, register: name, index }
+                    });
+                }
+            }
+        }
+        let value = self.expr()?;
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Statement::Assign { dst, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.operand()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.operand()?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.operand()?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(TokenKind::Number(value)) => Ok(Expr::Const(value)),
+            Some(TokenKind::Ident(header)) => {
+                self.expect(TokenKind::Dot)?;
+                let field = self.expect_ident()?;
+                Ok(Expr::Field(FieldRef::new(header, field)))
+            }
+            other => Err(self.error(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn field_ref(&mut self) -> Result<FieldRef> {
+        let header = self.expect_ident()?;
+        self.expect(TokenKind::Dot)?;
+        let field = self.expect_ident()?;
+        Ok(FieldRef::new(header, field))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+// A toy calculator module.
+module calc {
+    header calc_hdr {
+        opcode : 16;
+        operand_a : 32;
+        operand_b : 32;
+        result : 32;
+    }
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+        extract calc_hdr;
+    }
+    state scratch[16];
+    table calc_table {
+        key = { calc_hdr.opcode; }
+        actions = { do_add; do_sub; do_drop; }
+        size = 8;
+    }
+    action do_add() {
+        calc_hdr.result = calc_hdr.operand_a + calc_hdr.operand_b;
+    }
+    action do_sub() {
+        calc_hdr.result = calc_hdr.operand_a - calc_hdr.operand_b;
+    }
+    action do_drop() {
+        mark_drop();
+    }
+    apply {
+        calc_table.apply();
+    }
+}
+"#;
+
+    #[test]
+    fn parses_a_complete_module() {
+        let ast = parse_module(SAMPLE).unwrap();
+        assert_eq!(ast.name, "calc");
+        assert_eq!(ast.headers.len(), 1);
+        assert_eq!(ast.headers[0].width_bits(), 112);
+        assert_eq!(ast.parses.len(), 5);
+        assert_eq!(ast.states[0].size, 16);
+        assert_eq!(ast.tables[0].size, 8);
+        assert_eq!(ast.tables[0].keys[0].qualified(), "calc_hdr.opcode");
+        assert_eq!(ast.tables[0].actions.len(), 3);
+        assert_eq!(ast.actions.len(), 3);
+        assert_eq!(ast.apply, vec!["calc_table"]);
+        match &ast.actions[0].statements[0] {
+            Statement::Assign { dst, value } => {
+                assert_eq!(dst.qualified(), "calc_hdr.result");
+                assert!(matches!(value, Expr::Add(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(ast.actions[2].statements[0], Statement::MarkDrop));
+    }
+
+    #[test]
+    fn parses_register_and_port_statements() {
+        let source = r#"
+module stateful {
+    parser { extract ipv4; }
+    state counter[64];
+    table t { key = { ipv4.dst_addr; } actions = { bump; } }
+    action bump() {
+        ipv4.ttl = counter.count(3);
+        counter.write(4, ipv4.ttl);
+        ipv4.ttl = counter.read(4);
+        set_port(2);
+    }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let statements = &ast.actions[0].statements;
+        assert!(matches!(statements[0], Statement::RegisterCount { .. }));
+        assert!(matches!(statements[1], Statement::RegisterWrite { .. }));
+        assert!(matches!(statements[2], Statement::RegisterRead { .. }));
+        assert!(matches!(statements[3], Statement::SetPort(Expr::Const(2))));
+        assert_eq!(ast.tables[0].size, 16, "default size");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_module("module m {\n  bogus item\n}").unwrap_err();
+        match err {
+            CompileError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_module("module m { table t { wrong = 1; } }").is_err());
+        assert!(parse_module("module m {} extra").is_err());
+        assert!(parse_module("notamodule x {}").is_err());
+    }
+
+    #[test]
+    fn recirculate_is_parsed_for_the_checker() {
+        let source = r#"
+module bad {
+    parser { extract ipv4; }
+    table t { key = { ipv4.dst_addr; } actions = { a; } }
+    action a() { recirculate(); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        assert!(matches!(ast.actions[0].statements[0], Statement::Recirculate));
+    }
+}

@@ -1,0 +1,200 @@
+//! Module identities, per-module resource requests and compiled configurations.
+//!
+//! A *module* is one isolated packet-processing program (one tenant's P4
+//! program in the paper's terminology). Modules are identified on the wire by
+//! the packet's VLAN ID (12 bits) and inside the pipeline by the same value.
+
+use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
+use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::action::VliwAction;
+
+/// A module identifier: the 12-bit VLAN ID carried by the module's packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub u16);
+
+impl ModuleId {
+    /// Maximum representable module ID (12 bits).
+    pub const MAX: u16 = 0x0fff;
+
+    /// Creates a module ID, truncating to 12 bits.
+    pub const fn new(id: u16) -> Self {
+        ModuleId(id & Self::MAX)
+    }
+
+    /// The numeric value.
+    pub const fn value(&self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for ModuleId {
+    fn from(v: u16) -> Self {
+        ModuleId::new(v)
+    }
+}
+
+impl core::fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "module {}", self.0)
+    }
+}
+
+/// The amount of each partitioned resource a module is granted (per stage
+/// where applicable). The resource checker compares a compiled module's usage
+/// against this allocation before admission (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceAllocation {
+    /// Match-action entries the module may occupy in each stage.
+    pub match_entries_per_stage: Vec<usize>,
+    /// Words of stateful memory the module may occupy in each stage.
+    pub stateful_words_per_stage: Vec<usize>,
+    /// Maximum number of PHV containers the module's parser may fill.
+    pub phv_containers: usize,
+}
+
+impl ResourceAllocation {
+    /// A uniform allocation: the same number of match entries and stateful
+    /// words in each of `stages` stages.
+    pub fn uniform(stages: usize, match_entries: usize, stateful_words: usize) -> Self {
+        ResourceAllocation {
+            match_entries_per_stage: vec![match_entries; stages],
+            stateful_words_per_stage: vec![stateful_words; stages],
+            phv_containers: 10,
+        }
+    }
+
+    /// Total number of match entries across all stages.
+    pub fn total_match_entries(&self) -> usize {
+        self.match_entries_per_stage.iter().sum()
+    }
+
+    /// Total stateful words across all stages.
+    pub fn total_stateful_words(&self) -> usize {
+        self.stateful_words_per_stage.iter().sum()
+    }
+}
+
+/// One match-action rule of a compiled module: a masked key and the VLIW
+/// action to run on a hit. The module ID is appended by the pipeline when the
+/// rule is installed, so a module cannot spoof another's rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchRule {
+    /// The (already masked) lookup key.
+    pub key: LookupKey,
+    /// The VLIW action executed on a hit.
+    pub action: VliwAction,
+}
+
+/// Per-stage portion of a compiled module configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageModuleConfig {
+    /// Key-extractor entry for this module in this stage, if the module has a
+    /// table in this stage.
+    pub key_extract: Option<KeyExtractEntry>,
+    /// Key mask for this module in this stage.
+    pub key_mask: Option<KeyMask>,
+    /// Match-action rules to install in this stage.
+    pub rules: Vec<MatchRule>,
+    /// Words of stateful memory this module needs in this stage.
+    pub stateful_words: usize,
+}
+
+impl StageModuleConfig {
+    /// True if the module does nothing in this stage.
+    pub fn is_empty(&self) -> bool {
+        self.key_extract.is_none() && self.rules.is_empty() && self.stateful_words == 0
+    }
+}
+
+/// A fully compiled module: everything the software interface needs to load
+/// it onto the pipeline. Produced by the Menshen compiler backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleConfig {
+    /// The module's identity (VLAN ID).
+    pub module_id: ModuleId,
+    /// Human-readable name (for logs and statistics).
+    pub name: String,
+    /// Parser-table entry.
+    pub parser: ParserEntry,
+    /// Deparser-table entry.
+    pub deparser: ParserEntry,
+    /// Per-stage configuration, indexed by stage.
+    pub stages: Vec<StageModuleConfig>,
+}
+
+impl ModuleConfig {
+    /// Creates an empty configuration for `module_id` spanning `num_stages`.
+    pub fn empty(module_id: ModuleId, name: impl Into<String>, num_stages: usize) -> Self {
+        ModuleConfig {
+            module_id,
+            name: name.into(),
+            parser: ParserEntry::default(),
+            deparser: ParserEntry::default(),
+            stages: vec![StageModuleConfig::default(); num_stages],
+        }
+    }
+
+    /// Total number of match-action rules across all stages.
+    pub fn total_rules(&self) -> usize {
+        self.stages.iter().map(|s| s.rules.len()).sum()
+    }
+
+    /// Total stateful words requested across all stages.
+    pub fn total_stateful_words(&self) -> usize {
+        self.stages.iter().map(|s| s.stateful_words).sum()
+    }
+
+    /// The resource usage of this configuration, for admission control.
+    pub fn usage(&self) -> ResourceAllocation {
+        ResourceAllocation {
+            match_entries_per_stage: self.stages.iter().map(|s| s.rules.len()).collect(),
+            stateful_words_per_stage: self.stages.iter().map(|s| s.stateful_words).collect(),
+            phv_containers: self.parser.actions.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_id_truncates_to_12_bits() {
+        assert_eq!(ModuleId::new(0x1fff).value(), 0x0fff);
+        assert_eq!(ModuleId::from(5u16).value(), 5);
+        assert_eq!(ModuleId::new(7).to_string(), "module 7");
+    }
+
+    #[test]
+    fn allocation_totals() {
+        let alloc = ResourceAllocation::uniform(5, 4, 128);
+        assert_eq!(alloc.total_match_entries(), 20);
+        assert_eq!(alloc.total_stateful_words(), 640);
+        assert_eq!(alloc.match_entries_per_stage.len(), 5);
+    }
+
+    #[test]
+    fn empty_config_reports_zero_usage() {
+        let config = ModuleConfig::empty(ModuleId::new(3), "calc", 5);
+        assert_eq!(config.total_rules(), 0);
+        assert_eq!(config.total_stateful_words(), 0);
+        assert!(config.stages.iter().all(|s| s.is_empty()));
+        let usage = config.usage();
+        assert_eq!(usage.total_match_entries(), 0);
+        assert_eq!(usage.phv_containers, 0);
+    }
+
+    #[test]
+    fn usage_reflects_rules_and_state() {
+        let mut config = ModuleConfig::empty(ModuleId::new(1), "m", 3);
+        config.stages[1].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop(),
+        });
+        config.stages[2].stateful_words = 64;
+        let usage = config.usage();
+        assert_eq!(usage.match_entries_per_stage, vec![0, 1, 0]);
+        assert_eq!(usage.stateful_words_per_stage, vec![0, 0, 64]);
+        assert!(!config.stages[1].is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Overlay tables: per-module configuration for shared resources.
+//!
+//! Menshen's central mechanism for resources that cannot be space-partitioned
+//! (parser, key extractor, key mask, segment table, deparser) is the
+//! *overlay*: a small table holding one configuration entry per module,
+//! indexed by the packet's module ID as it arrives at the resource (§3).
+//! Writing one module's entry can never change another's — that property is
+//! what makes reconfiguration disruption-free, and it is asserted by the
+//! property tests in this crate.
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A per-module configuration table of fixed depth.
+///
+/// The index is the module's *slot* (assigned when the module is loaded), not
+/// the raw VLAN ID: the prototype's tables are 32 entries deep while VLAN IDs
+/// span 12 bits, so the software interface maintains the VLAN→slot mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayTable<T> {
+    name: &'static str,
+    entries: Vec<Option<T>>,
+    writes: u64,
+}
+
+impl<T: Clone> OverlayTable<T> {
+    /// Creates an empty overlay table called `name` with `depth` entries.
+    pub fn new(name: &'static str, depth: usize) -> Self {
+        OverlayTable {
+            name,
+            entries: vec![None; depth],
+            writes: 0,
+        }
+    }
+
+    /// Table depth (the maximum number of concurrently loaded modules).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Writes the entry for `slot`, replacing whatever was there.
+    pub fn write(&mut self, slot: usize, entry: T) -> Result<()> {
+        let depth = self.entries.len();
+        let cell = self.entries.get_mut(slot).ok_or_else(|| {
+            CoreError::InsufficientResource {
+                resource: format!("{} slots", self.name),
+                requested: slot + 1,
+                available: depth,
+            }
+        })?;
+        *cell = Some(entry);
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Clears the entry for `slot`.
+    pub fn clear(&mut self, slot: usize) -> Result<()> {
+        let depth = self.entries.len();
+        let cell = self.entries.get_mut(slot).ok_or_else(|| {
+            CoreError::InsufficientResource {
+                resource: format!("{} slots", self.name),
+                requested: slot + 1,
+                available: depth,
+            }
+        })?;
+        *cell = None;
+        Ok(())
+    }
+
+    /// Reads the entry for `slot` (the per-packet configuration fetch).
+    pub fn read(&self, slot: usize) -> Option<&T> {
+        self.entries.get(slot).and_then(|e| e.as_ref())
+    }
+
+    /// Total number of writes ever performed (reconfiguration statistic).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// The table's name (for error messages and cost accounting).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_clear() {
+        let mut table: OverlayTable<u32> = OverlayTable::new("key extractor", 4);
+        assert_eq!(table.depth(), 4);
+        assert_eq!(table.occupancy(), 0);
+        table.write(2, 0xabcd).unwrap();
+        assert_eq!(table.read(2), Some(&0xabcd));
+        assert_eq!(table.read(1), None);
+        assert_eq!(table.occupancy(), 1);
+        table.clear(2).unwrap();
+        assert_eq!(table.read(2), None);
+        assert_eq!(table.write_count(), 1);
+        assert_eq!(table.name(), "key extractor");
+    }
+
+    #[test]
+    fn out_of_range_slots_rejected() {
+        let mut table: OverlayTable<u8> = OverlayTable::new("parser", 2);
+        assert!(table.write(2, 1).is_err());
+        assert!(table.clear(2).is_err());
+        assert_eq!(table.read(2), None);
+    }
+
+    #[test]
+    fn writing_one_slot_does_not_affect_others() {
+        let mut table: OverlayTable<String> = OverlayTable::new("deparser", 32);
+        for slot in 0..32 {
+            table.write(slot, format!("module-{slot}")).unwrap();
+        }
+        // Overwrite slot 7 repeatedly; all other slots must be untouched.
+        for i in 0..10 {
+            table.write(7, format!("new-{i}")).unwrap();
+        }
+        for slot in 0..32 {
+            if slot == 7 {
+                assert_eq!(table.read(slot), Some(&"new-9".to_string()));
+            } else {
+                assert_eq!(table.read(slot), Some(&format!("module-{slot}")));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Isolation invariant: a sequence of writes to slot `a` never changes
+        /// what is stored at slot `b != a`.
+        #[test]
+        fn overlay_writes_are_isolated(
+            a in 0usize..32,
+            b in 0usize..32,
+            initial in any::<u64>(),
+            writes in proptest::collection::vec(any::<u64>(), 1..20),
+        ) {
+            prop_assume!(a != b);
+            let mut table: OverlayTable<u64> = OverlayTable::new("test", 32);
+            table.write(b, initial).unwrap();
+            for w in &writes {
+                table.write(a, *w).unwrap();
+            }
+            prop_assert_eq!(table.read(b), Some(&initial));
+            prop_assert_eq!(table.read(a), writes.last());
+        }
+    }
+}

@@ -1,0 +1,980 @@
+//! The Menshen pipeline: a multi-module RMT pipeline with isolation.
+//!
+//! [`MenshenPipeline`] composes the baseline RMT hardware (stages from
+//! `menshen-rmt`) with Menshen's isolation primitives:
+//!
+//! * the **packet filter** (VLAN check, reconfiguration-packet separation,
+//!   "being reconfigured" bitmap, buffer-tag round robin);
+//! * **overlay tables** for the parser, deparser, key extractor, key mask and
+//!   segment table — one entry per module, indexed per packet by module ID;
+//! * **space partitioning** of CAM/action entries and stateful memory through
+//!   contiguous per-module ranges;
+//! * the **module ID appended to match keys**, so lookups can never hit
+//!   another module's entries;
+//! * the **system-level module** wrapped around tenant processing;
+//! * the **daisy-chain reconfiguration path**, which is the *only* way to
+//!   write configuration — reconfiguration packets arriving on the data path
+//!   are dropped (§3.1 "secure reconfiguration").
+
+use crate::error::CoreError;
+use crate::module::{ModuleConfig, ModuleId};
+use crate::overlay::OverlayTable;
+use crate::packet_filter::{FilterDecision, PacketFilter};
+use crate::partition::{Allocation, RangeAllocator};
+use crate::reconfig::{ReconfigCommand, ResourceKind, WritePayload};
+use crate::segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
+use crate::system_module::{ForwardingDecision, SystemModule};
+use crate::Result;
+use menshen_packet::{Ipv4Address, Packet};
+use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
+use menshen_rmt::match_table::MatchEntry;
+use menshen_rmt::params::PipelineParams;
+use menshen_rmt::parser;
+use menshen_rmt::phv::Phv;
+use menshen_rmt::stage::{StageConfig, StageHardware};
+use menshen_rmt::deparser;
+use std::collections::HashMap;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No VLAN tag, so no module ID.
+    NoVlan,
+    /// The VLAN ID does not correspond to any loaded module.
+    UnknownModule,
+    /// The packet's module is currently being reconfigured.
+    BeingReconfigured,
+    /// The module's program executed a `discard` action.
+    ModuleDiscard,
+    /// A reconfiguration packet arrived on the untrusted data path.
+    UntrustedReconfiguration,
+}
+
+/// The pipeline's verdict for one packet.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The packet was processed and forwarded to `ports`.
+    Forwarded {
+        /// The (possibly rewritten) packet.
+        packet: Packet,
+        /// Egress ports (one for unicast, several for multicast).
+        ports: Vec<u16>,
+        /// The final PHV (for tests and oracles).
+        phv: Phv,
+        /// The module that processed the packet.
+        module_id: u16,
+    },
+    /// The packet was dropped.
+    Dropped {
+        /// Why it was dropped.
+        reason: DropReason,
+        /// The module it belonged to, when known.
+        module_id: Option<u16>,
+    },
+}
+
+impl Verdict {
+    /// True if the packet was forwarded.
+    pub fn is_forwarded(&self) -> bool {
+        matches!(self, Verdict::Forwarded { .. })
+    }
+
+    /// The forwarded packet, if any.
+    pub fn packet(&self) -> Option<&Packet> {
+        match self {
+            Verdict::Forwarded { packet, .. } => Some(packet),
+            Verdict::Dropped { .. } => None,
+        }
+    }
+}
+
+/// Per-module traffic counters (the performance-isolation statistics of §5.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleCounters {
+    /// Packets admitted for this module.
+    pub packets_in: u64,
+    /// Packets forwarded for this module.
+    pub packets_out: u64,
+    /// Packets dropped (by discard actions or reconfiguration).
+    pub packets_dropped: u64,
+    /// Bytes admitted.
+    pub bytes_in: u64,
+    /// Bytes forwarded.
+    pub bytes_out: u64,
+}
+
+/// Software-side record of one loaded module.
+#[derive(Debug, Clone)]
+struct ModuleRuntime {
+    slot: usize,
+    name: String,
+    cam_ranges: Vec<Allocation>,
+    stateful_ranges: Vec<Allocation>,
+    counters: ModuleCounters,
+}
+
+/// Report returned by [`MenshenPipeline::load_module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// The overlay-table slot assigned to the module.
+    pub slot: usize,
+    /// Number of reconfiguration packets (daisy-chain writes) it took to load
+    /// the module — the quantity Figure 9's configuration-time model uses.
+    pub reconfig_packets: usize,
+}
+
+/// One match-action stage plus its Menshen isolation primitives.
+#[derive(Debug, Clone)]
+struct MenshenStage {
+    hw: StageHardware,
+    key_extract: OverlayTable<KeyExtractEntry>,
+    key_mask: OverlayTable<KeyMask>,
+    segment: SegmentTable,
+    cam_alloc: RangeAllocator,
+    stateful_alloc: RangeAllocator,
+}
+
+impl MenshenStage {
+    fn new(params: &PipelineParams, stage_index: usize) -> Self {
+        MenshenStage {
+            hw: StageHardware::new(params),
+            key_extract: OverlayTable::new("key extractor table", params.overlay_depth),
+            key_mask: OverlayTable::new("key mask table", params.overlay_depth),
+            segment: SegmentTable::new(params.overlay_depth),
+            cam_alloc: RangeAllocator::new(
+                format!("match entries, stage {stage_index}"),
+                params.cam_depth,
+            ),
+            stateful_alloc: RangeAllocator::new(
+                format!("stateful memory, stage {stage_index}"),
+                params.stateful_words,
+            ),
+        }
+    }
+}
+
+/// The Menshen pipeline.
+#[derive(Debug, Clone)]
+pub struct MenshenPipeline {
+    params: PipelineParams,
+    filter: PacketFilter,
+    parser_table: OverlayTable<ParserEntry>,
+    deparser_table: OverlayTable<ParserEntry>,
+    stages: Vec<MenshenStage>,
+    system: SystemModule,
+    modules: HashMap<u16, ModuleRuntime>,
+    slots: Vec<Option<u16>>,
+    cycle: u64,
+}
+
+impl MenshenPipeline {
+    /// Creates an empty pipeline with the given parameters.
+    pub fn new(params: PipelineParams) -> Self {
+        MenshenPipeline {
+            filter: PacketFilter::new(),
+            parser_table: OverlayTable::new("parser table", params.overlay_depth),
+            deparser_table: OverlayTable::new("deparser table", params.overlay_depth),
+            stages: (0..params.num_stages)
+                .map(|i| MenshenStage::new(&params, i))
+                .collect(),
+            system: SystemModule::new(),
+            modules: HashMap::new(),
+            slots: vec![None; params.overlay_depth],
+            cycle: 0,
+            params,
+        }
+    }
+
+    /// Creates a pipeline with the prototype parameters of Table 5.
+    pub fn with_default_params() -> Self {
+        Self::new(PipelineParams::default())
+    }
+
+    /// The pipeline's parameters.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Mutable access to the system-level module (to install routes, virtual
+    /// IPs and multicast groups).
+    pub fn system_mut(&mut self) -> &mut SystemModule {
+        &mut self.system
+    }
+
+    /// Read access to the system-level module.
+    pub fn system(&self) -> &SystemModule {
+        &self.system
+    }
+
+    /// Read access to the packet filter (its software registers).
+    pub fn filter(&self) -> &PacketFilter {
+        &self.filter
+    }
+
+    /// The module IDs currently loaded.
+    pub fn loaded_modules(&self) -> Vec<ModuleId> {
+        let mut ids: Vec<_> = self.modules.keys().map(|&id| ModuleId::new(id)).collect();
+        ids.sort();
+        ids
+    }
+
+    /// The slot a module occupies, if loaded.
+    pub fn module_slot(&self, module: ModuleId) -> Option<usize> {
+        self.modules.get(&module.value()).map(|m| m.slot)
+    }
+
+    /// Traffic counters for a module.
+    pub fn module_counters(&self, module: ModuleId) -> Option<ModuleCounters> {
+        self.modules.get(&module.value()).map(|m| m.counters)
+    }
+
+    /// Number of free module slots.
+    pub fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// The contiguous CAM range partitioned to `module` in `stage` at load
+    /// time, if the module is loaded.
+    pub fn module_cam_range(&self, module: ModuleId, stage: usize) -> Option<Allocation> {
+        self.modules
+            .get(&module.value())
+            .and_then(|m| m.cam_ranges.get(stage))
+            .copied()
+    }
+
+    /// The module ID that owns the CAM entry at `(stage, index)`, if occupied.
+    pub fn cam_entry_owner(&self, stage: usize, index: usize) -> Option<u16> {
+        self.stages.get(stage)?.hw.cam.entry(index).map(|e| e.module_id)
+    }
+
+    /// True if the CAM address at `(stage, index)` lies inside the range
+    /// space-partitioned to a module other than `module`.
+    pub fn cam_index_reserved_for_other(&self, stage: usize, index: usize, module: ModuleId) -> bool {
+        self.stages
+            .get(stage)
+            .map(|s| {
+                s.cam_alloc
+                    .allocations()
+                    .any(|(owner, range)| owner != module && range.contains(index))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Reads one word of a module's stateful memory in `stage`, through the
+    /// module's segment translation (the software statistics path).
+    pub fn read_stateful(&self, module: ModuleId, stage: usize, local_address: u32) -> Option<u64> {
+        let runtime = self.modules.get(&module.value())?;
+        let stage_ref = self.stages.get(stage)?;
+        let physical = stage_ref.segment.translate(runtime.slot, local_address)?;
+        stage_ref.hw.stateful.peek(physical)
+    }
+
+    // -----------------------------------------------------------------------
+    // Module lifecycle
+    // -----------------------------------------------------------------------
+
+    /// Builds the sequence of reconfiguration commands that loads `config`
+    /// given a slot assignment and per-stage allocations. Exposed so the
+    /// software interface and the configuration-time model can count and
+    /// replay exactly the packets the daisy chain would carry.
+    fn build_load_commands(
+        &self,
+        config: &ModuleConfig,
+        slot: usize,
+        cam_ranges: &[Allocation],
+        stateful_ranges: &[Allocation],
+    ) -> Vec<ReconfigCommand> {
+        let mut commands = Vec::new();
+        commands.push(ReconfigCommand::write(
+            ResourceKind::Parser,
+            0,
+            slot as u8,
+            WritePayload::Parser(config.parser.clone()),
+        ));
+        commands.push(ReconfigCommand::write(
+            ResourceKind::Deparser,
+            0,
+            slot as u8,
+            WritePayload::Deparser(config.deparser.clone()),
+        ));
+        for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
+            let stage = stage_idx as u8;
+            if let Some(entry) = stage_cfg.key_extract {
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::KeyExtractor,
+                    stage,
+                    slot as u8,
+                    WritePayload::KeyExtract(entry),
+                ));
+            }
+            if let Some(mask) = stage_cfg.key_mask {
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::KeyMask,
+                    stage,
+                    slot as u8,
+                    WritePayload::KeyMask(mask),
+                ));
+            }
+            let cam_base = cam_ranges.get(stage_idx).map(|a| a.start).unwrap_or(0);
+            for (i, rule) in stage_cfg.rules.iter().enumerate() {
+                let index = (cam_base + i) as u8;
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::MatchTable,
+                    stage,
+                    index,
+                    WritePayload::MatchEntry {
+                        key: rule.key,
+                        module_id: config.module_id.value(),
+                    },
+                ));
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::ActionTable,
+                    stage,
+                    index,
+                    WritePayload::Action(rule.action.clone()),
+                ));
+            }
+            if stage_cfg.stateful_words > 0 {
+                let range = stateful_ranges.get(stage_idx).copied().unwrap_or(Allocation {
+                    start: 0,
+                    len: 0,
+                });
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::SegmentTable,
+                    stage,
+                    slot as u8,
+                    WritePayload::Segment(SegmentEntry::new(range.start as u32, range.len as u32)),
+                ));
+            }
+        }
+        commands
+    }
+
+    /// Loads a compiled module onto the pipeline.
+    ///
+    /// This performs what the Menshen software does at load time: assign a
+    /// module slot, carve out the module's share of each space-partitioned
+    /// resource, mark the module as being reconfigured in the packet filter,
+    /// stream the configuration in via the daisy chain, and finally clear the
+    /// reconfiguration bit. Other modules' state is never touched.
+    pub fn load_module(&mut self, config: &ModuleConfig) -> Result<LoadReport> {
+        let module_id = config.module_id;
+        if self.modules.contains_key(&module_id.value()) {
+            return Err(CoreError::ModuleAlreadyLoaded {
+                module_id: module_id.value(),
+            });
+        }
+        if config.stages.len() > self.params.num_stages {
+            return Err(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
+                table: "pipeline stages",
+                index: config.stages.len(),
+                depth: self.params.num_stages,
+            }));
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(CoreError::NoFreeModuleSlot {
+                capacity: self.params.overlay_depth,
+            })?;
+
+        // Space partitioning: reserve CAM and stateful ranges in every stage
+        // the module uses. Roll back on failure so a rejected module leaves
+        // no residue.
+        let mut cam_ranges = Vec::new();
+        let mut stateful_ranges = Vec::new();
+        for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
+            let stage = &mut self.stages[stage_idx];
+            let cam = match stage.cam_alloc.allocate(module_id, stage_cfg.rules.len()) {
+                Ok(a) => a,
+                Err(e) => {
+                    self.rollback_allocations(module_id, stage_idx);
+                    return Err(e);
+                }
+            };
+            let stateful = match stage.stateful_alloc.allocate(module_id, stage_cfg.stateful_words) {
+                Ok(a) => a,
+                Err(e) => {
+                    stage.cam_alloc.release(module_id);
+                    self.rollback_allocations(module_id, stage_idx);
+                    return Err(e);
+                }
+            };
+            cam_ranges.push(cam);
+            stateful_ranges.push(stateful);
+        }
+
+        let commands = self.build_load_commands(config, slot, &cam_ranges, &stateful_ranges);
+
+        // Reconfiguration proper: mark the module, stream the packets, unmark.
+        self.filter.bind_slot(slot, module_id.value());
+        self.filter.mark_reconfiguring(slot);
+        let mut applied = 0;
+        for command in &commands {
+            self.apply_command(command)?;
+            applied += 1;
+        }
+        self.filter.clear_reconfiguring(slot);
+
+        self.slots[slot] = Some(module_id.value());
+        self.modules.insert(
+            module_id.value(),
+            ModuleRuntime {
+                slot,
+                name: config.name.clone(),
+                cam_ranges,
+                stateful_ranges,
+                counters: ModuleCounters::default(),
+            },
+        );
+        Ok(LoadReport {
+            slot,
+            reconfig_packets: applied,
+        })
+    }
+
+    fn rollback_allocations(&mut self, module: ModuleId, up_to_stage: usize) {
+        for stage in &mut self.stages[..up_to_stage] {
+            stage.cam_alloc.release(module);
+            stage.stateful_alloc.release(module);
+        }
+    }
+
+    /// Updates an already-loaded module with a new configuration. The module's
+    /// packets are dropped while the update streams in (the Figure 10
+    /// experiment); other modules keep forwarding throughout.
+    pub fn update_module(&mut self, config: &ModuleConfig) -> Result<LoadReport> {
+        let module_id = config.module_id;
+        if !self.modules.contains_key(&module_id.value()) {
+            return Err(CoreError::UnknownModule {
+                module_id: module_id.value(),
+            });
+        }
+        // The prototype reconfigures by rewriting the module's entries; the
+        // simplest faithful model is unload + load preserving the counters.
+        let counters = self.modules[&module_id.value()].counters;
+        self.unload_module(module_id)?;
+        let report = self.load_module(config)?;
+        if let Some(runtime) = self.modules.get_mut(&module_id.value()) {
+            runtime.counters = counters;
+        }
+        Ok(report)
+    }
+
+    /// Unloads a module: clears its overlay entries, match entries, stateful
+    /// memory range, and frees its slot.
+    pub fn unload_module(&mut self, module: ModuleId) -> Result<()> {
+        let runtime = self
+            .modules
+            .remove(&module.value())
+            .ok_or(CoreError::UnknownModule {
+                module_id: module.value(),
+            })?;
+        let slot = runtime.slot;
+        self.parser_table.clear(slot)?;
+        self.deparser_table.clear(slot)?;
+        for (stage_idx, stage) in self.stages.iter_mut().enumerate() {
+            stage.key_extract.clear(slot)?;
+            stage.key_mask.clear(slot)?;
+            let _ = stage.segment.clear(slot);
+            stage.hw.cam.clear_module(module.value());
+            stage.cam_alloc.release(module);
+            if let Some(range) = runtime.stateful_ranges.get(stage_idx) {
+                if range.len > 0 {
+                    stage
+                        .hw
+                        .stateful
+                        .clear_range(range.start as u32, range.len as u32)
+                        .map_err(CoreError::Rmt)?;
+                }
+            }
+            stage.stateful_alloc.release(module);
+        }
+        self.filter.unbind_slot(slot);
+        self.slots[slot] = None;
+        Ok(())
+    }
+
+    /// The human-readable name a module was loaded with.
+    pub fn module_name(&self, module: ModuleId) -> Option<&str> {
+        self.modules.get(&module.value()).map(|m| m.name.as_str())
+    }
+
+    // -----------------------------------------------------------------------
+    // Reconfiguration (trusted path)
+    // -----------------------------------------------------------------------
+
+    /// Applies one reconfiguration command, as the daisy chain would when the
+    /// corresponding reconfiguration packet passes the target element.
+    pub fn apply_command(&mut self, command: &ReconfigCommand) -> Result<()> {
+        let stage_idx = usize::from(command.stage);
+        let index = usize::from(command.index);
+        match (&command.payload, command.kind) {
+            (WritePayload::Parser(entry), _) => self.parser_table.write(index, entry.clone())?,
+            (WritePayload::Deparser(entry), _) => self.deparser_table.write(index, entry.clone())?,
+            (WritePayload::KeyExtract(entry), _) => {
+                self.stage_mut(stage_idx)?.key_extract.write(index, *entry)?
+            }
+            (WritePayload::KeyMask(mask), _) => {
+                self.stage_mut(stage_idx)?.key_mask.write(index, *mask)?
+            }
+            (WritePayload::MatchEntry { key, module_id }, _) => {
+                self.stage_mut(stage_idx)?
+                    .hw
+                    .cam
+                    .install(
+                        index,
+                        MatchEntry {
+                            key: *key,
+                            module_id: *module_id,
+                            action_index: index as u16,
+                        },
+                    )
+                    .map_err(CoreError::Rmt)?;
+            }
+            (WritePayload::Action(action), _) => {
+                self.stage_mut(stage_idx)?
+                    .hw
+                    .install_action(index, action.clone())
+                    .map_err(CoreError::Rmt)?;
+            }
+            (WritePayload::Segment(entry), _) => {
+                self.stage_mut(stage_idx)?.segment.write(index, *entry)?
+            }
+            (WritePayload::Clear, ResourceKind::MatchTable) => {
+                self.stage_mut(stage_idx)?
+                    .hw
+                    .cam
+                    .remove(index)
+                    .map_err(CoreError::Rmt)?;
+            }
+            (WritePayload::Clear, ResourceKind::Parser) => self.parser_table.clear(index)?,
+            (WritePayload::Clear, ResourceKind::Deparser) => self.deparser_table.clear(index)?,
+            (WritePayload::Clear, ResourceKind::KeyExtractor) => {
+                self.stage_mut(stage_idx)?.key_extract.clear(index)?
+            }
+            (WritePayload::Clear, ResourceKind::KeyMask) => {
+                self.stage_mut(stage_idx)?.key_mask.clear(index)?
+            }
+            (WritePayload::Clear, ResourceKind::SegmentTable) => {
+                self.stage_mut(stage_idx)?.segment.clear(index)?
+            }
+            (WritePayload::Clear, ResourceKind::ActionTable) => {
+                self.stage_mut(stage_idx)?
+                    .hw
+                    .install_action(index, menshen_rmt::action::VliwAction::nop())
+                    .map_err(CoreError::Rmt)?;
+            }
+        }
+        self.filter.count_reconfig_packet();
+        Ok(())
+    }
+
+    /// Applies a reconfiguration *packet* arriving over the trusted path
+    /// (PCIe → daisy chain). Untrusted (data-path) reconfiguration attempts
+    /// must go through [`process`](Self::process), which drops them.
+    pub fn apply_reconfiguration_packet(&mut self, packet: &Packet) -> Result<()> {
+        let command = ReconfigCommand::from_packet(packet)?;
+        self.apply_command(&command)
+    }
+
+    fn stage_mut(&mut self, stage: usize) -> Result<&mut MenshenStage> {
+        let depth = self.stages.len();
+        self.stages
+            .get_mut(stage)
+            .ok_or(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
+                table: "pipeline stages",
+                index: stage,
+                depth,
+            }))
+    }
+
+    // -----------------------------------------------------------------------
+    // Data path
+    // -----------------------------------------------------------------------
+
+    /// Pushes one packet through the data path and returns the verdict.
+    pub fn process(&mut self, packet: Packet) -> Verdict {
+        self.cycle += 1;
+        let decision = self.filter.classify(&packet);
+        let (module_id, buffer_tag) = match decision {
+            FilterDecision::Reconfiguration => {
+                // Data-path reconfiguration attempts are untrusted and dropped.
+                return Verdict::Dropped {
+                    reason: DropReason::UntrustedReconfiguration,
+                    module_id: None,
+                };
+            }
+            FilterDecision::DropNoVlan => {
+                return Verdict::Dropped {
+                    reason: DropReason::NoVlan,
+                    module_id: None,
+                }
+            }
+            FilterDecision::DropBeingReconfigured { module_id } => {
+                if let Some(runtime) = self.modules.get_mut(&module_id) {
+                    runtime.counters.packets_dropped += 1;
+                }
+                return Verdict::Dropped {
+                    reason: DropReason::BeingReconfigured,
+                    module_id: Some(module_id),
+                };
+            }
+            FilterDecision::Data { module_id, buffer_tag } => (module_id, buffer_tag),
+        };
+
+        let slot = match self.modules.get(&module_id).map(|m| m.slot) {
+            Some(slot) => slot,
+            None => {
+                return Verdict::Dropped {
+                    reason: DropReason::UnknownModule,
+                    module_id: Some(module_id),
+                }
+            }
+        };
+
+        let packet_len = packet.len();
+        if let Some(runtime) = self.modules.get_mut(&module_id) {
+            runtime.counters.packets_in += 1;
+            runtime.counters.bytes_in += packet_len as u64;
+        }
+
+        // Parse with the module's own parser entry.
+        let parser_entry = self.parser_table.read(slot).cloned().unwrap_or_default();
+        let mut phv = match parser::parse(&packet, &parser_entry, module_id) {
+            Ok(phv) => phv,
+            Err(_) => {
+                if let Some(runtime) = self.modules.get_mut(&module_id) {
+                    runtime.counters.packets_dropped += 1;
+                }
+                return Verdict::Dropped {
+                    reason: DropReason::ModuleDiscard,
+                    module_id: Some(module_id),
+                };
+            }
+        };
+        phv.metadata.buffer_tag = 1 << buffer_tag;
+
+        // System-level module, first half.
+        self.system.ingress(&mut phv, packet_len, self.cycle);
+
+        // Tenant stages with per-module overlay configuration.
+        for stage in &mut self.stages {
+            let config = StageConfig {
+                key_extract: stage.key_extract.read(slot).copied().unwrap_or_default(),
+                key_mask: stage.key_mask.read(slot).copied().unwrap_or_default(),
+            };
+            let translator = SegmentTranslator::new(stage.segment.read(slot));
+            stage.hw.process(&mut phv, &config, &translator);
+        }
+
+        if phv.metadata.discard {
+            if let Some(runtime) = self.modules.get_mut(&module_id) {
+                runtime.counters.packets_dropped += 1;
+            }
+            return Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                module_id: Some(module_id),
+            };
+        }
+
+        // Deparse with the module's deparser entry.
+        let mut packet = packet;
+        let deparser_entry = self.deparser_table.read(slot).cloned().unwrap_or_default();
+        if deparser::deparse(&mut packet, &phv, &deparser_entry).is_err() {
+            if let Some(runtime) = self.modules.get_mut(&module_id) {
+                runtime.counters.packets_dropped += 1;
+            }
+            return Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                module_id: Some(module_id),
+            };
+        }
+
+        // System-level module, second half: routing / multicast.
+        let dst_ip = packet.ipv4_dst().unwrap_or(Ipv4Address::new(0, 0, 0, 0));
+        let ports = match self.system.egress(module_id, dst_ip, &phv) {
+            ForwardingDecision::Unicast(port) => vec![port],
+            ForwardingDecision::Multicast(ports) => ports,
+        };
+
+        if let Some(runtime) = self.modules.get_mut(&module_id) {
+            runtime.counters.packets_out += 1;
+            runtime.counters.bytes_out += packet.len() as u64;
+        }
+
+        Verdict::Forwarded {
+            packet,
+            ports,
+            phv,
+            module_id,
+        }
+    }
+
+    /// Marks a module as being reconfigured (software register write); its
+    /// packets are dropped until [`end_reconfiguration`](Self::end_reconfiguration).
+    pub fn begin_reconfiguration(&mut self, module: ModuleId) -> Result<()> {
+        let slot = self
+            .module_slot(module)
+            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+        self.filter.mark_reconfiguring(slot);
+        Ok(())
+    }
+
+    /// Clears a module's reconfiguration mark.
+    pub fn end_reconfiguration(&mut self, module: ModuleId) -> Result<()> {
+        let slot = self
+            .module_slot(module)
+            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+        self.filter.clear_reconfiguring(slot);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{MatchRule, StageModuleConfig};
+    use menshen_packet::PacketBuilder;
+    use menshen_rmt::action::{AluInstruction, VliwAction};
+    use menshen_rmt::config::ParseAction;
+    use menshen_rmt::match_table::LookupKey;
+    use menshen_rmt::phv::ContainerRef as C;
+    use menshen_rmt::TABLE5;
+
+    /// A minimal module: match on dst IP (h4(1)), rewrite the UDP dst port to
+    /// `rewrite_port` and count packets in stateful word 0.
+    fn simple_module(module_id: u16, dst_ip: u32, rewrite_port: u16) -> ModuleConfig {
+        let mut config = ModuleConfig::empty(ModuleId::new(module_id), format!("m{module_id}"), 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        let key = LookupKey::from_slots(
+            [(0, 6), (0, 6), (u64::from(dst_ip), 4), (0, 4), (0, 2), (0, 2)],
+            false,
+        );
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry { slots_4b: [1, 0], ..Default::default() }),
+            key_mask: Some(KeyMask::for_slots([false, false, true, false, false, false], false)),
+            rules: vec![MatchRule {
+                key,
+                action: VliwAction::nop()
+                    .with(C::h2(0), AluInstruction::set(rewrite_port))
+                    .with(C::h4(7), AluInstruction::loadd(0)),
+            }],
+            stateful_words: 16,
+        };
+        config
+    }
+
+    fn packet_for(module: u16, dst_last_octet: u8) -> Packet {
+        PacketBuilder::udp_data(
+            module,
+            [10, 0, 0, 1],
+            [10, 0, 0, dst_last_octet],
+            5000,
+            80,
+            &[0u8; 8],
+        )
+    }
+
+    #[test]
+    fn load_and_process_single_module() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let report = pipeline.load_module(&simple_module(7, 0x0a00_0002, 9999)).unwrap();
+        assert_eq!(report.slot, 0);
+        assert!(report.reconfig_packets >= 5);
+        assert_eq!(pipeline.loaded_modules(), vec![ModuleId::new(7)]);
+        assert_eq!(pipeline.module_name(ModuleId::new(7)), Some("m7"));
+
+        let verdict = pipeline.process(packet_for(7, 2));
+        match verdict {
+            Verdict::Forwarded { packet, module_id, .. } => {
+                assert_eq!(module_id, 7);
+                assert_eq!(packet.udp_dst_port(), Some(9999));
+            }
+            other => panic!("expected forwarded, got {other:?}"),
+        }
+        // The per-module stateful counter incremented through the segment table.
+        assert_eq!(pipeline.read_stateful(ModuleId::new(7), 0, 0), Some(1));
+        let counters = pipeline.module_counters(ModuleId::new(7)).unwrap();
+        assert_eq!(counters.packets_in, 1);
+        assert_eq!(counters.packets_out, 1);
+    }
+
+    #[test]
+    fn two_modules_same_key_do_not_interfere() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+
+        let v1 = pipeline.process(packet_for(1, 2));
+        let v2 = pipeline.process(packet_for(2, 2));
+        assert_eq!(v1.packet().unwrap().udp_dst_port(), Some(1111));
+        assert_eq!(v2.packet().unwrap().udp_dst_port(), Some(2222));
+        // Stateful counters are independent despite both using local address 0.
+        assert_eq!(pipeline.read_stateful(ModuleId::new(1), 0, 0), Some(1));
+        assert_eq!(pipeline.read_stateful(ModuleId::new(2), 0, 0), Some(1));
+    }
+
+    #[test]
+    fn unknown_and_untagged_packets_dropped() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        match pipeline.process(packet_for(9, 2)) {
+            Verdict::Dropped { reason, module_id } => {
+                assert_eq!(reason, DropReason::UnknownModule);
+                assert_eq!(module_id, Some(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut builder = PacketBuilder::new();
+        builder.vlan = None;
+        let untagged = builder.build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[]);
+        assert!(matches!(
+            pipeline.process(untagged),
+            Verdict::Dropped { reason: DropReason::NoVlan, .. }
+        ));
+    }
+
+    #[test]
+    fn data_path_reconfiguration_is_rejected() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        // A tenant crafts a reconfiguration packet and sends it on the data path.
+        let malicious = ReconfigCommand::write(
+            ResourceKind::KeyMask,
+            0,
+            0,
+            WritePayload::KeyMask(KeyMask::default()),
+        )
+        .to_packet();
+        let before = pipeline.filter().reconfig_counter();
+        let verdict = pipeline.process(malicious);
+        assert!(matches!(
+            verdict,
+            Verdict::Dropped { reason: DropReason::UntrustedReconfiguration, .. }
+        ));
+        assert_eq!(
+            pipeline.filter().reconfig_counter(),
+            before,
+            "no configuration write happened"
+        );
+        // The module still works (its key mask was not zeroed).
+        let v = pipeline.process(packet_for(1, 2));
+        assert_eq!(v.packet().unwrap().udp_dst_port(), Some(1111));
+    }
+
+    #[test]
+    fn trusted_reconfiguration_packet_applies() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        let packet = ReconfigCommand::write(
+            ResourceKind::SegmentTable,
+            2,
+            0,
+            WritePayload::Segment(SegmentEntry::new(256, 32)),
+        )
+        .to_packet();
+        pipeline.apply_reconfiguration_packet(&packet).unwrap();
+        assert!(pipeline.filter().reconfig_counter() > 0);
+    }
+
+    #[test]
+    fn module_packing_limited_by_overlay_depth_and_cam() {
+        // With one match entry per stage per module, the CAM (16 entries)
+        // limits packing to 16 modules (§5.2).
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let mut loaded = 0;
+        for id in 1..=40u16 {
+            let config = simple_module(id, 0x0a00_0002, id);
+            if pipeline.load_module(&config).is_ok() {
+                loaded += 1;
+            }
+        }
+        assert_eq!(loaded, 16);
+        // With no match entries, packing is limited by the 32 overlay slots.
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let mut loaded = 0;
+        for id in 1..=40u16 {
+            let config = ModuleConfig::empty(ModuleId::new(id), "tiny", 5);
+            if pipeline.load_module(&config).is_ok() {
+                loaded += 1;
+            }
+        }
+        assert_eq!(loaded, 32);
+        assert_eq!(pipeline.free_slots(), 0);
+    }
+
+    #[test]
+    fn unload_frees_resources_and_clears_state() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline.process(packet_for(1, 2));
+        assert_eq!(pipeline.read_stateful(ModuleId::new(1), 0, 0), Some(1));
+        pipeline.unload_module(ModuleId::new(1)).unwrap();
+        assert!(pipeline.loaded_modules().is_empty());
+        assert!(pipeline.read_stateful(ModuleId::new(1), 0, 0).is_none());
+        // A new module re-using the same slot and stateful range starts clean.
+        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        assert_eq!(pipeline.read_stateful(ModuleId::new(2), 0, 0), Some(0));
+        // Unloading an unknown module errors.
+        assert!(pipeline.unload_module(ModuleId::new(5)).is_err());
+    }
+
+    #[test]
+    fn reconfiguration_drops_only_that_module() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline.begin_reconfiguration(ModuleId::new(1)).unwrap();
+        assert!(matches!(
+            pipeline.process(packet_for(1, 2)),
+            Verdict::Dropped { reason: DropReason::BeingReconfigured, .. }
+        ));
+        assert!(pipeline.process(packet_for(2, 2)).is_forwarded());
+        pipeline.end_reconfiguration(ModuleId::new(1)).unwrap();
+        assert!(pipeline.process(packet_for(1, 2)).is_forwarded());
+        assert!(pipeline.begin_reconfiguration(ModuleId::new(9)).is_err());
+    }
+
+    #[test]
+    fn update_module_changes_behaviour_without_touching_others() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline.process(packet_for(2, 2));
+        let before = pipeline.module_counters(ModuleId::new(2)).unwrap();
+
+        pipeline.update_module(&simple_module(1, 0x0a00_0002, 7777)).unwrap();
+        let v1 = pipeline.process(packet_for(1, 2));
+        assert_eq!(v1.packet().unwrap().udp_dst_port(), Some(7777));
+        let v2 = pipeline.process(packet_for(2, 2));
+        assert_eq!(v2.packet().unwrap().udp_dst_port(), Some(2222));
+        let after = pipeline.module_counters(ModuleId::new(2)).unwrap();
+        assert_eq!(after.packets_in, before.packets_in + 1);
+        // Updating an unloaded module errors.
+        assert!(pipeline.update_module(&simple_module(9, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn system_module_routes_forwarded_packets() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.system_mut().add_route(Ipv4Address::new(10, 0, 0, 2), 42);
+        pipeline.system_mut().set_default_port(1);
+        let mut config = simple_module(3, 0x0a00_0002, 8080);
+        // Remove the explicit port so the system module decides.
+        config.stages[0].rules[0].action = VliwAction::nop()
+            .with(C::h2(0), AluInstruction::set(8080));
+        pipeline.load_module(&config).unwrap();
+        match pipeline.process(packet_for(3, 2)) {
+            Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![42]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(pipeline.system().stats().link_packets > 0);
+    }
+}

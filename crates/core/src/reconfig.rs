@@ -1,0 +1,408 @@
+//! Reconfiguration packets and the daisy-chain configuration path.
+//!
+//! The pipeline is reconfigured exclusively through *reconfiguration packets*
+//! travelling on a daisy chain that is physically separate from the data path
+//! (§3.1, Appendix A). A reconfiguration packet is a UDP datagram with
+//! destination port `0xf1f2` whose payload names a hardware resource (which
+//! table, in which stage), an entry index, and the new entry bits (Figure 7).
+//!
+//! This module defines the structured form of those commands
+//! ([`ReconfigCommand`]), their wire encoding to/from [`Packet`]s, and the
+//! bookkeeping used by the configuration-time model (each command = one
+//! packet = one daisy-chain write).
+
+use crate::error::CoreError;
+use crate::segment_table::SegmentEntry;
+use crate::Result;
+use menshen_packet::{PacketBuilder, Packet, RECONFIG_UDP_DPORT};
+use menshen_rmt::action::VliwAction;
+use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
+use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::params::KEY_BYTES;
+
+/// Which programmable resource a reconfiguration command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The parser table (stage field ignored).
+    Parser,
+    /// The deparser table (stage field ignored).
+    Deparser,
+    /// A stage's key-extractor table.
+    KeyExtractor,
+    /// A stage's key-mask table.
+    KeyMask,
+    /// A stage's exact-match (CAM) table.
+    MatchTable,
+    /// A stage's VLIW action table.
+    ActionTable,
+    /// A stage's segment table.
+    SegmentTable,
+}
+
+impl ResourceKind {
+    /// 4-bit encoding used inside the 12-bit resource ID.
+    pub const fn code(self) -> u8 {
+        match self {
+            ResourceKind::Parser => 1,
+            ResourceKind::Deparser => 2,
+            ResourceKind::KeyExtractor => 3,
+            ResourceKind::KeyMask => 4,
+            ResourceKind::MatchTable => 5,
+            ResourceKind::ActionTable => 6,
+            ResourceKind::SegmentTable => 7,
+        }
+    }
+
+    /// Decodes the 4-bit resource code.
+    pub fn from_code(code: u8) -> Result<Self> {
+        Ok(match code {
+            1 => ResourceKind::Parser,
+            2 => ResourceKind::Deparser,
+            3 => ResourceKind::KeyExtractor,
+            4 => ResourceKind::KeyMask,
+            5 => ResourceKind::MatchTable,
+            6 => ResourceKind::ActionTable,
+            7 => ResourceKind::SegmentTable,
+            _ => return Err(CoreError::BadReconfigPacket("unknown resource kind")),
+        })
+    }
+}
+
+/// The new entry carried by a reconfiguration command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WritePayload {
+    /// A parser-table entry.
+    Parser(ParserEntry),
+    /// A deparser-table entry.
+    Deparser(ParserEntry),
+    /// A key-extractor entry.
+    KeyExtract(KeyExtractEntry),
+    /// A key-mask entry.
+    KeyMask(KeyMask),
+    /// A CAM entry: the stored key and the owning module ID.
+    MatchEntry {
+        /// The stored (masked) key.
+        key: LookupKey,
+        /// The module that owns this entry.
+        module_id: u16,
+    },
+    /// A VLIW action-table entry.
+    Action(VliwAction),
+    /// A segment-table entry.
+    Segment(SegmentEntry),
+    /// Clears the addressed entry (used when unloading a module).
+    Clear,
+}
+
+impl WritePayload {
+    /// The resource kind this payload is written to.
+    pub fn kind(&self) -> Option<ResourceKind> {
+        Some(match self {
+            WritePayload::Parser(_) => ResourceKind::Parser,
+            WritePayload::Deparser(_) => ResourceKind::Deparser,
+            WritePayload::KeyExtract(_) => ResourceKind::KeyExtractor,
+            WritePayload::KeyMask(_) => ResourceKind::KeyMask,
+            WritePayload::MatchEntry { .. } => ResourceKind::MatchTable,
+            WritePayload::Action(_) => ResourceKind::ActionTable,
+            WritePayload::Segment(_) => ResourceKind::SegmentTable,
+            WritePayload::Clear => return None,
+        })
+    }
+}
+
+/// One reconfiguration command: write `payload` into `kind`'s table of stage
+/// `stage` at entry `index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigCommand {
+    /// Target resource.
+    pub kind: ResourceKind,
+    /// Target stage (0-based; ignored for the parser and deparser).
+    pub stage: u8,
+    /// Entry index within the table: the module slot for overlay tables, the
+    /// CAM/action address for partitioned tables.
+    pub index: u8,
+    /// Whether this command clears the entry rather than writing it.
+    pub clear: bool,
+    /// The entry to write (ignored when `clear` is set).
+    pub payload: WritePayload,
+}
+
+impl ReconfigCommand {
+    /// Convenience constructor for a write command.
+    pub fn write(kind: ResourceKind, stage: u8, index: u8, payload: WritePayload) -> Self {
+        ReconfigCommand { kind, stage, index, clear: false, payload }
+    }
+
+    /// Convenience constructor for a clear command.
+    pub fn clear(kind: ResourceKind, stage: u8, index: u8) -> Self {
+        ReconfigCommand { kind, stage, index, clear: true, payload: WritePayload::Clear }
+    }
+
+    /// The 12-bit resource ID: 4-bit resource kind, 4-bit stage, 1 clear bit.
+    pub fn resource_id(&self) -> u16 {
+        (u16::from(self.kind.code()) & 0xf)
+            | ((u16::from(self.stage) & 0xf) << 4)
+            | (u16::from(self.clear) << 8)
+    }
+
+    /// Serialises the command payload into entry bytes.
+    fn payload_bytes(&self) -> Vec<u8> {
+        match &self.payload {
+            WritePayload::Parser(entry) | WritePayload::Deparser(entry) => entry.encode_bytes(),
+            WritePayload::KeyExtract(entry) => entry.encode().to_be_bytes().to_vec(),
+            WritePayload::KeyMask(mask) => {
+                let mut bytes = mask.bytes.to_vec();
+                bytes.push(u8::from(mask.predicate));
+                bytes
+            }
+            WritePayload::MatchEntry { key, module_id } => {
+                let mut bytes = key.bytes.to_vec();
+                bytes.push(u8::from(key.predicate));
+                bytes.extend_from_slice(&module_id.to_be_bytes());
+                bytes
+            }
+            WritePayload::Action(action) => action.encode_bytes(),
+            WritePayload::Segment(entry) => entry.encode().to_be_bytes().to_vec(),
+            WritePayload::Clear => Vec::new(),
+        }
+    }
+
+    /// Deserialises entry bytes for `kind` into a payload.
+    fn decode_payload(kind: ResourceKind, clear: bool, bytes: &[u8]) -> Result<WritePayload> {
+        if clear {
+            return Ok(WritePayload::Clear);
+        }
+        Ok(match kind {
+            ResourceKind::Parser => WritePayload::Parser(
+                ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?,
+            ),
+            ResourceKind::Deparser => WritePayload::Deparser(
+                ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?,
+            ),
+            ResourceKind::KeyExtractor => {
+                let array: [u8; 8] = bytes
+                    .try_into()
+                    .map_err(|_| CoreError::BadReconfigPacket("key extractor length"))?;
+                WritePayload::KeyExtract(
+                    KeyExtractEntry::decode(u64::from_be_bytes(array)).map_err(CoreError::Rmt)?,
+                )
+            }
+            ResourceKind::KeyMask => {
+                if bytes.len() != KEY_BYTES + 1 {
+                    return Err(CoreError::BadReconfigPacket("key mask length"));
+                }
+                let mut mask = KeyMask::default();
+                mask.bytes.copy_from_slice(&bytes[..KEY_BYTES]);
+                mask.predicate = bytes[KEY_BYTES] != 0;
+                WritePayload::KeyMask(mask)
+            }
+            ResourceKind::MatchTable => {
+                if bytes.len() != KEY_BYTES + 3 {
+                    return Err(CoreError::BadReconfigPacket("match entry length"));
+                }
+                let mut key = LookupKey::default();
+                key.bytes.copy_from_slice(&bytes[..KEY_BYTES]);
+                key.predicate = bytes[KEY_BYTES] != 0;
+                let module_id = u16::from_be_bytes([bytes[KEY_BYTES + 1], bytes[KEY_BYTES + 2]]);
+                WritePayload::MatchEntry { key, module_id }
+            }
+            ResourceKind::ActionTable => WritePayload::Action(
+                VliwAction::decode_bytes(bytes).map_err(CoreError::Rmt)?,
+            ),
+            ResourceKind::SegmentTable => {
+                let array: [u8; 2] = bytes
+                    .try_into()
+                    .map_err(|_| CoreError::BadReconfigPacket("segment entry length"))?;
+                WritePayload::Segment(SegmentEntry::decode(u16::from_be_bytes(array)))
+            }
+        })
+    }
+
+    /// Encodes the command into a reconfiguration packet: a VLAN-tagged UDP
+    /// datagram with destination port [`RECONFIG_UDP_DPORT`] whose payload is
+    /// `resource_id(2) | index(1) | length(2) | entry bytes`.
+    pub fn to_packet(&self) -> Packet {
+        let entry_bytes = self.payload_bytes();
+        let mut payload = Vec::with_capacity(5 + entry_bytes.len());
+        payload.extend_from_slice(&self.resource_id().to_be_bytes());
+        payload.push(self.index);
+        payload.extend_from_slice(&(entry_bytes.len() as u16).to_be_bytes());
+        payload.extend_from_slice(&entry_bytes);
+        PacketBuilder::new().with_vlan(0).build_udp(
+            [127, 0, 0, 1],
+            [127, 0, 0, 2],
+            0,
+            RECONFIG_UDP_DPORT,
+            &payload,
+        )
+    }
+
+    /// Decodes a reconfiguration packet back into a command.
+    pub fn from_packet(packet: &Packet) -> Result<Self> {
+        if !packet.is_reconfiguration() {
+            return Err(CoreError::BadReconfigPacket("wrong UDP destination port"));
+        }
+        let payload = packet
+            .transport_payload()
+            .ok_or(CoreError::BadReconfigPacket("no UDP payload"))?;
+        if payload.len() < 5 {
+            return Err(CoreError::BadReconfigPacket("payload too short"));
+        }
+        let resource_id = u16::from_be_bytes([payload[0], payload[1]]);
+        let kind = ResourceKind::from_code((resource_id & 0xf) as u8)?;
+        let stage = ((resource_id >> 4) & 0xf) as u8;
+        let clear = (resource_id >> 8) & 1 == 1;
+        let index = payload[2];
+        let len = usize::from(u16::from_be_bytes([payload[3], payload[4]]));
+        let entry_bytes = payload
+            .get(5..5 + len)
+            .ok_or(CoreError::BadReconfigPacket("entry truncated"))?;
+        let payload = Self::decode_payload(kind, clear, entry_bytes)?;
+        Ok(ReconfigCommand { kind, stage, index, clear, payload })
+    }
+}
+
+/// Number of 32-bit AXI-Lite writes needed to configure one entry of each
+/// resource, used by the Appendix A comparison (Figure 12). The daisy-chain
+/// path instead ships one packet per entry regardless of width.
+pub fn axil_writes_for(kind: ResourceKind) -> u32 {
+    let bits = match kind {
+        ResourceKind::Parser | ResourceKind::Deparser => 160,
+        ResourceKind::KeyExtractor => 38,
+        ResourceKind::KeyMask => 193,
+        ResourceKind::MatchTable => 205,
+        ResourceKind::ActionTable => 625,
+        ResourceKind::SegmentTable => 16,
+    };
+    (bits + 31) / 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_rmt::action::AluInstruction;
+    use menshen_rmt::config::ParseAction;
+    use menshen_rmt::phv::ContainerRef as C;
+
+    #[test]
+    fn resource_kind_codes_round_trip() {
+        for kind in [
+            ResourceKind::Parser,
+            ResourceKind::Deparser,
+            ResourceKind::KeyExtractor,
+            ResourceKind::KeyMask,
+            ResourceKind::MatchTable,
+            ResourceKind::ActionTable,
+            ResourceKind::SegmentTable,
+        ] {
+            assert_eq!(ResourceKind::from_code(kind.code()).unwrap(), kind);
+        }
+        assert!(ResourceKind::from_code(0).is_err());
+        assert!(ResourceKind::from_code(12).is_err());
+    }
+
+    fn round_trip(cmd: ReconfigCommand) {
+        let packet = cmd.to_packet();
+        assert!(packet.is_reconfiguration());
+        let decoded = ReconfigCommand::from_packet(&packet).unwrap();
+        assert_eq!(decoded, cmd);
+    }
+
+    #[test]
+    fn all_payload_kinds_round_trip_through_packets() {
+        round_trip(ReconfigCommand::write(
+            ResourceKind::Parser,
+            0,
+            3,
+            WritePayload::Parser(
+                ParserEntry::new(vec![ParseAction::new(34, C::h4(1)).unwrap()]).unwrap(),
+            ),
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::Deparser,
+            0,
+            3,
+            WritePayload::Deparser(ParserEntry::default()),
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::KeyExtractor,
+            2,
+            7,
+            WritePayload::KeyExtract(KeyExtractEntry { slots_4b: [3, 2], ..Default::default() }),
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::KeyMask,
+            1,
+            7,
+            WritePayload::KeyMask(KeyMask::for_slots([true, false, true, false, false, false], true)),
+        ));
+        let mut key = LookupKey::default();
+        key.bytes[12..16].copy_from_slice(&0x0a000002u32.to_be_bytes());
+        round_trip(ReconfigCommand::write(
+            ResourceKind::MatchTable,
+            4,
+            9,
+            WritePayload::MatchEntry { key, module_id: 0x7ff },
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::ActionTable,
+            3,
+            9,
+            WritePayload::Action(VliwAction::nop().with(C::h2(0), AluInstruction::set(99))),
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::SegmentTable,
+            0,
+            2,
+            WritePayload::Segment(SegmentEntry::new(128, 64)),
+        ));
+        round_trip(ReconfigCommand::clear(ResourceKind::MatchTable, 2, 5));
+    }
+
+    #[test]
+    fn data_packets_rejected_as_reconfig() {
+        let data = PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 16]);
+        assert!(matches!(
+            ReconfigCommand::from_packet(&data),
+            Err(CoreError::BadReconfigPacket(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let cmd = ReconfigCommand::write(
+            ResourceKind::SegmentTable,
+            0,
+            1,
+            WritePayload::Segment(SegmentEntry::new(0, 16)),
+        );
+        let packet = cmd.to_packet();
+        // Corrupt the declared length so the entry appears truncated.
+        let mut bytes = packet.into_bytes();
+        let payload_off = 46; // eth(14)+vlan(4)+ip(20)+udp(8)
+        bytes[payload_off + 3] = 0xff;
+        bytes[payload_off + 4] = 0xff;
+        let corrupted = Packet::from_bytes(bytes);
+        assert!(ReconfigCommand::from_packet(&corrupted).is_err());
+    }
+
+    #[test]
+    fn axil_write_counts_match_entry_widths() {
+        assert_eq!(axil_writes_for(ResourceKind::ActionTable), 20);
+        assert_eq!(axil_writes_for(ResourceKind::MatchTable), 7);
+        assert_eq!(axil_writes_for(ResourceKind::Parser), 5);
+        assert_eq!(axil_writes_for(ResourceKind::KeyExtractor), 2);
+        assert_eq!(axil_writes_for(ResourceKind::SegmentTable), 1);
+        assert_eq!(axil_writes_for(ResourceKind::KeyMask), 7);
+    }
+
+    #[test]
+    fn resource_id_packs_kind_stage_and_clear() {
+        let cmd = ReconfigCommand::clear(ResourceKind::ActionTable, 4, 0);
+        let id = cmd.resource_id();
+        assert_eq!(id & 0xf, u16::from(ResourceKind::ActionTable.code()));
+        assert_eq!((id >> 4) & 0xf, 4);
+        assert_eq!((id >> 8) & 1, 1);
+        assert!(id < (1 << 12), "resource ID fits in 12 bits");
+    }
+}

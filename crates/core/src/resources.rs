@@ -1,0 +1,191 @@
+//! The resource checker and resource-sharing policies (§3.4).
+//!
+//! Menshen checks allocations statically: a module is only admitted if its
+//! compiled resource usage fits within the allocation the operator's sharing
+//! policy grants it. Reassigning resources between running modules would
+//! disrupt both, so admission control is the enforcement point.
+
+use crate::error::CoreError;
+use crate::module::{ModuleConfig, ResourceAllocation};
+use crate::Result;
+use menshen_rmt::params::PipelineParams;
+
+/// Operator-specified policies for dividing the pipeline between modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingPolicy {
+    /// Divide every resource evenly between `max_modules` modules.
+    EqualShare {
+        /// The number of modules the pipeline is provisioned for.
+        max_modules: usize,
+    },
+    /// Grant each module exactly what it asks for, first come first served,
+    /// until the pipeline is exhausted.
+    FirstComeFirstServed,
+}
+
+/// The resource checker: turns a policy into per-module allocations and
+/// verifies compiled modules against them.
+#[derive(Debug, Clone)]
+pub struct ResourceChecker {
+    params: PipelineParams,
+    policy: SharingPolicy,
+}
+
+impl ResourceChecker {
+    /// Creates a checker for a pipeline with `params` under `policy`.
+    pub fn new(params: PipelineParams, policy: SharingPolicy) -> Self {
+        ResourceChecker { params, policy }
+    }
+
+    /// The allocation the policy grants a module that declares `usage`.
+    pub fn grant(&self, usage: &ResourceAllocation) -> ResourceAllocation {
+        match self.policy {
+            SharingPolicy::EqualShare { max_modules } => {
+                let share = |total: usize| (total / max_modules.max(1)).max(1);
+                ResourceAllocation {
+                    match_entries_per_stage: vec![share(self.params.cam_depth); self.params.num_stages],
+                    stateful_words_per_stage: vec![
+                        share(self.params.stateful_words);
+                        self.params.num_stages
+                    ],
+                    phv_containers: menshen_rmt::params::PARSE_ACTIONS_PER_ENTRY,
+                }
+            }
+            SharingPolicy::FirstComeFirstServed => usage.clone(),
+        }
+    }
+
+    /// Checks that a compiled module fits within `allocation`. Returns the
+    /// first violated resource as an error.
+    pub fn check(&self, config: &ModuleConfig, allocation: &ResourceAllocation) -> Result<()> {
+        let usage = config.usage();
+        if usage.phv_containers > allocation.phv_containers {
+            return Err(CoreError::AllocationExceeded {
+                resource: "PHV containers (parser actions)".into(),
+                used: usage.phv_containers,
+                allocated: allocation.phv_containers,
+            });
+        }
+        for (stage, used) in usage.match_entries_per_stage.iter().enumerate() {
+            let allocated = allocation.match_entries_per_stage.get(stage).copied().unwrap_or(0);
+            if *used > allocated {
+                return Err(CoreError::AllocationExceeded {
+                    resource: format!("match entries, stage {stage}"),
+                    used: *used,
+                    allocated,
+                });
+            }
+        }
+        for (stage, used) in usage.stateful_words_per_stage.iter().enumerate() {
+            let allocated = allocation.stateful_words_per_stage.get(stage).copied().unwrap_or(0);
+            if *used > allocated {
+                return Err(CoreError::AllocationExceeded {
+                    resource: format!("stateful memory, stage {stage}"),
+                    used: *used,
+                    allocated,
+                });
+            }
+        }
+        if config.stages.len() > self.params.num_stages {
+            return Err(CoreError::AllocationExceeded {
+                resource: "pipeline stages".into(),
+                used: config.stages.len(),
+                allocated: self.params.num_stages,
+            });
+        }
+        Ok(())
+    }
+
+    /// The pipeline parameters this checker was built for.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// The active sharing policy.
+    pub fn policy(&self) -> SharingPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{MatchRule, ModuleId};
+    use menshen_rmt::action::VliwAction;
+    use menshen_rmt::match_table::LookupKey;
+    use menshen_rmt::TABLE5;
+
+    fn config_with_rules(rules_in_stage_0: usize) -> ModuleConfig {
+        let mut config = ModuleConfig::empty(ModuleId::new(1), "m", 5);
+        for _ in 0..rules_in_stage_0 {
+            config.stages[0].rules.push(MatchRule {
+                key: LookupKey::default(),
+                action: VliwAction::nop(),
+            });
+        }
+        config
+    }
+
+    #[test]
+    fn equal_share_divides_cam_entries() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::EqualShare { max_modules: 8 });
+        let grant = checker.grant(&ResourceAllocation::uniform(5, 0, 0));
+        assert_eq!(grant.match_entries_per_stage, vec![2; 5]);
+        assert_eq!(grant.stateful_words_per_stage, vec![512; 5]);
+        assert_eq!(checker.policy(), SharingPolicy::EqualShare { max_modules: 8 });
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::EqualShare { max_modules: 8 });
+        let allocation = ResourceAllocation::uniform(5, 2, 64);
+        assert!(checker.check(&config_with_rules(2), &allocation).is_ok());
+        let err = checker.check(&config_with_rules(3), &allocation).unwrap_err();
+        assert!(matches!(err, CoreError::AllocationExceeded { .. }));
+        assert!(err.to_string().contains("stage 0"));
+    }
+
+    #[test]
+    fn fcfs_grants_exactly_the_request() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        let config = config_with_rules(5);
+        let grant = checker.grant(&config.usage());
+        assert!(checker.check(&config, &grant).is_ok());
+        assert_eq!(grant.match_entries_per_stage[0], 5);
+    }
+
+    #[test]
+    fn too_many_parser_actions_rejected() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        let config = config_with_rules(0);
+        let mut allocation = config.usage();
+        allocation.phv_containers = 0;
+        // Give the module a parser action so its usage exceeds the zero grant.
+        let mut config = config;
+        config.parser = menshen_rmt::config::ParserEntry::new(vec![
+            menshen_rmt::config::ParseAction::new(0, menshen_rmt::phv::ContainerRef::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        assert!(checker.check(&config, &allocation).is_err());
+        assert_eq!(checker.params().num_stages, 5);
+    }
+
+    #[test]
+    fn too_many_stages_rejected() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        let config = ModuleConfig::empty(ModuleId::new(2), "deep", 9);
+        let err = checker.check(&config, &config.usage()).unwrap_err();
+        assert!(err.to_string().contains("stages"));
+    }
+
+    #[test]
+    fn stateful_over_use_rejected() {
+        let checker = ResourceChecker::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        let mut config = ModuleConfig::empty(ModuleId::new(3), "stateful", 5);
+        config.stages[2].stateful_words = 128;
+        let mut allocation = config.usage();
+        allocation.stateful_words_per_stage[2] = 64;
+        let err = checker.check(&config, &allocation).unwrap_err();
+        assert!(err.to_string().contains("stateful"));
+    }
+}

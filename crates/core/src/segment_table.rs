@@ -1,0 +1,217 @@
+//! The segment table: per-module stateful-memory address translation.
+//!
+//! Each stage's stateful memory is space-partitioned across modules. When a
+//! module's action supplies a (module-local) address, the segment table
+//! translates it to a physical address using the module's `(base, range)`
+//! entry and rejects accesses outside the range (§3.1). Menshen implements
+//! this in hardware — unlike NetVRM's P4-level page table — so no stage of
+//! stateful memory is sacrificed for the mechanism.
+
+use crate::overlay::OverlayTable;
+use menshen_rmt::stateful::AddressTranslate;
+
+/// A segment-table entry: the module's slice of the stage's stateful memory.
+///
+/// The prototype encodes this in 16 bits — one byte of offset and one byte of
+/// range, both in units of `SEGMENT_GRANULARITY` words — which bounds a
+/// stage's addressable stateful memory at 256 granules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentEntry {
+    /// First physical word of the module's slice.
+    pub base: u32,
+    /// Number of words in the module's slice.
+    pub range: u32,
+}
+
+/// Number of stateful-memory words per segment-table granule. The prototype's
+/// 1-byte offset/range fields address memory at this granularity.
+pub const SEGMENT_GRANULARITY: u32 = 16;
+
+impl SegmentEntry {
+    /// Creates an entry covering `[base, base + range)` words.
+    pub fn new(base: u32, range: u32) -> Self {
+        SegmentEntry { base, range }
+    }
+
+    /// Encodes the entry into the prototype's 16-bit format (offset byte,
+    /// range byte, both in granules). Values are rounded up to whole granules.
+    pub fn encode(&self) -> u16 {
+        let offset_granules = (self.base / SEGMENT_GRANULARITY).min(0xff) as u16;
+        let range_granules = self.range.div_ceil(SEGMENT_GRANULARITY).min(0xff) as u16;
+        (offset_granules << 8) | range_granules
+    }
+
+    /// Decodes the 16-bit format.
+    pub fn decode(bits: u16) -> Self {
+        SegmentEntry {
+            base: u32::from(bits >> 8) * SEGMENT_GRANULARITY,
+            range: u32::from(bits & 0xff) * SEGMENT_GRANULARITY,
+        }
+    }
+
+    /// Translates a module-local address, or `None` if it is out of range.
+    pub fn translate(&self, local: u32) -> Option<u32> {
+        if local < self.range {
+            Some(self.base + local)
+        } else {
+            None
+        }
+    }
+}
+
+/// The per-stage segment table: one [`SegmentEntry`] per module slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentTable {
+    table: OverlayTable<SegmentEntry>,
+}
+
+impl SegmentTable {
+    /// Creates a segment table with `depth` module slots.
+    pub fn new(depth: usize) -> Self {
+        SegmentTable {
+            table: OverlayTable::new("segment table", depth),
+        }
+    }
+
+    /// Writes the entry for a module slot.
+    pub fn write(&mut self, slot: usize, entry: SegmentEntry) -> crate::Result<()> {
+        self.table.write(slot, entry)
+    }
+
+    /// Clears the entry for a module slot.
+    pub fn clear(&mut self, slot: usize) -> crate::Result<()> {
+        self.table.clear(slot)
+    }
+
+    /// Reads the entry for a module slot.
+    pub fn read(&self, slot: usize) -> Option<SegmentEntry> {
+        self.table.read(slot).copied()
+    }
+
+    /// Translates `(slot, local_address)`, or `None` when the slot has no
+    /// entry or the address exceeds the module's range.
+    pub fn translate(&self, slot: usize, local: u32) -> Option<u32> {
+        self.read(slot).and_then(|entry| entry.translate(local))
+    }
+
+    /// Number of module slots.
+    pub fn depth(&self) -> usize {
+        self.table.depth()
+    }
+}
+
+/// Adapter that exposes one module's segment entry through the RMT
+/// [`AddressTranslate`] seam, used while processing one packet.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentTranslator {
+    entry: Option<SegmentEntry>,
+}
+
+impl SegmentTranslator {
+    /// Creates a translator for one module's entry (or `None` to deny all
+    /// stateful accesses — e.g. an unloaded module).
+    pub fn new(entry: Option<SegmentEntry>) -> Self {
+        SegmentTranslator { entry }
+    }
+}
+
+impl AddressTranslate for SegmentTranslator {
+    fn translate(&self, _module_id: u16, local_address: u32) -> Option<u32> {
+        self.entry.and_then(|e| e.translate(local_address))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_respects_base_and_range() {
+        let entry = SegmentEntry::new(128, 64);
+        assert_eq!(entry.translate(0), Some(128));
+        assert_eq!(entry.translate(63), Some(191));
+        assert_eq!(entry.translate(64), None);
+        assert_eq!(entry.translate(1000), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_on_granule_boundaries() {
+        let entry = SegmentEntry::new(128, 64);
+        let decoded = SegmentEntry::decode(entry.encode());
+        assert_eq!(decoded, entry);
+        // Non-granule-aligned ranges round up.
+        let odd = SegmentEntry::new(16, 17);
+        let decoded = SegmentEntry::decode(odd.encode());
+        assert_eq!(decoded.base, 16);
+        assert_eq!(decoded.range, 32);
+    }
+
+    #[test]
+    fn table_per_slot_isolation() {
+        let mut table = SegmentTable::new(32);
+        table.write(0, SegmentEntry::new(0, 100)).unwrap();
+        table.write(1, SegmentEntry::new(100, 50)).unwrap();
+        assert_eq!(table.translate(0, 99), Some(99));
+        assert_eq!(table.translate(0, 100), None);
+        assert_eq!(table.translate(1, 0), Some(100));
+        assert_eq!(table.translate(1, 49), Some(149));
+        assert_eq!(table.translate(1, 50), None);
+        assert_eq!(table.translate(2, 0), None, "unloaded slot denies access");
+        table.clear(1).unwrap();
+        assert_eq!(table.translate(1, 0), None);
+        assert_eq!(table.depth(), 32);
+        assert_eq!(table.read(0).unwrap().range, 100);
+    }
+
+    #[test]
+    fn translator_adapter() {
+        let t = SegmentTranslator::new(Some(SegmentEntry::new(10, 5)));
+        assert_eq!(t.translate(7, 4), Some(14));
+        assert_eq!(t.translate(7, 5), None);
+        let deny = SegmentTranslator::new(None);
+        assert_eq!(deny.translate(7, 0), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A translated address always lands inside `[base, base+range)` and
+        /// out-of-range local addresses are always rejected.
+        #[test]
+        fn translation_stays_in_segment(
+            base in 0u32..4096,
+            range in 1u32..1024,
+            local in 0u32..2048,
+        ) {
+            let entry = SegmentEntry::new(base, range);
+            match entry.translate(local) {
+                Some(phys) => {
+                    prop_assert!(local < range);
+                    prop_assert!(phys >= base);
+                    prop_assert!(phys < base + range);
+                }
+                None => prop_assert!(local >= range),
+            }
+        }
+
+        /// Two disjoint segments never translate to overlapping physical
+        /// addresses (stateful-memory isolation).
+        #[test]
+        fn disjoint_segments_never_collide(
+            range_a in 1u32..512,
+            range_b in 1u32..512,
+            local_a in 0u32..512,
+            local_b in 0u32..512,
+        ) {
+            let a = SegmentEntry::new(0, range_a);
+            let b = SegmentEntry::new(range_a, range_b);
+            if let (Some(pa), Some(pb)) = (a.translate(local_a), b.translate(local_b)) {
+                prop_assert_ne!(pa, pb);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The software-to-hardware interface (§3.4).
+//!
+//! [`ControlPlane`] plays the role of the Menshen software: it performs
+//! admission control through the resource checker, loads/updates/unloads
+//! modules over the (trusted) daisy-chain path, inserts individual
+//! match-action entries at run time (the P4Runtime-like surface), and reads
+//! statistics back from the hardware registers.
+
+use crate::error::CoreError;
+use crate::module::{MatchRule, ModuleConfig, ModuleId};
+use crate::pipeline::{LoadReport, MenshenPipeline, ModuleCounters, Verdict};
+use crate::reconfig::{ReconfigCommand, ResourceKind, WritePayload};
+use crate::resources::{ResourceChecker, SharingPolicy};
+use crate::Result;
+use menshen_packet::Packet;
+use menshen_rmt::params::PipelineParams;
+
+/// Device-wide statistics gathered over the software interface.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Per-module traffic counters, ordered by module ID.
+    pub modules: Vec<(ModuleId, ModuleCounters)>,
+    /// Total reconfiguration packets observed by the packet filter.
+    pub reconfig_packets: u32,
+    /// Link-level statistics from the system module.
+    pub link_packets: u64,
+    /// Link-level byte count from the system module.
+    pub link_bytes: u64,
+}
+
+/// The Menshen control plane: resource checker + software↔hardware interface.
+#[derive(Debug)]
+pub struct ControlPlane {
+    pipeline: MenshenPipeline,
+    checker: ResourceChecker,
+}
+
+impl ControlPlane {
+    /// Creates a control plane managing a freshly built pipeline.
+    pub fn new(params: PipelineParams, policy: SharingPolicy) -> Self {
+        ControlPlane {
+            pipeline: MenshenPipeline::new(params),
+            checker: ResourceChecker::new(params, policy),
+        }
+    }
+
+    /// Wraps an existing pipeline.
+    pub fn with_pipeline(pipeline: MenshenPipeline, policy: SharingPolicy) -> Self {
+        let params = *pipeline.params();
+        ControlPlane {
+            pipeline,
+            checker: ResourceChecker::new(params, policy),
+        }
+    }
+
+    /// Access to the managed pipeline (e.g. to drive traffic through it).
+    pub fn pipeline_mut(&mut self) -> &mut MenshenPipeline {
+        &mut self.pipeline
+    }
+
+    /// Read access to the managed pipeline.
+    pub fn pipeline(&self) -> &MenshenPipeline {
+        &self.pipeline
+    }
+
+    /// Admission control + load: checks the module against the allocation the
+    /// sharing policy grants it, then streams its configuration in.
+    pub fn load_module(&mut self, config: &ModuleConfig) -> Result<LoadReport> {
+        let allocation = self.checker.grant(&config.usage());
+        self.checker.check(config, &allocation)?;
+        self.pipeline.load_module(config)
+    }
+
+    /// Admission control + update of a running module. Other modules are not
+    /// disturbed (§5.1, Figure 10).
+    pub fn update_module(&mut self, config: &ModuleConfig) -> Result<LoadReport> {
+        let allocation = self.checker.grant(&config.usage());
+        self.checker.check(config, &allocation)?;
+        self.pipeline.update_module(config)
+    }
+
+    /// Unloads a module and releases its resources.
+    pub fn remove_module(&mut self, module: ModuleId) -> Result<()> {
+        self.pipeline.unload_module(module)
+    }
+
+    /// Inserts one match-action entry for a loaded module at run time (the
+    /// P4Runtime-style `table_add`). The entry lands in the module's own
+    /// partition of the stage's CAM; the module ID is appended automatically.
+    pub fn insert_entry(&mut self, module: ModuleId, stage: usize, rule: &MatchRule) -> Result<()> {
+        // The module's partition is tracked by the pipeline; we re-load the
+        // module's slot and find a free index by probing its range through the
+        // CAM contents.
+        let slot = self
+            .pipeline
+            .module_slot(module)
+            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+        let _ = slot;
+        // Find a free CAM address inside the module's allocated range.
+        let index = self
+            .find_free_cam_index(module, stage)?
+            .ok_or(CoreError::InsufficientResource {
+                resource: format!("match entries, stage {stage}"),
+                requested: 1,
+                available: 0,
+            })?;
+        self.pipeline.apply_command(&ReconfigCommand::write(
+            ResourceKind::MatchTable,
+            stage as u8,
+            index as u8,
+            WritePayload::MatchEntry { key: rule.key, module_id: module.value() },
+        ))?;
+        self.pipeline.apply_command(&ReconfigCommand::write(
+            ResourceKind::ActionTable,
+            stage as u8,
+            index as u8,
+            WritePayload::Action(rule.action.clone()),
+        ))
+    }
+
+    fn find_free_cam_index(&self, module: ModuleId, stage: usize) -> Result<Option<usize>> {
+        // The pipeline does not expose its allocator directly; instead we scan
+        // the stage's CAM for an empty address that is *adjacent to* the
+        // module's existing entries. For simplicity the control plane scans
+        // the whole table and restricts itself to addresses not owned by
+        // other modules.
+        let pipeline = self.pipeline();
+        let params = *pipeline.params();
+        if stage >= params.num_stages {
+            return Err(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
+                table: "pipeline stages",
+                index: stage,
+                depth: params.num_stages,
+            }));
+        }
+        for index in 0..params.cam_depth {
+            let owner = pipeline.cam_entry_owner(stage, index);
+            match owner {
+                Some(owner_id) if owner_id != module.value() => continue,
+                Some(_) => continue, // occupied by this module
+                None if pipeline.cam_index_reserved_for_other(stage, index, module) => continue,
+                None => return Ok(Some(index)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads a module's traffic counters.
+    pub fn module_counters(&self, module: ModuleId) -> Result<ModuleCounters> {
+        self.pipeline
+            .module_counters(module)
+            .ok_or(CoreError::UnknownModule { module_id: module.value() })
+    }
+
+    /// Reads one word of a module's stateful memory (module-local address).
+    pub fn read_register(&self, module: ModuleId, stage: usize, address: u32) -> Option<u64> {
+        self.pipeline.read_stateful(module, stage, address)
+    }
+
+    /// Gathers a device-wide statistics snapshot.
+    pub fn device_stats(&self) -> DeviceStats {
+        let modules = self
+            .pipeline
+            .loaded_modules()
+            .into_iter()
+            .filter_map(|m| self.pipeline.module_counters(m).map(|c| (m, c)))
+            .collect();
+        let sys = self.pipeline.system().stats();
+        DeviceStats {
+            modules,
+            reconfig_packets: self.pipeline.filter().reconfig_counter(),
+            link_packets: sys.link_packets,
+            link_bytes: sys.link_bytes,
+        }
+    }
+
+    /// Sends one data packet through the pipeline (convenience passthrough).
+    pub fn send(&mut self, packet: Packet) -> Verdict {
+        self.pipeline.process(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::StageModuleConfig;
+    use menshen_rmt::action::{AluInstruction, VliwAction};
+    use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
+    use menshen_rmt::match_table::LookupKey;
+    use menshen_rmt::phv::ContainerRef as C;
+    use menshen_rmt::TABLE5;
+    use menshen_packet::PacketBuilder;
+
+    fn port_rewrite_module(module_id: u16, dst_ip: u32, port: u16) -> ModuleConfig {
+        let mut config = ModuleConfig::empty(ModuleId::new(module_id), "rewrite", 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry { slots_4b: [1, 0], ..Default::default() }),
+            key_mask: Some(KeyMask::for_slots([false, false, true, false, false, false], false)),
+            rules: vec![MatchRule {
+                key: LookupKey::from_slots(
+                    [(0, 6), (0, 6), (u64::from(dst_ip), 4), (0, 4), (0, 2), (0, 2)],
+                    false,
+                ),
+                action: VliwAction::nop().with(C::h2(0), AluInstruction::set(port)),
+            }],
+            stateful_words: 0,
+        };
+        config
+    }
+
+    #[test]
+    fn admission_control_rejects_oversized_modules() {
+        let mut cp = ControlPlane::new(TABLE5, SharingPolicy::EqualShare { max_modules: 16 });
+        // EqualShare over 16 modules grants 1 CAM entry per stage; a module
+        // with 3 rules in stage 0 must be rejected before touching hardware.
+        let mut config = port_rewrite_module(1, 0x0a00_0002, 80);
+        for i in 0..2u64 {
+            config.stages[0].rules.push(MatchRule {
+                key: LookupKey::from_slots(
+                    [(0, 6), (0, 6), (0x0a00_0010 + i, 4), (0, 4), (0, 2), (0, 2)],
+                    false,
+                ),
+                action: VliwAction::nop(),
+            });
+        }
+        assert!(matches!(
+            cp.load_module(&config),
+            Err(CoreError::AllocationExceeded { .. })
+        ));
+        assert!(cp.pipeline().loaded_modules().is_empty());
+    }
+
+    #[test]
+    fn load_send_and_read_stats() {
+        let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
+        let packet = PacketBuilder::udp_data(4, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0u8; 4]);
+        let verdict = cp.send(packet);
+        assert!(verdict.is_forwarded());
+        assert_eq!(verdict.packet().unwrap().udp_dst_port(), Some(8080));
+        let stats = cp.device_stats();
+        assert_eq!(stats.modules.len(), 1);
+        assert_eq!(stats.modules[0].1.packets_out, 1);
+        assert!(stats.reconfig_packets > 0);
+        assert!(stats.link_packets > 0);
+        assert_eq!(cp.module_counters(ModuleId::new(4)).unwrap().packets_in, 1);
+        assert!(cp.module_counters(ModuleId::new(9)).is_err());
+    }
+
+    #[test]
+    fn runtime_entry_insertion() {
+        let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
+        // Add a second destination at run time.
+        let rule = MatchRule {
+            key: LookupKey::from_slots(
+                [(0, 6), (0, 6), (0x0a00_0003, 4), (0, 4), (0, 2), (0, 2)],
+                false,
+            ),
+            action: VliwAction::nop().with(C::h2(0), AluInstruction::set(9090)),
+        };
+        cp.insert_entry(ModuleId::new(4), 0, &rule).unwrap();
+        let packet = PacketBuilder::udp_data(4, [10, 0, 0, 1], [10, 0, 0, 3], 1, 2, &[0u8; 4]);
+        let verdict = cp.send(packet);
+        assert_eq!(verdict.packet().unwrap().udp_dst_port(), Some(9090));
+        // Inserting for an unknown module fails.
+        assert!(cp.insert_entry(ModuleId::new(9), 0, &rule).is_err());
+        // Inserting into a non-existent stage fails.
+        assert!(cp.insert_entry(ModuleId::new(4), 99, &rule).is_err());
+    }
+
+    #[test]
+    fn update_and_remove_round_trip() {
+        let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
+        cp.update_module(&port_rewrite_module(4, 0x0a00_0002, 1234)).unwrap();
+        let packet = PacketBuilder::udp_data(4, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0u8; 4]);
+        assert_eq!(cp.send(packet).packet().unwrap().udp_dst_port(), Some(1234));
+        cp.remove_module(ModuleId::new(4)).unwrap();
+        assert!(cp.pipeline().loaded_modules().is_empty());
+        assert!(cp.remove_module(ModuleId::new(4)).is_err());
+        assert!(cp.read_register(ModuleId::new(4), 0, 0).is_none());
+    }
+}

@@ -1,0 +1,207 @@
+//! The system-level module (§3.3).
+//!
+//! Menshen reserves the first and last pipeline stages for a system-level
+//! module that provides OS-like services to tenant modules: it hides the
+//! physical infrastructure behind per-tenant virtual IP addresses, performs
+//! routing (physical IP → output port) and multicast, and exposes real-time
+//! statistics (link utilisation, queue length) that tenant modules may read
+//! but not modify.
+//!
+//! The P4/DSL source of the system-level module lives in `menshen-programs`;
+//! this type is the *behavioural* form the pipeline invokes on every packet —
+//! the first half before tenant processing, the second half after it.
+
+use menshen_packet::Ipv4Address;
+use menshen_rmt::phv::Phv;
+use std::collections::HashMap;
+
+/// Statistics the system-level module maintains and exposes to tenants
+/// (read-only from their perspective; the static checker rejects programs
+/// that write them).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemStats {
+    /// Packets observed on the ingress link.
+    pub link_packets: u64,
+    /// Bytes observed on the ingress link.
+    pub link_bytes: u64,
+    /// Current (simulated) output-queue occupancy in packets.
+    pub queue_len: u32,
+    /// Link utilisation over the last accounting window, 0.0–1.0.
+    pub link_utilization: f64,
+}
+
+/// The system-level module: virtual-IP translation, routing, multicast and
+/// device statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SystemModule {
+    /// Per-tenant virtual IP → physical IP translation. Keyed by
+    /// `(module_id, virtual_ip)` so tenants' virtual address spaces are
+    /// independent of each other.
+    vip_to_pip: HashMap<(u16, u32), u32>,
+    /// Physical IP → output port routing table (device-wide).
+    routes: HashMap<u32, u16>,
+    /// Multicast groups: destination IP → replication port list.
+    multicast: HashMap<u32, Vec<u16>>,
+    /// Default output port when no route matches.
+    default_port: u16,
+    stats: SystemStats,
+}
+
+/// Where the system-level module decided the packet should go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardingDecision {
+    /// Send out of one port.
+    Unicast(u16),
+    /// Replicate to several ports.
+    Multicast(Vec<u16>),
+}
+
+impl SystemModule {
+    /// Creates a system-level module with an empty routing state.
+    pub fn new() -> Self {
+        SystemModule::default()
+    }
+
+    /// Sets the port used when no route matches.
+    pub fn set_default_port(&mut self, port: u16) {
+        self.default_port = port;
+    }
+
+    /// Installs a virtual-IP → physical-IP mapping for one tenant module.
+    pub fn add_virtual_ip(&mut self, module_id: u16, virtual_ip: Ipv4Address, physical_ip: Ipv4Address) {
+        self.vip_to_pip
+            .insert((module_id, virtual_ip.to_u32()), physical_ip.to_u32());
+    }
+
+    /// Installs a route: packets destined to `physical_ip` leave through `port`.
+    pub fn add_route(&mut self, physical_ip: Ipv4Address, port: u16) {
+        self.routes.insert(physical_ip.to_u32(), port);
+    }
+
+    /// Installs a multicast group for `group_ip`.
+    pub fn add_multicast_group(&mut self, group_ip: Ipv4Address, ports: Vec<u16>) {
+        self.multicast.insert(group_ip.to_u32(), ports);
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// First half: runs before tenant processing. Updates link statistics and
+    /// stamps the read-only statistics into the PHV metadata so tenant
+    /// programs can react to them (e.g. congestion-aware logic).
+    pub fn ingress(&mut self, phv: &mut Phv, packet_len: usize, now_cycle: u64) {
+        self.stats.link_packets += 1;
+        self.stats.link_bytes += packet_len as u64;
+        // A trivial queue model: occupancy follows the low bits of arrival
+        // order; good enough to exercise the "tenants can read queue length"
+        // path without a full traffic-manager model.
+        self.stats.queue_len = (self.stats.link_packets % 32) as u32;
+        phv.metadata.queue_len = self.stats.queue_len;
+        phv.metadata.enqueue_cycle = (now_cycle & 0xffff_ffff) as u32;
+    }
+
+    /// Records the link utilisation for the last accounting window (called by
+    /// the testbed, which knows wall-clock rates).
+    pub fn record_utilization(&mut self, utilization: f64) {
+        self.stats.link_utilization = utilization.clamp(0.0, 1.0);
+    }
+
+    /// Second half: runs after tenant processing. Translates the destination
+    /// (virtual) IP if the tenant uses virtual addressing, then chooses the
+    /// output port(s). Tenant modules that already set an explicit egress
+    /// port (metadata `dst_port != 0`) are respected.
+    pub fn egress(&self, module_id: u16, dst_ip: Ipv4Address, phv: &Phv) -> ForwardingDecision {
+        if let Some(ports) = self.multicast.get(&dst_ip.to_u32()) {
+            return ForwardingDecision::Multicast(ports.clone());
+        }
+        if phv.metadata.dst_port != 0 {
+            return ForwardingDecision::Unicast(phv.metadata.dst_port);
+        }
+        let physical = self
+            .vip_to_pip
+            .get(&(module_id, dst_ip.to_u32()))
+            .copied()
+            .unwrap_or_else(|| dst_ip.to_u32());
+        let port = self.routes.get(&physical).copied().unwrap_or(self.default_port);
+        ForwardingDecision::Unicast(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_and_default_port() {
+        let mut sys = SystemModule::new();
+        sys.set_default_port(63);
+        sys.add_route(Ipv4Address::new(10, 0, 0, 2), 4);
+        let phv = Phv::zeroed();
+        assert_eq!(
+            sys.egress(1, Ipv4Address::new(10, 0, 0, 2), &phv),
+            ForwardingDecision::Unicast(4)
+        );
+        assert_eq!(
+            sys.egress(1, Ipv4Address::new(10, 9, 9, 9), &phv),
+            ForwardingDecision::Unicast(63)
+        );
+    }
+
+    #[test]
+    fn virtual_ips_are_per_module() {
+        let mut sys = SystemModule::new();
+        sys.add_route(Ipv4Address::new(172, 16, 0, 1), 1);
+        sys.add_route(Ipv4Address::new(172, 16, 0, 2), 2);
+        // The same virtual IP maps to different physical hosts per tenant.
+        sys.add_virtual_ip(10, Ipv4Address::new(192, 168, 0, 5), Ipv4Address::new(172, 16, 0, 1));
+        sys.add_virtual_ip(11, Ipv4Address::new(192, 168, 0, 5), Ipv4Address::new(172, 16, 0, 2));
+        let phv = Phv::zeroed();
+        assert_eq!(
+            sys.egress(10, Ipv4Address::new(192, 168, 0, 5), &phv),
+            ForwardingDecision::Unicast(1)
+        );
+        assert_eq!(
+            sys.egress(11, Ipv4Address::new(192, 168, 0, 5), &phv),
+            ForwardingDecision::Unicast(2)
+        );
+    }
+
+    #[test]
+    fn multicast_groups_replicate() {
+        let mut sys = SystemModule::new();
+        sys.add_multicast_group(Ipv4Address::new(224, 0, 1, 1), vec![1, 2, 5]);
+        let phv = Phv::zeroed();
+        assert_eq!(
+            sys.egress(3, Ipv4Address::new(224, 0, 1, 1), &phv),
+            ForwardingDecision::Multicast(vec![1, 2, 5])
+        );
+    }
+
+    #[test]
+    fn tenant_chosen_port_is_respected() {
+        let mut sys = SystemModule::new();
+        sys.add_route(Ipv4Address::new(10, 0, 0, 2), 4);
+        let mut phv = Phv::zeroed();
+        phv.metadata.dst_port = 9;
+        assert_eq!(
+            sys.egress(1, Ipv4Address::new(10, 0, 0, 2), &phv),
+            ForwardingDecision::Unicast(9)
+        );
+    }
+
+    #[test]
+    fn ingress_updates_statistics() {
+        let mut sys = SystemModule::new();
+        let mut phv = Phv::zeroed();
+        sys.ingress(&mut phv, 1500, 1000);
+        sys.ingress(&mut phv, 64, 2000);
+        let stats = sys.stats();
+        assert_eq!(stats.link_packets, 2);
+        assert_eq!(stats.link_bytes, 1564);
+        assert_eq!(phv.metadata.enqueue_cycle, 2000);
+        sys.record_utilization(1.7);
+        assert_eq!(sys.stats().link_utilization, 1.0);
+    }
+}

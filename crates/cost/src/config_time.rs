@@ -1,0 +1,188 @@
+//! Configuration-time models (Figure 9, Figure 12 and the Tofino comparison).
+//!
+//! The paper measures how long the Menshen software takes to push a module's
+//! configuration into the pipeline (Figure 9: hundreds of milliseconds for
+//! 1024 entries, growing linearly, comparable to inserting the same entries
+//! through Tofino's runtime APIs) and compares the daisy-chain path against a
+//! hypothetical fully-AXI-Lite path (Appendix A, Figure 12: the daisy chain
+//! wins, especially for wide entries such as the 625-bit VLIW action table).
+//!
+//! The models here are calibrated to those measurements: a per-packet cost
+//! for the daisy-chain path (dominated by the host issuing one reconfiguration
+//! packet per entry) and a per-32-bit-word cost for AXI-Lite writes.
+
+use menshen_core::reconfig::axil_writes_for;
+use menshen_core::ResourceKind;
+use serde::Serialize;
+
+/// Calibrated software/hardware costs of the configuration paths.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigTimeModel {
+    /// Time for the Menshen software to emit and for the daisy chain to apply
+    /// one reconfiguration packet, seconds. Calibrated so that 1024 entries
+    /// take ≈600–700 ms (Figure 9).
+    pub per_packet_s: f64,
+    /// Fixed software overhead per module configuration, seconds (bitmap
+    /// write, counter polls).
+    pub fixed_s: f64,
+    /// Time for the daisy-chain hardware to apply one reconfiguration packet
+    /// once it has been emitted, seconds (the hardware-side cost Figure 12
+    /// plots, without the software overhead included in `per_packet_s`).
+    pub daisy_hw_per_packet_s: f64,
+    /// Time per 32-bit AXI-Lite write, seconds (Figure 12's estimate is based
+    /// on the measured single-write latency).
+    pub per_axil_write_s: f64,
+    /// Time for one Tofino runtime API table insert, seconds (Figure 9 shows
+    /// Tofino's runtime APIs are in the same range as Menshen's path).
+    pub tofino_per_entry_s: f64,
+}
+
+impl Default for ConfigTimeModel {
+    fn default() -> Self {
+        ConfigTimeModel {
+            per_packet_s: 620e-6,
+            fixed_s: 2e-3,
+            daisy_hw_per_packet_s: 10e-6,
+            per_axil_write_s: 4e-6,
+            tofino_per_entry_s: 660e-6,
+        }
+    }
+}
+
+/// One bar group of Figure 12: AXI-Lite vs daisy chain for one resource of
+/// one stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure12Row {
+    /// Stage index.
+    pub stage: usize,
+    /// Resource name.
+    pub resource: String,
+    /// Estimated AXI-Lite configuration time for the stage's entries, ms.
+    pub axil_ms: f64,
+    /// Measured (modelled) daisy-chain configuration time, ms.
+    pub daisy_chain_ms: f64,
+}
+
+/// Comparison row used by the Figure 9 bench.
+#[derive(Debug, Clone, Serialize)]
+pub struct TofinoComparison {
+    /// Number of match-action entries configured.
+    pub entries: usize,
+    /// Menshen daisy-chain configuration time, ms.
+    pub menshen_ms: f64,
+    /// Tofino runtime-API insertion time, ms.
+    pub tofino_ms: f64,
+}
+
+impl ConfigTimeModel {
+    /// Configuration time for a module that needs `reconfig_packets`
+    /// daisy-chain writes, in seconds.
+    pub fn daisy_chain_time_s(&self, reconfig_packets: usize) -> f64 {
+        self.fixed_s + self.per_packet_s * reconfig_packets as f64
+    }
+
+    /// Configuration time for the same writes issued as AXI-Lite register
+    /// writes, in seconds. `entries_per_resource` maps each resource kind to
+    /// the number of entries written.
+    pub fn axil_time_s(&self, writes: &[(ResourceKind, usize)]) -> f64 {
+        let words: u32 = writes
+            .iter()
+            .map(|(kind, entries)| axil_writes_for(*kind) * *entries as u32)
+            .sum();
+        self.fixed_s + self.per_axil_write_s * f64::from(words)
+    }
+
+    /// Tofino runtime-API time to insert `entries` match-action entries, s.
+    pub fn tofino_time_s(&self, entries: usize) -> f64 {
+        self.fixed_s + self.tofino_per_entry_s * entries as f64
+    }
+
+    /// The Figure 9 comparison across entry counts. Each Menshen entry costs
+    /// two daisy-chain packets (CAM entry + VLIW action).
+    pub fn figure9_comparison(&self, entry_counts: &[usize]) -> Vec<TofinoComparison> {
+        entry_counts
+            .iter()
+            .map(|&entries| TofinoComparison {
+                entries,
+                menshen_ms: self.daisy_chain_time_s(entries * 2) * 1e3,
+                tofino_ms: self.tofino_time_s(entries) * 1e3,
+            })
+            .collect()
+    }
+
+    /// The Figure 12 comparison: configuring every VLIW action table and CAM
+    /// of a `num_stages`-stage pipeline with `entries_per_stage` entries.
+    pub fn figure12(&self, num_stages: usize, entries_per_stage: usize) -> Vec<Figure12Row> {
+        let mut rows = Vec::new();
+        for stage in 0..num_stages {
+            for (resource, kind) in [
+                ("VLIW action table", ResourceKind::ActionTable),
+                ("CAM", ResourceKind::MatchTable),
+            ] {
+                rows.push(Figure12Row {
+                    stage,
+                    resource: resource.to_string(),
+                    axil_ms: self.per_axil_write_s
+                        * f64::from(axil_writes_for(kind))
+                        * entries_per_stage as f64
+                        * 1e3,
+                    daisy_chain_ms: self.daisy_hw_per_packet_s * entries_per_stage as f64 * 1e3,
+                });
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_scale_matches_paper() {
+        let model = ConfigTimeModel::default();
+        let rows = model.figure9_comparison(&[16, 64, 256, 1024]);
+        assert_eq!(rows.len(), 4);
+        // 16 entries: tens of milliseconds; 1024 entries: several hundred ms.
+        assert!(rows[0].menshen_ms < 50.0);
+        assert!(rows[3].menshen_ms > 400.0 && rows[3].menshen_ms < 1500.0);
+        // Menshen's configuration time is comparable to Tofino's runtime APIs
+        // (same order of magnitude at every entry count).
+        for row in &rows {
+            let ratio = row.menshen_ms / row.tofino_ms;
+            assert!(ratio > 0.5 && ratio < 2.5, "{row:?}");
+        }
+        // Linear growth: 4× the entries ≈ 4× the time (minus the fixed cost).
+        assert!(rows[3].menshen_ms > 3.0 * rows[2].menshen_ms);
+    }
+
+    #[test]
+    fn figure12_daisy_chain_beats_axil_for_wide_entries() {
+        let model = ConfigTimeModel::default();
+        let rows = model.figure12(5, 16);
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            if row.resource == "VLIW action table" {
+                // 20 AXI-L writes per 625-bit entry vs one daisy-chain packet.
+                assert!(
+                    row.axil_ms > row.daisy_chain_ms * 3.0,
+                    "daisy chain should win clearly for VLIW entries: {row:?}"
+                );
+            }
+            assert!(row.axil_ms > 0.0 && row.daisy_chain_ms > 0.0);
+        }
+        // The VLIW action table costs more over AXI-L than the CAM (wider entries).
+        let vliw = rows.iter().find(|r| r.resource == "VLIW action table").unwrap();
+        let cam = rows.iter().find(|r| r.resource == "CAM").unwrap();
+        assert!(vliw.axil_ms > cam.axil_ms);
+    }
+
+    #[test]
+    fn axil_time_counts_words() {
+        let model = ConfigTimeModel::default();
+        let narrow = model.axil_time_s(&[(ResourceKind::SegmentTable, 10)]);
+        let wide = model.axil_time_s(&[(ResourceKind::ActionTable, 10)]);
+        assert!(wide > narrow);
+        assert!(model.daisy_chain_time_s(0) > 0.0, "fixed cost present");
+    }
+}

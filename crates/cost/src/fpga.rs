@@ -1,0 +1,177 @@
+//! FPGA resource model (Table 4).
+//!
+//! Table 4 reports the Slice-LUT and Block-RAM usage of the 5-stage Menshen
+//! pipeline on the NetFPGA SUME and Alveo U250 boards, alongside the
+//! reference switch / Corundum shell and a baseline RMT (Menshen with its
+//! isolation primitives removed, supporting one module). The absolute values
+//! are taken from the paper; the *overhead of Menshen over RMT* is modelled
+//! per isolation primitive so it can be scaled with the number of supported
+//! modules (§5.2: the overhead is a function of how much hardware one is
+//! willing to pay for multitenancy).
+
+use serde::Serialize;
+
+/// Resource usage of one hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FpgaResources {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Slice LUTs used.
+    pub luts: f64,
+    /// Slice LUTs as a fraction of the device.
+    pub luts_pct: f64,
+    /// Block RAMs used.
+    pub brams: f64,
+    /// Block RAMs as a fraction of the device.
+    pub brams_pct: f64,
+}
+
+/// Total LUTs/BRAMs of the two FPGAs (from the utilisation percentages the
+/// paper reports).
+const NETFPGA_TOTAL_LUTS: f64 = 433_200.0;
+const NETFPGA_TOTAL_BRAMS: f64 = 1_470.0;
+const U250_TOTAL_LUTS: f64 = 1_728_000.0;
+const U250_TOTAL_BRAMS: f64 = 2_688.0;
+
+/// The rows of Table 4 (paper-reported values).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4 {
+    /// The six rows of the table.
+    pub rows: Vec<FpgaResources>,
+}
+
+/// Parameterised model of Menshen's FPGA overhead over baseline RMT.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaResourceModel {
+    /// Number of modules the overlay tables are provisioned for (32 in the
+    /// prototype).
+    pub max_modules: usize,
+    /// Number of pipeline stages.
+    pub num_stages: usize,
+}
+
+impl Default for FpgaResourceModel {
+    fn default() -> Self {
+        FpgaResourceModel { max_modules: 32, num_stages: 5 }
+    }
+}
+
+impl FpgaResourceModel {
+    /// LUT overhead of Menshen's isolation primitives over baseline RMT on
+    /// the NetFPGA platform (prototype: 160 LUTs for 32 modules × 5 stages,
+    /// i.e. ≈1 LUT per module-stage for the overlay index/mux logic).
+    pub fn netfpga_isolation_luts(&self) -> f64 {
+        1.0 * self.max_modules as f64 * self.num_stages as f64
+    }
+
+    /// LUT overhead on the Corundum platform (prototype: 217 LUTs).
+    pub fn corundum_isolation_luts(&self) -> f64 {
+        1.35 * self.max_modules as f64 * self.num_stages as f64
+    }
+
+    /// Table 4 with the model's overheads applied to the paper's RMT
+    /// baselines. With the prototype parameters this reproduces the paper's
+    /// Menshen rows.
+    pub fn table4(&self) -> Table4 {
+        let netfpga_rmt_luts = 200_573.0;
+        let corundum_rmt_luts = 235_686.0;
+        let rows = vec![
+            FpgaResources {
+                name: "NetFPGA reference switch",
+                luts: 42_325.0,
+                luts_pct: 42_325.0 / NETFPGA_TOTAL_LUTS * 100.0,
+                brams: 245.5,
+                brams_pct: 245.5 / NETFPGA_TOTAL_BRAMS * 100.0,
+            },
+            FpgaResources {
+                name: "RMT on NetFPGA",
+                luts: netfpga_rmt_luts,
+                luts_pct: netfpga_rmt_luts / NETFPGA_TOTAL_LUTS * 100.0,
+                brams: 641.0,
+                brams_pct: 641.0 / NETFPGA_TOTAL_BRAMS * 100.0,
+            },
+            FpgaResources {
+                name: "Menshen on NetFPGA",
+                luts: netfpga_rmt_luts + self.netfpga_isolation_luts(),
+                luts_pct: (netfpga_rmt_luts + self.netfpga_isolation_luts()) / NETFPGA_TOTAL_LUTS
+                    * 100.0,
+                brams: 641.0,
+                brams_pct: 641.0 / NETFPGA_TOTAL_BRAMS * 100.0,
+            },
+            FpgaResources {
+                name: "Corundum",
+                luts: 61_463.0,
+                luts_pct: 61_463.0 / U250_TOTAL_LUTS * 100.0,
+                brams: 349.0,
+                brams_pct: 349.0 / U250_TOTAL_BRAMS * 100.0,
+            },
+            FpgaResources {
+                name: "RMT on Corundum",
+                luts: corundum_rmt_luts,
+                luts_pct: corundum_rmt_luts / U250_TOTAL_LUTS * 100.0,
+                brams: 316.0,
+                brams_pct: 316.0 / U250_TOTAL_BRAMS * 100.0,
+            },
+            FpgaResources {
+                name: "Menshen on Corundum",
+                luts: corundum_rmt_luts + self.corundum_isolation_luts(),
+                luts_pct: (corundum_rmt_luts + self.corundum_isolation_luts()) / U250_TOTAL_LUTS
+                    * 100.0,
+                brams: 316.0,
+                brams_pct: 316.0 / U250_TOTAL_BRAMS * 100.0,
+            },
+        ];
+        Table4 { rows }
+    }
+
+    /// Menshen's relative LUT overhead over RMT on NetFPGA (paper: ≈0.65 ‰,
+    /// quoted as "an extra 0.65 % / 0.15 % in LUT usage" relative terms).
+    pub fn netfpga_overhead_fraction(&self) -> f64 {
+        self.netfpga_isolation_luts() / 200_573.0
+    }
+
+    /// Menshen's relative LUT overhead over RMT on Corundum.
+    pub fn corundum_overhead_fraction(&self) -> f64 {
+        self.corundum_isolation_luts() / 235_686.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper_values() {
+        let table = FpgaResourceModel::default().table4();
+        assert_eq!(table.rows.len(), 6);
+        let row = |name: &str| table.rows.iter().find(|r| r.name == name).copied().unwrap();
+        // Menshen on NetFPGA: 200733 LUTs (46.34 %), 641 BRAMs (43.6 %).
+        let menshen_netfpga = row("Menshen on NetFPGA");
+        assert!((menshen_netfpga.luts - 200_733.0).abs() < 50.0);
+        assert!((menshen_netfpga.luts_pct - 46.34).abs() < 0.2);
+        assert!((menshen_netfpga.brams_pct - 43.6).abs() < 0.2);
+        // Menshen on Corundum: 235903 LUTs (13.65 %), 316 BRAMs (11.75 %).
+        let menshen_corundum = row("Menshen on Corundum");
+        assert!((menshen_corundum.luts - 235_903.0).abs() < 50.0);
+        assert!((menshen_corundum.luts_pct - 13.65).abs() < 0.1);
+        assert!((menshen_corundum.brams_pct - 11.75).abs() < 0.1);
+        // Menshen uses the same BRAM count as RMT on both platforms.
+        assert_eq!(row("RMT on NetFPGA").brams, menshen_netfpga.brams);
+        assert_eq!(row("RMT on Corundum").brams, menshen_corundum.brams);
+    }
+
+    #[test]
+    fn overhead_fractions_are_sub_percent() {
+        let model = FpgaResourceModel::default();
+        assert!(model.netfpga_overhead_fraction() < 0.01);
+        assert!(model.corundum_overhead_fraction() < 0.01);
+    }
+
+    #[test]
+    fn overhead_scales_with_module_count() {
+        let small = FpgaResourceModel { max_modules: 16, num_stages: 5 };
+        let large = FpgaResourceModel { max_modules: 64, num_stages: 5 };
+        assert!(large.netfpga_isolation_luts() > small.netfpga_isolation_luts());
+        assert!(large.corundum_isolation_luts() > 2.0 * small.corundum_isolation_luts());
+    }
+}

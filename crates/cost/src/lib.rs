@@ -1,0 +1,22 @@
+//! Cost models: FPGA resources, ASIC area and configuration time.
+//!
+//! The paper reports three families of hardware-cost results that cannot be
+//! measured without Vivado, Synopsys DC and a Tofino SDE: FPGA resource usage
+//! (Table 4), ASIC area at 1 GHz with FreePDK45 (§5.2), and configuration
+//! time over the daisy chain vs. Tofino's runtime APIs vs. AXI-Lite
+//! (Figures 9 and 12). This crate provides analytical models for each,
+//! calibrated against the paper's reported values and parameterised by the
+//! pipeline configuration (number of modules, table depths, stages) so the
+//! benches can regenerate the corresponding tables/figures and explore how
+//! the overheads scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod config_time;
+pub mod fpga;
+
+pub use asic::{AsicAreaModel, AsicAreaReport};
+pub use config_time::{ConfigTimeModel, Figure12Row, TofinoComparison};
+pub use fpga::{FpgaResourceModel, FpgaResources, Table4};

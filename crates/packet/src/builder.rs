@@ -1,0 +1,302 @@
+//! Construction of well-formed test and workload packets.
+
+use crate::ethernet::{EtherType, EthernetRepr, HEADER_LEN as ETH_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Address, Ipv4Repr, MIN_HEADER_LEN as IP_LEN};
+use crate::mac::EthernetAddress;
+use crate::packet::Packet;
+use crate::tcp::{TcpFlags, TcpRepr, MIN_HEADER_LEN as TCP_LEN};
+use crate::udp::{UdpHeader, UdpRepr, HEADER_LEN as UDP_LEN};
+use crate::vlan::{VlanId, VlanRepr, TAG_LEN as VLAN_LEN};
+use crate::MIN_FRAME_LEN;
+
+/// Builder for VLAN-tagged IPv4 frames, the packet shape the Menshen
+/// prototype expects on its data path.
+///
+/// The builder always produces frames that are at least [`MIN_FRAME_LEN`]
+/// bytes long (padding the payload with zeroes), matching what a real NIC
+/// would put on the wire.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    /// Source MAC address.
+    pub src_mac: EthernetAddress,
+    /// Destination MAC address.
+    pub dst_mac: EthernetAddress,
+    /// VLAN tag carrying the Menshen module ID; `None` builds an untagged frame.
+    pub vlan: Option<VlanId>,
+    /// VLAN priority code point.
+    pub pcp: u8,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// IPv4 DSCP.
+    pub dscp: u8,
+    /// Whether to compute the UDP checksum (the simulator never verifies it,
+    /// so generators can skip it for speed).
+    pub fill_udp_checksum: bool,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        PacketBuilder {
+            src_mac: EthernetAddress::new(0x02, 0x00, 0x00, 0x00, 0x00, 0x01),
+            dst_mac: EthernetAddress::new(0x02, 0x00, 0x00, 0x00, 0x00, 0x02),
+            vlan: Some(VlanId::new_truncate(1)),
+            pcp: 0,
+            ttl: 64,
+            dscp: 0,
+            fill_udp_checksum: false,
+        }
+    }
+}
+
+impl PacketBuilder {
+    /// Creates a builder with default addresses and VLAN 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the VLAN (module) ID for subsequently built packets.
+    pub fn with_vlan(mut self, vlan: u16) -> Self {
+        self.vlan = Some(VlanId::new_truncate(vlan));
+        self
+    }
+
+    /// Builds a VLAN-tagged IPv4/UDP frame with the given payload.
+    pub fn build_udp(
+        &self,
+        src_ip: impl Into<Ipv4Address>,
+        dst_ip: impl Into<Ipv4Address>,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Packet {
+        let src_ip = src_ip.into();
+        let dst_ip = dst_ip.into();
+        let vlan_len = if self.vlan.is_some() { VLAN_LEN } else { 0 };
+        let headers_len = ETH_LEN + vlan_len + IP_LEN + UDP_LEN;
+        let frame_len = (headers_len + payload.len()).max(MIN_FRAME_LEN);
+        let mut buf = vec![0u8; frame_len];
+
+        let eth = EthernetRepr {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: if self.vlan.is_some() {
+                EtherType::Vlan
+            } else {
+                EtherType::Ipv4
+            },
+        };
+        eth.emit(&mut buf).expect("frame fits Ethernet header");
+        let mut offset = ETH_LEN;
+
+        if let Some(vlan_id) = self.vlan {
+            let vlan = VlanRepr {
+                pcp: self.pcp,
+                dei: false,
+                vlan_id,
+                inner_ethertype: EtherType::Ipv4,
+            };
+            vlan.emit(&mut buf[offset..]).expect("frame fits VLAN tag");
+            offset += VLAN_LEN;
+        }
+
+        // The IP total length covers everything up to the end of the frame so
+        // that padding bytes are part of the datagram and the deparser's
+        // length accounting stays simple.
+        let ip_payload_len = frame_len - offset - IP_LEN;
+        let ip = Ipv4Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Udp,
+            payload_len: ip_payload_len,
+            ttl: self.ttl,
+            dscp: self.dscp,
+        };
+        ip.emit(&mut buf[offset..]).expect("frame fits IPv4 header");
+        offset += IP_LEN;
+
+        let udp = UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: frame_len - offset - UDP_LEN,
+        };
+        udp.emit(&mut buf[offset..]).expect("frame fits UDP header");
+        let payload_off = offset + UDP_LEN;
+        buf[payload_off..payload_off + payload.len()].copy_from_slice(payload);
+        if self.fill_udp_checksum {
+            let mut udp_view = UdpHeader::new_unchecked(&mut buf[offset..]);
+            udp_view.fill_checksum(src_ip, dst_ip);
+        }
+
+        Packet::from_bytes(buf)
+    }
+
+    /// Builds a VLAN-tagged IPv4/TCP frame with the given payload.
+    pub fn build_tcp(
+        &self,
+        src_ip: impl Into<Ipv4Address>,
+        dst_ip: impl Into<Ipv4Address>,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Packet {
+        let src_ip = src_ip.into();
+        let dst_ip = dst_ip.into();
+        let vlan_len = if self.vlan.is_some() { VLAN_LEN } else { 0 };
+        let headers_len = ETH_LEN + vlan_len + IP_LEN + TCP_LEN;
+        let frame_len = (headers_len + payload.len()).max(MIN_FRAME_LEN);
+        let mut buf = vec![0u8; frame_len];
+
+        let eth = EthernetRepr {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: if self.vlan.is_some() {
+                EtherType::Vlan
+            } else {
+                EtherType::Ipv4
+            },
+        };
+        eth.emit(&mut buf).expect("frame fits Ethernet header");
+        let mut offset = ETH_LEN;
+
+        if let Some(vlan_id) = self.vlan {
+            let vlan = VlanRepr {
+                pcp: self.pcp,
+                dei: false,
+                vlan_id,
+                inner_ethertype: EtherType::Ipv4,
+            };
+            vlan.emit(&mut buf[offset..]).expect("frame fits VLAN tag");
+            offset += VLAN_LEN;
+        }
+
+        let ip_payload_len = frame_len - offset - IP_LEN;
+        let ip = Ipv4Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Tcp,
+            payload_len: ip_payload_len,
+            ttl: self.ttl,
+            dscp: self.dscp,
+        };
+        ip.emit(&mut buf[offset..]).expect("frame fits IPv4 header");
+        offset += IP_LEN;
+
+        let tcp = TcpRepr {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags,
+            window: 0xffff,
+        };
+        tcp.emit(&mut buf[offset..]).expect("frame fits TCP header");
+        let payload_off = offset + TCP_LEN;
+        buf[payload_off..payload_off + payload.len()].copy_from_slice(payload);
+
+        Packet::from_bytes(buf)
+    }
+
+    /// Builds a frame of exactly `frame_len` bytes (≥ headers) carrying a UDP
+    /// datagram — the shape used by throughput sweeps over packet sizes.
+    pub fn build_udp_with_len(
+        &self,
+        src_ip: impl Into<Ipv4Address>,
+        dst_ip: impl Into<Ipv4Address>,
+        src_port: u16,
+        dst_port: u16,
+        frame_len: usize,
+    ) -> Packet {
+        let vlan_len = if self.vlan.is_some() { VLAN_LEN } else { 0 };
+        let headers_len = ETH_LEN + vlan_len + IP_LEN + UDP_LEN;
+        let payload_len = frame_len.saturating_sub(headers_len);
+        let payload = vec![0u8; payload_len];
+        let mut pkt = self.build_udp(src_ip, dst_ip, src_port, dst_port, &payload);
+        // `build_udp` pads to MIN_FRAME_LEN; only trim if the caller asked for
+        // something even smaller than the headers would allow.
+        if pkt.len() > frame_len && frame_len >= headers_len {
+            let mut bytes = pkt.into_bytes();
+            bytes.truncate(frame_len);
+            pkt = Packet::from_bytes(bytes);
+        }
+        pkt
+    }
+
+    /// One-shot helper: a VLAN-tagged UDP packet for module `vlan`.
+    pub fn udp_data(
+        vlan: u16,
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Packet {
+        PacketBuilder::new()
+            .with_vlan(vlan)
+            .build_udp(src_ip, dst_ip, src_port, dst_port, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_packet_is_well_formed() {
+        let pkt = PacketBuilder::udp_data(9, [10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, b"hello");
+        assert!(pkt.len() >= MIN_FRAME_LEN);
+        let headers = pkt.parse_headers().unwrap();
+        assert!(headers.vlan.is_some());
+        assert!(headers.ipv4.is_some());
+        assert!(headers.udp.is_some());
+        assert_eq!(pkt.vlan_id().unwrap().value(), 9);
+        assert_eq!(&pkt.transport_payload().unwrap()[..5], b"hello");
+    }
+
+    #[test]
+    fn tcp_packet_is_well_formed() {
+        let builder = PacketBuilder::new().with_vlan(3);
+        let pkt = builder.build_tcp(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4000,
+            443,
+            TcpFlags {
+                syn: true,
+                ..TcpFlags::default()
+            },
+            &[],
+        );
+        let headers = pkt.parse_headers().unwrap();
+        assert!(headers.tcp.is_some());
+        assert!(headers.udp.is_none());
+        assert_eq!(pkt.vlan_id().unwrap().value(), 3);
+    }
+
+    #[test]
+    fn exact_frame_lengths() {
+        let builder = PacketBuilder::new().with_vlan(1);
+        for &len in &[64usize, 96, 128, 256, 512, 1024, 1500] {
+            let pkt =
+                builder.build_udp_with_len([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, len);
+            assert_eq!(pkt.len(), len, "frame length {len}");
+            assert!(pkt.parse_headers().is_ok());
+        }
+    }
+
+    #[test]
+    fn min_frame_padding_applied() {
+        let pkt = PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[]);
+        assert_eq!(pkt.len(), MIN_FRAME_LEN);
+    }
+
+    #[test]
+    fn udp_checksum_can_be_filled() {
+        let mut builder = PacketBuilder::new().with_vlan(2);
+        builder.fill_udp_checksum = true;
+        let pkt = builder.build_udp([10, 0, 0, 1], [10, 0, 0, 2], 7, 8, &[1, 2, 3, 4]);
+        let headers = pkt.parse_headers().unwrap();
+        let udp = UdpHeader::new_checked(&pkt.bytes()[headers.udp.unwrap()..]).unwrap();
+        assert_ne!(udp.checksum(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all parsers and emitters in this crate.
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting packet headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is too short to contain the header being parsed or emitted.
+    Truncated {
+        /// Number of bytes required.
+        required: usize,
+        /// Number of bytes available.
+        available: usize,
+    },
+    /// A length field inside the packet is inconsistent with the buffer.
+    BadLength,
+    /// The header carries a version or type this implementation does not handle.
+    Unsupported,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// The packet does not carry the VLAN tag Menshen requires on data packets.
+    MissingVlan,
+    /// A field value is outside its legal range (e.g. VLAN ID ≥ 4096).
+    FieldRange {
+        /// Human-readable field name.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { required, available } => write!(
+                f,
+                "buffer truncated: {required} bytes required, {available} available"
+            ),
+            PacketError::BadLength => write!(f, "inconsistent length field"),
+            PacketError::Unsupported => write!(f, "unsupported header version or type"),
+            PacketError::BadChecksum => write!(f, "checksum verification failed"),
+            PacketError::MissingVlan => write!(f, "data packet is missing the 802.1Q VLAN tag"),
+            PacketError::FieldRange { field } => write!(f, "field `{field}` out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Checks that `buf` holds at least `required` bytes.
+pub(crate) fn check_len(buf: &[u8], required: usize) -> Result<(), PacketError> {
+    if buf.len() < required {
+        Err(PacketError::Truncated {
+            required,
+            available: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated {
+            required: 14,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("14"));
+        assert!(s.contains("3"));
+        assert!(PacketError::BadChecksum.to_string().contains("checksum"));
+        assert!(PacketError::MissingVlan.to_string().contains("VLAN"));
+        assert!(
+            PacketError::FieldRange { field: "vlan_id" }
+                .to_string()
+                .contains("vlan_id")
+        );
+    }
+
+    #[test]
+    fn check_len_boundaries() {
+        assert!(check_len(&[0u8; 4], 4).is_ok());
+        assert!(check_len(&[0u8; 4], 5).is_err());
+        assert!(check_len(&[], 0).is_ok());
+    }
+}

@@ -1,0 +1,240 @@
+//! Ethernet II frame parsing and emission.
+
+use crate::error::{check_len, PacketError};
+use crate::mac::EthernetAddress;
+use crate::Result;
+use core::fmt;
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values understood by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// 802.1Q VLAN tag (`0x8100`).
+    Vlan,
+    /// ARP (`0x0806`) — forwarded to the control plane by the packet filter.
+    Arp,
+    /// Any other EtherType.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x8100 => EtherType::Vlan,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> Self {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Vlan => 0x8100,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Vlan => write!(f, "VLAN"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A read (or read/write) view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without validating it.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, checking that it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        check_len(buffer.as_ref(), HEADER_LEN)?;
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consumes the view and returns the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[0..6]).expect("checked length")
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[6..12]).expect("checked length")
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let raw = u16::from_be_bytes([self.buffer.as_ref()[12], self.buffer.as_ref()[13]]);
+        EtherType::from(raw)
+    }
+
+    /// The bytes following the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Total frame length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[0..6].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[6..12].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        let raw: u16 = ethertype.into();
+        self.buffer.as_mut()[12..14].copy_from_slice(&raw.to_be_bytes());
+    }
+
+    /// Mutable access to the payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// A plain-old-data description of an Ethernet header, used for emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Destination MAC.
+    pub dst: EthernetAddress,
+    /// Source MAC.
+    pub src: EthernetAddress,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses a representation out of a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Self {
+        EthernetRepr {
+            dst: frame.dst_addr(),
+            src: frame.src_addr(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Number of bytes this header occupies.
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emits this header into the front of `buffer`.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        check_len(buffer, HEADER_LEN)?;
+        let mut frame = EthernetFrame::new_unchecked(buffer);
+        frame.set_dst_addr(self.dst);
+        frame.set_src_addr(self.src);
+        frame.set_ethertype(self.ethertype);
+        Ok(())
+    }
+}
+
+/// Convenience: returns an error if a frame is too short to be valid Ethernet.
+pub fn validate_min_len(buffer: &[u8]) -> Result<()> {
+    if buffer.len() < HEADER_LEN {
+        return Err(PacketError::Truncated {
+            required: HEADER_LEN,
+            available: buffer.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut buf = vec![0u8; 64];
+        let repr = EthernetRepr {
+            dst: EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            src: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            ethertype: EtherType::Vlan,
+        };
+        repr.emit(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn parse_emits_round_trip() {
+        let buf = sample_frame();
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst_addr(), EthernetAddress::new(2, 0, 0, 0, 0, 2));
+        assert_eq!(frame.src_addr(), EthernetAddress::new(2, 0, 0, 0, 0, 1));
+        assert_eq!(frame.ethertype(), EtherType::Vlan);
+        assert_eq!(frame.payload().len(), 64 - HEADER_LEN);
+        let repr = EthernetRepr::parse(&frame);
+        assert_eq!(repr.ethertype, EtherType::Vlan);
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        assert!(EthernetFrame::new_checked(&[0u8; 13][..]).is_err());
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+        let mut tiny = [0u8; 4];
+        let repr = EthernetRepr {
+            dst: EthernetAddress::BROADCAST,
+            src: EthernetAddress::default(),
+            ethertype: EtherType::Ipv4,
+        };
+        assert!(repr.emit(&mut tiny).is_err());
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x8100), EtherType::Vlan);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(u16::from(EtherType::Other(0x1234)), 0x1234);
+        assert_eq!(EtherType::Vlan.to_string(), "VLAN");
+    }
+
+    #[test]
+    fn setters_modify_buffer() {
+        let mut buf = sample_frame();
+        {
+            let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+            frame.set_ethertype(EtherType::Ipv4);
+            frame.payload_mut()[0] = 0xaa;
+        }
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload()[0], 0xaa);
+    }
+}

@@ -1,0 +1,58 @@
+//! Wire formats and packet construction for the Menshen pipeline simulator.
+//!
+//! This crate provides typed views over byte buffers (in the style of
+//! [smoltcp](https://github.com/smoltcp-rs/smoltcp)) for the protocols the
+//! Menshen prototype cares about — Ethernet II, IEEE 802.1Q VLAN tags, IPv4,
+//! UDP and TCP — together with an owned [`Packet`] type and a [`PacketBuilder`]
+//! used by workload generators and tests.
+//!
+//! Menshen identifies the module that should process a packet by the packet's
+//! VLAN ID (12 bits), so VLAN handling is first-class here: every data packet
+//! fed to the pipeline is expected to carry an 802.1Q tag, and
+//! [`Packet::vlan_id`] is the accessor the pipeline's packet filter uses.
+//!
+//! # Design notes
+//!
+//! * Header views (`EthernetFrame`, `Ipv4Header`, ...) borrow their underlying
+//!   buffer and validate lengths in `new_checked`; field accessors then index
+//!   without panicking on well-formed views.
+//! * `Repr` structs (`EthernetRepr`, `Ipv4Repr`, ...) are plain-old-data
+//!   descriptions used for emission; `emit` writes a header into a mutable
+//!   view.
+//! * Errors are reported through [`PacketError`]; no `unwrap` on the parse
+//!   path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod error;
+pub mod ethernet;
+pub mod ipv4;
+pub mod mac;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+
+pub use builder::PacketBuilder;
+pub use error::PacketError;
+pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
+pub use ipv4::{IpProtocol, Ipv4Address, Ipv4Header, Ipv4Repr};
+pub use mac::EthernetAddress;
+pub use packet::{Packet, ParsedHeaders};
+pub use tcp::{TcpHeader, TcpRepr};
+pub use udp::{UdpHeader, UdpRepr};
+pub use vlan::{VlanId, VlanTag, VlanRepr};
+
+/// Result alias used across the crate.
+pub type Result<T> = core::result::Result<T, PacketError>;
+
+/// Minimum Ethernet frame size (without FCS) accepted by the pipeline.
+pub const MIN_FRAME_LEN: usize = 60;
+/// Maximum Ethernet frame size (without FCS) accepted by the pipeline (MTU 1500).
+pub const MAX_FRAME_LEN: usize = 1518;
+
+/// UDP destination port that marks a Menshen reconfiguration packet (§4.1).
+pub const RECONFIG_UDP_DPORT: u16 = 0xf1f2;

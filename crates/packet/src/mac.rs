@@ -1,0 +1,97 @@
+//! Ethernet (MAC) addresses.
+
+use core::fmt;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Constructs an address from six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        EthernetAddress([a, b, c, d, e, f])
+    }
+
+    /// Parses an address from a byte slice; the slice must be exactly 6 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let array: [u8; 6] = bytes.try_into().ok()?;
+        Some(EthernetAddress(array))
+    }
+
+    /// Returns the raw octets.
+    pub const fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// Returns true for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true if the group (multicast) bit is set and this is not broadcast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0 && !self.is_broadcast()
+    }
+
+    /// Returns true for a unicast address (group bit clear).
+    pub fn is_unicast(&self) -> bool {
+        self.0[0] & 0x01 == 0
+    }
+
+    /// Returns true if the locally-administered bit is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for EthernetAddress {
+    fn from(octets: [u8; 6]) -> Self {
+        EthernetAddress(octets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let addr = EthernetAddress::new(0x02, 0x00, 0x00, 0x00, 0x00, 0x01);
+        assert_eq!(addr.to_string(), "02:00:00:00:00:01");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(!EthernetAddress::BROADCAST.is_multicast());
+        let mcast = EthernetAddress::new(0x01, 0x00, 0x5e, 0x00, 0x00, 0x01);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_unicast());
+        let ucast = EthernetAddress::new(0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0xee);
+        assert!(ucast.is_unicast());
+        assert!(ucast.is_local());
+    }
+
+    #[test]
+    fn from_bytes_validates_length() {
+        assert!(EthernetAddress::from_bytes(&[1, 2, 3]).is_none());
+        assert_eq!(
+            EthernetAddress::from_bytes(&[1, 2, 3, 4, 5, 6]),
+            Some(EthernetAddress::new(1, 2, 3, 4, 5, 6))
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Owned packets and a convenience full-stack parser.
+//!
+//! The RMT pipeline itself operates on raw bytes at configured offsets (that
+//! is the whole point of a *programmable* parser), but tests, oracles and
+//! workload generators want structured access. [`Packet`] owns a frame buffer
+//! and [`ParsedHeaders`] records where each standard header sits so fields can
+//! be read or rewritten in place.
+
+use crate::error::PacketError;
+use crate::ethernet::{self, EtherType, EthernetFrame};
+use crate::ipv4::{IpProtocol, Ipv4Address, Ipv4Header};
+use crate::mac::EthernetAddress;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::vlan::{VlanId, VlanTag};
+use crate::{Result, RECONFIG_UDP_DPORT};
+
+/// Byte offsets of the standard headers inside a frame, as discovered by
+/// [`Packet::parse_headers`]. All offsets are from the start of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParsedHeaders {
+    /// Offset of the Ethernet header (always 0).
+    pub ethernet: usize,
+    /// Offset of the 802.1Q tag, if present.
+    pub vlan: Option<usize>,
+    /// Offset of the IPv4 header, if present.
+    pub ipv4: Option<usize>,
+    /// Offset of the UDP header, if present.
+    pub udp: Option<usize>,
+    /// Offset of the TCP header, if present.
+    pub tcp: Option<usize>,
+    /// Offset of the transport payload (after UDP/TCP), if present.
+    pub payload: Option<usize>,
+}
+
+/// An owned Ethernet frame travelling through the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    data: Vec<u8>,
+    /// Ingress port the packet arrived on (platform metadata).
+    pub ingress_port: u16,
+    /// Arrival timestamp in device clock cycles (filled by the testbed).
+    pub arrival_cycle: u64,
+}
+
+impl Packet {
+    /// Wraps an existing frame buffer.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Packet {
+            data,
+            ingress_port: 0,
+            arrival_cycle: 0,
+        }
+    }
+
+    /// Frame length in bytes (without FCS).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only access to the frame bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the frame bytes (used by the deparser to write back
+    /// modified header fields).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the packet and returns the frame buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Returns the VLAN ID (Menshen module ID) if the frame carries an
+    /// 802.1Q tag, or [`PacketError::MissingVlan`] otherwise.
+    pub fn vlan_id(&self) -> Result<VlanId> {
+        ethernet::validate_min_len(&self.data)?;
+        let frame = EthernetFrame::new_unchecked(&self.data[..]);
+        if frame.ethertype() != EtherType::Vlan {
+            return Err(PacketError::MissingVlan);
+        }
+        let tag = VlanTag::new_checked(frame.payload())?;
+        Ok(tag.vlan_id())
+    }
+
+    /// Returns true if this frame is a Menshen reconfiguration packet: a
+    /// VLAN-tagged UDP datagram whose destination port is
+    /// [`RECONFIG_UDP_DPORT`] (§4.1).
+    pub fn is_reconfiguration(&self) -> bool {
+        match self.parse_headers() {
+            Ok(headers) => match headers.udp {
+                Some(off) => UdpHeader::new_checked(&self.data[off..])
+                    .map(|u| u.dst_port() == RECONFIG_UDP_DPORT)
+                    .unwrap_or(false),
+                None => false,
+            },
+            Err(_) => false,
+        }
+    }
+
+    /// Walks the standard header chain (Ethernet → VLAN → IPv4 → UDP/TCP) and
+    /// records where each header starts. Headers the packet does not carry are
+    /// simply absent from the result; a malformed header chain is an error.
+    pub fn parse_headers(&self) -> Result<ParsedHeaders> {
+        let mut headers = ParsedHeaders::default();
+        let frame = EthernetFrame::new_checked(&self.data[..])?;
+        let mut offset = ethernet::HEADER_LEN;
+        let mut ethertype = frame.ethertype();
+        if ethertype == EtherType::Vlan {
+            headers.vlan = Some(offset);
+            let tag = VlanTag::new_checked(&self.data[offset..])?;
+            ethertype = tag.inner_ethertype();
+            offset += crate::vlan::TAG_LEN;
+        }
+        if ethertype == EtherType::Ipv4 {
+            headers.ipv4 = Some(offset);
+            let ip = Ipv4Header::new_checked(&self.data[offset..])?;
+            let proto = ip.protocol();
+            let ip_header_len = ip.header_len();
+            offset += ip_header_len;
+            match proto {
+                IpProtocol::Udp => {
+                    headers.udp = Some(offset);
+                    let udp = UdpHeader::new_checked(&self.data[offset..])?;
+                    let _ = udp.length();
+                    headers.payload = Some(offset + crate::udp::HEADER_LEN);
+                }
+                IpProtocol::Tcp => {
+                    headers.tcp = Some(offset);
+                    let tcp = TcpHeader::new_checked(&self.data[offset..])?;
+                    headers.payload = Some(offset + tcp.header_len());
+                }
+                _ => {}
+            }
+        }
+        Ok(headers)
+    }
+
+    /// Convenience accessor: source MAC address.
+    pub fn src_mac(&self) -> Result<EthernetAddress> {
+        Ok(EthernetFrame::new_checked(&self.data[..])?.src_addr())
+    }
+
+    /// Convenience accessor: destination MAC address.
+    pub fn dst_mac(&self) -> Result<EthernetAddress> {
+        Ok(EthernetFrame::new_checked(&self.data[..])?.dst_addr())
+    }
+
+    /// Convenience accessor: IPv4 source address, if the packet is IPv4.
+    pub fn ipv4_src(&self) -> Option<Ipv4Address> {
+        let headers = self.parse_headers().ok()?;
+        let off = headers.ipv4?;
+        Ipv4Header::new_checked(&self.data[off..]).ok().map(|h| h.src_addr())
+    }
+
+    /// Convenience accessor: IPv4 destination address, if the packet is IPv4.
+    pub fn ipv4_dst(&self) -> Option<Ipv4Address> {
+        let headers = self.parse_headers().ok()?;
+        let off = headers.ipv4?;
+        Ipv4Header::new_checked(&self.data[off..]).ok().map(|h| h.dst_addr())
+    }
+
+    /// Convenience accessor: UDP destination port, if the packet is UDP.
+    pub fn udp_dst_port(&self) -> Option<u16> {
+        let headers = self.parse_headers().ok()?;
+        let off = headers.udp?;
+        UdpHeader::new_checked(&self.data[off..]).ok().map(|h| h.dst_port())
+    }
+
+    /// Convenience accessor: the transport payload slice, if present.
+    pub fn transport_payload(&self) -> Option<&[u8]> {
+        let headers = self.parse_headers().ok()?;
+        let off = headers.payload?;
+        self.data.get(off..)
+    }
+
+    /// Reads `len` bytes (at most 8) starting at `offset` as a big-endian
+    /// integer. Returns `None` if the range is out of bounds. This is the
+    /// primitive the programmable parser uses to fill PHV containers.
+    pub fn read_be(&self, offset: usize, len: usize) -> Option<u64> {
+        if len == 0 || len > 8 {
+            return None;
+        }
+        let slice = self.data.get(offset..offset + len)?;
+        let mut value = 0u64;
+        for byte in slice {
+            value = (value << 8) | u64::from(*byte);
+        }
+        Some(value)
+    }
+
+    /// Writes `len` bytes (at most 8) of `value` big-endian at `offset`.
+    /// Returns `false` if the range is out of bounds. This is the primitive
+    /// the deparser uses to write PHV containers back into the packet.
+    pub fn write_be(&mut self, offset: usize, len: usize, value: u64) -> bool {
+        if len == 0 || len > 8 {
+            return false;
+        }
+        match self.data.get_mut(offset..offset + len) {
+            Some(slice) => {
+                for (i, byte) in slice.iter_mut().enumerate() {
+                    let shift = 8 * (len - 1 - i);
+                    *byte = ((value >> shift) & 0xff) as u8;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    #[test]
+    fn vlan_id_extraction() {
+        let pkt = PacketBuilder::udp_data(7, [10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000, &[1, 2, 3]);
+        assert_eq!(pkt.vlan_id().unwrap().value(), 7);
+    }
+
+    #[test]
+    fn untagged_packet_has_no_vlan() {
+        let mut builder = PacketBuilder::new();
+        builder.vlan = None;
+        let pkt = builder.build_udp([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0u8; 8]);
+        assert_eq!(pkt.vlan_id(), Err(PacketError::MissingVlan));
+        assert!(!pkt.is_reconfiguration());
+    }
+
+    #[test]
+    fn reconfiguration_detection() {
+        let pkt = PacketBuilder::udp_data(
+            1,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            9,
+            RECONFIG_UDP_DPORT,
+            &[0u8; 16],
+        );
+        assert!(pkt.is_reconfiguration());
+        let data =
+            PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 9, 4000, &[0u8; 16]);
+        assert!(!data.is_reconfiguration());
+    }
+
+    #[test]
+    fn parse_headers_offsets() {
+        let pkt = PacketBuilder::udp_data(5, [1, 1, 1, 1], [2, 2, 2, 2], 10, 20, &[0xaa; 10]);
+        let headers = pkt.parse_headers().unwrap();
+        assert_eq!(headers.ethernet, 0);
+        assert_eq!(headers.vlan, Some(14));
+        assert_eq!(headers.ipv4, Some(18));
+        assert_eq!(headers.udp, Some(38));
+        assert_eq!(headers.payload, Some(46));
+        assert_eq!(pkt.transport_payload().unwrap()[0], 0xaa);
+    }
+
+    #[test]
+    fn read_write_be_round_trip() {
+        let mut pkt = PacketBuilder::udp_data(5, [1, 1, 1, 1], [2, 2, 2, 2], 10, 20, &[0u8; 32]);
+        assert!(pkt.write_be(46, 4, 0xdeadbeef));
+        assert_eq!(pkt.read_be(46, 4), Some(0xdeadbeef));
+        assert_eq!(pkt.read_be(46, 2), Some(0xdead));
+        assert!(!pkt.write_be(10_000, 4, 1));
+        assert_eq!(pkt.read_be(10_000, 4), None);
+        assert_eq!(pkt.read_be(0, 9), None);
+        assert!(!pkt.write_be(0, 0, 1));
+    }
+
+    #[test]
+    fn accessors() {
+        let pkt = PacketBuilder::udp_data(3, [10, 1, 2, 3], [172, 16, 0, 9], 53, 5353, &[0u8; 4]);
+        assert_eq!(pkt.ipv4_src(), Some(Ipv4Address::new(10, 1, 2, 3)));
+        assert_eq!(pkt.ipv4_dst(), Some(Ipv4Address::new(172, 16, 0, 9)));
+        assert_eq!(pkt.udp_dst_port(), Some(5353));
+        assert!(pkt.src_mac().is_ok());
+        assert!(pkt.dst_mac().is_ok());
+        assert!(!pkt.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! TCP header parsing and emission (the subset the evaluated modules need:
+//! ports, sequence numbers and flags — enough for load balancing, firewalling
+//! and the NetChain/NetCache key fields carried after the transport header).
+
+use crate::error::{check_len, PacketError};
+use crate::Result;
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN flag.
+    pub syn: bool,
+    /// ACK flag.
+    pub ack: bool,
+    /// FIN flag.
+    pub fin: bool,
+    /// RST flag.
+    pub rst: bool,
+    /// PSH flag.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// Encodes the flags into the low byte of the TCP flags field.
+    pub fn to_byte(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    /// Decodes flags from the low byte of the TCP flags field.
+    pub fn from_byte(byte: u8) -> Self {
+        TcpFlags {
+            fin: byte & 0x01 != 0,
+            syn: byte & 0x02 != 0,
+            rst: byte & 0x04 != 0,
+            psh: byte & 0x08 != 0,
+            ack: byte & 0x10 != 0,
+        }
+    }
+}
+
+/// A view over a TCP header.
+#[derive(Debug, Clone)]
+pub struct TcpHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpHeader<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpHeader { buffer }
+    }
+
+    /// Wraps a buffer, checking that it can hold the header and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        check_len(buffer.as_ref(), MIN_HEADER_LEN)?;
+        let header = TcpHeader { buffer };
+        if header.header_len() < MIN_HEADER_LEN {
+            return Err(PacketError::BadLength);
+        }
+        if header.buffer.as_ref().len() < header.header_len() {
+            return Err(PacketError::Truncated {
+                required: header.header_len(),
+                available: header.buffer.as_ref().len(),
+            });
+        }
+        Ok(header)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[0], self.buffer.as_ref()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[2], self.buffer.as_ref()[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[4..8].try_into().expect("checked"))
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[8..12].try_into().expect("checked"))
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags::from_byte(self.buffer.as_ref()[13])
+    }
+
+    /// Window size.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[14], self.buffer.as_ref()[15]])
+    }
+
+    /// Payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpHeader<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq_number(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack_number(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the data offset (header length in bytes).
+    pub fn set_header_len(&mut self, len: usize) {
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Sets the flags.
+    pub fn set_flags(&mut self, flags: TcpFlags) {
+        self.buffer.as_mut()[13] = flags.to_byte();
+    }
+
+    /// Sets the window size.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&window.to_be_bytes());
+    }
+}
+
+/// Plain-old-data description of a TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised window.
+    pub window: u16,
+}
+
+impl TcpRepr {
+    /// Parses a representation from a view.
+    pub fn parse<T: AsRef<[u8]>>(header: &TcpHeader<T>) -> Self {
+        TcpRepr {
+            src_port: header.src_port(),
+            dst_port: header.dst_port(),
+            seq: header.seq_number(),
+            ack: header.ack_number(),
+            flags: header.flags(),
+            window: header.window(),
+        }
+    }
+
+    /// Number of bytes the emitted header occupies.
+    pub const fn header_len(&self) -> usize {
+        MIN_HEADER_LEN
+    }
+
+    /// Emits the header into the front of `buffer` (checksum left at zero —
+    /// the simulator does not verify transport checksums on the data path).
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        check_len(buffer, MIN_HEADER_LEN)?;
+        let mut header = TcpHeader::new_unchecked(buffer);
+        header.set_src_port(self.src_port);
+        header.set_dst_port(self.dst_port);
+        header.set_seq_number(self.seq);
+        header.set_ack_number(self.ack);
+        header.set_header_len(MIN_HEADER_LEN);
+        header.set_flags(self.flags);
+        header.set_window(self.window);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let repr = TcpRepr {
+            src_port: 443,
+            dst_port: 51234,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..TcpFlags::default()
+            },
+            window: 65535,
+        };
+        let mut buf = vec![0u8; 32];
+        repr.emit(&mut buf).unwrap();
+        let header = TcpHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(TcpRepr::parse(&header), repr);
+        assert_eq!(header.payload().len(), 12);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for byte in 0u8..32 {
+            assert_eq!(TcpFlags::from_byte(byte).to_byte(), byte);
+        }
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = [0u8; 20];
+        buf[12] = 0x30; // offset 3 -> 12 bytes < 20
+        assert!(TcpHeader::new_checked(&buf[..]).is_err());
+        buf[12] = 0x60; // offset 6 -> 24 bytes > 20 available
+        assert!(TcpHeader::new_checked(&buf[..]).is_err());
+        buf[12] = 0x50; // offset 5 -> exactly 20 bytes: valid
+        assert!(TcpHeader::new_checked(&buf[..]).is_ok());
+        let buf = [0u8; 24];
+        assert!(TcpHeader::new_checked(&buf[..]).is_err()); // offset 0
+    }
+}

@@ -1,0 +1,193 @@
+//! UDP header parsing and emission.
+
+use crate::checksum;
+use crate::error::{check_len, PacketError};
+use crate::ipv4::Ipv4Address;
+use crate::Result;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A view over a UDP header.
+#[derive(Debug, Clone)]
+pub struct UdpHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpHeader<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpHeader { buffer }
+    }
+
+    /// Wraps a buffer, checking length consistency.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        check_len(buffer.as_ref(), HEADER_LEN)?;
+        let header = UdpHeader { buffer };
+        if usize::from(header.length()) < HEADER_LEN {
+            return Err(PacketError::BadLength);
+        }
+        Ok(header)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[0], self.buffer.as_ref()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[2], self.buffer.as_ref()[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[4], self.buffer.as_ref()[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buffer.as_ref()[6], self.buffer.as_ref()[7]])
+    }
+
+    /// Payload bytes, bounded by the UDP length field.
+    pub fn payload(&self) -> &[u8] {
+        let end = usize::from(self.length()).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..end.max(HEADER_LEN)]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpHeader<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, length: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&length.to_be_bytes());
+    }
+
+    /// Sets the checksum field.
+    pub fn set_checksum(&mut self, csum: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over the IPv4 pseudo-header + datagram.
+    pub fn fill_checksum(&mut self, src: Ipv4Address, dst: Ipv4Address) {
+        self.set_checksum(0);
+        let len = self.length();
+        let end = usize::from(len).min(self.buffer.as_ref().len());
+        let acc = checksum::pseudo_header_sum(*src.as_bytes(), *dst.as_bytes(), 17, len)
+            + checksum::sum(&self.buffer.as_ref()[..end]);
+        let mut csum = checksum::finish(acc);
+        if csum == 0 {
+            csum = 0xffff;
+        }
+        self.set_checksum(csum);
+    }
+}
+
+/// Plain-old-data description of a UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length (excluding the 8-byte header).
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parses a representation from a view.
+    pub fn parse<T: AsRef<[u8]>>(header: &UdpHeader<T>) -> Self {
+        UdpRepr {
+            src_port: header.src_port(),
+            dst_port: header.dst_port(),
+            payload_len: usize::from(header.length()).saturating_sub(HEADER_LEN),
+        }
+    }
+
+    /// Number of bytes the header occupies.
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emits the header into `buffer`; the payload must already be in place if
+    /// `fill_checksum` is used afterwards.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        check_len(buffer, HEADER_LEN)?;
+        let total = self.payload_len + HEADER_LEN;
+        if total > usize::from(u16::MAX) {
+            return Err(PacketError::BadLength);
+        }
+        let mut header = UdpHeader::new_unchecked(buffer);
+        header.set_src_port(self.src_port);
+        header.set_dst_port(self.dst_port);
+        header.set_length(total as u16);
+        header.set_checksum(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let repr = UdpRepr {
+            src_port: 5555,
+            dst_port: 0xf1f2,
+            payload_len: 16,
+        };
+        let mut buf = vec![0u8; 24];
+        repr.emit(&mut buf).unwrap();
+        let header = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(header.src_port(), 5555);
+        assert_eq!(header.dst_port(), 0xf1f2);
+        assert_eq!(header.length(), 24);
+        assert_eq!(UdpRepr::parse(&header), repr);
+        assert_eq!(header.payload().len(), 16);
+    }
+
+    #[test]
+    fn checksum_verifies_over_pseudo_header() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
+        let mut buf = vec![0u8; 12];
+        buf[8..].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        repr.emit(&mut buf).unwrap();
+        let src = Ipv4Address::new(192, 168, 0, 1);
+        let dst = Ipv4Address::new(192, 168, 0, 2);
+        {
+            let mut header = UdpHeader::new_unchecked(&mut buf[..]);
+            header.fill_checksum(src, dst);
+        }
+        let header = UdpHeader::new_checked(&buf[..]).unwrap();
+        let acc = checksum::pseudo_header_sum(*src.as_bytes(), *dst.as_bytes(), 17, 12)
+            + checksum::sum(&buf[..]);
+        assert_eq!(checksum::finish(acc), 0);
+        assert_ne!(header.checksum(), 0);
+    }
+
+    #[test]
+    fn short_and_inconsistent_buffers_rejected() {
+        assert!(UdpHeader::new_checked(&[0u8; 7][..]).is_err());
+        let mut buf = [0u8; 8];
+        buf[5] = 4; // length 4 < 8
+        assert_eq!(
+            UdpHeader::new_checked(&buf[..]).err(),
+            Some(PacketError::BadLength)
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! IEEE 802.1Q VLAN tag handling.
+//!
+//! Menshen uses the 12-bit VLAN ID as the *module ID* that selects which
+//! tenant module processes a packet (§3.1 of the paper). [`VlanId`] is the
+//! strongly-typed wrapper reused by the rest of the workspace.
+
+use crate::error::{check_len, PacketError};
+use crate::ethernet::EtherType;
+use crate::Result;
+use core::fmt;
+
+/// Length of the 802.1Q tag that follows the Ethernet source address
+/// (TCI + inner EtherType).
+pub const TAG_LEN: usize = 4;
+
+/// A 12-bit VLAN identifier. Menshen uses this value as the module ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VlanId(u16);
+
+impl VlanId {
+    /// Maximum representable VLAN ID (12 bits).
+    pub const MAX: u16 = 0x0fff;
+
+    /// Creates a VLAN ID, rejecting values that do not fit in 12 bits.
+    pub fn new(id: u16) -> Result<Self> {
+        if id > Self::MAX {
+            Err(PacketError::FieldRange { field: "vlan_id" })
+        } else {
+            Ok(VlanId(id))
+        }
+    }
+
+    /// Creates a VLAN ID, truncating to 12 bits. Useful in tests and generators.
+    pub const fn new_truncate(id: u16) -> Self {
+        VlanId(id & Self::MAX)
+    }
+
+    /// The numeric value.
+    pub const fn value(&self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for VlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for VlanId {
+    type Error = PacketError;
+    fn try_from(value: u16) -> Result<Self> {
+        VlanId::new(value)
+    }
+}
+
+/// A view over the 4-byte 802.1Q tag (TCI + encapsulated EtherType).
+#[derive(Debug, Clone)]
+pub struct VlanTag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VlanTag<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        VlanTag { buffer }
+    }
+
+    /// Wraps a buffer, checking its length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        check_len(buffer.as_ref(), TAG_LEN)?;
+        Ok(VlanTag { buffer })
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 5
+    }
+
+    /// Drop eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x10 != 0
+    }
+
+    /// VLAN identifier (12 bits).
+    pub fn vlan_id(&self) -> VlanId {
+        let raw = u16::from_be_bytes([self.buffer.as_ref()[0], self.buffer.as_ref()[1]]);
+        VlanId::new_truncate(raw)
+    }
+
+    /// The EtherType of the encapsulated payload.
+    pub fn inner_ethertype(&self) -> EtherType {
+        let raw = u16::from_be_bytes([self.buffer.as_ref()[2], self.buffer.as_ref()[3]]);
+        EtherType::from(raw)
+    }
+
+    /// Bytes after the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[TAG_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VlanTag<T> {
+    /// Sets the priority code point.
+    pub fn set_pcp(&mut self, pcp: u8) {
+        let b = &mut self.buffer.as_mut()[0];
+        *b = (*b & 0x1f) | ((pcp & 0x7) << 5);
+    }
+
+    /// Sets the drop eligible indicator.
+    pub fn set_dei(&mut self, dei: bool) {
+        let b = &mut self.buffer.as_mut()[0];
+        if dei {
+            *b |= 0x10;
+        } else {
+            *b &= !0x10;
+        }
+    }
+
+    /// Sets the VLAN identifier, preserving PCP/DEI.
+    pub fn set_vlan_id(&mut self, id: VlanId) {
+        let buf = self.buffer.as_mut();
+        let upper = buf[0] & 0xf0;
+        buf[0] = upper | ((id.value() >> 8) as u8 & 0x0f);
+        buf[1] = (id.value() & 0xff) as u8;
+    }
+
+    /// Sets the encapsulated EtherType.
+    pub fn set_inner_ethertype(&mut self, ethertype: EtherType) {
+        let raw: u16 = ethertype.into();
+        self.buffer.as_mut()[2..4].copy_from_slice(&raw.to_be_bytes());
+    }
+}
+
+/// Plain-old-data description of a VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanRepr {
+    /// Priority code point.
+    pub pcp: u8,
+    /// Drop eligible indicator.
+    pub dei: bool,
+    /// VLAN (module) identifier.
+    pub vlan_id: VlanId,
+    /// EtherType of the encapsulated payload.
+    pub inner_ethertype: EtherType,
+}
+
+impl VlanRepr {
+    /// Parses a representation out of a tag view.
+    pub fn parse<T: AsRef<[u8]>>(tag: &VlanTag<T>) -> Self {
+        VlanRepr {
+            pcp: tag.pcp(),
+            dei: tag.dei(),
+            vlan_id: tag.vlan_id(),
+            inner_ethertype: tag.inner_ethertype(),
+        }
+    }
+
+    /// Number of bytes the tag occupies.
+    pub const fn header_len(&self) -> usize {
+        TAG_LEN
+    }
+
+    /// Emits the tag into the front of `buffer`.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        check_len(buffer, TAG_LEN)?;
+        let mut tag = VlanTag::new_unchecked(buffer);
+        tag.set_pcp(self.pcp);
+        tag.set_dei(self.dei);
+        tag.set_vlan_id(self.vlan_id);
+        tag.set_inner_ethertype(self.inner_ethertype);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlan_id_range_checks() {
+        assert!(VlanId::new(0).is_ok());
+        assert!(VlanId::new(4095).is_ok());
+        assert!(VlanId::new(4096).is_err());
+        assert_eq!(VlanId::new_truncate(0x1fff).value(), 0x0fff);
+        assert_eq!(VlanId::try_from(7u16).unwrap().value(), 7);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        let mut buf = [0u8; 8];
+        let repr = VlanRepr {
+            pcp: 5,
+            dei: true,
+            vlan_id: VlanId::new(0xabc).unwrap(),
+            inner_ethertype: EtherType::Ipv4,
+        };
+        repr.emit(&mut buf).unwrap();
+        let tag = VlanTag::new_checked(&buf[..]).unwrap();
+        assert_eq!(tag.pcp(), 5);
+        assert!(tag.dei());
+        assert_eq!(tag.vlan_id().value(), 0xabc);
+        assert_eq!(tag.inner_ethertype(), EtherType::Ipv4);
+        assert_eq!(VlanRepr::parse(&tag), repr);
+    }
+
+    #[test]
+    fn set_vlan_id_preserves_pcp() {
+        let mut buf = [0u8; 4];
+        let mut tag = VlanTag::new_unchecked(&mut buf[..]);
+        tag.set_pcp(7);
+        tag.set_vlan_id(VlanId::new(42).unwrap());
+        assert_eq!(tag.pcp(), 7);
+        assert_eq!(tag.vlan_id().value(), 42);
+        tag.set_vlan_id(VlanId::new(0xfff).unwrap());
+        assert_eq!(tag.pcp(), 7);
+        assert_eq!(tag.vlan_id().value(), 0xfff);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(VlanTag::new_checked(&[0u8; 3][..]).is_err());
+        let repr = VlanRepr {
+            pcp: 0,
+            dei: false,
+            vlan_id: VlanId::default(),
+            inner_ethertype: EtherType::Ipv4,
+        };
+        assert!(repr.emit(&mut [0u8; 2]).is_err());
+    }
+}

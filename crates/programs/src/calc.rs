@@ -1,0 +1,193 @@
+//! CALC — return a value computed from a parsed opcode and operands
+//! (tutorial program, Table 3).
+//!
+//! Packets carry a custom header right after UDP: a 16-bit opcode, two 32-bit
+//! operands and a 32-bit result field. The module matches on the opcode and
+//! writes `operand_a ± operand_b` into the result field, or drops the packet
+//! for the "drop" opcode.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{DropReason, ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Opcode for addition.
+pub const OP_ADD: u16 = 1;
+/// Opcode for subtraction.
+pub const OP_SUB: u16 = 2;
+/// Opcode that drops the packet.
+pub const OP_DROP: u16 = 3;
+
+/// Byte offset of the CALC header within the frame (start of the UDP payload).
+pub const HEADER_OFFSET: usize = 46;
+
+/// DSL source of the CALC module.
+pub const SOURCE: &str = r#"
+module calc {
+    header calc_hdr {
+        opcode : 16;
+        operand_a : 32;
+        operand_b : 32;
+        result : 32;
+    }
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+        extract calc_hdr;
+    }
+    table calc_table {
+        key = { calc_hdr.opcode; }
+        actions = { do_add; do_sub; do_drop; }
+        size = 16;
+    }
+    action do_add() {
+        calc_hdr.result = calc_hdr.operand_a + calc_hdr.operand_b;
+    }
+    action do_sub() {
+        calc_hdr.result = calc_hdr.operand_a - calc_hdr.operand_b;
+    }
+    action do_drop() {
+        mark_drop();
+    }
+    apply {
+        calc_table.apply();
+    }
+}
+"#;
+
+/// The CALC evaluated program.
+pub struct Calc;
+
+impl Calc {
+    fn build_packet(module_id: u16, opcode: u16, a: u32, b: u32) -> Packet {
+        let mut payload = Vec::with_capacity(14);
+        payload.extend_from_slice(&opcode.to_be_bytes());
+        payload.extend_from_slice(&a.to_be_bytes());
+        payload.extend_from_slice(&b.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes()); // result placeholder
+        PacketBuilder::new()
+            .with_vlan(module_id)
+            .build_udp([10, 0, 0, 1], [10, 0, 0, 2], 4000, 5000, &payload)
+    }
+
+    fn read_operands(packet: &Packet) -> Option<(u16, u32, u32)> {
+        Some((
+            packet.read_be(HEADER_OFFSET, 2)? as u16,
+            packet.read_be(HEADER_OFFSET + 2, 4)? as u32,
+            packet.read_be(HEADER_OFFSET + 6, 4)? as u32,
+        ))
+    }
+}
+
+impl EvaluatedProgram for Calc {
+    fn name(&self) -> &'static str {
+        "CALC"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let opcode = FieldRef::new("calc_hdr", "opcode");
+        let stage = compiled.table("calc_table").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        for (value, action) in [(OP_ADD, "do_add"), (OP_SUB, "do_sub"), (OP_DROP, "do_drop")] {
+            config.stages[stage]
+                .rules
+                .push(compiled.rule("calc_table", &[(&opcode, u64::from(value))], action)?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let opcode = *[OP_ADD, OP_SUB, OP_DROP]
+                    .get(rng.gen_range(0..3))
+                    .expect("index in range");
+                // Keep operands ordered so subtraction never wraps; wrapping is
+                // well-defined in the ALU but makes the oracle noisier to read.
+                let a: u32 = rng.gen_range(1_000..1_000_000);
+                let b: u32 = rng.gen_range(0..1_000);
+                Self::build_packet(module_id, opcode, a, b)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let Some((opcode, a, b)) = Self::read_operands(input) else {
+            return false;
+        };
+        match (opcode, verdict) {
+            (OP_DROP, Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }) => true,
+            (OP_ADD, Verdict::Forwarded { packet, .. }) => {
+                packet.read_be(HEADER_OFFSET + 10, 4) == Some(u64::from(a.wrapping_add(b)))
+            }
+            (OP_SUB, Verdict::Forwarded { packet, .. }) => {
+                packet.read_be(HEADER_OFFSET + 10, 4) == Some(u64::from(a.wrapping_sub(b)))
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn add_sub_and_drop_behave() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Calc.build(3).unwrap()).unwrap();
+
+        let add = Calc::build_packet(3, OP_ADD, 700, 42);
+        match pipeline.process(add) {
+            Verdict::Forwarded { packet, .. } => {
+                assert_eq!(packet.read_be(HEADER_OFFSET + 10, 4), Some(742));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let sub = Calc::build_packet(3, OP_SUB, 700, 42);
+        match pipeline.process(sub) {
+            Verdict::Forwarded { packet, .. } => {
+                assert_eq!(packet.read_be(HEADER_OFFSET + 10, 4), Some(658));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let drop = Calc::build_packet(3, OP_DROP, 1, 2);
+        assert!(matches!(
+            pipeline.process(drop),
+            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }
+        ));
+
+        // Unknown opcodes miss the table and pass through unchanged.
+        let unknown = Calc::build_packet(3, 9, 5, 5);
+        match pipeline.process(unknown) {
+            Verdict::Forwarded { packet, .. } => {
+                assert_eq!(packet.read_be(HEADER_OFFSET + 10, 4), Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_pipeline_output() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Calc.build(3).unwrap()).unwrap();
+        for packet in Calc.packets(3, 30, 1) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(Calc.check_output(&packet, &verdict));
+        }
+    }
+}

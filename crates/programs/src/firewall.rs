@@ -1,0 +1,183 @@
+//! Firewall — a stateless firewall that blocks certain traffic
+//! (tutorial program, Table 3).
+//!
+//! The module matches on the (source IP, UDP destination port) pair and drops
+//! packets on the block list; everything else is forwarded towards port 1.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{DropReason, ModuleConfig, Verdict};
+use menshen_packet::{Ipv4Address, Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DSL source of the Firewall module.
+pub const SOURCE: &str = r#"
+module firewall {
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+    }
+    table acl {
+        key = { ipv4.src_addr; udp.dst_port; }
+        actions = { block; allow; }
+        size = 16;
+    }
+    action block() {
+        mark_drop();
+    }
+    action allow() {
+        set_port(1);
+    }
+    apply {
+        acl.apply();
+    }
+}
+"#;
+
+/// The (source IP, destination port) pairs on the block list.
+pub fn block_list() -> Vec<(Ipv4Address, u16)> {
+    vec![
+        (Ipv4Address::new(10, 0, 0, 13), 80),
+        (Ipv4Address::new(10, 0, 0, 66), 443),
+        (Ipv4Address::new(192, 168, 7, 7), 53),
+    ]
+}
+
+/// Explicitly allowed pairs (hit the `allow` action).
+pub fn allow_list() -> Vec<(Ipv4Address, u16)> {
+    vec![
+        (Ipv4Address::new(10, 0, 0, 1), 80),
+        (Ipv4Address::new(10, 0, 0, 2), 443),
+    ]
+}
+
+/// The Firewall evaluated program.
+pub struct Firewall;
+
+impl Firewall {
+    fn build_packet(module_id: u16, src: Ipv4Address, dst_port: u16) -> Packet {
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            src,
+            [10, 0, 9, 9],
+            33333,
+            dst_port,
+            &[0u8; 16],
+        )
+    }
+}
+
+impl EvaluatedProgram for Firewall {
+    fn name(&self) -> &'static str {
+        "Firewall"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let src = FieldRef::new("ipv4", "src_addr");
+        let port = FieldRef::new("udp", "dst_port");
+        let stage = compiled.table("acl").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        for (ip, dst_port) in block_list() {
+            config.stages[stage].rules.push(compiled.rule(
+                "acl",
+                &[(&src, u64::from(ip.to_u32())), (&port, u64::from(dst_port))],
+                "block",
+            )?);
+        }
+        for (ip, dst_port) in allow_list() {
+            config.stages[stage].rules.push(compiled.rule(
+                "acl",
+                &[(&src, u64::from(ip.to_u32())), (&port, u64::from(dst_port))],
+                "allow",
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocked = block_list();
+        let allowed = allow_list();
+        (0..count)
+            .map(|_| {
+                let roll = rng.gen_range(0..3);
+                let (src, port) = match roll {
+                    0 => blocked[rng.gen_range(0..blocked.len())],
+                    1 => allowed[rng.gen_range(0..allowed.len())],
+                    _ => (
+                        Ipv4Address::new(172, 16, rng.gen_range(0..4), rng.gen_range(1..250)),
+                        rng.gen_range(1024..2048),
+                    ),
+                };
+                Self::build_packet(module_id, src, port)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let src = match input.ipv4_src() {
+            Some(src) => src,
+            None => return false,
+        };
+        let port = match input.udp_dst_port() {
+            Some(port) => port,
+            None => return false,
+        };
+        let is_blocked = block_list().contains(&(src, port));
+        match verdict {
+            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. } => is_blocked,
+            Verdict::Forwarded { packet, .. } => {
+                // The firewall never rewrites packet contents.
+                !is_blocked && packet.bytes() == input.bytes()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn blocks_listed_flows_and_passes_others() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Firewall.build(2).unwrap()).unwrap();
+
+        let blocked = Firewall::build_packet(2, Ipv4Address::new(10, 0, 0, 13), 80);
+        assert!(matches!(
+            pipeline.process(blocked),
+            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }
+        ));
+
+        // Same source, different port: passes.
+        let passes = Firewall::build_packet(2, Ipv4Address::new(10, 0, 0, 13), 8080);
+        assert!(pipeline.process(passes).is_forwarded());
+
+        // Explicitly allowed flow routed to port 1.
+        let allowed = Firewall::build_packet(2, Ipv4Address::new(10, 0, 0, 1), 80);
+        match pipeline.process(allowed) {
+            Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Firewall.build(2).unwrap()).unwrap();
+        for packet in Firewall.packets(2, 60, 99) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(Firewall.check_output(&packet, &verdict));
+        }
+    }
+}

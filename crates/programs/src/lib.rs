@@ -1,0 +1,151 @@
+//! The evaluated packet-processing modules of Table 3.
+//!
+//! The paper evaluates Menshen with six tutorial-style P4 programs (CALC,
+//! Firewall, Load Balancing, QoS, Source Routing, Multicast), simplified
+//! versions of the NetCache and NetChain research systems, and a system-level
+//! module providing routing/multicast to everything else. This crate rewrites
+//! each of them in the Menshen DSL, compiles them with `menshen-compiler`,
+//! installs their concrete match-action rules, and pairs each with a workload
+//! generator and an output oracle so behaviour-isolation experiments (§5.1)
+//! can check that every module behaves exactly as it would running alone.
+//!
+//! Simplifications (mirroring the paper's own, §5 footnote 4): NetCache does
+//! not tag hot keys — its cache entries return per-key hit counters from
+//! stateful memory; NetChain implements only the sequencer. Both exercise the
+//! same pipeline features (custom headers, exact match, per-module stateful
+//! memory) as the originals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calc;
+pub mod firewall;
+pub mod load_balancing;
+pub mod multicast;
+pub mod netcache;
+pub mod netchain;
+pub mod qos;
+pub mod source_routing;
+pub mod system;
+
+use menshen_compiler::CompileError;
+use menshen_core::{ModuleConfig, SystemModule, Verdict};
+use menshen_packet::Packet;
+
+/// A program from the paper's evaluation: DSL source, loadable configuration,
+/// a workload, and an oracle for behaviour-isolation checks.
+pub trait EvaluatedProgram {
+    /// Program name as it appears in Table 3.
+    fn name(&self) -> &'static str;
+
+    /// The DSL source of the module.
+    fn source(&self) -> &'static str;
+
+    /// Compiles the module for `module_id` and installs its concrete rules.
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError>;
+
+    /// Installs any state the program expects in the system-level module
+    /// (routes, multicast groups). Default: nothing.
+    fn configure_system(&self, _system: &mut SystemModule) {}
+
+    /// Generates `count` workload packets for the module, deterministically
+    /// from `seed`.
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet>;
+
+    /// Checks that the pipeline's verdict for `input` is what the program
+    /// would produce running alone (the behaviour-isolation oracle).
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool;
+}
+
+/// All eight evaluated modules of Table 3, in the paper's order.
+pub fn all_programs() -> Vec<Box<dyn EvaluatedProgram>> {
+    vec![
+        Box::new(calc::Calc),
+        Box::new(firewall::Firewall),
+        Box::new(load_balancing::LoadBalancing),
+        Box::new(qos::Qos),
+        Box::new(source_routing::SourceRouting),
+        Box::new(netcache::NetCache::new()),
+        Box::new(netchain::NetChain::new()),
+        Box::new(multicast::Multicast),
+    ]
+}
+
+/// The names of the programs plotted in Figures 8 and 9 (the eight modules of
+/// Table 3 minus Multicast, whose logic lives in the system-level module in
+/// the paper's setup, plus the system-level program itself).
+pub fn figure8_program_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("CALC", calc::SOURCE),
+        ("Firewall", firewall::SOURCE),
+        ("Load Balancing", load_balancing::SOURCE),
+        ("QoS", qos::SOURCE),
+        ("Source Routing", source_routing::SOURCE),
+        ("NetCache", netcache::SOURCE),
+        ("NetChain", netchain::SOURCE),
+        ("System-level", system::SOURCE),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::{MenshenPipeline, ModuleId};
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn every_program_compiles_and_loads() {
+        for (index, program) in all_programs().into_iter().enumerate() {
+            let module_id = (index + 1) as u16;
+            let config = program
+                .build(module_id)
+                .unwrap_or_else(|e| panic!("{} failed to build: {e}", program.name()));
+            assert_eq!(config.module_id, ModuleId::new(module_id));
+            let mut pipeline = MenshenPipeline::new(TABLE5);
+            program.configure_system(pipeline.system_mut());
+            pipeline
+                .load_module(&config)
+                .unwrap_or_else(|e| panic!("{} failed to load: {e}", program.name()));
+        }
+    }
+
+    #[test]
+    fn every_program_passes_its_own_oracle_in_isolation() {
+        for (index, program) in all_programs().into_iter().enumerate() {
+            let module_id = (index + 1) as u16;
+            let config = program.build(module_id).unwrap();
+            let mut pipeline = MenshenPipeline::new(TABLE5);
+            program.configure_system(pipeline.system_mut());
+            pipeline.load_module(&config).unwrap();
+            for packet in program.packets(module_id, 40, 7) {
+                let verdict = pipeline.process(packet.clone());
+                assert!(
+                    program.check_output(&packet, &verdict),
+                    "{}: oracle rejected verdict {verdict:?} for its own traffic",
+                    program.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_in_the_seed() {
+        for program in all_programs() {
+            let a = program.packets(5, 10, 42);
+            let b = program.packets(5, 10, 42);
+            let bytes_a: Vec<_> = a.iter().map(|p| p.bytes().to_vec()).collect();
+            let bytes_b: Vec<_> = b.iter().map(|p| p.bytes().to_vec()).collect();
+            assert_eq!(bytes_a, bytes_b, "{}", program.name());
+            assert_eq!(a.len(), 10);
+        }
+    }
+
+    #[test]
+    fn figure8_sources_all_parse() {
+        for (name, source) in figure8_program_sources() {
+            menshen_compiler::parse_module(source)
+                .unwrap_or_else(|e| panic!("{name} source does not parse: {e}"));
+        }
+        assert_eq!(figure8_program_sources().len(), 8);
+    }
+}

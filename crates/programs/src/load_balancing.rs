@@ -1,0 +1,164 @@
+//! Load Balancing — steer traffic based on flow header information
+//! (tutorial program, Table 3).
+//!
+//! Flows (identified by their UDP source port) are pinned to one of four
+//! backends; the module rewrites the destination UDP port to the backend's
+//! service port and steers the packet out of the backend's switch port.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of backends traffic is spread across.
+pub const NUM_BACKENDS: u16 = 4;
+/// First UDP source port of the pinned flows.
+pub const FLOW_PORT_BASE: u16 = 1000;
+/// Number of pinned flows. Kept at 8 so the load balancer can share a stage's
+/// 16-entry exact-match table with other tenants in the multi-module
+/// experiments of §5.1.
+pub const NUM_FLOWS: u16 = 8;
+
+/// DSL source of the Load Balancing module.
+pub const SOURCE: &str = r#"
+module load_balancer {
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+    }
+    table flow_steering {
+        key = { udp.src_port; }
+        actions = { to_backend_1; to_backend_2; to_backend_3; to_backend_4; }
+        size = 16;
+    }
+    action to_backend_1() { udp.dst_port = 8001; set_port(11); }
+    action to_backend_2() { udp.dst_port = 8002; set_port(12); }
+    action to_backend_3() { udp.dst_port = 8003; set_port(13); }
+    action to_backend_4() { udp.dst_port = 8004; set_port(14); }
+    apply {
+        flow_steering.apply();
+    }
+}
+"#;
+
+/// The backend index (0-based) a flow with `src_port` is pinned to.
+pub fn backend_for(src_port: u16) -> u16 {
+    (src_port.wrapping_sub(FLOW_PORT_BASE)) % NUM_BACKENDS
+}
+
+/// The Load Balancing evaluated program.
+pub struct LoadBalancing;
+
+impl LoadBalancing {
+    fn build_packet(module_id: u16, src_port: u16) -> Packet {
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 1, 0, 1],
+            [10, 1, 0, 100],
+            src_port,
+            80,
+            &[0u8; 32],
+        )
+    }
+}
+
+impl EvaluatedProgram for LoadBalancing {
+    fn name(&self) -> &'static str {
+        "Load Balancing"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let src_port = FieldRef::new("udp", "src_port");
+        let stage = compiled.table("flow_steering").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        let actions = ["to_backend_1", "to_backend_2", "to_backend_3", "to_backend_4"];
+        for flow in 0..NUM_FLOWS {
+            let port = FLOW_PORT_BASE + flow;
+            let action = actions[usize::from(backend_for(port))];
+            config.stages[stage].rules.push(compiled.rule(
+                "flow_steering",
+                &[(&src_port, u64::from(port))],
+                action,
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let src_port = FLOW_PORT_BASE + rng.gen_range(0..NUM_FLOWS);
+                Self::build_packet(module_id, src_port)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let src_port = match input.parse_headers().ok().and_then(|h| h.udp).and_then(|off| {
+            input.read_be(off, 2)
+        }) {
+            Some(port) => port as u16,
+            None => return false,
+        };
+        let backend = backend_for(src_port);
+        match verdict {
+            Verdict::Forwarded { packet, ports, .. } => {
+                packet.udp_dst_port() == Some(8001 + backend)
+                    && ports == &vec![11 + backend]
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn flows_are_pinned_to_backends() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&LoadBalancing.build(4).unwrap()).unwrap();
+        // The same flow always lands on the same backend.
+        for _ in 0..3 {
+            let packet = LoadBalancing::build_packet(4, 1002);
+            match pipeline.process(packet) {
+                Verdict::Forwarded { packet, ports, .. } => {
+                    assert_eq!(packet.udp_dst_port(), Some(8003));
+                    assert_eq!(ports, vec![13]);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Different flows spread across all four backends.
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..NUM_FLOWS {
+            let packet = LoadBalancing::build_packet(4, FLOW_PORT_BASE + flow);
+            if let Verdict::Forwarded { ports, .. } = pipeline.process(packet) {
+                seen.insert(ports[0]);
+            }
+        }
+        assert_eq!(seen.len(), usize::from(NUM_BACKENDS));
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&LoadBalancing.build(4).unwrap()).unwrap();
+        for packet in LoadBalancing.packets(4, 50, 5) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(LoadBalancing.check_output(&packet, &verdict));
+        }
+    }
+}

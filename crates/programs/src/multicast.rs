@@ -1,0 +1,160 @@
+//! Multicast — replicate packets based on their destination IP address
+//! (tutorial program, Table 3).
+//!
+//! The module admits traffic destined to its multicast groups; replication
+//! itself is performed by the system-level module (§3.3), which owns the
+//! group-to-port mapping — exactly how the paper integrates multicast into
+//! the system-level module.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, SystemModule, Verdict};
+use menshen_packet::{Ipv4Address, Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The multicast groups the module serves, with their replication port lists.
+pub fn groups() -> Vec<(Ipv4Address, Vec<u16>)> {
+    vec![
+        (Ipv4Address::new(224, 0, 1, 1), vec![1, 2, 3]),
+        (Ipv4Address::new(224, 0, 1, 2), vec![4, 5]),
+    ]
+}
+
+/// DSL source of the Multicast module.
+pub const SOURCE: &str = r#"
+module multicast {
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+    }
+    table group_membership {
+        key = { ipv4.dst_addr; }
+        actions = { admit; }
+        size = 16;
+    }
+    action admit() {
+        set_port(63);
+    }
+    apply {
+        group_membership.apply();
+    }
+}
+"#;
+
+/// The Multicast evaluated program.
+pub struct Multicast;
+
+impl Multicast {
+    fn build_packet(module_id: u16, dst: Ipv4Address) -> Packet {
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 6, 0, 1],
+            dst,
+            20_000,
+            30_000,
+            &[0u8; 24],
+        )
+    }
+}
+
+impl EvaluatedProgram for Multicast {
+    fn name(&self) -> &'static str {
+        "Multicast"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let dst = FieldRef::new("ipv4", "dst_addr");
+        let stage = compiled.table("group_membership").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        for (group, _) in groups() {
+            config.stages[stage].rules.push(compiled.rule(
+                "group_membership",
+                &[(&dst, u64::from(group.to_u32()))],
+                "admit",
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn configure_system(&self, system: &mut SystemModule) {
+        for (group, ports) in groups() {
+            system.add_multicast_group(group, ports);
+        }
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups = groups();
+        (0..count)
+            .map(|_| {
+                let dst = if rng.gen_bool(0.7) {
+                    groups[rng.gen_range(0..groups.len())].0
+                } else {
+                    Ipv4Address::new(10, 6, 0, rng.gen_range(2..200))
+                };
+                Self::build_packet(module_id, dst)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let dst = match input.ipv4_dst() {
+            Some(dst) => dst,
+            None => return false,
+        };
+        let expected_ports = groups().into_iter().find(|(g, _)| *g == dst).map(|(_, p)| p);
+        match verdict {
+            Verdict::Forwarded { ports, .. } => match expected_ports {
+                Some(expected) => ports == &expected,
+                None => ports.len() == 1,
+            },
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn group_traffic_is_replicated() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        Multicast.configure_system(pipeline.system_mut());
+        pipeline.load_module(&Multicast.build(9).unwrap()).unwrap();
+
+        match pipeline.process(Multicast::build_packet(9, Ipv4Address::new(224, 0, 1, 1))) {
+            Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match pipeline.process(Multicast::build_packet(9, Ipv4Address::new(224, 0, 1, 2))) {
+            Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![4, 5]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unicast traffic takes a single port.
+        match pipeline.process(Multicast::build_packet(9, Ipv4Address::new(10, 6, 0, 50))) {
+            Verdict::Forwarded { ports, .. } => assert_eq!(ports.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        Multicast.configure_system(pipeline.system_mut());
+        pipeline.load_module(&Multicast.build(9).unwrap()).unwrap();
+        for packet in Multicast.packets(9, 40, 17) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(Multicast.check_output(&packet, &verdict));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! NetCache (simplified) — an in-network key-value cache (Table 3).
+//!
+//! The real NetCache [Jin et al., SOSP'17] serves hot key-value pairs from
+//! switch stateful memory. Following the paper's own simplification (§5
+//! footnote 4: no hot-key tagging), this module caches a small set of keys
+//! and serves, for each cached key, a per-key statistic held in the module's
+//! stateful memory: the number of times the key has been requested. Every
+//! read both returns the statistic in the value field and updates it — which
+//! exercises exactly the pipeline features the original needs (custom KV
+//! header, exact match on the key, per-module stateful memory accessed
+//! through the segment table) and gives the behaviour-isolation experiments a
+//! stateful oracle.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Byte offset of the key-value header (start of the UDP payload).
+pub const HEADER_OFFSET: usize = 46;
+/// The cached keys.
+pub const CACHED_KEYS: [u32; 4] = [100, 101, 102, 103];
+/// Read-request opcode.
+pub const OP_READ: u16 = 1;
+
+/// DSL source of the simplified NetCache module.
+pub const SOURCE: &str = r#"
+module netcache {
+    header kv_hdr {
+        op : 16;
+        key : 32;
+        value : 32;
+    }
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+        extract kv_hdr;
+    }
+    state hit_counters[16];
+    table cache_lookup {
+        key = { kv_hdr.key; }
+        actions = { serve_slot_0; serve_slot_1; serve_slot_2; serve_slot_3; }
+        size = 16;
+    }
+    action serve_slot_0() { kv_hdr.value = hit_counters.count(0); set_port(1); }
+    action serve_slot_1() { kv_hdr.value = hit_counters.count(1); set_port(1); }
+    action serve_slot_2() { kv_hdr.value = hit_counters.count(2); set_port(1); }
+    action serve_slot_3() { kv_hdr.value = hit_counters.count(3); set_port(1); }
+    apply {
+        cache_lookup.apply();
+    }
+}
+"#;
+
+/// The NetCache evaluated program.
+///
+/// The oracle is stateful (it must predict the per-key hit count), so the
+/// program keeps its own model of the counters, keyed by module ID so that
+/// several instances can coexist in one test.
+#[derive(Default)]
+pub struct NetCache {
+    model: Mutex<HashMap<(u16, u32), u64>>,
+}
+
+#[allow(clippy::new_without_default)]
+impl NetCache {
+    /// Creates a NetCache program with a fresh oracle model.
+    pub fn new() -> Self {
+        NetCache::default()
+    }
+
+    fn build_packet(module_id: u16, key: u32) -> Packet {
+        let mut payload = Vec::with_capacity(10);
+        payload.extend_from_slice(&OP_READ.to_be_bytes());
+        payload.extend_from_slice(&key.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes());
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 4, 0, 1],
+            [10, 4, 0, 2],
+            50_000,
+            8888,
+            &payload,
+        )
+    }
+}
+
+impl EvaluatedProgram for NetCache {
+    fn name(&self) -> &'static str {
+        "NetCache"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let key = FieldRef::new("kv_hdr", "key");
+        let stage = compiled.table("cache_lookup").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        let actions = ["serve_slot_0", "serve_slot_1", "serve_slot_2", "serve_slot_3"];
+        for (slot, cached_key) in CACHED_KEYS.iter().enumerate() {
+            config.stages[stage].rules.push(compiled.rule(
+                "cache_lookup",
+                &[(&key, u64::from(*cached_key))],
+                actions[slot],
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                // 80 % of requests hit the cached keys (a hot-key workload),
+                // the rest miss.
+                let key = if rng.gen_range(0..10) < 8 {
+                    CACHED_KEYS[rng.gen_range(0..CACHED_KEYS.len())]
+                } else {
+                    rng.gen_range(1000..2000)
+                };
+                Self::build_packet(module_id, key)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let key = match input.read_be(HEADER_OFFSET + 2, 4) {
+            Some(key) => key as u32,
+            None => return false,
+        };
+        let module_id = input.vlan_id().map(|v| v.value()).unwrap_or(0);
+        match verdict {
+            Verdict::Forwarded { packet, .. } => {
+                let value = packet.read_be(HEADER_OFFSET + 6, 4);
+                if CACHED_KEYS.contains(&key) {
+                    // Cache hit: the returned value is the previous hit count.
+                    let mut model = self.model.lock().expect("oracle model lock");
+                    let counter = model.entry((module_id, key)).or_insert(0);
+                    let expected = *counter;
+                    *counter += 1;
+                    value == Some(expected)
+                } else {
+                    // Cache miss: the packet passes through unchanged.
+                    value == Some(0)
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::{MenshenPipeline, ModuleId};
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn hit_counters_increase_per_key() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let cache = NetCache::new();
+        pipeline.load_module(&cache.build(7).unwrap()).unwrap();
+
+        for expected in 0..3u64 {
+            match pipeline.process(NetCache::build_packet(7, 100)) {
+                Verdict::Forwarded { packet, .. } => {
+                    assert_eq!(packet.read_be(HEADER_OFFSET + 6, 4), Some(expected));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // A different key has its own counter.
+        match pipeline.process(NetCache::build_packet(7, 103)) {
+            Verdict::Forwarded { packet, .. } => {
+                assert_eq!(packet.read_be(HEADER_OFFSET + 6, 4), Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The counters live in the module's stateful memory.
+        assert_eq!(pipeline.read_stateful(ModuleId::new(7), 0, 0), Some(3));
+        assert_eq!(pipeline.read_stateful(ModuleId::new(7), 0, 3), Some(1));
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let cache = NetCache::new();
+        pipeline.load_module(&cache.build(7).unwrap()).unwrap();
+        for packet in cache.packets(7, 60, 21) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(cache.check_output(&packet, &verdict));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! NetChain (simplified) — an in-network sequencer (Table 3).
+//!
+//! The real NetChain [Jin et al., NSDI'18] provides sub-RTT chain-replicated
+//! coordination; the evaluated version in the paper is a simplified
+//! sequencer. This module stamps every request packet with a strictly
+//! increasing sequence number drawn from the module's stateful memory —
+//! exercising the read-add-write (`loadd`) stateful ALU path through the
+//! segment table.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Byte offset of the sequencer header (start of the UDP payload).
+pub const HEADER_OFFSET: usize = 46;
+/// Opcode for a "next sequence number" request.
+pub const OP_SEQUENCE: u16 = 1;
+
+/// DSL source of the simplified NetChain module.
+pub const SOURCE: &str = r#"
+module netchain {
+    header chain_hdr {
+        op : 16;
+        seq : 32;
+    }
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+        extract chain_hdr;
+    }
+    state sequencer[4];
+    table sequence_requests {
+        key = { chain_hdr.op; }
+        actions = { assign_sequence; }
+        size = 16;
+    }
+    action assign_sequence() {
+        chain_hdr.seq = sequencer.count(0);
+        set_port(2);
+    }
+    apply {
+        sequence_requests.apply();
+    }
+}
+"#;
+
+/// The NetChain evaluated program.
+#[derive(Default)]
+pub struct NetChain {
+    next_seq: Mutex<HashMap<u16, u64>>,
+}
+
+#[allow(clippy::new_without_default)]
+impl NetChain {
+    /// Creates a NetChain program with a fresh oracle model.
+    pub fn new() -> Self {
+        NetChain::default()
+    }
+
+    fn build_packet(module_id: u16, op: u16) -> Packet {
+        let mut payload = Vec::with_capacity(6);
+        payload.extend_from_slice(&op.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes());
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 5, 0, 1],
+            [10, 5, 0, 2],
+            60_000,
+            9999,
+            &payload,
+        )
+    }
+}
+
+impl EvaluatedProgram for NetChain {
+    fn name(&self) -> &'static str {
+        "NetChain"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let op = FieldRef::new("chain_hdr", "op");
+        let stage = compiled.table("sequence_requests").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        config.stages[stage].rules.push(compiled.rule(
+            "sequence_requests",
+            &[(&op, u64::from(OP_SEQUENCE))],
+            "assign_sequence",
+        )?);
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                // Mostly sequencing requests, occasionally an unrelated opcode
+                // that must pass through untouched.
+                let op = if rng.gen_range(0..10) < 9 { OP_SEQUENCE } else { 7 };
+                Self::build_packet(module_id, op)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let op = match input.read_be(HEADER_OFFSET, 2) {
+            Some(op) => op as u16,
+            None => return false,
+        };
+        let module_id = input.vlan_id().map(|v| v.value()).unwrap_or(0);
+        match verdict {
+            Verdict::Forwarded { packet, .. } => {
+                let seq = packet.read_be(HEADER_OFFSET + 2, 4);
+                if op == OP_SEQUENCE {
+                    let mut model = self.next_seq.lock().expect("oracle model lock");
+                    let counter = model.entry(module_id).or_insert(0);
+                    let expected = *counter;
+                    *counter += 1;
+                    seq == Some(expected)
+                } else {
+                    seq == Some(0)
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn sequence_numbers_are_strictly_increasing() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let chain = NetChain::new();
+        pipeline.load_module(&chain.build(8).unwrap()).unwrap();
+        let mut previous = None;
+        for _ in 0..10 {
+            match pipeline.process(NetChain::build_packet(8, OP_SEQUENCE)) {
+                Verdict::Forwarded { packet, ports, .. } => {
+                    let seq = packet.read_be(HEADER_OFFSET + 2, 4).unwrap();
+                    if let Some(prev) = previous {
+                        assert_eq!(seq, prev + 1);
+                    } else {
+                        assert_eq!(seq, 0);
+                    }
+                    previous = Some(seq);
+                    assert_eq!(ports, vec![2]);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Non-sequencing packets are untouched.
+        match pipeline.process(NetChain::build_packet(8, 7)) {
+            Verdict::Forwarded { packet, .. } => {
+                assert_eq!(packet.read_be(HEADER_OFFSET + 2, 4), Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let chain = NetChain::new();
+        pipeline.load_module(&chain.build(8).unwrap()).unwrap();
+        for packet in chain.packets(8, 50, 8) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(chain.check_output(&packet, &verdict));
+        }
+    }
+}

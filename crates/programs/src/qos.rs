@@ -1,0 +1,165 @@
+//! QoS — set quality of service based on traffic type (tutorial program,
+//! Table 3).
+//!
+//! The module classifies traffic by its UDP destination port and steers each
+//! class to a different output queue (modelled as switch ports with different
+//! priorities): video to the high-priority queue, voice to medium, bulk to
+//! low. Unclassified traffic takes the best-effort default path.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// UDP port carrying video traffic.
+pub const VIDEO_PORT: u16 = 5001;
+/// UDP port carrying voice traffic.
+pub const VOICE_PORT: u16 = 5002;
+/// UDP port carrying bulk-transfer traffic.
+pub const BULK_PORT: u16 = 5003;
+
+/// Output queue (port) for the high-priority class.
+pub const HIGH_QUEUE: u16 = 7;
+/// Output queue (port) for the medium-priority class.
+pub const MEDIUM_QUEUE: u16 = 4;
+/// Output queue (port) for the low-priority class.
+pub const LOW_QUEUE: u16 = 1;
+
+/// DSL source of the QoS module.
+pub const SOURCE: &str = r#"
+module qos {
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+    }
+    table classify {
+        key = { udp.dst_port; }
+        actions = { high_priority; medium_priority; low_priority; }
+        size = 16;
+    }
+    action high_priority() { set_port(7); }
+    action medium_priority() { set_port(4); }
+    action low_priority() { set_port(1); }
+    apply {
+        classify.apply();
+    }
+}
+"#;
+
+/// The QoS evaluated program.
+pub struct Qos;
+
+impl Qos {
+    fn build_packet(module_id: u16, dst_port: u16) -> Packet {
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 2, 0, 1],
+            [10, 2, 0, 2],
+            40000,
+            dst_port,
+            &[0u8; 64],
+        )
+    }
+
+    /// The queue a given destination port classifies into, if any.
+    pub fn queue_for(dst_port: u16) -> Option<u16> {
+        match dst_port {
+            VIDEO_PORT => Some(HIGH_QUEUE),
+            VOICE_PORT => Some(MEDIUM_QUEUE),
+            BULK_PORT => Some(LOW_QUEUE),
+            _ => None,
+        }
+    }
+}
+
+impl EvaluatedProgram for Qos {
+    fn name(&self) -> &'static str {
+        "QoS"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let dst_port = FieldRef::new("udp", "dst_port");
+        let stage = compiled.table("classify").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        for (port, action) in [
+            (VIDEO_PORT, "high_priority"),
+            (VOICE_PORT, "medium_priority"),
+            (BULK_PORT, "low_priority"),
+        ] {
+            config.stages[stage].rules.push(compiled.rule(
+                "classify",
+                &[(&dst_port, u64::from(port))],
+                action,
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let dst_port = match rng.gen_range(0..4) {
+                    0 => VIDEO_PORT,
+                    1 => VOICE_PORT,
+                    2 => BULK_PORT,
+                    _ => rng.gen_range(6000..7000),
+                };
+                Self::build_packet(module_id, dst_port)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let dst_port = match input.udp_dst_port() {
+            Some(port) => port,
+            None => return false,
+        };
+        match verdict {
+            Verdict::Forwarded { ports, .. } => match Self::queue_for(dst_port) {
+                Some(queue) => ports == &vec![queue],
+                None => ports.len() == 1, // best-effort default path
+            },
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn classes_map_to_queues() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Qos.build(5).unwrap()).unwrap();
+        for (port, queue) in [(VIDEO_PORT, HIGH_QUEUE), (VOICE_PORT, MEDIUM_QUEUE), (BULK_PORT, LOW_QUEUE)] {
+            match pipeline.process(Qos::build_packet(5, port)) {
+                Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![queue]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Unclassified traffic still forwards (default path).
+        assert!(pipeline.process(Qos::build_packet(5, 9999)).is_forwarded());
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&Qos.build(5).unwrap()).unwrap();
+        for packet in Qos.packets(5, 40, 11) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(Qos.check_output(&packet, &verdict));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Source Routing — route packets based on parsed header information
+//! (tutorial program, Table 3).
+//!
+//! The sender embeds the desired egress port in a small source-routing header
+//! carried after UDP; the module matches on that field and steers the packet
+//! accordingly.
+
+use crate::EvaluatedProgram;
+use menshen_compiler::{compile_source, CompileError, CompileOptions, FieldRef};
+use menshen_core::{ModuleConfig, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Byte offset of the source-routing header (start of the UDP payload).
+pub const HEADER_OFFSET: usize = 46;
+/// Number of egress ports the module knows how to steer to.
+pub const NUM_PORTS: u16 = 4;
+
+/// DSL source of the Source Routing module.
+pub const SOURCE: &str = r#"
+module source_routing {
+    header sr_hdr {
+        next_hop : 16;
+        hops_remaining : 16;
+    }
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+        extract sr_hdr;
+    }
+    table route_by_hop {
+        key = { sr_hdr.next_hop; }
+        actions = { to_port_1; to_port_2; to_port_3; to_port_4; }
+        size = 16;
+    }
+    action to_port_1() { set_port(1); sr_hdr.hops_remaining = sr_hdr.hops_remaining - 1; }
+    action to_port_2() { set_port(2); sr_hdr.hops_remaining = sr_hdr.hops_remaining - 1; }
+    action to_port_3() { set_port(3); sr_hdr.hops_remaining = sr_hdr.hops_remaining - 1; }
+    action to_port_4() { set_port(4); sr_hdr.hops_remaining = sr_hdr.hops_remaining - 1; }
+    apply {
+        route_by_hop.apply();
+    }
+}
+"#;
+
+/// The Source Routing evaluated program.
+pub struct SourceRouting;
+
+impl SourceRouting {
+    fn build_packet(module_id: u16, next_hop: u16, hops_remaining: u16) -> Packet {
+        let mut payload = Vec::with_capacity(4);
+        payload.extend_from_slice(&next_hop.to_be_bytes());
+        payload.extend_from_slice(&hops_remaining.to_be_bytes());
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 3, 0, 1],
+            [10, 3, 0, 2],
+            7000,
+            7001,
+            &payload,
+        )
+    }
+}
+
+impl EvaluatedProgram for SourceRouting {
+    fn name(&self) -> &'static str {
+        "Source Routing"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
+        let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
+        let next_hop = FieldRef::new("sr_hdr", "next_hop");
+        let stage = compiled.table("route_by_hop").expect("declared table").stage;
+        let mut config = compiled.config.clone();
+        let actions = ["to_port_1", "to_port_2", "to_port_3", "to_port_4"];
+        for hop in 1..=NUM_PORTS {
+            config.stages[stage].rules.push(compiled.rule(
+                "route_by_hop",
+                &[(&next_hop, u64::from(hop))],
+                actions[usize::from(hop - 1)],
+            )?);
+        }
+        Ok(config)
+    }
+
+    fn packets(&self, module_id: u16, count: usize, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let hop = rng.gen_range(1..=NUM_PORTS);
+                let remaining = rng.gen_range(1..8);
+                Self::build_packet(module_id, hop, remaining)
+            })
+            .collect()
+    }
+
+    fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
+        let next_hop = match input.read_be(HEADER_OFFSET, 2) {
+            Some(hop) => hop as u16,
+            None => return false,
+        };
+        let remaining = input.read_be(HEADER_OFFSET + 2, 2).unwrap_or(0) as u16;
+        match verdict {
+            Verdict::Forwarded { packet, ports, .. } => {
+                ports == &vec![next_hop]
+                    && packet.read_be(HEADER_OFFSET + 2, 2)
+                        == Some(u64::from(remaining.wrapping_sub(1)))
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::MenshenPipeline;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn packets_follow_their_embedded_route() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&SourceRouting.build(6).unwrap()).unwrap();
+        for hop in 1..=NUM_PORTS {
+            match pipeline.process(SourceRouting::build_packet(6, hop, 5)) {
+                Verdict::Forwarded { packet, ports, .. } => {
+                    assert_eq!(ports, vec![hop]);
+                    assert_eq!(packet.read_be(HEADER_OFFSET + 2, 2), Some(4));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_pipeline() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&SourceRouting.build(6).unwrap()).unwrap();
+        for packet in SourceRouting.packets(6, 40, 3) {
+            let verdict = pipeline.process(packet.clone());
+            assert!(SourceRouting.check_output(&packet, &verdict));
+        }
+    }
+}

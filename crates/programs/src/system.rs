@@ -1,0 +1,84 @@
+//! The system-level module (§3.3), as a DSL program.
+//!
+//! The behavioural form of the system-level module (virtual-IP translation,
+//! routing, multicast, device statistics) lives in
+//! `menshen_core::SystemModule` and wraps every tenant module at run time.
+//! The paper also *compiles* the system-level module like any other program
+//! (120 lines of P4-16 whose configuration is placed in the first and last
+//! pipeline stages), and Figures 8 and 9 include it in the compilation- and
+//! configuration-time sweeps — so this file provides the DSL source and a
+//! helper to compile it.
+
+use menshen_compiler::{compile_source, CompileError, CompileOptions, CompiledModule};
+
+/// DSL source of the system-level module: a routing table (physical IP →
+/// output port) in its first half and an ARP-style rewrite of the Ethernet
+/// destination in its second half.
+pub const SOURCE: &str = r#"
+// System-level module: basic forwarding and routing services provided to all
+// tenant modules (multicast group expansion is handled by the traffic
+// manager model).
+module system_level {
+    parser {
+        extract ethernet;
+        extract vlan;
+        extract ipv4;
+        extract udp;
+    }
+    table ipv4_routes {
+        key = { ipv4.dst_addr; }
+        actions = { route_port_1; route_port_2; route_port_3; route_port_4; }
+        size = 16;
+    }
+    table arp_rewrite {
+        key = { ipv4.dst_addr; }
+        actions = { set_next_hop_mac; }
+        size = 16;
+    }
+    action route_port_1() { set_port(1); }
+    action route_port_2() { set_port(2); }
+    action route_port_3() { set_port(3); }
+    action route_port_4() { set_port(4); }
+    action set_next_hop_mac() {
+        ethernet.dst_addr = 2;
+        ethernet.src_addr = 1;
+    }
+    apply {
+        ipv4_routes.apply();
+        arp_rewrite.apply();
+    }
+}
+"#;
+
+/// The module ID reserved for the system-level module.
+pub const SYSTEM_MODULE_ID: u16 = 0x0fff;
+
+/// Compiles the system-level module.
+pub fn compile_system_module() -> Result<CompiledModule, CompileError> {
+    compile_source(SOURCE, &CompileOptions::new(SYSTEM_MODULE_ID))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_module_compiles() {
+        let compiled = compile_system_module().unwrap();
+        assert_eq!(compiled.config.name, "system_level");
+        assert_eq!(compiled.tables.len(), 2);
+        // The routing table and the ARP rewrite land in consecutive stages.
+        assert_eq!(compiled.table("ipv4_routes").unwrap().stage, 0);
+        assert_eq!(compiled.table("arp_rewrite").unwrap().stage, 1);
+    }
+
+    #[test]
+    fn system_module_generates_entries_for_figure8() {
+        let compiled = compile_source(
+            SOURCE,
+            &CompileOptions::new(SYSTEM_MODULE_ID).with_initial_entries(64),
+        )
+        .unwrap();
+        assert_eq!(compiled.generated_entries(), 128, "64 entries in each of 2 tables");
+    }
+}

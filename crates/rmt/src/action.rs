@@ -1,0 +1,403 @@
+//! VLIW actions and the ALU operation set (Table 2 and Figure 7).
+//!
+//! Each VLIW action-table entry controls one ALU per PHV container (25 ALUs),
+//! 25 bits per ALU, 625 bits per entry. An ALU's destination is always its own
+//! container — there is one ALU per container, so no output crossbar is
+//! needed (§3.1).
+
+use crate::error::RmtError;
+use crate::params::NUM_CONTAINERS;
+use crate::phv::ContainerRef;
+use crate::Result;
+use core::fmt;
+
+/// ALU operations supported by the prototype (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `dst = a + b` (both operands from PHV containers).
+    Add,
+    /// `dst = a - b`.
+    Sub,
+    /// `dst = a + immediate`.
+    AddI,
+    /// `dst = a - immediate`.
+    SubI,
+    /// `dst = immediate`.
+    Set,
+    /// `dst = stateful[address]`.
+    Load,
+    /// `stateful[address] = a`.
+    Store,
+    /// `dst = stateful[address]; stateful[address] += 1` (read-add-write).
+    LoadD,
+    /// Set the packet's destination port (metadata).
+    Port,
+    /// Discard the packet (metadata).
+    Discard,
+}
+
+impl AluOp {
+    /// 4-bit opcode encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            AluOp::Add => 1,
+            AluOp::Sub => 2,
+            AluOp::AddI => 3,
+            AluOp::SubI => 4,
+            AluOp::Set => 5,
+            AluOp::Load => 6,
+            AluOp::Store => 7,
+            AluOp::LoadD => 8,
+            AluOp::Port => 9,
+            AluOp::Discard => 10,
+        }
+    }
+
+    /// Decodes a 4-bit opcode; 0 means "no operation for this ALU".
+    pub fn from_code(code: u8) -> Result<Option<Self>> {
+        Ok(Some(match code {
+            0 => return Ok(None),
+            1 => AluOp::Add,
+            2 => AluOp::Sub,
+            3 => AluOp::AddI,
+            4 => AluOp::SubI,
+            5 => AluOp::Set,
+            6 => AluOp::Load,
+            7 => AluOp::Store,
+            8 => AluOp::LoadD,
+            9 => AluOp::Port,
+            10 => AluOp::Discard,
+            _ => return Err(RmtError::BadEncoding { what: "ALU opcode" }),
+        }))
+    }
+
+    /// True for operations that touch stateful memory.
+    pub const fn is_stateful(self) -> bool {
+        matches!(self, AluOp::Load | AluOp::Store | AluOp::LoadD)
+    }
+
+    /// True for operations whose second operand is an immediate rather than a
+    /// PHV container (format (2) of Figure 7).
+    pub const fn uses_immediate(self) -> bool {
+        matches!(
+            self,
+            AluOp::AddI | AluOp::SubI | AluOp::Set | AluOp::Load | AluOp::Store | AluOp::LoadD
+                | AluOp::Port | AluOp::Discard
+        )
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::AddI => "addi",
+            AluOp::SubI => "subi",
+            AluOp::Set => "set",
+            AluOp::Load => "load",
+            AluOp::Store => "store",
+            AluOp::LoadD => "loadd",
+            AluOp::Port => "port",
+            AluOp::Discard => "discard",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The second operand of a two-operand ALU action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A PHV container.
+    Container(ContainerRef),
+    /// A 16-bit immediate.
+    Immediate(u16),
+}
+
+/// One ALU's instruction within a VLIW action (25 bits).
+///
+/// Two formats exist (Figure 7):
+///
+/// 1. Two container operands: `opcode(4) | container1(5) | container2(5) | reserved(11)`
+/// 2. One container operand + 16-bit immediate: `opcode(4) | container1(5) | immediate(16)`
+///
+/// The destination is implicitly the container the ALU is attached to. For
+/// stateful operations the immediate (or `container1`'s value, for `store`)
+/// carries the per-module stateful-memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluInstruction {
+    /// The operation.
+    pub op: AluOp,
+    /// First operand (a PHV container), when the operation needs one.
+    pub operand_a: Option<ContainerRef>,
+    /// Second operand: container or immediate, depending on the format.
+    pub operand_b: Operand,
+}
+
+impl AluInstruction {
+    /// `dst = a + b` with both operands from containers.
+    pub fn add(a: ContainerRef, b: ContainerRef) -> Self {
+        AluInstruction { op: AluOp::Add, operand_a: Some(a), operand_b: Operand::Container(b) }
+    }
+
+    /// `dst = a - b` with both operands from containers.
+    pub fn sub(a: ContainerRef, b: ContainerRef) -> Self {
+        AluInstruction { op: AluOp::Sub, operand_a: Some(a), operand_b: Operand::Container(b) }
+    }
+
+    /// `dst = a + imm`.
+    pub fn addi(a: ContainerRef, imm: u16) -> Self {
+        AluInstruction { op: AluOp::AddI, operand_a: Some(a), operand_b: Operand::Immediate(imm) }
+    }
+
+    /// `dst = a - imm`.
+    pub fn subi(a: ContainerRef, imm: u16) -> Self {
+        AluInstruction { op: AluOp::SubI, operand_a: Some(a), operand_b: Operand::Immediate(imm) }
+    }
+
+    /// `dst = imm`.
+    pub fn set(imm: u16) -> Self {
+        AluInstruction { op: AluOp::Set, operand_a: None, operand_b: Operand::Immediate(imm) }
+    }
+
+    /// `dst = stateful[addr]`.
+    pub fn load(addr: u16) -> Self {
+        AluInstruction { op: AluOp::Load, operand_a: None, operand_b: Operand::Immediate(addr) }
+    }
+
+    /// `stateful[addr] = src`.
+    pub fn store(src: ContainerRef, addr: u16) -> Self {
+        AluInstruction { op: AluOp::Store, operand_a: Some(src), operand_b: Operand::Immediate(addr) }
+    }
+
+    /// `dst = stateful[addr]; stateful[addr] += 1`.
+    pub fn loadd(addr: u16) -> Self {
+        AluInstruction { op: AluOp::LoadD, operand_a: None, operand_b: Operand::Immediate(addr) }
+    }
+
+    /// Sets the destination port metadata field.
+    pub fn port(port: u16) -> Self {
+        AluInstruction { op: AluOp::Port, operand_a: None, operand_b: Operand::Immediate(port) }
+    }
+
+    /// Discards the packet.
+    pub fn discard() -> Self {
+        AluInstruction { op: AluOp::Discard, operand_a: None, operand_b: Operand::Immediate(0) }
+    }
+
+    /// Encodes this instruction into the 25-bit hardware format.
+    pub fn encode(&self) -> u32 {
+        let op = u32::from(self.op.code()) << 21;
+        let a = u32::from(self.operand_a.map(|c| c.code()).unwrap_or(0x1f)) << 16;
+        let b = match self.operand_b {
+            Operand::Immediate(imm) => u32::from(imm),
+            Operand::Container(c) => u32::from(c.code()) << 11,
+        };
+        op | a | b
+    }
+
+    /// Decodes the 25-bit hardware format. Returns `Ok(None)` for an all-zero
+    /// word (no operation).
+    pub fn decode(bits: u32) -> Result<Option<Self>> {
+        let op = match AluOp::from_code(((bits >> 21) & 0xf) as u8)? {
+            Some(op) => op,
+            None => return Ok(None),
+        };
+        let a_code = ((bits >> 16) & 0x1f) as u8;
+        let operand_a = if a_code == 0x1f {
+            None
+        } else {
+            Some(ContainerRef::from_code(a_code)?)
+        };
+        let operand_b = if op.uses_immediate() {
+            Operand::Immediate((bits & 0xffff) as u16)
+        } else {
+            Operand::Container(ContainerRef::from_code(((bits >> 11) & 0x1f) as u8)?)
+        };
+        Ok(Some(AluInstruction { op, operand_a, operand_b }))
+    }
+}
+
+/// A VLIW action: one optional ALU instruction per PHV container (the 25th
+/// slot drives the metadata ALU that implements `port`/`discard`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VliwAction {
+    slots: [Option<AluInstruction>; NUM_CONTAINERS],
+}
+
+impl Default for VliwAction {
+    fn default() -> Self {
+        VliwAction { slots: [None; NUM_CONTAINERS] }
+    }
+}
+
+impl VliwAction {
+    /// An action that does nothing (all ALUs idle).
+    pub fn nop() -> Self {
+        VliwAction::default()
+    }
+
+    /// Sets the instruction for the ALU attached to `dst`.
+    pub fn with(mut self, dst: ContainerRef, instr: AluInstruction) -> Self {
+        self.slots[dst.flat_index()] = Some(instr);
+        self
+    }
+
+    /// Sets the instruction for the metadata ALU (`port`/`discard`).
+    pub fn with_metadata(mut self, instr: AluInstruction) -> Self {
+        self.slots[NUM_CONTAINERS - 1] = Some(instr);
+        self
+    }
+
+    /// Returns the instruction for the ALU at flat index `i`, if any.
+    pub fn slot(&self, i: usize) -> Option<&AluInstruction> {
+        self.slots.get(i).and_then(|s| s.as_ref())
+    }
+
+    /// Sets the instruction at flat index `i`.
+    pub fn set_slot(&mut self, i: usize, instr: Option<AluInstruction>) -> Result<()> {
+        if i >= NUM_CONTAINERS {
+            return Err(RmtError::TableIndexOutOfRange {
+                table: "VLIW slot",
+                index: i,
+                depth: NUM_CONTAINERS,
+            });
+        }
+        self.slots[i] = instr;
+        Ok(())
+    }
+
+    /// Number of active (non-idle) ALUs in this action.
+    pub fn active_alus(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Encodes the action into 25 × 25-bit words (one per ALU).
+    pub fn encode(&self) -> [u32; NUM_CONTAINERS] {
+        let mut words = [0u32; NUM_CONTAINERS];
+        for (word, slot) in words.iter_mut().zip(self.slots.iter()) {
+            if let Some(instr) = slot {
+                *word = instr.encode();
+            }
+        }
+        words
+    }
+
+    /// Decodes an action from its per-ALU words.
+    pub fn decode(words: &[u32; NUM_CONTAINERS]) -> Result<Self> {
+        let mut action = VliwAction::default();
+        for (i, &word) in words.iter().enumerate() {
+            action.slots[i] = AluInstruction::decode(word)?;
+        }
+        Ok(action)
+    }
+
+    /// Encodes the action into bytes (25 big-endian u32 words = 100 bytes;
+    /// the hardware packs to 625 bits, the byte form is the reconfiguration-
+    /// packet payload used by the simulator).
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        self.encode().iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+
+    /// Decodes an action from the byte form of [`encode_bytes`](Self::encode_bytes).
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != NUM_CONTAINERS * 4 {
+            return Err(RmtError::BadEncoding { what: "VLIW action bytes" });
+        }
+        let mut words = [0u32; NUM_CONTAINERS];
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            words[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        VliwAction::decode(&words)
+    }
+
+    /// Iterates over `(flat_index, instruction)` pairs for active ALUs.
+    pub fn iter_active(&self) -> impl Iterator<Item = (usize, &AluInstruction)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|instr| (i, instr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::ContainerRef as C;
+
+    #[test]
+    fn opcode_round_trip() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::AddI,
+            AluOp::SubI,
+            AluOp::Set,
+            AluOp::Load,
+            AluOp::Store,
+            AluOp::LoadD,
+            AluOp::Port,
+            AluOp::Discard,
+        ] {
+            assert_eq!(AluOp::from_code(op.code()).unwrap(), Some(op));
+        }
+        assert_eq!(AluOp::from_code(0).unwrap(), None);
+        assert!(AluOp::from_code(15).is_err());
+        assert!(AluOp::Load.is_stateful());
+        assert!(!AluOp::Add.is_stateful());
+        assert_eq!(AluOp::LoadD.to_string(), "loadd");
+    }
+
+    #[test]
+    fn instruction_encode_decode_two_container_form() {
+        let instr = AluInstruction::add(C::h4(2), C::h4(5));
+        let bits = instr.encode();
+        assert!(bits < (1 << 26), "fits in 25 bits: {bits:#x}");
+        assert_eq!(AluInstruction::decode(bits).unwrap(), Some(instr));
+    }
+
+    #[test]
+    fn instruction_encode_decode_immediate_form() {
+        for instr in [
+            AluInstruction::addi(C::h2(7), 0xbeef),
+            AluInstruction::set(0x1234),
+            AluInstruction::load(40),
+            AluInstruction::store(C::h4(1), 41),
+            AluInstruction::loadd(0),
+            AluInstruction::port(3),
+            AluInstruction::discard(),
+            AluInstruction::subi(C::h6(6), 1),
+            AluInstruction::sub(C::h2(0), C::h2(1)),
+        ] {
+            let decoded = AluInstruction::decode(instr.encode()).unwrap();
+            assert_eq!(decoded, Some(instr));
+        }
+        assert_eq!(AluInstruction::decode(0).unwrap(), None);
+    }
+
+    #[test]
+    fn vliw_round_trip_and_width() {
+        let action = VliwAction::nop()
+            .with(C::h4(0), AluInstruction::addi(C::h4(0), 1))
+            .with(C::h2(3), AluInstruction::set(7))
+            .with_metadata(AluInstruction::port(2));
+        assert_eq!(action.active_alus(), 3);
+        let words = action.encode();
+        assert_eq!(words.len(), 25);
+        assert_eq!(VliwAction::decode(&words).unwrap(), action);
+        let bytes = action.encode_bytes();
+        assert_eq!(bytes.len(), 100);
+        assert_eq!(VliwAction::decode_bytes(&bytes).unwrap(), action);
+        assert!(VliwAction::decode_bytes(&bytes[..99]).is_err());
+    }
+
+    #[test]
+    fn slot_access_bounds() {
+        let mut action = VliwAction::nop();
+        assert!(action.set_slot(24, Some(AluInstruction::discard())).is_ok());
+        assert!(action.set_slot(25, None).is_err());
+        assert!(action.slot(24).is_some());
+        assert!(action.slot(0).is_none());
+        assert_eq!(action.iter_active().count(), 1);
+    }
+}

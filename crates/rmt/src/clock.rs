@@ -1,0 +1,363 @@
+//! Analytical timing model for the pipeline.
+//!
+//! The RMT pipeline never stalls: every element accepts a new PHV each
+//! *initiation interval* (II), so throughput is set by the slowest element and
+//! latency by the sum of element latencies plus bus serialisation of the
+//! packet. This module captures that model for the two FPGA platforms the
+//! paper evaluates (§4.3, §5.2) and for the three throughput optimisations of
+//! §3.2 (masking RAM read latency, multiple parsers/deparsers, deep
+//! pipelining).
+//!
+//! # Calibration (substitution for the paper's hardware measurements)
+//!
+//! * **Latency**: the per-platform `latency_base_cycles` and
+//!   `latency_cycles_per_beat` constants are calibrated so that the model
+//!   reproduces the cycle counts reported in §5.2 — 79 cycles for a 64-byte
+//!   packet and ≈146 cycles at 1500 bytes on NetFPGA (256-bit bus,
+//!   156.25 MHz), 106 and ≈129 cycles on Corundum (512-bit bus, 250 MHz).
+//! * **Throughput**: element initiation intervals are derived from bus beats
+//!   (`ceil(bytes / bus_width)`) plus small constants for table reads; the
+//!   per-packet ingress overhead (packet filter, buffer-tag assignment, DMA
+//!   descriptor handling) is 4 cycles on Corundum and 2 on NetFPGA, and the
+//!   NetFPGA experiments are additionally capped by the MoonGen host
+//!   generator (~11 Mpps on the single 10 G port used in the paper's testbed).
+//!   These constants reproduce the *shape* of Figure 11 — line rate above
+//!   96 bytes on NetFPGA, 100 Gbit/s above 256 bytes for optimised Corundum,
+//!   and the ≈80 Gbit/s ceiling of unoptimised Corundum at MTU size.
+
+use crate::params::HEADER_REGION_BYTES;
+
+/// Ethernet layer-1 per-packet overhead in bytes: preamble (8) + inter-frame
+/// gap (12). The FCS is included in the frame length used by the generators.
+pub const L1_OVERHEAD_BYTES: usize = 20;
+
+/// Timing parameters of one platform/optimisation combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformTiming {
+    /// Human-readable name used in benchmark output.
+    pub name: &'static str,
+    /// Core clock frequency in Hz.
+    pub clock_hz: f64,
+    /// AXI-Stream data-bus width in bits.
+    pub bus_width_bits: u32,
+    /// Line rate of the attached port(s), in Gbit/s (layer 1).
+    pub line_rate_gbps: f64,
+    /// Number of parallel parsers (§3.2 optimisation 2).
+    pub num_parsers: u32,
+    /// Number of parallel deparsers / packet buffers (§3.2 optimisation 2).
+    pub num_deparsers: u32,
+    /// Whether elements are subdivided so a PHV is accepted every 2 cycles
+    /// instead of every 4 (§3.2 optimisation 3).
+    pub deep_pipelining: bool,
+    /// Whether the module ID travels ahead of the PHV so configuration SRAM
+    /// reads overlap PHV transfer (§3.2 optimisation 1).
+    pub ram_latency_masked: bool,
+    /// Per-packet ingress overhead in cycles (packet filter, buffer tag, DMA).
+    pub ingress_overhead_cycles: f64,
+    /// Packet-rate cap imposed by the traffic generator/host, if any (pps).
+    pub generator_pps_limit: Option<f64>,
+    /// Calibrated latency model: fixed cycles through the pipeline.
+    pub latency_base_cycles: f64,
+    /// Calibrated latency model: extra cycles per bus beat of packet length.
+    pub latency_cycles_per_beat: f64,
+    /// Latency outside the pipeline (MAC, loopback cabling, generator
+    /// timestamping) in nanoseconds — only relevant for Figure 11d.
+    pub external_latency_ns: f64,
+    /// Number of match-action stages (affects the unoptimised latency penalty).
+    pub num_stages: usize,
+}
+
+/// Optimised Menshen on the NetFPGA SUME switch platform (256-bit AXI-S,
+/// 156.25 MHz, 10 GbE), the configuration of Figure 11a.
+pub const NETFPGA_OPTIMIZED: PlatformTiming = PlatformTiming {
+    name: "NetFPGA (optimized)",
+    clock_hz: 156.25e6,
+    bus_width_bits: 256,
+    line_rate_gbps: 10.0,
+    num_parsers: 2,
+    num_deparsers: 4,
+    deep_pipelining: true,
+    ram_latency_masked: true,
+    ingress_overhead_cycles: 2.0,
+    generator_pps_limit: Some(11.0e6),
+    latency_base_cycles: 76.0,
+    latency_cycles_per_beat: 1.5,
+    external_latency_ns: 300.0,
+    num_stages: 5,
+};
+
+/// Optimised Menshen on the Corundum NIC platform (512-bit AXI-S, 250 MHz,
+/// 100 GbE), the configuration of Figures 11b and 11d.
+pub const CORUNDUM_OPTIMIZED: PlatformTiming = PlatformTiming {
+    name: "Corundum (optimized)",
+    clock_hz: 250.0e6,
+    bus_width_bits: 512,
+    line_rate_gbps: 100.0,
+    num_parsers: 2,
+    num_deparsers: 4,
+    deep_pipelining: true,
+    ram_latency_masked: true,
+    ingress_overhead_cycles: 4.0,
+    generator_pps_limit: None,
+    latency_base_cycles: 105.0,
+    latency_cycles_per_beat: 1.0,
+    external_latency_ns: 650.0,
+    num_stages: 5,
+};
+
+/// Unoptimised Menshen on Corundum (single parser/deparser, no deep
+/// pipelining, no RAM-latency masking), the configuration of Figure 11c.
+pub const CORUNDUM_UNOPTIMIZED: PlatformTiming = PlatformTiming {
+    name: "Corundum (unoptimized)",
+    clock_hz: 250.0e6,
+    bus_width_bits: 512,
+    line_rate_gbps: 100.0,
+    num_parsers: 1,
+    num_deparsers: 1,
+    deep_pipelining: false,
+    ram_latency_masked: false,
+    ingress_overhead_cycles: 4.0,
+    generator_pps_limit: None,
+    latency_base_cycles: 105.0,
+    latency_cycles_per_beat: 1.0,
+    external_latency_ns: 650.0,
+    num_stages: 5,
+};
+
+/// Unoptimised Menshen on NetFPGA (used by ablation benchmarks).
+pub const NETFPGA_UNOPTIMIZED: PlatformTiming = PlatformTiming {
+    name: "NetFPGA (unoptimized)",
+    clock_hz: 156.25e6,
+    bus_width_bits: 256,
+    line_rate_gbps: 10.0,
+    num_parsers: 1,
+    num_deparsers: 1,
+    deep_pipelining: false,
+    ram_latency_masked: false,
+    ingress_overhead_cycles: 2.0,
+    generator_pps_limit: Some(11.0e6),
+    latency_base_cycles: 76.0,
+    latency_cycles_per_beat: 1.5,
+    external_latency_ns: 300.0,
+    num_stages: 5,
+};
+
+impl PlatformTiming {
+    /// Data-bus width in bytes.
+    pub fn bus_bytes(&self) -> usize {
+        (self.bus_width_bits / 8) as usize
+    }
+
+    /// Number of bus beats needed to move `bytes` across the data bus.
+    pub fn beats(&self, bytes: usize) -> u64 {
+        (bytes.max(1)).div_ceil(self.bus_bytes()) as u64
+    }
+
+    /// Cycles to read an element's per-module configuration from SRAM.
+    fn config_read_cycles(&self) -> f64 {
+        if self.ram_latency_masked {
+            1.0
+        } else {
+            3.0
+        }
+    }
+
+    /// Initiation interval of one parser, divided across the parallel parsers.
+    pub fn parser_ii(&self) -> f64 {
+        (self.beats(HEADER_REGION_BYTES) as f64 + self.config_read_cycles())
+            / f64::from(self.num_parsers)
+    }
+
+    /// Initiation interval of one match-action (sub-)element.
+    pub fn stage_ii(&self) -> f64 {
+        if self.deep_pipelining {
+            2.0
+        } else {
+            4.0
+        }
+    }
+
+    /// Initiation interval of the deparser for a packet of `len` bytes,
+    /// divided across the parallel deparsers. Deparsing reads the whole
+    /// packet out of the packet buffer and merges the rewritten header.
+    pub fn deparser_ii(&self, len: usize) -> f64 {
+        let merge = if self.deep_pipelining { 2.0 } else { 6.0 };
+        (self.beats(len) as f64
+            + self.beats(HEADER_REGION_BYTES) as f64
+            + self.config_read_cycles()
+            + merge)
+            / f64::from(self.num_deparsers)
+    }
+
+    /// Overall initiation interval (cycles between packets) for packets of
+    /// `len` bytes: the slowest of ingress, parser, match-action and deparser.
+    pub fn initiation_interval(&self, len: usize) -> f64 {
+        self.ingress_overhead_cycles
+            .max(self.parser_ii())
+            .max(self.stage_ii())
+            .max(self.deparser_ii(len))
+    }
+
+    /// Maximum packet rate the pipeline itself sustains for `len`-byte packets.
+    pub fn pipeline_pps(&self, len: usize) -> f64 {
+        self.clock_hz / self.initiation_interval(len)
+    }
+
+    /// Layer-1 line-rate packet limit for `len`-byte frames.
+    pub fn line_rate_pps(&self, len: usize) -> f64 {
+        self.line_rate_gbps * 1e9 / (((len + L1_OVERHEAD_BYTES) * 8) as f64)
+    }
+
+    /// Achieved packet rate: the minimum of the pipeline, the line rate and
+    /// (when present) the traffic generator.
+    pub fn achieved_pps(&self, len: usize) -> f64 {
+        let mut pps = self.pipeline_pps(len).min(self.line_rate_pps(len));
+        if let Some(limit) = self.generator_pps_limit {
+            pps = pps.min(limit);
+        }
+        pps
+    }
+
+    /// Achieved layer-2 throughput in Gbit/s (frame bytes only).
+    pub fn throughput_l2_gbps(&self, len: usize) -> f64 {
+        self.achieved_pps(len) * (len * 8) as f64 / 1e9
+    }
+
+    /// Achieved layer-1 throughput in Gbit/s (frame + preamble + IFG).
+    pub fn throughput_l1_gbps(&self, len: usize) -> f64 {
+        self.achieved_pps(len) * ((len + L1_OVERHEAD_BYTES) * 8) as f64 / 1e9
+    }
+
+    /// Pipeline traversal latency for a `len`-byte packet, in cycles.
+    ///
+    /// Calibrated against §5.2; the unmasked configuration pays 3 extra SRAM
+    /// read cycles per element (parser, deparser and each stage).
+    pub fn latency_cycles(&self, len: usize) -> f64 {
+        let mut cycles =
+            self.latency_base_cycles + self.latency_cycles_per_beat * self.beats(len) as f64;
+        if !self.ram_latency_masked {
+            cycles += 3.0 * (self.num_stages as f64 + 2.0);
+        }
+        if !self.deep_pipelining {
+            cycles += 2.0 * self.num_stages as f64;
+        }
+        cycles
+    }
+
+    /// Pipeline traversal latency in nanoseconds.
+    pub fn latency_ns(&self, len: usize) -> f64 {
+        self.latency_cycles(len) / self.clock_hz * 1e9
+    }
+
+    /// End-to-end sampled packet latency (pipeline + MAC/loopback path), in
+    /// microseconds — the quantity plotted in Figure 11d.
+    pub fn sampled_latency_us(&self, len: usize) -> f64 {
+        (self.latency_ns(len) + self.external_latency_ns) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_paper_section_5_2() {
+        // NetFPGA: 79 cycles / 505.6 ns at 64 bytes.
+        let c = NETFPGA_OPTIMIZED.latency_cycles(64);
+        assert!((c - 79.0).abs() <= 1.0, "NetFPGA 64B cycles = {c}");
+        let ns = NETFPGA_OPTIMIZED.latency_ns(64);
+        assert!((ns - 505.6).abs() < 10.0, "NetFPGA 64B latency = {ns} ns");
+
+        // Corundum: 106 cycles / 424 ns at 64 bytes.
+        let c = CORUNDUM_OPTIMIZED.latency_cycles(64);
+        assert!((c - 106.0).abs() <= 1.0, "Corundum 64B cycles = {c}");
+        let ns = CORUNDUM_OPTIMIZED.latency_ns(64);
+        assert!((ns - 424.0).abs() < 10.0, "Corundum 64B latency = {ns} ns");
+
+        // 1500-byte packets: ≈146 cycles on NetFPGA, ≈129 on Corundum.
+        assert!((NETFPGA_OPTIMIZED.latency_cycles(1500) - 146.5).abs() < 2.0);
+        assert!((CORUNDUM_OPTIMIZED.latency_cycles(1500) - 129.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn netfpga_reaches_line_rate_at_96_bytes() {
+        // Figure 11a: 10 Gbit/s from 96-byte packets onward; below that the
+        // generator limits throughput.
+        assert!(NETFPGA_OPTIMIZED.throughput_l1_gbps(96) > 9.9);
+        assert!(NETFPGA_OPTIMIZED.throughput_l1_gbps(64) < 9.0);
+        assert!(NETFPGA_OPTIMIZED.throughput_l1_gbps(64) > 7.0);
+        for len in [128, 256, 512] {
+            assert!(NETFPGA_OPTIMIZED.throughput_l1_gbps(len) > 9.9, "len {len}");
+        }
+    }
+
+    #[test]
+    fn corundum_optimized_reaches_100g_at_256_bytes() {
+        // Figure 11b.
+        assert!(CORUNDUM_OPTIMIZED.throughput_l1_gbps(256) > 99.0);
+        assert!(CORUNDUM_OPTIMIZED.throughput_l1_gbps(1500) > 99.0);
+        assert!(CORUNDUM_OPTIMIZED.throughput_l1_gbps(128) < 99.0);
+        assert!(CORUNDUM_OPTIMIZED.throughput_l1_gbps(70) < 60.0);
+    }
+
+    #[test]
+    fn corundum_unoptimized_caps_near_80g() {
+        // Figure 11c: unoptimised Menshen only reaches ≈80 Gbit/s at MTU size.
+        let t = CORUNDUM_UNOPTIMIZED.throughput_l2_gbps(1500);
+        assert!(t > 70.0 && t < 95.0, "unoptimized MTU throughput = {t}");
+        // And the optimised design is strictly better at every size.
+        for len in [70, 128, 256, 512, 768, 1024, 1500] {
+            assert!(
+                CORUNDUM_OPTIMIZED.throughput_l2_gbps(len)
+                    >= CORUNDUM_UNOPTIMIZED.throughput_l2_gbps(len),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_latency_in_microsecond_range() {
+        // Figure 11d: ≈1.0–1.25 µs across packet sizes.
+        for len in [70, 128, 256, 512, 768, 1024, 1500] {
+            let us = CORUNDUM_OPTIMIZED.sampled_latency_us(len);
+            assert!(us > 0.9 && us < 1.3, "len {len}: {us} µs");
+        }
+        // Latency grows (weakly) with packet size.
+        assert!(
+            CORUNDUM_OPTIMIZED.sampled_latency_us(1500)
+                > CORUNDUM_OPTIMIZED.sampled_latency_us(70)
+        );
+    }
+
+    #[test]
+    fn helper_functions_consistent() {
+        assert_eq!(CORUNDUM_OPTIMIZED.bus_bytes(), 64);
+        assert_eq!(NETFPGA_OPTIMIZED.bus_bytes(), 32);
+        assert_eq!(CORUNDUM_OPTIMIZED.beats(64), 1);
+        assert_eq!(CORUNDUM_OPTIMIZED.beats(65), 2);
+        assert_eq!(CORUNDUM_OPTIMIZED.beats(0), 1);
+        assert_eq!(NETFPGA_OPTIMIZED.beats(1500), 47);
+        // Line rate pps for 64-byte frames on 10G is the classic 14.88 Mpps.
+        let pps = NETFPGA_OPTIMIZED.line_rate_pps(64);
+        assert!((pps - 14.88e6).abs() < 0.05e6);
+        // L2 throughput never exceeds L1.
+        for len in [64, 256, 1500] {
+            assert!(
+                CORUNDUM_OPTIMIZED.throughput_l2_gbps(len)
+                    <= CORUNDUM_OPTIMIZED.throughput_l1_gbps(len)
+            );
+        }
+    }
+
+    #[test]
+    fn optimizations_reduce_initiation_interval() {
+        for len in [64, 256, 1500] {
+            assert!(
+                CORUNDUM_OPTIMIZED.initiation_interval(len)
+                    <= CORUNDUM_UNOPTIMIZED.initiation_interval(len),
+                "len {len}"
+            );
+        }
+        assert!(CORUNDUM_UNOPTIMIZED.latency_cycles(64) > CORUNDUM_OPTIMIZED.latency_cycles(64));
+    }
+}

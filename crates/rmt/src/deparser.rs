@@ -1,0 +1,92 @@
+//! The deparser: writing modified PHV containers back into the packet.
+//!
+//! The deparser performs the inverse of the parser: it takes the final PHV
+//! and the original packet (held in the packet buffer) and overwrites the
+//! byte ranges named by the deparser-table entry with the container values.
+//! The entry format is identical to the parser table's (§3.1), and in the
+//! common case a module uses the same actions for both so only fields that
+//! were parsed out can be written back.
+
+use crate::config::ParserEntry;
+use crate::error::RmtError;
+use crate::params::HEADER_REGION_BYTES;
+use crate::phv::Phv;
+use crate::Result;
+use menshen_packet::Packet;
+
+/// Writes the containers named by `entry` from `phv` back into `packet`.
+///
+/// Returns the number of bytes rewritten. Fields beyond the end of the packet
+/// are skipped (nothing to rewrite), mirroring how the hardware only updates
+/// the portions of the stored packet that exist.
+pub fn deparse(packet: &mut Packet, phv: &Phv, entry: &ParserEntry) -> Result<usize> {
+    let mut written = 0;
+    for action in &entry.actions {
+        let offset = usize::from(action.offset);
+        let width = action.container.width_bytes();
+        if offset >= HEADER_REGION_BYTES {
+            return Err(RmtError::ParseOutOfRange {
+                offset,
+                packet_len: packet.len(),
+            });
+        }
+        if packet.write_be(offset, width, phv.get(action.container)) {
+            written += width;
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParseAction;
+    use crate::parser::parse;
+    use crate::phv::ContainerRef as C;
+    use menshen_packet::PacketBuilder;
+
+    #[test]
+    fn parse_modify_deparse_round_trip() {
+        let mut packet = PacketBuilder::udp_data(
+            5,
+            [192, 168, 1, 1],
+            [192, 168, 1, 2],
+            1000,
+            2000,
+            &[0u8; 16],
+        );
+        let entry = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(0)).unwrap(), // dst IP
+            ParseAction::new(40, C::h2(0)).unwrap(), // UDP dst port
+        ])
+        .unwrap();
+        let mut phv = parse(&packet, &entry, 5).unwrap();
+        phv.set(C::h4(0), 0x0a0a_0a0a); // rewrite dst IP to 10.10.10.10
+        phv.set(C::h2(0), 4321);
+        let written = deparse(&mut packet, &phv, &entry).unwrap();
+        assert_eq!(written, 6);
+        assert_eq!(packet.ipv4_dst().unwrap().to_u32(), 0x0a0a_0a0a);
+        assert_eq!(packet.udp_dst_port(), Some(4321));
+    }
+
+    #[test]
+    fn unmodified_fields_survive() {
+        let original = PacketBuilder::udp_data(9, [1, 2, 3, 4], [5, 6, 7, 8], 80, 443, &[7u8; 8]);
+        let mut packet = original.clone();
+        let entry = ParserEntry::new(vec![ParseAction::new(40, C::h2(3)).unwrap()]).unwrap();
+        let phv = parse(&packet, &entry, 9).unwrap();
+        // Deparse without modifying the container: packet must be unchanged.
+        deparse(&mut packet, &phv, &entry).unwrap();
+        assert_eq!(packet.bytes(), original.bytes());
+    }
+
+    #[test]
+    fn fields_beyond_packet_are_skipped() {
+        let mut packet =
+            PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 4]);
+        let entry = ParserEntry::new(vec![ParseAction::new(120, C::h4(0)).unwrap()]).unwrap();
+        let phv = parse(&packet, &entry, 1).unwrap();
+        let written = deparse(&mut packet, &phv, &entry).unwrap();
+        assert_eq!(written, 0);
+    }
+}

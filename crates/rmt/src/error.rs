@@ -1,0 +1,92 @@
+//! Error type for the RMT pipeline simulator.
+
+use core::fmt;
+
+/// Errors reported by the RMT pipeline and its components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmtError {
+    /// A container reference is outside the PHV layout.
+    BadContainer {
+        /// Raw 5-bit container code that failed to decode.
+        code: u8,
+    },
+    /// A parse action points outside the parseable header region.
+    ParseOutOfRange {
+        /// Byte offset requested by the parse action.
+        offset: usize,
+        /// Length of the packet.
+        packet_len: usize,
+    },
+    /// A table index is beyond the configured table depth.
+    TableIndexOutOfRange {
+        /// Name of the table.
+        table: &'static str,
+        /// Requested index.
+        index: usize,
+        /// Configured depth.
+        depth: usize,
+    },
+    /// The table has no free entry left (space partitioning exhausted).
+    TableFull {
+        /// Name of the table.
+        table: &'static str,
+    },
+    /// A stateful-memory access fell outside the module's segment.
+    StatefulOutOfRange {
+        /// Address after translation (or the raw address if translation failed).
+        address: u32,
+        /// Size of the memory or segment.
+        limit: u32,
+    },
+    /// A field in a configuration entry does not fit its encoded width.
+    FieldOverflow {
+        /// Human readable field name.
+        field: &'static str,
+    },
+    /// Encoded configuration bits could not be decoded.
+    BadEncoding {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The packet is malformed for the operation requested (e.g. no VLAN tag).
+    MalformedPacket(&'static str),
+}
+
+impl fmt::Display for RmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmtError::BadContainer { code } => write!(f, "invalid PHV container code {code}"),
+            RmtError::ParseOutOfRange { offset, packet_len } => write!(
+                f,
+                "parse action offset {offset} outside packet of {packet_len} bytes"
+            ),
+            RmtError::TableIndexOutOfRange { table, index, depth } => {
+                write!(f, "index {index} out of range for {table} of depth {depth}")
+            }
+            RmtError::TableFull { table } => write!(f, "{table} is full"),
+            RmtError::StatefulOutOfRange { address, limit } => {
+                write!(f, "stateful memory address {address} outside limit {limit}")
+            }
+            RmtError::FieldOverflow { field } => write!(f, "field `{field}` overflows its width"),
+            RmtError::BadEncoding { what } => write!(f, "cannot decode {what}"),
+            RmtError::MalformedPacket(reason) => write!(f, "malformed packet: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RmtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        assert!(RmtError::BadContainer { code: 31 }.to_string().contains("31"));
+        assert!(RmtError::TableFull { table: "CAM" }.to_string().contains("CAM"));
+        let e = RmtError::StatefulOutOfRange { address: 99, limit: 64 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+        assert!(RmtError::MalformedPacket("no VLAN").to_string().contains("no VLAN"));
+    }
+}

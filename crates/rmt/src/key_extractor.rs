@@ -1,0 +1,112 @@
+//! Key extraction: building the match-table lookup key from PHV containers.
+//!
+//! At the start of each stage the key extractor selects up to two containers
+//! of each size class into a 24-byte key, evaluates the optional predicate
+//! (whose truth value becomes the 193rd key bit), and applies the module's
+//! key mask so that modules with shorter keys still match on a fixed-width
+//! CAM (§3.1, §4.1).
+
+use crate::config::{KeyExtractEntry, KeyMask};
+use crate::match_table::LookupKey;
+use crate::phv::Phv;
+
+/// Builds the masked lookup key for `phv` according to a module's key
+/// extractor entry and key mask.
+pub fn extract_key(phv: &Phv, entry: &KeyExtractEntry, mask: &KeyMask) -> LookupKey {
+    let containers = entry.selected_containers();
+    let values = [
+        (phv.get(containers[0]), 6),
+        (phv.get(containers[1]), 6),
+        (phv.get(containers[2]), 4),
+        (phv.get(containers[3]), 4),
+        (phv.get(containers[4]), 2),
+        (phv.get(containers[5]), 2),
+    ];
+    let predicate = entry
+        .predicate
+        .map(|p| p.eval(phv))
+        .unwrap_or(false);
+    LookupKey::from_slots(values, predicate).masked(mask)
+}
+
+/// Byte offset of each key slot within the 24-byte key, in key layout order
+/// (6B, 6B, 4B, 4B, 2B, 2B). Shared with the compiler's key-layout logic.
+pub const KEY_SLOT_OFFSETS: [usize; 6] = [0, 6, 12, 16, 20, 22];
+/// Width in bytes of each key slot.
+pub const KEY_SLOT_WIDTHS: [usize; 6] = [6, 6, 4, 4, 2, 2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompareOp, Predicate, PredicateOperand};
+    use crate::phv::ContainerRef as C;
+
+    #[test]
+    fn key_contains_selected_containers() {
+        let mut phv = Phv::zeroed();
+        phv.set(C::h6(2), 0xaaaa_bbbb_cccc);
+        phv.set(C::h4(1), 0xdead_beef);
+        phv.set(C::h2(5), 0x1234);
+        let entry = KeyExtractEntry {
+            slots_6b: [2, 0],
+            slots_4b: [1, 0],
+            slots_2b: [5, 0],
+            predicate: None,
+        };
+        let key = extract_key(&phv, &entry, &KeyMask::all());
+        assert_eq!(key.slot_value(0, 6), 0xaaaa_bbbb_cccc);
+        assert_eq!(key.slot_value(12, 4), 0xdead_beef);
+        assert_eq!(key.slot_value(20, 2), 0x1234);
+        assert!(!key.predicate);
+    }
+
+    #[test]
+    fn mask_limits_key_length() {
+        let mut phv = Phv::zeroed();
+        phv.set(C::h4(0), 0x1111_2222);
+        phv.set(C::h4(1), 0x3333_4444);
+        let entry = KeyExtractEntry::default();
+        // Only the first 4-byte slot participates.
+        let mask = KeyMask::for_slots([false, false, true, false, false, false], false);
+        let key = extract_key(&phv, &entry, &mask);
+        assert_eq!(key.slot_value(12, 4), 0x1111_2222);
+        assert_eq!(key.slot_value(16, 4), 0, "second 4B slot masked out");
+        assert_eq!(key.slot_value(0, 6), 0, "6B slots masked out");
+    }
+
+    #[test]
+    fn predicate_bit_feeds_key() {
+        let mut phv = Phv::zeroed();
+        phv.set(C::h2(0), 10);
+        let entry = KeyExtractEntry {
+            predicate: Some(Predicate {
+                op: CompareOp::Gt,
+                a: PredicateOperand::Container(C::h2(0)),
+                b: PredicateOperand::Immediate(5),
+            }),
+            ..KeyExtractEntry::default()
+        };
+        let key = extract_key(&phv, &entry, &KeyMask::all());
+        assert!(key.predicate);
+        phv.set(C::h2(0), 3);
+        let key = extract_key(&phv, &entry, &KeyMask::all());
+        assert!(!key.predicate);
+        // Predicate masked out: always reads false.
+        let mask = KeyMask { predicate: false, ..KeyMask::all() };
+        phv.set(C::h2(0), 10);
+        let key = extract_key(&phv, &entry, &mask);
+        assert!(!key.predicate);
+    }
+
+    #[test]
+    fn slot_offsets_cover_24_bytes() {
+        let total: usize = KEY_SLOT_WIDTHS.iter().sum();
+        assert_eq!(total, 24);
+        for i in 1..6 {
+            assert_eq!(
+                KEY_SLOT_OFFSETS[i],
+                KEY_SLOT_OFFSETS[i - 1] + KEY_SLOT_WIDTHS[i - 1]
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Behavioural simulator of the RMT (Reconfigurable Match Tables) pipeline.
+//!
+//! This crate models the baseline packet-processing pipeline that Menshen
+//! (NSDI 2022) builds on: a programmable parser, a sequence of match-action
+//! stages (key extractor → exact-match table → VLIW action table → action
+//! engine → stateful memory) and a deparser, with the exact resource formats
+//! of the paper's FPGA prototype (Table 5):
+//!
+//! * PHV: 8×2-byte + 8×4-byte + 8×6-byte containers + 32 bytes of metadata.
+//! * Parse actions: 16 bits each, 10 per parser-table entry.
+//! * Key extractor: up to 2 containers of each size (24-byte key) plus a
+//!   predicate bit → 193-bit keys, 193-bit masks.
+//! * Exact-match table: 205-bit entries (key + 12-bit module ID), CAM model.
+//! * VLIW action table: 25 × 25-bit ALU actions (625 bits per entry).
+//! * ALU operation set of Table 2 (`add`/`sub`/`addi`/`subi`/`set`/`load`/
+//!   `store`/`loadd`/`port`/`discard`).
+//!
+//! The *hardware* structures (CAM, action RAM, stateful memory) are separated
+//! from the *configuration* that drives them, because Menshen's isolation
+//! layer (the `menshen-core` crate) re-uses the same hardware while fetching
+//! per-module configuration through overlay tables. The baseline pipeline in
+//! [`pipeline::RmtPipeline`] simply uses one configuration for all packets.
+//!
+//! Timing is modelled analytically in [`clock`]: the pipelined design never
+//! stalls, so throughput is set by the initiation interval of the slowest
+//! element and latency by the sum of element latencies plus bus serialisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod action_engine;
+pub mod clock;
+pub mod config;
+pub mod deparser;
+pub mod error;
+pub mod key_extractor;
+pub mod match_table;
+pub mod params;
+pub mod parser;
+pub mod phv;
+pub mod pipeline;
+pub mod stage;
+pub mod stateful;
+
+pub use action::{AluInstruction, AluOp, Operand, VliwAction};
+pub use config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry, Predicate};
+pub use error::RmtError;
+pub use match_table::{ExactMatchTable, LookupKey, MatchEntry};
+pub use params::{PipelineParams, TABLE5};
+pub use phv::{ContainerRef, ContainerType, Metadata, Phv};
+pub use pipeline::{PipelineOutput, RmtPipeline, RmtProgram};
+pub use stage::{StageConfig, StageHardware};
+pub use stateful::{AddressTranslate, IdentityTranslation, StatefulMemory};
+
+/// Result alias used across the crate.
+pub type Result<T> = core::result::Result<T, RmtError>;

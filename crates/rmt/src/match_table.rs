@@ -1,0 +1,288 @@
+//! The exact-match (CAM) table and lookup keys.
+//!
+//! Each stage holds one exact-match table. A lookup key is the 193-bit value
+//! produced by the key extractor (24 bytes + predicate bit) with the module's
+//! key mask applied; the stored entry additionally carries the 12-bit module
+//! ID, giving the 205-bit CAM width of the prototype (§4.1). The lookup result
+//! is the CAM address of the matching entry, which indexes the VLIW action
+//! table.
+
+use crate::config::KeyMask;
+use crate::error::RmtError;
+use crate::params::KEY_BYTES;
+use crate::Result;
+use core::fmt;
+
+/// A lookup key: 24 bytes of selected containers plus the predicate bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LookupKey {
+    /// The 24 key bytes, in key layout order (6B, 6B, 4B, 4B, 2B, 2B).
+    pub bytes: [u8; KEY_BYTES],
+    /// The predicate (conditional-execution) bit.
+    pub predicate: bool,
+}
+
+impl LookupKey {
+    /// Builds a key from the six selected container values in key order.
+    ///
+    /// `values` are `(value, width_bytes)` pairs; widths must sum to 24.
+    pub fn from_slots(values: [(u64, usize); 6], predicate: bool) -> Self {
+        let mut bytes = [0u8; KEY_BYTES];
+        let mut offset = 0;
+        for (value, width) in values {
+            for i in 0..width {
+                let shift = 8 * (width - 1 - i);
+                bytes[offset + i] = ((value >> shift) & 0xff) as u8;
+            }
+            offset += width;
+        }
+        debug_assert_eq!(offset, KEY_BYTES);
+        LookupKey { bytes, predicate }
+    }
+
+    /// Applies a key mask: bits outside the mask are forced to zero.
+    pub fn masked(&self, mask: &KeyMask) -> LookupKey {
+        let mut bytes = [0u8; KEY_BYTES];
+        for i in 0..KEY_BYTES {
+            bytes[i] = self.bytes[i] & mask.bytes[i];
+        }
+        LookupKey {
+            bytes,
+            predicate: self.predicate && mask.predicate,
+        }
+    }
+
+    /// Returns the value of the slot at `offset..offset+width` as an integer
+    /// (used by tests to inspect constructed keys).
+    pub fn slot_value(&self, offset: usize, width: usize) -> u64 {
+        let mut value = 0u64;
+        for i in 0..width {
+            value = (value << 8) | u64::from(self.bytes[offset + i]);
+        }
+        value
+    }
+}
+
+impl fmt::Display for LookupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in &self.bytes {
+            write!(f, "{byte:02x}")?;
+        }
+        write!(f, "/{}", u8::from(self.predicate))
+    }
+}
+
+/// One CAM entry: a masked key, the owning module's ID, and the action-table
+/// index this entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchEntry {
+    /// The stored (already masked) key.
+    pub key: LookupKey,
+    /// The 12-bit module ID appended to the key (isolation, §3.1).
+    pub module_id: u16,
+    /// Index into the VLIW action table to execute on a hit.
+    pub action_index: u16,
+}
+
+/// The per-stage exact-match table (CAM model).
+///
+/// Entries live at fixed addresses; in Menshen each module owns a contiguous
+/// range of addresses (space partitioning), which the `menshen-core` crate
+/// manages. The table itself only knows how to install, remove and look up
+/// entries.
+#[derive(Debug, Clone)]
+pub struct ExactMatchTable {
+    entries: Vec<Option<MatchEntry>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ExactMatchTable {
+    /// Creates an empty table with `depth` entries.
+    pub fn new(depth: usize) -> Self {
+        ExactMatchTable {
+            entries: vec![None; depth],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Table depth (number of addressable entries).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Installs `entry` at CAM address `index`, replacing whatever was there.
+    pub fn install(&mut self, index: usize, entry: MatchEntry) -> Result<()> {
+        let depth = self.entries.len();
+        let slot = self
+            .entries
+            .get_mut(index)
+            .ok_or(RmtError::TableIndexOutOfRange {
+                table: "exact-match table",
+                index,
+                depth,
+            })?;
+        *slot = Some(entry);
+        Ok(())
+    }
+
+    /// Removes the entry at CAM address `index`.
+    pub fn remove(&mut self, index: usize) -> Result<Option<MatchEntry>> {
+        let depth = self.entries.len();
+        let slot = self
+            .entries
+            .get_mut(index)
+            .ok_or(RmtError::TableIndexOutOfRange {
+                table: "exact-match table",
+                index,
+                depth,
+            })?;
+        Ok(slot.take())
+    }
+
+    /// Reads the entry at CAM address `index` (software interface).
+    pub fn entry(&self, index: usize) -> Option<&MatchEntry> {
+        self.entries.get(index).and_then(|e| e.as_ref())
+    }
+
+    /// Looks up `(key, module_id)`; returns the CAM address of the first
+    /// matching entry. The module ID participates in the comparison, so a
+    /// packet can never hit another module's entries.
+    pub fn lookup(&mut self, key: &LookupKey, module_id: u16) -> Option<usize> {
+        self.lookups += 1;
+        let hit = self.entries.iter().position(|slot| {
+            slot.as_ref()
+                .map(|e| e.module_id == module_id && e.key == *key)
+                .unwrap_or(false)
+        });
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Clears every entry belonging to `module_id`; returns how many were
+    /// removed. Used when a module is unloaded or reconfigured.
+    pub fn clear_module(&mut self, module_id: u16) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.entries {
+            if slot.as_ref().map(|e| e.module_id == module_id).unwrap_or(false) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Lookup statistics: `(lookups, hits)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_with_first_byte(byte: u8) -> LookupKey {
+        let mut key = LookupKey::default();
+        key.bytes[0] = byte;
+        key
+    }
+
+    #[test]
+    fn from_slots_lays_out_key_in_order() {
+        let key = LookupKey::from_slots(
+            [
+                (0x0000_aaaa_bbbb, 6),
+                (0, 6),
+                (0xdead_beef, 4),
+                (0, 4),
+                (0x1234, 2),
+                (0x5678, 2),
+            ],
+            true,
+        );
+        assert_eq!(key.slot_value(0, 6), 0x0000_aaaa_bbbb);
+        assert_eq!(key.slot_value(12, 4), 0xdead_beef);
+        assert_eq!(key.slot_value(20, 2), 0x1234);
+        assert_eq!(key.slot_value(22, 2), 0x5678);
+        assert!(key.predicate);
+        assert!(key.to_string().contains("deadbeef"));
+    }
+
+    #[test]
+    fn masking_clears_unselected_bits() {
+        let key = LookupKey::from_slots(
+            [(1, 6), (2, 6), (3, 4), (4, 4), (5, 2), (6, 2)],
+            true,
+        );
+        let mask = KeyMask::for_slots([true, false, true, false, false, false], false);
+        let masked = key.masked(&mask);
+        assert_eq!(masked.slot_value(0, 6), 1);
+        assert_eq!(masked.slot_value(6, 6), 0);
+        assert_eq!(masked.slot_value(12, 4), 3);
+        assert_eq!(masked.slot_value(22, 2), 0);
+        assert!(!masked.predicate);
+    }
+
+    #[test]
+    fn lookup_respects_module_id() {
+        let mut table = ExactMatchTable::new(4);
+        let key = key_with_first_byte(0x42);
+        table
+            .install(0, MatchEntry { key, module_id: 1, action_index: 0 })
+            .unwrap();
+        table
+            .install(1, MatchEntry { key, module_id: 2, action_index: 1 })
+            .unwrap();
+        assert_eq!(table.lookup(&key, 1), Some(0));
+        assert_eq!(table.lookup(&key, 2), Some(1));
+        assert_eq!(table.lookup(&key, 3), None);
+        assert_eq!(table.stats(), (3, 2));
+    }
+
+    #[test]
+    fn install_remove_bounds() {
+        let mut table = ExactMatchTable::new(2);
+        let entry = MatchEntry {
+            key: LookupKey::default(),
+            module_id: 0,
+            action_index: 0,
+        };
+        assert!(table.install(2, entry).is_err());
+        assert!(table.install(1, entry).is_ok());
+        assert_eq!(table.occupancy(), 1);
+        assert_eq!(table.remove(1).unwrap(), Some(entry));
+        assert_eq!(table.occupancy(), 0);
+        assert!(table.remove(5).is_err());
+        assert!(table.entry(0).is_none());
+    }
+
+    #[test]
+    fn clear_module_removes_only_that_module() {
+        let mut table = ExactMatchTable::new(8);
+        for i in 0..8 {
+            table
+                .install(
+                    i,
+                    MatchEntry {
+                        key: key_with_first_byte(i as u8),
+                        module_id: (i % 2) as u16,
+                        action_index: i as u16,
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(table.clear_module(0), 4);
+        assert_eq!(table.occupancy(), 4);
+        assert_eq!(table.lookup(&key_with_first_byte(1), 1), Some(1));
+        assert_eq!(table.lookup(&key_with_first_byte(0), 0), None);
+    }
+}

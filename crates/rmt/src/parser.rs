@@ -1,0 +1,115 @@
+//! The programmable parser.
+//!
+//! The parser is table-driven (§3.1): an entry holds up to 10 parse actions,
+//! each extracting a header field from a byte offset in the packet's first
+//! 128 bytes into a PHV container. Under Menshen the entry is selected by the
+//! packet's module ID; the baseline pipeline uses a single entry.
+
+use crate::config::ParserEntry;
+use crate::error::RmtError;
+use crate::params::HEADER_REGION_BYTES;
+use crate::phv::{Metadata, Phv};
+use crate::Result;
+use menshen_packet::Packet;
+
+/// Parses `packet` according to `entry`, producing a fresh PHV.
+///
+/// The PHV is zeroed before parsing (the prototype zeroes the PHV for every
+/// packet so that no data leaks between modules, §4.1), `module_id` is
+/// attached, and platform metadata (packet length, ingress port) is filled in.
+pub fn parse(packet: &Packet, entry: &ParserEntry, module_id: u16) -> Result<Phv> {
+    let mut phv = Phv::zeroed();
+    phv.module_id = module_id;
+    phv.metadata = Metadata {
+        pkt_len: packet.len().min(usize::from(u16::MAX)) as u16,
+        src_port: packet.ingress_port,
+        ..Metadata::default()
+    };
+
+    for action in &entry.actions {
+        let offset = usize::from(action.offset);
+        let width = action.container.width_bytes();
+        if offset >= HEADER_REGION_BYTES {
+            return Err(RmtError::ParseOutOfRange {
+                offset,
+                packet_len: packet.len(),
+            });
+        }
+        // Fields that fall past the end of a short packet read as zero, the
+        // same as the zero-padded header region in the hardware buffer.
+        let value = packet.read_be(offset, width).unwrap_or(0);
+        phv.set(action.container, value);
+    }
+    Ok(phv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParseAction;
+    use crate::phv::ContainerRef as C;
+    use menshen_packet::PacketBuilder;
+
+    fn sample_packet() -> Packet {
+        // VLAN-tagged UDP: IPv4 header starts at 18, src IP at 30, dst IP at 34,
+        // UDP ports at 38/40, payload at 46.
+        PacketBuilder::udp_data(
+            7,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            0x1111,
+            0x2222,
+            &[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04],
+        )
+    }
+
+    #[test]
+    fn extracts_fields_into_containers() {
+        let packet = sample_packet();
+        let entry = ParserEntry::new(vec![
+            ParseAction::new(30, C::h4(0)).unwrap(), // src IP
+            ParseAction::new(34, C::h4(1)).unwrap(), // dst IP
+            ParseAction::new(38, C::h2(0)).unwrap(), // UDP src port
+            ParseAction::new(40, C::h2(1)).unwrap(), // UDP dst port
+            ParseAction::new(46, C::h4(2)).unwrap(), // first payload word
+        ])
+        .unwrap();
+        let phv = parse(&packet, &entry, 7).unwrap();
+        assert_eq!(phv.get(C::h4(0)), 0x0a00_0001);
+        assert_eq!(phv.get(C::h4(1)), 0x0a00_0002);
+        assert_eq!(phv.get(C::h2(0)), 0x1111);
+        assert_eq!(phv.get(C::h2(1)), 0x2222);
+        assert_eq!(phv.get(C::h4(2)), 0xdead_beef);
+        assert_eq!(phv.module_id, 7);
+        assert_eq!(phv.metadata.pkt_len, packet.len() as u16);
+    }
+
+    #[test]
+    fn offsets_beyond_packet_read_zero() {
+        let packet = sample_packet(); // 64 bytes
+        let entry = ParserEntry::new(vec![ParseAction::new(120, C::h4(0)).unwrap()]).unwrap();
+        let phv = parse(&packet, &entry, 1).unwrap();
+        assert_eq!(phv.get(C::h4(0)), 0);
+    }
+
+    #[test]
+    fn empty_entry_produces_zero_phv() {
+        let packet = sample_packet();
+        let phv = parse(&packet, &ParserEntry::default(), 3).unwrap();
+        assert!(phv.is_header_zero());
+        assert_eq!(phv.module_id, 3);
+    }
+
+    #[test]
+    fn six_byte_containers_capture_mac_addresses() {
+        let packet = sample_packet();
+        let entry = ParserEntry::new(vec![
+            ParseAction::new(0, C::h6(0)).unwrap(), // dst MAC
+            ParseAction::new(6, C::h6(1)).unwrap(), // src MAC
+        ])
+        .unwrap();
+        let phv = parse(&packet, &entry, 1).unwrap();
+        assert_eq!(phv.get(C::h6(0)), 0x0200_0000_0002);
+        assert_eq!(phv.get(C::h6(1)), 0x0200_0000_0001);
+    }
+}

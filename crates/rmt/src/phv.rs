@@ -1,0 +1,302 @@
+//! The packet header vector (PHV) and its containers.
+//!
+//! The PHV is the unit of work travelling through the pipeline: the parser
+//! fills containers from packet bytes, each stage's ALUs rewrite containers,
+//! and the deparser writes containers back into the packet. The prototype's
+//! PHV has three container sizes — 2, 4 and 6 bytes, eight of each — plus a
+//! 32-byte metadata area (§4.1), for a total of 128 bytes.
+
+use crate::error::RmtError;
+use crate::params::{NUM_2B_CONTAINERS, NUM_4B_CONTAINERS, NUM_6B_CONTAINERS, NUM_CONTAINERS};
+use crate::Result;
+use core::fmt;
+
+/// The three header-container sizes of the prototype PHV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContainerType {
+    /// 2-byte containers.
+    H2,
+    /// 4-byte containers.
+    H4,
+    /// 6-byte containers.
+    H6,
+}
+
+impl ContainerType {
+    /// Width of containers of this type, in bytes.
+    pub const fn width_bytes(self) -> usize {
+        match self {
+            ContainerType::H2 => 2,
+            ContainerType::H4 => 4,
+            ContainerType::H6 => 6,
+        }
+    }
+
+    /// Number of containers of this type in the PHV.
+    pub const fn count(self) -> usize {
+        match self {
+            ContainerType::H2 => NUM_2B_CONTAINERS,
+            ContainerType::H4 => NUM_4B_CONTAINERS,
+            ContainerType::H6 => NUM_6B_CONTAINERS,
+        }
+    }
+
+    /// Maximum value a container of this type can hold.
+    pub const fn max_value(self) -> u64 {
+        match self {
+            ContainerType::H2 => 0xffff,
+            ContainerType::H4 => 0xffff_ffff,
+            ContainerType::H6 => 0xffff_ffff_ffff,
+        }
+    }
+
+    /// 2-bit encoding used in parse actions and ALU actions.
+    pub const fn code(self) -> u8 {
+        match self {
+            ContainerType::H2 => 0,
+            ContainerType::H4 => 1,
+            ContainerType::H6 => 2,
+        }
+    }
+
+    /// Decodes the 2-bit container-type code.
+    pub fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(ContainerType::H2),
+            1 => Ok(ContainerType::H4),
+            2 => Ok(ContainerType::H6),
+            other => Err(RmtError::BadContainer { code: other }),
+        }
+    }
+}
+
+/// A reference to one PHV header container: a type and an index 0–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContainerRef {
+    /// Container size class.
+    pub ty: ContainerType,
+    /// Index within the size class (0–7).
+    pub index: u8,
+}
+
+impl ContainerRef {
+    /// Creates a container reference, validating the index.
+    pub fn new(ty: ContainerType, index: u8) -> Result<Self> {
+        if usize::from(index) >= ty.count() {
+            return Err(RmtError::BadContainer {
+                code: (ty.code() << 3) | index,
+            });
+        }
+        Ok(ContainerRef { ty, index })
+    }
+
+    /// Shorthand for a 2-byte container.
+    pub fn h2(index: u8) -> Self {
+        ContainerRef::new(ContainerType::H2, index).expect("index < 8")
+    }
+
+    /// Shorthand for a 4-byte container.
+    pub fn h4(index: u8) -> Self {
+        ContainerRef::new(ContainerType::H4, index).expect("index < 8")
+    }
+
+    /// Shorthand for a 6-byte container.
+    pub fn h6(index: u8) -> Self {
+        ContainerRef::new(ContainerType::H6, index).expect("index < 8")
+    }
+
+    /// Encodes the reference as the 5-bit code used by ALU actions
+    /// (2-bit type, 3-bit index).
+    pub fn code(&self) -> u8 {
+        (self.ty.code() << 3) | (self.index & 0x7)
+    }
+
+    /// Decodes a 5-bit container code.
+    pub fn from_code(code: u8) -> Result<Self> {
+        let ty = ContainerType::from_code((code >> 3) & 0x3)?;
+        ContainerRef::new(ty, code & 0x7)
+    }
+
+    /// Flat index 0–23 used to address the per-container ALU array
+    /// (2-byte containers first, then 4-byte, then 6-byte).
+    pub fn flat_index(&self) -> usize {
+        let base = match self.ty {
+            ContainerType::H2 => 0,
+            ContainerType::H4 => NUM_2B_CONTAINERS,
+            ContainerType::H6 => NUM_2B_CONTAINERS + NUM_4B_CONTAINERS,
+        };
+        base + usize::from(self.index)
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index).
+    pub fn from_flat_index(index: usize) -> Result<Self> {
+        if index < NUM_2B_CONTAINERS {
+            ContainerRef::new(ContainerType::H2, index as u8)
+        } else if index < NUM_2B_CONTAINERS + NUM_4B_CONTAINERS {
+            ContainerRef::new(ContainerType::H4, (index - NUM_2B_CONTAINERS) as u8)
+        } else if index < NUM_CONTAINERS - 1 {
+            ContainerRef::new(
+                ContainerType::H6,
+                (index - NUM_2B_CONTAINERS - NUM_4B_CONTAINERS) as u8,
+            )
+        } else {
+            Err(RmtError::BadContainer { code: index as u8 })
+        }
+    }
+
+    /// Width of the referenced container, in bytes.
+    pub fn width_bytes(&self) -> usize {
+        self.ty.width_bytes()
+    }
+}
+
+impl fmt::Display for ContainerRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ty = match self.ty {
+            ContainerType::H2 => "2B",
+            ContainerType::H4 => "4B",
+            ContainerType::H6 => "6B",
+        };
+        write!(f, "{ty}[{}]", self.index)
+    }
+}
+
+/// Platform-specific metadata carried in the PHV's 32-byte metadata area.
+///
+/// On the NetFPGA switch platform this includes source port, destination port
+/// and packet length; on Corundum only the discard flag (§4.3). The simulator
+/// carries the superset, plus the pipeline-generated statistics the paper's
+/// system-level module exposes (queue length, enqueue timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metadata {
+    /// Drop flag set by the `discard` ALU operation.
+    pub discard: bool,
+    /// Egress port selected by the `port` ALU operation.
+    pub dst_port: u16,
+    /// Ingress port the packet arrived on.
+    pub src_port: u16,
+    /// Packet length in bytes.
+    pub pkt_len: u16,
+    /// Multicast group selected by the system-level module (0 = unicast).
+    pub multicast_group: u16,
+    /// Queue occupancy observed at enqueue (system-level statistic).
+    pub queue_len: u32,
+    /// Enqueue timestamp in device cycles (system-level statistic).
+    pub enqueue_cycle: u32,
+    /// One-hot packet-buffer tag assigned by the packet filter (§3.2).
+    pub buffer_tag: u8,
+}
+
+/// The packet header vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Phv {
+    h2: [u16; NUM_2B_CONTAINERS],
+    h4: [u32; NUM_4B_CONTAINERS],
+    h6: [u64; NUM_6B_CONTAINERS],
+    /// Platform metadata (the 25th "container").
+    pub metadata: Metadata,
+    /// Module ID (VLAN ID) of the packet being processed. Travels with (in
+    /// the optimised design, ahead of) the PHV so that each element can look
+    /// up its per-module configuration.
+    pub module_id: u16,
+}
+
+impl Phv {
+    /// Creates a zeroed PHV. The prototype zeroes the PHV for every incoming
+    /// packet to prevent data leaking between modules (§4.1).
+    pub fn zeroed() -> Self {
+        Phv::default()
+    }
+
+    /// Reads a header container.
+    pub fn get(&self, container: ContainerRef) -> u64 {
+        match container.ty {
+            ContainerType::H2 => u64::from(self.h2[usize::from(container.index)]),
+            ContainerType::H4 => u64::from(self.h4[usize::from(container.index)]),
+            ContainerType::H6 => self.h6[usize::from(container.index)],
+        }
+    }
+
+    /// Writes a header container, truncating the value to the container width.
+    pub fn set(&mut self, container: ContainerRef, value: u64) {
+        match container.ty {
+            ContainerType::H2 => self.h2[usize::from(container.index)] = value as u16,
+            ContainerType::H4 => self.h4[usize::from(container.index)] = value as u32,
+            ContainerType::H6 => {
+                self.h6[usize::from(container.index)] = value & ContainerType::H6.max_value()
+            }
+        }
+    }
+
+    /// Returns true if every header container is zero (metadata ignored).
+    pub fn is_header_zero(&self) -> bool {
+        self.h2.iter().all(|&v| v == 0)
+            && self.h4.iter().all(|&v| v == 0)
+            && self.h6.iter().all(|&v| v == 0)
+    }
+
+    /// Iterates over every header container reference in flat order.
+    pub fn container_refs() -> impl Iterator<Item = ContainerRef> {
+        (0..NUM_CONTAINERS - 1).map(|i| ContainerRef::from_flat_index(i).expect("in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_codes_round_trip() {
+        for i in 0..NUM_CONTAINERS - 1 {
+            let c = ContainerRef::from_flat_index(i).unwrap();
+            assert_eq!(ContainerRef::from_code(c.code()).unwrap(), c);
+            assert_eq!(c.flat_index(), i);
+        }
+        assert!(ContainerRef::from_flat_index(24).is_err());
+        assert!(ContainerRef::from_code(0b11_000).is_err());
+        assert!(ContainerRef::new(ContainerType::H2, 8).is_err());
+    }
+
+    #[test]
+    fn set_get_truncates_to_width() {
+        let mut phv = Phv::zeroed();
+        phv.set(ContainerRef::h2(0), 0x1_2345);
+        assert_eq!(phv.get(ContainerRef::h2(0)), 0x2345);
+        phv.set(ContainerRef::h4(3), 0x1_0000_0001);
+        assert_eq!(phv.get(ContainerRef::h4(3)), 1);
+        phv.set(ContainerRef::h6(7), u64::MAX);
+        assert_eq!(phv.get(ContainerRef::h6(7)), 0xffff_ffff_ffff);
+    }
+
+    #[test]
+    fn zeroed_phv_has_no_residue() {
+        let phv = Phv::zeroed();
+        assert!(phv.is_header_zero());
+        assert_eq!(phv.module_id, 0);
+        assert!(!phv.metadata.discard);
+    }
+
+    #[test]
+    fn container_type_properties() {
+        assert_eq!(ContainerType::H2.width_bytes(), 2);
+        assert_eq!(ContainerType::H4.width_bytes(), 4);
+        assert_eq!(ContainerType::H6.width_bytes(), 6);
+        assert_eq!(ContainerType::H6.max_value(), 0xffff_ffff_ffff);
+        assert_eq!(ContainerType::from_code(1).unwrap(), ContainerType::H4);
+        assert!(ContainerType::from_code(3).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(ContainerRef::h4(2).to_string(), "4B[2]");
+        assert_eq!(ContainerRef::h6(0).to_string(), "6B[0]");
+    }
+
+    #[test]
+    fn container_refs_iterates_all_24() {
+        let refs: Vec<_> = Phv::container_refs().collect();
+        assert_eq!(refs.len(), 24);
+        assert_eq!(refs[0], ContainerRef::h2(0));
+        assert_eq!(refs[23], ContainerRef::h6(7));
+    }
+}

@@ -1,0 +1,300 @@
+//! The baseline (single-program) RMT pipeline.
+//!
+//! [`RmtPipeline`] wires the programmable parser, the match-action stages and
+//! the deparser together for a *single* packet-processing program — this is
+//! the "RMT" comparison point of the paper's evaluation (Table 4, §5.2 ASIC
+//! comparison), i.e. Menshen with its isolation primitives removed and only
+//! one module supported. The multi-module pipeline with isolation lives in
+//! `menshen-core`.
+
+use crate::config::ParserEntry;
+use crate::deparser;
+use crate::error::RmtError;
+use crate::params::PipelineParams;
+use crate::parser;
+use crate::phv::Phv;
+use crate::stage::{StageConfig, StageHardware, StageTrace};
+use crate::stateful::IdentityTranslation;
+use crate::Result;
+use menshen_packet::Packet;
+
+/// A complete single-module program: parser/deparser entries and per-stage
+/// key configuration. Match entries and actions are installed separately
+/// through [`RmtPipeline::stage_mut`] (mirroring how the control plane
+/// populates tables at run time).
+#[derive(Debug, Clone, Default)]
+pub struct RmtProgram {
+    /// Parser-table entry.
+    pub parser: ParserEntry,
+    /// Deparser-table entry.
+    pub deparser: ParserEntry,
+    /// Key configuration for each stage (missing stages default to no-match).
+    pub stages: Vec<StageConfig>,
+}
+
+/// The result of pushing one packet through the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The (possibly modified) packet, or `None` if it was discarded.
+    pub packet: Option<Packet>,
+    /// The final PHV after the last stage.
+    pub phv: Phv,
+    /// Per-stage traces (hit/miss, key, ALU outcome).
+    pub traces: Vec<StageTrace>,
+}
+
+impl PipelineOutput {
+    /// Egress port chosen by the program (metadata `dst_port`).
+    pub fn egress_port(&self) -> u16 {
+        self.phv.metadata.dst_port
+    }
+
+    /// True if the packet was discarded by a `discard` action.
+    pub fn discarded(&self) -> bool {
+        self.packet.is_none()
+    }
+}
+
+/// Packet/byte counters kept by the pipeline (the statistics surface the
+/// software interface reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineCounters {
+    /// Packets accepted into the pipeline.
+    pub packets_in: u64,
+    /// Packets emitted by the deparser.
+    pub packets_out: u64,
+    /// Packets discarded by actions.
+    pub packets_dropped: u64,
+    /// Bytes accepted into the pipeline.
+    pub bytes_in: u64,
+}
+
+/// The baseline RMT pipeline.
+#[derive(Debug, Clone)]
+pub struct RmtPipeline {
+    params: PipelineParams,
+    program: RmtProgram,
+    stages: Vec<StageHardware>,
+    counters: PipelineCounters,
+}
+
+impl RmtPipeline {
+    /// Creates a pipeline with the given parameters and an empty program.
+    pub fn new(params: PipelineParams) -> Self {
+        let stages = (0..params.num_stages).map(|_| StageHardware::new(&params)).collect();
+        RmtPipeline {
+            params,
+            program: RmtProgram::default(),
+            stages,
+            counters: PipelineCounters::default(),
+        }
+    }
+
+    /// The pipeline's resource parameters.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Loads (replaces) the single program.
+    pub fn load_program(&mut self, program: RmtProgram) -> Result<()> {
+        if program.stages.len() > self.params.num_stages {
+            return Err(RmtError::TableIndexOutOfRange {
+                table: "pipeline stages",
+                index: program.stages.len(),
+                depth: self.params.num_stages,
+            });
+        }
+        self.program = program;
+        Ok(())
+    }
+
+    /// The currently loaded program.
+    pub fn program(&self) -> &RmtProgram {
+        &self.program
+    }
+
+    /// Mutable access to a stage's hardware, for installing rules and
+    /// inspecting stateful memory.
+    pub fn stage_mut(&mut self, index: usize) -> Result<&mut StageHardware> {
+        let depth = self.stages.len();
+        self.stages.get_mut(index).ok_or(RmtError::TableIndexOutOfRange {
+            table: "pipeline stages",
+            index,
+            depth,
+        })
+    }
+
+    /// Read-only access to a stage's hardware.
+    pub fn stage(&self, index: usize) -> Option<&StageHardware> {
+        self.stages.get(index)
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Aggregate packet/byte counters.
+    pub fn counters(&self) -> PipelineCounters {
+        self.counters
+    }
+
+    /// Pushes one packet through parser → stages → deparser.
+    ///
+    /// The baseline pipeline serves a single program, so every packet is
+    /// processed with module ID 0 regardless of its VLAN tag.
+    pub fn process(&mut self, mut packet: Packet) -> Result<PipelineOutput> {
+        self.counters.packets_in += 1;
+        self.counters.bytes_in += packet.len() as u64;
+
+        let mut phv = parser::parse(&packet, &self.program.parser, 0)?;
+        let mut traces = Vec::with_capacity(self.stages.len());
+        let default_config = StageConfig::default();
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            let config = self.program.stages.get(i).unwrap_or(&default_config);
+            traces.push(stage.process(&mut phv, config, &IdentityTranslation));
+        }
+
+        if phv.metadata.discard {
+            self.counters.packets_dropped += 1;
+            return Ok(PipelineOutput { packet: None, phv, traces });
+        }
+
+        deparser::deparse(&mut packet, &phv, &self.program.deparser)?;
+        self.counters.packets_out += 1;
+        Ok(PipelineOutput {
+            packet: Some(packet),
+            phv,
+            traces,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{AluInstruction, VliwAction};
+    use crate::config::{KeyExtractEntry, KeyMask, ParseAction};
+    use crate::match_table::LookupKey;
+    use crate::phv::ContainerRef as C;
+    use crate::TABLE5;
+    use menshen_packet::PacketBuilder;
+
+    /// Builds a one-stage forwarding program: match on dst IP (parsed into
+    /// h4(1)), set the egress port and rewrite the dst UDP port.
+    fn forwarding_pipeline() -> RmtPipeline {
+        let mut pipeline = RmtPipeline::new(TABLE5);
+        let parser = ParserEntry::new(vec![
+            ParseAction::new(30, C::h4(0)).unwrap(), // src IP
+            ParseAction::new(34, C::h4(1)).unwrap(), // dst IP
+            ParseAction::new(40, C::h2(0)).unwrap(), // UDP dst port
+        ])
+        .unwrap();
+        let deparser = parser.clone();
+        let program = RmtProgram {
+            parser,
+            deparser,
+            stages: vec![StageConfig {
+                key_extract: KeyExtractEntry {
+                    slots_4b: [1, 0],
+                    ..KeyExtractEntry::default()
+                },
+                key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
+            }],
+        };
+        pipeline.load_program(program).unwrap();
+
+        // dst 10.0.0.2 -> egress port 3, dst UDP port rewritten to 9999.
+        let key = LookupKey::from_slots(
+            [(0, 6), (0, 6), (0x0a00_0002, 4), (0, 4), (0, 2), (0, 2)],
+            false,
+        );
+        let action = VliwAction::nop()
+            .with(C::h2(0), AluInstruction::set(9999))
+            .with_metadata(AluInstruction::port(3));
+        pipeline.stage_mut(0).unwrap().install_rule(0, key, 0, action).unwrap();
+        pipeline
+    }
+
+    #[test]
+    fn forwarding_program_rewrites_and_routes() {
+        let mut pipeline = forwarding_pipeline();
+        let packet = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 555, 80, &[1, 2, 3]);
+        let output = pipeline.process(packet).unwrap();
+        assert!(!output.discarded());
+        assert_eq!(output.egress_port(), 3);
+        assert_eq!(output.traces[0].hit, Some(0));
+        let out = output.packet.unwrap();
+        assert_eq!(out.udp_dst_port(), Some(9999));
+        // Unmatched traffic passes through untouched.
+        let other = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 9], 555, 80, &[]);
+        let output = pipeline.process(other).unwrap();
+        assert_eq!(output.traces[0].hit, None);
+        assert_eq!(output.packet.unwrap().udp_dst_port(), Some(80));
+        assert_eq!(pipeline.counters().packets_in, 2);
+        assert_eq!(pipeline.counters().packets_out, 2);
+    }
+
+    #[test]
+    fn discard_action_drops_packet() {
+        let mut pipeline = forwarding_pipeline();
+        // Install a drop rule for dst 10.0.0.66 at CAM index 1.
+        let key = LookupKey::from_slots(
+            [(0, 6), (0, 6), (0x0a00_0042, 4), (0, 4), (0, 2), (0, 2)],
+            false,
+        );
+        pipeline
+            .stage_mut(0)
+            .unwrap()
+            .install_rule(1, key, 0, VliwAction::nop().with_metadata(AluInstruction::discard()))
+            .unwrap();
+        let packet = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 66], 1, 2, &[]);
+        let output = pipeline.process(packet).unwrap();
+        assert!(output.discarded());
+        assert_eq!(pipeline.counters().packets_dropped, 1);
+    }
+
+    #[test]
+    fn program_with_too_many_stages_rejected() {
+        let mut pipeline = RmtPipeline::new(TABLE5);
+        let program = RmtProgram {
+            stages: vec![StageConfig::default(); 6],
+            ..RmtProgram::default()
+        };
+        assert!(pipeline.load_program(program).is_err());
+        assert!(pipeline.stage_mut(5).is_err());
+        assert!(pipeline.stage(4).is_some());
+        assert_eq!(pipeline.num_stages(), 5);
+        assert_eq!(pipeline.params().cam_depth, 16);
+        assert!(pipeline.program().stages.is_empty());
+    }
+
+    #[test]
+    fn stateful_counter_across_packets() {
+        let mut pipeline = RmtPipeline::new(TABLE5);
+        let program = RmtProgram {
+            parser: ParserEntry::new(vec![ParseAction::new(34, C::h4(1)).unwrap()]).unwrap(),
+            deparser: ParserEntry::default(),
+            stages: vec![StageConfig {
+                key_extract: KeyExtractEntry { slots_4b: [1, 0], ..KeyExtractEntry::default() },
+                key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
+            }],
+        };
+        pipeline.load_program(program).unwrap();
+        let key = LookupKey::from_slots(
+            [(0, 6), (0, 6), (0x0a00_0002, 4), (0, 4), (0, 2), (0, 2)],
+            false,
+        );
+        pipeline
+            .stage_mut(0)
+            .unwrap()
+            .install_rule(0, key, 0, VliwAction::nop().with(C::h4(7), AluInstruction::loadd(5)))
+            .unwrap();
+        for _ in 0..4 {
+            let packet =
+                PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[]);
+            pipeline.process(packet).unwrap();
+        }
+        assert_eq!(pipeline.stage(0).unwrap().stateful.peek(5), Some(4));
+    }
+}

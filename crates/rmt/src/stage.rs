@@ -1,0 +1,249 @@
+//! A single match-action processing stage.
+//!
+//! A stage owns the *hardware* — the exact-match CAM, the VLIW action table
+//! and the stateful memory — and processes one PHV at a time given the
+//! *configuration* to use for that PHV (key extractor entry and key mask).
+//! Separating hardware from configuration is what lets Menshen overlay
+//! per-module configurations onto the same stage (`menshen-core`), while the
+//! baseline pipeline passes the same configuration for every packet.
+
+use crate::action::VliwAction;
+use crate::action_engine::{self, ActionOutcome};
+use crate::config::{KeyExtractEntry, KeyMask};
+use crate::error::RmtError;
+use crate::key_extractor::extract_key;
+use crate::match_table::{ExactMatchTable, LookupKey, MatchEntry};
+use crate::params::PipelineParams;
+use crate::phv::Phv;
+use crate::stateful::{AddressTranslate, StatefulMemory};
+use crate::Result;
+
+/// Per-packet stage configuration: how to build the lookup key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Which containers form the key, plus the optional predicate.
+    pub key_extract: KeyExtractEntry,
+    /// Which key bits participate in the match.
+    pub key_mask: KeyMask,
+}
+
+impl Default for StageConfig {
+    fn default() -> Self {
+        StageConfig {
+            key_extract: KeyExtractEntry::default(),
+            key_mask: KeyMask::default(),
+        }
+    }
+}
+
+/// What happened to a PHV inside one stage (returned for tests and traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTrace {
+    /// CAM address that matched, if any.
+    pub hit: Option<usize>,
+    /// The key that was looked up.
+    pub key: LookupKey,
+    /// Result of executing the matched action.
+    pub outcome: ActionOutcome,
+}
+
+/// The hardware of one processing stage.
+#[derive(Debug, Clone)]
+pub struct StageHardware {
+    /// The exact-match table (CAM).
+    pub cam: ExactMatchTable,
+    /// The VLIW action table, indexed by the CAM lookup result.
+    actions: Vec<VliwAction>,
+    /// The stage's stateful memory.
+    pub stateful: StatefulMemory,
+}
+
+impl StageHardware {
+    /// Creates a stage with the table depths of `params`.
+    pub fn new(params: &PipelineParams) -> Self {
+        StageHardware {
+            cam: ExactMatchTable::new(params.cam_depth),
+            actions: vec![VliwAction::nop(); params.action_depth],
+            stateful: StatefulMemory::new(params.stateful_words),
+        }
+    }
+
+    /// Depth of the VLIW action table.
+    pub fn action_depth(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Installs a VLIW action at `index` in the action table.
+    pub fn install_action(&mut self, index: usize, action: VliwAction) -> Result<()> {
+        let depth = self.actions.len();
+        let slot = self
+            .actions
+            .get_mut(index)
+            .ok_or(RmtError::TableIndexOutOfRange {
+                table: "VLIW action table",
+                index,
+                depth,
+            })?;
+        *slot = action;
+        Ok(())
+    }
+
+    /// Reads the VLIW action at `index`.
+    pub fn action(&self, index: usize) -> Option<&VliwAction> {
+        self.actions.get(index)
+    }
+
+    /// Installs a match entry and its action together: the entry at CAM
+    /// address `index` points at action-table index `index` (the layout the
+    /// Menshen compiler produces).
+    pub fn install_rule(
+        &mut self,
+        index: usize,
+        key: LookupKey,
+        module_id: u16,
+        action: VliwAction,
+    ) -> Result<()> {
+        self.cam.install(
+            index,
+            MatchEntry {
+                key,
+                module_id,
+                action_index: index as u16,
+            },
+        )?;
+        self.install_action(index, action)
+    }
+
+    /// Processes one PHV: extract key → CAM lookup → execute matched action.
+    /// On a miss the PHV passes through unchanged (no default action in the
+    /// prototype).
+    pub fn process(
+        &mut self,
+        phv: &mut Phv,
+        config: &StageConfig,
+        translate: &dyn AddressTranslate,
+    ) -> StageTrace {
+        let key = extract_key(phv, &config.key_extract, &config.key_mask);
+        let hit = self.cam.lookup(&key, phv.module_id);
+        let outcome = match hit {
+            Some(cam_index) => {
+                let action_index = self
+                    .cam
+                    .entry(cam_index)
+                    .map(|e| usize::from(e.action_index))
+                    .unwrap_or(cam_index);
+                match self.actions.get(action_index).cloned() {
+                    Some(action) => action_engine::execute(&action, phv, &mut self.stateful, translate),
+                    None => ActionOutcome::default(),
+                }
+            }
+            None => ActionOutcome::default(),
+        };
+        StageTrace { hit, key, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::AluInstruction;
+    use crate::config::KeyMask;
+    use crate::phv::ContainerRef as C;
+    use crate::stateful::IdentityTranslation;
+    use crate::TABLE5;
+
+    fn stage() -> StageHardware {
+        StageHardware::new(&TABLE5)
+    }
+
+    fn key_matching_h4_0(value: u32) -> LookupKey {
+        LookupKey::from_slots(
+            [(0, 6), (0, 6), (u64::from(value), 4), (0, 4), (0, 2), (0, 2)],
+            false,
+        )
+    }
+
+    #[test]
+    fn hit_executes_action() {
+        let mut hw = stage();
+        let config = StageConfig {
+            key_extract: KeyExtractEntry::default(),
+            key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
+        };
+        let key = key_matching_h4_0(0xdead_beef);
+        hw.install_rule(
+            3,
+            key,
+            0,
+            VliwAction::nop().with(C::h2(0), AluInstruction::set(42)),
+        )
+        .unwrap();
+
+        let mut phv = Phv::zeroed();
+        phv.set(C::h4(0), 0xdead_beef);
+        let trace = hw.process(&mut phv, &config, &IdentityTranslation);
+        assert_eq!(trace.hit, Some(3));
+        assert_eq!(trace.outcome.alus_fired, 1);
+        assert_eq!(phv.get(C::h2(0)), 42);
+    }
+
+    #[test]
+    fn miss_passes_phv_through() {
+        let mut hw = stage();
+        let config = StageConfig {
+            key_extract: KeyExtractEntry::default(),
+            key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
+        };
+        let mut phv = Phv::zeroed();
+        phv.set(C::h4(0), 0x1234);
+        let before = phv.clone();
+        let trace = hw.process(&mut phv, &config, &IdentityTranslation);
+        assert_eq!(trace.hit, None);
+        assert_eq!(phv, before);
+    }
+
+    #[test]
+    fn different_modules_do_not_alias() {
+        let mut hw = stage();
+        let config = StageConfig {
+            key_extract: KeyExtractEntry::default(),
+            key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
+        };
+        let key = key_matching_h4_0(7);
+        hw.install_rule(0, key, 1, VliwAction::nop().with(C::h2(0), AluInstruction::set(1)))
+            .unwrap();
+        hw.install_rule(1, key, 2, VliwAction::nop().with(C::h2(0), AluInstruction::set(2)))
+            .unwrap();
+
+        let mut phv1 = Phv::zeroed();
+        phv1.module_id = 1;
+        phv1.set(C::h4(0), 7);
+        hw.process(&mut phv1, &config, &IdentityTranslation);
+        assert_eq!(phv1.get(C::h2(0)), 1);
+
+        let mut phv2 = Phv::zeroed();
+        phv2.module_id = 2;
+        phv2.set(C::h4(0), 7);
+        hw.process(&mut phv2, &config, &IdentityTranslation);
+        assert_eq!(phv2.get(C::h2(0)), 2);
+
+        let mut phv3 = Phv::zeroed();
+        phv3.module_id = 3;
+        phv3.set(C::h4(0), 7);
+        let trace = hw.process(&mut phv3, &config, &IdentityTranslation);
+        assert_eq!(trace.hit, None);
+    }
+
+    #[test]
+    fn install_bounds_checked() {
+        let mut hw = stage();
+        assert!(hw.install_action(16, VliwAction::nop()).is_err());
+        assert!(hw.install_action(15, VliwAction::nop()).is_ok());
+        assert!(hw
+            .install_rule(16, LookupKey::default(), 0, VliwAction::nop())
+            .is_err());
+        assert_eq!(hw.action_depth(), 16);
+        assert!(hw.action(15).is_some());
+        assert!(hw.action(16).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-stage stateful memory and address translation.
+//!
+//! Each stage has a block of persistent memory (register array) that the
+//! stateful ALU operations (`load`/`store`/`loadd`) read and write. In the
+//! baseline RMT pipeline the address supplied by the action is used directly;
+//! Menshen inserts a per-module segment-table translation in front of the
+//! memory (the [`AddressTranslate`] trait is the seam where `menshen-core`
+//! plugs that in).
+
+use crate::error::RmtError;
+use crate::Result;
+
+/// Translation from a module-local stateful address to a physical address.
+///
+/// Implementations must return `None` when the access is outside the module's
+/// allocation, in which case the access is suppressed (the paper's hardware
+/// bounds accesses to the module's segment; the simulator reports it in the
+/// stage trace so tests can assert on attempted violations).
+pub trait AddressTranslate {
+    /// Translates `(module_id, local_address)` into a physical word address.
+    fn translate(&self, module_id: u16, local_address: u32) -> Option<u32>;
+}
+
+/// The identity translation used by the baseline (single-module) pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityTranslation;
+
+impl AddressTranslate for IdentityTranslation {
+    fn translate(&self, _module_id: u16, local_address: u32) -> Option<u32> {
+        Some(local_address)
+    }
+}
+
+/// A block of per-stage stateful memory (64-bit words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatefulMemory {
+    words: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl StatefulMemory {
+    /// Creates a zeroed memory of `size` words.
+    pub fn new(size: usize) -> Self {
+        StatefulMemory {
+            words: vec![0; size],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of words in the memory.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `address`.
+    pub fn read(&mut self, address: u32) -> Result<u64> {
+        let word = self
+            .words
+            .get(address as usize)
+            .copied()
+            .ok_or(RmtError::StatefulOutOfRange {
+                address,
+                limit: self.words.len() as u32,
+            })?;
+        self.reads += 1;
+        Ok(word)
+    }
+
+    /// Writes the word at `address`.
+    pub fn write(&mut self, address: u32, value: u64) -> Result<()> {
+        let limit = self.words.len() as u32;
+        let slot = self
+            .words
+            .get_mut(address as usize)
+            .ok_or(RmtError::StatefulOutOfRange { address, limit })?;
+        *slot = value;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Atomically reads the word at `address`, then increments it — the
+    /// `loadd` operation of Table 2.
+    pub fn load_and_add(&mut self, address: u32) -> Result<u64> {
+        let limit = self.words.len() as u32;
+        let slot = self
+            .words
+            .get_mut(address as usize)
+            .ok_or(RmtError::StatefulOutOfRange { address, limit })?;
+        let old = *slot;
+        *slot = slot.wrapping_add(1);
+        self.reads += 1;
+        self.writes += 1;
+        Ok(old)
+    }
+
+    /// Reads without counting (used by tests and the software interface).
+    pub fn peek(&self, address: u32) -> Option<u64> {
+        self.words.get(address as usize).copied()
+    }
+
+    /// Zeroes a contiguous range of words; used when a module's segment is
+    /// reclaimed so no state leaks to the next owner.
+    pub fn clear_range(&mut self, start: u32, len: u32) -> Result<()> {
+        let end = start
+            .checked_add(len)
+            .ok_or(RmtError::StatefulOutOfRange { address: start, limit: self.words.len() as u32 })?;
+        if end as usize > self.words.len() {
+            return Err(RmtError::StatefulOutOfRange {
+                address: end,
+                limit: self.words.len() as u32,
+            });
+        }
+        for word in &mut self.words[start as usize..end as usize] {
+            *word = 0;
+        }
+        Ok(())
+    }
+
+    /// Total number of reads performed (statistics for the software interface).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total number of writes performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = StatefulMemory::new(16);
+        assert_eq!(mem.len(), 16);
+        assert!(!mem.is_empty());
+        mem.write(3, 42).unwrap();
+        assert_eq!(mem.read(3).unwrap(), 42);
+        assert_eq!(mem.peek(3), Some(42));
+        assert_eq!(mem.read_count(), 1);
+        assert_eq!(mem.write_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut mem = StatefulMemory::new(4);
+        assert!(matches!(mem.read(4), Err(RmtError::StatefulOutOfRange { .. })));
+        assert!(matches!(mem.write(100, 1), Err(RmtError::StatefulOutOfRange { .. })));
+        assert!(mem.load_and_add(4).is_err());
+        assert_eq!(mem.peek(4), None);
+    }
+
+    #[test]
+    fn load_and_add_returns_old_value() {
+        let mut mem = StatefulMemory::new(4);
+        assert_eq!(mem.load_and_add(0).unwrap(), 0);
+        assert_eq!(mem.load_and_add(0).unwrap(), 1);
+        assert_eq!(mem.peek(0), Some(2));
+        mem.write(1, u64::MAX).unwrap();
+        assert_eq!(mem.load_and_add(1).unwrap(), u64::MAX);
+        assert_eq!(mem.peek(1), Some(0), "wrapping add");
+    }
+
+    #[test]
+    fn clear_range_zeroes_only_that_range() {
+        let mut mem = StatefulMemory::new(8);
+        for i in 0..8 {
+            mem.write(i, 100 + u64::from(i)).unwrap();
+        }
+        mem.clear_range(2, 3).unwrap();
+        assert_eq!(mem.peek(1), Some(101));
+        assert_eq!(mem.peek(2), Some(0));
+        assert_eq!(mem.peek(4), Some(0));
+        assert_eq!(mem.peek(5), Some(105));
+        assert!(mem.clear_range(6, 3).is_err());
+        assert!(mem.clear_range(u32::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn identity_translation_passes_through() {
+        let t = IdentityTranslation;
+        assert_eq!(t.translate(7, 123), Some(123));
+    }
+}

@@ -1,0 +1,245 @@
+//! The live-reconfiguration experiment of Figure 10.
+//!
+//! Three CALC tenants share a 10 Gbit/s link with a 5:3:2 rate split
+//! (9.3 Gbit/s offered in total, generated with a netmap-based replayer in
+//! the paper). Half a second into the run, module 1 is reconfigured. The
+//! figure shows module 1's throughput dropping to zero for the duration of
+//! the reconfiguration while modules 2 and 3 are completely unaffected.
+//!
+//! The functional pipeline cannot push 9.3 Gbit/s of packets in simulation,
+//! so each time bin sends a *sample* of real packets per module through the
+//! pipeline (verifying behaviour, counting drops during reconfiguration) and
+//! scales the per-bin byte counts to the offered rates. The reconfiguration
+//! window length is derived from the number of daisy-chain writes the module
+//! needs times the measured per-entry configuration time, matching how §5.1
+//! measures it.
+
+use crate::traffic::RateMix;
+use menshen_core::{MenshenPipeline, ModuleId, Verdict};
+use menshen_programs::calc::{Calc, OP_ADD};
+use menshen_programs::EvaluatedProgram;
+use menshen_rmt::params::PipelineParams;
+use menshen_packet::{Packet, PacketBuilder};
+
+/// Parameters of the Figure 10 experiment.
+#[derive(Debug, Clone)]
+pub struct ReconfigExperiment {
+    /// Total offered load in Gbit/s (9.3 in the paper).
+    pub offered_gbps: f64,
+    /// Rate split across the three modules (5:3:2 in the paper).
+    pub mix: RateMix,
+    /// Frame size used by the replayer, bytes.
+    pub frame_len: usize,
+    /// Experiment duration in seconds.
+    pub duration_s: f64,
+    /// Width of one throughput-measurement bin in seconds.
+    pub bin_s: f64,
+    /// Time at which module 1's reconfiguration starts, seconds.
+    pub reconfigure_at_s: f64,
+    /// Fixed software time to prepare and drive one module update (recompile,
+    /// generate entries, program the bitmap), seconds.
+    pub fixed_reconfig_s: f64,
+    /// Time taken to stream one configuration entry over the daisy chain,
+    /// seconds (the per-entry slope of Figure 9).
+    pub per_entry_config_s: f64,
+    /// How many real packets per module per bin are pushed through the
+    /// functional pipeline as a behavioural sample.
+    pub sample_packets_per_bin: usize,
+}
+
+impl Default for ReconfigExperiment {
+    fn default() -> Self {
+        ReconfigExperiment {
+            offered_gbps: 9.3,
+            mix: RateMix::new(vec![(1, 5.0), (2, 3.0), (3, 2.0)]),
+            frame_len: 1000,
+            duration_s: 3.0,
+            bin_s: 0.05,
+            reconfigure_at_s: 0.5,
+            fixed_reconfig_s: 0.15,
+            per_entry_config_s: 620e-6,
+            sample_packets_per_bin: 20,
+        }
+    }
+}
+
+/// One point of the Figure 10 timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Bin start time in seconds.
+    pub time_s: f64,
+    /// Module the measurement belongs to.
+    pub module_id: u16,
+    /// Measured throughput in Gbit/s over the bin.
+    pub gbps: f64,
+}
+
+/// The result of running the experiment.
+#[derive(Debug, Clone)]
+pub struct ReconfigTimeline {
+    /// Throughput samples, one per (bin, module).
+    pub points: Vec<TimelinePoint>,
+    /// When module 1's reconfiguration started, seconds.
+    pub reconfig_start_s: f64,
+    /// When module 1's reconfiguration finished, seconds.
+    pub reconfig_end_s: f64,
+}
+
+impl ReconfigTimeline {
+    /// The throughput series of one module, as `(time, gbps)` pairs.
+    pub fn series(&self, module_id: u16) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter(|p| p.module_id == module_id)
+            .map(|p| (p.time_s, p.gbps))
+            .collect()
+    }
+
+    /// Minimum throughput a module saw outside the warm-up bin.
+    pub fn min_throughput(&self, module_id: u16) -> f64 {
+        self.series(module_id)
+            .into_iter()
+            .map(|(_, gbps)| gbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl ReconfigExperiment {
+    fn calc_packet(module_id: u16, frame_len: usize) -> Packet {
+        // A CALC add-request padded to the experiment's frame size.
+        let mut payload = vec![0u8; frame_len.saturating_sub(46)];
+        payload[..2].copy_from_slice(&OP_ADD.to_be_bytes());
+        payload[2..6].copy_from_slice(&1000u32.to_be_bytes());
+        payload[6..10].copy_from_slice(&7u32.to_be_bytes());
+        PacketBuilder::new()
+            .with_vlan(module_id)
+            .build_udp([10, 0, 0, 1], [10, 0, 0, 2], 4000, 5000, &payload)
+    }
+
+    /// Runs the experiment and returns the per-module throughput timeline.
+    pub fn run(&self) -> ReconfigTimeline {
+        let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+        let modules = self.mix.modules();
+        let mut reconfig_packets = 0usize;
+        for &module_id in &modules {
+            let report = pipeline
+                .load_module(&Calc.build(module_id).expect("CALC compiles"))
+                .expect("CALC loads");
+            reconfig_packets = report.reconfig_packets;
+        }
+
+        // Reconfiguration window: streaming the module's entries again over
+        // the daisy chain.
+        let reconfig_duration =
+            self.fixed_reconfig_s + reconfig_packets as f64 * self.per_entry_config_s;
+        let reconfig_start = self.reconfigure_at_s;
+        let reconfig_end = reconfig_start + reconfig_duration;
+
+        let mut points = Vec::new();
+        let bins = (self.duration_s / self.bin_s).round() as usize;
+        let mut reconfigured = false;
+        for bin in 0..bins {
+            let time = bin as f64 * self.bin_s;
+            let bin_end = time + self.bin_s;
+
+            // Drive the reconfiguration state machine: mark the module when
+            // the window opens, update and unmark it when the window closes.
+            if !reconfigured && bin_end > reconfig_start {
+                pipeline.begin_reconfiguration(ModuleId::new(1)).expect("module 1 loaded");
+            }
+            if !reconfigured && time >= reconfig_end {
+                pipeline
+                    .update_module(&Calc.build(1).expect("CALC compiles"))
+                    .expect("module 1 updates");
+                pipeline.end_reconfiguration(ModuleId::new(1)).expect("module 1 loaded");
+                reconfigured = true;
+            }
+
+            for &module_id in &modules {
+                // Functional sample: are this module's packets forwarded right now?
+                let mut forwarded = 0usize;
+                for _ in 0..self.sample_packets_per_bin {
+                    let verdict = pipeline.process(Self::calc_packet(module_id, self.frame_len));
+                    if matches!(verdict, Verdict::Forwarded { .. }) {
+                        forwarded += 1;
+                    }
+                }
+                let forwarding_fraction = forwarded as f64 / self.sample_packets_per_bin as f64;
+
+                // The fraction of this bin during which the module was being
+                // reconfigured (its packets dropped by the packet filter).
+                let blocked = if module_id == 1 {
+                    let overlap_start = reconfig_start.max(time);
+                    let overlap_end = reconfig_end.min(bin_end);
+                    (((overlap_end - overlap_start).max(0.0)) / self.bin_s).min(1.0)
+                } else {
+                    0.0
+                };
+
+                // The functional sample must agree with the filter state: a
+                // module that is not being reconfigured forwards everything,
+                // a fully blocked module forwards nothing.
+                if blocked == 0.0 {
+                    debug_assert_eq!(forwarding_fraction, 1.0, "module {module_id} at t={time}");
+                } else if blocked >= 1.0 {
+                    debug_assert_eq!(forwarding_fraction, 0.0, "module {module_id} at t={time}");
+                }
+
+                let offered = self.offered_gbps * self.mix.share(module_id);
+                let gbps = offered * (1.0 - blocked);
+                points.push(TimelinePoint { time_s: time, module_id, gbps });
+            }
+        }
+
+        ReconfigTimeline {
+            points,
+            reconfig_start_s: reconfig_start,
+            reconfig_end_s: reconfig_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_experiment() -> ReconfigExperiment {
+        ReconfigExperiment {
+            duration_s: 1.5,
+            bin_s: 0.1,
+            sample_packets_per_bin: 5,
+            // Stretch the window so it spans several bins even with the small
+            // entry count of the test modules.
+            per_entry_config_s: 0.02,
+            ..ReconfigExperiment::default()
+        }
+    }
+
+    #[test]
+    fn other_modules_are_unaffected_by_module_1_reconfiguration() {
+        let timeline = quick_experiment().run();
+        // Modules 2 and 3 never dip below their offered rates.
+        assert!((timeline.min_throughput(2) - 9.3 * 0.3).abs() < 1e-6);
+        assert!((timeline.min_throughput(3) - 9.3 * 0.2).abs() < 1e-6);
+        // Module 1 drops (to zero) during its reconfiguration window...
+        assert!(timeline.min_throughput(1).abs() < 1e-9);
+        // ...and recovers to its full rate afterwards.
+        let series = timeline.series(1);
+        let last = series.last().unwrap();
+        assert!((last.1 - 9.3 * 0.5).abs() < 1e-6);
+        // The first bin (before reconfiguration) is also at full rate.
+        assert!((series[0].1 - 9.3 * 0.5).abs() < 1e-6);
+        assert!(timeline.reconfig_end_s > timeline.reconfig_start_s);
+    }
+
+    #[test]
+    fn timeline_covers_the_full_duration_for_all_modules() {
+        let experiment = quick_experiment();
+        let timeline = experiment.run();
+        let bins = (experiment.duration_s / experiment.bin_s).round() as usize;
+        assert_eq!(timeline.points.len(), bins * 3);
+        for module in [1, 2, 3] {
+            assert_eq!(timeline.series(module).len(), bins);
+        }
+    }
+}

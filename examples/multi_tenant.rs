@@ -1,0 +1,71 @@
+//! Multi-tenant isolation: the §5.1 behaviour-isolation spot check.
+//!
+//! Loads CALC, Firewall and NetCache side by side on one pipeline (as in the
+//! paper), sends each tenant's workload interleaved with the others', and
+//! verifies with each program's oracle that every tenant behaves exactly as
+//! it would running alone.
+//!
+//! Run with `cargo run --example multi_tenant`.
+
+use menshen::prelude::*;
+use menshen_programs::{calc::Calc, firewall::Firewall, netcache::NetCache};
+
+fn main() {
+    let mut pipeline = MenshenPipeline::new(TABLE5);
+
+    // Tenant programs and their module IDs (VLANs).
+    let tenants: Vec<(u16, Box<dyn EvaluatedProgram>)> = vec![
+        (10, Box::new(Calc)),
+        (11, Box::new(Firewall)),
+        (12, Box::new(NetCache::new())),
+    ];
+
+    for (module_id, program) in &tenants {
+        program.configure_system(pipeline.system_mut());
+        let config = program.build(*module_id).expect("tenant compiles");
+        let report = pipeline.load_module(&config).expect("tenant loads");
+        println!(
+            "loaded {:<10} as module {:>2} (slot {}, {} daisy-chain writes)",
+            program.name(),
+            module_id,
+            report.slot,
+            report.reconfig_packets
+        );
+    }
+
+    // Interleave the three tenants' workloads packet by packet.
+    let workloads: Vec<Vec<Packet>> = tenants
+        .iter()
+        .map(|(module_id, program)| program.packets(*module_id, 50, 2024))
+        .collect();
+
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    for round in 0..50 {
+        for (tenant_index, (_, program)) in tenants.iter().enumerate() {
+            let packet = workloads[tenant_index][round].clone();
+            let verdict = pipeline.process(packet.clone());
+            checked += 1;
+            if !program.check_output(&packet, &verdict) {
+                violations += 1;
+                eprintln!("ISOLATION VIOLATION for {}", program.name());
+            }
+        }
+    }
+
+    println!();
+    println!("checked {checked} packets across 3 concurrent tenants: {violations} violations");
+    for (module_id, program) in &tenants {
+        let counters = pipeline.module_counters(ModuleId::new(*module_id)).unwrap();
+        println!(
+            "  {:<10} in={:<4} out={:<4} dropped={:<4}",
+            program.name(),
+            counters.packets_in,
+            counters.packets_out,
+            counters.packets_dropped
+        );
+    }
+    if violations == 0 {
+        println!("behaviour isolation holds: every tenant behaved as if it were alone.");
+    }
+}

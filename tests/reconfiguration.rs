@@ -1,0 +1,112 @@
+//! Disruption-free reconfiguration and secure-reconfiguration integration
+//! tests (§2.1 requirements 5 and 6, §3.1 secure reconfiguration, Figure 10).
+
+use menshen::prelude::*;
+use menshen_core::reconfig::{ReconfigCommand, ResourceKind, WritePayload};
+use menshen_core::SegmentEntry;
+use menshen_programs::{calc::Calc, firewall::Firewall, qos::Qos};
+
+#[test]
+fn updating_one_module_never_disturbs_another() {
+    let mut pipeline = MenshenPipeline::new(TABLE5);
+    let firewall = Firewall;
+    let qos = Qos;
+    pipeline.load_module(&firewall.build(1).unwrap()).unwrap();
+    pipeline.load_module(&qos.build(2).unwrap()).unwrap();
+
+    let qos_workload = qos.packets(2, 40, 5);
+    // Repeatedly update module 1 while module 2's traffic flows; module 2
+    // must pass its oracle on every single packet.
+    for (round, packet) in qos_workload.iter().enumerate() {
+        if round % 5 == 0 {
+            pipeline.update_module(&firewall.build(1).unwrap()).unwrap();
+        }
+        let verdict = pipeline.process(packet.clone());
+        assert!(
+            qos.check_output(packet, &verdict),
+            "QoS disturbed while firewall was being updated (round {round})"
+        );
+    }
+    // And module 1 still works after all those updates.
+    for packet in firewall.packets(1, 20, 9) {
+        let verdict = pipeline.process(packet.clone());
+        assert!(firewall.check_output(&packet, &verdict));
+    }
+}
+
+#[test]
+fn packets_of_a_module_under_reconfiguration_are_dropped_not_misprocessed() {
+    let mut pipeline = MenshenPipeline::new(TABLE5);
+    let calc = Calc;
+    pipeline.load_module(&calc.build(1).unwrap()).unwrap();
+    pipeline.begin_reconfiguration(ModuleId::new(1)).unwrap();
+    for packet in calc.packets(1, 10, 1) {
+        assert!(matches!(
+            pipeline.process(packet),
+            Verdict::Dropped { reason: DropReason::BeingReconfigured, .. }
+        ));
+    }
+    pipeline.end_reconfiguration(ModuleId::new(1)).unwrap();
+    for packet in calc.packets(1, 10, 2) {
+        let verdict = pipeline.process(packet.clone());
+        assert!(calc.check_output(&packet, &verdict));
+    }
+}
+
+#[test]
+fn data_path_cannot_reconfigure_the_pipeline() {
+    // A malicious tenant crafts reconfiguration packets for every resource
+    // kind and sends them on the data path; none may take effect and the
+    // victim module must keep behaving correctly.
+    let mut pipeline = MenshenPipeline::new(TABLE5);
+    let firewall = Firewall;
+    pipeline.load_module(&firewall.build(1).unwrap()).unwrap();
+    let counter_before = pipeline.filter().reconfig_counter();
+
+    let attacks = vec![
+        ReconfigCommand::clear(ResourceKind::Parser, 0, 0),
+        ReconfigCommand::clear(ResourceKind::KeyMask, 0, 0),
+        ReconfigCommand::clear(ResourceKind::MatchTable, 0, 0),
+        ReconfigCommand::write(
+            ResourceKind::SegmentTable,
+            0,
+            0,
+            WritePayload::Segment(SegmentEntry::new(0, 4096)),
+        ),
+    ];
+    for attack in attacks {
+        let verdict = pipeline.process(attack.to_packet());
+        assert!(matches!(
+            verdict,
+            Verdict::Dropped { reason: DropReason::UntrustedReconfiguration, .. }
+        ));
+    }
+    assert_eq!(
+        pipeline.filter().reconfig_counter(),
+        counter_before,
+        "no configuration write went through"
+    );
+    for packet in firewall.packets(1, 30, 3) {
+        let verdict = pipeline.process(packet.clone());
+        assert!(firewall.check_output(&packet, &verdict));
+    }
+}
+
+#[test]
+fn trusted_daisy_chain_reconfiguration_round_trips() {
+    let mut pipeline = MenshenPipeline::new(TABLE5);
+    pipeline.load_module(&Calc.build(1).unwrap()).unwrap();
+    // The software path (PCIe → daisy chain) can rewrite a segment entry.
+    let command = ReconfigCommand::write(
+        ResourceKind::SegmentTable,
+        1,
+        0,
+        WritePayload::Segment(SegmentEntry::new(64, 32)),
+    );
+    let packet = command.to_packet();
+    pipeline.apply_reconfiguration_packet(&packet).unwrap();
+    assert!(pipeline.filter().reconfig_counter() > 0);
+    // Malformed packets are rejected with an error, not applied silently.
+    let data = PacketBuilder::new().with_vlan(1).build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 8]);
+    assert!(pipeline.apply_reconfiguration_packet(&data).is_err());
+}
