@@ -1,0 +1,218 @@
+//! The headline hot-path benchmark: single-packet `process` vs DPDK-style
+//! `process_batch` on a 3-tenant workload with ≥ 1k CAM entries installed.
+//!
+//! Writes the machine-readable baseline to `BENCH_throughput.json` at the
+//! repository root (committed, so future PRs can compare against it) and a
+//! copy of the raw measurements under `results/`.
+
+use menshen_bench::harness::{consume, Runner};
+use menshen_core::{
+    MatchRule, MenshenPipeline, ModuleConfig, ModuleId, StageModuleConfig, BURST_SIZE,
+};
+use menshen_json::{Json, ToJson};
+use menshen_packet::{Packet, PacketBuilder};
+use menshen_rmt::action::{AluInstruction, VliwAction};
+use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
+use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::phv::ContainerRef as C;
+use menshen_rmt::TABLE5;
+use std::path::PathBuf;
+
+const TENANTS: u16 = 3;
+const RULES_PER_TENANT: usize = 400; // 3 × 400 = 1200 CAM entries ≥ 1k
+const WORKLOAD_PACKETS: usize = 3072;
+
+/// A tenant matching on the destination IP (h4(1)) with `RULES_PER_TENANT`
+/// distinct flow rules in stage 0: each rewrites the UDP destination port and
+/// bumps a per-tenant stateful counter — the same shape as the CALC-style
+/// modules, scaled up to a realistic table size.
+fn tenant(module_id: u16) -> ModuleConfig {
+    let mut config = ModuleConfig::empty(
+        ModuleId::new(module_id),
+        format!("tenant-{module_id}"),
+        TABLE5.num_stages,
+    );
+    config.parser = ParserEntry::new(vec![
+        ParseAction::new(34, C::h4(1)).unwrap(), // dst IP
+        ParseAction::new(40, C::h2(0)).unwrap(), // UDP dst port
+    ])
+    .unwrap();
+    config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+    let rules = (0..RULES_PER_TENANT)
+        .map(|flow| MatchRule {
+            key: LookupKey::from_slots(
+                [
+                    (0, 6),
+                    (0, 6),
+                    (dst_ip(module_id, flow), 4),
+                    (0, 4),
+                    (0, 2),
+                    (0, 2),
+                ],
+                false,
+            ),
+            action: VliwAction::nop()
+                .with(C::h2(0), AluInstruction::set(9000 + module_id))
+                .with(C::h4(7), AluInstruction::loadd(0)),
+        })
+        .collect();
+    config.stages[0] = StageModuleConfig {
+        key_extract: Some(KeyExtractEntry {
+            slots_4b: [1, 0],
+            ..Default::default()
+        }),
+        key_mask: Some(KeyMask::for_slots(
+            [false, false, true, false, false, false],
+            false,
+        )),
+        rules,
+        stateful_words: 16,
+    };
+    config
+}
+
+fn dst_ip(module_id: u16, flow: usize) -> u64 {
+    // 10.<tenant>.<flow_hi>.<flow_lo>
+    0x0a00_0000 | (u64::from(module_id) << 16) | (flow as u64 & 0xffff)
+}
+
+fn workload() -> Vec<Packet> {
+    (0..WORKLOAD_PACKETS)
+        .map(|i| {
+            let module_id = 1 + (i as u16 % TENANTS);
+            let flow = (i / TENANTS as usize) % RULES_PER_TENANT;
+            let ip = dst_ip(module_id, flow);
+            PacketBuilder::udp_data(
+                module_id,
+                [10, 0, 0, 1],
+                [
+                    ((ip >> 24) & 0xff) as u8,
+                    ((ip >> 16) & 0xff) as u8,
+                    ((ip >> 8) & 0xff) as u8,
+                    (ip & 0xff) as u8,
+                ],
+                5000,
+                80,
+                &[0u8; 8],
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    // A CAM deep enough for 1200 entries per stage.
+    let params = TABLE5.with_table_depth(2048);
+    let mut pipeline = MenshenPipeline::new(params);
+    let mut installed = 0usize;
+    for module_id in 1..=TENANTS {
+        let config = tenant(module_id);
+        installed += config.stages[0].rules.len();
+        pipeline.load_module(&config).unwrap();
+    }
+    let packets = workload();
+    println!(
+        "{TENANTS} tenants, {installed} CAM entries installed, {} packets per iteration, burst {}",
+        packets.len(),
+        BURST_SIZE
+    );
+
+    // Sanity: both paths forward every packet of the workload.
+    let ok = pipeline
+        .process_batch(packets.clone())
+        .iter()
+        .filter(|v| v.is_forwarded())
+        .count();
+    assert_eq!(ok, packets.len(), "workload must be all-hits");
+
+    let mut runner = Runner::new();
+    let elements = packets.len() as u64;
+
+    // The "before" baseline: the single-packet path as the seed shipped it,
+    // with each stage's CAM lookup scanning every slot (the hardware-faithful
+    // CAM model that was the only software path before this PR introduced the
+    // hash index). Results are identical; only the cost differs.
+    pipeline.set_cam_scan_mode(true);
+    runner.bench("hot_path/single_packet_scan", elements, || {
+        for packet in &packets {
+            consume(pipeline.process(packet.clone()));
+        }
+    });
+    pipeline.set_cam_scan_mode(false);
+
+    // The single-packet path with the O(1) CAM index (this PR's `lookup`).
+    runner.bench("hot_path/single_packet_indexed", elements, || {
+        for packet in &packets {
+            consume(pipeline.process(packet.clone()));
+        }
+    });
+
+    // The batched path: O(1) index + per-burst amortisation.
+    runner.bench("hot_path/process_batch", elements, || {
+        for burst in packets.chunks(BURST_SIZE) {
+            consume(pipeline.process_batch(burst.to_vec()));
+        }
+    });
+
+    let scan = runner.get("hot_path/single_packet_scan").unwrap().clone();
+    let indexed = runner
+        .get("hot_path/single_packet_indexed")
+        .unwrap()
+        .clone();
+    let batched = runner.get("hot_path/process_batch").unwrap().clone();
+    let speedup_vs_scan = batched.elements_per_sec() / scan.elements_per_sec();
+    let speedup_vs_indexed = batched.elements_per_sec() / indexed.elements_per_sec();
+    println!();
+    println!(
+        "single-packet, CAM scan (pre-PR baseline): {:>12.0} packets/s",
+        scan.elements_per_sec()
+    );
+    println!(
+        "single-packet, CAM index:                  {:>12.0} packets/s  ({:.2}x vs scan)",
+        indexed.elements_per_sec(),
+        indexed.elements_per_sec() / scan.elements_per_sec()
+    );
+    println!(
+        "process_batch, CAM index:                  {:>12.0} packets/s  ({speedup_vs_scan:.2}x vs scan, {speedup_vs_indexed:.2}x vs indexed single)",
+        batched.elements_per_sec()
+    );
+
+    let baseline = Json::obj([
+        ("benchmark", Json::from("hot_path_single_vs_batch")),
+        ("tenants", Json::from(TENANTS)),
+        ("cam_entries_installed", Json::from(installed)),
+        ("workload_packets", Json::from(packets.len())),
+        ("burst_size", Json::from(BURST_SIZE)),
+        (
+            "single_scan_packets_per_sec",
+            Json::from(scan.elements_per_sec()),
+        ),
+        (
+            "single_indexed_packets_per_sec",
+            Json::from(indexed.elements_per_sec()),
+        ),
+        (
+            "batch_packets_per_sec",
+            Json::from(batched.elements_per_sec()),
+        ),
+        ("batch_speedup_vs_single_scan", Json::from(speedup_vs_scan)),
+        (
+            "batch_speedup_vs_single_indexed",
+            Json::from(speedup_vs_indexed),
+        ),
+        ("measurements", runner.results().to_vec().to_json()),
+    ]);
+    // Fast (smoke) runs keep their results under `results/` only, so they
+    // never overwrite the committed full-fidelity baseline at the repo root.
+    if std::env::var_os("MENSHEN_BENCH_FAST").is_none() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        menshen_bench::write_json_at(&root.join("BENCH_throughput.json"), &baseline);
+    }
+    menshen_bench::write_json("bench_batch", &baseline);
+
+    assert!(
+        speedup_vs_scan >= 5.0,
+        "acceptance criterion: process_batch must be >= 5x the pre-PR single-packet path (got {speedup_vs_scan:.2}x)"
+    );
+}

@@ -1,48 +1,35 @@
-//! Criterion benchmarks of the Menshen compiler (the measured counterpart of
-//! Figure 8): end-to-end compilation of the CALC and system-level programs as
-//! the number of generated match-action entries grows.
+//! Benchmarks of the Menshen compiler (the measured counterpart of Figure 8):
+//! end-to-end compilation of the CALC and system-level programs as the number
+//! of generated match-action entries grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use menshen_bench::harness::{consume, Runner};
 use menshen_compiler::{compile_source, parse_module, CompileOptions};
 use menshen_programs::calc;
 use menshen_programs::system;
-use std::hint::black_box;
 
-fn bench_compile_entry_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile_time_vs_entries");
-    group.sample_size(20);
+fn bench_compile_entry_sweep(runner: &mut Runner) {
     for &entries in &[16usize, 64, 256, 1024] {
-        group.bench_with_input(
-            BenchmarkId::new("calc", entries),
-            &entries,
-            |b, &entries| {
-                let options = CompileOptions::new(1).with_initial_entries(entries);
-                b.iter(|| black_box(compile_source(calc::SOURCE, &options).unwrap()))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("system_level", entries),
-            &entries,
-            |b, &entries| {
-                let options = CompileOptions::new(1).with_initial_entries(entries);
-                b.iter(|| black_box(compile_source(system::SOURCE, &options).unwrap()))
-            },
-        );
+        for (name, source) in [("calc", calc::SOURCE), ("system_level", system::SOURCE)] {
+            let options = CompileOptions::new(1).with_initial_entries(entries);
+            runner.bench(&format!("compile/{name}_{entries}_entries"), 1, || {
+                consume(compile_source(source, &options).unwrap());
+            });
+        }
     }
-    group.finish();
 }
 
-fn bench_frontend_only(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compiler_frontend");
-    group.sample_size(50);
-    group.bench_function("parse_calc", |b| {
-        b.iter(|| black_box(parse_module(calc::SOURCE).unwrap()))
+fn bench_frontend_only(runner: &mut Runner) {
+    runner.bench("frontend/parse_calc", 1, || {
+        consume(parse_module(calc::SOURCE).unwrap());
     });
-    group.bench_function("parse_system_level", |b| {
-        b.iter(|| black_box(parse_module(system::SOURCE).unwrap()))
+    runner.bench("frontend/parse_system_level", 1, || {
+        consume(parse_module(system::SOURCE).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_compile_entry_sweep, bench_frontend_only);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_compile_entry_sweep(&mut runner);
+    bench_frontend_only(&mut runner);
+    menshen_bench::write_json("bench_compiler", &runner.results().to_vec());
+}

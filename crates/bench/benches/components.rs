@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the individual pipeline elements: the
-//! programmable parser, key extraction, exact-match lookup and the action
-//! engine — the per-element costs behind the pipeline numbers.
+//! Micro-benchmarks of the individual pipeline elements: the programmable
+//! parser, key extraction, exact-match lookup and the action engine — the
+//! per-element costs behind the pipeline numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use menshen_bench::harness::{consume, Runner};
 use menshen_packet::PacketBuilder;
 use menshen_rmt::action::{AluInstruction, VliwAction};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
@@ -11,9 +11,8 @@ use menshen_rmt::match_table::{ExactMatchTable, LookupKey, MatchEntry};
 use menshen_rmt::phv::{ContainerRef, Phv};
 use menshen_rmt::stateful::{IdentityTranslation, StatefulMemory};
 use menshen_rmt::{action_engine, parser};
-use std::hint::black_box;
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser(runner: &mut Runner) {
     let packet = PacketBuilder::udp_data(7, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0xab; 64]);
     let entry = ParserEntry::new(vec![
         ParseAction::new(30, ContainerRef::h4(0)).unwrap(),
@@ -23,51 +22,84 @@ fn bench_parser(c: &mut Criterion) {
         ParseAction::new(46, ContainerRef::h6(0)).unwrap(),
     ])
     .unwrap();
-    c.bench_function("parser_5_fields", |b| {
-        b.iter(|| black_box(parser::parse(&packet, &entry, 7).unwrap()))
+    runner.bench("parser/parse_5_fields", 1, || {
+        consume(parser::parse(&packet, &entry, 7).unwrap());
+    });
+    let mut phv = Phv::zeroed();
+    runner.bench("parser/parse_into_5_fields", 1, || {
+        parser::parse_into(&mut phv, &packet, &entry, 7).unwrap();
+        consume(&phv);
     });
 }
 
-fn bench_key_extraction_and_lookup(c: &mut Criterion) {
+fn bench_key_extraction_and_lookup(runner: &mut Runner) {
     let mut phv = Phv::zeroed();
     phv.set(ContainerRef::h4(1), 0x0a00_0002);
-    let entry = KeyExtractEntry { slots_4b: [1, 0], ..Default::default() };
+    let entry = KeyExtractEntry {
+        slots_4b: [1, 0],
+        ..Default::default()
+    };
     let mask = KeyMask::for_slots([false, false, true, false, false, false], false);
-    c.bench_function("key_extraction", |b| {
-        b.iter(|| black_box(extract_key(&phv, &entry, &mask)))
+    runner.bench("stage/key_extraction", 1, || {
+        consume(extract_key(&phv, &entry, &mask));
     });
 
-    let mut table = ExactMatchTable::new(16);
-    for i in 0..16u16 {
-        let key = LookupKey::from_slots(
-            [(0, 6), (0, 6), (u64::from(i), 4), (0, 4), (0, 2), (0, 2)],
-            false,
-        );
-        table
-            .install(usize::from(i), MatchEntry { key, module_id: i % 4, action_index: i })
-            .unwrap();
+    // CAM lookup cost across table depths: with the hash index both depths
+    // cost the same (the point of the O(1) index).
+    for depth in [16usize, 1024] {
+        let mut table = ExactMatchTable::new(depth);
+        for i in 0..depth as u16 {
+            let key = LookupKey::from_slots(
+                [(0, 6), (0, 6), (u64::from(i), 4), (0, 4), (0, 2), (0, 2)],
+                false,
+            );
+            table
+                .install(
+                    usize::from(i),
+                    MatchEntry {
+                        key,
+                        module_id: i % 4,
+                        action_index: i,
+                    },
+                )
+                .unwrap();
+        }
+        let key = LookupKey::from_slots([(0, 6), (0, 6), (9, 4), (0, 4), (0, 2), (0, 2)], false);
+        runner.bench(&format!("stage/cam_lookup_depth_{depth}"), 1, || {
+            consume(table.lookup(&key, 1));
+        });
     }
-    let key = LookupKey::from_slots([(0, 6), (0, 6), (9, 4), (0, 4), (0, 2), (0, 2)], false);
-    c.bench_function("cam_lookup_depth_16", |b| {
-        b.iter(|| black_box(table.lookup(&key, 1)))
-    });
 }
 
-fn bench_action_engine(c: &mut Criterion) {
+fn bench_action_engine(runner: &mut Runner) {
     let action = VliwAction::nop()
-        .with(ContainerRef::h4(0), AluInstruction::addi(ContainerRef::h4(1), 1))
-        .with(ContainerRef::h4(2), AluInstruction::add(ContainerRef::h4(0), ContainerRef::h4(1)))
+        .with(
+            ContainerRef::h4(0),
+            AluInstruction::addi(ContainerRef::h4(1), 1),
+        )
+        .with(
+            ContainerRef::h4(2),
+            AluInstruction::add(ContainerRef::h4(0), ContainerRef::h4(1)),
+        )
         .with(ContainerRef::h2(0), AluInstruction::set(99))
         .with(ContainerRef::h4(7), AluInstruction::loadd(3))
         .with_metadata(AluInstruction::port(2));
     let mut stateful = StatefulMemory::new(64);
-    c.bench_function("action_engine_5_alus", |b| {
-        b.iter(|| {
-            let mut phv = Phv::zeroed();
-            black_box(action_engine::execute(&action, &mut phv, &mut stateful, &IdentityTranslation))
-        })
+    runner.bench("stage/action_engine_5_alus", 1, || {
+        let mut phv = Phv::zeroed();
+        consume(action_engine::execute(
+            &action,
+            &mut phv,
+            &mut stateful,
+            &IdentityTranslation,
+        ));
     });
 }
 
-criterion_group!(benches, bench_parser, bench_key_extraction_and_lookup, bench_action_engine);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_parser(&mut runner);
+    bench_key_extraction_and_lookup(&mut runner);
+    bench_action_engine(&mut runner);
+    menshen_bench::write_json("bench_components", &runner.results().to_vec());
+}

@@ -8,7 +8,10 @@ fn main() {
     header("ASIC area: Menshen vs. RMT (FreePDK45, 1 GHz)");
     let model = AsicAreaModel::default();
     let report = model.report();
-    println!("{:<32} {:>12} {:>14} {:>12}", "component", "RMT (mm²)", "Menshen (mm²)", "overhead");
+    println!(
+        "{:<32} {:>12} {:>14} {:>12}",
+        "component", "RMT (mm²)", "Menshen (mm²)", "overhead"
+    );
     for component in &report.components {
         println!(
             "{:<32} {:>12.3} {:>14.3} {:>11.1}%",
@@ -36,8 +39,16 @@ fn main() {
     println!("{:>18} {:>12}", "entries/stage", "overhead");
     let mut sweep = Vec::new();
     for entries in [16usize, 64, 256, 1024, 4096] {
-        let report = AsicAreaModel { match_entries_per_stage: entries, ..AsicAreaModel::default() }.report();
-        println!("{:>18} {:>11.2}%", entries, report.pipeline_overhead * 100.0);
+        let report = AsicAreaModel {
+            match_entries_per_stage: entries,
+            ..AsicAreaModel::default()
+        }
+        .report();
+        println!(
+            "{:>18} {:>11.2}%",
+            entries,
+            report.pipeline_overhead * 100.0
+        );
         sweep.push((entries, report.pipeline_overhead));
     }
     write_json("asic_area_vs_table_depth", &sweep);

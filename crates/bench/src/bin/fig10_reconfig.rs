@@ -5,6 +5,7 @@
 //! run. Modules 2 and 3 must see no impact at all.
 
 use menshen_bench::{header, write_json};
+use menshen_json::Json;
 use menshen_testbed::ReconfigExperiment;
 
 fn main() {
@@ -26,7 +27,7 @@ fn main() {
     let series3 = timeline.series(3);
     for ((point1, point2), point3) in series1.iter().zip(&series2).zip(&series3) {
         // Print every 4th bin to keep the table readable.
-        if (point1.0 / experiment.bin_s).round() as usize % 4 == 0 {
+        if ((point1.0 / experiment.bin_s).round() as usize).is_multiple_of(4) {
             println!(
                 "{:>8.2} {:>12.2} {:>12.2} {:>12.2}",
                 point1.0, point1.1, point2.1, point3.1
@@ -36,9 +37,7 @@ fn main() {
 
     let unaffected = |module: u16, expected: f64| {
         let min = timeline.min_throughput(module);
-        println!(
-            "module {module}: offered {expected:.2} Gbit/s, minimum observed {min:.2} Gbit/s"
-        );
+        println!("module {module}: offered {expected:.2} Gbit/s, minimum observed {min:.2} Gbit/s");
         (min - expected).abs() < 1e-6
     };
     println!();
@@ -51,15 +50,25 @@ fn main() {
     );
     println!();
     if ok2 && ok3 && dip1 {
-        println!("RESULT: reconfiguring module 1 does not disturb modules 2 and 3 (matches Figure 10).");
+        println!(
+            "RESULT: reconfiguring module 1 does not disturb modules 2 and 3 (matches Figure 10)."
+        );
     } else {
         println!("RESULT: MISMATCH with the paper's Figure 10 — investigate.");
     }
 
-    let points: Vec<(f64, u16, f64)> = timeline
-        .points
-        .iter()
-        .map(|p| (p.time_s, p.module_id, p.gbps))
-        .collect();
+    let points = Json::Arr(
+        timeline
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("time_s", Json::from(p.time_s)),
+                    ("module_id", Json::from(p.module_id)),
+                    ("gbps", Json::from(p.gbps)),
+                ])
+            })
+            .collect(),
+    );
     write_json("fig10_reconfig_timeline", &points);
 }

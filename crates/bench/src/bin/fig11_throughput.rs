@@ -7,13 +7,12 @@
 //! * 11d — sampled packet latency of optimised Corundum at full rate.
 
 use menshen_bench::{header, write_json};
+use menshen_json::{Json, ToJson};
 use menshen_rmt::clock::{CORUNDUM_OPTIMIZED, CORUNDUM_UNOPTIMIZED, NETFPGA_OPTIMIZED};
 use menshen_testbed::throughput::passthrough_module;
 use menshen_testbed::traffic::SizeSweep;
 use menshen_testbed::{latency_sweep, throughput_sweep};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct ThroughputRow {
     platform: String,
     frame_len: usize,
@@ -22,7 +21,24 @@ struct ThroughputRow {
     mpps: f64,
 }
 
-fn print_sweep(title: &str, platform: &menshen_rmt::clock::PlatformTiming, sweep: SizeSweep, rows: &mut Vec<ThroughputRow>) {
+impl ToJson for ThroughputRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("platform", Json::from(self.platform.clone())),
+            ("frame_len", Json::from(self.frame_len)),
+            ("l1_gbps", Json::from(self.l1_gbps)),
+            ("l2_gbps", Json::from(self.l2_gbps)),
+            ("mpps", Json::from(self.mpps)),
+        ])
+    }
+}
+
+fn print_sweep(
+    title: &str,
+    platform: &menshen_rmt::clock::PlatformTiming,
+    sweep: SizeSweep,
+    rows: &mut Vec<ThroughputRow>,
+) {
     println!("{title}");
     println!(
         "{:>10} {:>14} {:>14} {:>12}",
@@ -53,13 +69,31 @@ fn print_sweep(title: &str, platform: &menshen_rmt::clock::PlatformTiming, sweep
 fn main() {
     header("Figure 11: throughput and latency vs. packet size");
     let mut rows = Vec::new();
-    print_sweep("(a) Optimized NetFPGA, 10 GbE", &NETFPGA_OPTIMIZED, SizeSweep::NetFpga, &mut rows);
-    print_sweep("(b) Optimized Corundum, 100 GbE", &CORUNDUM_OPTIMIZED, SizeSweep::Corundum, &mut rows);
-    print_sweep("(c) Unoptimized Corundum, 100 GbE", &CORUNDUM_UNOPTIMIZED, SizeSweep::Corundum, &mut rows);
+    print_sweep(
+        "(a) Optimized NetFPGA, 10 GbE",
+        &NETFPGA_OPTIMIZED,
+        SizeSweep::NetFpga,
+        &mut rows,
+    );
+    print_sweep(
+        "(b) Optimized Corundum, 100 GbE",
+        &CORUNDUM_OPTIMIZED,
+        SizeSweep::Corundum,
+        &mut rows,
+    );
+    print_sweep(
+        "(c) Unoptimized Corundum, 100 GbE",
+        &CORUNDUM_UNOPTIMIZED,
+        SizeSweep::Corundum,
+        &mut rows,
+    );
     write_json("fig11_throughput", &rows);
 
     println!("(d) Optimized Corundum sampled packet latency at full rate");
-    println!("{:>10} {:>14} {:>14} {:>14}", "size (B)", "cycles", "pipeline (ns)", "sampled (µs)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size (B)", "cycles", "pipeline (ns)", "sampled (µs)"
+    );
     let latency: Vec<_> = latency_sweep(&CORUNDUM_OPTIMIZED, SizeSweep::Corundum.sizes());
     for point in &latency {
         println!(
@@ -67,10 +101,19 @@ fn main() {
             point.frame_len, point.pipeline_cycles, point.pipeline_ns, point.sampled_us
         );
     }
-    let latency_rows: Vec<(usize, f64, f64, f64)> = latency
-        .iter()
-        .map(|p| (p.frame_len, p.pipeline_cycles, p.pipeline_ns, p.sampled_us))
-        .collect();
+    let latency_rows = Json::Arr(
+        latency
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("frame_len", Json::from(p.frame_len)),
+                    ("pipeline_cycles", Json::from(p.pipeline_cycles)),
+                    ("pipeline_ns", Json::from(p.pipeline_ns)),
+                    ("sampled_us", Json::from(p.sampled_us)),
+                ])
+            })
+            .collect(),
+    );
     write_json("fig11d_latency", &latency_rows);
 
     println!();

@@ -9,15 +9,24 @@
 
 use menshen_bench::{header, write_json};
 use menshen_compiler::{compile_source, CompileOptions};
+use menshen_json::{Json, ToJson};
 use menshen_programs::figure8_program_sources;
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct Row {
     program: String,
     entries: usize,
     compile_time_ms: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::from(self.program.clone())),
+            ("entries", Json::from(self.entries)),
+            ("compile_time_ms", Json::from(self.compile_time_ms)),
+        ])
+    }
 }
 
 fn main() {

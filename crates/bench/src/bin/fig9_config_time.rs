@@ -10,16 +10,26 @@ use menshen_bench::{header, write_json};
 use menshen_compiler::{compile_source, CompileOptions};
 use menshen_core::MenshenPipeline;
 use menshen_cost::ConfigTimeModel;
+use menshen_json::{Json, ToJson};
 use menshen_programs::figure8_program_sources;
 use menshen_rmt::PipelineParams;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     program: String,
     entries: usize,
     reconfig_packets: usize,
     config_time_ms: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::from(self.program.clone())),
+            ("entries", Json::from(self.entries)),
+            ("reconfig_packets", Json::from(self.reconfig_packets)),
+            ("config_time_ms", Json::from(self.config_time_ms)),
+        ])
+    }
 }
 
 fn main() {
@@ -44,7 +54,9 @@ fn main() {
                 .with_params(params);
             let compiled = compile_source(source, &options).expect("program compiles");
             let mut pipeline = MenshenPipeline::new(params);
-            let report = pipeline.load_module(&compiled.config).expect("module loads");
+            let report = pipeline
+                .load_module(&compiled.config)
+                .expect("module loads");
             let ms = model.daisy_chain_time_s(report.reconfig_packets) * 1e3;
             times.push(ms);
             rows.push(Row {
@@ -63,9 +75,15 @@ fn main() {
     println!();
     println!("Tofino runtime-API comparison (CALC program entry counts):");
     let comparison = model.figure9_comparison(&entry_counts);
-    println!("{:>8} {:>14} {:>14}", "entries", "Menshen (ms)", "Tofino (ms)");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "entries", "Menshen (ms)", "Tofino (ms)"
+    );
     for row in &comparison {
-        println!("{:>8} {:>14.1} {:>14.1}", row.entries, row.menshen_ms, row.tofino_ms);
+        println!(
+            "{:>8} {:>14.1} {:>14.1}",
+            row.entries, row.menshen_ms, row.tofino_ms
+        );
     }
 
     write_json("fig9_config_time", &rows);

@@ -2,10 +2,9 @@
 //! both platforms at the minimum (64 B) and maximum (1500 B) packet sizes.
 
 use menshen_bench::{header, write_json};
+use menshen_json::{Json, ToJson};
 use menshen_rmt::clock::{CORUNDUM_OPTIMIZED, NETFPGA_OPTIMIZED};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     platform: String,
     frame_len: usize,
@@ -13,15 +12,32 @@ struct Row {
     latency_ns: f64,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("platform", Json::from(self.platform.clone())),
+            ("frame_len", Json::from(self.frame_len)),
+            ("cycles", Json::from(self.cycles)),
+            ("latency_ns", Json::from(self.latency_ns)),
+        ])
+    }
+}
+
 fn main() {
     header("§5.2 latency: pipeline cycles and latency per platform");
     let mut rows = Vec::new();
-    println!("{:<24} {:>10} {:>10} {:>14}", "platform", "size (B)", "cycles", "latency (ns)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>14}",
+        "platform", "size (B)", "cycles", "latency (ns)"
+    );
     for platform in [&NETFPGA_OPTIMIZED, &CORUNDUM_OPTIMIZED] {
         for &size in &[64usize, 1500] {
             let cycles = platform.latency_cycles(size);
             let ns = platform.latency_ns(size);
-            println!("{:<24} {:>10} {:>10.1} {:>14.1}", platform.name, size, cycles, ns);
+            println!(
+                "{:<24} {:>10} {:>10.1} {:>14.1}",
+                platform.name, size, cycles, ns
+            );
             rows.push(Row {
                 platform: platform.name.to_string(),
                 frame_len: size,

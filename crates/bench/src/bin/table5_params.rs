@@ -8,33 +8,72 @@ fn main() {
     header("Table 5: hardware resources in Menshen (prototype parameters)");
     let table5 = params::TABLE5;
     let rows = [
-        ("PHV", format!(
-            "8 × 2-byte + 8 × 4-byte + 8 × 6-byte containers + {}-byte metadata = {} bytes",
-            params::METADATA_BYTES,
-            params::PHV_BYTES
-        )),
-        ("Parsing action", format!("{} bits wide", params::PARSE_ACTION_BITS)),
-        ("Parser / deparser table", format!(
-            "{} parsing actions, {} bits wide, {} entries deep",
-            params::PARSE_ACTIONS_PER_ENTRY,
-            params::PARSE_ACTIONS_PER_ENTRY * params::PARSE_ACTION_BITS,
-            table5.overlay_depth
-        )),
-        ("Key extractor table", format!(
-            "{} bits wide, {} entries deep",
-            params::KEY_EXTRACT_ENTRY_BITS,
-            table5.overlay_depth
-        )),
-        ("Key mask table", format!("{} bits wide, {} entries deep", params::KEY_BITS, table5.overlay_depth)),
-        ("Exact match table", format!("{} bits wide, {} entries deep", params::MATCH_ENTRY_BITS, table5.cam_depth)),
-        ("ALU action", format!("{} bits wide", params::ALU_ACTION_BITS)),
-        ("VLIW action table", format!(
-            "{} ALU actions, {} bits wide, {} entries deep",
-            params::NUM_CONTAINERS,
-            params::VLIW_ENTRY_BITS,
-            table5.action_depth
-        )),
-        ("Segment table", format!("{} bits wide, {} entries deep", params::SEGMENT_ENTRY_BITS, table5.overlay_depth)),
+        (
+            "PHV",
+            format!(
+                "8 × 2-byte + 8 × 4-byte + 8 × 6-byte containers + {}-byte metadata = {} bytes",
+                params::METADATA_BYTES,
+                params::PHV_BYTES
+            ),
+        ),
+        (
+            "Parsing action",
+            format!("{} bits wide", params::PARSE_ACTION_BITS),
+        ),
+        (
+            "Parser / deparser table",
+            format!(
+                "{} parsing actions, {} bits wide, {} entries deep",
+                params::PARSE_ACTIONS_PER_ENTRY,
+                params::PARSE_ACTIONS_PER_ENTRY * params::PARSE_ACTION_BITS,
+                table5.overlay_depth
+            ),
+        ),
+        (
+            "Key extractor table",
+            format!(
+                "{} bits wide, {} entries deep",
+                params::KEY_EXTRACT_ENTRY_BITS,
+                table5.overlay_depth
+            ),
+        ),
+        (
+            "Key mask table",
+            format!(
+                "{} bits wide, {} entries deep",
+                params::KEY_BITS,
+                table5.overlay_depth
+            ),
+        ),
+        (
+            "Exact match table",
+            format!(
+                "{} bits wide, {} entries deep",
+                params::MATCH_ENTRY_BITS,
+                table5.cam_depth
+            ),
+        ),
+        (
+            "ALU action",
+            format!("{} bits wide", params::ALU_ACTION_BITS),
+        ),
+        (
+            "VLIW action table",
+            format!(
+                "{} ALU actions, {} bits wide, {} entries deep",
+                params::NUM_CONTAINERS,
+                params::VLIW_ENTRY_BITS,
+                table5.action_depth
+            ),
+        ),
+        (
+            "Segment table",
+            format!(
+                "{} bits wide, {} entries deep",
+                params::SEGMENT_ENTRY_BITS,
+                table5.overlay_depth
+            ),
+        ),
         ("Stages", format!("{}", table5.num_stages)),
         ("Module ID", format!("{} bits", params::MODULE_ID_BITS)),
     ];

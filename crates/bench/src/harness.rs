@@ -1,0 +1,234 @@
+//! A small, dependency-free micro-benchmark harness (the role `criterion`
+//! played before the workspace went offline-only).
+//!
+//! Each measurement runs a closure in timed batches: after a warm-up period
+//! the harness picks a batch size targeting roughly `sample_ms` per sample,
+//! collects `samples` wall-clock samples, and reports the median
+//! nanoseconds-per-iteration (median over samples is robust against scheduler
+//! noise, which matters inside CI containers). Throughput in
+//! elements-per-second is derived from the median when the caller declares
+//! how many elements one iteration processes.
+
+use menshen_json::{Json, ToJson};
+use std::hint::black_box;
+use std::time::Instant;
+
+pub use std::hint::black_box as bb;
+
+/// Collected statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (`group/bench` by convention).
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum time per iteration over all samples, nanoseconds.
+    pub min_ns: f64,
+    /// Maximum time per iteration over all samples, nanoseconds.
+    pub max_ns: f64,
+    /// Number of elements (e.g. packets) one iteration processes.
+    pub elements_per_iter: u64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+impl Measurement {
+    /// Elements processed per second at the median iteration time.
+    pub fn elements_per_sec(&self) -> f64 {
+        if self.median_ns == 0.0 {
+            return f64::INFINITY;
+        }
+        self.elements_per_iter as f64 * 1e9 / self.median_ns
+    }
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("median_ns", Json::from(self.median_ns)),
+            ("min_ns", Json::from(self.min_ns)),
+            ("max_ns", Json::from(self.max_ns)),
+            ("elements_per_iter", Json::from(self.elements_per_iter)),
+            ("iterations", Json::from(self.iterations)),
+            ("elements_per_sec", Json::from(self.elements_per_sec())),
+        ])
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Warm-up duration per benchmark, milliseconds.
+    pub warmup_ms: u64,
+    /// Target duration of one sample, milliseconds.
+    pub sample_ms: u64,
+    /// Number of samples collected per benchmark.
+    pub samples: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup_ms: 150,
+            sample_ms: 50,
+            samples: 11,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A faster configuration for smoke runs (`MENSHEN_BENCH_FAST=1`).
+    pub fn fast() -> Self {
+        BenchConfig {
+            warmup_ms: 10,
+            sample_ms: 5,
+            samples: 3,
+        }
+    }
+
+    /// Default configuration, downgraded to [`fast`](Self::fast) when the
+    /// `MENSHEN_BENCH_FAST` environment variable is set.
+    pub fn from_env() -> Self {
+        if std::env::var_os("MENSHEN_BENCH_FAST").is_some() {
+            Self::fast()
+        } else {
+            Self::default()
+        }
+    }
+}
+
+/// A benchmark runner that accumulates [`Measurement`]s and prints them as
+/// they complete.
+#[derive(Debug)]
+pub struct Runner {
+    config: BenchConfig,
+    results: Vec<Measurement>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// Creates a runner with the environment-selected configuration.
+    pub fn new() -> Self {
+        Runner {
+            config: BenchConfig::from_env(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Creates a runner with an explicit configuration.
+    pub fn with_config(config: BenchConfig) -> Self {
+        Runner {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `body`, which processes `elements` elements per call.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, elements: u64, mut body: F) -> &Measurement {
+        let config = self.config;
+
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed().as_millis() < u128::from(config.warmup_ms.max(1)) {
+            body();
+            warmup_iters += 1;
+        }
+        let est_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((config.sample_ms as f64 * 1e6 / est_ns).ceil() as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(config.samples);
+        let mut iterations = 0u64;
+        for _ in 0..config.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                body();
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_iter_ns.push(elapsed / batch as f64);
+            iterations += batch;
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+
+        let measurement = Measurement {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().expect("at least one sample"),
+            elements_per_iter: elements,
+            iterations,
+        };
+        println!(
+            "{:<44} {:>12.1} ns/iter {:>14.0} elem/s",
+            measurement.name,
+            measurement.median_ns,
+            measurement.elements_per_sec()
+        );
+        self.results.push(measurement);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements collected so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Finds a measurement by name.
+    pub fn get(&self, name: &str) -> Option<&Measurement> {
+        self.results.iter().find(|m| m.name == name)
+    }
+}
+
+/// Re-exported so bench binaries can `black_box` inputs without naming
+/// `std::hint` everywhere.
+pub fn consume<T>(value: T) -> T {
+    black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut runner = Runner::with_config(BenchConfig {
+            warmup_ms: 1,
+            sample_ms: 1,
+            samples: 3,
+        });
+        let mut acc = 0u64;
+        let m = runner.bench("smoke/add", 10, || {
+            for i in 0..10u64 {
+                acc = acc.wrapping_add(consume(i));
+            }
+        });
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.max_ns);
+        assert_eq!(m.elements_per_iter, 10);
+        assert!(runner.get("smoke/add").is_some());
+        assert_eq!(runner.results().len(), 1);
+        assert!(consume(acc) < u64::MAX);
+    }
+
+    #[test]
+    fn measurement_throughput_is_consistent() {
+        let m = Measurement {
+            name: "x".into(),
+            median_ns: 100.0,
+            min_ns: 90.0,
+            max_ns: 110.0,
+            elements_per_iter: 10,
+            iterations: 1000,
+        };
+        assert!((m.elements_per_sec() - 1e8).abs() < 1.0);
+        let json = m.to_json().pretty();
+        assert!(json.contains("\"median_ns\": 100"));
+    }
+}

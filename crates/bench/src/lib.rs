@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use menshen_json::ToJson;
 use std::fs;
 use std::path::PathBuf;
+
+pub mod harness;
 
 /// Directory the harness binaries write their JSON results into.
 pub fn results_dir() -> PathBuf {
@@ -24,17 +26,16 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialises `value` as pretty JSON into `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(error) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {error}", path.display());
-            } else {
-                println!("(wrote {})", path.display());
-            }
-        }
-        Err(error) => eprintln!("warning: could not serialise {name}: {error}"),
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
+    write_json_at(&results_dir().join(format!("{name}.json")), value);
+}
+
+/// Serialises `value` as pretty JSON into an explicit `path`.
+pub fn write_json_at<T: ToJson + ?Sized>(path: &std::path::Path, value: &T) {
+    if let Err(error) = fs::write(path, value.to_json().pretty()) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("(wrote {})", path.display());
     }
 }
 

@@ -18,7 +18,10 @@ pub struct FieldRef {
 impl FieldRef {
     /// Creates a field reference.
     pub fn new(header: impl Into<String>, field: impl Into<String>) -> Self {
-        FieldRef { header: header.into(), field: field.into() }
+        FieldRef {
+            header: header.into(),
+            field: field.into(),
+        }
     }
 
     /// Renders as `header.field`.
@@ -239,7 +242,8 @@ fn collect_statement_fields(statement: &Statement, push: &mut impl FnMut(&FieldR
         }
         Statement::MarkDrop | Statement::Recirculate => {}
         Statement::SetPort(expr) => collect_expr_fields(expr, push),
-        Statement::RegisterRead { dst, index, .. } | Statement::RegisterCount { dst, index, .. } => {
+        Statement::RegisterRead { dst, index, .. }
+        | Statement::RegisterCount { dst, index, .. } => {
             push(dst);
             collect_expr_fields(index, push);
         }
@@ -261,8 +265,17 @@ mod tests {
                 name: "calc".into(),
                 fields: vec![("op".into(), 16), ("a".into(), 32), ("b".into(), 32)],
             }],
-            parses: vec!["ethernet".into(), "vlan".into(), "ipv4".into(), "udp".into(), "calc".into()],
-            states: vec![StateDecl { name: "counter".into(), size: 16 }],
+            parses: vec![
+                "ethernet".into(),
+                "vlan".into(),
+                "ipv4".into(),
+                "udp".into(),
+                "calc".into(),
+            ],
+            states: vec![StateDecl {
+                name: "counter".into(),
+                size: 16,
+            }],
             tables: vec![TableDecl {
                 name: "t".into(),
                 keys: vec![FieldRef::new("calc", "op")],

@@ -39,7 +39,11 @@ fn written_fields_of(statement: &Statement) -> Option<&FieldRef> {
 /// Check 3: no `recirculate()` anywhere.
 pub fn check_no_recirculation(ast: &ModuleAst) -> Result<()> {
     for action in &ast.actions {
-        if action.statements.iter().any(|s| matches!(s, Statement::Recirculate)) {
+        if action
+            .statements
+            .iter()
+            .any(|s| matches!(s, Statement::Recirculate))
+        {
             return Err(CompileError::StaticCheck(format!(
                 "action `{}` recirculates packets; recirculation is forbidden because all \
                  modules share ingress bandwidth",
@@ -92,9 +96,18 @@ pub fn check_no_system_stat_writes(ast: &ModuleAst) -> Result<()> {
 pub fn check_name_resolution(ast: &ModuleAst) -> Result<()> {
     // Duplicates.
     for (kind, names) in [
-        ("header", ast.headers.iter().map(|h| h.name.clone()).collect::<Vec<_>>()),
+        (
+            "header",
+            ast.headers
+                .iter()
+                .map(|h| h.name.clone())
+                .collect::<Vec<_>>(),
+        ),
         ("table", ast.tables.iter().map(|t| t.name.clone()).collect()),
-        ("action", ast.actions.iter().map(|a| a.name.clone()).collect()),
+        (
+            "action",
+            ast.actions.iter().map(|a| a.name.clone()).collect(),
+        ),
         ("state", ast.states.iter().map(|s| s.name.clone()).collect()),
     ] {
         let mut seen = std::collections::HashSet::new();
@@ -107,14 +120,20 @@ pub fn check_name_resolution(ast: &ModuleAst) -> Result<()> {
     // Apply references.
     for table in &ast.apply {
         if ast.table(table).is_none() {
-            return Err(CompileError::Undefined { kind: "table", name: table.clone() });
+            return Err(CompileError::Undefined {
+                kind: "table",
+                name: table.clone(),
+            });
         }
     }
     // Table → action references.
     for table in &ast.tables {
         for action in &table.actions {
             if ast.action(action).is_none() {
-                return Err(CompileError::Undefined { kind: "action", name: action.clone() });
+                return Err(CompileError::Undefined {
+                    kind: "action",
+                    name: action.clone(),
+                });
             }
         }
         if table.keys.is_empty() {
@@ -255,7 +274,10 @@ module m {
 }
 "#;
         let ast = parse_module(source).unwrap();
-        assert!(matches!(check_module(&ast), Err(CompileError::Duplicate { .. })));
+        assert!(matches!(
+            check_module(&ast),
+            Err(CompileError::Duplicate { .. })
+        ));
     }
 
     #[test]

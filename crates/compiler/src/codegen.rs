@@ -144,7 +144,10 @@ impl CompiledModule {
         let action = self
             .actions
             .get(action)
-            .ok_or_else(|| CompileError::Undefined { kind: "action", name: action.to_string() })?;
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "action",
+                name: action.to_string(),
+            })?;
         Ok(MatchRule {
             key: table.key(values),
             action: action.clone(),
@@ -196,7 +199,10 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
     } else {
         ast.apply.iter().map(|s| s.as_str()).collect()
     };
-    let stages_available = options.params.num_stages.saturating_sub(options.start_stage);
+    let stages_available = options
+        .params
+        .num_stages
+        .saturating_sub(options.start_stage);
     if apply_order.len() > stages_available {
         return Err(CompileError::ResourceLimit(format!(
             "module applies {} tables but only {} stages are available",
@@ -224,15 +230,19 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
     let mut stage_stateful_words: BTreeMap<usize, usize> = BTreeMap::new();
     for (position, table_name) in apply_order.iter().enumerate() {
         let stage = options.start_stage + position;
-        let table = ast.table(table_name).ok_or_else(|| CompileError::Undefined {
-            kind: "table",
-            name: table_name.to_string(),
-        })?;
-        for action_name in &table.actions {
-            let action = ast.action(action_name).ok_or_else(|| CompileError::Undefined {
-                kind: "action",
-                name: action_name.clone(),
+        let table = ast
+            .table(table_name)
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "table",
+                name: table_name.to_string(),
             })?;
+        for action_name in &table.actions {
+            let action = ast
+                .action(action_name)
+                .ok_or_else(|| CompileError::Undefined {
+                    kind: "action",
+                    name: action_name.clone(),
+                })?;
             for statement in &action.statements {
                 let register = match statement {
                     Statement::RegisterRead { register, .. }
@@ -250,10 +260,11 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
                         }
                         Some(_) => {}
                         None => {
-                            let decl = ast.state(register).ok_or_else(|| CompileError::Undefined {
-                                kind: "state",
-                                name: register.clone(),
-                            })?;
+                            let decl =
+                                ast.state(register).ok_or_else(|| CompileError::Undefined {
+                                    kind: "state",
+                                    name: register.clone(),
+                                })?;
                             let base = *stage_stateful_words.get(&stage).unwrap_or(&0);
                             register_stage.insert(register.clone(), stage);
                             register_base.insert(register.clone(), base as u16);
@@ -268,7 +279,10 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
     // Compile every action once.
     let mut actions = BTreeMap::new();
     for action in &ast.actions {
-        actions.insert(action.name.clone(), compile_action(action, &phv, &register_base)?);
+        actions.insert(
+            action.name.clone(),
+            compile_action(action, &phv, &register_base)?,
+        );
     }
 
     // Build per-stage configuration.
@@ -325,13 +339,16 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
     })
 }
 
+/// Field→key-slot mapping produced while laying out a table's key.
+type KeyFieldSlots = Vec<(FieldRef, usize)>;
+
 /// Builds the key-extractor entry, key mask and field→slot mapping for one
 /// table's key fields.
 fn build_key_config(
     table: &str,
     keys: &[FieldRef],
     phv: &PhvAllocation,
-) -> Result<(Vec<(FieldRef, usize)>, KeyExtractEntry, KeyMask)> {
+) -> Result<(KeyFieldSlots, KeyExtractEntry, KeyMask)> {
     let mut entry = KeyExtractEntry {
         slots_6b: [0, 0],
         slots_4b: [0, 0],
@@ -341,10 +358,12 @@ fn build_key_config(
     let mut used = [false; 6];
     let mut key_fields = Vec::new();
     for field in keys {
-        let container = phv.container(field).ok_or_else(|| CompileError::Undefined {
-            kind: "field",
-            name: field.qualified(),
-        })?;
+        let container = phv
+            .container(field)
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "field",
+                name: field.qualified(),
+            })?;
         let (first_slot, slots) = match container.ty {
             ContainerType::H6 => (0, &mut entry.slots_6b),
             ContainerType::H4 => (2, &mut entry.slots_4b),
@@ -393,10 +412,13 @@ fn compile_action(
         })
     };
     let reg_addr = |register: &str, index: &Expr| -> Result<u16> {
-        let base = register_base.get(register).copied().ok_or_else(|| CompileError::Undefined {
-            kind: "state",
-            name: register.to_string(),
-        })?;
+        let base = register_base
+            .get(register)
+            .copied()
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "state",
+                name: register.to_string(),
+            })?;
         match index {
             Expr::Const(value) => Ok(base + *value as u16),
             _ => Err(CompileError::StaticCheck(
@@ -458,12 +480,24 @@ fn compile_action(
                 };
                 place(&mut vliw, METADATA_SLOT, AluInstruction::port(port))?;
             }
-            Statement::RegisterRead { dst, register, index } => {
+            Statement::RegisterRead {
+                dst,
+                register,
+                index,
+            } => {
                 let dst_container = container_of(dst)?;
                 let addr = reg_addr(register, index)?;
-                place(&mut vliw, dst_container.flat_index(), AluInstruction::load(addr))?;
+                place(
+                    &mut vliw,
+                    dst_container.flat_index(),
+                    AluInstruction::load(addr),
+                )?;
             }
-            Statement::RegisterWrite { register, index, value } => {
+            Statement::RegisterWrite {
+                register,
+                index,
+                value,
+            } => {
                 let addr = reg_addr(register, index)?;
                 let src = match value {
                     Expr::Field(f) => container_of(f)?,
@@ -476,15 +510,29 @@ fn compile_action(
                 };
                 // The store runs on the source container's ALU (its container
                 // value is not modified by a store).
-                place(&mut vliw, src.flat_index(), AluInstruction::store(src, addr))?;
+                place(
+                    &mut vliw,
+                    src.flat_index(),
+                    AluInstruction::store(src, addr),
+                )?;
             }
-            Statement::RegisterCount { dst, register, index } => {
+            Statement::RegisterCount {
+                dst,
+                register,
+                index,
+            } => {
                 let dst_container = container_of(dst)?;
                 let addr = reg_addr(register, index)?;
-                place(&mut vliw, dst_container.flat_index(), AluInstruction::loadd(addr))?;
+                place(
+                    &mut vliw,
+                    dst_container.flat_index(),
+                    AluInstruction::loadd(addr),
+                )?;
             }
             Statement::Recirculate => {
-                return Err(CompileError::StaticCheck("recirculation is forbidden".into()))
+                return Err(CompileError::StaticCheck(
+                    "recirculation is forbidden".into(),
+                ))
             }
         }
     }
@@ -570,7 +618,9 @@ module calc {
     fn rule_builder_produces_matching_key() {
         let compiled = compile_calc(0);
         let opcode = FieldRef::new("calc_hdr", "opcode");
-        let rule = compiled.rule("calc_table", &[(&opcode, 0x0001)], "do_add").unwrap();
+        let rule = compiled
+            .rule("calc_table", &[(&opcode, 0x0001)], "do_add")
+            .unwrap();
         let table = compiled.table("calc_table").unwrap();
         assert_eq!(rule.key, table.key(&[(&opcode, 1)]));
         assert!(compiled.rule("nope", &[], "do_add").is_err());
@@ -579,7 +629,8 @@ module calc {
 
     #[test]
     fn too_many_tables_for_pipeline_rejected() {
-        let mut source = String::from("module wide { parser { extract ipv4; } action a() { mark_drop(); } ");
+        let mut source =
+            String::from("module wide { parser { extract ipv4; } action a() { mark_drop(); } ");
         for i in 0..6 {
             source.push_str(&format!(
                 "table t{i} {{ key = {{ ipv4.dst_addr; }} actions = {{ a; }} }} "
@@ -609,7 +660,10 @@ module dep {
 "#;
         let ast = parse_module(source).unwrap();
         let deps = table_dependencies(&ast);
-        assert_eq!(deps, vec![("writes_port".to_string(), "reads_port".to_string())]);
+        assert_eq!(
+            deps,
+            vec![("writes_port".to_string(), "reads_port".to_string())]
+        );
         let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
         assert!(err.to_string().contains("applied first"));
         // Reordering the apply block fixes it.
@@ -657,6 +711,6 @@ module conflict {
         let compiled = compile_calc(4);
         let mut pipeline = MenshenPipeline::new(TABLE5);
         let report = pipeline.load_module(&compiled.config).unwrap();
-        assert!(report.reconfig_packets >= 4 + 4 + 2 + 2 + 1);
+        assert!(report.reconfig_packets > 4 + 4 + 2 + 2);
     }
 }

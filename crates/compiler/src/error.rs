@@ -65,26 +65,38 @@ mod tests {
 
     #[test]
     fn messages_name_the_problem() {
-        assert!(CompileError::Lex { line: 3, found: '$' }.to_string().contains('$'));
-        assert!(
-            CompileError::Undefined { kind: "table", name: "t0".into() }
-                .to_string()
-                .contains("t0")
-        );
-        assert!(
-            CompileError::StaticCheck("modifies VLAN ID".into())
-                .to_string()
-                .contains("VLAN")
-        );
-        assert!(CompileError::Parse { line: 9, message: "expected `{`".into() }
+        assert!(CompileError::Lex {
+            line: 3,
+            found: '$'
+        }
+        .to_string()
+        .contains('$'));
+        assert!(CompileError::Undefined {
+            kind: "table",
+            name: "t0".into()
+        }
+        .to_string()
+        .contains("t0"));
+        assert!(CompileError::StaticCheck("modifies VLAN ID".into())
             .to_string()
-            .contains("line 9"));
-        assert!(CompileError::Duplicate { kind: "action", name: "a".into() }
-            .to_string()
-            .contains("duplicate"));
+            .contains("VLAN"));
+        assert!(CompileError::Parse {
+            line: 9,
+            message: "expected `{`".into()
+        }
+        .to_string()
+        .contains("line 9"));
+        assert!(CompileError::Duplicate {
+            kind: "action",
+            name: "a".into()
+        }
+        .to_string()
+        .contains("duplicate"));
         assert!(CompileError::ResourceLimit("too many tables".into())
             .to_string()
             .contains("tables"));
-        assert!(CompileError::Layout("odd width".into()).to_string().contains("odd"));
+        assert!(CompileError::Layout("odd width".into())
+            .to_string()
+            .contains("odd"));
     }
 }

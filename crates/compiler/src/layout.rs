@@ -70,10 +70,11 @@ pub fn resolve_field(ast: &ModuleAst, field: &FieldRef) -> Result<FieldLocation>
         return Ok(loc);
     }
     // Ensure the custom header exists before walking the extract order.
-    ast.header(&field.header).ok_or_else(|| CompileError::Undefined {
-        kind: "header",
-        name: field.header.clone(),
-    })?;
+    ast.header(&field.header)
+        .ok_or_else(|| CompileError::Undefined {
+            kind: "header",
+            name: field.header.clone(),
+        })?;
     if !ast.parses.iter().any(|p| p == &field.header) {
         return Err(CompileError::Layout(format!(
             "header `{}` is declared but never extracted by the parser",
@@ -85,14 +86,19 @@ pub fn resolve_field(ast: &ModuleAst, field: &FieldRef) -> Result<FieldLocation>
     let mut base = CUSTOM_HEADER_BASE;
     for extracted in &ast.parses {
         if builtin_field(&FieldRef::new(extracted.clone(), "dst_addr")).is_some()
-            || matches!(extracted.as_str(), "ethernet" | "vlan" | "ipv4" | "udp" | "tcp")
+            || matches!(
+                extracted.as_str(),
+                "ethernet" | "vlan" | "ipv4" | "udp" | "tcp"
+            )
         {
             continue;
         }
-        let decl = ast.header(extracted).ok_or_else(|| CompileError::Undefined {
-            kind: "header",
-            name: extracted.clone(),
-        })?;
+        let decl = ast
+            .header(extracted)
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "header",
+                name: extracted.clone(),
+            })?;
         if extracted == &field.header {
             let mut offset = base;
             for (name, width_bits) in &decl.fields {
@@ -117,7 +123,10 @@ pub fn resolve_field(ast: &ModuleAst, field: &FieldRef) -> Result<FieldLocation>
     }
     // The header exists and is extracted but was not found above (can only
     // happen if `header` resolves differently from `parses` content).
-    Err(CompileError::Undefined { kind: "header", name: field.header.clone() })
+    Err(CompileError::Undefined {
+        kind: "header",
+        name: field.header.clone(),
+    })
 }
 
 /// The container class used for a field of `width` bytes.
@@ -221,9 +230,8 @@ impl PhvAllocation {
             })?;
             actions.push(action);
         }
-        ParserEntry::new(actions).map_err(|_| {
-            CompileError::ResourceLimit("too many parser actions".into())
-        })
+        ParserEntry::new(actions)
+            .map_err(|_| CompileError::ResourceLimit("too many parser actions".into()))
     }
 
     /// Builds the deparser entry: parse actions only for fields the module
@@ -274,15 +282,24 @@ module calc {
     fn builtin_fields_have_expected_offsets() {
         assert_eq!(
             builtin_field(&FieldRef::new("ipv4", "dst_addr")),
-            Some(FieldLocation { offset: 34, width: 4 })
+            Some(FieldLocation {
+                offset: 34,
+                width: 4
+            })
         );
         assert_eq!(
             builtin_field(&FieldRef::new("udp", "dst_port")),
-            Some(FieldLocation { offset: 40, width: 2 })
+            Some(FieldLocation {
+                offset: 40,
+                width: 2
+            })
         );
         assert_eq!(
             builtin_field(&FieldRef::new("ethernet", "dst_addr")),
-            Some(FieldLocation { offset: 0, width: 6 })
+            Some(FieldLocation {
+                offset: 0,
+                width: 6
+            })
         );
         assert!(builtin_field(&FieldRef::new("ipv4", "nonsense")).is_none());
     }
@@ -291,11 +308,29 @@ module calc {
     fn custom_header_fields_follow_udp() {
         let ast = parse_module(SOURCE).unwrap();
         let opcode = resolve_field(&ast, &FieldRef::new("calc_hdr", "opcode")).unwrap();
-        assert_eq!(opcode, FieldLocation { offset: 46, width: 2 });
+        assert_eq!(
+            opcode,
+            FieldLocation {
+                offset: 46,
+                width: 2
+            }
+        );
         let a = resolve_field(&ast, &FieldRef::new("calc_hdr", "operand_a")).unwrap();
-        assert_eq!(a, FieldLocation { offset: 48, width: 4 });
+        assert_eq!(
+            a,
+            FieldLocation {
+                offset: 48,
+                width: 4
+            }
+        );
         let result = resolve_field(&ast, &FieldRef::new("calc_hdr", "result")).unwrap();
-        assert_eq!(result, FieldLocation { offset: 56, width: 4 });
+        assert_eq!(
+            result,
+            FieldLocation {
+                offset: 56,
+                width: 4
+            }
+        );
         assert!(resolve_field(&ast, &FieldRef::new("calc_hdr", "missing")).is_err());
         assert!(resolve_field(&ast, &FieldRef::new("nothere", "x")).is_err());
         assert!(resolve_field(&ast, &FieldRef::new("sys", "queue_len")).is_err());
@@ -312,8 +347,12 @@ module calc {
         assert_eq!(dst.ty, ContainerType::H4);
         assert!(phv.location(&FieldRef::new("ipv4", "dst_addr")).is_some());
         // Distinct fields get distinct containers.
-        let a = phv.container(&FieldRef::new("calc_hdr", "operand_a")).unwrap();
-        let b = phv.container(&FieldRef::new("calc_hdr", "operand_b")).unwrap();
+        let a = phv
+            .container(&FieldRef::new("calc_hdr", "operand_a"))
+            .unwrap();
+        let b = phv
+            .container(&FieldRef::new("calc_hdr", "operand_b"))
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(phv.len(), phv.iter().count());
     }
@@ -332,9 +371,7 @@ module calc {
     #[test]
     fn too_many_containers_of_one_class_rejected() {
         // 9 distinct 4-byte fields exceed the 8 available 4-byte containers.
-        let mut source = String::from(
-            "module big { header h { ",
-        );
+        let mut source = String::from("module big { header h { ");
         for i in 0..9 {
             source.push_str(&format!("f{i} : 32; "));
         }
@@ -362,7 +399,10 @@ module odd {
 }
 "#;
         let ast = parse_module(source).unwrap();
-        assert!(matches!(PhvAllocation::build(&ast), Err(CompileError::Layout(_))));
+        assert!(matches!(
+            PhvAllocation::build(&ast),
+            Err(CompileError::Layout(_))
+        ));
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(ident), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut literal = String::new();
@@ -97,7 +100,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let cleaned = literal.replace('_', "");
-                let value = if let Some(hex) = cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+                let value = if let Some(hex) = cleaned
+                    .strip_prefix("0x")
+                    .or_else(|| cleaned.strip_prefix("0X"))
+                {
                     u64::from_str_radix(hex, 16)
                 } else {
                     cleaned.parse()
@@ -106,7 +112,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                     line,
                     message: format!("invalid number literal `{literal}`"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
             }
             _ => {
                 let kind = match c {
@@ -166,7 +175,13 @@ mod tests {
     #[test]
     fn bad_characters_rejected_with_line() {
         let err = tokenize("a\nb $").unwrap_err();
-        assert!(matches!(err, CompileError::Lex { line: 2, found: '$' }));
+        assert!(matches!(
+            err,
+            CompileError::Lex {
+                line: 2,
+                found: '$'
+            }
+        ));
         assert!(tokenize("a / b").is_err());
         assert!(tokenize("0xzz").is_err());
     }

@@ -50,7 +50,7 @@ pub mod parser;
 
 pub use ast::{ActionDecl, Expr, FieldRef, HeaderDecl, ModuleAst, StateDecl, Statement, TableDecl};
 pub use checks::check_module;
-pub use codegen::{compile_ast, CompileOptions, CompiledModule, CompiledTable, table_dependencies};
+pub use codegen::{compile_ast, table_dependencies, CompileOptions, CompiledModule, CompiledTable};
 pub use error::CompileError;
 pub use layout::{builtin_field, resolve_field, FieldLocation, PhvAllocation};
 pub use parser::parse_module;
@@ -78,7 +78,8 @@ module quick {
     apply { t.apply(); }
 }
 "#;
-        let compiled = compile_source(source, &CompileOptions::new(9).with_initial_entries(3)).unwrap();
+        let compiled =
+            compile_source(source, &CompileOptions::new(9).with_initial_entries(3)).unwrap();
         assert_eq!(compiled.config.module_id.value(), 9);
         assert_eq!(compiled.generated_entries(), 3);
     }

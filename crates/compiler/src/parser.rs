@@ -50,7 +50,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> CompileError {
-        CompileError::Parse { line: self.line(), message: message.into() }
+        CompileError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -108,7 +111,10 @@ impl Parser {
         self.expect_keyword("module")?;
         let name = self.expect_ident()?;
         self.expect(TokenKind::LBrace)?;
-        let mut ast = ModuleAst { name, ..ModuleAst::default() };
+        let mut ast = ModuleAst {
+            name,
+            ..ModuleAst::default()
+        };
         loop {
             match self.peek() {
                 Some(TokenKind::RBrace) => {
@@ -205,7 +211,12 @@ impl Parser {
                 other => return Err(self.error(format!("unknown table section `{other}`"))),
             }
         }
-        Ok(TableDecl { name, keys, actions, size })
+        Ok(TableDecl {
+            name,
+            keys,
+            actions,
+            size,
+        })
     }
 
     fn action(&mut self) -> Result<ActionDecl> {
@@ -268,15 +279,22 @@ impl Parser {
             let value = self.expr()?;
             self.expect(TokenKind::RParen)?;
             self.expect(TokenKind::Semicolon)?;
-            return Ok(Statement::RegisterWrite { register: first, index, value });
+            return Ok(Statement::RegisterWrite {
+                register: first,
+                index,
+                value,
+            });
         }
         let dst = FieldRef::new(first, second);
         self.expect(TokenKind::Equals)?;
         // Either an expression or `reg.read(idx)` / `reg.count(idx)`.
-        if let (Some(TokenKind::Ident(name)), Some(TokenKind::Dot)) =
-            (self.peek().cloned(), self.tokens.get(self.pos + 1).map(|t| t.kind.clone()))
-        {
-            if let Some(TokenKind::Ident(method)) = self.tokens.get(self.pos + 2).map(|t| t.kind.clone()) {
+        if let (Some(TokenKind::Ident(name)), Some(TokenKind::Dot)) = (
+            self.peek().cloned(),
+            self.tokens.get(self.pos + 1).map(|t| t.kind.clone()),
+        ) {
+            if let Some(TokenKind::Ident(method)) =
+                self.tokens.get(self.pos + 2).map(|t| t.kind.clone())
+            {
                 if method == "read" || method == "count" {
                     self.pos += 3;
                     self.expect(TokenKind::LParen)?;
@@ -284,9 +302,17 @@ impl Parser {
                     self.expect(TokenKind::RParen)?;
                     self.expect(TokenKind::Semicolon)?;
                     return Ok(if method == "read" {
-                        Statement::RegisterRead { dst, register: name, index }
+                        Statement::RegisterRead {
+                            dst,
+                            register: name,
+                            index,
+                        }
                     } else {
-                        Statement::RegisterCount { dst, register: name, index }
+                        Statement::RegisterCount {
+                            dst,
+                            register: name,
+                            index,
+                        }
                     });
                 }
             }
@@ -443,6 +469,9 @@ module bad {
 }
 "#;
         let ast = parse_module(source).unwrap();
-        assert!(matches!(ast.actions[0].statements[0], Statement::Recirculate));
+        assert!(matches!(
+            ast.actions[0].statements[0],
+            Statement::Recirculate
+        ));
     }
 }

@@ -76,7 +76,11 @@ impl fmt::Display for CoreError {
                 f,
                 "insufficient {resource}: requested {requested}, available {available}"
             ),
-            CoreError::AllocationExceeded { resource, used, allocated } => write!(
+            CoreError::AllocationExceeded {
+                resource,
+                used,
+                allocated,
+            } => write!(
                 f,
                 "allocation exceeded for {resource}: uses {used}, allocated {allocated}"
             ),
@@ -108,8 +112,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CoreError::UnknownModule { module_id: 9 }.to_string().contains('9'));
-        assert!(CoreError::NoFreeModuleSlot { capacity: 32 }.to_string().contains("32"));
+        assert!(CoreError::UnknownModule { module_id: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(CoreError::NoFreeModuleSlot { capacity: 32 }
+            .to_string()
+            .contains("32"));
         let e = CoreError::InsufficientResource {
             resource: "match entries, stage 1".into(),
             requested: 20,
@@ -119,6 +127,8 @@ mod tests {
         assert!(e.to_string().contains("20"));
         let rmt: CoreError = RmtError::TableFull { table: "CAM" }.into();
         assert!(rmt.to_string().contains("CAM"));
-        assert!(CoreError::CheckFailed("loops".into()).to_string().contains("loops"));
+        assert!(CoreError::CheckFailed("loops".into())
+            .to_string()
+            .contains("loops"));
     }
 }

@@ -61,7 +61,7 @@ pub use module::{MatchRule, ModuleConfig, ModuleId, ResourceAllocation, StageMod
 pub use overlay::OverlayTable;
 pub use packet_filter::{FilterDecision, PacketFilter};
 pub use partition::{Allocation, RangeAllocator};
-pub use pipeline::{DropReason, LoadReport, MenshenPipeline, ModuleCounters, Verdict};
+pub use pipeline::{DropReason, LoadReport, MenshenPipeline, ModuleCounters, Verdict, BURST_SIZE};
 pub use reconfig::{ReconfigCommand, ResourceKind, WritePayload};
 pub use resources::{ResourceChecker, SharingPolicy};
 pub use segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
@@ -74,7 +74,7 @@ pub type Result<T> = core::result::Result<T, CoreError>;
 /// Convenient glob-import surface for examples and downstream crates.
 pub mod prelude {
     pub use crate::module::{MatchRule, ModuleConfig, ModuleId, StageModuleConfig};
-    pub use crate::pipeline::{DropReason, MenshenPipeline, Verdict};
+    pub use crate::pipeline::{DropReason, MenshenPipeline, Verdict, BURST_SIZE};
     pub use crate::resources::SharingPolicy;
     pub use crate::sw_interface::ControlPlane;
     pub use crate::system_module::SystemModule;

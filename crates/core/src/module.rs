@@ -4,9 +4,9 @@
 //! program in the paper's terminology). Modules are identified on the wire by
 //! the packet's VLAN ID (12 bits) and inside the pipeline by the same value.
 
+use menshen_rmt::action::VliwAction;
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
 use menshen_rmt::match_table::LookupKey;
-use menshen_rmt::action::VliwAction;
 
 /// A module identifier: the 12-bit VLAN ID carried by the module's packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -155,7 +155,10 @@ impl PacketFilter {
         let buffer_tag = self.next_buffer;
         self.next_buffer = (self.next_buffer + 1) % NUM_PACKET_BUFFERS;
         self.counters.admitted += 1;
-        FilterDecision::Data { module_id, buffer_tag }
+        FilterDecision::Data {
+            module_id,
+            buffer_tag,
+        }
     }
 }
 
@@ -172,7 +175,10 @@ mod tests {
     fn classifies_data_and_reconfig() {
         let mut filter = PacketFilter::new();
         match filter.classify(&data_packet(7)) {
-            FilterDecision::Data { module_id, buffer_tag } => {
+            FilterDecision::Data {
+                module_id,
+                buffer_tag,
+            } => {
                 assert_eq!(module_id, 7);
                 assert_eq!(buffer_tag, 0);
             }

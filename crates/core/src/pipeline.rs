@@ -15,6 +15,32 @@
 //! * the **daisy-chain reconfiguration path**, which is the *only* way to
 //!   write configuration — reconfiguration packets arriving on the data path
 //!   are dropped (§3.1 "secure reconfiguration").
+//!
+//! # Single-packet vs batched processing
+//!
+//! Two data-path entry points exist:
+//!
+//! * [`MenshenPipeline::process`] pushes one packet at a time and re-reads
+//!   every per-module overlay entry for every packet. It is the reference
+//!   path: simple, obviously faithful to the hardware model, and what the
+//!   isolation tests exercise.
+//! * [`MenshenPipeline::process_batch`] pushes a DPDK-style burst
+//!   (see [`BURST_SIZE`]) and produces verdict-for-verdict identical results
+//!   while amortising the per-packet overheads across the burst: per-module
+//!   parser/deparser/key-extractor/key-mask/segment configuration is resolved
+//!   once per `(module, burst)` into scratch buffers owned by the pipeline,
+//!   stages whose key mask selects no key bits resolve their CAM lookup once
+//!   per burst instead of once per packet, one scratch PHV is reused for the
+//!   whole burst, and per-module traffic counters are accumulated in scratch
+//!   and flushed once at the end of the burst. The steady state allocates
+//!   nothing beyond the returned verdicts.
+//!
+//! Configuration cannot change in the middle of a burst (the batch holds
+//! `&mut self`), so the per-burst resolution is exact, and the CAM hash index
+//! (`menshen_rmt::ExactMatchTable`) keeps each remaining per-packet lookup
+//! O(1). One observable difference: the batch path resolves lookups through
+//! the index without bumping the CAM's lookup/hit statistics for the probes
+//! it amortises away.
 
 use crate::error::CoreError;
 use crate::module::{ModuleConfig, ModuleId};
@@ -27,13 +53,20 @@ use crate::system_module::{ForwardingDecision, SystemModule};
 use crate::Result;
 use menshen_packet::{Ipv4Address, Packet};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
-use menshen_rmt::match_table::MatchEntry;
+use menshen_rmt::deparser;
+use menshen_rmt::key_extractor::extract_key;
+use menshen_rmt::match_table::{LookupKey, MatchEntry};
 use menshen_rmt::params::PipelineParams;
 use menshen_rmt::parser;
 use menshen_rmt::phv::Phv;
 use menshen_rmt::stage::{StageConfig, StageHardware};
-use menshen_rmt::deparser;
 use std::collections::HashMap;
+
+/// DPDK-style default burst size for [`MenshenPipeline::process_batch`].
+///
+/// Callers may pass bursts of any length; this constant is the batch size the
+/// testbed and benchmarks use when they chop a packet stream into bursts.
+pub const BURST_SIZE: usize = 32;
 
 /// Why a packet was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +156,64 @@ pub struct LoadReport {
     pub reconfig_packets: usize,
 }
 
+/// How the CAM lookup of one `(module slot, stage)` resolves within a burst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum ResolvedLookup {
+    /// The masked key depends on packet contents: look up per packet.
+    #[default]
+    PerPacket,
+    /// The masked key is burst-constant and missed: the stage cannot touch
+    /// this module's packets, so it is skipped entirely.
+    ConstantMiss,
+    /// The masked key is burst-constant and hit this CAM address; only the
+    /// action execution remains per-packet.
+    ConstantHit(usize),
+}
+
+/// Per-`(module slot, stage)` configuration resolved once per burst.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageScratch {
+    config: StageConfig,
+    segment: Option<SegmentEntry>,
+    lookup: ResolvedLookup,
+}
+
+/// Per-module-slot scratch state for one burst: the overlay configuration
+/// resolved out of the tables once, plus the traffic-counter delta
+/// accumulated until the end-of-burst flush.
+#[derive(Debug, Clone, Default)]
+struct SlotScratch {
+    /// Burst stamp; a slot is (re)resolved when it differs from the batch's.
+    epoch: u64,
+    module_id: u16,
+    parser: ParserEntry,
+    deparser: ParserEntry,
+    stages: Vec<StageScratch>,
+    counters: ModuleCounters,
+}
+
+/// Scratch buffers owned by the pipeline and reused across bursts so the
+/// steady-state batch path performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    epoch: u64,
+    slots: Vec<SlotScratch>,
+    touched: Vec<usize>,
+    phv: Phv,
+}
+
+impl BatchScratch {
+    /// Starts a new burst: bumps the epoch (lazily invalidating every slot)
+    /// and sizes the slot table, keeping all existing allocations.
+    fn begin(&mut self, overlay_depth: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.slots.len() != overlay_depth {
+            self.slots.resize(overlay_depth, SlotScratch::default());
+        }
+        self.touched.clear();
+    }
+}
+
 /// One match-action stage plus its Menshen isolation primitives.
 #[derive(Debug, Clone)]
 struct MenshenStage {
@@ -165,6 +256,7 @@ pub struct MenshenPipeline {
     modules: HashMap<u16, ModuleRuntime>,
     slots: Vec<Option<u16>>,
     cycle: u64,
+    batch: BatchScratch,
 }
 
 impl MenshenPipeline {
@@ -181,6 +273,7 @@ impl MenshenPipeline {
             modules: HashMap::new(),
             slots: vec![None; params.overlay_depth],
             cycle: 0,
+            batch: BatchScratch::default(),
             params,
         }
     }
@@ -209,6 +302,19 @@ impl MenshenPipeline {
     /// Read access to the packet filter (its software registers).
     pub fn filter(&self) -> &PacketFilter {
         &self.filter
+    }
+
+    /// Switches every stage's CAM between the O(1) hash index (default) and
+    /// the per-slot scan that models the hardware CAM's parallel compare —
+    /// the cost the pre-index software data path paid on every lookup.
+    /// Results are identical either way; benchmarks use scan mode as the
+    /// measured "before" baseline. Only the single-packet path is affected:
+    /// [`process_batch`](Self::process_batch) always resolves through the
+    /// index.
+    pub fn set_cam_scan_mode(&mut self, scan: bool) {
+        for stage in &mut self.stages {
+            stage.hw.cam.set_scan_mode(scan);
+        }
     }
 
     /// The module IDs currently loaded.
@@ -244,12 +350,22 @@ impl MenshenPipeline {
 
     /// The module ID that owns the CAM entry at `(stage, index)`, if occupied.
     pub fn cam_entry_owner(&self, stage: usize, index: usize) -> Option<u16> {
-        self.stages.get(stage)?.hw.cam.entry(index).map(|e| e.module_id)
+        self.stages
+            .get(stage)?
+            .hw
+            .cam
+            .entry(index)
+            .map(|e| e.module_id)
     }
 
     /// True if the CAM address at `(stage, index)` lies inside the range
     /// space-partitioned to a module other than `module`.
-    pub fn cam_index_reserved_for_other(&self, stage: usize, index: usize, module: ModuleId) -> bool {
+    pub fn cam_index_reserved_for_other(
+        &self,
+        stage: usize,
+        index: usize,
+        module: ModuleId,
+    ) -> bool {
         self.stages
             .get(stage)
             .map(|s| {
@@ -335,10 +451,10 @@ impl MenshenPipeline {
                 ));
             }
             if stage_cfg.stateful_words > 0 {
-                let range = stateful_ranges.get(stage_idx).copied().unwrap_or(Allocation {
-                    start: 0,
-                    len: 0,
-                });
+                let range = stateful_ranges
+                    .get(stage_idx)
+                    .copied()
+                    .unwrap_or(Allocation { start: 0, len: 0 });
                 commands.push(ReconfigCommand::write(
                     ResourceKind::SegmentTable,
                     stage,
@@ -365,19 +481,21 @@ impl MenshenPipeline {
             });
         }
         if config.stages.len() > self.params.num_stages {
-            return Err(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
-                table: "pipeline stages",
-                index: config.stages.len(),
-                depth: self.params.num_stages,
-            }));
+            return Err(CoreError::Rmt(
+                menshen_rmt::RmtError::TableIndexOutOfRange {
+                    table: "pipeline stages",
+                    index: config.stages.len(),
+                    depth: self.params.num_stages,
+                },
+            ));
         }
-        let slot = self
-            .slots
-            .iter()
-            .position(|s| s.is_none())
-            .ok_or(CoreError::NoFreeModuleSlot {
-                capacity: self.params.overlay_depth,
-            })?;
+        let slot =
+            self.slots
+                .iter()
+                .position(|s| s.is_none())
+                .ok_or(CoreError::NoFreeModuleSlot {
+                    capacity: self.params.overlay_depth,
+                })?;
 
         // Space partitioning: reserve CAM and stateful ranges in every stage
         // the module uses. Roll back on failure so a rejected module leaves
@@ -393,7 +511,10 @@ impl MenshenPipeline {
                     return Err(e);
                 }
             };
-            let stateful = match stage.stateful_alloc.allocate(module_id, stage_cfg.stateful_words) {
+            let stateful = match stage
+                .stateful_alloc
+                .allocate(module_id, stage_cfg.stateful_words)
+            {
                 Ok(a) => a,
                 Err(e) => {
                     stage.cam_alloc.release(module_id);
@@ -512,10 +633,13 @@ impl MenshenPipeline {
         let index = usize::from(command.index);
         match (&command.payload, command.kind) {
             (WritePayload::Parser(entry), _) => self.parser_table.write(index, entry.clone())?,
-            (WritePayload::Deparser(entry), _) => self.deparser_table.write(index, entry.clone())?,
-            (WritePayload::KeyExtract(entry), _) => {
-                self.stage_mut(stage_idx)?.key_extract.write(index, *entry)?
+            (WritePayload::Deparser(entry), _) => {
+                self.deparser_table.write(index, entry.clone())?
             }
+            (WritePayload::KeyExtract(entry), _) => self
+                .stage_mut(stage_idx)?
+                .key_extract
+                .write(index, *entry)?,
             (WritePayload::KeyMask(mask), _) => {
                 self.stage_mut(stage_idx)?.key_mask.write(index, *mask)?
             }
@@ -581,13 +705,13 @@ impl MenshenPipeline {
 
     fn stage_mut(&mut self, stage: usize) -> Result<&mut MenshenStage> {
         let depth = self.stages.len();
-        self.stages
-            .get_mut(stage)
-            .ok_or(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
+        self.stages.get_mut(stage).ok_or(CoreError::Rmt(
+            menshen_rmt::RmtError::TableIndexOutOfRange {
                 table: "pipeline stages",
                 index: stage,
                 depth,
-            }))
+            },
+        ))
     }
 
     // -----------------------------------------------------------------------
@@ -621,7 +745,10 @@ impl MenshenPipeline {
                     module_id: Some(module_id),
                 };
             }
-            FilterDecision::Data { module_id, buffer_tag } => (module_id, buffer_tag),
+            FilterDecision::Data {
+                module_id,
+                buffer_tag,
+            } => (module_id, buffer_tag),
         };
 
         let slot = match self.modules.get(&module_id).map(|m| m.slot) {
@@ -712,21 +839,229 @@ impl MenshenPipeline {
         }
     }
 
+    /// Pushes a DPDK-style burst of packets through the data path, returning
+    /// one verdict per packet in order.
+    ///
+    /// Verdict-for-verdict equivalent to calling [`process`](Self::process)
+    /// on each packet, but the per-packet overheads are amortised across the
+    /// burst (see the module docs): per-module overlay configuration and
+    /// trivially-masked CAM lookups resolve once per `(module, burst)`, one
+    /// scratch PHV is reused throughout, and per-module counters flush once
+    /// at the end. The steady state allocates nothing beyond the returned
+    /// verdicts.
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<Verdict> {
+        let mut scratch = std::mem::take(&mut self.batch);
+        scratch.begin(self.params.overlay_depth);
+        let mut verdicts = Vec::with_capacity(packets.len());
+        for packet in packets {
+            verdicts.push(self.process_batched_packet(packet, &mut scratch));
+        }
+        // Flush the per-module counter deltas accumulated during the burst.
+        for &slot in &scratch.touched {
+            let slot_scratch = &mut scratch.slots[slot];
+            let delta = std::mem::take(&mut slot_scratch.counters);
+            if let Some(runtime) = self.modules.get_mut(&slot_scratch.module_id) {
+                runtime.counters.packets_in += delta.packets_in;
+                runtime.counters.packets_out += delta.packets_out;
+                runtime.counters.packets_dropped += delta.packets_dropped;
+                runtime.counters.bytes_in += delta.bytes_in;
+                runtime.counters.bytes_out += delta.bytes_out;
+            }
+        }
+        scratch.touched.clear();
+        self.batch = scratch;
+        verdicts
+    }
+
+    /// One packet of a burst. Mirrors [`process`](Self::process) exactly,
+    /// except that per-module configuration comes out of the burst scratch
+    /// and counters accumulate there.
+    fn process_batched_packet(&mut self, packet: Packet, scratch: &mut BatchScratch) -> Verdict {
+        self.cycle += 1;
+        let decision = self.filter.classify(&packet);
+        let (module_id, buffer_tag) = match decision {
+            FilterDecision::Reconfiguration => {
+                return Verdict::Dropped {
+                    reason: DropReason::UntrustedReconfiguration,
+                    module_id: None,
+                };
+            }
+            FilterDecision::DropNoVlan => {
+                return Verdict::Dropped {
+                    reason: DropReason::NoVlan,
+                    module_id: None,
+                }
+            }
+            FilterDecision::DropBeingReconfigured { module_id } => {
+                if let Some(runtime) = self.modules.get_mut(&module_id) {
+                    runtime.counters.packets_dropped += 1;
+                }
+                return Verdict::Dropped {
+                    reason: DropReason::BeingReconfigured,
+                    module_id: Some(module_id),
+                };
+            }
+            FilterDecision::Data {
+                module_id,
+                buffer_tag,
+            } => (module_id, buffer_tag),
+        };
+
+        let slot = match self.modules.get(&module_id).map(|m| m.slot) {
+            Some(slot) => slot,
+            None => {
+                return Verdict::Dropped {
+                    reason: DropReason::UnknownModule,
+                    module_id: Some(module_id),
+                }
+            }
+        };
+
+        if scratch.slots[slot].epoch != scratch.epoch {
+            self.resolve_slot(slot, module_id, scratch);
+        }
+        // Disjoint borrows of the scratch: slot state and the shared PHV.
+        let slot_scratch = &mut scratch.slots[slot];
+        let phv = &mut scratch.phv;
+
+        let packet_len = packet.len();
+        slot_scratch.counters.packets_in += 1;
+        slot_scratch.counters.bytes_in += packet_len as u64;
+
+        // Parse with the module's own parser entry, reusing the burst PHV.
+        if parser::parse_into(phv, &packet, &slot_scratch.parser, module_id).is_err() {
+            slot_scratch.counters.packets_dropped += 1;
+            return Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                module_id: Some(module_id),
+            };
+        }
+        phv.metadata.buffer_tag = 1 << buffer_tag;
+
+        // System-level module, first half.
+        self.system.ingress(phv, packet_len, self.cycle);
+
+        // Tenant stages with the burst-resolved overlay configuration.
+        for (stage_idx, stage_scratch) in slot_scratch.stages.iter().enumerate() {
+            let hit = match stage_scratch.lookup {
+                ResolvedLookup::ConstantMiss => continue,
+                ResolvedLookup::ConstantHit(cam_index) => Some(cam_index),
+                ResolvedLookup::PerPacket => {
+                    let key = extract_key(
+                        phv,
+                        &stage_scratch.config.key_extract,
+                        &stage_scratch.config.key_mask,
+                    );
+                    self.stages[stage_idx].hw.cam.peek(&key, module_id)
+                }
+            };
+            if let Some(cam_index) = hit {
+                let translator = SegmentTranslator::new(stage_scratch.segment);
+                self.stages[stage_idx]
+                    .hw
+                    .execute_hit(cam_index, phv, &translator);
+            }
+        }
+
+        if phv.metadata.discard {
+            slot_scratch.counters.packets_dropped += 1;
+            return Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                module_id: Some(module_id),
+            };
+        }
+
+        // Deparse with the module's deparser entry.
+        let mut packet = packet;
+        if deparser::deparse(&mut packet, phv, &slot_scratch.deparser).is_err() {
+            slot_scratch.counters.packets_dropped += 1;
+            return Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                module_id: Some(module_id),
+            };
+        }
+
+        // System-level module, second half: routing / multicast.
+        let dst_ip = packet.ipv4_dst().unwrap_or(Ipv4Address::new(0, 0, 0, 0));
+        let ports = match self.system.egress(module_id, dst_ip, phv) {
+            ForwardingDecision::Unicast(port) => vec![port],
+            ForwardingDecision::Multicast(ports) => ports,
+        };
+
+        slot_scratch.counters.packets_out += 1;
+        slot_scratch.counters.bytes_out += packet.len() as u64;
+
+        Verdict::Forwarded {
+            packet,
+            ports,
+            phv: phv.clone(),
+            module_id,
+        }
+    }
+
+    /// Resolves one module slot's overlay configuration into the burst
+    /// scratch: parser/deparser entries (cloned once per burst, reusing the
+    /// scratch buffers' capacity), per-stage key extractor / key mask /
+    /// segment entries, and — for stages whose key mask selects no key bits,
+    /// so the masked key cannot depend on the packet — the CAM lookup itself.
+    fn resolve_slot(&self, slot: usize, module_id: u16, scratch: &mut BatchScratch) {
+        let epoch = scratch.epoch;
+        let slot_scratch = &mut scratch.slots[slot];
+        slot_scratch.epoch = epoch;
+        slot_scratch.module_id = module_id;
+        slot_scratch.counters = ModuleCounters::default();
+        match self.parser_table.read(slot) {
+            Some(entry) => slot_scratch.parser.clone_from(entry),
+            None => slot_scratch.parser = ParserEntry::default(),
+        }
+        match self.deparser_table.read(slot) {
+            Some(entry) => slot_scratch.deparser.clone_from(entry),
+            None => slot_scratch.deparser = ParserEntry::default(),
+        }
+        slot_scratch.stages.clear();
+        for stage in &self.stages {
+            let config = StageConfig {
+                key_extract: stage.key_extract.read(slot).copied().unwrap_or_default(),
+                key_mask: stage.key_mask.read(slot).copied().unwrap_or_default(),
+            };
+            // The masked key is burst-constant when no key byte participates
+            // in the match and the predicate bit cannot fire (either masked
+            // out or not configured): every packet then produces the all-zero
+            // masked key, so the CAM lookup resolves once per burst.
+            let lookup = if config.key_mask.ignores_all_bytes()
+                && (!config.key_mask.predicate || config.key_extract.predicate.is_none())
+            {
+                match stage.hw.cam.peek(&LookupKey::default(), module_id) {
+                    Some(cam_index) => ResolvedLookup::ConstantHit(cam_index),
+                    None => ResolvedLookup::ConstantMiss,
+                }
+            } else {
+                ResolvedLookup::PerPacket
+            };
+            slot_scratch.stages.push(StageScratch {
+                config,
+                segment: stage.segment.read(slot),
+                lookup,
+            });
+        }
+        scratch.touched.push(slot);
+    }
+
     /// Marks a module as being reconfigured (software register write); its
     /// packets are dropped until [`end_reconfiguration`](Self::end_reconfiguration).
     pub fn begin_reconfiguration(&mut self, module: ModuleId) -> Result<()> {
-        let slot = self
-            .module_slot(module)
-            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+        let slot = self.module_slot(module).ok_or(CoreError::UnknownModule {
+            module_id: module.value(),
+        })?;
         self.filter.mark_reconfiguring(slot);
         Ok(())
     }
 
     /// Clears a module's reconfiguration mark.
     pub fn end_reconfiguration(&mut self, module: ModuleId) -> Result<()> {
-        let slot = self
-            .module_slot(module)
-            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+        let slot = self.module_slot(module).ok_or(CoreError::UnknownModule {
+            module_id: module.value(),
+        })?;
         self.filter.clear_reconfiguring(slot);
         Ok(())
     }
@@ -754,12 +1089,25 @@ mod tests {
         .unwrap();
         config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
         let key = LookupKey::from_slots(
-            [(0, 6), (0, 6), (u64::from(dst_ip), 4), (0, 4), (0, 2), (0, 2)],
+            [
+                (0, 6),
+                (0, 6),
+                (u64::from(dst_ip), 4),
+                (0, 4),
+                (0, 2),
+                (0, 2),
+            ],
             false,
         );
         config.stages[0] = StageModuleConfig {
-            key_extract: Some(KeyExtractEntry { slots_4b: [1, 0], ..Default::default() }),
-            key_mask: Some(KeyMask::for_slots([false, false, true, false, false, false], false)),
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
             rules: vec![MatchRule {
                 key,
                 action: VliwAction::nop()
@@ -785,7 +1133,9 @@ mod tests {
     #[test]
     fn load_and_process_single_module() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        let report = pipeline.load_module(&simple_module(7, 0x0a00_0002, 9999)).unwrap();
+        let report = pipeline
+            .load_module(&simple_module(7, 0x0a00_0002, 9999))
+            .unwrap();
         assert_eq!(report.slot, 0);
         assert!(report.reconfig_packets >= 5);
         assert_eq!(pipeline.loaded_modules(), vec![ModuleId::new(7)]);
@@ -793,7 +1143,9 @@ mod tests {
 
         let verdict = pipeline.process(packet_for(7, 2));
         match verdict {
-            Verdict::Forwarded { packet, module_id, .. } => {
+            Verdict::Forwarded {
+                packet, module_id, ..
+            } => {
                 assert_eq!(module_id, 7);
                 assert_eq!(packet.udp_dst_port(), Some(9999));
             }
@@ -809,8 +1161,12 @@ mod tests {
     #[test]
     fn two_modules_same_key_do_not_interfere() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
-        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        pipeline
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
 
         let v1 = pipeline.process(packet_for(1, 2));
         let v2 = pipeline.process(packet_for(2, 2));
@@ -824,7 +1180,9 @@ mod tests {
     #[test]
     fn unknown_and_untagged_packets_dropped() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
         match pipeline.process(packet_for(9, 2)) {
             Verdict::Dropped { reason, module_id } => {
                 assert_eq!(reason, DropReason::UnknownModule);
@@ -837,14 +1195,19 @@ mod tests {
         let untagged = builder.build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[]);
         assert!(matches!(
             pipeline.process(untagged),
-            Verdict::Dropped { reason: DropReason::NoVlan, .. }
+            Verdict::Dropped {
+                reason: DropReason::NoVlan,
+                ..
+            }
         ));
     }
 
     #[test]
     fn data_path_reconfiguration_is_rejected() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
         // A tenant crafts a reconfiguration packet and sends it on the data path.
         let malicious = ReconfigCommand::write(
             ResourceKind::KeyMask,
@@ -857,7 +1220,10 @@ mod tests {
         let verdict = pipeline.process(malicious);
         assert!(matches!(
             verdict,
-            Verdict::Dropped { reason: DropReason::UntrustedReconfiguration, .. }
+            Verdict::Dropped {
+                reason: DropReason::UntrustedReconfiguration,
+                ..
+            }
         ));
         assert_eq!(
             pipeline.filter().reconfig_counter(),
@@ -872,7 +1238,9 @@ mod tests {
     #[test]
     fn trusted_reconfiguration_packet_applies() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
         let packet = ReconfigCommand::write(
             ResourceKind::SegmentTable,
             2,
@@ -913,14 +1281,18 @@ mod tests {
     #[test]
     fn unload_frees_resources_and_clears_state() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
         pipeline.process(packet_for(1, 2));
         assert_eq!(pipeline.read_stateful(ModuleId::new(1), 0, 0), Some(1));
         pipeline.unload_module(ModuleId::new(1)).unwrap();
         assert!(pipeline.loaded_modules().is_empty());
         assert!(pipeline.read_stateful(ModuleId::new(1), 0, 0).is_none());
         // A new module re-using the same slot and stateful range starts clean.
-        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
         assert_eq!(pipeline.read_stateful(ModuleId::new(2), 0, 0), Some(0));
         // Unloading an unknown module errors.
         assert!(pipeline.unload_module(ModuleId::new(5)).is_err());
@@ -929,12 +1301,19 @@ mod tests {
     #[test]
     fn reconfiguration_drops_only_that_module() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
-        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        pipeline
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
         pipeline.begin_reconfiguration(ModuleId::new(1)).unwrap();
         assert!(matches!(
             pipeline.process(packet_for(1, 2)),
-            Verdict::Dropped { reason: DropReason::BeingReconfigured, .. }
+            Verdict::Dropped {
+                reason: DropReason::BeingReconfigured,
+                ..
+            }
         ));
         assert!(pipeline.process(packet_for(2, 2)).is_forwarded());
         pipeline.end_reconfiguration(ModuleId::new(1)).unwrap();
@@ -945,12 +1324,18 @@ mod tests {
     #[test]
     fn update_module_changes_behaviour_without_touching_others() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&simple_module(1, 0x0a00_0002, 1111)).unwrap();
-        pipeline.load_module(&simple_module(2, 0x0a00_0002, 2222)).unwrap();
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        pipeline
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
         pipeline.process(packet_for(2, 2));
         let before = pipeline.module_counters(ModuleId::new(2)).unwrap();
 
-        pipeline.update_module(&simple_module(1, 0x0a00_0002, 7777)).unwrap();
+        pipeline
+            .update_module(&simple_module(1, 0x0a00_0002, 7777))
+            .unwrap();
         let v1 = pipeline.process(packet_for(1, 2));
         assert_eq!(v1.packet().unwrap().udp_dst_port(), Some(7777));
         let v2 = pipeline.process(packet_for(2, 2));
@@ -961,15 +1346,155 @@ mod tests {
         assert!(pipeline.update_module(&simple_module(9, 1, 1)).is_err());
     }
 
+    fn verdicts_equivalent(a: &Verdict, b: &Verdict) -> bool {
+        match (a, b) {
+            (
+                Verdict::Forwarded {
+                    packet: pa,
+                    ports: na,
+                    phv: va,
+                    module_id: ma,
+                },
+                Verdict::Forwarded {
+                    packet: pb,
+                    ports: nb,
+                    phv: vb,
+                    module_id: mb,
+                },
+            ) => pa.bytes() == pb.bytes() && na == nb && va == vb && ma == mb,
+            (
+                Verdict::Dropped {
+                    reason: ra,
+                    module_id: ma,
+                },
+                Verdict::Dropped {
+                    reason: rb,
+                    module_id: mb,
+                },
+            ) => ra == rb && ma == mb,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_processing() {
+        let mut sequential = MenshenPipeline::new(TABLE5);
+        let mut batched = MenshenPipeline::new(TABLE5);
+        for pipeline in [&mut sequential, &mut batched] {
+            pipeline
+                .load_module(&simple_module(1, 0x0a00_0002, 1111))
+                .unwrap();
+            pipeline
+                .load_module(&simple_module(2, 0x0a00_0002, 2222))
+                .unwrap();
+        }
+
+        // A mixed burst: both modules, an unknown module, an untagged packet,
+        // and a data-path reconfiguration attempt.
+        let mut burst = Vec::new();
+        for i in 0..20u16 {
+            burst.push(packet_for(1 + (i % 2), 2));
+        }
+        burst.push(packet_for(9, 2));
+        let mut builder = PacketBuilder::new();
+        builder.vlan = None;
+        burst.push(builder.build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[]));
+        burst.push(
+            ReconfigCommand::write(
+                ResourceKind::KeyMask,
+                0,
+                0,
+                WritePayload::KeyMask(KeyMask::default()),
+            )
+            .to_packet(),
+        );
+
+        let sequential_verdicts: Vec<Verdict> = burst
+            .iter()
+            .map(|p| sequential.process(p.clone()))
+            .collect();
+        let batched_verdicts = batched.process_batch(burst);
+
+        assert_eq!(sequential_verdicts.len(), batched_verdicts.len());
+        for (i, (a, b)) in sequential_verdicts
+            .iter()
+            .zip(&batched_verdicts)
+            .enumerate()
+        {
+            assert!(
+                verdicts_equivalent(a, b),
+                "verdict {i} diverged: {a:?} vs {b:?}"
+            );
+        }
+        for id in [1u16, 2] {
+            assert_eq!(
+                sequential.module_counters(ModuleId::new(id)),
+                batched.module_counters(ModuleId::new(id)),
+                "module {id} counters diverged"
+            );
+            // Stateful memory (per-packet loadd counters) advanced identically.
+            assert_eq!(
+                sequential.read_stateful(ModuleId::new(id), 0, 0),
+                batched.read_stateful(ModuleId::new(id), 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sees_reconfiguration_between_bursts() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+
+        let verdicts = pipeline.process_batch(vec![packet_for(1, 2); 4]);
+        assert!(verdicts.iter().all(Verdict::is_forwarded));
+        assert_eq!(verdicts[0].packet().unwrap().udp_dst_port(), Some(1111));
+
+        // Update the module between bursts; the next burst must re-resolve
+        // the overlay configuration and see the new behaviour.
+        pipeline
+            .update_module(&simple_module(1, 0x0a00_0002, 7777))
+            .unwrap();
+        let verdicts = pipeline.process_batch(vec![packet_for(1, 2); 4]);
+        assert_eq!(verdicts[0].packet().unwrap().udp_dst_port(), Some(7777));
+
+        // And a module marked as being reconfigured drops its packets.
+        pipeline.begin_reconfiguration(ModuleId::new(1)).unwrap();
+        let verdicts = pipeline.process_batch(vec![packet_for(1, 2); 2]);
+        assert!(verdicts.iter().all(|v| matches!(
+            v,
+            Verdict::Dropped {
+                reason: DropReason::BeingReconfigured,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        assert!(pipeline.process_batch(Vec::new()).is_empty());
+        assert_eq!(
+            pipeline.module_counters(ModuleId::new(1)),
+            Some(ModuleCounters::default())
+        );
+    }
+
     #[test]
     fn system_module_routes_forwarded_packets() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.system_mut().add_route(Ipv4Address::new(10, 0, 0, 2), 42);
+        pipeline
+            .system_mut()
+            .add_route(Ipv4Address::new(10, 0, 0, 2), 42);
         pipeline.system_mut().set_default_port(1);
         let mut config = simple_module(3, 0x0a00_0002, 8080);
         // Remove the explicit port so the system module decides.
-        config.stages[0].rules[0].action = VliwAction::nop()
-            .with(C::h2(0), AluInstruction::set(8080));
+        config.stages[0].rules[0].action =
+            VliwAction::nop().with(C::h2(0), AluInstruction::set(8080));
         pipeline.load_module(&config).unwrap();
         match pipeline.process(packet_for(3, 2)) {
             Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![42]),

@@ -14,7 +14,7 @@
 use crate::error::CoreError;
 use crate::segment_table::SegmentEntry;
 use crate::Result;
-use menshen_packet::{PacketBuilder, Packet, RECONFIG_UDP_DPORT};
+use menshen_packet::{Packet, PacketBuilder, RECONFIG_UDP_DPORT};
 use menshen_rmt::action::VliwAction;
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
 use menshen_rmt::match_table::LookupKey;
@@ -130,12 +130,24 @@ pub struct ReconfigCommand {
 impl ReconfigCommand {
     /// Convenience constructor for a write command.
     pub fn write(kind: ResourceKind, stage: u8, index: u8, payload: WritePayload) -> Self {
-        ReconfigCommand { kind, stage, index, clear: false, payload }
+        ReconfigCommand {
+            kind,
+            stage,
+            index,
+            clear: false,
+            payload,
+        }
     }
 
     /// Convenience constructor for a clear command.
     pub fn clear(kind: ResourceKind, stage: u8, index: u8) -> Self {
-        ReconfigCommand { kind, stage, index, clear: true, payload: WritePayload::Clear }
+        ReconfigCommand {
+            kind,
+            stage,
+            index,
+            clear: true,
+            payload: WritePayload::Clear,
+        }
     }
 
     /// The 12-bit resource ID: 4-bit resource kind, 4-bit stage, 1 clear bit.
@@ -173,12 +185,12 @@ impl ReconfigCommand {
             return Ok(WritePayload::Clear);
         }
         Ok(match kind {
-            ResourceKind::Parser => WritePayload::Parser(
-                ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?,
-            ),
-            ResourceKind::Deparser => WritePayload::Deparser(
-                ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?,
-            ),
+            ResourceKind::Parser => {
+                WritePayload::Parser(ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?)
+            }
+            ResourceKind::Deparser => {
+                WritePayload::Deparser(ParserEntry::decode_bytes(bytes).map_err(CoreError::Rmt)?)
+            }
             ResourceKind::KeyExtractor => {
                 let array: [u8; 8] = bytes
                     .try_into()
@@ -206,9 +218,9 @@ impl ReconfigCommand {
                 let module_id = u16::from_be_bytes([bytes[KEY_BYTES + 1], bytes[KEY_BYTES + 2]]);
                 WritePayload::MatchEntry { key, module_id }
             }
-            ResourceKind::ActionTable => WritePayload::Action(
-                VliwAction::decode_bytes(bytes).map_err(CoreError::Rmt)?,
-            ),
+            ResourceKind::ActionTable => {
+                WritePayload::Action(VliwAction::decode_bytes(bytes).map_err(CoreError::Rmt)?)
+            }
             ResourceKind::SegmentTable => {
                 let array: [u8; 2] = bytes
                     .try_into()
@@ -258,7 +270,13 @@ impl ReconfigCommand {
             .get(5..5 + len)
             .ok_or(CoreError::BadReconfigPacket("entry truncated"))?;
         let payload = Self::decode_payload(kind, clear, entry_bytes)?;
-        Ok(ReconfigCommand { kind, stage, index, clear, payload })
+        Ok(ReconfigCommand {
+            kind,
+            stage,
+            index,
+            clear,
+            payload,
+        })
     }
 }
 
@@ -266,7 +284,7 @@ impl ReconfigCommand {
 /// resource, used by the Appendix A comparison (Figure 12). The daisy-chain
 /// path instead ships one packet per entry regardless of width.
 pub fn axil_writes_for(kind: ResourceKind) -> u32 {
-    let bits = match kind {
+    let bits: u32 = match kind {
         ResourceKind::Parser | ResourceKind::Deparser => 160,
         ResourceKind::KeyExtractor => 38,
         ResourceKind::KeyMask => 193,
@@ -274,7 +292,7 @@ pub fn axil_writes_for(kind: ResourceKind) -> u32 {
         ResourceKind::ActionTable => 625,
         ResourceKind::SegmentTable => 16,
     };
-    (bits + 31) / 32
+    bits.div_ceil(32)
 }
 
 #[cfg(test)]
@@ -328,13 +346,19 @@ mod tests {
             ResourceKind::KeyExtractor,
             2,
             7,
-            WritePayload::KeyExtract(KeyExtractEntry { slots_4b: [3, 2], ..Default::default() }),
+            WritePayload::KeyExtract(KeyExtractEntry {
+                slots_4b: [3, 2],
+                ..Default::default()
+            }),
         ));
         round_trip(ReconfigCommand::write(
             ResourceKind::KeyMask,
             1,
             7,
-            WritePayload::KeyMask(KeyMask::for_slots([true, false, true, false, false, false], true)),
+            WritePayload::KeyMask(KeyMask::for_slots(
+                [true, false, true, false, false, false],
+                true,
+            )),
         ));
         let mut key = LookupKey::default();
         key.bytes[12..16].copy_from_slice(&0x0a000002u32.to_be_bytes());
@@ -342,7 +366,10 @@ mod tests {
             ResourceKind::MatchTable,
             4,
             9,
-            WritePayload::MatchEntry { key, module_id: 0x7ff },
+            WritePayload::MatchEntry {
+                key,
+                module_id: 0x7ff,
+            },
         ));
         round_trip(ReconfigCommand::write(
             ResourceKind::ActionTable,

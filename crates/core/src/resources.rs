@@ -43,7 +43,10 @@ impl ResourceChecker {
             SharingPolicy::EqualShare { max_modules } => {
                 let share = |total: usize| (total / max_modules.max(1)).max(1);
                 ResourceAllocation {
-                    match_entries_per_stage: vec![share(self.params.cam_depth); self.params.num_stages],
+                    match_entries_per_stage: vec![
+                        share(self.params.cam_depth);
+                        self.params.num_stages
+                    ],
                     stateful_words_per_stage: vec![
                         share(self.params.stateful_words);
                         self.params.num_stages
@@ -67,7 +70,11 @@ impl ResourceChecker {
             });
         }
         for (stage, used) in usage.match_entries_per_stage.iter().enumerate() {
-            let allocated = allocation.match_entries_per_stage.get(stage).copied().unwrap_or(0);
+            let allocated = allocation
+                .match_entries_per_stage
+                .get(stage)
+                .copied()
+                .unwrap_or(0);
             if *used > allocated {
                 return Err(CoreError::AllocationExceeded {
                     resource: format!("match entries, stage {stage}"),
@@ -77,7 +84,11 @@ impl ResourceChecker {
             }
         }
         for (stage, used) in usage.stateful_words_per_stage.iter().enumerate() {
-            let allocated = allocation.stateful_words_per_stage.get(stage).copied().unwrap_or(0);
+            let allocated = allocation
+                .stateful_words_per_stage
+                .get(stage)
+                .copied()
+                .unwrap_or(0);
             if *used > allocated {
                 return Err(CoreError::AllocationExceeded {
                     resource: format!("stateful memory, stage {stage}"),
@@ -132,7 +143,10 @@ mod tests {
         let grant = checker.grant(&ResourceAllocation::uniform(5, 0, 0));
         assert_eq!(grant.match_entries_per_stage, vec![2; 5]);
         assert_eq!(grant.stateful_words_per_stage, vec![512; 5]);
-        assert_eq!(checker.policy(), SharingPolicy::EqualShare { max_modules: 8 });
+        assert_eq!(
+            checker.policy(),
+            SharingPolicy::EqualShare { max_modules: 8 }
+        );
     }
 
     #[test]
@@ -140,7 +154,9 @@ mod tests {
         let checker = ResourceChecker::new(TABLE5, SharingPolicy::EqualShare { max_modules: 8 });
         let allocation = ResourceAllocation::uniform(5, 2, 64);
         assert!(checker.check(&config_with_rules(2), &allocation).is_ok());
-        let err = checker.check(&config_with_rules(3), &allocation).unwrap_err();
+        let err = checker
+            .check(&config_with_rules(3), &allocation)
+            .unwrap_err();
         assert!(matches!(err, CoreError::AllocationExceeded { .. }));
         assert!(err.to_string().contains("stage 0"));
     }
@@ -162,10 +178,13 @@ mod tests {
         allocation.phv_containers = 0;
         // Give the module a parser action so its usage exceeds the zero grant.
         let mut config = config;
-        config.parser = menshen_rmt::config::ParserEntry::new(vec![
-            menshen_rmt::config::ParseAction::new(0, menshen_rmt::phv::ContainerRef::h2(0)).unwrap(),
-        ])
-        .unwrap();
+        config.parser =
+            menshen_rmt::config::ParserEntry::new(vec![menshen_rmt::config::ParseAction::new(
+                0,
+                menshen_rmt::phv::ContainerRef::h2(0),
+            )
+            .unwrap()])
+            .unwrap();
         assert!(checker.check(&config, &allocation).is_err());
         assert_eq!(checker.params().num_stages, 5);
     }

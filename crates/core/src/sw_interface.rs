@@ -94,21 +94,26 @@ impl ControlPlane {
         let slot = self
             .pipeline
             .module_slot(module)
-            .ok_or(CoreError::UnknownModule { module_id: module.value() })?;
+            .ok_or(CoreError::UnknownModule {
+                module_id: module.value(),
+            })?;
         let _ = slot;
         // Find a free CAM address inside the module's allocated range.
-        let index = self
-            .find_free_cam_index(module, stage)?
-            .ok_or(CoreError::InsufficientResource {
-                resource: format!("match entries, stage {stage}"),
-                requested: 1,
-                available: 0,
-            })?;
+        let index =
+            self.find_free_cam_index(module, stage)?
+                .ok_or(CoreError::InsufficientResource {
+                    resource: format!("match entries, stage {stage}"),
+                    requested: 1,
+                    available: 0,
+                })?;
         self.pipeline.apply_command(&ReconfigCommand::write(
             ResourceKind::MatchTable,
             stage as u8,
             index as u8,
-            WritePayload::MatchEntry { key: rule.key, module_id: module.value() },
+            WritePayload::MatchEntry {
+                key: rule.key,
+                module_id: module.value(),
+            },
         ))?;
         self.pipeline.apply_command(&ReconfigCommand::write(
             ResourceKind::ActionTable,
@@ -127,11 +132,13 @@ impl ControlPlane {
         let pipeline = self.pipeline();
         let params = *pipeline.params();
         if stage >= params.num_stages {
-            return Err(CoreError::Rmt(menshen_rmt::RmtError::TableIndexOutOfRange {
-                table: "pipeline stages",
-                index: stage,
-                depth: params.num_stages,
-            }));
+            return Err(CoreError::Rmt(
+                menshen_rmt::RmtError::TableIndexOutOfRange {
+                    table: "pipeline stages",
+                    index: stage,
+                    depth: params.num_stages,
+                },
+            ));
         }
         for index in 0..params.cam_depth {
             let owner = pipeline.cam_entry_owner(stage, index);
@@ -149,7 +156,9 @@ impl ControlPlane {
     pub fn module_counters(&self, module: ModuleId) -> Result<ModuleCounters> {
         self.pipeline
             .module_counters(module)
-            .ok_or(CoreError::UnknownModule { module_id: module.value() })
+            .ok_or(CoreError::UnknownModule {
+                module_id: module.value(),
+            })
     }
 
     /// Reads one word of a module's stateful memory (module-local address).
@@ -184,12 +193,12 @@ impl ControlPlane {
 mod tests {
     use super::*;
     use crate::module::StageModuleConfig;
+    use menshen_packet::PacketBuilder;
     use menshen_rmt::action::{AluInstruction, VliwAction};
     use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
     use menshen_rmt::match_table::LookupKey;
     use menshen_rmt::phv::ContainerRef as C;
     use menshen_rmt::TABLE5;
-    use menshen_packet::PacketBuilder;
 
     fn port_rewrite_module(module_id: u16, dst_ip: u32, port: u16) -> ModuleConfig {
         let mut config = ModuleConfig::empty(ModuleId::new(module_id), "rewrite", 5);
@@ -200,11 +209,24 @@ mod tests {
         .unwrap();
         config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
         config.stages[0] = StageModuleConfig {
-            key_extract: Some(KeyExtractEntry { slots_4b: [1, 0], ..Default::default() }),
-            key_mask: Some(KeyMask::for_slots([false, false, true, false, false, false], false)),
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
             rules: vec![MatchRule {
                 key: LookupKey::from_slots(
-                    [(0, 6), (0, 6), (u64::from(dst_ip), 4), (0, 4), (0, 2), (0, 2)],
+                    [
+                        (0, 6),
+                        (0, 6),
+                        (u64::from(dst_ip), 4),
+                        (0, 4),
+                        (0, 2),
+                        (0, 2),
+                    ],
                     false,
                 ),
                 action: VliwAction::nop().with(C::h2(0), AluInstruction::set(port)),
@@ -239,7 +261,8 @@ mod tests {
     #[test]
     fn load_send_and_read_stats() {
         let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
-        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080))
+            .unwrap();
         let packet = PacketBuilder::udp_data(4, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0u8; 4]);
         let verdict = cp.send(packet);
         assert!(verdict.is_forwarded());
@@ -256,7 +279,8 @@ mod tests {
     #[test]
     fn runtime_entry_insertion() {
         let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
-        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080))
+            .unwrap();
         // Add a second destination at run time.
         let rule = MatchRule {
             key: LookupKey::from_slots(
@@ -278,8 +302,10 @@ mod tests {
     #[test]
     fn update_and_remove_round_trip() {
         let mut cp = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
-        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080)).unwrap();
-        cp.update_module(&port_rewrite_module(4, 0x0a00_0002, 1234)).unwrap();
+        cp.load_module(&port_rewrite_module(4, 0x0a00_0002, 8080))
+            .unwrap();
+        cp.update_module(&port_rewrite_module(4, 0x0a00_0002, 1234))
+            .unwrap();
         let packet = PacketBuilder::udp_data(4, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[0u8; 4]);
         assert_eq!(cp.send(packet).packet().unwrap().udp_dst_port(), Some(1234));
         cp.remove_module(ModuleId::new(4)).unwrap();

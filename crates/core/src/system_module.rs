@@ -68,7 +68,12 @@ impl SystemModule {
     }
 
     /// Installs a virtual-IP → physical-IP mapping for one tenant module.
-    pub fn add_virtual_ip(&mut self, module_id: u16, virtual_ip: Ipv4Address, physical_ip: Ipv4Address) {
+    pub fn add_virtual_ip(
+        &mut self,
+        module_id: u16,
+        virtual_ip: Ipv4Address,
+        physical_ip: Ipv4Address,
+    ) {
         self.vip_to_pip
             .insert((module_id, virtual_ip.to_u32()), physical_ip.to_u32());
     }
@@ -124,7 +129,11 @@ impl SystemModule {
             .get(&(module_id, dst_ip.to_u32()))
             .copied()
             .unwrap_or_else(|| dst_ip.to_u32());
-        let port = self.routes.get(&physical).copied().unwrap_or(self.default_port);
+        let port = self
+            .routes
+            .get(&physical)
+            .copied()
+            .unwrap_or(self.default_port);
         ForwardingDecision::Unicast(port)
     }
 }
@@ -155,8 +164,16 @@ mod tests {
         sys.add_route(Ipv4Address::new(172, 16, 0, 1), 1);
         sys.add_route(Ipv4Address::new(172, 16, 0, 2), 2);
         // The same virtual IP maps to different physical hosts per tenant.
-        sys.add_virtual_ip(10, Ipv4Address::new(192, 168, 0, 5), Ipv4Address::new(172, 16, 0, 1));
-        sys.add_virtual_ip(11, Ipv4Address::new(192, 168, 0, 5), Ipv4Address::new(172, 16, 0, 2));
+        sys.add_virtual_ip(
+            10,
+            Ipv4Address::new(192, 168, 0, 5),
+            Ipv4Address::new(172, 16, 0, 1),
+        );
+        sys.add_virtual_ip(
+            11,
+            Ipv4Address::new(192, 168, 0, 5),
+            Ipv4Address::new(172, 16, 0, 2),
+        );
         let phv = Phv::zeroed();
         assert_eq!(
             sys.egress(10, Ipv4Address::new(192, 168, 0, 5), &phv),

@@ -9,10 +9,10 @@
 //! benches scale the match-table depth to show the overhead becoming
 //! negligible as tables grow (the paper's concluding observation).
 
-use serde::Serialize;
+use menshen_json::{Json, ToJson};
 
 /// Area of one pipeline component, mm², baseline RMT vs Menshen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentArea {
     /// Component name.
     pub name: &'static str,
@@ -29,8 +29,18 @@ impl ComponentArea {
     }
 }
 
+impl ToJson for ComponentArea {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("rmt_mm2", Json::from(self.rmt_mm2)),
+            ("menshen_mm2", Json::from(self.menshen_mm2)),
+        ])
+    }
+}
+
 /// The full ASIC area report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AsicAreaReport {
     /// Per-component areas.
     pub components: Vec<ComponentArea>,
@@ -43,6 +53,18 @@ pub struct AsicAreaReport {
     /// Effective whole-chip overhead, assuming match-action memory and logic
     /// are `chip_fraction` of the switch chip.
     pub chip_overhead: f64,
+}
+
+impl ToJson for AsicAreaReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("components", self.components.to_json()),
+            ("rmt_total_mm2", Json::from(self.rmt_total_mm2)),
+            ("menshen_total_mm2", Json::from(self.menshen_total_mm2)),
+            ("pipeline_overhead", Json::from(self.pipeline_overhead)),
+            ("chip_overhead", Json::from(self.chip_overhead)),
+        ])
+    }
 }
 
 /// Parameterised ASIC area model.
@@ -152,7 +174,11 @@ mod tests {
     #[test]
     fn default_model_reproduces_section_5_2() {
         let report = AsicAreaModel::default().report();
-        assert!((report.rmt_total_mm2 - 9.71).abs() < 0.15, "RMT {}", report.rmt_total_mm2);
+        assert!(
+            (report.rmt_total_mm2 - 9.71).abs() < 0.15,
+            "RMT {}",
+            report.rmt_total_mm2
+        );
         assert!(
             (report.menshen_total_mm2 - 10.81).abs() < 0.15,
             "Menshen {}",

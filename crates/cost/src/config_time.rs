@@ -13,7 +13,7 @@
 
 use menshen_core::reconfig::axil_writes_for;
 use menshen_core::ResourceKind;
-use serde::Serialize;
+use menshen_json::{Json, ToJson};
 
 /// Calibrated software/hardware costs of the configuration paths.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +51,7 @@ impl Default for ConfigTimeModel {
 
 /// One bar group of Figure 12: AXI-Lite vs daisy chain for one resource of
 /// one stage.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure12Row {
     /// Stage index.
     pub stage: usize,
@@ -63,8 +63,19 @@ pub struct Figure12Row {
     pub daisy_chain_ms: f64,
 }
 
+impl ToJson for Figure12Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stage", Json::from(self.stage)),
+            ("resource", Json::from(self.resource.clone())),
+            ("axil_ms", Json::from(self.axil_ms)),
+            ("daisy_chain_ms", Json::from(self.daisy_chain_ms)),
+        ])
+    }
+}
+
 /// Comparison row used by the Figure 9 bench.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TofinoComparison {
     /// Number of match-action entries configured.
     pub entries: usize,
@@ -72,6 +83,16 @@ pub struct TofinoComparison {
     pub menshen_ms: f64,
     /// Tofino runtime-API insertion time, ms.
     pub tofino_ms: f64,
+}
+
+impl ToJson for TofinoComparison {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", Json::from(self.entries)),
+            ("menshen_ms", Json::from(self.menshen_ms)),
+            ("tofino_ms", Json::from(self.tofino_ms)),
+        ])
+    }
 }
 
 impl ConfigTimeModel {
@@ -172,7 +193,10 @@ mod tests {
             assert!(row.axil_ms > 0.0 && row.daisy_chain_ms > 0.0);
         }
         // The VLIW action table costs more over AXI-L than the CAM (wider entries).
-        let vliw = rows.iter().find(|r| r.resource == "VLIW action table").unwrap();
+        let vliw = rows
+            .iter()
+            .find(|r| r.resource == "VLIW action table")
+            .unwrap();
         let cam = rows.iter().find(|r| r.resource == "CAM").unwrap();
         assert!(vliw.axil_ms > cam.axil_ms);
     }

@@ -9,10 +9,10 @@
 //! modules (§5.2: the overhead is a function of how much hardware one is
 //! willing to pay for multitenancy).
 
-use serde::Serialize;
+use menshen_json::{Json, ToJson};
 
 /// Resource usage of one hardware configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaResources {
     /// Human-readable configuration name.
     pub name: &'static str,
@@ -33,11 +33,29 @@ const NETFPGA_TOTAL_BRAMS: f64 = 1_470.0;
 const U250_TOTAL_LUTS: f64 = 1_728_000.0;
 const U250_TOTAL_BRAMS: f64 = 2_688.0;
 
+impl ToJson for FpgaResources {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("luts", Json::from(self.luts)),
+            ("luts_pct", Json::from(self.luts_pct)),
+            ("brams", Json::from(self.brams)),
+            ("brams_pct", Json::from(self.brams_pct)),
+        ])
+    }
+}
+
 /// The rows of Table 4 (paper-reported values).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// The six rows of the table.
     pub rows: Vec<FpgaResources>,
+}
+
+impl ToJson for Table4 {
+    fn to_json(&self) -> Json {
+        Json::obj([("rows", self.rows.to_json())])
+    }
 }
 
 /// Parameterised model of Menshen's FPGA overhead over baseline RMT.
@@ -52,7 +70,10 @@ pub struct FpgaResourceModel {
 
 impl Default for FpgaResourceModel {
     fn default() -> Self {
-        FpgaResourceModel { max_modules: 32, num_stages: 5 }
+        FpgaResourceModel {
+            max_modules: 32,
+            num_stages: 5,
+        }
     }
 }
 
@@ -169,8 +190,14 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_module_count() {
-        let small = FpgaResourceModel { max_modules: 16, num_stages: 5 };
-        let large = FpgaResourceModel { max_modules: 64, num_stages: 5 };
+        let small = FpgaResourceModel {
+            max_modules: 16,
+            num_stages: 5,
+        };
+        let large = FpgaResourceModel {
+            max_modules: 64,
+            num_stages: 5,
+        };
         assert!(large.netfpga_isolation_luts() > small.netfpga_isolation_luts());
         assert!(large.corundum_isolation_luts() > 2.0 * small.corundum_isolation_luts());
     }

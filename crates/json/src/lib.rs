@@ -1,0 +1,285 @@
+//! Dependency-free JSON document building and pretty-printing.
+//!
+//! The build environment has no access to crates.io, so the report and
+//! benchmark binaries cannot use `serde`/`serde_json`. This crate provides
+//! the small surface they actually need: an ordered [`Json`] value type, a
+//! [`ToJson`] conversion trait, and a pretty printer producing stable,
+//! diff-friendly output (object keys keep insertion order).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// An ordered JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite floats print as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, V: Into<Json>, I: IntoIterator<Item = (K, V)>>(pairs: I) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Builds an array by converting each item.
+    pub fn arr<V: Into<Json>, I: IntoIterator<Item = V>>(items: I) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Serialises the value as pretty-printed JSON (2-space indent).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+/// Conversion into a [`Json`] value (the role `serde::Serialize` played).
+pub trait ToJson {
+    /// Converts `self` into a JSON document.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            self.0.to_json(),
+            self.1.to_json(),
+            self.2.to_json(),
+            self.3.to_json(),
+        ])
+    }
+}
+
+macro_rules! impl_tojson_via_into {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::from(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_tojson_via_into!(bool, f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, String);
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Json {
+            fn from(v: $ty) -> Json {
+                Json::Num(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_num!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_documents() {
+        let doc = Json::obj([
+            ("name", Json::from("batch")),
+            ("pps", Json::from(12_500_000.5)),
+            ("sizes", Json::arr([64u32, 256, 1500])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.pretty();
+        assert!(text.starts_with("{\n  \"name\": \"batch\""));
+        assert!(text.contains("\"pps\": 12500000.5"));
+        assert!(text.contains("\"sizes\": [\n    64,\n    256,\n    1500\n  ]"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with('}'));
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(Json::from(5.0).pretty(), "5");
+        assert_eq!(Json::from(5.25).pretty(), "5.25");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\nd").pretty(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let doc = Json::obj([("z", 1u8), ("a", 2u8)]);
+        let text = doc.pretty();
+        assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+}

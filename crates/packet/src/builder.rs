@@ -277,8 +277,7 @@ mod tests {
     fn exact_frame_lengths() {
         let builder = PacketBuilder::new().with_vlan(1);
         for &len in &[64usize, 96, 128, 256, 512, 1024, 1500] {
-            let pkt =
-                builder.build_udp_with_len([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, len);
+            let pkt = builder.build_udp_with_len([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, len);
             assert_eq!(pkt.len(), len, "frame length {len}");
             assert!(pkt.parse_headers().is_ok());
         }

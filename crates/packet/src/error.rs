@@ -30,7 +30,10 @@ pub enum PacketError {
 impl fmt::Display for PacketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PacketError::Truncated { required, available } => write!(
+            PacketError::Truncated {
+                required,
+                available,
+            } => write!(
                 f,
                 "buffer truncated: {required} bytes required, {available} available"
             ),
@@ -72,11 +75,9 @@ mod tests {
         assert!(s.contains("3"));
         assert!(PacketError::BadChecksum.to_string().contains("checksum"));
         assert!(PacketError::MissingVlan.to_string().contains("VLAN"));
-        assert!(
-            PacketError::FieldRange { field: "vlan_id" }
-                .to_string()
-                .contains("vlan_id")
-        );
+        assert!(PacketError::FieldRange { field: "vlan_id" }
+            .to_string()
+            .contains("vlan_id"));
     }
 
     #[test]

@@ -285,7 +285,7 @@ impl Ipv4Repr {
         header.set_dscp(self.dscp);
         header.set_total_len(total as u16);
         header.set_identification(0);
-        header.buffer.as_mut()[6..8].copy_from_slice(&[0x40, 0]); // DF, no fragments
+        header.buffer[6..8].copy_from_slice(&[0x40, 0]); // DF, no fragments
         header.set_ttl(self.ttl);
         header.set_protocol(self.protocol);
         header.set_src_addr(self.src);
@@ -334,7 +334,7 @@ mod tests {
 
     #[test]
     fn non_v4_rejected() {
-        let mut buf = vec![0u8; 20];
+        let mut buf = [0u8; 20];
         buf[0] = 0x65; // version 6
         assert_eq!(
             Ipv4Header::new_checked(&buf[..]).err(),
@@ -344,13 +344,13 @@ mod tests {
 
     #[test]
     fn bad_ihl_rejected() {
-        let mut buf = vec![0u8; 20];
+        let mut buf = [0u8; 20];
         buf[0] = 0x43; // version 4, IHL 3 (12 bytes < 20)
         assert_eq!(
             Ipv4Header::new_checked(&buf[..]).err(),
             Some(PacketError::BadLength)
         );
-        let mut buf = vec![0u8; 20];
+        let mut buf = [0u8; 20];
         buf[0] = 0x46; // IHL 6 = 24 bytes, but buffer has 20
         assert_eq!(
             Ipv4Header::new_checked(&buf[..]).err(),

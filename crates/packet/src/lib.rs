@@ -44,7 +44,7 @@ pub use mac::EthernetAddress;
 pub use packet::{Packet, ParsedHeaders};
 pub use tcp::{TcpHeader, TcpRepr};
 pub use udp::{UdpHeader, UdpRepr};
-pub use vlan::{VlanId, VlanTag, VlanRepr};
+pub use vlan::{VlanId, VlanRepr, VlanTag};
 
 /// Result alias used across the crate.
 pub type Result<T> = core::result::Result<T, PacketError>;

@@ -158,21 +158,27 @@ impl Packet {
     pub fn ipv4_src(&self) -> Option<Ipv4Address> {
         let headers = self.parse_headers().ok()?;
         let off = headers.ipv4?;
-        Ipv4Header::new_checked(&self.data[off..]).ok().map(|h| h.src_addr())
+        Ipv4Header::new_checked(&self.data[off..])
+            .ok()
+            .map(|h| h.src_addr())
     }
 
     /// Convenience accessor: IPv4 destination address, if the packet is IPv4.
     pub fn ipv4_dst(&self) -> Option<Ipv4Address> {
         let headers = self.parse_headers().ok()?;
         let off = headers.ipv4?;
-        Ipv4Header::new_checked(&self.data[off..]).ok().map(|h| h.dst_addr())
+        Ipv4Header::new_checked(&self.data[off..])
+            .ok()
+            .map(|h| h.dst_addr())
     }
 
     /// Convenience accessor: UDP destination port, if the packet is UDP.
     pub fn udp_dst_port(&self) -> Option<u16> {
         let headers = self.parse_headers().ok()?;
         let off = headers.udp?;
-        UdpHeader::new_checked(&self.data[off..]).ok().map(|h| h.dst_port())
+        UdpHeader::new_checked(&self.data[off..])
+            .ok()
+            .map(|h| h.dst_port())
     }
 
     /// Convenience accessor: the transport payload slice, if present.
@@ -248,8 +254,7 @@ mod tests {
             &[0u8; 16],
         );
         assert!(pkt.is_reconfiguration());
-        let data =
-            PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 9, 4000, &[0u8; 16]);
+        let data = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 9, 4000, &[0u8; 16]);
         assert!(!data.is_reconfiguration());
     }
 

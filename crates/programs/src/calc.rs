@@ -69,9 +69,13 @@ impl Calc {
         payload.extend_from_slice(&a.to_be_bytes());
         payload.extend_from_slice(&b.to_be_bytes());
         payload.extend_from_slice(&0u32.to_be_bytes()); // result placeholder
-        PacketBuilder::new()
-            .with_vlan(module_id)
-            .build_udp([10, 0, 0, 1], [10, 0, 0, 2], 4000, 5000, &payload)
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4000,
+            5000,
+            &payload,
+        )
     }
 
     fn read_operands(packet: &Packet) -> Option<(u16, u32, u32)> {
@@ -98,9 +102,11 @@ impl EvaluatedProgram for Calc {
         let stage = compiled.table("calc_table").expect("declared table").stage;
         let mut config = compiled.config.clone();
         for (value, action) in [(OP_ADD, "do_add"), (OP_SUB, "do_sub"), (OP_DROP, "do_drop")] {
-            config.stages[stage]
-                .rules
-                .push(compiled.rule("calc_table", &[(&opcode, u64::from(value))], action)?);
+            config.stages[stage].rules.push(compiled.rule(
+                "calc_table",
+                &[(&opcode, u64::from(value))],
+                action,
+            )?);
         }
         Ok(config)
     }
@@ -110,7 +116,7 @@ impl EvaluatedProgram for Calc {
         (0..count)
             .map(|_| {
                 let opcode = *[OP_ADD, OP_SUB, OP_DROP]
-                    .get(rng.gen_range(0..3))
+                    .get(rng.gen_range(0..3usize))
                     .expect("index in range");
                 // Keep operands ordered so subtraction never wraps; wrapping is
                 // well-defined in the ALU but makes the oracle noisier to read.
@@ -126,7 +132,13 @@ impl EvaluatedProgram for Calc {
             return false;
         };
         match (opcode, verdict) {
-            (OP_DROP, Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }) => true,
+            (
+                OP_DROP,
+                Verdict::Dropped {
+                    reason: DropReason::ModuleDiscard,
+                    ..
+                },
+            ) => true,
             (OP_ADD, Verdict::Forwarded { packet, .. }) => {
                 packet.read_be(HEADER_OFFSET + 10, 4) == Some(u64::from(a.wrapping_add(b)))
             }
@@ -168,7 +180,10 @@ mod tests {
         let drop = Calc::build_packet(3, OP_DROP, 1, 2);
         assert!(matches!(
             pipeline.process(drop),
-            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }
+            Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                ..
+            }
         ));
 
         // Unknown opcodes miss the table and pass through unchanged.

@@ -132,7 +132,10 @@ impl EvaluatedProgram for Firewall {
         };
         let is_blocked = block_list().contains(&(src, port));
         match verdict {
-            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. } => is_blocked,
+            Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                ..
+            } => is_blocked,
             Verdict::Forwarded { packet, .. } => {
                 // The firewall never rewrites packet contents.
                 !is_blocked && packet.bytes() == input.bytes()
@@ -156,7 +159,10 @@ mod tests {
         let blocked = Firewall::build_packet(2, Ipv4Address::new(10, 0, 0, 13), 80);
         assert!(matches!(
             pipeline.process(blocked),
-            Verdict::Dropped { reason: DropReason::ModuleDiscard, .. }
+            Verdict::Dropped {
+                reason: DropReason::ModuleDiscard,
+                ..
+            }
         ));
 
         // Same source, different port: passes.

@@ -77,9 +77,17 @@ impl EvaluatedProgram for LoadBalancing {
     fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
         let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
         let src_port = FieldRef::new("udp", "src_port");
-        let stage = compiled.table("flow_steering").expect("declared table").stage;
+        let stage = compiled
+            .table("flow_steering")
+            .expect("declared table")
+            .stage;
         let mut config = compiled.config.clone();
-        let actions = ["to_backend_1", "to_backend_2", "to_backend_3", "to_backend_4"];
+        let actions = [
+            "to_backend_1",
+            "to_backend_2",
+            "to_backend_3",
+            "to_backend_4",
+        ];
         for flow in 0..NUM_FLOWS {
             let port = FLOW_PORT_BASE + flow;
             let action = actions[usize::from(backend_for(port))];
@@ -103,17 +111,19 @@ impl EvaluatedProgram for LoadBalancing {
     }
 
     fn check_output(&self, input: &Packet, verdict: &Verdict) -> bool {
-        let src_port = match input.parse_headers().ok().and_then(|h| h.udp).and_then(|off| {
-            input.read_be(off, 2)
-        }) {
+        let src_port = match input
+            .parse_headers()
+            .ok()
+            .and_then(|h| h.udp)
+            .and_then(|off| input.read_be(off, 2))
+        {
             Some(port) => port as u16,
             None => return false,
         };
         let backend = backend_for(src_port);
         match verdict {
             Verdict::Forwarded { packet, ports, .. } => {
-                packet.udp_dst_port() == Some(8001 + backend)
-                    && ports == &vec![11 + backend]
+                packet.udp_dst_port() == Some(8001 + backend) && ports == &vec![11 + backend]
             }
             _ => false,
         }
@@ -129,7 +139,9 @@ mod tests {
     #[test]
     fn flows_are_pinned_to_backends() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&LoadBalancing.build(4).unwrap()).unwrap();
+        pipeline
+            .load_module(&LoadBalancing.build(4).unwrap())
+            .unwrap();
         // The same flow always lands on the same backend.
         for _ in 0..3 {
             let packet = LoadBalancing::build_packet(4, 1002);
@@ -155,7 +167,9 @@ mod tests {
     #[test]
     fn oracle_matches_pipeline() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&LoadBalancing.build(4).unwrap()).unwrap();
+        pipeline
+            .load_module(&LoadBalancing.build(4).unwrap())
+            .unwrap();
         for packet in LoadBalancing.packets(4, 50, 5) {
             let verdict = pipeline.process(packet.clone());
             assert!(LoadBalancing.check_output(&packet, &verdict));

@@ -71,7 +71,10 @@ impl EvaluatedProgram for Multicast {
     fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
         let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
         let dst = FieldRef::new("ipv4", "dst_addr");
-        let stage = compiled.table("group_membership").expect("declared table").stage;
+        let stage = compiled
+            .table("group_membership")
+            .expect("declared table")
+            .stage;
         let mut config = compiled.config.clone();
         for (group, _) in groups() {
             config.stages[stage].rules.push(compiled.rule(
@@ -109,7 +112,10 @@ impl EvaluatedProgram for Multicast {
             Some(dst) => dst,
             None => return false,
         };
-        let expected_ports = groups().into_iter().find(|(g, _)| *g == dst).map(|(_, p)| p);
+        let expected_ports = groups()
+            .into_iter()
+            .find(|(g, _)| *g == dst)
+            .map(|(_, p)| p);
         match verdict {
             Verdict::Forwarded { ports, .. } => match expected_ports {
                 Some(expected) => ports == &expected,

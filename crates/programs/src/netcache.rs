@@ -102,9 +102,17 @@ impl EvaluatedProgram for NetCache {
     fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
         let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
         let key = FieldRef::new("kv_hdr", "key");
-        let stage = compiled.table("cache_lookup").expect("declared table").stage;
+        let stage = compiled
+            .table("cache_lookup")
+            .expect("declared table")
+            .stage;
         let mut config = compiled.config.clone();
-        let actions = ["serve_slot_0", "serve_slot_1", "serve_slot_2", "serve_slot_3"];
+        let actions = [
+            "serve_slot_0",
+            "serve_slot_1",
+            "serve_slot_2",
+            "serve_slot_3",
+        ];
         for (slot, cached_key) in CACHED_KEYS.iter().enumerate() {
             config.stages[stage].rules.push(compiled.rule(
                 "cache_lookup",

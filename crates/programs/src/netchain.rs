@@ -90,7 +90,10 @@ impl EvaluatedProgram for NetChain {
     fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
         let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
         let op = FieldRef::new("chain_hdr", "op");
-        let stage = compiled.table("sequence_requests").expect("declared table").stage;
+        let stage = compiled
+            .table("sequence_requests")
+            .expect("declared table")
+            .stage;
         let mut config = compiled.config.clone();
         config.stages[stage].rules.push(compiled.rule(
             "sequence_requests",
@@ -106,7 +109,11 @@ impl EvaluatedProgram for NetChain {
             .map(|_| {
                 // Mostly sequencing requests, occasionally an unrelated opcode
                 // that must pass through untouched.
-                let op = if rng.gen_range(0..10) < 9 { OP_SEQUENCE } else { 7 };
+                let op = if rng.gen_range(0..10) < 9 {
+                    OP_SEQUENCE
+                } else {
+                    7
+                };
                 Self::build_packet(module_id, op)
             })
             .collect()

@@ -143,7 +143,11 @@ mod tests {
     fn classes_map_to_queues() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
         pipeline.load_module(&Qos.build(5).unwrap()).unwrap();
-        for (port, queue) in [(VIDEO_PORT, HIGH_QUEUE), (VOICE_PORT, MEDIUM_QUEUE), (BULK_PORT, LOW_QUEUE)] {
+        for (port, queue) in [
+            (VIDEO_PORT, HIGH_QUEUE),
+            (VOICE_PORT, MEDIUM_QUEUE),
+            (BULK_PORT, LOW_QUEUE),
+        ] {
             match pipeline.process(Qos::build_packet(5, port)) {
                 Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![queue]),
                 other => panic!("unexpected {other:?}"),

@@ -76,7 +76,10 @@ impl EvaluatedProgram for SourceRouting {
     fn build(&self, module_id: u16) -> Result<ModuleConfig, CompileError> {
         let compiled = compile_source(SOURCE, &CompileOptions::new(module_id))?;
         let next_hop = FieldRef::new("sr_hdr", "next_hop");
-        let stage = compiled.table("route_by_hop").expect("declared table").stage;
+        let stage = compiled
+            .table("route_by_hop")
+            .expect("declared table")
+            .stage;
         let mut config = compiled.config.clone();
         let actions = ["to_port_1", "to_port_2", "to_port_3", "to_port_4"];
         for hop in 1..=NUM_PORTS {
@@ -126,7 +129,9 @@ mod tests {
     #[test]
     fn packets_follow_their_embedded_route() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&SourceRouting.build(6).unwrap()).unwrap();
+        pipeline
+            .load_module(&SourceRouting.build(6).unwrap())
+            .unwrap();
         for hop in 1..=NUM_PORTS {
             match pipeline.process(SourceRouting::build_packet(6, hop, 5)) {
                 Verdict::Forwarded { packet, ports, .. } => {
@@ -141,7 +146,9 @@ mod tests {
     #[test]
     fn oracle_matches_pipeline() {
         let mut pipeline = MenshenPipeline::new(TABLE5);
-        pipeline.load_module(&SourceRouting.build(6).unwrap()).unwrap();
+        pipeline
+            .load_module(&SourceRouting.build(6).unwrap())
+            .unwrap();
         for packet in SourceRouting.packets(6, 40, 3) {
             let verdict = pipeline.process(packet.clone());
             assert!(SourceRouting.check_output(&packet, &verdict));

@@ -79,6 +79,10 @@ mod tests {
             &CompileOptions::new(SYSTEM_MODULE_ID).with_initial_entries(64),
         )
         .unwrap();
-        assert_eq!(compiled.generated_entries(), 128, "64 entries in each of 2 tables");
+        assert_eq!(
+            compiled.generated_entries(),
+            128,
+            "64 entries in each of 2 tables"
+        );
     }
 }

@@ -81,8 +81,14 @@ impl AluOp {
     pub const fn uses_immediate(self) -> bool {
         matches!(
             self,
-            AluOp::AddI | AluOp::SubI | AluOp::Set | AluOp::Load | AluOp::Store | AluOp::LoadD
-                | AluOp::Port | AluOp::Discard
+            AluOp::AddI
+                | AluOp::SubI
+                | AluOp::Set
+                | AluOp::Load
+                | AluOp::Store
+                | AluOp::LoadD
+                | AluOp::Port
+                | AluOp::Discard
         )
     }
 }
@@ -137,52 +143,92 @@ pub struct AluInstruction {
 impl AluInstruction {
     /// `dst = a + b` with both operands from containers.
     pub fn add(a: ContainerRef, b: ContainerRef) -> Self {
-        AluInstruction { op: AluOp::Add, operand_a: Some(a), operand_b: Operand::Container(b) }
+        AluInstruction {
+            op: AluOp::Add,
+            operand_a: Some(a),
+            operand_b: Operand::Container(b),
+        }
     }
 
     /// `dst = a - b` with both operands from containers.
     pub fn sub(a: ContainerRef, b: ContainerRef) -> Self {
-        AluInstruction { op: AluOp::Sub, operand_a: Some(a), operand_b: Operand::Container(b) }
+        AluInstruction {
+            op: AluOp::Sub,
+            operand_a: Some(a),
+            operand_b: Operand::Container(b),
+        }
     }
 
     /// `dst = a + imm`.
     pub fn addi(a: ContainerRef, imm: u16) -> Self {
-        AluInstruction { op: AluOp::AddI, operand_a: Some(a), operand_b: Operand::Immediate(imm) }
+        AluInstruction {
+            op: AluOp::AddI,
+            operand_a: Some(a),
+            operand_b: Operand::Immediate(imm),
+        }
     }
 
     /// `dst = a - imm`.
     pub fn subi(a: ContainerRef, imm: u16) -> Self {
-        AluInstruction { op: AluOp::SubI, operand_a: Some(a), operand_b: Operand::Immediate(imm) }
+        AluInstruction {
+            op: AluOp::SubI,
+            operand_a: Some(a),
+            operand_b: Operand::Immediate(imm),
+        }
     }
 
     /// `dst = imm`.
     pub fn set(imm: u16) -> Self {
-        AluInstruction { op: AluOp::Set, operand_a: None, operand_b: Operand::Immediate(imm) }
+        AluInstruction {
+            op: AluOp::Set,
+            operand_a: None,
+            operand_b: Operand::Immediate(imm),
+        }
     }
 
     /// `dst = stateful[addr]`.
     pub fn load(addr: u16) -> Self {
-        AluInstruction { op: AluOp::Load, operand_a: None, operand_b: Operand::Immediate(addr) }
+        AluInstruction {
+            op: AluOp::Load,
+            operand_a: None,
+            operand_b: Operand::Immediate(addr),
+        }
     }
 
     /// `stateful[addr] = src`.
     pub fn store(src: ContainerRef, addr: u16) -> Self {
-        AluInstruction { op: AluOp::Store, operand_a: Some(src), operand_b: Operand::Immediate(addr) }
+        AluInstruction {
+            op: AluOp::Store,
+            operand_a: Some(src),
+            operand_b: Operand::Immediate(addr),
+        }
     }
 
     /// `dst = stateful[addr]; stateful[addr] += 1`.
     pub fn loadd(addr: u16) -> Self {
-        AluInstruction { op: AluOp::LoadD, operand_a: None, operand_b: Operand::Immediate(addr) }
+        AluInstruction {
+            op: AluOp::LoadD,
+            operand_a: None,
+            operand_b: Operand::Immediate(addr),
+        }
     }
 
     /// Sets the destination port metadata field.
     pub fn port(port: u16) -> Self {
-        AluInstruction { op: AluOp::Port, operand_a: None, operand_b: Operand::Immediate(port) }
+        AluInstruction {
+            op: AluOp::Port,
+            operand_a: None,
+            operand_b: Operand::Immediate(port),
+        }
     }
 
     /// Discards the packet.
     pub fn discard() -> Self {
-        AluInstruction { op: AluOp::Discard, operand_a: None, operand_b: Operand::Immediate(0) }
+        AluInstruction {
+            op: AluOp::Discard,
+            operand_a: None,
+            operand_b: Operand::Immediate(0),
+        }
     }
 
     /// Encodes this instruction into the 25-bit hardware format.
@@ -214,7 +260,11 @@ impl AluInstruction {
         } else {
             Operand::Container(ContainerRef::from_code(((bits >> 11) & 0x1f) as u8)?)
         };
-        Ok(Some(AluInstruction { op, operand_a, operand_b }))
+        Ok(Some(AluInstruction {
+            op,
+            operand_a,
+            operand_b,
+        }))
     }
 }
 
@@ -227,7 +277,9 @@ pub struct VliwAction {
 
 impl Default for VliwAction {
     fn default() -> Self {
-        VliwAction { slots: [None; NUM_CONTAINERS] }
+        VliwAction {
+            slots: [None; NUM_CONTAINERS],
+        }
     }
 }
 
@@ -302,7 +354,9 @@ impl VliwAction {
     /// Decodes an action from the byte form of [`encode_bytes`](Self::encode_bytes).
     pub fn decode_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() != NUM_CONTAINERS * 4 {
-            return Err(RmtError::BadEncoding { what: "VLIW action bytes" });
+            return Err(RmtError::BadEncoding {
+                what: "VLIW action bytes",
+            });
         }
         let mut words = [0u32; NUM_CONTAINERS];
         for (i, chunk) in bytes.chunks_exact(4).enumerate() {

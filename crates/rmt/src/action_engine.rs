@@ -211,8 +211,7 @@ mod tests {
     #[test]
     fn metadata_ops() {
         let (mut phv, mut mem) = setup();
-        let action = VliwAction::nop()
-            .with_metadata(AluInstruction::port(5));
+        let action = VliwAction::nop().with_metadata(AluInstruction::port(5));
         execute(&action, &mut phv, &mut mem, &IdentityTranslation);
         assert_eq!(phv.metadata.dst_port, 5);
         assert!(!phv.metadata.discard);

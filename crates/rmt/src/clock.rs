@@ -324,8 +324,7 @@ mod tests {
         }
         // Latency grows (weakly) with packet size.
         assert!(
-            CORUNDUM_OPTIMIZED.sampled_latency_us(1500)
-                > CORUNDUM_OPTIMIZED.sampled_latency_us(70)
+            CORUNDUM_OPTIMIZED.sampled_latency_us(1500) > CORUNDUM_OPTIMIZED.sampled_latency_us(70)
         );
     }
 

@@ -33,7 +33,9 @@ impl ParseAction {
     /// Creates a parse action, validating the offset fits in 7 bits.
     pub fn new(offset: u8, container: ContainerRef) -> Result<Self> {
         if offset >= 128 {
-            return Err(RmtError::FieldOverflow { field: "parse offset" });
+            return Err(RmtError::FieldOverflow {
+                field: "parse offset",
+            });
         }
         Ok(ParseAction { offset, container })
     }
@@ -110,7 +112,9 @@ impl ParserEntry {
     /// Decodes an entry from the byte form produced by [`encode_bytes`](Self::encode_bytes).
     pub fn decode_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() != PARSE_ACTIONS_PER_ENTRY * 2 {
-            return Err(RmtError::BadEncoding { what: "parser entry bytes" });
+            return Err(RmtError::BadEncoding {
+                what: "parser entry bytes",
+            });
         }
         let mut words = [0u16; PARSE_ACTIONS_PER_ENTRY];
         for (i, chunk) in bytes.chunks_exact(2).enumerate() {
@@ -164,7 +168,11 @@ impl CompareOp {
             4 => CompareOp::Lt,
             5 => CompareOp::Ge,
             6 => CompareOp::Le,
-            _ => return Err(RmtError::BadEncoding { what: "compare opcode" }),
+            _ => {
+                return Err(RmtError::BadEncoding {
+                    what: "compare opcode",
+                })
+            }
         }))
     }
 
@@ -203,7 +211,9 @@ impl PredicateOperand {
     /// Decodes the 8-bit operand.
     pub fn decode(bits: u8) -> Result<Self> {
         if bits & 0x80 != 0 {
-            Ok(PredicateOperand::Container(ContainerRef::from_code(bits & 0x1f)?))
+            Ok(PredicateOperand::Container(ContainerRef::from_code(
+                bits & 0x1f,
+            )?))
         } else {
             Ok(PredicateOperand::Immediate(bits & 0x7f))
         }
@@ -354,6 +364,14 @@ impl Default for KeyMask {
 }
 
 impl KeyMask {
+    /// True if every key byte is masked out (no byte participates in the
+    /// match). With such a mask the masked key bytes are all zero no matter
+    /// what the PHV holds, which lets the batched data path resolve the CAM
+    /// lookup once per burst instead of once per packet.
+    pub fn ignores_all_bytes(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
     /// A mask that matches on every key bit.
     pub fn all() -> Self {
         KeyMask {
@@ -416,7 +434,7 @@ mod tests {
     #[test]
     fn parser_entry_round_trip_and_limit() {
         let actions: Vec<_> = (0..10)
-            .map(|i| ParseAction::new(i * 2, ContainerRef::h2((i % 8) as u8)).unwrap())
+            .map(|i| ParseAction::new(i * 2, ContainerRef::h2(i % 8)).unwrap())
             .collect();
         let entry = ParserEntry::new(actions.clone()).unwrap();
         let decoded = ParserEntry::decode(&entry.encode()).unwrap();
@@ -462,7 +480,10 @@ mod tests {
             b: PredicateOperand::Immediate(42),
         };
         assert!(pred.eval(&phv));
-        let pred_le = Predicate { op: CompareOp::Le, ..pred };
+        let pred_le = Predicate {
+            op: CompareOp::Le,
+            ..pred
+        };
         assert!(!pred_le.eval(&phv));
         assert!(CompareOp::Eq.eval(5, 5));
         assert!(CompareOp::Ne.eval(5, 6));

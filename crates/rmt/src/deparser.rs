@@ -82,8 +82,7 @@ mod tests {
 
     #[test]
     fn fields_beyond_packet_are_skipped() {
-        let mut packet =
-            PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 4]);
+        let mut packet = PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 4]);
         let entry = ParserEntry::new(vec![ParseAction::new(120, C::h4(0)).unwrap()]).unwrap();
         let phv = parse(&packet, &entry, 1).unwrap();
         let written = deparse(&mut packet, &phv, &entry).unwrap();

@@ -60,7 +60,11 @@ impl fmt::Display for RmtError {
                 f,
                 "parse action offset {offset} outside packet of {packet_len} bytes"
             ),
-            RmtError::TableIndexOutOfRange { table, index, depth } => {
+            RmtError::TableIndexOutOfRange {
+                table,
+                index,
+                depth,
+            } => {
                 write!(f, "index {index} out of range for {table} of depth {depth}")
             }
             RmtError::TableFull { table } => write!(f, "{table} is full"),
@@ -82,11 +86,20 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        assert!(RmtError::BadContainer { code: 31 }.to_string().contains("31"));
-        assert!(RmtError::TableFull { table: "CAM" }.to_string().contains("CAM"));
-        let e = RmtError::StatefulOutOfRange { address: 99, limit: 64 };
+        assert!(RmtError::BadContainer { code: 31 }
+            .to_string()
+            .contains("31"));
+        assert!(RmtError::TableFull { table: "CAM" }
+            .to_string()
+            .contains("CAM"));
+        let e = RmtError::StatefulOutOfRange {
+            address: 99,
+            limit: 64,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
-        assert!(RmtError::MalformedPacket("no VLAN").to_string().contains("no VLAN"));
+        assert!(RmtError::MalformedPacket("no VLAN")
+            .to_string()
+            .contains("no VLAN"));
     }
 }

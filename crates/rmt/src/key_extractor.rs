@@ -22,10 +22,7 @@ pub fn extract_key(phv: &Phv, entry: &KeyExtractEntry, mask: &KeyMask) -> Lookup
         (phv.get(containers[4]), 2),
         (phv.get(containers[5]), 2),
     ];
-    let predicate = entry
-        .predicate
-        .map(|p| p.eval(phv))
-        .unwrap_or(false);
+    let predicate = entry.predicate.map(|p| p.eval(phv)).unwrap_or(false);
     LookupKey::from_slots(values, predicate).masked(mask)
 }
 
@@ -92,7 +89,10 @@ mod tests {
         let key = extract_key(&phv, &entry, &KeyMask::all());
         assert!(!key.predicate);
         // Predicate masked out: always reads false.
-        let mask = KeyMask { predicate: false, ..KeyMask::all() };
+        let mask = KeyMask {
+            predicate: false,
+            ..KeyMask::all()
+        };
         phv.set(C::h2(0), 10);
         let key = extract_key(&phv, &entry, &mask);
         assert!(!key.predicate);

@@ -12,6 +12,7 @@ use crate::error::RmtError;
 use crate::params::KEY_BYTES;
 use crate::Result;
 use core::fmt;
+use std::collections::HashMap;
 
 /// A lookup key: 24 bytes of selected containers plus the predicate bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -43,8 +44,9 @@ impl LookupKey {
     /// Applies a key mask: bits outside the mask are forced to zero.
     pub fn masked(&self, mask: &KeyMask) -> LookupKey {
         let mut bytes = [0u8; KEY_BYTES];
-        for i in 0..KEY_BYTES {
-            bytes[i] = self.bytes[i] & mask.bytes[i];
+        for (masked, (byte, mask_byte)) in bytes.iter_mut().zip(self.bytes.iter().zip(&mask.bytes))
+        {
+            *masked = byte & mask_byte;
         }
         LookupKey {
             bytes,
@@ -90,9 +92,19 @@ pub struct MatchEntry {
 /// range of addresses (space partitioning), which the `menshen-core` crate
 /// manages. The table itself only knows how to install, remove and look up
 /// entries.
+///
+/// The addressable `Vec<Option<MatchEntry>>` array stays the software
+/// interface (reconfiguration writes name CAM addresses), but lookups go
+/// through a `(key, module_id) → address` hash index maintained on every
+/// install/remove/clear, so the per-packet path is O(1) instead of a linear
+/// scan over every CAM slot. The index always points at the *lowest* matching
+/// address, preserving the priority order a hardware CAM (and the previous
+/// scanning implementation) resolves duplicates with.
 #[derive(Debug, Clone)]
 pub struct ExactMatchTable {
     entries: Vec<Option<MatchEntry>>,
+    index: HashMap<(LookupKey, u16), usize>,
+    scan_mode: bool,
     lookups: u64,
     hits: u64,
 }
@@ -102,9 +114,32 @@ impl ExactMatchTable {
     pub fn new(depth: usize) -> Self {
         ExactMatchTable {
             entries: vec![None; depth],
+            index: HashMap::new(),
+            scan_mode: false,
             lookups: 0,
             hits: 0,
         }
+    }
+
+    /// Switches [`lookup`](Self::lookup) between the O(1) hash index
+    /// (default) and the per-slot scan that models what the CAM hardware
+    /// does — comparing the key against every slot and picking the lowest
+    /// matching address.
+    ///
+    /// Both modes return identical results; only the software cost differs.
+    /// Scan mode exists for the cost model and as the measured "before"
+    /// baseline in the hot-path benchmarks (the pre-index software path
+    /// scanned every slot per stage per packet).
+    pub fn set_scan_mode(&mut self, scan: bool) {
+        self.scan_mode = scan;
+    }
+
+    fn scan(&self, key: &LookupKey, module_id: u16) -> Option<usize> {
+        self.entries.iter().position(|slot| {
+            slot.as_ref()
+                .map(|e| e.module_id == module_id && e.key == *key)
+                .unwrap_or(false)
+        })
     }
 
     /// Table depth (number of addressable entries).
@@ -128,7 +163,15 @@ impl ExactMatchTable {
                 index,
                 depth,
             })?;
-        *slot = Some(entry);
+        let evicted = slot.replace(entry);
+        if let Some(old) = evicted {
+            self.unindex(&old, index);
+        }
+        let indexed = self
+            .index
+            .entry((entry.key, entry.module_id))
+            .or_insert(index);
+        *indexed = (*indexed).min(index);
         Ok(())
     }
 
@@ -143,7 +186,32 @@ impl ExactMatchTable {
                 index,
                 depth,
             })?;
-        Ok(slot.take())
+        let removed = slot.take();
+        if let Some(old) = removed {
+            self.unindex(&old, index);
+        }
+        Ok(removed)
+    }
+
+    /// Drops `(old.key, old.module_id) → address` from the index after the
+    /// entry at `address` was evicted. If another slot still holds the same
+    /// key/module pair (duplicate installs), the index is repointed at the
+    /// lowest such address, preserving CAM priority order. The rescan is
+    /// O(depth), but runs only on the control-plane path.
+    fn unindex(&mut self, old: &MatchEntry, address: usize) {
+        let key = (old.key, old.module_id);
+        if self.index.get(&key) != Some(&address) {
+            return;
+        }
+        let replacement = self.scan(&old.key, old.module_id);
+        match replacement {
+            Some(other) => {
+                self.index.insert(key, other);
+            }
+            None => {
+                self.index.remove(&key);
+            }
+        }
     }
 
     /// Reads the entry at CAM address `index` (software interface).
@@ -152,19 +220,26 @@ impl ExactMatchTable {
     }
 
     /// Looks up `(key, module_id)`; returns the CAM address of the first
-    /// matching entry. The module ID participates in the comparison, so a
-    /// packet can never hit another module's entries.
+    /// matching entry, resolved in O(1) through the hash index. The module ID
+    /// participates in the comparison, so a packet can never hit another
+    /// module's entries.
     pub fn lookup(&mut self, key: &LookupKey, module_id: u16) -> Option<usize> {
         self.lookups += 1;
-        let hit = self.entries.iter().position(|slot| {
-            slot.as_ref()
-                .map(|e| e.module_id == module_id && e.key == *key)
-                .unwrap_or(false)
-        });
+        let hit = if self.scan_mode {
+            self.scan(key, module_id)
+        } else {
+            self.index.get(&(*key, module_id)).copied()
+        };
         if hit.is_some() {
             self.hits += 1;
         }
         hit
+    }
+
+    /// Read-only lookup that does not touch the hit/lookup statistics; used
+    /// by the batched data path, which resolves some lookups once per burst.
+    pub fn peek(&self, key: &LookupKey, module_id: u16) -> Option<usize> {
+        self.index.get(&(*key, module_id)).copied()
     }
 
     /// Clears every entry belonging to `module_id`; returns how many were
@@ -172,12 +247,35 @@ impl ExactMatchTable {
     pub fn clear_module(&mut self, module_id: u16) -> usize {
         let mut removed = 0;
         for slot in &mut self.entries {
-            if slot.as_ref().map(|e| e.module_id == module_id).unwrap_or(false) {
+            if slot
+                .as_ref()
+                .map(|e| e.module_id == module_id)
+                .unwrap_or(false)
+            {
                 *slot = None;
                 removed += 1;
             }
         }
+        if removed > 0 {
+            self.index.retain(|(_, owner), _| *owner != module_id);
+        }
         removed
+    }
+
+    /// True if the hash index and the slot array agree exactly: every indexed
+    /// address holds the entry it claims (at the lowest matching address), and
+    /// every occupied slot is reachable through the index. Test/debug aid for
+    /// the index-maintenance logic.
+    pub fn verify_index(&self) -> bool {
+        for ((key, module_id), &address) in &self.index {
+            if self.scan(key, *module_id) != Some(address) {
+                return false;
+            }
+        }
+        self.entries
+            .iter()
+            .flatten()
+            .all(|entry| self.index.contains_key(&(entry.key, entry.module_id)))
     }
 
     /// Lookup statistics: `(lookups, hits)`.
@@ -219,10 +317,7 @@ mod tests {
 
     #[test]
     fn masking_clears_unselected_bits() {
-        let key = LookupKey::from_slots(
-            [(1, 6), (2, 6), (3, 4), (4, 4), (5, 2), (6, 2)],
-            true,
-        );
+        let key = LookupKey::from_slots([(1, 6), (2, 6), (3, 4), (4, 4), (5, 2), (6, 2)], true);
         let mask = KeyMask::for_slots([true, false, true, false, false, false], false);
         let masked = key.masked(&mask);
         assert_eq!(masked.slot_value(0, 6), 1);
@@ -237,10 +332,24 @@ mod tests {
         let mut table = ExactMatchTable::new(4);
         let key = key_with_first_byte(0x42);
         table
-            .install(0, MatchEntry { key, module_id: 1, action_index: 0 })
+            .install(
+                0,
+                MatchEntry {
+                    key,
+                    module_id: 1,
+                    action_index: 0,
+                },
+            )
             .unwrap();
         table
-            .install(1, MatchEntry { key, module_id: 2, action_index: 1 })
+            .install(
+                1,
+                MatchEntry {
+                    key,
+                    module_id: 2,
+                    action_index: 1,
+                },
+            )
             .unwrap();
         assert_eq!(table.lookup(&key, 1), Some(0));
         assert_eq!(table.lookup(&key, 2), Some(1));
@@ -263,6 +372,171 @@ mod tests {
         assert_eq!(table.occupancy(), 0);
         assert!(table.remove(5).is_err());
         assert!(table.entry(0).is_none());
+    }
+
+    #[test]
+    fn scan_mode_returns_identical_results() {
+        let mut indexed = ExactMatchTable::new(16);
+        let mut scanning = ExactMatchTable::new(16);
+        scanning.set_scan_mode(true);
+        for i in 0..12u16 {
+            let entry = MatchEntry {
+                key: key_with_first_byte((i % 5) as u8),
+                module_id: i % 3,
+                action_index: i,
+            };
+            indexed.install(usize::from(i), entry).unwrap();
+            scanning.install(usize::from(i), entry).unwrap();
+        }
+        for byte in 0u8..6 {
+            for module in 0u16..4 {
+                let key = key_with_first_byte(byte);
+                assert_eq!(
+                    indexed.lookup(&key, module),
+                    scanning.lookup(&key, module),
+                    "byte {byte} module {module}"
+                );
+            }
+        }
+        assert_eq!(indexed.stats(), scanning.stats());
+    }
+
+    #[test]
+    fn peek_matches_lookup_without_stats() {
+        let mut table = ExactMatchTable::new(4);
+        let key = key_with_first_byte(0x11);
+        table
+            .install(
+                2,
+                MatchEntry {
+                    key,
+                    module_id: 5,
+                    action_index: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(table.peek(&key, 5), Some(2));
+        assert_eq!(table.peek(&key, 6), None);
+        assert_eq!(table.stats(), (0, 0), "peek leaves statistics untouched");
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_lowest_address() {
+        let mut table = ExactMatchTable::new(8);
+        let key = key_with_first_byte(0x77);
+        for &address in &[5usize, 2, 7] {
+            table
+                .install(
+                    address,
+                    MatchEntry {
+                        key,
+                        module_id: 1,
+                        action_index: address as u16,
+                    },
+                )
+                .unwrap();
+        }
+        // CAM priority: the lowest matching address wins.
+        assert_eq!(table.lookup(&key, 1), Some(2));
+        // Removing the winner falls through to the next-lowest duplicate.
+        table.remove(2).unwrap();
+        assert_eq!(table.lookup(&key, 1), Some(5));
+        table.remove(5).unwrap();
+        assert_eq!(table.lookup(&key, 1), Some(7));
+        table.remove(7).unwrap();
+        assert_eq!(table.lookup(&key, 1), None);
+        assert!(table.verify_index());
+    }
+
+    #[test]
+    fn overwrite_reindexes_old_and_new_keys() {
+        let mut table = ExactMatchTable::new(4);
+        let old_key = key_with_first_byte(0xaa);
+        let new_key = key_with_first_byte(0xbb);
+        table
+            .install(
+                1,
+                MatchEntry {
+                    key: old_key,
+                    module_id: 3,
+                    action_index: 1,
+                },
+            )
+            .unwrap();
+        table
+            .install(
+                1,
+                MatchEntry {
+                    key: new_key,
+                    module_id: 3,
+                    action_index: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(table.lookup(&old_key, 3), None, "evicted key unindexed");
+        assert_eq!(table.lookup(&new_key, 3), Some(1));
+        assert!(table.verify_index());
+    }
+
+    /// Property-style check of the index-maintenance logic: a random sequence
+    /// of install/remove/clear_module operations keeps the hash index and the
+    /// slot array in exact agreement, and every lookup result equals what a
+    /// naive linear scan over the slot array would return — including the
+    /// module-ID isolation the scan encodes.
+    #[test]
+    fn random_operations_keep_index_and_slots_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        const DEPTH: usize = 32;
+        let scan = |entries: &ExactMatchTable, key: &LookupKey, module: u16| {
+            (0..DEPTH).find(|&i| {
+                entries
+                    .entry(i)
+                    .map(|e| e.module_id == module && e.key == *key)
+                    .unwrap_or(false)
+            })
+        };
+
+        let mut rng = StdRng::seed_from_u64(0xcafe);
+        for round in 0..50 {
+            let mut table = ExactMatchTable::new(DEPTH);
+            for step in 0..400 {
+                match rng.gen_range(0u32..10) {
+                    // Install dominates so the table actually fills up;
+                    // keys are drawn from a small space to force duplicates.
+                    0..=6 => {
+                        let entry = MatchEntry {
+                            key: key_with_first_byte(rng.gen_range(0u8..8)),
+                            module_id: rng.gen_range(0u16..4),
+                            action_index: rng.gen_range(0u16..DEPTH as u16),
+                        };
+                        table.install(rng.gen_range(0usize..DEPTH), entry).unwrap();
+                    }
+                    7..=8 => {
+                        table.remove(rng.gen_range(0usize..DEPTH)).unwrap();
+                    }
+                    _ => {
+                        table.clear_module(rng.gen_range(0u16..4));
+                    }
+                }
+                assert!(
+                    table.verify_index(),
+                    "index diverged from slots at round {round} step {step}"
+                );
+                // Indexed lookup == linear scan, for hits and misses alike.
+                for byte in 0u8..8 {
+                    let key = key_with_first_byte(byte);
+                    for module in 0u16..5 {
+                        assert_eq!(
+                            table.peek(&key, module),
+                            scan(&table, &key, module),
+                            "lookup mismatch at round {round} step {step}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,8 +14,7 @@ pub const NUM_4B_CONTAINERS: usize = 8;
 /// Number of 6-byte PHV containers.
 pub const NUM_6B_CONTAINERS: usize = 8;
 /// Total number of header PHV containers (excluding metadata).
-pub const NUM_HEADER_CONTAINERS: usize =
-    NUM_2B_CONTAINERS + NUM_4B_CONTAINERS + NUM_6B_CONTAINERS;
+pub const NUM_HEADER_CONTAINERS: usize = NUM_2B_CONTAINERS + NUM_4B_CONTAINERS + NUM_6B_CONTAINERS;
 /// Total number of ALUs / PHV containers including the metadata container.
 pub const NUM_CONTAINERS: usize = NUM_HEADER_CONTAINERS + 1;
 /// Size of the platform-specific metadata area appended to the PHV, in bytes.
@@ -135,7 +134,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_fields() {
-        let p = TABLE5.with_table_depth(1024).with_stages(8).with_overlay_depth(64);
+        let p = TABLE5
+            .with_table_depth(1024)
+            .with_stages(8)
+            .with_overlay_depth(64);
         assert_eq!(p.cam_depth, 1024);
         assert_eq!(p.action_depth, 1024);
         assert_eq!(p.num_stages, 8);

@@ -19,6 +19,23 @@ use menshen_packet::Packet;
 /// attached, and platform metadata (packet length, ingress port) is filled in.
 pub fn parse(packet: &Packet, entry: &ParserEntry, module_id: u16) -> Result<Phv> {
     let mut phv = Phv::zeroed();
+    parse_into(&mut phv, packet, entry, module_id)?;
+    Ok(phv)
+}
+
+/// Parses `packet` into an existing PHV, resetting it first.
+///
+/// Behaviourally identical to [`parse`], but reuses the caller's PHV instead
+/// of constructing a new one — the batched data path keeps a single scratch
+/// PHV alive across a whole burst. The in-place reset performs the same
+/// cross-module zeroing the prototype hardware does (§4.1).
+pub fn parse_into(
+    phv: &mut Phv,
+    packet: &Packet,
+    entry: &ParserEntry,
+    module_id: u16,
+) -> Result<()> {
+    phv.reset();
     phv.module_id = module_id;
     phv.metadata = Metadata {
         pkt_len: packet.len().min(usize::from(u16::MAX)) as u16,
@@ -40,7 +57,7 @@ pub fn parse(packet: &Packet, entry: &ParserEntry, module_id: u16) -> Result<Phv
         let value = packet.read_be(offset, width).unwrap_or(0);
         phv.set(action.container, value);
     }
-    Ok(phv)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -208,6 +208,16 @@ impl Phv {
         Phv::default()
     }
 
+    /// Zeroes the PHV in place — containers, metadata and module ID alike.
+    ///
+    /// The PHV is a fixed-size value (no heap behind it), so resetting is a
+    /// plain overwrite; the batched data path reuses one PHV for every packet
+    /// of a burst instead of constructing a fresh one per packet, and this is
+    /// the isolation-preserving zeroing step between packets.
+    pub fn reset(&mut self) {
+        *self = Phv::default();
+    }
+
     /// Reads a header container.
     pub fn get(&self, container: ContainerRef) -> u64 {
         match container.ty {

@@ -81,7 +81,9 @@ pub struct RmtPipeline {
 impl RmtPipeline {
     /// Creates a pipeline with the given parameters and an empty program.
     pub fn new(params: PipelineParams) -> Self {
-        let stages = (0..params.num_stages).map(|_| StageHardware::new(&params)).collect();
+        let stages = (0..params.num_stages)
+            .map(|_| StageHardware::new(&params))
+            .collect();
         RmtPipeline {
             params,
             program: RmtProgram::default(),
@@ -117,11 +119,13 @@ impl RmtPipeline {
     /// inspecting stateful memory.
     pub fn stage_mut(&mut self, index: usize) -> Result<&mut StageHardware> {
         let depth = self.stages.len();
-        self.stages.get_mut(index).ok_or(RmtError::TableIndexOutOfRange {
-            table: "pipeline stages",
-            index,
-            depth,
-        })
+        self.stages
+            .get_mut(index)
+            .ok_or(RmtError::TableIndexOutOfRange {
+                table: "pipeline stages",
+                index,
+                depth,
+            })
     }
 
     /// Read-only access to a stage's hardware.
@@ -157,7 +161,11 @@ impl RmtPipeline {
 
         if phv.metadata.discard {
             self.counters.packets_dropped += 1;
-            return Ok(PipelineOutput { packet: None, phv, traces });
+            return Ok(PipelineOutput {
+                packet: None,
+                phv,
+                traces,
+            });
         }
 
         deparser::deparse(&mut packet, &phv, &self.program.deparser)?;
@@ -212,7 +220,11 @@ mod tests {
         let action = VliwAction::nop()
             .with(C::h2(0), AluInstruction::set(9999))
             .with_metadata(AluInstruction::port(3));
-        pipeline.stage_mut(0).unwrap().install_rule(0, key, 0, action).unwrap();
+        pipeline
+            .stage_mut(0)
+            .unwrap()
+            .install_rule(0, key, 0, action)
+            .unwrap();
         pipeline
     }
 
@@ -246,7 +258,12 @@ mod tests {
         pipeline
             .stage_mut(0)
             .unwrap()
-            .install_rule(1, key, 0, VliwAction::nop().with_metadata(AluInstruction::discard()))
+            .install_rule(
+                1,
+                key,
+                0,
+                VliwAction::nop().with_metadata(AluInstruction::discard()),
+            )
             .unwrap();
         let packet = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 66], 1, 2, &[]);
         let output = pipeline.process(packet).unwrap();
@@ -276,7 +293,10 @@ mod tests {
             parser: ParserEntry::new(vec![ParseAction::new(34, C::h4(1)).unwrap()]).unwrap(),
             deparser: ParserEntry::default(),
             stages: vec![StageConfig {
-                key_extract: KeyExtractEntry { slots_4b: [1, 0], ..KeyExtractEntry::default() },
+                key_extract: KeyExtractEntry {
+                    slots_4b: [1, 0],
+                    ..KeyExtractEntry::default()
+                },
                 key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
             }],
         };
@@ -288,11 +308,15 @@ mod tests {
         pipeline
             .stage_mut(0)
             .unwrap()
-            .install_rule(0, key, 0, VliwAction::nop().with(C::h4(7), AluInstruction::loadd(5)))
+            .install_rule(
+                0,
+                key,
+                0,
+                VliwAction::nop().with(C::h4(7), AluInstruction::loadd(5)),
+            )
             .unwrap();
         for _ in 0..4 {
-            let packet =
-                PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[]);
+            let packet = PacketBuilder::udp_data(1, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &[]);
             pipeline.process(packet).unwrap();
         }
         assert_eq!(pipeline.stage(0).unwrap().stateful.peek(5), Some(4));

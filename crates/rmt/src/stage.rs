@@ -19,21 +19,12 @@ use crate::stateful::{AddressTranslate, StatefulMemory};
 use crate::Result;
 
 /// Per-packet stage configuration: how to build the lookup key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageConfig {
     /// Which containers form the key, plus the optional predicate.
     pub key_extract: KeyExtractEntry,
     /// Which key bits participate in the match.
     pub key_mask: KeyMask,
-}
-
-impl Default for StageConfig {
-    fn default() -> Self {
-        StageConfig {
-            key_extract: KeyExtractEntry::default(),
-            key_mask: KeyMask::default(),
-        }
-    }
 }
 
 /// What happened to a PHV inside one stage (returned for tests and traces).
@@ -126,20 +117,31 @@ impl StageHardware {
         let key = extract_key(phv, &config.key_extract, &config.key_mask);
         let hit = self.cam.lookup(&key, phv.module_id);
         let outcome = match hit {
-            Some(cam_index) => {
-                let action_index = self
-                    .cam
-                    .entry(cam_index)
-                    .map(|e| usize::from(e.action_index))
-                    .unwrap_or(cam_index);
-                match self.actions.get(action_index).cloned() {
-                    Some(action) => action_engine::execute(&action, phv, &mut self.stateful, translate),
-                    None => ActionOutcome::default(),
-                }
-            }
+            Some(cam_index) => self.execute_hit(cam_index, phv, translate),
             None => ActionOutcome::default(),
         };
         StageTrace { hit, key, outcome }
+    }
+
+    /// Executes the action behind the CAM entry at `cam_index` (following its
+    /// `action_index` indirection). The action is executed by reference —
+    /// `actions` and `stateful` are disjoint fields, so no per-packet clone of
+    /// the VLIW entry is needed.
+    pub fn execute_hit(
+        &mut self,
+        cam_index: usize,
+        phv: &mut Phv,
+        translate: &dyn AddressTranslate,
+    ) -> ActionOutcome {
+        let action_index = self
+            .cam
+            .entry(cam_index)
+            .map(|e| usize::from(e.action_index))
+            .unwrap_or(cam_index);
+        match self.actions.get(action_index) {
+            Some(action) => action_engine::execute(action, phv, &mut self.stateful, translate),
+            None => ActionOutcome::default(),
+        }
     }
 }
 
@@ -158,7 +160,14 @@ mod tests {
 
     fn key_matching_h4_0(value: u32) -> LookupKey {
         LookupKey::from_slots(
-            [(0, 6), (0, 6), (u64::from(value), 4), (0, 4), (0, 2), (0, 2)],
+            [
+                (0, 6),
+                (0, 6),
+                (u64::from(value), 4),
+                (0, 4),
+                (0, 2),
+                (0, 2),
+            ],
             false,
         )
     }
@@ -210,10 +219,20 @@ mod tests {
             key_mask: KeyMask::for_slots([false, false, true, false, false, false], false),
         };
         let key = key_matching_h4_0(7);
-        hw.install_rule(0, key, 1, VliwAction::nop().with(C::h2(0), AluInstruction::set(1)))
-            .unwrap();
-        hw.install_rule(1, key, 2, VliwAction::nop().with(C::h2(0), AluInstruction::set(2)))
-            .unwrap();
+        hw.install_rule(
+            0,
+            key,
+            1,
+            VliwAction::nop().with(C::h2(0), AluInstruction::set(1)),
+        )
+        .unwrap();
+        hw.install_rule(
+            1,
+            key,
+            2,
+            VliwAction::nop().with(C::h2(0), AluInstruction::set(2)),
+        )
+        .unwrap();
 
         let mut phv1 = Phv::zeroed();
         phv1.module_id = 1;

@@ -61,14 +61,14 @@ impl StatefulMemory {
 
     /// Reads the word at `address`.
     pub fn read(&mut self, address: u32) -> Result<u64> {
-        let word = self
-            .words
-            .get(address as usize)
-            .copied()
-            .ok_or(RmtError::StatefulOutOfRange {
-                address,
-                limit: self.words.len() as u32,
-            })?;
+        let word =
+            self.words
+                .get(address as usize)
+                .copied()
+                .ok_or(RmtError::StatefulOutOfRange {
+                    address,
+                    limit: self.words.len() as u32,
+                })?;
         self.reads += 1;
         Ok(word)
     }
@@ -108,9 +108,10 @@ impl StatefulMemory {
     /// Zeroes a contiguous range of words; used when a module's segment is
     /// reclaimed so no state leaks to the next owner.
     pub fn clear_range(&mut self, start: u32, len: u32) -> Result<()> {
-        let end = start
-            .checked_add(len)
-            .ok_or(RmtError::StatefulOutOfRange { address: start, limit: self.words.len() as u32 })?;
+        let end = start.checked_add(len).ok_or(RmtError::StatefulOutOfRange {
+            address: start,
+            limit: self.words.len() as u32,
+        })?;
         if end as usize > self.words.len() {
             return Err(RmtError::StatefulOutOfRange {
                 address: end,
@@ -153,8 +154,14 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut mem = StatefulMemory::new(4);
-        assert!(matches!(mem.read(4), Err(RmtError::StatefulOutOfRange { .. })));
-        assert!(matches!(mem.write(100, 1), Err(RmtError::StatefulOutOfRange { .. })));
+        assert!(matches!(
+            mem.read(4),
+            Err(RmtError::StatefulOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mem.write(100, 1),
+            Err(RmtError::StatefulOutOfRange { .. })
+        ));
         assert!(mem.load_and_add(4).is_err());
         assert_eq!(mem.peek(4), None);
     }

@@ -16,10 +16,10 @@
 
 use crate::traffic::RateMix;
 use menshen_core::{MenshenPipeline, ModuleId, Verdict};
+use menshen_packet::{Packet, PacketBuilder};
 use menshen_programs::calc::{Calc, OP_ADD};
 use menshen_programs::EvaluatedProgram;
 use menshen_rmt::params::PipelineParams;
-use menshen_packet::{Packet, PacketBuilder};
 
 /// Parameters of the Figure 10 experiment.
 #[derive(Debug, Clone)]
@@ -111,9 +111,13 @@ impl ReconfigExperiment {
         payload[..2].copy_from_slice(&OP_ADD.to_be_bytes());
         payload[2..6].copy_from_slice(&1000u32.to_be_bytes());
         payload[6..10].copy_from_slice(&7u32.to_be_bytes());
-        PacketBuilder::new()
-            .with_vlan(module_id)
-            .build_udp([10, 0, 0, 1], [10, 0, 0, 2], 4000, 5000, &payload)
+        PacketBuilder::new().with_vlan(module_id).build_udp(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4000,
+            5000,
+            &payload,
+        )
     }
 
     /// Runs the experiment and returns the per-module throughput timeline.
@@ -145,13 +149,17 @@ impl ReconfigExperiment {
             // Drive the reconfiguration state machine: mark the module when
             // the window opens, update and unmark it when the window closes.
             if !reconfigured && bin_end > reconfig_start {
-                pipeline.begin_reconfiguration(ModuleId::new(1)).expect("module 1 loaded");
+                pipeline
+                    .begin_reconfiguration(ModuleId::new(1))
+                    .expect("module 1 loaded");
             }
             if !reconfigured && time >= reconfig_end {
                 pipeline
                     .update_module(&Calc.build(1).expect("CALC compiles"))
                     .expect("module 1 updates");
-                pipeline.end_reconfiguration(ModuleId::new(1)).expect("module 1 loaded");
+                pipeline
+                    .end_reconfiguration(ModuleId::new(1))
+                    .expect("module 1 loaded");
                 reconfigured = true;
             }
 
@@ -187,7 +195,11 @@ impl ReconfigExperiment {
 
                 let offered = self.offered_gbps * self.mix.share(module_id);
                 let gbps = offered * (1.0 - blocked);
-                points.push(TimelinePoint { time_s: time, module_id, gbps });
+                points.push(TimelinePoint {
+                    time_s: time,
+                    module_id,
+                    gbps,
+                });
             }
         }
 

@@ -8,7 +8,7 @@
 //! break the figure.
 
 use crate::traffic::TrafficGenerator;
-use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, Verdict};
+use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, Verdict, BURST_SIZE};
 use menshen_rmt::clock::PlatformTiming;
 use menshen_rmt::params::PipelineParams;
 
@@ -50,19 +50,29 @@ pub fn throughput_sweep(
     check_packets: usize,
 ) -> Vec<ThroughputPoint> {
     let mut pipeline = MenshenPipeline::new(PipelineParams::default());
-    pipeline.load_module(module).expect("module loads for the sweep");
+    pipeline
+        .load_module(module)
+        .expect("module loads for the sweep");
     let module_id = module.module_id;
     let mut generator = TrafficGenerator::new(0xC0FFEE);
 
     sizes
         .iter()
         .map(|&frame_len| {
-            let mut forwarded = 0usize;
-            for packet in generator.burst(module_id.value(), frame_len, check_packets) {
-                if pipeline.process(packet).is_forwarded() {
-                    forwarded += 1;
-                }
-            }
+            // The functional confirmation runs through the batched data path
+            // in DPDK-style bursts — the same path the throughput benches
+            // measure.
+            let packets = generator.burst(module_id.value(), frame_len, check_packets);
+            let forwarded: usize = packets
+                .chunks(BURST_SIZE)
+                .map(|burst| {
+                    pipeline
+                        .process_batch(burst.to_vec())
+                        .iter()
+                        .filter(|v| v.is_forwarded())
+                        .count()
+                })
+                .sum();
             ThroughputPoint {
                 frame_len,
                 l1_gbps: platform.throughput_l1_gbps(frame_len),
@@ -94,16 +104,32 @@ pub fn latency_sweep(platform: &PlatformTiming, sizes: &[usize]) -> Vec<LatencyP
 /// Convenience: a minimal pass-through module for sweeps that do not care
 /// about program behaviour (all packets simply forward).
 pub fn passthrough_module(module_id: u16) -> ModuleConfig {
-    ModuleConfig::empty(ModuleId::new(module_id), "passthrough", PipelineParams::default().num_stages)
+    ModuleConfig::empty(
+        ModuleId::new(module_id),
+        "passthrough",
+        PipelineParams::default().num_stages,
+    )
 }
 
 /// Measures how many of `packets` the pipeline forwards (helper shared by the
-/// behaviour-isolation experiments and the benches).
-pub fn forwarded_count(pipeline: &mut MenshenPipeline, packets: Vec<menshen_packet::Packet>) -> usize {
-    packets
-        .into_iter()
-        .filter(|p| matches!(pipeline.process(p.clone()), Verdict::Forwarded { .. }))
-        .count()
+/// behaviour-isolation experiments and the benches). Routes the packets
+/// through the batched data path in [`BURST_SIZE`] bursts.
+pub fn forwarded_count(
+    pipeline: &mut MenshenPipeline,
+    packets: Vec<menshen_packet::Packet>,
+) -> usize {
+    let mut packets = packets;
+    let mut forwarded = 0;
+    while !packets.is_empty() {
+        let rest = packets.split_off(packets.len().min(BURST_SIZE));
+        forwarded += pipeline
+            .process_batch(packets)
+            .iter()
+            .filter(|v| matches!(v, Verdict::Forwarded { .. }))
+            .count();
+        packets = rest;
+    }
+    forwarded
 }
 
 #[cfg(test)]
@@ -162,7 +188,10 @@ mod tests {
     fn figure_11d_latency_range() {
         let points = latency_sweep(&CORUNDUM_OPTIMIZED, SizeSweep::Corundum.sizes());
         for point in &points {
-            assert!(point.sampled_us > 0.9 && point.sampled_us < 1.3, "{point:?}");
+            assert!(
+                point.sampled_us > 0.9 && point.sampled_us < 1.3,
+                "{point:?}"
+            );
             assert!(point.pipeline_ns > 300.0 && point.pipeline_ns < 700.0);
         }
         assert!(points.last().unwrap().pipeline_cycles > points[0].pipeline_cycles);

@@ -35,7 +35,9 @@ impl TrafficGenerator {
 
     /// Generates `count` frames of `frame_len` bytes for `module_id`.
     pub fn burst(&mut self, module_id: u16, frame_len: usize, count: usize) -> Vec<Packet> {
-        (0..count).map(|_| self.frame(module_id, frame_len)).collect()
+        (0..count)
+            .map(|_| self.frame(module_id, frame_len))
+            .collect()
     }
 
     /// Generates a burst whose packets are spread over `modules` according to
@@ -145,8 +147,14 @@ mod tests {
 
         let mut generator = TrafficGenerator::new(42);
         let burst = generator.mixed_burst(&mix, 200, 2000);
-        let count1 = burst.iter().filter(|p| p.vlan_id().unwrap().value() == 1).count();
-        let count3 = burst.iter().filter(|p| p.vlan_id().unwrap().value() == 3).count();
+        let count1 = burst
+            .iter()
+            .filter(|p| p.vlan_id().unwrap().value() == 1)
+            .count();
+        let count3 = burst
+            .iter()
+            .filter(|p| p.vlan_id().unwrap().value() == 3)
+            .count();
         assert!(count1 > count3, "module 1 gets the largest share");
         assert!((count1 as f64 / 2000.0 - 0.5).abs() < 0.05);
     }

@@ -36,11 +36,8 @@ fn main() {
     let netcache = NetCache::new();
     let netchain = NetChain::new();
     let qos = Qos;
-    let tenants: Vec<(u16, &dyn EvaluatedProgram)> = vec![
-        (21, &netcache),
-        (22, &netchain),
-        (23, &qos),
-    ];
+    let tenants: Vec<(u16, &dyn EvaluatedProgram)> =
+        vec![(21, &netcache), (22, &netchain), (23, &qos)];
     for (module_id, program) in &tenants {
         let report = control
             .load_module(&program.build(*module_id).expect("tenant compiles"))
@@ -64,7 +61,10 @@ fn main() {
                 forwarded += 1;
             }
         }
-        println!("{:<9} processed 30 packets, {forwarded} forwarded", program.name());
+        println!(
+            "{:<9} processed 30 packets, {forwarded} forwarded",
+            program.name()
+        );
     }
 
     // Tenants with the same *virtual* destination are routed to different
@@ -78,7 +78,10 @@ fn main() {
             &[0u8; 8],
         );
         if let Verdict::Forwarded { ports, .. } = control.send(packet) {
-            println!("module {module_id} packet to virtual 192.168.100.1 leaves via port {:?}", ports);
+            println!(
+                "module {module_id} packet to virtual 192.168.100.1 leaves via port {:?}",
+                ports
+            );
         }
     }
 
@@ -92,6 +95,10 @@ fn main() {
     );
     println!(
         "oracle verdict across all tenants: {}",
-        if all_ok { "every tenant isolated and correct" } else { "VIOLATION DETECTED" }
+        if all_ok {
+            "every tenant isolated and correct"
+        } else {
+            "VIOLATION DETECTED"
+        }
     );
 }

@@ -26,7 +26,10 @@ fn main() {
     println!();
 
     // A small ASCII version of Figure 10: one row per 0.25 s, one column per module.
-    println!("{:>8}  {:>10} {:>10} {:>10}", "t (s)", "module 1", "module 2", "module 3");
+    println!(
+        "{:>8}  {:>10} {:>10} {:>10}",
+        "t (s)", "module 1", "module 2", "module 3"
+    );
     for (index, point) in timeline.series(1).iter().enumerate() {
         if index % 5 != 0 {
             continue;

@@ -41,6 +41,7 @@ fn main() {
 
     let mut checked = 0usize;
     let mut violations = 0usize;
+    #[allow(clippy::needless_range_loop)]
     for round in 0..50 {
         for (tenant_index, (_, program)) in tenants.iter().enumerate() {
             let packet = workloads[tenant_index][round].clone();

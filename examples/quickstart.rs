@@ -33,7 +33,8 @@ module quickstart {
 
     // Compile for module ID (VLAN) 7.
     let compiled = compile_source(source, &CompileOptions::new(7)).expect("module compiles");
-    println!("compiled `{}`: {} parser actions, table in stage {}",
+    println!(
+        "compiled `{}`: {} parser actions, table in stage {}",
         compiled.config.name,
         compiled.config.parser.actions.len(),
         compiled.table("route").unwrap().stage,
@@ -48,9 +49,11 @@ module quickstart {
         (u32::from_be_bytes([10, 0, 0, 3]), "to_port_3"),
         (u32::from_be_bytes([10, 0, 0, 66]), "drop_it"),
     ] {
-        config.stages[stage]
-            .rules
-            .push(compiled.rule("route", &[(&dst, u64::from(ip))], action).unwrap());
+        config.stages[stage].rules.push(
+            compiled
+                .rule("route", &[(&dst, u64::from(ip))], action)
+                .unwrap(),
+        );
     }
 
     // Load it onto a pipeline with the paper's Table 5 parameters.

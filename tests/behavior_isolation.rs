@@ -25,6 +25,7 @@ fn run_isolation_check_on(
         .iter()
         .map(|(module_id, program)| program.packets(*module_id, rounds, 0xFEED))
         .collect();
+    #[allow(clippy::needless_range_loop)]
     for round in 0..rounds {
         for (index, (_, program)) in tenants.iter().enumerate() {
             let packet = workloads[index][round].clone();

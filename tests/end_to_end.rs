@@ -16,8 +16,11 @@ use menshen_rmt::{RmtPipeline, RmtProgram};
 fn every_figure8_program_compiles_loads_and_forwards() {
     for (index, (name, source)) in figure8_program_sources().into_iter().enumerate() {
         let module_id = (index + 1) as u16;
-        let compiled = compile_source(source, &CompileOptions::new(module_id).with_initial_entries(4))
-            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        let compiled = compile_source(
+            source,
+            &CompileOptions::new(module_id).with_initial_entries(4),
+        )
+        .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
         let mut control = ControlPlane::new(TABLE5, SharingPolicy::FirstComeFirstServed);
         control
             .load_module(&compiled.config)
@@ -31,7 +34,10 @@ fn every_figure8_program_compiles_loads_and_forwards() {
             &[0u8; 32],
         );
         let _ = control.send(packet);
-        assert_eq!(control.pipeline().loaded_modules(), vec![ModuleId::new(module_id)]);
+        assert_eq!(
+            control.pipeline().loaded_modules(),
+            vec![ModuleId::new(module_id)]
+        );
     }
 }
 
@@ -46,7 +52,10 @@ fn menshen_with_one_module_matches_baseline_rmt() {
         ParseAction::new(40, C::h2(0)).unwrap(), // UDP dst port
     ])
     .unwrap();
-    let key_extract = KeyExtractEntry { slots_4b: [1, 0], ..Default::default() };
+    let key_extract = KeyExtractEntry {
+        slots_4b: [1, 0],
+        ..Default::default()
+    };
     let key_mask = KeyMask::for_slots([false, false, true, false, false, false], false);
     let key = LookupKey::from_slots(
         [(0, 6), (0, 6), (0x0a00_0002, 4), (0, 4), (0, 2), (0, 2)],
@@ -61,10 +70,16 @@ fn menshen_with_one_module_matches_baseline_rmt() {
     rmt.load_program(RmtProgram {
         parser: parser.clone(),
         deparser: ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap(),
-        stages: vec![StageConfig { key_extract, key_mask }],
+        stages: vec![StageConfig {
+            key_extract,
+            key_mask,
+        }],
     })
     .unwrap();
-    rmt.stage_mut(0).unwrap().install_rule(0, key, 0, action.clone()).unwrap();
+    rmt.stage_mut(0)
+        .unwrap()
+        .install_rule(0, key, 0, action.clone())
+        .unwrap();
 
     // Menshen, via the DSL.
     let source = r#"
@@ -78,9 +93,11 @@ module rewrite {
     let compiled = compile_source(source, &CompileOptions::new(5)).unwrap();
     let dst = FieldRef::new("ipv4", "dst_addr");
     let mut config = compiled.config.clone();
-    config.stages[0]
-        .rules
-        .push(compiled.rule("route", &[(&dst, 0x0a00_0002)], "rewrite_and_route").unwrap());
+    config.stages[0].rules.push(
+        compiled
+            .rule("route", &[(&dst, 0x0a00_0002)], "rewrite_and_route")
+            .unwrap(),
+    );
     let mut menshen = MenshenPipeline::new(TABLE5);
     menshen.load_module(&config).unwrap();
 
@@ -95,7 +112,9 @@ module rewrite {
         let rmt_out = rmt.process(packet.clone()).unwrap();
         let menshen_out = menshen.process(packet);
         match menshen_out {
-            Verdict::Forwarded { packet: m_pkt, phv, .. } => {
+            Verdict::Forwarded {
+                packet: m_pkt, phv, ..
+            } => {
                 let r_pkt = rmt_out.packet.expect("baseline forwarded too");
                 assert_eq!(m_pkt.bytes(), r_pkt.bytes(), "packet bytes differ");
                 assert_eq!(phv.metadata.dst_port, rmt_out.phv.metadata.dst_port);

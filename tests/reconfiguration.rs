@@ -43,7 +43,10 @@ fn packets_of_a_module_under_reconfiguration_are_dropped_not_misprocessed() {
     for packet in calc.packets(1, 10, 1) {
         assert!(matches!(
             pipeline.process(packet),
-            Verdict::Dropped { reason: DropReason::BeingReconfigured, .. }
+            Verdict::Dropped {
+                reason: DropReason::BeingReconfigured,
+                ..
+            }
         ));
     }
     pipeline.end_reconfiguration(ModuleId::new(1)).unwrap();
@@ -78,7 +81,10 @@ fn data_path_cannot_reconfigure_the_pipeline() {
         let verdict = pipeline.process(attack.to_packet());
         assert!(matches!(
             verdict,
-            Verdict::Dropped { reason: DropReason::UntrustedReconfiguration, .. }
+            Verdict::Dropped {
+                reason: DropReason::UntrustedReconfiguration,
+                ..
+            }
         ));
     }
     assert_eq!(
@@ -107,6 +113,9 @@ fn trusted_daisy_chain_reconfiguration_round_trips() {
     pipeline.apply_reconfiguration_packet(&packet).unwrap();
     assert!(pipeline.filter().reconfig_counter() > 0);
     // Malformed packets are rejected with an error, not applied silently.
-    let data = PacketBuilder::new().with_vlan(1).build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 8]);
+    let data =
+        PacketBuilder::new()
+            .with_vlan(1)
+            .build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 8]);
     assert!(pipeline.apply_reconfiguration_packet(&data).is_err());
 }

@@ -5,8 +5,8 @@ use menshen::prelude::*;
 use menshen_compiler::FieldRef;
 use menshen_core::CoreError;
 use menshen_programs::netcache::NetCache;
-use menshen_rmt::match_table::LookupKey;
 use menshen_rmt::action::VliwAction;
+use menshen_rmt::match_table::LookupKey;
 
 /// A module with `rules` match entries in stage 0 and `stateful` words.
 fn synthetic_module(module_id: u16, rules: usize, stateful: usize) -> ModuleConfig {
@@ -101,7 +101,9 @@ fn over_quota_runtime_insertions_are_refused() {
     )
     .unwrap();
     let dst_port = FieldRef::new("udp", "dst_port");
-    let rule = compiled.rule("classify", &[(&dst_port, 1234)], "low_priority").unwrap();
+    let rule = compiled
+        .rule("classify", &[(&dst_port, 1234)], "low_priority")
+        .unwrap();
     assert!(control.insert_entry(ModuleId::new(1), 0, &rule).is_err());
 }
 
@@ -111,7 +113,9 @@ fn stateful_exhaustion_is_rejected_at_load_time() {
     // The prototype stage has 4096 stateful words; a second module asking for
     // the remainder plus one is refused, and the refusal leaves no residue.
     pipeline.load_module(&synthetic_module(1, 0, 4000)).unwrap();
-    let err = pipeline.load_module(&synthetic_module(2, 0, 200)).unwrap_err();
+    let err = pipeline
+        .load_module(&synthetic_module(2, 0, 200))
+        .unwrap_err();
     assert!(matches!(err, CoreError::InsufficientResource { .. }));
     assert_eq!(pipeline.loaded_modules(), vec![ModuleId::new(1)]);
     // A right-sized module still fits afterwards.
