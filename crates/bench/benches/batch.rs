@@ -6,98 +6,14 @@
 //! copy of the raw measurements under `results/`.
 
 use menshen_bench::harness::{consume, Runner};
-use menshen_core::{
-    MatchRule, MenshenPipeline, ModuleConfig, ModuleId, StageModuleConfig, BURST_SIZE,
-};
+use menshen_bench::workloads::{flow_rule_tenant, flow_workload};
+use menshen_core::{MenshenPipeline, BURST_SIZE};
 use menshen_json::{Json, ToJson};
-use menshen_packet::{Packet, PacketBuilder};
-use menshen_rmt::action::{AluInstruction, VliwAction};
-use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
-use menshen_rmt::match_table::LookupKey;
-use menshen_rmt::phv::ContainerRef as C;
 use menshen_rmt::TABLE5;
-use std::path::PathBuf;
 
 const TENANTS: u16 = 3;
 const RULES_PER_TENANT: usize = 400; // 3 × 400 = 1200 CAM entries ≥ 1k
 const WORKLOAD_PACKETS: usize = 3072;
-
-/// A tenant matching on the destination IP (h4(1)) with `RULES_PER_TENANT`
-/// distinct flow rules in stage 0: each rewrites the UDP destination port and
-/// bumps a per-tenant stateful counter — the same shape as the CALC-style
-/// modules, scaled up to a realistic table size.
-fn tenant(module_id: u16) -> ModuleConfig {
-    let mut config = ModuleConfig::empty(
-        ModuleId::new(module_id),
-        format!("tenant-{module_id}"),
-        TABLE5.num_stages,
-    );
-    config.parser = ParserEntry::new(vec![
-        ParseAction::new(34, C::h4(1)).unwrap(), // dst IP
-        ParseAction::new(40, C::h2(0)).unwrap(), // UDP dst port
-    ])
-    .unwrap();
-    config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
-    let rules = (0..RULES_PER_TENANT)
-        .map(|flow| MatchRule {
-            key: LookupKey::from_slots(
-                [
-                    (0, 6),
-                    (0, 6),
-                    (dst_ip(module_id, flow), 4),
-                    (0, 4),
-                    (0, 2),
-                    (0, 2),
-                ],
-                false,
-            ),
-            action: VliwAction::nop()
-                .with(C::h2(0), AluInstruction::set(9000 + module_id))
-                .with(C::h4(7), AluInstruction::loadd(0)),
-        })
-        .collect();
-    config.stages[0] = StageModuleConfig {
-        key_extract: Some(KeyExtractEntry {
-            slots_4b: [1, 0],
-            ..Default::default()
-        }),
-        key_mask: Some(KeyMask::for_slots(
-            [false, false, true, false, false, false],
-            false,
-        )),
-        rules,
-        stateful_words: 16,
-    };
-    config
-}
-
-fn dst_ip(module_id: u16, flow: usize) -> u64 {
-    // 10.<tenant>.<flow_hi>.<flow_lo>
-    0x0a00_0000 | (u64::from(module_id) << 16) | (flow as u64 & 0xffff)
-}
-
-fn workload() -> Vec<Packet> {
-    (0..WORKLOAD_PACKETS)
-        .map(|i| {
-            let module_id = 1 + (i as u16 % TENANTS);
-            let flow = (i / TENANTS as usize) % RULES_PER_TENANT;
-            let ip = dst_ip(module_id, flow);
-            PacketBuilder::udp_data(
-                module_id,
-                [10, 0, 0, 1],
-                [
-                    ((ip >> 24) & 0xff) as u8,
-                    ((ip >> 16) & 0xff) as u8,
-                    ((ip >> 8) & 0xff) as u8,
-                    (ip & 0xff) as u8,
-                ],
-                5000,
-                80,
-                &[0u8; 8],
-            )
-        })
-        .collect()
-}
 
 fn main() {
     // A CAM deep enough for 1200 entries per stage.
@@ -105,11 +21,11 @@ fn main() {
     let mut pipeline = MenshenPipeline::new(params);
     let mut installed = 0usize;
     for module_id in 1..=TENANTS {
-        let config = tenant(module_id);
+        let config = flow_rule_tenant(module_id, RULES_PER_TENANT);
         installed += config.stages[0].rules.len();
         pipeline.load_module(&config).unwrap();
     }
-    let packets = workload();
+    let packets = flow_workload(TENANTS, RULES_PER_TENANT, WORKLOAD_PACKETS);
     println!(
         "{TENANTS} tenants, {installed} CAM entries installed, {} packets per iteration, burst {}",
         packets.len(),
@@ -146,10 +62,15 @@ fn main() {
         }
     });
 
-    // The batched path: O(1) index + per-burst amortisation.
+    // The batched path: O(1) index + per-burst amortisation, driven through
+    // the allocation-free `process_batch_into` with one reused verdict
+    // buffer — the way the testbed sweeps and the sharded runtime's workers
+    // consume it.
+    let mut verdicts = Vec::new();
     runner.bench("hot_path/process_batch", elements, || {
         for burst in packets.chunks(BURST_SIZE) {
-            consume(pipeline.process_batch(burst.to_vec()));
+            pipeline.process_batch_into(burst, &mut verdicts);
+            consume(&verdicts);
         }
     });
 
@@ -177,7 +98,6 @@ fn main() {
     );
 
     let baseline = Json::obj([
-        ("benchmark", Json::from("hot_path_single_vs_batch")),
         ("tenants", Json::from(TENANTS)),
         ("cam_entries_installed", Json::from(installed)),
         ("workload_packets", Json::from(packets.len())),
@@ -203,11 +123,10 @@ fn main() {
     ]);
     // Fast (smoke) runs keep their results under `results/` only, so they
     // never overwrite the committed full-fidelity baseline at the repo root.
+    // Full runs merge-update their own section, preserving the other
+    // benches' series.
     if std::env::var_os("MENSHEN_BENCH_FAST").is_none() {
-        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join("..");
-        menshen_bench::write_json_at(&root.join("BENCH_throughput.json"), &baseline);
+        menshen_bench::update_baseline("hot_path_single_vs_batch", &baseline);
     }
     menshen_bench::write_json("bench_batch", &baseline);
 

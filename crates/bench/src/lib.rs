@@ -9,11 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use menshen_json::ToJson;
+use menshen_json::{Json, ToJson};
 use std::fs;
 use std::path::PathBuf;
 
 pub mod harness;
+pub mod workloads;
 
 /// Directory the harness binaries write their JSON results into.
 pub fn results_dir() -> PathBuf {
@@ -37,6 +38,48 @@ pub fn write_json_at<T: ToJson + ?Sized>(path: &std::path::Path, value: &T) {
     } else {
         println!("(wrote {})", path.display());
     }
+}
+
+/// Path of the committed machine-readable baseline at the repository root.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_throughput.json")
+}
+
+/// Merge-updates one top-level section of the committed
+/// `BENCH_throughput.json` baseline: the existing document is parsed, `key`
+/// is inserted or replaced, and everything else is preserved — so the
+/// hot-path bench and the shard-scaling bench can each own a section without
+/// clobbering the other. A pre-sectioned legacy document (recognised by its
+/// top-level `"benchmark"` name field) is wrapped under that name first.
+pub fn update_baseline<T: ToJson + ?Sized>(key: &str, value: &T) {
+    let path = baseline_path();
+    let mut doc = match fs::read_to_string(&path) {
+        // Never silently clobber the other benches' committed series: a
+        // baseline that exists but does not parse *as an object* (merge
+        // conflict, stray edit) must be repaired by a human, not overwritten
+        // — `Json::set` on a non-object would replace the whole document.
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc @ Json::Obj(_)) => doc,
+            Ok(_) => panic!(
+                "{} exists but is not a JSON object; refusing to overwrite it",
+                path.display()
+            ),
+            Err(error) => panic!(
+                "{} exists but is not valid JSON ({error}); refusing to overwrite it",
+                path.display()
+            ),
+        },
+        Err(_) => Json::Obj(Vec::new()),
+    };
+    if let Some(Json::Str(name)) = doc.get("benchmark").cloned() {
+        let legacy = std::mem::replace(&mut doc, Json::Obj(Vec::new()));
+        doc.set(&name, legacy);
+    }
+    doc.set(key, value.to_json());
+    write_json_at(&path, &doc);
 }
 
 /// Prints a section header in the style used by all harness binaries.

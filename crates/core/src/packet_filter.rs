@@ -128,6 +128,17 @@ impl PacketFilter {
         self.counters
     }
 
+    /// Clears the filter's dynamic state — decision counters, the
+    /// reconfiguration-packet counter and the buffer-tag round-robin position
+    /// — while keeping its configuration (slot bindings and the "being
+    /// reconfigured" bitmap). Used when snapshotting a pipeline into a fresh
+    /// replica for a new worker shard.
+    pub fn reset_dynamic_state(&mut self) {
+        self.counters = FilterCounters::default();
+        self.reconfig_counter = 0;
+        self.next_buffer = 0;
+    }
+
     /// Returns true if the module occupying any marked slot matches `module_id`.
     fn module_is_reconfiguring(&self, module_id: u16) -> bool {
         (0..32).any(|slot| {

@@ -847,14 +847,33 @@ impl MenshenPipeline {
     /// burst (see the module docs): per-module overlay configuration and
     /// trivially-masked CAM lookups resolve once per `(module, burst)`, one
     /// scratch PHV is reused throughout, and per-module counters flush once
-    /// at the end. The steady state allocates nothing beyond the returned
-    /// verdicts.
+    /// at the end.
+    ///
+    /// This is a convenience wrapper over
+    /// [`process_batch_into`](Self::process_batch_into); hot paths that
+    /// process many bursts (the testbed sweeps, the benches, the sharded
+    /// runtime's workers) should call that directly with a reused verdict
+    /// buffer and a borrowed burst, which also skips this wrapper's
+    /// forwarded-packet clones.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<Verdict> {
+        let mut verdicts = Vec::with_capacity(packets.len());
+        self.process_batch_into(&packets, &mut verdicts);
+        verdicts
+    }
+
+    /// Allocation-free variant of [`process_batch`](Self::process_batch):
+    /// processes `packets` as one burst and writes one verdict per packet, in
+    /// order, into `out` (which is cleared first). Callers that process many
+    /// bursts — the testbed sweeps and the sharded runtime's workers — reuse
+    /// one verdict buffer across bursts so the steady state performs no heap
+    /// allocation at all for verdict storage.
+    pub fn process_batch_into(&mut self, packets: &[Packet], out: &mut Vec<Verdict>) {
+        out.clear();
+        out.reserve(packets.len());
         let mut scratch = std::mem::take(&mut self.batch);
         scratch.begin(self.params.overlay_depth);
-        let mut verdicts = Vec::with_capacity(packets.len());
         for packet in packets {
-            verdicts.push(self.process_batched_packet(packet, &mut scratch));
+            out.push(self.process_batched_packet(packet, &mut scratch));
         }
         // Flush the per-module counter deltas accumulated during the burst.
         for &slot in &scratch.touched {
@@ -870,15 +889,16 @@ impl MenshenPipeline {
         }
         scratch.touched.clear();
         self.batch = scratch;
-        verdicts
     }
 
     /// One packet of a burst. Mirrors [`process`](Self::process) exactly,
     /// except that per-module configuration comes out of the burst scratch
-    /// and counters accumulate there.
-    fn process_batched_packet(&mut self, packet: Packet, scratch: &mut BatchScratch) -> Verdict {
+    /// and counters accumulate there. The packet is only cloned on the
+    /// forwarding path (the deparser rewrites it); dropped packets touch no
+    /// heap at all.
+    fn process_batched_packet(&mut self, packet: &Packet, scratch: &mut BatchScratch) -> Verdict {
         self.cycle += 1;
-        let decision = self.filter.classify(&packet);
+        let decision = self.filter.classify(packet);
         let (module_id, buffer_tag) = match decision {
             FilterDecision::Reconfiguration => {
                 return Verdict::Dropped {
@@ -929,7 +949,7 @@ impl MenshenPipeline {
         slot_scratch.counters.bytes_in += packet_len as u64;
 
         // Parse with the module's own parser entry, reusing the burst PHV.
-        if parser::parse_into(phv, &packet, &slot_scratch.parser, module_id).is_err() {
+        if parser::parse_into(phv, packet, &slot_scratch.parser, module_id).is_err() {
             slot_scratch.counters.packets_dropped += 1;
             return Verdict::Dropped {
                 reason: DropReason::ModuleDiscard,
@@ -972,7 +992,7 @@ impl MenshenPipeline {
         }
 
         // Deparse with the module's deparser entry.
-        let mut packet = packet;
+        let mut packet = packet.clone();
         if deparser::deparse(&mut packet, phv, &slot_scratch.deparser).is_err() {
             slot_scratch.counters.packets_dropped += 1;
             return Verdict::Dropped {
@@ -1064,6 +1084,45 @@ impl MenshenPipeline {
         })?;
         self.filter.clear_reconfiguring(slot);
         Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Replication (sharded runtime support)
+    // -----------------------------------------------------------------------
+
+    /// Snapshots this pipeline's *configuration* into a fresh replica with
+    /// cleared dynamic state: same loaded modules, overlay tables, CAM/action
+    /// entries, space partitions, slot bindings and system-module routing
+    /// state, but zeroed traffic counters, stateful memory, filter/CAM/
+    /// stateful statistics, cycle counter and batch scratch.
+    ///
+    /// This is the replication hook the sharded runtime uses to stand up a
+    /// new worker shard next to already-running ones (elastic scale-out):
+    /// the replica forwards exactly like the original from the first packet,
+    /// while per-shard counters and stateful ALU state start from zero so
+    /// cross-shard aggregation (which sums) stays correct.
+    pub fn config_replica(&self) -> MenshenPipeline {
+        let mut replica = self.clone();
+        replica.cycle = 0;
+        replica.batch = BatchScratch::default();
+        for runtime in replica.modules.values_mut() {
+            runtime.counters = ModuleCounters::default();
+        }
+        replica.filter.reset_dynamic_state();
+        replica.system.reset_stats();
+        for stage in &mut replica.stages {
+            let words = stage.hw.stateful.len() as u32;
+            if words > 0 {
+                stage
+                    .hw
+                    .stateful
+                    .clear_range(0, words)
+                    .expect("full-range clear is always in bounds");
+            }
+            stage.hw.stateful.reset_stats();
+            stage.hw.cam.reset_stats();
+        }
+        replica
     }
 }
 

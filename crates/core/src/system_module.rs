@@ -93,6 +93,13 @@ impl SystemModule {
         self.stats
     }
 
+    /// Zeroes the device statistics while keeping the routing configuration
+    /// (virtual IPs, routes, multicast groups, default port). Used when
+    /// snapshotting a pipeline into a fresh replica for a new worker shard.
+    pub fn reset_stats(&mut self) {
+        self.stats = SystemStats::default();
+    }
+
     /// First half: runs before tenant processing. Updates link statistics and
     /// stamps the read-only statistics into the PHV metadata so tenant
     /// programs can react to them (e.g. congestion-aware logic).

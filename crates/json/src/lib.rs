@@ -109,6 +109,313 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Looks a key up in an object (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces `key` in an object, preserving the position of an
+    /// existing key. Converts non-object variants into a fresh object first.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if !matches!(self, Json::Obj(_)) {
+            *self = Json::Obj(Vec::new());
+        }
+        let Json::Obj(pairs) = self else {
+            unreachable!()
+        };
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => pairs.push((key.to_owned(), value)),
+        }
+    }
+
+    /// Parses a JSON document (the inverse of [`pretty`](Self::pretty); the
+    /// role `serde_json::from_str` played). Accepts any standard JSON, not
+    /// just this crate's own output. Trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    /// Containers deeper than this fail with a `ParseError` instead of
+    /// overflowing the stack of the recursive-descent parser.
+    const MAX_DEPTH: usize = 128;
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of input"))?
+        {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let byte = self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?;
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let high = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u', "expected low surrogate escape")?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(self.error("unpaired high surrogate"));
+                                }
+                            } else {
+                                high
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input came from &str");
+                    let c = s.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let byte = self
+                .peek()
+                .ok_or_else(|| self.error("truncated unicode escape"))?;
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        match text.parse::<f64>() {
+            // `Json::pretty` prints non-finite numbers as `null`, so letting
+            // an overflowing literal parse to infinity would silently turn
+            // the value into null on the next round-trip.
+            Ok(value) if value.is_finite() => Ok(Json::Num(value)),
+            Ok(_) => Err(self.error("number out of range")),
+            Err(_) => Err(self.error("invalid number")),
+        }
+    }
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -281,5 +588,97 @@ mod tests {
         let doc = Json::obj([("z", 1u8), ("a", 2u8)]);
         let text = doc.pretty();
         assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn parse_roundtrips_pretty_output() {
+        let doc = Json::obj([
+            ("name", Json::from("shard_scaling")),
+            ("mpps", Json::from(20.462)),
+            ("negative", Json::from(-3)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "series",
+                Json::arr([Json::obj([("shards", 1u8)]), Json::obj([("shards", 4u8)])]),
+            ),
+            ("escaped", Json::from("a\"b\\c\nd\te")),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn parse_accepts_standard_json() {
+        let doc = Json::parse(
+            r#"{"a": [1, 2.5, -3e2, true, false, null], "b": {"c": "\u0041\ud83d\ude00/"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("a").unwrap(),
+            &Json::arr([
+                Json::from(1),
+                Json::from(2.5),
+                Json::from(-300.0),
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Null,
+            ])
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap(),
+            &Json::from("A\u{1F600}/")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":}",
+            "\"\\u12g4\"",
+            "\"\\ud800x\"",
+            "1e309",
+            "-1e309",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth_instead_of_overflowing() {
+        // Within the cap: fine.
+        let nested = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&nested).is_ok());
+        // Far past the cap: a ParseError, not a stack overflow.
+        let bomb = "[".repeat(50_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert_eq!(err.message, "maximum nesting depth exceeded");
+    }
+
+    #[test]
+    fn get_and_set_maintain_objects() {
+        let mut doc = Json::parse(r#"{"keep": 1, "replace": 2}"#).unwrap();
+        doc.set("replace", Json::from(9));
+        doc.set("new", Json::from("x"));
+        assert_eq!(doc.get("keep"), Some(&Json::from(1)));
+        assert_eq!(doc.get("replace"), Some(&Json::from(9)));
+        assert_eq!(doc.get("new"), Some(&Json::from("x")));
+        assert_eq!(doc.get("missing"), None);
+        // Keys keep their original position on replacement.
+        let text = doc.pretty();
+        assert!(text.find("\"keep\"").unwrap() < text.find("\"replace\"").unwrap());
+        // set() on a non-object starts a fresh object.
+        let mut scalar = Json::from(5);
+        scalar.set("a", Json::from(1));
+        assert_eq!(scalar, Json::obj([("a", 1u8)]));
     }
 }

@@ -172,6 +172,15 @@ impl Packet {
             .map(|h| h.dst_addr())
     }
 
+    /// Convenience accessor: UDP source port, if the packet is UDP.
+    pub fn udp_src_port(&self) -> Option<u16> {
+        let headers = self.parse_headers().ok()?;
+        let off = headers.udp?;
+        UdpHeader::new_checked(&self.data[off..])
+            .ok()
+            .map(|h| h.src_port())
+    }
+
     /// Convenience accessor: UDP destination port, if the packet is UDP.
     pub fn udp_dst_port(&self) -> Option<u16> {
         let headers = self.parse_headers().ok()?;

@@ -282,6 +282,13 @@ impl ExactMatchTable {
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.hits)
     }
+
+    /// Zeroes the lookup statistics (entries and index are untouched). Used
+    /// when a pipeline is snapshotted into a fresh replica.
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.hits = 0;
+    }
 }
 
 #[cfg(test)]

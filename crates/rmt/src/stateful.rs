@@ -133,6 +133,13 @@ impl StatefulMemory {
     pub fn write_count(&self) -> u64 {
         self.writes
     }
+
+    /// Zeroes the read/write statistics (the memory contents are untouched).
+    /// Used when a pipeline is snapshotted into a fresh replica.
+    pub fn reset_stats(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
 }
 
 #[cfg(test)]

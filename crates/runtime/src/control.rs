@@ -1,0 +1,117 @@
+//! The epoch-versioned control plane shared by all shards.
+//!
+//! Every control-plane change — module install/remove/update, raw daisy-chain
+//! writes, reconfiguration marks, system-module routing — is expressed as a
+//! [`ControlOp`] and published as one [`EpochEntry`] on a shared, append-only
+//! log. Publishing assigns the entry a monotonically increasing *epoch*.
+//! Each worker shard applies pending entries, in log order, at a burst
+//! boundary of its own choosing and then advertises the epoch it reached.
+//!
+//! This gives the runtime its hitless-reconfiguration guarantee without ever
+//! pausing the data path: configuration is never written mid-burst (bursts
+//! hold `&mut` on their pipeline replica), every shard applies the exact same
+//! ops in the exact same order (replicas never diverge), and the runtime can
+//! wait for all shards to reach an epoch to know a change is globally in
+//! effect. The single-pipeline analogue of an epoch boundary is "between two
+//! `process_batch` calls", which is what makes the sharded runtime testable
+//! against one big pipeline.
+
+use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, ReconfigCommand};
+use menshen_packet::Ipv4Address;
+
+/// One replicated control-plane operation. Applied identically, in published
+/// order, to every shard's pipeline replica.
+#[derive(Debug, Clone)]
+pub enum ControlOp {
+    /// Load a compiled module (assigns a slot, carves partitions, streams the
+    /// daisy-chain writes).
+    Load(Box<ModuleConfig>),
+    /// Re-stream an already-loaded module's configuration.
+    Update(Box<ModuleConfig>),
+    /// Unload a module and release its resources.
+    Unload(ModuleId),
+    /// Mark a module as being reconfigured (its packets drop until cleared).
+    BeginReconfiguration(ModuleId),
+    /// Clear a module's reconfiguration mark.
+    EndReconfiguration(ModuleId),
+    /// Apply one raw daisy-chain write.
+    Command(ReconfigCommand),
+    /// Install a route in the system-level module.
+    AddRoute(Ipv4Address, u16),
+    /// Set the system-level module's default output port.
+    SetDefaultPort(u16),
+    /// Ask each shard to publish a snapshot of its per-module counters and
+    /// device statistics (the aggregation path; no pipeline state changes).
+    Snapshot,
+}
+
+impl ControlOp {
+    /// Applies this operation to one pipeline replica. [`ControlOp::Snapshot`]
+    /// is a no-op here — the shard handles it after applying, by exporting
+    /// its statistics.
+    pub fn apply(&self, pipeline: &mut MenshenPipeline) -> menshen_core::Result<()> {
+        match self {
+            ControlOp::Load(config) => pipeline.load_module(config).map(|_| ()),
+            ControlOp::Update(config) => pipeline.update_module(config).map(|_| ()),
+            ControlOp::Unload(module) => pipeline.unload_module(*module),
+            ControlOp::BeginReconfiguration(module) => pipeline.begin_reconfiguration(*module),
+            ControlOp::EndReconfiguration(module) => pipeline.end_reconfiguration(*module),
+            ControlOp::Command(command) => pipeline.apply_command(command),
+            ControlOp::AddRoute(ip, port) => {
+                pipeline.system_mut().add_route(*ip, *port);
+                Ok(())
+            }
+            ControlOp::SetDefaultPort(port) => {
+                pipeline.system_mut().set_default_port(*port);
+                Ok(())
+            }
+            ControlOp::Snapshot => Ok(()),
+        }
+    }
+}
+
+/// One published batch of control operations.
+#[derive(Debug, Clone)]
+pub struct EpochEntry {
+    /// The epoch this entry established (1-based, strictly increasing).
+    pub epoch: u64,
+    /// The operations to apply, in order.
+    pub ops: Vec<ControlOp>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_rmt::TABLE5;
+
+    #[test]
+    fn ops_apply_like_direct_calls() {
+        let module = ModuleConfig::empty(ModuleId::new(4), "m", 5);
+        let mut direct = MenshenPipeline::new(TABLE5);
+        direct.load_module(&module).unwrap();
+        direct
+            .system_mut()
+            .add_route(Ipv4Address::new(10, 0, 0, 9), 3);
+        direct.system_mut().set_default_port(7);
+
+        let mut replayed = MenshenPipeline::new(TABLE5);
+        for op in [
+            ControlOp::Load(Box::new(module.clone())),
+            ControlOp::AddRoute(Ipv4Address::new(10, 0, 0, 9), 3),
+            ControlOp::SetDefaultPort(7),
+            ControlOp::Snapshot,
+        ] {
+            op.apply(&mut replayed).unwrap();
+        }
+        assert_eq!(replayed.loaded_modules(), direct.loaded_modules());
+
+        ControlOp::Unload(ModuleId::new(4))
+            .apply(&mut replayed)
+            .unwrap();
+        assert!(replayed.loaded_modules().is_empty());
+        // Errors propagate (unloading twice).
+        assert!(ControlOp::Unload(ModuleId::new(4))
+            .apply(&mut replayed)
+            .is_err());
+    }
+}

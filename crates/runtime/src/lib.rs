@@ -1,0 +1,49 @@
+//! Sharded multi-core runtime for the Menshen pipeline.
+//!
+//! Menshen isolates tenants *within* one RMT pipeline; this crate scales
+//! that pipeline *across* cores, the way DPDK deployments shard a NIC's
+//! traffic over worker lcores with receive-side scaling (RSS):
+//!
+//! ```text
+//!             ┌────────────┐  SPSC ring  ┌──────────────────┐
+//!  packets →  │ dispatcher │ ═══════════▶│ shard 0: replica │──┐
+//!             │  (Toeplitz │  SPSC ring  ├──────────────────┤  │   ┌────────────┐
+//!             │   steering)│ ═══════════▶│ shard 1: replica │──┼──▶│ aggregator │
+//!             │            │     ...     ├──────────────────┤  │   │ (Σ counters│
+//!             │            │ ═══════════▶│ shard N: replica │──┘   │  Σ stats)  │
+//!             └────────────┘             └──────────────────┘      └────────────┘
+//!                   ▲                            ▲
+//!                   │      epoch-versioned       │  applied at burst
+//!                   └──── control-plane log ─────┘  boundaries, acked
+//! ```
+//!
+//! * [`rss`] — Toeplitz hashing (bit-exact against the Microsoft RSS test
+//!   vectors) plus the indirection table; tenant-affine by default so
+//!   per-module counters and stateful ALUs stay shard-local and the
+//!   single-pipeline isolation semantics are preserved.
+//! * [`ring`] — bounded SPSC burst rings with backpressure.
+//! * [`control`] — every configuration change is one [`ControlOp`] batch
+//!   published as a numbered epoch; shards apply epochs in order at burst
+//!   boundaries and acknowledge them, giving hitless reconfiguration.
+//! * [`shard`] — the worker loop and the cross-thread progress board.
+//! * [`runtime`] — [`ShardedRuntime`], tying it all together, in a
+//!   threaded mode (deployment) and a deterministic in-process mode that is
+//!   exactly testable against a single [`menshen_core::MenshenPipeline`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod ring;
+pub mod rss;
+pub mod runtime;
+pub mod shard;
+
+pub use control::{ControlOp, EpochEntry};
+pub use ring::{ring as bounded_ring, Consumer, Producer, RingClosed};
+pub use rss::{
+    toeplitz_hash, RssHasher, Steerer, SteeringMode, DEFAULT_RSS_KEY, MAX_HASH_INPUT, RETA_SIZE,
+    RSS_KEY_LEN,
+};
+pub use runtime::{ExecutionMode, RuntimeError, RuntimeOptions, ShardedRuntime};
+pub use shard::{ShardSnapshot, ShardStats};

@@ -1,0 +1,924 @@
+//! The sharded runtime: dispatcher → rings → shards → aggregator.
+//!
+//! [`ShardedRuntime`] owns N worker shards, each running its own
+//! [`MenshenPipeline`] replica, and scales the single-pipeline batched data
+//! path across cores the way DPDK deployments shard a NIC's traffic over
+//! worker lcores:
+//!
+//! * the **dispatcher** (the caller of [`ShardedRuntime::submit`] /
+//!   [`ShardedRuntime::process_batch`]) steers every packet with an RSS-style
+//!   Toeplitz hash ([`crate::Steerer`]) — tenant-affine by default, so all of
+//!   a tenant's packets, counters and stateful ALU words stay on one shard
+//!   and the isolation semantics of the single pipeline carry over unchanged;
+//! * **bounded SPSC rings** ([`crate::ring`]) carry bursts to the shards with
+//!   backpressure;
+//! * the **epoch-versioned control plane** ([`crate::control`]) broadcasts
+//!   every configuration change to all replicas, applied at burst boundaries
+//!   — reconfiguration is hitless: other tenants' traffic keeps flowing while
+//!   a module is re-streamed, exactly as on the single pipeline;
+//! * the **aggregator** merges per-tenant counters, device statistics and
+//!   shard tallies across replicas ([`ShardedRuntime::aggregated_counters`]).
+//!
+//! # Execution modes
+//!
+//! [`ExecutionMode::Threaded`] runs each shard on its own `std::thread` — the
+//! deployment shape. [`ExecutionMode::Deterministic`] keeps all replicas
+//! in-process and drains them round-robin inside `process_batch`, with
+//! control changes applied synchronously between bursts; it exists so the
+//! sharded runtime is *exactly* testable against a single pipeline (same
+//! steering, same replica semantics, no scheduling nondeterminism). The
+//! `shard_equivalence` integration tests exploit this to prove the per-tenant
+//! verdict multiset and counter totals match a lone `MenshenPipeline` for any
+//! shard count, including across interleaved reconfigurations.
+
+use crate::control::{ControlOp, EpochEntry};
+use crate::ring::{ring, Producer};
+use crate::rss::{Steerer, SteeringMode};
+use crate::shard::{apply_entry, run_worker, ShardInput, ShardSnapshot, ShardStats, Shared};
+use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
+use menshen_core::{SystemStats, Verdict, BURST_SIZE};
+use menshen_packet::{Ipv4Address, Packet};
+use menshen_rmt::params::PipelineParams;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the runtime executes its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// No threads: replicas live in the runtime and `process_batch` drains
+    /// them round-robin. Bit-for-bit reproducible; used by the equivalence
+    /// tests and anywhere determinism beats parallelism.
+    Deterministic,
+    /// One `std::thread` per shard, fed through bounded SPSC rings. The
+    /// deployment shape; throughput scales with cores.
+    Threaded,
+}
+
+/// Construction-time options for [`ShardedRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Threaded or deterministic execution.
+    pub mode: ExecutionMode,
+    /// Which flow identifiers steer packets to shards.
+    pub steering: SteeringMode,
+    /// Packets per burst handed to a shard.
+    pub burst_size: usize,
+    /// Ring capacity per shard, in bursts.
+    pub ring_capacity: usize,
+}
+
+impl RuntimeOptions {
+    /// Deterministic mode with `shards` shards and tenant-affine steering.
+    pub fn deterministic(shards: usize) -> Self {
+        RuntimeOptions {
+            shards,
+            mode: ExecutionMode::Deterministic,
+            steering: SteeringMode::TenantAffine,
+            burst_size: BURST_SIZE,
+            ring_capacity: 64,
+        }
+    }
+
+    /// Threaded mode with `shards` shards and tenant-affine steering.
+    pub fn threaded(shards: usize) -> Self {
+        RuntimeOptions {
+            mode: ExecutionMode::Threaded,
+            ..Self::deterministic(shards)
+        }
+    }
+
+    /// Replaces the steering mode.
+    pub fn with_steering(mut self, steering: SteeringMode) -> Self {
+        self.steering = steering;
+        self
+    }
+}
+
+/// Errors surfaced by the sharded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A control-plane epoch failed on at least one shard. Replicas apply
+    /// identical ops in identical order, so a failure is always global (every
+    /// shard reports the same error).
+    Control {
+        /// The epoch that failed.
+        epoch: u64,
+        /// The first per-op error message.
+        message: String,
+    },
+    /// The requested entry point does not exist in the current execution
+    /// mode (e.g. `process_batch` on a threaded runtime).
+    WrongMode(&'static str),
+    /// A worker shard is no longer running (the runtime was shut down, or
+    /// the worker thread panicked), so the requested work cannot complete.
+    ShardDown {
+        /// The dead shard's index.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Control { epoch, message } => {
+                write!(f, "control epoch {epoch} failed: {message}")
+            }
+            RuntimeError::WrongMode(what) => write!(f, "{what}"),
+            RuntimeError::ShardDown { shard } => {
+                write!(f, "worker shard {shard} is no longer running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A deterministic-mode shard: the replica lives in the runtime itself.
+struct LocalShard {
+    pipeline: MenshenPipeline,
+}
+
+/// A threaded-mode shard handle: the replica lives on its worker thread.
+struct Worker {
+    input: Producer<ShardInput>,
+    handle: Option<JoinHandle<()>>,
+    submitted_bursts: u64,
+}
+
+enum Backend {
+    Deterministic(Vec<LocalShard>),
+    Threaded(Vec<Worker>),
+}
+
+/// The sharded multi-core runtime. See the module docs for the architecture.
+pub struct ShardedRuntime {
+    options: RuntimeOptions,
+    steerer: Steerer,
+    shared: Arc<Shared>,
+    backend: Backend,
+    epoch: u64,
+    // Dispatcher scratch, reused across calls so steady-state dispatch does
+    // not allocate.
+    scatter: Vec<Vec<Packet>>,
+    scatter_pos: Vec<Vec<usize>>,
+    verdict_scratch: Vec<Verdict>,
+    reorder: Vec<Option<Verdict>>,
+}
+
+impl ShardedRuntime {
+    /// Creates a runtime whose shards replicate an empty pipeline with the
+    /// given hardware parameters. Configuration then flows exclusively
+    /// through the epoch-versioned control plane, keeping all replicas
+    /// identical by construction.
+    pub fn new(params: PipelineParams, options: RuntimeOptions) -> Self {
+        Self::from_pipeline(&MenshenPipeline::new(params), options)
+    }
+
+    /// Creates a runtime whose shards are configuration replicas of an
+    /// existing pipeline ([`MenshenPipeline::config_replica`]): same loaded
+    /// modules and routing state, zeroed counters and stateful memory.
+    pub fn from_pipeline(template: &MenshenPipeline, options: RuntimeOptions) -> Self {
+        assert!(options.shards >= 1, "at least one shard is required");
+        assert!(options.burst_size >= 1, "burst size must be positive");
+        let shared = Arc::new(Shared::new(options.shards));
+        let steerer = Steerer::new(options.steering, options.shards);
+        let backend = match options.mode {
+            ExecutionMode::Deterministic => Backend::Deterministic(
+                (0..options.shards)
+                    .map(|_| LocalShard {
+                        pipeline: template.config_replica(),
+                    })
+                    .collect(),
+            ),
+            ExecutionMode::Threaded => Backend::Threaded(
+                (0..options.shards)
+                    .map(|index| {
+                        let (producer, consumer) = ring(options.ring_capacity);
+                        let pipeline = template.config_replica();
+                        let shared = Arc::clone(&shared);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("menshen-shard-{index}"))
+                            .spawn(move || run_worker(index, pipeline, consumer, shared))
+                            .expect("spawning a shard thread");
+                        Worker {
+                            input: producer,
+                            handle: Some(handle),
+                            submitted_bursts: 0,
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        ShardedRuntime {
+            scatter: vec![Vec::new(); options.shards],
+            scatter_pos: vec![Vec::new(); options.shards],
+            verdict_scratch: Vec::new(),
+            reorder: Vec::new(),
+            steerer,
+            shared,
+            backend,
+            epoch: 0,
+            options,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.options.shards
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.options.mode
+    }
+
+    /// The steering mode.
+    pub fn steering(&self) -> SteeringMode {
+        self.steerer.mode()
+    }
+
+    /// The most recently published configuration epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configuration epoch each shard has applied.
+    pub fn applied_epochs(&self) -> Vec<u64> {
+        self.shared
+            .progress
+            .lock()
+            .expect("progress lock poisoned")
+            .iter()
+            .map(|p| p.applied_epoch)
+            .collect()
+    }
+
+    // -----------------------------------------------------------------------
+    // Control plane: epoch-versioned broadcast
+    // -----------------------------------------------------------------------
+
+    /// Publishes a batch of control operations as one new epoch and returns
+    /// it, *without* waiting for shards to apply it. Shards pick the epoch up
+    /// at their next burst boundary. Use [`wait_for_epoch`]
+    /// (Self::wait_for_epoch) to block until it is globally in effect, or the
+    /// synchronous wrappers ([`load_module`](Self::load_module) …) which
+    /// flush in-flight traffic first and then wait — the hitless-reconfig
+    /// ordering guarantee: the change lands strictly after all previously
+    /// submitted packets and strictly before all subsequent ones.
+    pub fn publish(&mut self, ops: Vec<ControlOp>) -> u64 {
+        self.epoch += 1;
+        let entry = EpochEntry {
+            epoch: self.epoch,
+            ops,
+        };
+        match &mut self.backend {
+            Backend::Deterministic(shards) => {
+                for (index, shard) in shards.iter_mut().enumerate() {
+                    let (snapshot, error) = apply_entry(&mut shard.pipeline, &entry);
+                    let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+                    let slot = &mut progress[index];
+                    slot.applied_epoch = entry.epoch;
+                    if let Some(snapshot) = snapshot {
+                        slot.snapshot = Some(snapshot);
+                    }
+                    if let Some(message) = error {
+                        slot.last_error = Some((entry.epoch, message));
+                    }
+                }
+            }
+            Backend::Threaded(workers) => {
+                self.shared
+                    .log
+                    .lock()
+                    .expect("log lock poisoned")
+                    .push(entry);
+                self.shared.published.store(self.epoch, Ordering::Release);
+                for worker in workers.iter() {
+                    // Wake shards blocked on an empty ring; a full ring means
+                    // the shard has burst boundaries coming up anyway.
+                    let _ = worker.input.try_push(ShardInput::Sync);
+                }
+            }
+        }
+        self.epoch
+    }
+
+    /// Blocks until every *live* shard has applied `epoch`. Returns `Ok` when
+    /// all shards applied it, or `Err(ShardDown)` if a shard exited (shutdown
+    /// or worker panic) before reaching it — waiting on a dead shard would
+    /// otherwise hang forever.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Result<(), RuntimeError> {
+        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        while progress
+            .iter()
+            .any(|p| !p.exited && p.applied_epoch < epoch)
+        {
+            progress = self
+                .shared
+                .cv
+                .wait(progress)
+                .expect("progress lock poisoned");
+        }
+        match progress
+            .iter()
+            .position(|p| p.exited && p.applied_epoch < epoch)
+        {
+            Some(shard) => Err(RuntimeError::ShardDown { shard }),
+            None => Ok(()),
+        }
+    }
+
+    /// Synchronous control-plane round trip: flush in-flight traffic, publish
+    /// one epoch, wait for every shard to apply it, and surface the first
+    /// error if the ops failed (identically, on every replica).
+    fn control(&mut self, ops: Vec<ControlOp>) -> Result<(), RuntimeError> {
+        self.flush();
+        let epoch = self.publish(ops);
+        self.wait_for_epoch(epoch)?;
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        for slot in progress.iter() {
+            if let Some((failed_epoch, message)) = &slot.last_error {
+                if *failed_epoch == epoch {
+                    return Err(RuntimeError::Control {
+                        epoch,
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a module on every shard replica (one epoch).
+    pub fn load_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::Load(Box::new(config.clone()))])
+    }
+
+    /// Updates a loaded module on every shard replica (one epoch).
+    pub fn update_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::Update(Box::new(config.clone()))])
+    }
+
+    /// Unloads a module from every shard replica (one epoch).
+    pub fn unload_module(&mut self, module: ModuleId) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::Unload(module)])
+    }
+
+    /// Marks a module as being reconfigured on every shard (its packets drop
+    /// until [`end_reconfiguration`](Self::end_reconfiguration); other
+    /// modules keep forwarding — reconfiguration is hitless for them).
+    pub fn begin_reconfiguration(&mut self, module: ModuleId) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::BeginReconfiguration(module)])
+    }
+
+    /// Clears a module's reconfiguration mark on every shard.
+    pub fn end_reconfiguration(&mut self, module: ModuleId) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::EndReconfiguration(module)])
+    }
+
+    /// Applies one raw daisy-chain write on every shard replica.
+    pub fn apply_command(&mut self, command: &ReconfigCommand) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::Command(command.clone())])
+    }
+
+    /// Installs a system-module route on every shard replica.
+    pub fn add_route(&mut self, ip: Ipv4Address, port: u16) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::AddRoute(ip, port)])
+    }
+
+    /// Sets the system-module default port on every shard replica.
+    pub fn set_default_port(&mut self, port: u16) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::SetDefaultPort(port)])
+    }
+
+    // -----------------------------------------------------------------------
+    // Data path
+    // -----------------------------------------------------------------------
+
+    /// Deterministic-mode data path: steers `packets` across the shard
+    /// replicas, drains the shards round-robin (shard 0, 1, …), and returns
+    /// one verdict per packet in the *input* order. Not available in threaded
+    /// mode, where verdict streams live on the worker threads — use
+    /// [`submit`](Self::submit) / [`flush`](Self::flush) and the aggregated
+    /// statistics instead.
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Verdict>, RuntimeError> {
+        let Backend::Deterministic(shards) = &mut self.backend else {
+            return Err(RuntimeError::WrongMode(
+                "process_batch requires deterministic mode; threaded runtimes expose submit/flush",
+            ));
+        };
+        let total = packets.len();
+        for (position, packet) in packets.into_iter().enumerate() {
+            let shard = self.steerer.shard_for(&packet);
+            self.scatter[shard].push(packet);
+            self.scatter_pos[shard].push(position);
+        }
+        // The reorder buffer is reused scratch like the scatter vectors; the
+        // only steady-state allocation left is the returned Vec itself.
+        self.reorder.clear();
+        self.reorder.resize_with(total, || None);
+        for (index, shard) in shards.iter_mut().enumerate() {
+            if self.scatter[index].is_empty() {
+                continue;
+            }
+            shard
+                .pipeline
+                .process_batch_into(&self.scatter[index], &mut self.verdict_scratch);
+            let forwarded = self
+                .verdict_scratch
+                .iter()
+                .filter(|v| v.is_forwarded())
+                .count() as u64;
+            let processed = self.scatter[index].len() as u64;
+            for (verdict, &position) in self
+                .verdict_scratch
+                .drain(..)
+                .zip(self.scatter_pos[index].iter())
+            {
+                self.reorder[position] = Some(verdict);
+            }
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            let slot = &mut progress[index];
+            slot.bursts_done += 1;
+            slot.stats.bursts += 1;
+            slot.stats.packets += processed;
+            slot.stats.forwarded += forwarded;
+            slot.stats.dropped += processed - forwarded;
+            drop(progress);
+            self.scatter[index].clear();
+            self.scatter_pos[index].clear();
+        }
+        Ok(self
+            .reorder
+            .drain(..)
+            .map(|verdict| verdict.expect("every input position receives a verdict"))
+            .collect())
+    }
+
+    /// Threaded-mode data path: steers `packets` into per-shard bursts of
+    /// [`RuntimeOptions::burst_size`] and pushes them onto the shard rings,
+    /// blocking for backpressure when a ring is full. Returns immediately
+    /// after enqueueing; pair with [`flush`](Self::flush) to wait for
+    /// completion. Clones each packet into its shard burst — callers that
+    /// already own the packets should prefer
+    /// [`submit_owned`](Self::submit_owned), which moves them (a real DPDK
+    /// dispatcher passes mbuf pointers; cloning in the serial dispatcher
+    /// stage is pure overhead).
+    ///
+    /// Errors with [`RuntimeError::ShardDown`] — without silently dropping
+    /// the remaining packets — if a destination shard has shut down.
+    pub fn submit(&mut self, packets: &[Packet]) -> Result<(), RuntimeError> {
+        if !matches!(self.backend, Backend::Threaded(_)) {
+            return Err(RuntimeError::WrongMode(
+                "submit requires threaded mode; deterministic runtimes expose process_batch",
+            ));
+        }
+        self.submit_owned(packets.to_vec())
+    }
+
+    /// Like [`submit`](Self::submit), but takes ownership of the packets so
+    /// the serial dispatcher stage never copies packet payloads.
+    pub fn submit_owned(&mut self, packets: Vec<Packet>) -> Result<(), RuntimeError> {
+        let Backend::Threaded(workers) = &mut self.backend else {
+            return Err(RuntimeError::WrongMode(
+                "submit requires threaded mode; deterministic runtimes expose process_batch",
+            ));
+        };
+        let mut failed_shard = None;
+        'dispatch: for packet in packets {
+            let shard = self.steerer.shard_for(&packet);
+            self.scatter[shard].push(packet);
+            if self.scatter[shard].len() >= self.options.burst_size {
+                let burst = std::mem::take(&mut self.scatter[shard]);
+                if workers[shard].input.push(ShardInput::Burst(burst)).is_err() {
+                    failed_shard = Some(shard);
+                    break 'dispatch;
+                }
+                workers[shard].submitted_bursts += 1;
+            }
+        }
+        if failed_shard.is_none() {
+            // Flush partial bursts so every submitted packet is in flight.
+            for (index, worker) in workers.iter_mut().enumerate() {
+                if !self.scatter[index].is_empty() {
+                    let burst = std::mem::take(&mut self.scatter[index]);
+                    if worker.input.push(ShardInput::Burst(burst)).is_err() {
+                        failed_shard = Some(index);
+                        break;
+                    }
+                    worker.submitted_bursts += 1;
+                }
+            }
+        }
+        if let Some(shard) = failed_shard {
+            // Never leave half a submission lingering in the scatter
+            // buffers: drop it and tell the caller exactly what was lost.
+            for scatter in &mut self.scatter {
+                scatter.clear();
+            }
+            return Err(RuntimeError::ShardDown { shard });
+        }
+        Ok(())
+    }
+
+    /// Blocks until every burst submitted so far has been fully processed.
+    /// No-op in deterministic mode (processing is synchronous there). A
+    /// shard that exited (shutdown or panic) is not waited on; the loss
+    /// surfaces as [`RuntimeError::ShardDown`] from the next
+    /// [`submit`](Self::submit) or control-plane call rather than as a hang
+    /// here.
+    pub fn flush(&mut self) {
+        let Backend::Threaded(workers) = &self.backend else {
+            return;
+        };
+        let targets: Vec<u64> = workers.iter().map(|w| w.submitted_bursts).collect();
+        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        while progress
+            .iter()
+            .zip(targets.iter())
+            .any(|(slot, &target)| !slot.exited && slot.bursts_done < target)
+        {
+            progress = self
+                .shared
+                .cv
+                .wait(progress)
+                .expect("progress lock poisoned");
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Aggregation
+    // -----------------------------------------------------------------------
+
+    /// Per-shard traffic tallies (bursts, packets, forwarded, dropped).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared
+            .progress
+            .lock()
+            .expect("progress lock poisoned")
+            .iter()
+            .map(|slot| slot.stats)
+            .collect()
+    }
+
+    /// Takes a fresh statistics snapshot on every shard (one `Snapshot`
+    /// epoch, preceded by a flush) and returns the per-shard snapshots.
+    pub fn snapshots(&mut self) -> Result<Vec<ShardSnapshot>, RuntimeError> {
+        self.control(vec![ControlOp::Snapshot])?;
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        Ok(progress
+            .iter()
+            .map(|slot| slot.snapshot.clone().unwrap_or_default())
+            .collect())
+    }
+
+    /// Aggregated per-tenant traffic counters, merged (summed) across all
+    /// shard replicas. Under tenant-affine steering exactly one shard
+    /// contributes per tenant; under 5-tuple steering the per-shard counters
+    /// sum because every field of [`ModuleCounters`] is additive.
+    pub fn aggregated_counters(&mut self) -> Result<HashMap<u16, ModuleCounters>, RuntimeError> {
+        let mut merged: HashMap<u16, ModuleCounters> = HashMap::new();
+        for snapshot in self.snapshots()? {
+            for (module, counters) in snapshot.counters {
+                let entry = merged.entry(module).or_default();
+                entry.packets_in += counters.packets_in;
+                entry.packets_out += counters.packets_out;
+                entry.packets_dropped += counters.packets_dropped;
+                entry.bytes_in += counters.bytes_in;
+                entry.bytes_out += counters.bytes_out;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Aggregated device statistics: link packets/bytes sum across shards;
+    /// the queue length reports the maximum (queues are per shard, so the sum
+    /// would be meaningless) and utilisation the mean.
+    pub fn aggregated_system_stats(&mut self) -> Result<SystemStats, RuntimeError> {
+        let snapshots = self.snapshots()?;
+        let mut merged = SystemStats::default();
+        let count = snapshots.len().max(1) as f64;
+        for snapshot in snapshots {
+            merged.link_packets += snapshot.system.link_packets;
+            merged.link_bytes += snapshot.system.link_bytes;
+            merged.queue_len = merged.queue_len.max(snapshot.system.queue_len);
+            merged.link_utilization += snapshot.system.link_utilization / count;
+        }
+        Ok(merged)
+    }
+
+    /// Aggregated counters for one module (convenience over
+    /// [`aggregated_counters`](Self::aggregated_counters)).
+    pub fn module_counters(
+        &mut self,
+        module: ModuleId,
+    ) -> Result<Option<ModuleCounters>, RuntimeError> {
+        Ok(self.aggregated_counters()?.remove(&module.value()))
+    }
+
+    /// Deterministic mode only: read access to one shard's pipeline replica
+    /// (test and inspection hook).
+    pub fn shard_pipeline(&self, index: usize) -> Option<&MenshenPipeline> {
+        match &self.backend {
+            Backend::Deterministic(shards) => shards.get(index).map(|s| &s.pipeline),
+            Backend::Threaded(_) => None,
+        }
+    }
+
+    /// Deterministic mode only: a module's stateful word summed across all
+    /// shard replicas. Under tenant-affine steering exactly one replica's
+    /// copy ever advances, so the sum equals the single-pipeline value;
+    /// under 5-tuple steering the sum is the merged value of the replicated
+    /// state (correct for counter-style state, the SCR regime).
+    pub fn read_stateful_aggregate(
+        &self,
+        module: ModuleId,
+        stage: usize,
+        local_address: u32,
+    ) -> Option<u64> {
+        let Backend::Deterministic(shards) = &self.backend else {
+            return None;
+        };
+        let mut sum = 0u64;
+        let mut any = false;
+        for shard in shards {
+            if let Some(word) = shard.pipeline.read_stateful(module, stage, local_address) {
+                sum += word;
+                any = true;
+            }
+        }
+        any.then_some(sum)
+    }
+
+    /// Shuts the runtime down: closes every ring, lets shards drain what is
+    /// queued, and joins the worker threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if let Backend::Threaded(workers) = &mut self.backend {
+            for worker in workers.iter() {
+                worker.input.close();
+            }
+            for worker in workers.iter_mut() {
+                if let Some(handle) = worker.handle.take() {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::module::{MatchRule, StageModuleConfig};
+    use menshen_packet::PacketBuilder;
+    use menshen_rmt::action::{AluInstruction, VliwAction};
+    use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
+    use menshen_rmt::match_table::LookupKey;
+    use menshen_rmt::phv::ContainerRef as C;
+    use menshen_rmt::TABLE5;
+
+    /// The same minimal module shape the core pipeline tests use: match on
+    /// dst IP, rewrite the UDP dst port, count packets in stateful word 0.
+    fn simple_module(module_id: u16, dst_ip: u32, rewrite_port: u16) -> ModuleConfig {
+        let mut config = ModuleConfig::empty(ModuleId::new(module_id), format!("m{module_id}"), 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        let key = LookupKey::from_slots(
+            [
+                (0, 6),
+                (0, 6),
+                (u64::from(dst_ip), 4),
+                (0, 4),
+                (0, 2),
+                (0, 2),
+            ],
+            false,
+        );
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
+            rules: vec![MatchRule {
+                key,
+                action: VliwAction::nop()
+                    .with(C::h2(0), AluInstruction::set(rewrite_port))
+                    .with(C::h4(7), AluInstruction::loadd(0)),
+            }],
+            stateful_words: 16,
+        };
+        config
+    }
+
+    fn packet_for(module: u16) -> Packet {
+        PacketBuilder::udp_data(module, [10, 0, 0, 1], [10, 0, 0, 2], 5000, 80, &[0u8; 8])
+    }
+
+    #[test]
+    fn deterministic_runtime_matches_single_pipeline() {
+        let mut single = MenshenPipeline::new(TABLE5);
+        let mut sharded = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(4));
+        for pipeline_config in [
+            simple_module(1, 0x0a00_0002, 1111),
+            simple_module(2, 0x0a00_0002, 2222),
+            simple_module(3, 0x0a00_0002, 3333),
+        ] {
+            single.load_module(&pipeline_config).unwrap();
+            sharded.load_module(&pipeline_config).unwrap();
+        }
+        let burst: Vec<Packet> = (0..96).map(|i| packet_for(1 + (i % 3) as u16)).collect();
+        let expected = single.process_batch(burst.clone());
+        let got = sharded.process_batch(burst).unwrap();
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            match (a, b) {
+                (
+                    Verdict::Forwarded {
+                        packet: pa,
+                        ports: na,
+                        module_id: ma,
+                        ..
+                    },
+                    Verdict::Forwarded {
+                        packet: pb,
+                        ports: nb,
+                        module_id: mb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(pa.bytes(), pb.bytes());
+                    assert_eq!(na, nb);
+                    assert_eq!(ma, mb);
+                }
+                (a, b) => panic!("verdicts diverged: {a:?} vs {b:?}"),
+            }
+        }
+        for id in [1u16, 2, 3] {
+            assert_eq!(
+                single.module_counters(ModuleId::new(id)),
+                sharded.module_counters(ModuleId::new(id)).unwrap(),
+                "module {id}"
+            );
+            assert_eq!(
+                single.read_stateful(ModuleId::new(id), 0, 0),
+                sharded.read_stateful_aggregate(ModuleId::new(id), 0, 0),
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_runtime_processes_and_aggregates() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(3));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
+        let packets: Vec<Packet> = (0..500).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+        runtime.submit(&packets).unwrap();
+        runtime.flush();
+        let stats = runtime.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.packets).sum::<u64>(), 500);
+        assert_eq!(stats.iter().map(|s| s.forwarded).sum::<u64>(), 500);
+        let counters = runtime.aggregated_counters().unwrap();
+        assert_eq!(counters[&1].packets_out, 250);
+        assert_eq!(counters[&2].packets_out, 250);
+        let system = runtime.aggregated_system_stats().unwrap();
+        assert_eq!(system.link_packets, 500);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn threaded_reconfiguration_is_hitless_for_other_tenants() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
+
+        let packets: Vec<Packet> = (0..200).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+        runtime.submit(&packets).unwrap();
+        // Mid-stream control change: module 1 is re-streamed. The sync
+        // wrapper flushes first, so the 200 in-flight packets all forward.
+        runtime
+            .update_module(&simple_module(1, 0x0a00_0002, 7777))
+            .unwrap();
+        runtime.submit(&packets).unwrap();
+        // And a marked module drops only its own packets.
+        runtime.begin_reconfiguration(ModuleId::new(1)).unwrap();
+        runtime.submit(&packets).unwrap();
+        runtime.end_reconfiguration(ModuleId::new(1)).unwrap();
+        runtime.flush();
+
+        let counters = runtime.aggregated_counters().unwrap();
+        // Module 2 never lost a packet across all three phases.
+        assert_eq!(counters[&2].packets_out, 300);
+        // Module 1 forwarded in phases 1 and 2, dropped in phase 3.
+        assert_eq!(counters[&1].packets_out, 200);
+        assert_eq!(counters[&1].packets_dropped, 100);
+    }
+
+    #[test]
+    fn control_errors_propagate_and_replicas_agree() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        let err = runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Control { .. }), "{err}");
+        // The runtime stays usable after a failed epoch.
+        runtime
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
+        assert_eq!(runtime.applied_epochs(), vec![3, 3]);
+    }
+
+    #[test]
+    fn shutdown_surfaces_shard_down_instead_of_hanging() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime.submit(&[packet_for(1)]).unwrap();
+        runtime.shutdown();
+        // Data and control paths error promptly instead of hanging on the
+        // dead workers — and nothing is silently dropped.
+        assert!(matches!(
+            runtime.submit(&[packet_for(1)]),
+            Err(RuntimeError::ShardDown { .. })
+        ));
+        assert!(matches!(
+            runtime.load_module(&simple_module(2, 0x0a00_0002, 2222)),
+            Err(RuntimeError::ShardDown { .. })
+        ));
+        assert!(matches!(
+            runtime.aggregated_counters(),
+            Err(RuntimeError::ShardDown { .. })
+        ));
+        runtime.flush(); // must return, not hang
+    }
+
+    #[test]
+    fn wrong_mode_entry_points_error() {
+        let mut deterministic = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
+        assert!(matches!(
+            deterministic.submit(&[]),
+            Err(RuntimeError::WrongMode(_))
+        ));
+        let mut threaded = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        assert!(matches!(
+            threaded.process_batch(Vec::new()),
+            Err(RuntimeError::WrongMode(_))
+        ));
+        assert!(threaded.shard_pipeline(0).is_none());
+    }
+
+    #[test]
+    fn from_pipeline_replicates_existing_configuration() {
+        let mut template = MenshenPipeline::new(TABLE5);
+        template
+            .load_module(&simple_module(5, 0x0a00_0002, 5555))
+            .unwrap();
+        // Dirty the template's dynamic state; replicas must start clean.
+        template.process(packet_for(5));
+        let mut runtime =
+            ShardedRuntime::from_pipeline(&template, RuntimeOptions::deterministic(2));
+        let verdicts = runtime.process_batch(vec![packet_for(5)]).unwrap();
+        assert!(verdicts[0].is_forwarded());
+        assert_eq!(
+            verdicts[0].packet().unwrap().udp_dst_port(),
+            Some(5555),
+            "replica inherited the template's configuration"
+        );
+        let counters = runtime.module_counters(ModuleId::new(5)).unwrap().unwrap();
+        assert_eq!(counters.packets_in, 1, "counters started from zero");
+        assert_eq!(
+            runtime.read_stateful_aggregate(ModuleId::new(5), 0, 0),
+            Some(1),
+            "stateful memory started from zero"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Worker shards: one pipeline replica, one input ring, one thread.
+//!
+//! A shard is deliberately boring — that is the point of the design. It owns
+//! a full [`MenshenPipeline`] replica and loops over exactly three steps:
+//! apply pending control-plane epochs (in published order), pop the next
+//! burst from its SPSC ring, process it with the allocation-free batched data
+//! path. All cross-thread coordination happens at burst granularity through
+//! the [`Shared`] state: the epoch log on the way in, the progress board
+//! (applied epoch, bursts completed, traffic tallies, on-demand snapshots)
+//! on the way out.
+
+use crate::control::EpochEntry;
+use crate::ring::Consumer;
+use menshen_core::packet_filter::FilterCounters;
+use menshen_core::{MenshenPipeline, ModuleCounters, SystemStats, Verdict};
+use menshen_packet::Packet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What the dispatcher feeds a shard.
+pub(crate) enum ShardInput {
+    /// A burst of packets to process.
+    Burst(Vec<Packet>),
+    /// A wake-up so a blocked shard notices newly published epochs.
+    Sync,
+}
+
+/// Per-shard traffic tallies, updated once per burst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Bursts processed.
+    pub bursts: u64,
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (all reasons).
+    pub dropped: u64,
+}
+
+/// A shard's exported statistics snapshot, produced on demand by the
+/// [`crate::ControlOp::Snapshot`] operation.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    /// Per-module traffic counters of this shard's replica.
+    pub counters: Vec<(u16, ModuleCounters)>,
+    /// Device statistics of this shard's system-level module.
+    pub system: SystemStats,
+    /// This shard's packet-filter counters.
+    pub filter: FilterCounters,
+}
+
+/// One shard's slice of the progress board.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardProgress {
+    /// Highest epoch this shard has fully applied.
+    pub applied_epoch: u64,
+    /// Bursts completed (matched against bursts submitted for `flush`).
+    pub bursts_done: u64,
+    /// Running traffic tallies.
+    pub stats: ShardStats,
+    /// Snapshot exported by the most recent `Snapshot` op.
+    pub snapshot: Option<ShardSnapshot>,
+    /// First error of the most recent epoch that failed on this shard, with
+    /// the epoch it belongs to.
+    pub last_error: Option<(u64, String)>,
+    /// True once the worker thread has exited (shutdown or panic). Waiters
+    /// must never block on an exited shard's progress.
+    pub exited: bool,
+}
+
+/// State shared between the runtime (control plane + dispatcher) and all
+/// shard threads.
+pub(crate) struct Shared {
+    /// Append-only log of published control epochs.
+    pub log: Mutex<Vec<EpochEntry>>,
+    /// Epoch of the newest published entry; checked without taking the log
+    /// lock on the per-burst fast path.
+    pub published: AtomicU64,
+    /// One progress slot per shard.
+    pub progress: Mutex<Vec<ShardProgress>>,
+    /// Notified whenever any progress slot advances.
+    pub cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn new(shards: usize) -> Self {
+        Shared {
+            log: Mutex::new(Vec::new()),
+            published: AtomicU64::new(0),
+            progress: Mutex::new(vec![ShardProgress::default(); shards]),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Applies one published entry to a pipeline replica. Returns the snapshot
+/// (if the entry requested one) and the first error message (if any op
+/// failed). Later ops still run after a failure so replicas cannot diverge on
+/// which prefix of the entry they applied.
+pub(crate) fn apply_entry(
+    pipeline: &mut MenshenPipeline,
+    entry: &EpochEntry,
+) -> (Option<ShardSnapshot>, Option<String>) {
+    let mut error = None;
+    let mut wants_snapshot = false;
+    for op in &entry.ops {
+        if matches!(op, crate::ControlOp::Snapshot) {
+            wants_snapshot = true;
+            continue;
+        }
+        if let Err(e) = op.apply(pipeline) {
+            error.get_or_insert_with(|| e.to_string());
+        }
+    }
+    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline));
+    (snapshot, error)
+}
+
+/// Exports a replica's per-module counters and device statistics.
+pub(crate) fn take_snapshot(pipeline: &MenshenPipeline) -> ShardSnapshot {
+    let counters = pipeline
+        .loaded_modules()
+        .into_iter()
+        .map(|module| {
+            (
+                module.value(),
+                pipeline.module_counters(module).unwrap_or_default(),
+            )
+        })
+        .collect();
+    ShardSnapshot {
+        counters,
+        system: pipeline.system().stats(),
+        filter: pipeline.filter().counters(),
+    }
+}
+
+/// Applies every not-yet-applied epoch to `pipeline` and advertises the new
+/// applied epoch on the progress board. `cursor` is the count of log entries
+/// this shard has already applied.
+pub(crate) fn apply_pending(
+    shard_index: usize,
+    pipeline: &mut MenshenPipeline,
+    shared: &Shared,
+    cursor: &mut usize,
+) {
+    // Fast path: nothing new published since this shard's cursor.
+    let published = shared.published.load(Ordering::Acquire);
+    {
+        let progress = shared.progress.lock().expect("progress lock poisoned");
+        if progress[shard_index].applied_epoch >= published {
+            return;
+        }
+    }
+    // Copy the pending suffix out of the log so heavyweight ops (module
+    // loads) never run while holding the log lock.
+    let pending: Vec<EpochEntry> = {
+        let log = shared.log.lock().expect("log lock poisoned");
+        log[*cursor..].to_vec()
+    };
+    for entry in &pending {
+        let (snapshot, error) = apply_entry(pipeline, entry);
+        *cursor += 1;
+        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+        let slot = &mut progress[shard_index];
+        slot.applied_epoch = entry.epoch;
+        if let Some(snapshot) = snapshot {
+            slot.snapshot = Some(snapshot);
+        }
+        if let Some(message) = error {
+            slot.last_error = Some((entry.epoch, message));
+        }
+        drop(progress);
+        shared.cv.notify_all();
+    }
+}
+
+/// Marks a shard as exited on the progress board when the worker returns
+/// *or panics*, so `wait_for_epoch`/`flush` can never block forever on a
+/// dead shard.
+struct ExitGuard {
+    shared: Arc<Shared>,
+    shard_index: usize,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        progress[self.shard_index].exited = true;
+        drop(progress);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The shard thread body: apply pending epochs, pop, process, tally — until
+/// the ring closes.
+pub(crate) fn run_worker(
+    shard_index: usize,
+    mut pipeline: MenshenPipeline,
+    input: Consumer<ShardInput>,
+    shared: Arc<Shared>,
+) {
+    let _exit_guard = ExitGuard {
+        shared: Arc::clone(&shared),
+        shard_index,
+    };
+    let mut cursor = 0usize;
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    loop {
+        apply_pending(shard_index, &mut pipeline, &shared, &mut cursor);
+        match input.pop() {
+            None => break,
+            Some(ShardInput::Sync) => continue,
+            Some(ShardInput::Burst(packets)) => {
+                pipeline.process_batch_into(&packets, &mut verdicts);
+                let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
+                let total = packets.len() as u64;
+                let mut progress = shared.progress.lock().expect("progress lock poisoned");
+                let slot = &mut progress[shard_index];
+                slot.bursts_done += 1;
+                slot.stats.bursts += 1;
+                slot.stats.packets += total;
+                slot.stats.forwarded += forwarded;
+                slot.stats.dropped += total - forwarded;
+                drop(progress);
+                shared.cv.notify_all();
+            }
+        }
+    }
+    // Epochs published after the final burst must still be acknowledged so a
+    // concurrent `wait_for_epoch` cannot hang across shutdown.
+    apply_pending(shard_index, &mut pipeline, &shared, &mut cursor);
+}

@@ -13,15 +13,21 @@
 //!   size are actually forwarded;
 //! * [`reconfig_experiment`] — the live-reconfiguration timeline of
 //!   Figure 10: three CALC tenants at a 5:3:2 rate split on a 10 Gbit/s link,
-//!   module 1 reconfigured 0.5 s into the run, the other two unaffected.
+//!   module 1 reconfigured 0.5 s into the run, the other two unaffected;
+//! * [`scaling`] — the multi-core shard-scaling sweep over the
+//!   `menshen-runtime` sharded runtime: measured per-shard and dispatcher
+//!   rates, a functional pass through the real threaded runtime, and the
+//!   cores-vs-Mpps aggregate series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod reconfig_experiment;
+pub mod scaling;
 pub mod throughput;
 pub mod traffic;
 
 pub use reconfig_experiment::{ReconfigExperiment, ReconfigTimeline, TimelinePoint};
+pub use scaling::{shard_scaling_sweep, ShardScalingPoint, ShardScalingReport};
 pub use throughput::{latency_sweep, throughput_sweep, LatencyPoint, ThroughputPoint};
-pub use traffic::{RateMix, SizeSweep, TrafficGenerator};
+pub use traffic::{RateMix, RateMixError, SizeSweep, TrafficGenerator};

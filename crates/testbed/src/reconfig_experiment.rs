@@ -51,7 +51,8 @@ impl Default for ReconfigExperiment {
     fn default() -> Self {
         ReconfigExperiment {
             offered_gbps: 9.3,
-            mix: RateMix::new(vec![(1, 5.0), (2, 3.0), (3, 2.0)]),
+            mix: RateMix::new(vec![(1, 5.0), (2, 3.0), (3, 2.0)])
+                .expect("the Figure 10 mix is valid"),
             frame_len: 1000,
             duration_s: 3.0,
             bin_s: 0.05,

@@ -1,0 +1,278 @@
+//! Multi-core shard-scaling sweep: cores vs aggregate Mpps.
+//!
+//! Follows the same measurement philosophy as the Figure 11 sweeps
+//! ([`crate::throughput`]): *measure* what the host can actually run, *model*
+//! what it cannot, and always push real packets through the real data path so
+//! a functional regression breaks the figure.
+//!
+//! Concretely, for every shard count the sweep:
+//!
+//! 1. **measures** the per-shard packet rate — one pipeline replica running
+//!    the allocation-free batched data path over the full workload;
+//! 2. **measures** the dispatcher rate — the RSS steering decision over the
+//!    full workload, which is the serial stage that ultimately bounds any
+//!    sharded design (Amdahl);
+//! 3. **runs** the real threaded [`ShardedRuntime`] end to end and checks
+//!    that every submitted packet is accounted for by the shard tallies and
+//!    the aggregated per-tenant counters — plus, on hosts with enough cores,
+//!    records the wall-clock rate;
+//! 4. **reports** the aggregate rate: the threaded wall-clock measurement
+//!    when the host has at least `shards + 1` cores to park the workers and
+//!    dispatcher on, otherwise the two-stage pipeline model
+//!    `min(dispatch_rate, per_shard_rate × effective_shards)` — where
+//!    `effective_shards` is derived from the *actual* steering balance of
+//!    the workload (a skewed tenant→shard hash shows up as a lower
+//!    effective shard count, not as an optimistic straight line).
+
+use menshen_core::{MenshenPipeline, Verdict, BURST_SIZE};
+use menshen_packet::Packet;
+use menshen_runtime::{RuntimeOptions, ShardedRuntime, Steerer, SteeringMode};
+use std::time::Instant;
+
+/// One row of the cores-vs-Mpps series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScalingPoint {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// The reported aggregate rate in Mpps (measured when the host allows,
+    /// modeled otherwise — see [`ShardScalingPoint::source`]).
+    pub aggregate_mpps: f64,
+    /// Where `aggregate_mpps` came from: `"measured"` or `"model"`.
+    pub source: &'static str,
+    /// Pipeline-model aggregate: `min(dispatch, per_shard × effective)`.
+    pub model_mpps: f64,
+    /// Wall-clock rate of the real threaded runtime *on this host* (limited
+    /// by however many cores the host actually has).
+    pub threaded_mpps: f64,
+    /// Effective parallelism after steering imbalance
+    /// (`total / max-loaded-shard`, ≤ `shards`).
+    pub effective_shards: f64,
+    /// Speedup of `aggregate_mpps` over the first point. Note that on hosts
+    /// where some points are measured and others modeled, this mixes
+    /// methodologies; gates should use [`model_speedup`]
+    /// (ShardScalingPoint::model_speedup), which is methodology-consistent
+    /// on every host.
+    pub speedup: f64,
+    /// Speedup of `model_mpps` over the first point's `model_mpps` — the
+    /// deterministic, host-independent scaling figure.
+    pub model_speedup: f64,
+    /// True when the threaded run accounted for every submitted packet in
+    /// both the shard tallies and the aggregated per-tenant counters.
+    pub all_packets_accounted: bool,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScalingReport {
+    /// Measured single-replica rate over the workload, Mpps.
+    pub per_shard_mpps: f64,
+    /// Measured steering (dispatcher) rate over the workload, Mpps.
+    pub dispatch_mpps: f64,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// The steering mode the sweep ran under.
+    pub steering: SteeringMode,
+    /// One point per requested shard count.
+    pub points: Vec<ShardScalingPoint>,
+}
+
+impl ShardScalingReport {
+    /// The point for a given shard count.
+    pub fn point(&self, shards: usize) -> Option<&ShardScalingPoint> {
+        self.points.iter().find(|p| p.shards == shards)
+    }
+}
+
+/// Times `body` (which handles `packets` packets per call) over `reps`
+/// repetitions and returns the best-of rate in Mpps. Best-of is the right
+/// statistic for a throughput model input: scheduler interference only ever
+/// makes a run slower.
+fn measure_mpps<F: FnMut()>(packets: usize, reps: usize, mut body: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    if best <= 0.0 {
+        return f64::INFINITY;
+    }
+    packets as f64 / best / 1e6
+}
+
+/// Runs the shard-scaling sweep for every count in `shard_counts`.
+///
+/// `template` carries the loaded modules; every shard starts as its
+/// [`MenshenPipeline::config_replica`]. `reps` controls how many timed
+/// repetitions each measurement takes (use 1–2 for smoke runs).
+pub fn shard_scaling_sweep(
+    template: &MenshenPipeline,
+    packets: &[Packet],
+    shard_counts: &[usize],
+    steering: SteeringMode,
+    reps: usize,
+) -> ShardScalingReport {
+    assert!(!packets.is_empty(), "the sweep needs a workload");
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // (1) Measured per-shard rate: one replica, batched data path.
+    let mut replica = template.config_replica();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    let per_shard_mpps = measure_mpps(packets.len(), reps, || {
+        for burst in packets.chunks(BURST_SIZE) {
+            replica.process_batch_into(burst, &mut verdicts);
+        }
+    });
+
+    // (2) Measured dispatcher rate: the steering decision alone. The steerer
+    // size only affects the indirection-table modulus, not the hash cost, so
+    // one representative steerer serves every shard count.
+    let probe = Steerer::new(steering, shard_counts.iter().copied().max().unwrap_or(1));
+    let mut shard_sink = 0usize;
+    let dispatch_mpps = measure_mpps(packets.len(), reps, || {
+        for packet in packets {
+            shard_sink = shard_sink.wrapping_add(probe.shard_for(packet));
+        }
+    });
+    assert!(shard_sink < usize::MAX, "keep the steering loop observable");
+
+    let mut points = Vec::with_capacity(shard_counts.len());
+    let mut baseline_mpps = None;
+    let mut model_baseline_mpps = None;
+    for &shards in shard_counts {
+        // Steering balance of this workload at this shard count: the most
+        // loaded shard bounds completion time.
+        let steerer = Steerer::new(steering, shards);
+        let mut loads = vec![0u64; shards];
+        for packet in packets {
+            loads[steerer.shard_for(packet)] += 1;
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0).max(1);
+        let effective_shards = packets.len() as f64 / max_load as f64;
+        let model_mpps = (per_shard_mpps * effective_shards).min(dispatch_mpps);
+
+        // (3) The real threaded runtime, end to end.
+        let mut runtime = ShardedRuntime::from_pipeline(
+            template,
+            RuntimeOptions::threaded(shards).with_steering(steering),
+        );
+        let mut threaded_secs = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            // Clone the workload *outside* the timed window and hand
+            // ownership in: a real dispatcher passes packet handles, so the
+            // copy must not pollute the measured rate.
+            let owned = packets.to_vec();
+            let start = Instant::now();
+            runtime
+                .submit_owned(owned)
+                .expect("threaded runtime accepts submissions");
+            runtime.flush();
+            threaded_secs = threaded_secs.min(start.elapsed().as_secs_f64());
+        }
+        let threaded_mpps = packets.len() as f64 / threaded_secs.max(1e-12) / 1e6;
+        let tallied: u64 = runtime.shard_stats().iter().map(|s| s.packets).sum();
+        let counted: u64 = runtime
+            .aggregated_counters()
+            .expect("snapshot epoch applies")
+            .values()
+            .map(|c| c.packets_in)
+            .sum();
+        let submitted = (packets.len() * reps.max(1)) as u64;
+        // The sweep's workloads are fully attributable (every packet carries
+        // a loaded tenant's VLAN), so both tallies must be *exact*: a lost
+        // counter update is a regression this check exists to catch.
+        let all_packets_accounted = tallied == submitted && counted == submitted;
+        runtime.shutdown();
+
+        // (4) Report measured wall clock when the host can truly park every
+        // worker and the dispatcher on its own core; the pipeline model
+        // otherwise (same convention as the 100 Gbit/s platform-model sweeps).
+        let (aggregate_mpps, source) = if host_parallelism > shards {
+            (threaded_mpps, "measured")
+        } else {
+            (model_mpps, "model")
+        };
+        let baseline = *baseline_mpps.get_or_insert(aggregate_mpps);
+        let model_baseline = *model_baseline_mpps.get_or_insert(model_mpps);
+        points.push(ShardScalingPoint {
+            shards,
+            aggregate_mpps,
+            source,
+            model_mpps,
+            threaded_mpps,
+            effective_shards,
+            speedup: aggregate_mpps / baseline,
+            model_speedup: model_mpps / model_baseline,
+            all_packets_accounted,
+        });
+    }
+
+    ShardScalingReport {
+        per_shard_mpps,
+        dispatch_mpps,
+        host_parallelism,
+        steering,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::passthrough_module;
+    use crate::traffic::TrafficGenerator;
+    use menshen_rmt::params::PipelineParams;
+
+    fn workload(tenants: u16, count: usize) -> Vec<Packet> {
+        let mut generator = TrafficGenerator::new(0xBEEF);
+        (0..count)
+            .map(|i| generator.frame(1 + (i as u16 % tenants), 128))
+            .collect()
+    }
+
+    fn template(tenants: u16) -> MenshenPipeline {
+        let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+        for id in 1..=tenants {
+            pipeline
+                .load_module(&passthrough_module(id))
+                .expect("passthrough loads");
+        }
+        pipeline
+    }
+
+    #[test]
+    fn sweep_accounts_for_every_packet_and_scales_in_the_model() {
+        let template = template(8);
+        let packets = workload(8, 640);
+        let report =
+            shard_scaling_sweep(&template, &packets, &[1, 2, 4], SteeringMode::FiveTuple, 1);
+        assert_eq!(report.points.len(), 3);
+        assert!(report.per_shard_mpps > 0.0);
+        assert!(report.dispatch_mpps > 0.0);
+        for point in &report.points {
+            assert!(point.all_packets_accounted, "{point:?}");
+            assert!(point.effective_shards <= point.shards as f64 + 1e-9);
+            assert!(point.model_mpps > 0.0);
+        }
+        // The model never degrades when shards are added (the dispatcher cap
+        // makes it flatten, not dip).
+        for pair in report.points.windows(2) {
+            assert!(pair[1].model_mpps >= pair[0].model_mpps * 0.99, "{pair:?}");
+        }
+        assert_eq!(report.point(4).unwrap().shards, 4);
+        assert!(report.point(3).is_none());
+    }
+
+    #[test]
+    fn tenant_affine_balance_reflects_tenant_placement() {
+        let template = template(2);
+        let packets = workload(2, 256);
+        let report = shard_scaling_sweep(&template, &packets, &[4], SteeringMode::TenantAffine, 1);
+        // Two tenants can occupy at most two of four shards.
+        let point = report.point(4).unwrap();
+        assert!(point.effective_shards <= 2.0 + 1e-9, "{point:?}");
+        assert!(point.all_packets_accounted);
+    }
+}

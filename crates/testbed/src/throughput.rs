@@ -55,22 +55,20 @@ pub fn throughput_sweep(
         .expect("module loads for the sweep");
     let module_id = module.module_id;
     let mut generator = TrafficGenerator::new(0xC0FFEE);
+    let mut verdicts = Vec::new();
 
     sizes
         .iter()
         .map(|&frame_len| {
             // The functional confirmation runs through the batched data path
             // in DPDK-style bursts — the same path the throughput benches
-            // measure.
+            // measure. One verdict buffer is reused across all bursts.
             let packets = generator.burst(module_id.value(), frame_len, check_packets);
             let forwarded: usize = packets
                 .chunks(BURST_SIZE)
                 .map(|burst| {
-                    pipeline
-                        .process_batch(burst.to_vec())
-                        .iter()
-                        .filter(|v| v.is_forwarded())
-                        .count()
+                    pipeline.process_batch_into(burst, &mut verdicts);
+                    verdicts.iter().filter(|v| v.is_forwarded()).count()
                 })
                 .sum();
             ThroughputPoint {
@@ -118,16 +116,14 @@ pub fn forwarded_count(
     pipeline: &mut MenshenPipeline,
     packets: Vec<menshen_packet::Packet>,
 ) -> usize {
-    let mut packets = packets;
+    let mut verdicts = Vec::new();
     let mut forwarded = 0;
-    while !packets.is_empty() {
-        let rest = packets.split_off(packets.len().min(BURST_SIZE));
-        forwarded += pipeline
-            .process_batch(packets)
+    for burst in packets.chunks(BURST_SIZE) {
+        pipeline.process_batch_into(burst, &mut verdicts);
+        forwarded += verdicts
             .iter()
             .filter(|v| matches!(v, Verdict::Forwarded { .. }))
             .count();
-        packets = rest;
     }
     forwarded
 }

@@ -52,6 +52,36 @@ impl TrafficGenerator {
     }
 }
 
+/// Why a [`RateMix`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateMixError {
+    /// The mix has no entries at all.
+    Empty,
+    /// A weight is negative or not finite (position and offending value).
+    InvalidWeight {
+        /// Index of the bad entry.
+        index: usize,
+        /// The weight that was rejected.
+        weight: f64,
+    },
+    /// All weights are zero, so no module could ever be sampled.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for RateMixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RateMixError::Empty => write!(f, "rate mix has no entries"),
+            RateMixError::InvalidWeight { index, weight } => {
+                write!(f, "rate mix entry {index} has invalid weight {weight}")
+            }
+            RateMixError::ZeroTotal => write!(f, "rate mix weights sum to zero"),
+        }
+    }
+}
+
+impl std::error::Error for RateMixError {}
+
 /// A weighted mix of modules, e.g. the 5:3:2 split of Figure 10.
 #[derive(Debug, Clone)]
 pub struct RateMix {
@@ -61,9 +91,28 @@ pub struct RateMix {
 
 impl RateMix {
     /// Builds a mix from `(module_id, weight)` pairs.
-    pub fn new(entries: Vec<(u16, f64)>) -> Self {
-        let total = entries.iter().map(|(_, w)| *w).sum();
-        RateMix { entries, total }
+    ///
+    /// Rejects degenerate mixes up front instead of letting them surface as
+    /// a bogus default at `sample` time: the mix must be non-empty, every
+    /// weight must be finite and non-negative, and at least one weight must
+    /// be positive.
+    pub fn new(entries: Vec<(u16, f64)>) -> Result<Self, RateMixError> {
+        if entries.is_empty() {
+            return Err(RateMixError::Empty);
+        }
+        for (index, (_, weight)) in entries.iter().enumerate() {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(RateMixError::InvalidWeight {
+                    index,
+                    weight: *weight,
+                });
+            }
+        }
+        let total: f64 = entries.iter().map(|(_, w)| *w).sum();
+        if total <= 0.0 {
+            return Err(RateMixError::ZeroTotal);
+        }
+        Ok(RateMix { entries, total })
     }
 
     /// The fraction of traffic belonging to `module_id`.
@@ -80,16 +129,24 @@ impl RateMix {
         self.entries.iter().map(|(m, _)| *m).collect()
     }
 
-    /// Samples one module according to the weights.
+    /// Samples one module according to the weights. Zero-weight entries are
+    /// never selected (construction guarantees at least one positive weight).
     pub fn sample(&self, rng: &mut impl Rng) -> u16 {
         let mut roll = rng.gen_range(0.0..self.total);
         for (module, weight) in &self.entries {
-            if roll < *weight {
+            if *weight > 0.0 && roll < *weight {
                 return *module;
             }
             roll -= weight;
         }
-        self.entries.last().map(|(m, _)| *m).unwrap_or(0)
+        // Floating-point edge (roll accumulated to ~total): fall back to the
+        // last entry that can legitimately be sampled.
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, weight)| *weight > 0.0)
+            .map(|(module, _)| *module)
+            .expect("a validated mix has at least one positive weight")
     }
 }
 
@@ -138,8 +195,43 @@ mod tests {
     }
 
     #[test]
+    fn rate_mix_rejects_degenerate_mixes() {
+        assert_eq!(RateMix::new(vec![]).unwrap_err(), RateMixError::Empty);
+        assert_eq!(
+            RateMix::new(vec![(1, 0.0), (2, 0.0)]).unwrap_err(),
+            RateMixError::ZeroTotal
+        );
+        assert_eq!(
+            RateMix::new(vec![(1, 1.0), (2, -0.5)]).unwrap_err(),
+            RateMixError::InvalidWeight {
+                index: 1,
+                weight: -0.5
+            }
+        );
+        assert!(matches!(
+            RateMix::new(vec![(1, f64::NAN)]).unwrap_err(),
+            RateMixError::InvalidWeight { index: 0, .. }
+        ));
+        assert!(matches!(
+            RateMix::new(vec![(1, f64::INFINITY)]).unwrap_err(),
+            RateMixError::InvalidWeight { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_sampled() {
+        let mix = RateMix::new(vec![(1, 0.0), (2, 1.0), (3, 0.0)]).unwrap();
+        let mut generator = TrafficGenerator::new(11);
+        for packet in generator.mixed_burst(&mix, 128, 500) {
+            assert_eq!(packet.vlan_id().unwrap().value(), 2);
+        }
+        assert_eq!(mix.share(1), 0.0);
+        assert_eq!(mix.share(2), 1.0);
+    }
+
+    #[test]
     fn rate_mix_shares_and_sampling() {
-        let mix = RateMix::new(vec![(1, 5.0), (2, 3.0), (3, 2.0)]);
+        let mix = RateMix::new(vec![(1, 5.0), (2, 3.0), (3, 2.0)]).unwrap();
         assert!((mix.share(1) - 0.5).abs() < 1e-9);
         assert!((mix.share(3) - 0.2).abs() < 1e-9);
         assert_eq!(mix.share(9), 0.0);

@@ -12,6 +12,8 @@
 //!   control plane).
 //! * [`compiler`] — the module DSL front end and Menshen backend.
 //! * [`programs`] — the evaluated modules of Table 3.
+//! * [`runtime`] — the sharded multi-core runtime: RSS flow steering,
+//!   per-shard pipeline replicas, epoch-versioned reconfiguration.
 //! * [`testbed`] — traffic generation and the §5 experiments.
 //! * [`cost`] — FPGA / ASIC / configuration-time cost models.
 //!
@@ -27,6 +29,7 @@ pub use menshen_cost as cost;
 pub use menshen_packet as packet;
 pub use menshen_programs as programs;
 pub use menshen_rmt as rmt;
+pub use menshen_runtime as runtime;
 pub use menshen_testbed as testbed;
 
 /// A convenient prelude for examples and quick experiments.
@@ -36,4 +39,5 @@ pub mod prelude {
     pub use menshen_packet::{Packet, PacketBuilder};
     pub use menshen_programs::{all_programs, EvaluatedProgram};
     pub use menshen_rmt::{PipelineParams, TABLE5};
+    pub use menshen_runtime::{RuntimeOptions, ShardedRuntime, SteeringMode};
 }

@@ -1,0 +1,353 @@
+//! Shard/single equivalence: for any shard count 1..=8, the sharded runtime
+//! in deterministic mode must be indistinguishable from one big
+//! `MenshenPipeline` fed the same packets and the same control-plane
+//! operations — same per-position verdict projections (and therefore the
+//! same per-tenant verdict multisets), same per-tenant counter totals after
+//! cross-shard aggregation, same stateful-memory evolution, same device
+//! statistics — including across randomly interleaved reconfigurations
+//! (module updates, unload/reload cycles, begin/end reconfiguration marks).
+//!
+//! The verdict projection compares forwarded bytes, egress ports, module
+//! attribution and drop reasons. The final PHV is deliberately excluded: it
+//! carries hardware-local artefacts (the per-filter buffer-tag round robin,
+//! the per-pipeline cycle stamp) that legitimately differ between one filter
+//! instance and N replicated ones without being tenant-observable in the
+//! packet or its forwarding.
+//!
+//! In the style of this repository's other property tests, these are seeded
+//! randomized loops (the workspace has no proptest): every failure is
+//! reproducible from the printed seed.
+
+use menshen::prelude::*;
+use menshen_bench::workloads::{flow_dst_ip, flow_rule_tenant_with_port};
+use menshen_core::{ModuleConfig, ModuleCounters};
+use menshen_packet::{Packet, PacketBuilder};
+use menshen_rmt::config::KeyMask;
+use menshen_runtime::ShardedRuntime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const TENANTS: u16 = 6;
+const FLOWS_PER_TENANT: usize = 4;
+
+/// The canonical tenant-observable projection of a verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum VerdictKey {
+    Forwarded {
+        module_id: u16,
+        bytes: Vec<u8>,
+        ports: Vec<u16>,
+    },
+    Dropped {
+        module_id: Option<u16>,
+        reason: String,
+    },
+}
+
+fn project(verdict: &Verdict) -> VerdictKey {
+    match verdict {
+        Verdict::Forwarded {
+            packet,
+            ports,
+            module_id,
+            ..
+        } => VerdictKey::Forwarded {
+            module_id: *module_id,
+            bytes: packet.bytes().to_vec(),
+            ports: ports.clone(),
+        },
+        Verdict::Dropped { reason, module_id } => VerdictKey::Dropped {
+            module_id: *module_id,
+            reason: format!("{reason:?}"),
+        },
+    }
+}
+
+/// The shared flow-rule tenant shape (`menshen_bench::workloads`): match on
+/// dst IP, rewrite the UDP dst port, count packets in stateful word 0.
+fn tenant_module(module_id: u16, rewrite_port: u16) -> ModuleConfig {
+    flow_rule_tenant_with_port(module_id, FLOWS_PER_TENANT, rewrite_port)
+}
+
+/// A random packet: mostly tenant hits, plus misses, unknown modules,
+/// untagged frames and data-path reconfiguration attempts.
+fn random_packet(rng: &mut StdRng) -> Packet {
+    let roll: u32 = rng.gen_range(0..100u32);
+    if roll < 70 {
+        // A hit for a random tenant (one of its flow-rule IPs), random
+        // flow fields.
+        let module = rng.gen_range(1..=TENANTS);
+        let ip = flow_dst_ip(module, rng.gen_range(0..FLOWS_PER_TENANT));
+        PacketBuilder::udp_data(
+            module,
+            [10, 0, 0, rng.gen_range(1..250u8)],
+            [
+                ((ip >> 24) & 0xff) as u8,
+                ((ip >> 16) & 0xff) as u8,
+                ((ip >> 8) & 0xff) as u8,
+                (ip & 0xff) as u8,
+            ],
+            rng.gen_range(1024..65000u16),
+            80,
+            &[0u8; 8],
+        )
+    } else if roll < 85 {
+        // A miss for a random tenant (wrong dst IP): forwarded un-rewritten.
+        let module = rng.gen_range(1..=TENANTS);
+        PacketBuilder::udp_data(
+            module,
+            [10, 0, 0, 1],
+            [10, 9, 9, rng.gen_range(1..250u8)],
+            5000,
+            80,
+            &[0u8; 8],
+        )
+    } else if roll < 92 {
+        // Unknown module ID.
+        PacketBuilder::udp_data(
+            900 + rng.gen_range(0..50u16),
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            1,
+            2,
+            &[],
+        )
+    } else if roll < 96 {
+        // Untagged frame.
+        let mut builder = PacketBuilder::new();
+        builder.vlan = None;
+        builder.build_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[])
+    } else {
+        // Data-path reconfiguration attempt (must drop without applying).
+        menshen_core::ReconfigCommand::write(
+            menshen_core::ResourceKind::KeyMask,
+            0,
+            0,
+            menshen_core::WritePayload::KeyMask(KeyMask::default()),
+        )
+        .to_packet()
+    }
+}
+
+/// One random control-plane event, applied identically to both sides.
+fn random_control(
+    rng: &mut StdRng,
+    single: &mut MenshenPipeline,
+    sharded: &mut ShardedRuntime,
+    marked: &mut Vec<u16>,
+) {
+    let module = rng.gen_range(1..=TENANTS);
+    match rng.gen_range(0..5u32) {
+        0 => {
+            // Update with a fresh rewrite port.
+            let port = rng.gen_range(10000..60000u16);
+            let config = tenant_module(module, port);
+            single.update_module(&config).expect("single update");
+            sharded.update_module(&config).expect("sharded update");
+        }
+        1 => {
+            // Unload + reload (slot churn).
+            let port = rng.gen_range(10000..60000u16);
+            let config = tenant_module(module, port);
+            single
+                .unload_module(ModuleId::new(module))
+                .expect("single unload");
+            sharded
+                .unload_module(ModuleId::new(module))
+                .expect("sharded unload");
+            single.load_module(&config).expect("single reload");
+            sharded.load_module(&config).expect("sharded reload");
+        }
+        2 => {
+            // Mark as being reconfigured (drops its packets until cleared).
+            single
+                .begin_reconfiguration(ModuleId::new(module))
+                .expect("single begin");
+            sharded
+                .begin_reconfiguration(ModuleId::new(module))
+                .expect("sharded begin");
+            marked.push(module);
+        }
+        3 => {
+            // Clear a pending mark, if any.
+            if let Some(module) = marked.pop() {
+                single
+                    .end_reconfiguration(ModuleId::new(module))
+                    .expect("single end");
+                sharded
+                    .end_reconfiguration(ModuleId::new(module))
+                    .expect("sharded end");
+            }
+        }
+        _ => {
+            // System-module routing change.
+            let ip = menshen_packet::Ipv4Address::new(10, 9, 9, rng.gen_range(1..250u8));
+            let port = rng.gen_range(1..64u16);
+            single.system_mut().add_route(ip, port);
+            sharded.add_route(ip, port).expect("sharded route");
+        }
+    }
+}
+
+struct RunOutcome {
+    /// Per-tenant verdict multisets (None = packets with no attributed module).
+    multisets: HashMap<Option<u16>, Vec<VerdictKey>>,
+}
+
+fn run_equivalence(shards: usize, seed: u64) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A CAM deep enough for TENANTS × FLOWS_PER_TENANT rules per stage.
+    let params = TABLE5.with_table_depth(64);
+    let mut single = MenshenPipeline::new(params);
+    let mut sharded = ShardedRuntime::new(params, RuntimeOptions::deterministic(shards));
+    for module in 1..=TENANTS {
+        let config = tenant_module(module, 1000 + module);
+        single.load_module(&config).expect("single load");
+        sharded.load_module(&config).expect("sharded load");
+    }
+
+    let mut marked = Vec::new();
+    let mut multisets: HashMap<Option<u16>, Vec<VerdictKey>> = HashMap::new();
+    let bursts = 40;
+    for burst_index in 0..bursts {
+        // Interleave control-plane changes between bursts, exactly where the
+        // single pipeline applies them too.
+        if burst_index > 0 && rng.gen_bool(0.4) {
+            random_control(&mut rng, &mut single, &mut sharded, &mut marked);
+        }
+        let burst: Vec<Packet> = (0..rng.gen_range(1..64usize))
+            .map(|_| random_packet(&mut rng))
+            .collect();
+        let expected = single.process_batch(burst.clone());
+        let got = sharded.process_batch(burst).expect("deterministic mode");
+        assert_eq!(expected.len(), got.len());
+        for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
+            let (ka, kb) = (project(a), project(b));
+            assert_eq!(
+                ka, kb,
+                "seed {seed}, {shards} shards, burst {burst_index}, packet {position}"
+            );
+            let bucket = match &ka {
+                VerdictKey::Forwarded { module_id, .. } => Some(*module_id),
+                VerdictKey::Dropped { module_id, .. } => *module_id,
+            };
+            multisets.entry(bucket).or_default().push(ka);
+        }
+    }
+    for module in marked.drain(..) {
+        single
+            .end_reconfiguration(ModuleId::new(module))
+            .expect("single end");
+        sharded
+            .end_reconfiguration(ModuleId::new(module))
+            .expect("sharded end");
+    }
+
+    // Counter totals: aggregation across shards equals the single pipeline.
+    let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+    for module in 1..=TENANTS {
+        let expected = single
+            .module_counters(ModuleId::new(module))
+            .expect("module loaded");
+        let got = aggregated
+            .get(&module)
+            .copied()
+            .unwrap_or(ModuleCounters::default());
+        assert_eq!(
+            expected, got,
+            "seed {seed}, {shards} shards: module {module} counters diverged"
+        );
+        // Stateful evolution (the per-flow `loadd` counter in word 0).
+        assert_eq!(
+            single.read_stateful(ModuleId::new(module), 0, 0),
+            sharded.read_stateful_aggregate(ModuleId::new(module), 0, 0),
+            "seed {seed}, {shards} shards: module {module} stateful word diverged"
+        );
+    }
+    // Device statistics: the link observed the same admitted traffic.
+    let system = sharded.aggregated_system_stats().expect("snapshot applies");
+    assert_eq!(
+        single.system().stats().link_packets,
+        system.link_packets,
+        "seed {seed}, {shards} shards: link packet counts diverged"
+    );
+
+    RunOutcome { multisets }
+}
+
+#[test]
+fn sharded_runtime_is_equivalent_for_every_shard_count() {
+    let mut reference: Option<HashMap<Option<u16>, Vec<VerdictKey>>> = None;
+    for shards in 1..=8 {
+        // Same seed for every shard count: the verdict multisets must also
+        // agree *across* shard counts, since steering only redistributes
+        // work and never changes per-tenant semantics.
+        let mut outcome = run_equivalence(shards, 0xE0_0001);
+        for bucket in outcome.multisets.values_mut() {
+            bucket.sort();
+        }
+        match &reference {
+            None => reference = Some(outcome.multisets),
+            Some(reference) => {
+                assert_eq!(
+                    reference, &outcome.multisets,
+                    "{shards} shards produced different per-tenant multisets"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_interleavings_hold_across_seeds() {
+    for (index, seed) in [3u64, 0xBEEF, 0x1234_5678, 0xDEAD_0042]
+        .into_iter()
+        .enumerate()
+    {
+        // Vary the shard count with the seed to cover odd counts too.
+        let shards = 2 + (index * 2 + 1) % 7; // 3, 5, 7, 2 → odd-heavy mix
+        run_equivalence(shards, seed);
+    }
+}
+
+#[test]
+fn five_tuple_steering_preserves_mergeable_state_totals() {
+    // Under 5-tuple steering one tenant's flows spread over shards; the
+    // rewrite action is stateless and the `loadd` counter is additive, so
+    // forwarded bytes and aggregated counter totals must still match the
+    // single pipeline even though per-shard state diverges.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let params = TABLE5.with_table_depth(64);
+    let mut single = MenshenPipeline::new(params);
+    let mut sharded = ShardedRuntime::new(
+        params,
+        RuntimeOptions::deterministic(4).with_steering(SteeringMode::FiveTuple),
+    );
+    for module in 1..=TENANTS {
+        let config = tenant_module(module, 2000 + module);
+        single.load_module(&config).expect("single load");
+        sharded.load_module(&config).expect("sharded load");
+    }
+    for _ in 0..20 {
+        let burst: Vec<Packet> = (0..48).map(|_| random_packet(&mut rng)).collect();
+        let expected = single.process_batch(burst.clone());
+        let got = sharded.process_batch(burst).expect("deterministic mode");
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(project(a), project(b));
+        }
+    }
+    let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+    for module in 1..=TENANTS {
+        assert_eq!(
+            single.module_counters(ModuleId::new(module)).unwrap(),
+            aggregated.get(&module).copied().unwrap_or_default(),
+            "module {module}"
+        );
+        assert_eq!(
+            single.read_stateful(ModuleId::new(module), 0, 0),
+            sharded.read_stateful_aggregate(ModuleId::new(module), 0, 0),
+            "module {module} merged stateful total"
+        );
+    }
+}
