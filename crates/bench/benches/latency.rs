@@ -1,0 +1,210 @@
+//! The trace-replay latency benchmark: latency percentiles and RSS balance
+//! across shard counts × workload shapes, committed next to the throughput
+//! series in `BENCH_throughput.json`.
+//!
+//! Two traces are synthesised over the same 8-tenant flow-rule workload the
+//! hot-path and shard-scaling benches use (so the numbers compose):
+//!
+//! * **uniform** — every flow equally popular, the baseline the testbed's
+//!   generators always produced;
+//! * **heavy_tailed** — Zipf(1.3) flow popularity: a handful of elephant
+//!   flows dominate, which is what degrades 5-tuple RSS balance and shows
+//!   up as a lower effective-shard count and fatter latency tail.
+//!
+//! Both traces are written as *real pcap files* under `results/` (one with
+//! the classic microsecond magic, one with the nanosecond magic) and read
+//! back before replay — the bench drives the same bytes any pcap consumer
+//! would. Replay is open-loop and unpaced (saturation), through the real
+//! threaded `ShardedRuntime`; every point must account for every packet
+//! (`in == forwarded + drops` against the runtime's own tallies) or the
+//! bench fails loudly.
+
+use menshen_bench::workloads::flow_rule_tenant;
+use menshen_core::MenshenPipeline;
+use menshen_json::Json;
+use menshen_rmt::TABLE5;
+use menshen_runtime::SteeringMode;
+use menshen_testbed::replay::replay_sweep;
+use menshen_trace::pcap::{read_pcap_file, write_pcap_file, Endianness, TimestampPrecision};
+use menshen_trace::replay::Pacing;
+use menshen_trace::synth::{synthesize, FlowPopularity, WorkloadSpec};
+
+const TENANTS: u16 = 8;
+const RULES_PER_TENANT: usize = 150; // same CAM shape as the other benches
+
+fn main() {
+    let fast = std::env::var_os("MENSHEN_BENCH_FAST").is_some();
+    let packets = if fast { 1024 } else { 4096 };
+    let shard_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let params = TABLE5.with_table_depth(2048);
+    let mut template = MenshenPipeline::new(params);
+    for module_id in 1..=TENANTS {
+        template
+            .load_module(&flow_rule_tenant(module_id, RULES_PER_TENANT))
+            .unwrap();
+    }
+
+    // Synthesise the two workloads over the loaded rule space.
+    let mut uniform = WorkloadSpec::uniform(TENANTS, 600, packets);
+    uniform.rules_per_tenant = RULES_PER_TENANT;
+    uniform.mean_rate_pps = 5_000_000.0;
+    let mut heavy = WorkloadSpec::heavy_tailed(TENANTS, 200, packets);
+    heavy.popularity = FlowPopularity::Zipf { exponent: 1.3 };
+    heavy.rules_per_tenant = RULES_PER_TENANT;
+    heavy.mean_rate_pps = 5_000_000.0;
+    heavy.seed = 0xE1EF;
+
+    // Round-trip both through real pcap files under results/ — microsecond
+    // magic for one, nanosecond for the other, so both formats stay
+    // exercised in CI.
+    let results = menshen_bench::results_dir();
+    let mut traces = Vec::new();
+    for (spec, precision) in [
+        (&uniform, TimestampPrecision::Micros),
+        (&heavy, TimestampPrecision::Nanos),
+    ] {
+        let synthesised = synthesize(spec).expect("workload spec is valid");
+        let path = results.join(format!("trace_{}.pcap", spec.name));
+        write_pcap_file(&path, &synthesised, precision, Endianness::Little)
+            .expect("trace pcap writes");
+        let replayable = read_pcap_file(&path).expect("trace pcap reads back");
+        assert_eq!(
+            replayable.len(),
+            synthesised.len(),
+            "pcap round trip must preserve every packet"
+        );
+        println!("(wrote {})", path.display());
+        traces.push((spec.name.clone(), replayable));
+    }
+
+    let report = replay_sweep(
+        &template,
+        &traces,
+        shard_counts,
+        SteeringMode::FiveTuple,
+        Pacing::Unpaced,
+    );
+
+    println!();
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>10} {:>11} {:>8} {:>11} {:>9}",
+        "trace", "shards", "p50 ns", "p90 ns", "p99 ns", "p99.9 ns", "Mpps", "eff.shards", "skew"
+    );
+    for point in &report.points {
+        println!(
+            "{:<14} {:>6} {:>10} {:>10} {:>10} {:>11} {:>8.2} {:>11.2} {:>9.2}{}",
+            point.trace,
+            point.shards,
+            point.latency.p50_ns,
+            point.latency.p90_ns,
+            point.latency.p99_ns,
+            point.latency.p999_ns,
+            point.achieved_mpps,
+            point.effective_shards,
+            point.skew,
+            if point.all_packets_accounted {
+                ""
+            } else {
+                "   (!) packets unaccounted"
+            }
+        );
+    }
+
+    for point in &report.points {
+        assert!(
+            point.all_packets_accounted,
+            "replay lost packets: {} at {} shards",
+            point.trace, point.shards
+        );
+        assert_eq!(point.submitted, packets as u64);
+        assert!(
+            point.latency.p99_ns >= point.latency.p50_ns,
+            "percentiles must be monotone: {point:?}"
+        );
+    }
+    // The structural claim of the experiment: at the widest sweep point the
+    // heavy-tailed trace cannot balance better than the uniform one (its
+    // elephants pin shards). Both traces and the steering are seeded and
+    // deterministic, so this is a stable gate, not a flaky heuristic.
+    let widest = *shard_counts.last().unwrap();
+    let uniform_eff = report.point("uniform", widest).unwrap().effective_shards;
+    let heavy_eff = report
+        .point("heavy_tailed", widest)
+        .unwrap()
+        .effective_shards;
+    assert!(
+        heavy_eff <= uniform_eff + 1e-9,
+        "heavy tail should not balance better than uniform: {heavy_eff:.2} vs {uniform_eff:.2}"
+    );
+
+    let latency_points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|point| {
+            Json::obj([
+                ("trace", Json::from(point.trace.clone())),
+                ("shards", Json::from(point.shards)),
+                ("submitted", Json::from(point.submitted)),
+                ("forwarded", Json::from(point.forwarded)),
+                ("dropped", Json::from(point.dropped)),
+                (
+                    "all_packets_accounted",
+                    Json::Bool(point.all_packets_accounted),
+                ),
+                ("p50_ns", Json::from(point.latency.p50_ns)),
+                ("p90_ns", Json::from(point.latency.p90_ns)),
+                ("p99_ns", Json::from(point.latency.p99_ns)),
+                ("p999_ns", Json::from(point.latency.p999_ns)),
+                ("mean_ns", Json::from(point.latency.mean_ns)),
+                ("max_ns", Json::from(point.latency.max_ns)),
+                ("burst_p50_ns", Json::from(point.burst_latency.p50_ns)),
+                ("burst_p99_ns", Json::from(point.burst_latency.p99_ns)),
+                ("achieved_mpps", Json::from(point.achieved_mpps)),
+            ])
+        })
+        .collect();
+    let balance_points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|point| {
+            Json::obj([
+                ("trace", Json::from(point.trace.clone())),
+                ("shards", Json::from(point.shards)),
+                (
+                    "shard_packets",
+                    Json::arr(point.shard_packets.iter().copied()),
+                ),
+                ("skew", Json::from(point.skew)),
+                ("effective_shards", Json::from(point.effective_shards)),
+            ])
+        })
+        .collect();
+    let meta = [
+        ("tenants", Json::from(TENANTS)),
+        ("rules_per_tenant", Json::from(RULES_PER_TENANT)),
+        ("workload_packets", Json::from(packets)),
+        ("steering", Json::from("five_tuple_rss")),
+        ("pacing", Json::from("unpaced_saturation")),
+        (
+            "traces",
+            Json::arr(["uniform", "heavy_tailed"].map(Json::from)),
+        ),
+    ];
+    let latency_doc = Json::obj(
+        meta.iter()
+            .cloned()
+            .chain([("points", Json::Arr(latency_points))]),
+    );
+    let balance_doc = Json::obj(
+        meta.iter()
+            .cloned()
+            .chain([("points", Json::Arr(balance_points))]),
+    );
+    if !fast {
+        menshen_bench::update_baseline("latency_percentiles", &latency_doc);
+        menshen_bench::update_baseline("rss_balance", &balance_doc);
+    }
+    menshen_bench::write_json("bench_latency", &latency_doc);
+    menshen_bench::write_json("bench_rss_balance", &balance_doc);
+}

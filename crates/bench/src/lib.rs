@@ -54,32 +54,65 @@ pub fn baseline_path() -> PathBuf {
 /// hot-path bench and the shard-scaling bench can each own a section without
 /// clobbering the other. A pre-sectioned legacy document (recognised by its
 /// top-level `"benchmark"` name field) is wrapped under that name first.
+///
+/// Fails **loudly** (panics, so the bench binary exits non-zero and CI goes
+/// red) if the merge would drop any section that existed before — a bench
+/// run must never silently lose another bench's committed series.
 pub fn update_baseline<T: ToJson + ?Sized>(key: &str, value: &T) {
     let path = baseline_path();
-    let mut doc = match fs::read_to_string(&path) {
+    let existing = fs::read_to_string(&path).ok();
+    let merged = merge_baseline_section(existing.as_deref(), key, value.to_json())
+        .unwrap_or_else(|message| panic!("{}: {message}", path.display()));
+    write_json_at(&path, &merged);
+}
+
+/// The pure merge step behind [`update_baseline`], separated so the
+/// no-section-dropped guarantee is unit-testable. Returns the merged
+/// document, or an error message when the existing text must not be
+/// overwritten (unparseable / non-object) or the merge would lose a
+/// section.
+pub fn merge_baseline_section(
+    existing: Option<&str>,
+    key: &str,
+    value: Json,
+) -> Result<Json, String> {
+    let mut doc = match existing {
         // Never silently clobber the other benches' committed series: a
         // baseline that exists but does not parse *as an object* (merge
         // conflict, stray edit) must be repaired by a human, not overwritten
         // — `Json::set` on a non-object would replace the whole document.
-        Ok(text) => match Json::parse(&text) {
+        Some(text) => match Json::parse(text) {
             Ok(doc @ Json::Obj(_)) => doc,
-            Ok(_) => panic!(
-                "{} exists but is not a JSON object; refusing to overwrite it",
-                path.display()
-            ),
-            Err(error) => panic!(
-                "{} exists but is not valid JSON ({error}); refusing to overwrite it",
-                path.display()
-            ),
+            Ok(_) => return Err("exists but is not a JSON object; refusing to overwrite".into()),
+            Err(error) => {
+                return Err(format!(
+                    "exists but is not valid JSON ({error}); refusing to overwrite"
+                ))
+            }
         },
-        Err(_) => Json::Obj(Vec::new()),
+        None => Json::Obj(Vec::new()),
     };
     if let Some(Json::Str(name)) = doc.get("benchmark").cloned() {
         let legacy = std::mem::replace(&mut doc, Json::Obj(Vec::new()));
         doc.set(&name, legacy);
     }
-    doc.set(key, value.to_json());
-    write_json_at(&path, &doc);
+    let sections_before: Vec<String> = match &doc {
+        Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+        _ => Vec::new(),
+    };
+    doc.set(key, value);
+    // The loud-failure guard: every pre-existing section must survive the
+    // merge. `Json::set` preserves siblings today; this check makes that a
+    // contract rather than an implementation detail.
+    for section in &sections_before {
+        if doc.get(section).is_none() {
+            return Err(format!(
+                "merge-updating section {key:?} dropped existing section {section:?}; \
+                 refusing to write"
+            ));
+        }
+    }
+    Ok(doc)
 }
 
 /// Prints a section header in the style used by all harness binaries.
@@ -92,6 +125,35 @@ pub fn header(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_preserves_existing_sections() {
+        let existing = r#"{ "hot_path": { "mpps": 5 }, "shard_scaling": { "x": 1 } }"#;
+        let merged =
+            merge_baseline_section(Some(existing), "latency_percentiles", Json::from(42)).unwrap();
+        assert!(merged.get("hot_path").is_some());
+        assert!(merged.get("shard_scaling").is_some());
+        assert_eq!(merged.get("latency_percentiles"), Some(&Json::from(42)));
+        // Replacing an existing section keeps the others too.
+        let replaced =
+            merge_baseline_section(Some(existing), "hot_path", Json::from("new")).unwrap();
+        assert_eq!(replaced.get("hot_path"), Some(&Json::from("new")));
+        assert!(replaced.get("shard_scaling").is_some());
+    }
+
+    #[test]
+    fn merge_wraps_legacy_documents_and_rejects_garbage() {
+        let legacy = r#"{ "benchmark": "hot_path", "mpps": 5 }"#;
+        let merged = merge_baseline_section(Some(legacy), "new_section", Json::from(1)).unwrap();
+        assert!(merged.get("hot_path").is_some(), "legacy doc wrapped");
+        assert!(merged.get("new_section").is_some());
+
+        assert!(merge_baseline_section(Some("[1, 2]"), "k", Json::Null).is_err());
+        assert!(merge_baseline_section(Some("{ not json"), "k", Json::Null).is_err());
+        // A missing baseline starts fresh.
+        let fresh = merge_baseline_section(None, "only", Json::from(7)).unwrap();
+        assert_eq!(fresh.get("only"), Some(&Json::from(7)));
+    }
 
     #[test]
     fn results_dir_is_creatable_and_json_written() {

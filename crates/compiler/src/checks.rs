@@ -91,6 +91,59 @@ pub fn check_no_system_stat_writes(ast: &ModuleAst) -> Result<()> {
     Ok(())
 }
 
+/// Source-level classification of a module's stateful memory for shard
+/// replication, produced by [`classify_state_mergeability`]. Mirrors
+/// `menshen_core::StateMergeability`, which performs the same walk over the
+/// *compiled* VLIW ALU ops; classifying at the source level lets tooling
+/// reject a program before spending compilation on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceStateMergeability {
+    /// No register is ever touched.
+    Stateless,
+    /// Every register update is additive (`reg.count`), so per-shard copies
+    /// of the state merge exactly by summation — safe to replicate under
+    /// 5-tuple steering (the State-Compute-Replication regime).
+    Mergeable,
+    /// At least one action overwrites a register (`reg.write`): replicated
+    /// copies have no well-defined merge.
+    NonMergeable {
+        /// The action containing the overwrite.
+        action: String,
+        /// The register being overwritten.
+        register: String,
+    },
+}
+
+/// Classifies a module's stateful behaviour by walking every register
+/// statement of every action — the same walk the static checks above use.
+/// `reg.count` (compiled to the additive `loadd` ALU op) is mergeable;
+/// `reg.write` (compiled to `store`) is not; `reg.read` alone leaves the
+/// state constant and is harmless.
+pub fn classify_state_mergeability(ast: &ModuleAst) -> SourceStateMergeability {
+    let mut touches_state = false;
+    for action in &ast.actions {
+        for statement in &action.statements {
+            match statement {
+                Statement::RegisterWrite { register, .. } => {
+                    return SourceStateMergeability::NonMergeable {
+                        action: action.name.clone(),
+                        register: register.clone(),
+                    };
+                }
+                Statement::RegisterCount { .. } | Statement::RegisterRead { .. } => {
+                    touches_state = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if touches_state {
+        SourceStateMergeability::Mergeable
+    } else {
+        SourceStateMergeability::Stateless
+    }
+}
+
 /// Name resolution: tables in `apply` exist, actions named by tables exist,
 /// registers used by actions exist, no duplicate definitions.
 pub fn check_name_resolution(ast: &ModuleAst) -> Result<()> {
@@ -278,6 +331,63 @@ module m {
             check_module(&ast),
             Err(CompileError::Duplicate { .. })
         ));
+    }
+
+    #[test]
+    fn state_mergeability_matches_the_compiled_classification() {
+        use crate::{compile_source, CompileOptions};
+        use menshen_core::StateMergeability;
+
+        let cases = [
+            ("set_port(2);", SourceStateMergeability::Stateless),
+            (
+                "ipv4.dst_addr = reg.count(0); set_port(2);",
+                SourceStateMergeability::Mergeable,
+            ),
+            (
+                "reg.write(0, ipv4.dst_addr); set_port(2);",
+                SourceStateMergeability::NonMergeable {
+                    action: "a".into(),
+                    register: "reg".into(),
+                },
+            ),
+        ];
+        for (body, expected) in cases {
+            let ast = module_with_action(body);
+            assert_eq!(classify_state_mergeability(&ast), expected, "body {body}");
+
+            // The source-level walk and the compiled-form walk
+            // (`ModuleConfig::state_mergeability`) must agree: the runtime
+            // enforces the compiled form, tooling the source form.
+            let source = format!(
+                r#"
+module m {{
+    parser {{ extract ipv4; }}
+    state reg[16];
+    table t {{ key = {{ ipv4.dst_addr; }} actions = {{ a; }} }}
+    action a() {{ {body} }}
+    apply {{ t.apply(); }}
+}}
+"#
+            );
+            // Install one entry per table so the compiled config carries the
+            // action's VLIW form (the compiled walk inspects installed
+            // rules — exactly what the runtime replicates).
+            let compiled =
+                compile_source(&source, &CompileOptions::new(7).with_initial_entries(1)).unwrap();
+            let compiled_class = compiled.config.state_mergeability();
+            match (&expected, &compiled_class) {
+                (SourceStateMergeability::Stateless, StateMergeability::Stateless)
+                | (SourceStateMergeability::Mergeable, StateMergeability::Mergeable)
+                | (
+                    SourceStateMergeability::NonMergeable { .. },
+                    StateMergeability::NonMergeable { .. },
+                ) => {}
+                (source_class, compiled) => {
+                    panic!("body {body}: source {source_class:?} vs compiled {compiled:?}")
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,9 +55,12 @@ pub mod resources;
 pub mod segment_table;
 pub mod sw_interface;
 pub mod system_module;
+pub mod telemetry;
 
 pub use error::CoreError;
-pub use module::{MatchRule, ModuleConfig, ModuleId, ResourceAllocation, StageModuleConfig};
+pub use module::{
+    MatchRule, ModuleConfig, ModuleId, ResourceAllocation, StageModuleConfig, StateMergeability,
+};
 pub use overlay::OverlayTable;
 pub use packet_filter::{FilterDecision, PacketFilter};
 pub use partition::{Allocation, RangeAllocator};
@@ -67,6 +70,7 @@ pub use resources::{ResourceChecker, SharingPolicy};
 pub use segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
 pub use sw_interface::{ControlPlane, DeviceStats};
 pub use system_module::{ForwardingDecision, SystemModule, SystemStats};
+pub use telemetry::{LatencyHistogram, Percentiles};
 
 /// Result alias used across the crate.
 pub type Result<T> = core::result::Result<T, CoreError>;

@@ -4,7 +4,7 @@
 //! program in the paper's terminology). Modules are identified on the wire by
 //! the packet's VLAN ID (12 bits) and inside the pipeline by the same value.
 
-use menshen_rmt::action::VliwAction;
+use menshen_rmt::action::{AluOp, VliwAction};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
 use menshen_rmt::match_table::LookupKey;
 
@@ -152,6 +152,78 @@ impl ModuleConfig {
             phv_containers: self.parser.actions.len(),
         }
     }
+
+    /// Classifies this module's stateful memory for replication across shard
+    /// replicas, by walking every ALU of every compiled VLIW action — the
+    /// same walk the compiler's static checker performs over register
+    /// statements in the source, applied to the compiled form the runtime
+    /// actually receives.
+    ///
+    /// Under 5-tuple RSS steering one tenant's flows spread over all shards
+    /// and each shard updates its *own copy* of the module's stateful words
+    /// (State-Compute Replication). That is semantics-preserving only when
+    /// every update is additive, so per-shard copies merge exactly by
+    /// summation: `loadd` (read-add-write) qualifies; `store` (overwrite
+    /// with a packet-derived value) does not — the merged value of
+    /// last-writer-wins state is undefined.
+    pub fn state_mergeability(&self) -> StateMergeability {
+        let mut touches_state = false;
+        for (stage, config) in self.stages.iter().enumerate() {
+            for (rule_index, rule) in config.rules.iter().enumerate() {
+                if action_overwrites_state(&rule.action) {
+                    return StateMergeability::NonMergeable {
+                        stage,
+                        detail: format!(
+                            "rule {rule_index} executes `store` (overwrites a \
+                             stateful word); only additive state merges across \
+                             shard replicas"
+                        ),
+                    };
+                }
+                touches_state |= action_touches_state(&rule.action);
+            }
+        }
+        if touches_state {
+            StateMergeability::Mergeable
+        } else {
+            StateMergeability::Stateless
+        }
+    }
+}
+
+/// True if any ALU of `action` overwrites stateful memory (`store`) — the
+/// operation that makes per-shard state replication non-mergeable.
+pub fn action_overwrites_state(action: &VliwAction) -> bool {
+    action
+        .iter_active()
+        .any(|(_, instruction)| instruction.op == AluOp::Store)
+}
+
+/// True if any ALU of `action` touches stateful memory at all.
+pub fn action_touches_state(action: &VliwAction) -> bool {
+    action
+        .iter_active()
+        .any(|(_, instruction)| instruction.op.is_stateful())
+}
+
+/// Whether a compiled module's stateful memory can be replicated per shard
+/// and merged back by summation. See [`ModuleConfig::state_mergeability`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateMergeability {
+    /// The module never touches stateful memory; replication is trivially
+    /// safe.
+    Stateless,
+    /// Every stateful update is additive (`loadd`); per-shard copies merge
+    /// exactly by summation.
+    Mergeable,
+    /// At least one action overwrites stateful memory; replicated copies
+    /// cannot be merged into a well-defined value.
+    NonMergeable {
+        /// The stage holding the offending rule.
+        stage: usize,
+        /// Which rule and why.
+        detail: String,
+    },
 }
 
 #[cfg(test)]
@@ -182,6 +254,42 @@ mod tests {
         let usage = config.usage();
         assert_eq!(usage.total_match_entries(), 0);
         assert_eq!(usage.phv_containers, 0);
+    }
+
+    #[test]
+    fn state_mergeability_classification() {
+        use menshen_rmt::action::AluInstruction;
+        use menshen_rmt::phv::ContainerRef as C;
+
+        let mut config = ModuleConfig::empty(ModuleId::new(1), "m", 3);
+        assert_eq!(config.state_mergeability(), StateMergeability::Stateless);
+
+        // Pure header rewrites stay stateless.
+        config.stages[0].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop().with(C::h2(0), AluInstruction::set(80)),
+        });
+        assert_eq!(config.state_mergeability(), StateMergeability::Stateless);
+
+        // Additive counters (`loadd`) are mergeable.
+        config.stages[0].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop().with(C::h4(7), AluInstruction::loadd(0)),
+        });
+        assert_eq!(config.state_mergeability(), StateMergeability::Mergeable);
+
+        // One `store` anywhere makes the whole module non-mergeable.
+        config.stages[2].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop().with(C::h4(3), AluInstruction::store(C::h4(1), 4)),
+        });
+        match config.state_mergeability() {
+            StateMergeability::NonMergeable { stage, detail } => {
+                assert_eq!(stage, 2);
+                assert!(detail.contains("store"), "{detail}");
+            }
+            other => panic!("expected NonMergeable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! it amortises away.
 
 use crate::error::CoreError;
-use crate::module::{ModuleConfig, ModuleId};
+use crate::module::{ModuleConfig, ModuleId, StateMergeability};
 use crate::overlay::OverlayTable;
 use crate::packet_filter::{FilterDecision, PacketFilter};
 use crate::partition::{Allocation, RangeAllocator};
@@ -84,6 +84,12 @@ pub enum DropReason {
 }
 
 /// The pipeline's verdict for one packet.
+//
+// `Forwarded` is much larger than `Dropped`, but boxing the PHV (clippy's
+// suggestion) would put one heap allocation per forwarded packet on the
+// allocation-free batched hot path — the wrong trade for a type that lives
+// in reused scratch buffers.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Verdict {
     /// The packet was processed and forwarded to `ports`.
@@ -383,6 +389,54 @@ impl MenshenPipeline {
         let stage_ref = self.stages.get(stage)?;
         let physical = stage_ref.segment.translate(runtime.slot, local_address)?;
         stage_ref.hw.stateful.peek(physical)
+    }
+
+    /// Classifies a *loaded* module's stateful memory for shard replication
+    /// by walking the VLIW actions actually installed in its CAM ranges —
+    /// the same classification [`ModuleConfig::state_mergeability`] performs
+    /// on a not-yet-loaded configuration. Returns `None` if the module is
+    /// not loaded.
+    ///
+    /// This is what lets the sharded runtime vet an already-configured
+    /// pipeline (e.g. a replication template) and not just incoming load
+    /// requests.
+    pub fn module_state_mergeability(&self, module: ModuleId) -> Option<StateMergeability> {
+        let runtime = self.modules.get(&module.value())?;
+        let mut touches_state = false;
+        for (stage_index, range) in runtime.cam_ranges.iter().enumerate() {
+            let Some(stage) = self.stages.get(stage_index) else {
+                continue;
+            };
+            for index in range.start..range.end() {
+                let owned = stage
+                    .hw
+                    .cam
+                    .entry(index)
+                    .map(|entry| entry.module_id == module.value())
+                    .unwrap_or(false);
+                if !owned {
+                    continue;
+                }
+                let Some(action) = stage.hw.action(index) else {
+                    continue;
+                };
+                if crate::module::action_overwrites_state(action) {
+                    return Some(StateMergeability::NonMergeable {
+                        stage: stage_index,
+                        detail: format!(
+                            "CAM entry {index} executes `store` (overwrites a stateful \
+                             word); only additive state merges across shard replicas"
+                        ),
+                    });
+                }
+                touches_state |= crate::module::action_touches_state(action);
+            }
+        }
+        Some(if touches_state {
+            StateMergeability::Mergeable
+        } else {
+            StateMergeability::Stateless
+        })
     }
 
     // -----------------------------------------------------------------------
@@ -1215,6 +1269,39 @@ mod tests {
         let counters = pipeline.module_counters(ModuleId::new(7)).unwrap();
         assert_eq!(counters.packets_in, 1);
         assert_eq!(counters.packets_out, 1);
+    }
+
+    #[test]
+    fn loaded_module_state_mergeability_matches_the_config_classification() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        // `loadd` counter: mergeable in both views.
+        let additive = simple_module(1, 0x0a00_0002, 1111);
+        // Same shape but with a `store`: non-mergeable in both views.
+        let mut overwriting = simple_module(2, 0x0a00_0002, 2222);
+        overwriting.stages[0].rules[0].action = VliwAction::nop()
+            .with(C::h2(0), AluInstruction::set(2222))
+            .with(C::h4(7), AluInstruction::store(C::h4(1), 0));
+        // Pure rewrite, no state.
+        let mut stateless = simple_module(3, 0x0a00_0002, 3333);
+        stateless.stages[0].rules[0].action =
+            VliwAction::nop().with(C::h2(0), AluInstruction::set(3333));
+
+        for config in [&additive, &overwriting, &stateless] {
+            pipeline.load_module(config).unwrap();
+            let loaded = pipeline
+                .module_state_mergeability(config.module_id)
+                .expect("module is loaded");
+            let from_config = config.state_mergeability();
+            assert_eq!(
+                std::mem::discriminant(&loaded),
+                std::mem::discriminant(&from_config),
+                "module {}: loaded {loaded:?} vs config {from_config:?}",
+                config.module_id
+            );
+        }
+        assert!(pipeline
+            .module_state_mergeability(ModuleId::new(99))
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Latency telemetry: a log-bucketed, HDR-style histogram.
+//!
+//! The sharded runtime records one of these per shard and merges them on
+//! snapshot, and the trace-replay engine records one per run, so the type has
+//! three hard requirements:
+//!
+//! * **fixed memory** — the bucket array never grows, no matter how many
+//!   samples are recorded or how large they are (`u64` nanoseconds cover
+//!   ~584 years, all representable);
+//! * **bounded relative error** — values are bucketed log-linearly with
+//!   [`SUB_BUCKET_BITS`] sub-buckets per power of two, so any reported
+//!   quantile is within `2^-SUB_BUCKET_BITS` (≈3.1%) of the exact
+//!   sample quantile;
+//! * **mergeable** — two histograms merge by adding bucket counts, which is
+//!   exact (not an approximation), so per-shard recording plus
+//!   dispatcher-side merging loses nothing.
+//!
+//! No `unsafe`, no dependencies; the whole structure is ~15 KiB once the
+//! first sample lands (allocation is deferred so empty histograms — e.g. in
+//! a defaulted shard snapshot — cost nothing).
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BUCKET_BITS` linear sub-buckets, bounding the relative
+/// quantisation error of any recorded value by `2^-SUB_BUCKET_BITS`.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Values below `SUB_BUCKETS` are recorded exactly (the linear region);
+/// octaves `SUB_BUCKET_BITS..=63` each contribute `SUB_BUCKETS` buckets.
+const BUCKET_COUNT: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// The quantiles the runtime and benches report by convention.
+pub const REPORTED_QUANTILES: [(f64, &str); 4] = [
+    (0.50, "p50"),
+    (0.90, "p90"),
+    (0.99, "p99"),
+    (0.999, "p99.9"),
+];
+
+/// A log-bucketed latency histogram over `u64` values (nanoseconds by
+/// convention). See the module docs for the design constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counts; allocated lazily on the first `record`.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Index of the bucket `value` falls into.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    // 2^exp <= value < 2^(exp+1), with exp >= SUB_BUCKET_BITS.
+    let exp = 63 - value.leading_zeros();
+    let sub = (value >> (exp - SUB_BUCKET_BITS)) as usize - SUB_BUCKETS;
+    SUB_BUCKETS + (exp - SUB_BUCKET_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Highest value that maps to bucket `index` (the bucket's reported
+/// representative: quantiles never under-report).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let offset = index - SUB_BUCKETS;
+    let exp = SUB_BUCKET_BITS + (offset / SUB_BUCKETS) as u32;
+    let sub = (offset % SUB_BUCKETS) as u64;
+    let width = 1u64 << (exp - SUB_BUCKET_BITS);
+    ((SUB_BUCKETS as u64 + sub) << (exp - SUB_BUCKET_BITS)) + (width - 1)
+}
+
+/// Lowest value that maps to bucket `index`.
+fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let offset = index - SUB_BUCKETS;
+    let exp = SUB_BUCKET_BITS + (offset / SUB_BUCKETS) as u32;
+    let sub = (offset % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (exp - SUB_BUCKET_BITS)
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKET_COUNT];
+            self.min = u64::MAX;
+        }
+        self.counts[bucket_index(value)] += count;
+        self.total += count;
+        self.sum += u128::from(value) * u128::from(count);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges `other` into `self` by adding bucket counts — exact, so
+    /// per-shard histograms merged at the dispatcher equal one histogram
+    /// recorded centrally.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKET_COUNT];
+            self.min = u64::MAX;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns `self − baseline`, where `baseline` must be an earlier
+    /// snapshot of the *same* recording stream (every bucket count a prefix
+    /// of this histogram's). Bucket counts, total and sum subtract exactly;
+    /// `min`/`max` are recovered from the delta's outermost non-empty
+    /// buckets, so they are accurate to within one sub-bucket rather than
+    /// exact. This is what lets a caller measure one run's latency on a
+    /// reused runtime whose histograms are cumulative.
+    pub fn subtracting(&self, baseline: &LatencyHistogram) -> LatencyHistogram {
+        if baseline.total == 0 {
+            return self.clone();
+        }
+        let mut delta = LatencyHistogram {
+            counts: vec![0; BUCKET_COUNT],
+            total: self.total.saturating_sub(baseline.total),
+            sum: self.sum.saturating_sub(baseline.sum),
+            min: u64::MAX,
+            max: 0,
+        };
+        let mut first = None;
+        let mut last = None;
+        for index in 0..BUCKET_COUNT {
+            let mine = self.counts.get(index).copied().unwrap_or(0);
+            let theirs = baseline.counts.get(index).copied().unwrap_or(0);
+            let remaining = mine.saturating_sub(theirs);
+            delta.counts[index] = remaining;
+            if remaining > 0 {
+                first.get_or_insert(index);
+                last = Some(index);
+            }
+        }
+        if let (Some(first), Some(last)) = (first, last) {
+            delta.min = bucket_lower_bound(first).max(self.min);
+            delta.max = bucket_upper_bound(last).min(self.max);
+        } else {
+            delta.total = 0;
+            delta.sum = 0;
+        }
+        delta
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the `ceil(q · count)`-th recorded value, clamped to
+    /// the observed maximum. Within one bucket's relative error
+    /// (`2^-SUB_BUCKET_BITS`) of the exact sorted-sample quantile. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the conventionally reported percentile set.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            count: self.total,
+            min_ns: self.min(),
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            max_ns: self.max,
+        }
+    }
+}
+
+/// The percentile summary the runtime and benches report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Minimum, nanoseconds.
+    pub min_ns: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// 50th percentile, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+    /// Maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_bounds_error() {
+        for value in (0u64..10_000)
+            .chain((1..54).map(|e| (1u64 << e) - 1))
+            .chain((1..54).map(|e| 1u64 << e))
+            .chain((1..54).map(|e| (1u64 << e) + 1))
+        {
+            let upper = bucket_upper_bound(bucket_index(value));
+            assert!(upper >= value, "upper bound {upper} < value {value}");
+            let error = upper - value;
+            assert!(
+                (error as f64) <= (value as f64) / SUB_BUCKETS as f64 + 1.0,
+                "value {value}: error {error} exceeds one sub-bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn merge_equals_central_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut central = LatencyHistogram::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for i in 0..5_000u64 {
+            // SplitMix64 step, inline to keep the crate dependency-free.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let value = (z ^ (z >> 31)) % 10_000_000;
+            if i % 2 == 0 {
+                a.record(value);
+            } else {
+                b.record(value);
+            }
+            central.record(value);
+        }
+        a.merge(&b);
+        assert_eq!(a, central);
+        assert_eq!(a.count(), 5_000);
+    }
+
+    #[test]
+    fn subtracting_a_prefix_recovers_the_suffix() {
+        let mut first_run = LatencyHistogram::new();
+        let mut cumulative = LatencyHistogram::new();
+        let mut suffix_only = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let value = (i * 977) % 500_000;
+            first_run.record(value);
+            cumulative.record(value);
+        }
+        let baseline = cumulative.clone();
+        for i in 0..800u64 {
+            let value = 1_000 + (i * 7919) % 90_000;
+            cumulative.record(value);
+            suffix_only.record(value);
+        }
+        let delta = cumulative.subtracting(&baseline);
+        assert_eq!(delta.count(), 800);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(delta.quantile(q), suffix_only.quantile(q), "q {q}");
+        }
+        assert!((delta.mean() - suffix_only.mean()).abs() < 1e-9);
+        // min/max are bucket-accurate.
+        assert!(delta.min() <= suffix_only.min());
+        assert!(delta.max() >= suffix_only.max());
+        // Subtracting everything leaves an empty histogram.
+        let empty = cumulative.subtracting(&cumulative);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        // Subtracting an empty baseline is the identity.
+        assert_eq!(cumulative.subtracting(&LatencyHistogram::new()), cumulative);
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut recorded = LatencyHistogram::new();
+        recorded.record(42);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&recorded);
+        assert_eq!(empty, recorded);
+        recorded.merge(&LatencyHistogram::new());
+        assert_eq!(empty, recorded);
+    }
+
+    /// Property test (seeded-loop style, like the rest of the workspace):
+    /// recorded quantiles stay within one bucket's relative error of the
+    /// exact sorted-sample quantile, across uniform, exponential-ish and
+    /// heavy-tailed samples.
+    #[test]
+    fn quantiles_match_exact_within_one_bucket() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 1u64..=6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<u64> = (0..10_000)
+                .map(|i| match (seed + i) % 3 {
+                    // Uniform microsecond-scale latencies.
+                    0 => rng.gen_range(0u64..2_000_000),
+                    // Exponential-ish: uniform mantissa at a random octave.
+                    1 => {
+                        let octave = rng.gen_range(0u32..36);
+                        rng.gen_range(0u64..(1u64 << octave).max(2))
+                    }
+                    // Heavy tail: rare huge values.
+                    _ => {
+                        if rng.gen_bool(0.01) {
+                            rng.gen_range(1_000_000_000u64..100_000_000_000)
+                        } else {
+                            rng.gen_range(100u64..10_000)
+                        }
+                    }
+                })
+                .collect();
+            let mut histogram = LatencyHistogram::new();
+            for &value in &samples {
+                histogram.record(value);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let estimate = histogram.quantile(q);
+                assert!(
+                    estimate >= exact,
+                    "seed {seed} q {q}: estimate {estimate} under-reports exact {exact}"
+                );
+                let allowed = exact / (SUB_BUCKETS as u64) + 1;
+                assert!(
+                    estimate - exact <= allowed,
+                    "seed {seed} q {q}: estimate {estimate} vs exact {exact} \
+                     (allowed error {allowed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -41,6 +41,11 @@ pub struct Packet {
     pub ingress_port: u16,
     /// Arrival timestamp in device clock cycles (filled by the testbed).
     pub arrival_cycle: u64,
+    /// Wall-clock timestamp in nanoseconds, relative to whatever epoch the
+    /// producer chose: a capture's first-packet time for traces read from
+    /// pcap, the runtime's start instant for packets stamped at ingress.
+    /// Carried through pcap round-trips; `0` when the producer has no clock.
+    pub timestamp_ns: u64,
 }
 
 impl Packet {
@@ -50,6 +55,16 @@ impl Packet {
             data,
             ingress_port: 0,
             arrival_cycle: 0,
+            timestamp_ns: 0,
+        }
+    }
+
+    /// Wraps an existing frame buffer with a capture timestamp
+    /// (nanoseconds); the constructor trace readers use.
+    pub fn from_bytes_at(data: Vec<u8>, timestamp_ns: u64) -> Self {
+        Packet {
+            timestamp_ns,
+            ..Packet::from_bytes(data)
         }
     }
 

@@ -15,6 +15,17 @@
 //! effect. The single-pipeline analogue of an epoch boundary is "between two
 //! `process_batch` calls", which is what makes the sharded runtime testable
 //! against one big pipeline.
+//!
+//! # Log compaction
+//!
+//! The log would otherwise grow forever across reconfigurations, so
+//! [`EpochLog`] supports *compaction*: once every shard has acknowledged
+//! epoch `E`, the prefix up to `E` can be folded into a single checkpoint —
+//! a [`MenshenPipeline::config_replica`] holding exactly the configuration
+//! those epochs produced — and the entries dropped. A replica stood up from
+//! the checkpoint plus the remaining suffix is indistinguishable from one
+//! that replayed the full log ([`EpochLog::standby_replica`]), which is what
+//! future elastic resharding needs.
 
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, ReconfigCommand};
 use menshen_packet::Ipv4Address;
@@ -79,6 +90,136 @@ pub struct EpochEntry {
     pub ops: Vec<ControlOp>,
 }
 
+/// Summary of one [`EpochLog::compact`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The epoch the checkpoint now covers (all entries at or below it were
+    /// folded in).
+    pub compacted_epoch: u64,
+    /// Entries removed from the log by this compaction.
+    pub entries_dropped: usize,
+    /// Entries still in the log after compaction.
+    pub entries_remaining: usize,
+}
+
+/// The control-plane log: a checkpoint covering a compacted prefix plus the
+/// suffix of still-live [`EpochEntry`]s. Entries carry contiguous epochs
+/// `base_epoch + 1, base_epoch + 2, …`, which makes "everything after epoch
+/// `X`" an index computation rather than a scan.
+#[derive(Debug, Default)]
+pub struct EpochLog {
+    /// Epoch the checkpoint covers; `0` before any compaction.
+    base_epoch: u64,
+    /// Configuration state after applying every epoch up to `base_epoch`
+    /// (a config replica: loaded modules and routing, no dynamic state).
+    checkpoint: Option<Box<MenshenPipeline>>,
+    /// Entries `base_epoch + 1 ..`, in epoch order.
+    entries: Vec<EpochEntry>,
+}
+
+impl EpochLog {
+    /// An empty log (epoch 0, no checkpoint).
+    pub fn new() -> Self {
+        EpochLog::default()
+    }
+
+    /// The epoch the compacted checkpoint covers (0 before any compaction).
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// The newest epoch in the log (checkpoint or entries).
+    pub fn newest_epoch(&self) -> u64 {
+        self.entries
+            .last()
+            .map(|e| e.epoch)
+            .unwrap_or(self.base_epoch)
+    }
+
+    /// Number of live (uncompacted) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a published entry. Epochs must stay contiguous — the runtime
+    /// publishes them that way, and compaction relies on it.
+    pub fn append(&mut self, entry: EpochEntry) {
+        debug_assert_eq!(
+            entry.epoch,
+            self.newest_epoch() + 1,
+            "epochs must be contiguous"
+        );
+        self.entries.push(entry);
+    }
+
+    /// Clones the entries with epochs strictly greater than `epoch` — what a
+    /// shard that has applied `epoch` still has to do. `epoch` must not
+    /// predate the checkpoint (a shard can never be behind the compacted
+    /// prefix, because compaction waits for every shard's ack).
+    pub fn entries_after(&self, epoch: u64) -> Vec<EpochEntry> {
+        assert!(
+            epoch >= self.base_epoch,
+            "shard at epoch {epoch} is behind the compacted prefix (base {})",
+            self.base_epoch
+        );
+        let skip = (epoch - self.base_epoch) as usize;
+        self.entries[skip.min(self.entries.len())..].to_vec()
+    }
+
+    /// Folds every entry with epoch ≤ `upto` into a fresh checkpoint and
+    /// drops those entries. `genesis` supplies the epoch-0 configuration
+    /// (used the first time, when no checkpoint exists yet). The caller must
+    /// guarantee every shard has acknowledged `upto`.
+    ///
+    /// Failed ops are skipped exactly the way live replicas skip them
+    /// ([`crate::shard`] applies every op of an entry and records the first
+    /// error), so the checkpoint cannot diverge from the replicas.
+    pub fn compact(&mut self, upto: u64, genesis: &MenshenPipeline) -> CompactionReport {
+        let fold = ((upto.max(self.base_epoch) - self.base_epoch) as usize).min(self.entries.len());
+        if fold > 0 {
+            let mut checkpoint = match self.checkpoint.take() {
+                Some(existing) => existing,
+                None => Box::new(genesis.config_replica()),
+            };
+            for entry in self.entries.drain(..fold) {
+                for op in &entry.ops {
+                    // Same error semantics as a live replica: keep going.
+                    let _ = op.apply(&mut checkpoint);
+                }
+                self.base_epoch = entry.epoch;
+            }
+            self.checkpoint = Some(checkpoint);
+        }
+        CompactionReport {
+            compacted_epoch: self.base_epoch,
+            entries_dropped: fold,
+            entries_remaining: self.entries.len(),
+        }
+    }
+
+    /// Stands up a fresh configuration replica from the log: the checkpoint
+    /// (or `genesis` when none exists) plus every live entry. The result is
+    /// what a brand-new shard would run — identical to a replica that
+    /// replayed the full, uncompacted history.
+    pub fn standby_replica(&self, genesis: &MenshenPipeline) -> MenshenPipeline {
+        let mut replica = match &self.checkpoint {
+            Some(checkpoint) => checkpoint.config_replica(),
+            None => genesis.config_replica(),
+        };
+        for entry in &self.entries {
+            for op in &entry.ops {
+                let _ = op.apply(&mut replica);
+            }
+        }
+        replica
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +254,84 @@ mod tests {
         assert!(ControlOp::Unload(ModuleId::new(4))
             .apply(&mut replayed)
             .is_err());
+    }
+
+    fn entry(epoch: u64, module: u16) -> EpochEntry {
+        EpochEntry {
+            epoch,
+            ops: vec![ControlOp::Load(Box::new(ModuleConfig::empty(
+                ModuleId::new(module),
+                format!("m{module}"),
+                5,
+            )))],
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_replayed_configuration() {
+        let genesis = MenshenPipeline::new(TABLE5);
+        let mut log = EpochLog::new();
+        for epoch in 1..=6u64 {
+            log.append(entry(epoch, epoch as u16));
+        }
+        let full_replay = log.standby_replica(&genesis);
+
+        let report = log.compact(4, &genesis);
+        assert_eq!(report.compacted_epoch, 4);
+        assert_eq!(report.entries_dropped, 4);
+        assert_eq!(report.entries_remaining, 2);
+        assert_eq!(log.base_epoch(), 4);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.newest_epoch(), 6);
+
+        let post_compaction = log.standby_replica(&genesis);
+        assert_eq!(
+            post_compaction.loaded_modules(),
+            full_replay.loaded_modules(),
+            "a replica stood up post-compaction matches a full-log replay"
+        );
+
+        // Compacting the rest empties the log without losing configuration.
+        let report = log.compact(6, &genesis);
+        assert_eq!(report.entries_dropped, 2);
+        assert!(log.is_empty());
+        assert_eq!(
+            log.standby_replica(&genesis).loaded_modules(),
+            full_replay.loaded_modules()
+        );
+
+        // Compacting past the newest epoch or re-compacting is a no-op.
+        let report = log.compact(10, &genesis);
+        assert_eq!(report.entries_dropped, 0);
+        assert_eq!(report.compacted_epoch, 6);
+    }
+
+    #[test]
+    fn entries_after_respects_the_compacted_base() {
+        let genesis = MenshenPipeline::new(TABLE5);
+        let mut log = EpochLog::new();
+        for epoch in 1..=5u64 {
+            log.append(entry(epoch, epoch as u16));
+        }
+        assert_eq!(log.entries_after(0).len(), 5);
+        assert_eq!(log.entries_after(3).len(), 2);
+        assert_eq!(log.entries_after(3)[0].epoch, 4);
+        assert!(log.entries_after(9).is_empty());
+
+        log.compact(2, &genesis);
+        assert_eq!(log.entries_after(2).len(), 3);
+        assert_eq!(log.entries_after(4).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the compacted prefix")]
+    fn entries_after_panics_behind_the_checkpoint() {
+        let genesis = MenshenPipeline::new(TABLE5);
+        let mut log = EpochLog::new();
+        for epoch in 1..=3u64 {
+            log.append(entry(epoch, epoch as u16));
+        }
+        log.compact(2, &genesis);
+        let _ = log.entries_after(1);
     }
 }

@@ -39,11 +39,11 @@ pub mod rss;
 pub mod runtime;
 pub mod shard;
 
-pub use control::{ControlOp, EpochEntry};
+pub use control::{CompactionReport, ControlOp, EpochEntry, EpochLog};
 pub use ring::{ring as bounded_ring, Consumer, Producer, RingClosed};
 pub use rss::{
     toeplitz_hash, RssHasher, Steerer, SteeringMode, DEFAULT_RSS_KEY, MAX_HASH_INPUT, RETA_SIZE,
     RSS_KEY_LEN,
 };
-pub use runtime::{ExecutionMode, RuntimeError, RuntimeOptions, ShardedRuntime};
-pub use shard::{ShardSnapshot, ShardStats};
+pub use runtime::{ExecutionMode, RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime};
+pub use shard::{ShardSnapshot, ShardStats, ShardTelemetry};

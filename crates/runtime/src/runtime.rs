@@ -31,10 +31,13 @@
 //! verdict multiset and counter totals match a lone `MenshenPipeline` for any
 //! shard count, including across interleaved reconfigurations.
 
-use crate::control::{ControlOp, EpochEntry};
+use crate::control::{CompactionReport, ControlOp, EpochEntry};
 use crate::ring::{ring, Producer};
 use crate::rss::{Steerer, SteeringMode};
-use crate::shard::{apply_entry, run_worker, ShardInput, ShardSnapshot, ShardStats, Shared};
+use crate::shard::{
+    apply_entry, run_worker, ShardInput, ShardSnapshot, ShardStats, ShardTelemetry, Shared,
+};
+use menshen_core::{LatencyHistogram, StateMergeability};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
 use menshen_core::{SystemStats, Verdict, BURST_SIZE};
 use menshen_packet::{Ipv4Address, Packet};
@@ -43,6 +46,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How the runtime executes its shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +123,19 @@ pub enum RuntimeError {
         /// The dead shard's index.
         shard: usize,
     },
+    /// A module whose stateful memory is not mergeable (it overwrites
+    /// stateful words instead of additively updating them) was loaded under
+    /// 5-tuple steering, where every shard keeps an independent copy of the
+    /// state. Accepting it would silently compute wrong aggregates, so the
+    /// runtime refuses up front. Load the module under tenant-affine
+    /// steering instead, or make its state additive.
+    NonMergeableState {
+        /// The offending module.
+        module: u16,
+        /// Which stage/rule and why (from
+        /// [`ModuleConfig::state_mergeability`]).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -131,15 +148,34 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ShardDown { shard } => {
                 write!(f, "worker shard {shard} is no longer running")
             }
+            RuntimeError::NonMergeableState { module, detail } => {
+                write!(
+                    f,
+                    "module {module} has non-mergeable stateful memory and cannot run \
+                     under 5-tuple steering: {detail}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
+/// Merged latency telemetry across all shards, produced by
+/// [`ShardedRuntime::aggregated_latency`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeLatency {
+    /// Per-packet sojourn time (dispatcher ingress stamp → burst
+    /// completion), nanoseconds. Merged bucket-exactly across shards.
+    pub packet_ns: LatencyHistogram,
+    /// Per-burst pipeline service time, nanoseconds.
+    pub burst_ns: LatencyHistogram,
+}
+
 /// A deterministic-mode shard: the replica lives in the runtime itself.
 struct LocalShard {
     pipeline: MenshenPipeline,
+    telemetry: ShardTelemetry,
 }
 
 /// A threaded-mode shard handle: the replica lives on its worker thread.
@@ -154,6 +190,11 @@ enum Backend {
     Threaded(Vec<Worker>),
 }
 
+/// Once the live portion of the epoch log reaches this many entries, the
+/// synchronous control path folds the acknowledged prefix into the
+/// checkpoint so the log stops growing across reconfigurations.
+const COMPACT_THRESHOLD: usize = 8;
+
 /// The sharded multi-core runtime. See the module docs for the architecture.
 pub struct ShardedRuntime {
     options: RuntimeOptions,
@@ -161,6 +202,9 @@ pub struct ShardedRuntime {
     shared: Arc<Shared>,
     backend: Backend,
     epoch: u64,
+    /// The epoch-0 configuration replica: the seed for log compaction
+    /// checkpoints and standby replicas.
+    genesis: MenshenPipeline,
     // Dispatcher scratch, reused across calls so steady-state dispatch does
     // not allocate.
     scatter: Vec<Vec<Packet>>,
@@ -181,9 +225,29 @@ impl ShardedRuntime {
     /// Creates a runtime whose shards are configuration replicas of an
     /// existing pipeline ([`MenshenPipeline::config_replica`]): same loaded
     /// modules and routing state, zeroed counters and stateful memory.
+    ///
+    /// Like the construction-time shard/burst contracts, state replication
+    /// is checked up front: replicating a template that contains a
+    /// non-mergeable stateful module under 5-tuple steering panics (the
+    /// load/update paths return [`RuntimeError::NonMergeableState`] for the
+    /// same condition), because every shard would otherwise keep an
+    /// independent last-writer-wins copy and silently compute wrong
+    /// aggregates.
     pub fn from_pipeline(template: &MenshenPipeline, options: RuntimeOptions) -> Self {
         assert!(options.shards >= 1, "at least one shard is required");
         assert!(options.burst_size >= 1, "burst size must be positive");
+        if options.steering == SteeringMode::FiveTuple {
+            for module in template.loaded_modules() {
+                if let Some(StateMergeability::NonMergeable { stage, detail }) =
+                    template.module_state_mergeability(module)
+                {
+                    panic!(
+                        "cannot replicate {module} under 5-tuple steering: \
+                         non-mergeable state in stage {stage}: {detail}"
+                    );
+                }
+            }
+        }
         let shared = Arc::new(Shared::new(options.shards));
         let steerer = Steerer::new(options.steering, options.shards);
         let backend = match options.mode {
@@ -191,6 +255,7 @@ impl ShardedRuntime {
                 (0..options.shards)
                     .map(|_| LocalShard {
                         pipeline: template.config_replica(),
+                        telemetry: ShardTelemetry::default(),
                     })
                     .collect(),
             ),
@@ -222,6 +287,7 @@ impl ShardedRuntime {
             shared,
             backend,
             epoch: 0,
+            genesis: template.config_replica(),
             options,
         }
     }
@@ -269,6 +335,12 @@ impl ShardedRuntime {
     /// flush in-flight traffic first and then wait — the hitless-reconfig
     /// ordering guarantee: the change lands strictly after all previously
     /// submitted packets and strictly before all subsequent ones.
+    ///
+    /// This is the unchecked low-level entry point: ops are applied as
+    /// given, without the state-mergeability gate the typed wrappers
+    /// ([`load_module`](Self::load_module) /
+    /// [`update_module`](Self::update_module)) enforce under 5-tuple
+    /// steering.
     pub fn publish(&mut self, ops: Vec<ControlOp>) -> u64 {
         self.epoch += 1;
         let entry = EpochEntry {
@@ -278,7 +350,8 @@ impl ShardedRuntime {
         match &mut self.backend {
             Backend::Deterministic(shards) => {
                 for (index, shard) in shards.iter_mut().enumerate() {
-                    let (snapshot, error) = apply_entry(&mut shard.pipeline, &entry);
+                    let (snapshot, error) =
+                        apply_entry(&mut shard.pipeline, &entry, &shard.telemetry);
                     let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
                     let slot = &mut progress[index];
                     slot.applied_epoch = entry.epoch;
@@ -290,18 +363,23 @@ impl ShardedRuntime {
                     }
                 }
             }
-            Backend::Threaded(workers) => {
-                self.shared
-                    .log
-                    .lock()
-                    .expect("log lock poisoned")
-                    .push(entry);
-                self.shared.published.store(self.epoch, Ordering::Release);
-                for worker in workers.iter() {
-                    // Wake shards blocked on an empty ring; a full ring means
-                    // the shard has burst boundaries coming up anyway.
-                    let _ = worker.input.try_push(ShardInput::Sync);
-                }
+            Backend::Threaded(_) => {}
+        }
+        // Both modes append to the log — it is the durable control-plane
+        // history that compaction checkpoints and standby replicas are
+        // reconstructed from. Deterministic shards already applied the entry
+        // above; threaded shards pick it up from here.
+        self.shared
+            .log
+            .lock()
+            .expect("log lock poisoned")
+            .append(entry);
+        self.shared.published.store(self.epoch, Ordering::Release);
+        if let Backend::Threaded(workers) = &self.backend {
+            for worker in workers.iter() {
+                // Wake shards blocked on an empty ring; a full ring means
+                // the shard has burst boundaries coming up anyway.
+                let _ = worker.input.try_push(ShardInput::Sync);
             }
         }
         self.epoch
@@ -339,27 +417,116 @@ impl ShardedRuntime {
         self.flush();
         let epoch = self.publish(ops);
         self.wait_for_epoch(epoch)?;
-        let progress = self.shared.progress.lock().expect("progress lock poisoned");
-        for slot in progress.iter() {
-            if let Some((failed_epoch, message)) = &slot.last_error {
-                if *failed_epoch == epoch {
-                    return Err(RuntimeError::Control {
-                        epoch,
-                        message: message.clone(),
-                    });
-                }
+        let result = {
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            progress
+                .iter()
+                .find_map(|slot| match &slot.last_error {
+                    Some((failed_epoch, message)) if *failed_epoch == epoch => {
+                        Some(Err(RuntimeError::Control {
+                            epoch,
+                            message: message.clone(),
+                        }))
+                    }
+                    _ => None,
+                })
+                .unwrap_or(Ok(()))
+        };
+        // Every live shard has acknowledged `epoch` at this point, so the
+        // whole log prefix is compactable; fold it into the checkpoint once
+        // enough entries accumulate, keeping the log bounded across
+        // arbitrarily many reconfigurations.
+        let needs_compaction =
+            self.shared.log.lock().expect("log lock poisoned").len() >= COMPACT_THRESHOLD;
+        if needs_compaction {
+            self.compact_log();
+        }
+        result
+    }
+
+    /// Folds every epoch that *all live shards* have acknowledged into the
+    /// log's checkpoint (one `config_replica` snapshot) and drops those
+    /// entries. Called automatically by the synchronous control-plane
+    /// wrappers once the log reaches a threshold; public so callers driving
+    /// [`publish`](Self::publish) directly can compact on their own
+    /// schedule.
+    pub fn compact_log(&mut self) -> CompactionReport {
+        let min_applied = {
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            progress
+                .iter()
+                .filter(|slot| !slot.exited)
+                .map(|slot| slot.applied_epoch)
+                .min()
+                // All shards gone: nobody will ever read the entries again.
+                .unwrap_or(self.epoch)
+        };
+        self.shared
+            .log
+            .lock()
+            .expect("log lock poisoned")
+            .compact(min_applied, &self.genesis)
+    }
+
+    /// Number of live (uncompacted) entries in the control-plane log.
+    pub fn epoch_log_len(&self) -> usize {
+        self.shared.log.lock().expect("log lock poisoned").len()
+    }
+
+    /// The epoch the log's compaction checkpoint covers (0 before any
+    /// compaction).
+    pub fn compacted_epoch(&self) -> u64 {
+        self.shared
+            .log
+            .lock()
+            .expect("log lock poisoned")
+            .base_epoch()
+    }
+
+    /// Stands up a fresh configuration replica from the control-plane log:
+    /// the compaction checkpoint (or the construction-time configuration)
+    /// plus every live entry. This is exactly the pipeline a brand-new shard
+    /// would run — the building block for elastic scale-out — and is
+    /// guaranteed to match a replica that replayed the full, uncompacted
+    /// history.
+    pub fn standby_replica(&self) -> MenshenPipeline {
+        self.shared
+            .log
+            .lock()
+            .expect("log lock poisoned")
+            .standby_replica(&self.genesis)
+    }
+
+    /// Refuses modules whose stateful memory cannot be replicated per shard
+    /// under the current steering mode. Tenant-affine steering pins each
+    /// tenant to one shard (one live copy of the state), so anything goes;
+    /// 5-tuple steering replicates state per shard and is only correct for
+    /// additive (mergeable) state.
+    fn check_state_replication(&self, config: &ModuleConfig) -> Result<(), RuntimeError> {
+        if self.steerer.mode() == SteeringMode::FiveTuple {
+            if let StateMergeability::NonMergeable { stage, detail } = config.state_mergeability() {
+                return Err(RuntimeError::NonMergeableState {
+                    module: config.module_id.value(),
+                    detail: format!("stage {stage}: {detail}"),
+                });
             }
         }
         Ok(())
     }
 
-    /// Loads a module on every shard replica (one epoch).
+    /// Loads a module on every shard replica (one epoch). Under 5-tuple
+    /// steering, modules with non-mergeable stateful memory are refused with
+    /// [`RuntimeError::NonMergeableState`] instead of silently computing
+    /// wrong aggregates.
     pub fn load_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
+        self.check_state_replication(config)?;
         self.control(vec![ControlOp::Load(Box::new(config.clone()))])
     }
 
-    /// Updates a loaded module on every shard replica (one epoch).
+    /// Updates a loaded module on every shard replica (one epoch). Applies
+    /// the same mergeability gate as [`load_module`](Self::load_module).
     pub fn update_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
+        self.check_state_replication(config)?;
         self.control(vec![ControlOp::Update(Box::new(config.clone()))])
     }
 
@@ -412,6 +579,7 @@ impl ShardedRuntime {
             ));
         };
         let total = packets.len();
+        let batch_start = Instant::now();
         for (position, packet) in packets.into_iter().enumerate() {
             let shard = self.steerer.shard_for(&packet);
             self.scatter[shard].push(packet);
@@ -425,15 +593,25 @@ impl ShardedRuntime {
             if self.scatter[index].is_empty() {
                 continue;
             }
+            let service_start = Instant::now();
             shard
                 .pipeline
                 .process_batch_into(&self.scatter[index], &mut self.verdict_scratch);
+            let service_ns = service_start.elapsed().as_nanos() as u64;
             let forwarded = self
                 .verdict_scratch
                 .iter()
                 .filter(|v| v.is_forwarded())
                 .count() as u64;
             let processed = self.scatter[index].len() as u64;
+            // Deterministic-mode latency: sojourn is measured from batch
+            // entry (shards drain in order, so later shards' packets wait on
+            // earlier drains, exactly like ring queueing in threaded mode).
+            shard.telemetry.burst_ns.record(service_ns);
+            shard
+                .telemetry
+                .packet_ns
+                .record_n(batch_start.elapsed().as_nanos() as u64, processed);
             for (verdict, &position) in self
                 .verdict_scratch
                 .drain(..)
@@ -482,14 +660,22 @@ impl ShardedRuntime {
 
     /// Like [`submit`](Self::submit), but takes ownership of the packets so
     /// the serial dispatcher stage never copies packet payloads.
+    ///
+    /// Every packet is stamped with the runtime's ingress clock
+    /// (`Packet::timestamp_ns`, nanoseconds since runtime start) so the
+    /// shard can record its sojourn time — any timestamp the caller carried
+    /// (e.g. a trace capture time, already consumed by the replay pacer) is
+    /// overwritten, because latency must be measured on one clock.
     pub fn submit_owned(&mut self, packets: Vec<Packet>) -> Result<(), RuntimeError> {
         let Backend::Threaded(workers) = &mut self.backend else {
             return Err(RuntimeError::WrongMode(
                 "submit requires threaded mode; deterministic runtimes expose process_batch",
             ));
         };
+        let ingress_ns = self.shared.now_ns();
         let mut failed_shard = None;
-        'dispatch: for packet in packets {
+        'dispatch: for mut packet in packets {
+            packet.timestamp_ns = ingress_ns;
             let shard = self.steerer.shard_for(&packet);
             self.scatter[shard].push(packet);
             if self.scatter[shard].len() >= self.options.burst_size {
@@ -591,6 +777,19 @@ impl ShardedRuntime {
                 entry.bytes_in += counters.bytes_in;
                 entry.bytes_out += counters.bytes_out;
             }
+        }
+        Ok(merged)
+    }
+
+    /// Merged latency telemetry across all shards (one `Snapshot` epoch,
+    /// preceded by a flush): each shard records per-packet sojourn and
+    /// per-burst service time locally, and the dispatcher merges the
+    /// histograms here — bucket-count addition, which is exact.
+    pub fn aggregated_latency(&mut self) -> Result<RuntimeLatency, RuntimeError> {
+        let mut merged = RuntimeLatency::default();
+        for snapshot in self.snapshots()? {
+            merged.packet_ns.merge(&snapshot.latency);
+            merged.burst_ns.merge(&snapshot.burst_latency);
         }
         Ok(merged)
     }
@@ -894,6 +1093,165 @@ mod tests {
             Err(RuntimeError::WrongMode(_))
         ));
         assert!(threaded.shard_pipeline(0).is_none());
+    }
+
+    /// A module whose action overwrites a stateful word — classified
+    /// non-mergeable, so 5-tuple steering must refuse it.
+    fn storing_module(module_id: u16) -> ModuleConfig {
+        let mut config = simple_module(module_id, 0x0a00_0002, 4444);
+        config.stages[0].rules[0].action = VliwAction::nop()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2))
+            .with(C::h2(0), AluInstruction::set(4444));
+        config
+    }
+
+    #[test]
+    fn five_tuple_steering_rejects_non_mergeable_state() {
+        let mut runtime = ShardedRuntime::new(
+            TABLE5,
+            RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+        );
+        let err = runtime.load_module(&storing_module(3)).unwrap_err();
+        match &err {
+            RuntimeError::NonMergeableState { module, detail } => {
+                assert_eq!(*module, 3);
+                assert!(detail.contains("store"), "{detail}");
+            }
+            other => panic!("expected NonMergeableState, got {other:?}"),
+        }
+        assert!(err.to_string().contains("non-mergeable"), "{err}");
+        // The refusal happens before any epoch is published.
+        assert_eq!(runtime.current_epoch(), 0);
+        // Additive state is fine under 5-tuple steering…
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        // …and updates are gated identically.
+        assert!(matches!(
+            runtime.update_module(&storing_module(1)),
+            Err(RuntimeError::NonMergeableState { module: 1, .. })
+        ));
+
+        // Tenant-affine steering keeps exactly one live copy of the state,
+        // so the same module is accepted there.
+        let mut affine = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
+        affine.load_module(&storing_module(3)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-mergeable state")]
+    fn replicating_a_non_mergeable_template_under_five_tuple_panics() {
+        // The gate must also cover templates configured *before* the runtime
+        // existed — not just the load/update control path.
+        let mut template = MenshenPipeline::new(TABLE5);
+        template.load_module(&storing_module(4)).unwrap();
+        let _ = ShardedRuntime::from_pipeline(
+            &template,
+            RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+        );
+    }
+
+    #[test]
+    fn latency_telemetry_accounts_for_every_packet() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
+        let packets: Vec<Packet> = (0..300).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+        runtime.submit(&packets).unwrap();
+        runtime.flush();
+        let latency = runtime.aggregated_latency().unwrap();
+        assert_eq!(latency.packet_ns.count(), 300);
+        assert!(latency.burst_ns.count() >= 1);
+        assert!(latency.packet_ns.quantile(0.5) > 0);
+        assert!(latency.packet_ns.quantile(0.99) >= latency.packet_ns.quantile(0.5));
+        // Sojourn (queueing + service) dominates pure service time.
+        assert!(latency.packet_ns.max() >= latency.burst_ns.min());
+    }
+
+    #[test]
+    fn deterministic_mode_records_latency_too() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        let packets: Vec<Packet> = (0..64).map(|_| packet_for(1)).collect();
+        runtime.process_batch(packets).unwrap();
+        let latency = runtime.aggregated_latency().unwrap();
+        assert_eq!(latency.packet_ns.count(), 64);
+        assert!(latency.burst_ns.count() >= 1);
+    }
+
+    #[test]
+    fn epoch_log_compacts_and_standby_replica_matches_full_replay() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        // A mirror pipeline receives the exact same configuration calls —
+        // it *is* the full-log replay, kept outside the runtime.
+        let mut mirror = MenshenPipeline::new(TABLE5);
+        let mut max_log_len = 0usize;
+        for round in 0..30u16 {
+            let module = 1 + (round % 5);
+            let port = 1000 + round;
+            let config = simple_module(module, 0x0a00_0002, port);
+            if runtime.load_module(&config).is_ok() {
+                mirror.load_module(&config).unwrap();
+            } else {
+                runtime.update_module(&config).unwrap();
+                mirror.update_module(&config).unwrap();
+            }
+            max_log_len = max_log_len.max(runtime.epoch_log_len());
+        }
+        // The log was bounded throughout: auto-compaction kept it below the
+        // threshold plus the entries published since the last sync call.
+        assert!(
+            max_log_len <= COMPACT_THRESHOLD,
+            "log grew to {max_log_len} entries despite compaction"
+        );
+        assert!(runtime.compacted_epoch() > 0, "compaction actually ran");
+        // 5 first-time loads + 25 rounds of (failed load + update): failed
+        // epochs count too — they replay as identical failures everywhere.
+        assert_eq!(runtime.current_epoch(), 55);
+
+        // A replica stood up from the compacted log matches the full replay.
+        let mut standby = runtime.standby_replica();
+        assert_eq!(standby.loaded_modules(), mirror.loaded_modules());
+        for module in [1u16, 2, 3, 4, 5] {
+            let expected = mirror.process(packet_for(module));
+            let got = standby.process(packet_for(module));
+            assert_eq!(
+                expected.is_forwarded(),
+                got.is_forwarded(),
+                "module {module}"
+            );
+            assert_eq!(
+                expected.packet().map(|p| p.udp_dst_port()),
+                got.packet().map(|p| p.udp_dst_port()),
+                "module {module}: standby replica must carry the latest update"
+            );
+        }
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn explicit_compaction_reports_progress() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(1));
+        for module in 1..=3u16 {
+            runtime
+                .load_module(&simple_module(module, 0x0a00_0002, 1000 + module))
+                .unwrap();
+        }
+        let before = runtime.epoch_log_len();
+        assert!(before > 0);
+        let report = runtime.compact_log();
+        assert_eq!(report.entries_dropped, before);
+        assert_eq!(report.entries_remaining, 0);
+        assert_eq!(report.compacted_epoch, 3);
+        assert_eq!(runtime.epoch_log_len(), 0);
+        // Standby replicas survive total compaction.
+        assert_eq!(runtime.standby_replica().loaded_modules().len(), 3);
     }
 
     #[test]

@@ -8,14 +8,23 @@
 //! the [`Shared`] state: the epoch log on the way in, the progress board
 //! (applied epoch, bursts completed, traffic tallies, on-demand snapshots)
 //! on the way out.
+//!
+//! Each shard also keeps two local [`LatencyHistogram`]s — per-packet
+//! sojourn time (ring wait + service, measured from the dispatcher's ingress
+//! stamp in [`menshen_packet::Packet::timestamp_ns`]) and per-burst service
+//! time. Recording is shard-local and lock-free; the dispatcher only sees
+//! the histograms when a `Snapshot` epoch exports them, and merges them
+//! across shards (merging bucket counts is exact, so nothing is lost by
+//! recording locally).
 
-use crate::control::EpochEntry;
+use crate::control::{EpochEntry, EpochLog};
 use crate::ring::Consumer;
 use menshen_core::packet_filter::FilterCounters;
-use menshen_core::{MenshenPipeline, ModuleCounters, SystemStats, Verdict};
+use menshen_core::{LatencyHistogram, MenshenPipeline, ModuleCounters, SystemStats, Verdict};
 use menshen_packet::Packet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What the dispatcher feeds a shard.
 pub(crate) enum ShardInput {
@@ -38,6 +47,18 @@ pub struct ShardStats {
     pub dropped: u64,
 }
 
+/// A shard's local latency recorders: per-packet sojourn time and per-burst
+/// service time, both in nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTelemetry {
+    /// Per-packet latency: dispatcher ingress stamp → burst completion
+    /// (queueing in the ring plus pipeline service).
+    pub packet_ns: LatencyHistogram,
+    /// Per-burst service time: the wall-clock cost of one
+    /// `process_batch_into` call.
+    pub burst_ns: LatencyHistogram,
+}
+
 /// A shard's exported statistics snapshot, produced on demand by the
 /// [`crate::ControlOp::Snapshot`] operation.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +69,10 @@ pub struct ShardSnapshot {
     pub system: SystemStats,
     /// This shard's packet-filter counters.
     pub filter: FilterCounters,
+    /// Cumulative per-packet latency recorded by this shard.
+    pub latency: LatencyHistogram,
+    /// Cumulative per-burst service time recorded by this shard.
+    pub burst_latency: LatencyHistogram,
 }
 
 /// One shard's slice of the progress board.
@@ -72,8 +97,8 @@ pub(crate) struct ShardProgress {
 /// State shared between the runtime (control plane + dispatcher) and all
 /// shard threads.
 pub(crate) struct Shared {
-    /// Append-only log of published control epochs.
-    pub log: Mutex<Vec<EpochEntry>>,
+    /// The compactable log of published control epochs.
+    pub log: Mutex<EpochLog>,
     /// Epoch of the newest published entry; checked without taking the log
     /// lock on the per-burst fast path.
     pub published: AtomicU64,
@@ -81,16 +106,26 @@ pub(crate) struct Shared {
     pub progress: Mutex<Vec<ShardProgress>>,
     /// Notified whenever any progress slot advances.
     pub cv: Condvar,
+    /// The runtime's clock origin: ingress stamps and latency measurements
+    /// are nanoseconds since this instant, so dispatcher and shards share a
+    /// time base.
+    pub start: Instant,
 }
 
 impl Shared {
     pub(crate) fn new(shards: usize) -> Self {
         Shared {
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(EpochLog::new()),
             published: AtomicU64::new(0),
             progress: Mutex::new(vec![ShardProgress::default(); shards]),
             cv: Condvar::new(),
+            start: Instant::now(),
         }
+    }
+
+    /// Nanoseconds since the runtime's clock origin.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
     }
 }
 
@@ -101,6 +136,7 @@ impl Shared {
 pub(crate) fn apply_entry(
     pipeline: &mut MenshenPipeline,
     entry: &EpochEntry,
+    telemetry: &ShardTelemetry,
 ) -> (Option<ShardSnapshot>, Option<String>) {
     let mut error = None;
     let mut wants_snapshot = false;
@@ -113,12 +149,16 @@ pub(crate) fn apply_entry(
             error.get_or_insert_with(|| e.to_string());
         }
     }
-    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline));
+    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline, telemetry));
     (snapshot, error)
 }
 
-/// Exports a replica's per-module counters and device statistics.
-pub(crate) fn take_snapshot(pipeline: &MenshenPipeline) -> ShardSnapshot {
+/// Exports a replica's per-module counters, device statistics and latency
+/// telemetry.
+pub(crate) fn take_snapshot(
+    pipeline: &MenshenPipeline,
+    telemetry: &ShardTelemetry,
+) -> ShardSnapshot {
     let counters = pipeline
         .loaded_modules()
         .into_iter()
@@ -133,35 +173,35 @@ pub(crate) fn take_snapshot(pipeline: &MenshenPipeline) -> ShardSnapshot {
         counters,
         system: pipeline.system().stats(),
         filter: pipeline.filter().counters(),
+        latency: telemetry.packet_ns.clone(),
+        burst_latency: telemetry.burst_ns.clone(),
     }
 }
 
 /// Applies every not-yet-applied epoch to `pipeline` and advertises the new
-/// applied epoch on the progress board. `cursor` is the count of log entries
-/// this shard has already applied.
+/// applied epoch on the progress board. `applied` is the highest epoch this
+/// shard has already applied (its log cursor — compaction-safe, because the
+/// log only ever drops epochs every shard has acknowledged).
 pub(crate) fn apply_pending(
     shard_index: usize,
     pipeline: &mut MenshenPipeline,
     shared: &Shared,
-    cursor: &mut usize,
+    applied: &mut u64,
+    telemetry: &ShardTelemetry,
 ) {
     // Fast path: nothing new published since this shard's cursor.
-    let published = shared.published.load(Ordering::Acquire);
-    {
-        let progress = shared.progress.lock().expect("progress lock poisoned");
-        if progress[shard_index].applied_epoch >= published {
-            return;
-        }
+    if *applied >= shared.published.load(Ordering::Acquire) {
+        return;
     }
     // Copy the pending suffix out of the log so heavyweight ops (module
     // loads) never run while holding the log lock.
     let pending: Vec<EpochEntry> = {
         let log = shared.log.lock().expect("log lock poisoned");
-        log[*cursor..].to_vec()
+        log.entries_after(*applied)
     };
     for entry in &pending {
-        let (snapshot, error) = apply_entry(pipeline, entry);
-        *cursor += 1;
+        let (snapshot, error) = apply_entry(pipeline, entry, telemetry);
+        *applied = entry.epoch;
         let mut progress = shared.progress.lock().expect("progress lock poisoned");
         let slot = &mut progress[shard_index];
         slot.applied_epoch = entry.epoch;
@@ -205,15 +245,31 @@ pub(crate) fn run_worker(
         shared: Arc::clone(&shared),
         shard_index,
     };
-    let mut cursor = 0usize;
+    let mut applied = 0u64;
+    let mut telemetry = ShardTelemetry::default();
     let mut verdicts: Vec<Verdict> = Vec::new();
     loop {
-        apply_pending(shard_index, &mut pipeline, &shared, &mut cursor);
+        apply_pending(
+            shard_index,
+            &mut pipeline,
+            &shared,
+            &mut applied,
+            &telemetry,
+        );
         match input.pop() {
             None => break,
             Some(ShardInput::Sync) => continue,
             Some(ShardInput::Burst(packets)) => {
+                let service_start = Instant::now();
                 pipeline.process_batch_into(&packets, &mut verdicts);
+                let service_ns = service_start.elapsed().as_nanos() as u64;
+                let done_ns = shared.now_ns();
+                telemetry.burst_ns.record(service_ns);
+                for packet in &packets {
+                    telemetry
+                        .packet_ns
+                        .record(done_ns.saturating_sub(packet.timestamp_ns));
+                }
                 let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
                 let total = packets.len() as u64;
                 let mut progress = shared.progress.lock().expect("progress lock poisoned");
@@ -230,5 +286,11 @@ pub(crate) fn run_worker(
     }
     // Epochs published after the final burst must still be acknowledged so a
     // concurrent `wait_for_epoch` cannot hang across shutdown.
-    apply_pending(shard_index, &mut pipeline, &shared, &mut cursor);
+    apply_pending(
+        shard_index,
+        &mut pipeline,
+        &shared,
+        &mut applied,
+        &telemetry,
+    );
 }

@@ -17,17 +17,22 @@
 //! * [`scaling`] — the multi-core shard-scaling sweep over the
 //!   `menshen-runtime` sharded runtime: measured per-shard and dispatcher
 //!   rates, a functional pass through the real threaded runtime, and the
-//!   cores-vs-Mpps aggregate series.
+//!   cores-vs-Mpps aggregate series;
+//! * [`replay`] — the trace-replay experiment: uniform and heavy-tailed
+//!   traces (from `menshen-trace`) through the threaded runtime across
+//!   shard counts, reporting latency percentiles and RSS balance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod reconfig_experiment;
+pub mod replay;
 pub mod scaling;
 pub mod throughput;
 pub mod traffic;
 
 pub use reconfig_experiment::{ReconfigExperiment, ReconfigTimeline, TimelinePoint};
+pub use replay::{replay_sweep, ReplayPoint, ReplaySweepReport};
 pub use scaling::{shard_scaling_sweep, ShardScalingPoint, ShardScalingReport};
 pub use throughput::{latency_sweep, throughput_sweep, LatencyPoint, ThroughputPoint};
 pub use traffic::{RateMix, RateMixError, SizeSweep, TrafficGenerator};

@@ -1,0 +1,181 @@
+//! Trace-replay experiment: latency percentiles and RSS balance across
+//! shard counts × workload shapes.
+//!
+//! Where [`crate::scaling`] reports *throughput* across shard counts, this
+//! experiment replays traces — uniform and heavy-tailed — through the real
+//! threaded [`ShardedRuntime`] and reports what the scaling sweep cannot
+//! see: the **latency distribution** (per-packet sojourn p50/p90/p99/p99.9,
+//! recorded per shard and merged on snapshot) and the **RSS balance** (per-
+//! shard packet counts, skew, effective shards) that heavy-tailed flow
+//! sizes degrade. Every point accounts for every packet: the replay engine
+//! cross-checks `in == forwarded + drops` against the runtime's own shard
+//! tallies.
+
+use menshen_core::{MenshenPipeline, Percentiles};
+use menshen_packet::Packet;
+use menshen_runtime::{RuntimeOptions, ShardedRuntime, SteeringMode};
+use menshen_trace::replay::{replay_sharded, Pacing};
+
+/// One (trace × shard count) point of the replay sweep.
+#[derive(Debug, Clone)]
+pub struct ReplayPoint {
+    /// Name of the trace this point replayed.
+    pub trace: String,
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Packets offered.
+    pub submitted: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (all reasons — still accounted).
+    pub dropped: u64,
+    /// True when the runtime's own tallies account for every packet.
+    pub all_packets_accounted: bool,
+    /// Replay wall-clock rate, Mpps.
+    pub achieved_mpps: f64,
+    /// Per-packet sojourn-latency percentiles, nanoseconds.
+    pub latency: Percentiles,
+    /// Per-burst service-time percentiles, nanoseconds.
+    pub burst_latency: Percentiles,
+    /// Packets processed by each shard.
+    pub shard_packets: Vec<u64>,
+    /// Most-loaded shard over mean shard load (1.0 = perfectly balanced).
+    pub skew: f64,
+    /// `total / max-loaded-shard` — the balance term the scaling model uses.
+    pub effective_shards: f64,
+}
+
+/// The full replay sweep: every trace at every shard count.
+#[derive(Debug, Clone)]
+pub struct ReplaySweepReport {
+    /// The steering mode the sweep ran under.
+    pub steering: SteeringMode,
+    /// One point per (trace × shard count), traces outermost.
+    pub points: Vec<ReplayPoint>,
+}
+
+impl ReplaySweepReport {
+    /// The point for a given trace and shard count.
+    pub fn point(&self, trace: &str, shards: usize) -> Option<&ReplayPoint> {
+        self.points
+            .iter()
+            .find(|p| p.trace == trace && p.shards == shards)
+    }
+}
+
+/// Replays each named trace through a fresh threaded runtime at every shard
+/// count, collecting latency percentiles and RSS balance. `template`
+/// carries the loaded modules; every runtime starts from its configuration
+/// replica, so points are independent (no cross-contaminated histograms).
+pub fn replay_sweep(
+    template: &MenshenPipeline,
+    traces: &[(String, Vec<Packet>)],
+    shard_counts: &[usize],
+    steering: SteeringMode,
+    pacing: Pacing,
+) -> ReplaySweepReport {
+    let mut points = Vec::with_capacity(traces.len() * shard_counts.len());
+    for (name, trace) in traces {
+        for &shards in shard_counts {
+            let mut runtime = ShardedRuntime::from_pipeline(
+                template,
+                RuntimeOptions::threaded(shards).with_steering(steering),
+            );
+            let report = replay_sharded(&mut runtime, trace, pacing)
+                .expect("threaded replay accepts submissions");
+            runtime.shutdown();
+            points.push(ReplayPoint {
+                trace: name.clone(),
+                shards,
+                submitted: report.submitted,
+                forwarded: report.forwarded,
+                dropped: report.dropped,
+                all_packets_accounted: report.all_packets_accounted(),
+                achieved_mpps: report.achieved_pps / 1e6,
+                latency: report.latency.percentiles(),
+                burst_latency: report.burst_latency.percentiles(),
+                skew: report.shard_skew(),
+                effective_shards: report.effective_shards(),
+                shard_packets: report.shard_packets,
+            });
+        }
+    }
+    ReplaySweepReport { steering, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::passthrough_module;
+    use menshen_rmt::params::PipelineParams;
+    use menshen_trace::synth::{synthesize, WorkloadSpec};
+
+    fn template(tenants: u16) -> MenshenPipeline {
+        let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+        for id in 1..=tenants {
+            pipeline
+                .load_module(&passthrough_module(id))
+                .expect("passthrough loads");
+        }
+        pipeline
+    }
+
+    #[test]
+    fn sweep_covers_every_point_and_accounts_for_every_packet() {
+        let template = template(4);
+        let traces = vec![
+            (
+                "uniform".to_string(),
+                synthesize(&WorkloadSpec::uniform(4, 128, 512)).unwrap(),
+            ),
+            (
+                "heavy_tailed".to_string(),
+                synthesize(&WorkloadSpec::heavy_tailed(4, 128, 512)).unwrap(),
+            ),
+        ];
+        let report = replay_sweep(
+            &template,
+            &traces,
+            &[1, 2],
+            SteeringMode::FiveTuple,
+            Pacing::Unpaced,
+        );
+        assert_eq!(report.points.len(), 4);
+        for point in &report.points {
+            assert!(point.all_packets_accounted, "{point:?}");
+            assert_eq!(point.submitted, 512);
+            assert_eq!(point.forwarded + point.dropped, 512);
+            assert_eq!(point.latency.count, 512);
+            assert_eq!(point.shard_packets.len(), point.shards);
+            assert!(point.latency.p50_ns > 0);
+            assert!(point.latency.p99_ns >= point.latency.p50_ns);
+            assert!(point.skew >= 1.0);
+            assert!(point.effective_shards <= point.shards as f64 + 1e-9);
+        }
+        assert!(report.point("uniform", 2).is_some());
+        assert!(report.point("uniform", 4).is_none());
+    }
+
+    #[test]
+    fn heavy_tails_degrade_balance_no_worse_reported_than_measured() {
+        // Deterministic traces + deterministic steering: the balance figures
+        // are reproducible, and the heavy-tailed trace cannot be *better*
+        // balanced than its own shard-packet counts imply.
+        let template = template(4);
+        let trace = synthesize(&WorkloadSpec::heavy_tailed(4, 64, 1024)).unwrap();
+        let report = replay_sweep(
+            &template,
+            &[("heavy".to_string(), trace)],
+            &[4],
+            SteeringMode::FiveTuple,
+            Pacing::Unpaced,
+        );
+        let point = &report.points[0];
+        let max = *point.shard_packets.iter().max().unwrap();
+        assert_eq!(
+            point.effective_shards,
+            1024.0 / max as f64,
+            "effective shards must derive from the measured per-shard counts"
+        );
+    }
+}

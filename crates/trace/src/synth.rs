@@ -1,0 +1,422 @@
+//! Deterministic synthesis of trace workloads with realistic structure.
+//!
+//! Real captures are heavy-tailed: a few elephant flows carry most of the
+//! bytes while a long tail of mice carries the rest, and that skew is
+//! exactly what stresses RSS steering balance (one elephant pins a shard
+//! while 5-tuple hashing scatters the mice). The synthesiser reproduces that
+//! structure on top of the packet shapes the Menshen data path parses:
+//!
+//! * **tenant mix** — each flow belongs to one tenant (VLAN module ID),
+//!   drawn from a weighted mix;
+//! * **flow popularity** — each packet picks its flow from a configurable
+//!   popularity model: uniform, Zipf (rank-frequency), or per-flow weights
+//!   drawn from a Pareto or lognormal flow-size distribution, so empirical
+//!   flow sizes follow that distribution's tail;
+//! * **arrivals** — packet timestamps follow a Poisson process at a target
+//!   mean rate, carried in [`Packet::timestamp_ns`] and preserved through
+//!   pcap round-trips.
+//!
+//! Destination IPs follow the testbed convention
+//! `10.<tenant>.<flow_hi>.<flow_lo>` with the flow index wrapped into the
+//! tenant's installed rule space, so a synthesised trace is all-hits against
+//! the flow-rule tenants the benches load.
+
+use menshen_packet::{Packet, PacketBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How packets distribute over a workload's flows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowPopularity {
+    /// Every flow is equally likely: the uniform baseline the testbed
+    /// already had, now with trace timestamps.
+    Uniform,
+    /// Zipf rank-frequency popularity: flow of rank `r` (1-based) has
+    /// weight `r^-exponent`. Internet flow popularity is classically
+    /// Zipf-like with exponent near 1.
+    Zipf {
+        /// The Zipf exponent (> 0; ~0.9–1.2 for measured traffic).
+        exponent: f64,
+    },
+    /// Per-flow weights drawn i.i.d. from a Pareto distribution, so
+    /// empirical flow sizes are Pareto-tailed (`P[X > x] = (scale/x)^shape`
+    /// for `x ≥ scale`).
+    ParetoSizes {
+        /// Tail index (smaller = heavier; 1.1–1.5 fits measured flow
+        /// sizes).
+        shape: f64,
+        /// Minimum flow weight.
+        scale: f64,
+    },
+    /// Per-flow weights drawn i.i.d. from a lognormal distribution
+    /// (`exp(mu + sigma·N(0,1))`), the other classical flow-size fit.
+    LogNormalSizes {
+        /// Log-scale location.
+        mu: f64,
+        /// Log-scale spread (≥ ~2 is visibly heavy-tailed).
+        sigma: f64,
+    },
+}
+
+/// Specification of one synthesised workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name (used for pcap filenames and report labels).
+    pub name: String,
+    /// `(module_id, weight)` tenant mix; flows are assigned to tenants by
+    /// weighted draw.
+    pub tenants: Vec<(u16, f64)>,
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Flow-popularity model.
+    pub popularity: FlowPopularity,
+    /// Frame length of every packet, bytes.
+    pub frame_len: usize,
+    /// Mean arrival rate in packets per second (Poisson arrivals). The
+    /// replay engine can pace faithfully to these timestamps or rescale
+    /// them.
+    pub mean_rate_pps: f64,
+    /// Total packets in the trace.
+    pub packets: usize,
+    /// Flow indices are wrapped modulo this per-tenant rule space so
+    /// destination IPs stay within the rules a flow-rule tenant installs.
+    pub rules_per_tenant: usize,
+    /// RNG seed; the same spec always synthesises the same trace.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A uniform-popularity workload over `tenants` equally weighted
+    /// tenants — the baseline the heavy-tailed traces are compared against.
+    pub fn uniform(tenants: u16, flows: usize, packets: usize) -> Self {
+        WorkloadSpec {
+            name: "uniform".into(),
+            tenants: (1..=tenants).map(|id| (id, 1.0)).collect(),
+            flows,
+            popularity: FlowPopularity::Uniform,
+            frame_len: 128,
+            mean_rate_pps: 1_000_000.0,
+            packets,
+            rules_per_tenant: usize::MAX,
+            seed: 0x7ACE,
+        }
+    }
+
+    /// A heavy-tailed workload: Zipf(1.1) flow popularity over the same
+    /// tenant mix — a few elephant flows dominate, stressing RSS balance.
+    pub fn heavy_tailed(tenants: u16, flows: usize, packets: usize) -> Self {
+        WorkloadSpec {
+            name: "heavy_tailed".into(),
+            popularity: FlowPopularity::Zipf { exponent: 1.1 },
+            ..Self::uniform(tenants, flows, packets)
+        }
+    }
+}
+
+/// Why a [`WorkloadSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The tenant mix is empty or sums to a non-positive weight.
+    BadTenantMix,
+    /// `flows` or `packets` is zero.
+    EmptyWorkload,
+    /// A distribution parameter is non-finite or out of range (message
+    /// names it).
+    BadParameter(&'static str),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::BadTenantMix => write!(f, "tenant mix is empty or has no positive weight"),
+            SynthError::EmptyWorkload => write!(f, "a workload needs at least one flow and packet"),
+            SynthError::BadParameter(which) => write!(f, "invalid distribution parameter: {which}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// One sample from the standard normal, via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Per-flow popularity weights under `model`.
+fn flow_weights(
+    model: FlowPopularity,
+    flows: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>, SynthError> {
+    let weights = match model {
+        FlowPopularity::Uniform => vec![1.0; flows],
+        FlowPopularity::Zipf { exponent } => {
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err(SynthError::BadParameter("zipf exponent"));
+            }
+            (1..=flows)
+                .map(|rank| (rank as f64).powf(-exponent))
+                .collect()
+        }
+        FlowPopularity::ParetoSizes { shape, scale } => {
+            if !shape.is_finite() || shape <= 0.0 || !scale.is_finite() || scale <= 0.0 {
+                return Err(SynthError::BadParameter("pareto shape/scale"));
+            }
+            (0..flows)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    scale * u.powf(-1.0 / shape)
+                })
+                .collect()
+        }
+        FlowPopularity::LogNormalSizes { mu, sigma } => {
+            if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+                return Err(SynthError::BadParameter("lognormal mu/sigma"));
+            }
+            (0..flows)
+                .map(|_| (mu + sigma * standard_normal(rng)).exp())
+                .collect()
+        }
+    };
+    Ok(weights)
+}
+
+/// One flow's immutable identity: who it belongs to and its 5-tuple.
+struct Flow {
+    tenant: u16,
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+}
+
+/// Synthesises the trace described by `spec`: a packet vector with Poisson
+/// arrival timestamps, ready for [`crate::replay`] or
+/// [`crate::pcap::write_pcap_file`].
+pub fn synthesize(spec: &WorkloadSpec) -> Result<Vec<Packet>, SynthError> {
+    if spec.flows == 0 || spec.packets == 0 {
+        return Err(SynthError::EmptyWorkload);
+    }
+    let tenant_total: f64 = spec
+        .tenants
+        .iter()
+        .map(|(_, w)| if w.is_finite() && *w > 0.0 { *w } else { 0.0 })
+        .sum();
+    if spec.tenants.is_empty() || tenant_total <= 0.0 {
+        return Err(SynthError::BadTenantMix);
+    }
+    if !spec.mean_rate_pps.is_finite() || spec.mean_rate_pps <= 0.0 {
+        return Err(SynthError::BadParameter("mean rate"));
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Flow table: tenant by weighted draw, 5-tuple from the flow index. The
+    // destination IP follows the testbed's flow-rule convention so traces
+    // are all-hits against loaded flow-rule tenants.
+    let mut per_tenant_next: std::collections::HashMap<u16, usize> =
+        std::collections::HashMap::new();
+    let flow_table: Vec<Flow> = (0..spec.flows)
+        .map(|index| {
+            let mut roll = rng.gen_range(0.0..tenant_total);
+            let mut tenant = spec.tenants[0].0;
+            for (module, weight) in &spec.tenants {
+                if *weight > 0.0 && weight.is_finite() {
+                    if roll < *weight {
+                        tenant = *module;
+                        break;
+                    }
+                    roll -= weight;
+                    tenant = *module;
+                }
+            }
+            let local = per_tenant_next.entry(tenant).or_insert(0);
+            let rule = *local % spec.rules_per_tenant.max(1);
+            *local += 1;
+            Flow {
+                tenant,
+                src_ip: [10, 200, (index >> 8) as u8, index as u8],
+                dst_ip: [10, tenant as u8, (rule >> 8) as u8, rule as u8],
+                src_port: 1024 + (index % 60_000) as u16,
+            }
+        })
+        .collect();
+
+    // Cumulative popularity for O(log n) per-packet flow draws.
+    let weights = flow_weights(spec.popularity, spec.flows, &mut rng)?;
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut running = 0.0f64;
+    for weight in &weights {
+        running += weight.max(0.0);
+        cumulative.push(running);
+    }
+    if running <= 0.0 {
+        return Err(SynthError::BadParameter("all flow weights are zero"));
+    }
+
+    let mut packets = Vec::with_capacity(spec.packets);
+    let mut clock_ns = 0f64;
+    let ns_per_packet = 1e9 / spec.mean_rate_pps;
+    for _ in 0..spec.packets {
+        // Poisson arrivals: exponential inter-arrival at the mean rate.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock_ns += -u.ln() * ns_per_packet;
+        let roll = rng.gen_range(0.0..running);
+        let index = match cumulative
+            .binary_search_by(|c| c.partial_cmp(&roll).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(spec.flows - 1),
+            Err(i) => i.min(spec.flows - 1),
+        };
+        let flow = &flow_table[index];
+        let mut packet = PacketBuilder::new()
+            .with_vlan(flow.tenant)
+            .build_udp_with_len(flow.src_ip, flow.dst_ip, flow.src_port, 80, spec.frame_len);
+        packet.timestamp_ns = clock_ns as u64;
+        packets.push(packet);
+    }
+    Ok(packets)
+}
+
+/// Empirical per-flow packet counts of a trace, keyed by (tenant, src ip,
+/// src port) — the telemetry the tests and balance reports use.
+pub fn flow_sizes(trace: &[Packet]) -> Vec<u64> {
+    let mut counts: std::collections::HashMap<(u16, [u8; 4], u16), u64> =
+        std::collections::HashMap::new();
+    for packet in trace {
+        let tenant = packet.vlan_id().map(|v| v.value()).unwrap_or(0);
+        let src = packet.ipv4_src().map(|ip| ip.0).unwrap_or([0, 0, 0, 0]);
+        let port = packet.udp_src_port().unwrap_or(0);
+        *counts.entry((tenant, src, port)).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<u64> = counts.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let spec = WorkloadSpec::heavy_tailed(4, 256, 1000);
+        let a = synthesize(&spec).unwrap();
+        let b = synthesize(&spec).unwrap();
+        assert_eq!(a.len(), 1000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes(), y.bytes());
+            assert_eq!(x.timestamp_ns, y.timestamp_ns);
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_at_the_target_rate() {
+        let mut spec = WorkloadSpec::uniform(2, 64, 2000);
+        spec.mean_rate_pps = 10_000_000.0;
+        let trace = synthesize(&spec).unwrap();
+        let mut last = 0u64;
+        for packet in &trace {
+            assert!(packet.timestamp_ns >= last);
+            last = packet.timestamp_ns;
+        }
+        // 2000 packets at 10 Mpps ≈ 200 µs; Poisson noise stays well within
+        // a factor of two at this sample size.
+        let span = trace.last().unwrap().timestamp_ns;
+        assert!((100_000..400_000).contains(&span), "span {span} ns");
+    }
+
+    #[test]
+    fn heavy_tails_are_heavier_than_uniform() {
+        let uniform = synthesize(&WorkloadSpec::uniform(4, 512, 20_000)).unwrap();
+        let zipf = synthesize(&WorkloadSpec::heavy_tailed(4, 512, 20_000)).unwrap();
+        let top_share = |trace: &[Packet]| {
+            let sizes = flow_sizes(trace);
+            let total: u64 = sizes.iter().sum();
+            let top: u64 = sizes.iter().take(sizes.len().div_ceil(100)).sum();
+            top as f64 / total as f64
+        };
+        let uniform_top = top_share(&uniform);
+        let zipf_top = top_share(&zipf);
+        assert!(
+            zipf_top > uniform_top * 2.0,
+            "top-1% share: zipf {zipf_top:.3} vs uniform {uniform_top:.3}"
+        );
+    }
+
+    #[test]
+    fn pareto_and_lognormal_models_synthesise() {
+        for popularity in [
+            FlowPopularity::ParetoSizes {
+                shape: 1.2,
+                scale: 1.0,
+            },
+            FlowPopularity::LogNormalSizes {
+                mu: 1.0,
+                sigma: 2.0,
+            },
+        ] {
+            let mut spec = WorkloadSpec::uniform(3, 128, 5000);
+            spec.popularity = popularity;
+            spec.name = "tailed".into();
+            let trace = synthesize(&spec).unwrap();
+            assert_eq!(trace.len(), 5000);
+            let sizes = flow_sizes(&trace);
+            let total: u64 = sizes.iter().sum();
+            // The largest flow dominates its fair share by a wide margin.
+            assert!(
+                sizes[0] as f64 > 4.0 * total as f64 / 128.0,
+                "{popularity:?}: largest flow {} of {total}",
+                sizes[0]
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_mix_is_respected() {
+        let mut spec = WorkloadSpec::uniform(2, 400, 8000);
+        spec.tenants = vec![(1, 3.0), (2, 1.0)];
+        let trace = synthesize(&spec).unwrap();
+        let tenant_1 = trace
+            .iter()
+            .filter(|p| p.vlan_id().unwrap().value() == 1)
+            .count() as f64
+            / trace.len() as f64;
+        assert!((0.6..0.9).contains(&tenant_1), "tenant 1 share {tenant_1}");
+    }
+
+    #[test]
+    fn rule_space_wrapping_keeps_dst_ips_in_range() {
+        let mut spec = WorkloadSpec::uniform(2, 300, 1000);
+        spec.rules_per_tenant = 50;
+        let trace = synthesize(&spec).unwrap();
+        for packet in &trace {
+            let dst = packet.ipv4_dst().unwrap().0;
+            let rule = (usize::from(dst[2]) << 8) | usize::from(dst[3]);
+            assert!(rule < 50, "dst {dst:?} escapes the rule space");
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let mut spec = WorkloadSpec::uniform(2, 0, 100);
+        assert_eq!(synthesize(&spec).unwrap_err(), SynthError::EmptyWorkload);
+        spec = WorkloadSpec::uniform(2, 10, 0);
+        assert_eq!(synthesize(&spec).unwrap_err(), SynthError::EmptyWorkload);
+        spec = WorkloadSpec::uniform(2, 10, 10);
+        spec.tenants = vec![];
+        assert_eq!(synthesize(&spec).unwrap_err(), SynthError::BadTenantMix);
+        spec = WorkloadSpec::uniform(2, 10, 10);
+        spec.popularity = FlowPopularity::Zipf { exponent: -1.0 };
+        assert!(matches!(
+            synthesize(&spec).unwrap_err(),
+            SynthError::BadParameter(_)
+        ));
+        spec = WorkloadSpec::uniform(2, 10, 10);
+        spec.mean_rate_pps = 0.0;
+        assert!(matches!(
+            synthesize(&spec).unwrap_err(),
+            SynthError::BadParameter(_)
+        ));
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`programs`] — the evaluated modules of Table 3.
 //! * [`runtime`] — the sharded multi-core runtime: RSS flow steering,
 //!   per-shard pipeline replicas, epoch-versioned reconfiguration.
+//! * [`trace`] — trace-driven traffic: pcap/pcapng I/O, heavy-tailed
+//!   workload synthesis, paced replay with latency percentiles.
 //! * [`testbed`] — traffic generation and the §5 experiments.
 //! * [`cost`] — FPGA / ASIC / configuration-time cost models.
 //!
@@ -31,6 +33,7 @@ pub use menshen_programs as programs;
 pub use menshen_rmt as rmt;
 pub use menshen_runtime as runtime;
 pub use menshen_testbed as testbed;
+pub use menshen_trace as trace;
 
 /// A convenient prelude for examples and quick experiments.
 pub mod prelude {
