@@ -21,11 +21,16 @@ use menshen_core::MenshenPipeline;
 use menshen_json::Json;
 use menshen_rmt::TABLE5;
 use menshen_runtime::SteeringMode;
-use menshen_testbed::scaling::shard_scaling_sweep;
+use menshen_testbed::scaling::{dispatch_scaling_sweep, shard_scaling_sweep};
 
 const TENANTS: u16 = 8;
 const RULES_PER_TENANT: usize = 150; // 8 × 150 = 1200 CAM entries ≥ 1k
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DISPATCHER_COUNTS: [usize; 3] = [1, 2, 4];
+// 32 shards is past the serial dispatcher's ceiling (per-shard × effective
+// exceeds the measured ~95 Mpps steering rate), so the series shows the cap
+// binding at 1 dispatcher and lifting at 2+.
+const DISPATCH_SHARD_COUNTS: [usize; 3] = [8, 16, 32];
 
 fn main() {
     let fast = std::env::var_os("MENSHEN_BENCH_FAST").is_some();
@@ -134,6 +139,120 @@ fn main() {
         menshen_bench::update_baseline("shard_scaling", &doc);
     }
     menshen_bench::write_json("bench_sharding", &doc);
+
+    // ------------------------------------------------------------------
+    // Dispatch-scaling series: dispatchers × shards → Mpps. The point of
+    // the parallel dispatch plane: one dispatcher caps the model at the
+    // serial steering rate; N dispatchers lift that cap.
+    // ------------------------------------------------------------------
+    let dispatcher_counts: &[usize] = if fast { &[1, 2] } else { &DISPATCHER_COUNTS };
+    let dispatch_shards: &[usize] = if fast { &[2] } else { &DISPATCH_SHARD_COUNTS };
+    let dispatch_report = dispatch_scaling_sweep(
+        &template,
+        &packets,
+        dispatcher_counts,
+        dispatch_shards,
+        SteeringMode::FiveTuple,
+        reps,
+    );
+    println!();
+    println!(
+        "serial steering (measured): {:>8.2} Mpps    per-shard: {:>8.2} Mpps",
+        dispatch_report.serial_dispatch_mpps, dispatch_report.per_shard_mpps
+    );
+    println!();
+    println!(
+        "disp x shards   aggregate Mpps   source     steer Mpps (src)    model Mpps   threaded-on-host"
+    );
+    for point in &dispatch_report.points {
+        println!(
+            "{:>4} x {:<6} {:>16.2}   {:<8} {:>10.2} ({:<8}) {:>12.2}   {:>16.2}{}",
+            point.dispatchers,
+            point.shards,
+            point.aggregate_mpps,
+            point.source,
+            point.steer_mpps,
+            point.steer_source,
+            point.model_mpps,
+            point.threaded_mpps,
+            if point.all_packets_accounted {
+                ""
+            } else {
+                "   (!) packets unaccounted"
+            }
+        );
+    }
+    for point in &dispatch_report.points {
+        assert!(
+            point.all_packets_accounted,
+            "parallel dispatch plane lost packets at {} dispatchers x {} shards",
+            point.dispatchers, point.shards
+        );
+    }
+    let dispatch_series: Vec<Json> = dispatch_report
+        .points
+        .iter()
+        .map(|point| {
+            Json::obj([
+                ("dispatchers", Json::from(point.dispatchers)),
+                ("shards", Json::from(point.shards)),
+                ("mpps", Json::from(point.aggregate_mpps)),
+                ("source", Json::from(point.source)),
+                ("steer_mpps", Json::from(point.steer_mpps)),
+                ("steer_source", Json::from(point.steer_source)),
+                ("model_mpps", Json::from(point.model_mpps)),
+                ("threaded_on_host_mpps", Json::from(point.threaded_mpps)),
+                ("effective_shards", Json::from(point.effective_shards)),
+                (
+                    "all_packets_accounted",
+                    Json::Bool(point.all_packets_accounted),
+                ),
+            ])
+        })
+        .collect();
+    let ring_impl = if cfg!(feature = "fast-ring") {
+        "fast_ring_unsafe_slots"
+    } else {
+        "safe_ring_mutex_slots"
+    };
+    let dispatch_doc = Json::obj([
+        ("tenants", Json::from(TENANTS)),
+        ("workload_packets", Json::from(packets.len())),
+        ("steering", Json::from("five_tuple_rss")),
+        ("ring_impl", Json::from(ring_impl)),
+        (
+            "host_parallelism",
+            Json::from(dispatch_report.host_parallelism),
+        ),
+        (
+            "serial_dispatch_mpps",
+            Json::from(dispatch_report.serial_dispatch_mpps),
+        ),
+        ("per_shard_mpps", Json::from(dispatch_report.per_shard_mpps)),
+        ("points", Json::Arr(dispatch_series)),
+    ]);
+    if !fast {
+        menshen_bench::update_baseline("dispatch_scaling", &dispatch_doc);
+    }
+    menshen_bench::write_json("bench_dispatch_scaling", &dispatch_doc);
+
+    // The dispatch plane must lift the serial cap in the model: at the
+    // widest point, the steering stage with the most dispatchers must
+    // comfortably exceed the single-dispatcher stage.
+    let widest = *dispatch_shards.last().unwrap();
+    let most = *dispatcher_counts.last().unwrap();
+    let steer_1 = dispatch_report
+        .point(dispatcher_counts[0], widest)
+        .expect("single-dispatcher point")
+        .steer_mpps;
+    let steer_n = dispatch_report
+        .point(most, widest)
+        .expect("widest point")
+        .steer_mpps;
+    assert!(
+        steer_n >= steer_1 * 1.5 || most == 1,
+        "{most} dispatchers should scale the steering stage: {steer_1:.1} → {steer_n:.1} Mpps"
+    );
 
     assert!(
         model_speedup_at_4 >= 2.5,

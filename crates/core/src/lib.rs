@@ -70,7 +70,7 @@ pub use resources::{ResourceChecker, SharingPolicy};
 pub use segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
 pub use sw_interface::{ControlPlane, DeviceStats};
 pub use system_module::{ForwardingDecision, SystemModule, SystemStats};
-pub use telemetry::{LatencyHistogram, Percentiles};
+pub use telemetry::{Gauge, LatencyHistogram, Percentiles};
 
 /// Result alias used across the crate.
 pub type Result<T> = core::result::Result<T, CoreError>;

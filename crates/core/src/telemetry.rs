@@ -261,9 +261,61 @@ pub struct Percentiles {
     pub max_ns: u64,
 }
 
+/// A lock-free occupancy gauge with a high-watermark.
+///
+/// The sharded runtime's hot paths (ring push/pop, dispatcher burst
+/// assembly) record instantaneous depths here with relaxed atomics: the
+/// gauge is telemetry, not synchronisation, so a reader may observe a value
+/// that is a few operations stale — never a torn one. The high-watermark is
+/// maintained with `fetch_max`, so it is exact over the gauge's lifetime
+/// even under concurrent observers.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: core::sync::atomic::AtomicU64,
+    high_watermark: core::sync::atomic::AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Records the current level (and folds it into the high-watermark).
+    pub fn observe(&self, value: u64) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.value.store(value, Relaxed);
+        self.high_watermark.fetch_max(value, Relaxed);
+    }
+
+    /// The most recently observed level.
+    pub fn get(&self) -> u64 {
+        self.value.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The largest level ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+            .load(core::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_tracks_level_and_high_watermark() {
+        let gauge = Gauge::new();
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(gauge.high_watermark(), 0);
+        gauge.observe(7);
+        gauge.observe(3);
+        assert_eq!(gauge.get(), 3, "the gauge reports the latest level");
+        assert_eq!(gauge.high_watermark(), 7, "the watermark never regresses");
+        gauge.observe(11);
+        assert_eq!(gauge.high_watermark(), 11);
+    }
 
     #[test]
     fn bucket_round_trip_bounds_error() {

@@ -2,16 +2,19 @@
 //!
 //! Menshen isolates tenants *within* one RMT pipeline; this crate scales
 //! that pipeline *across* cores, the way DPDK deployments shard a NIC's
-//! traffic over worker lcores with receive-side scaling (RSS):
+//! traffic over worker lcores with receive-side scaling (RSS). The dispatch
+//! plane itself is parallel: N dispatcher threads (per-NIC-queue model) each
+//! run the Toeplitz steer + burst-assembly loop over their own row of SPSC
+//! rings:
 //!
 //! ```text
-//!             ┌────────────┐  SPSC ring  ┌──────────────────┐
-//!  packets →  │ dispatcher │ ═══════════▶│ shard 0: replica │──┐
-//!             │  (Toeplitz │  SPSC ring  ├──────────────────┤  │   ┌────────────┐
-//!             │   steering)│ ═══════════▶│ shard 1: replica │──┼──▶│ aggregator │
-//!             │            │     ...     ├──────────────────┤  │   │ (Σ counters│
-//!             │            │ ═══════════▶│ shard N: replica │──┘   │  Σ stats)  │
-//!             └────────────┘             └──────────────────┘      └────────────┘
+//!             ┌──────────────┐ SPSC rings ┌──────────────────┐
+//!  packets →  │ dispatcher 0 │ ══════════▶│ shard 0: replica │──┐
+//!   (chunk    │  (Toeplitz   │ ╔═════════▶├──────────────────┤  │   ┌────────────┐
+//!    spray)   │   steering)  │ ║ ════════▶│ shard 1: replica │──┼──▶│ aggregator │
+//!          └─▶├──────────────┤ ║     ...  ├──────────────────┤  │   │ (Σ counters│
+//!             │ dispatcher N │═╝ ════════▶│ shard M: replica │──┘   │  Σ stats)  │
+//!             └──────────────┘            └──────────────────┘      └────────────┘
 //!                   ▲                            ▲
 //!                   │      epoch-versioned       │  applied at burst
 //!                   └──── control-plane log ─────┘  boundaries, acked
@@ -20,17 +23,28 @@
 //! * [`rss`] — Toeplitz hashing (bit-exact against the Microsoft RSS test
 //!   vectors) plus the indirection table; tenant-affine by default so
 //!   per-module counters and stateful ALUs stay shard-local and the
-//!   single-pipeline isolation semantics are preserved.
-//! * [`ring`] — bounded SPSC burst rings with backpressure.
+//!   single-pipeline isolation semantics are preserved. The RETA partitions
+//!   into per-dispatcher slices ([`Steerer::reta_slice`]) for flow-affine
+//!   chunk spray.
+//! * [`ring`] — cache-padded, atomics-based bounded SPSC burst rings with
+//!   backpressure: cached-index fast path, spin-then-park waiting, lock-free
+//!   occupancy telemetry. Safe per-slot-mutex storage by default; the
+//!   `fast-ring` feature swaps in the classic `UnsafeCell` slot array —
+//!   both run one shared conformance suite.
 //! * [`control`] — every configuration change is one [`ControlOp`] batch
 //!   published as a numbered epoch; shards apply epochs in order at burst
-//!   boundaries and acknowledge them, giving hitless reconfiguration.
-//! * [`shard`] — the worker loop and the cross-thread progress board.
+//!   boundaries and acknowledge them, and the flush barrier quiesces every
+//!   dispatcher before an epoch publishes, giving hitless reconfiguration
+//!   at any dispatcher count.
+//! * [`shard`] — the shard and dispatcher thread bodies and the cross-thread
+//!   progress board.
 //! * [`runtime`] — [`ShardedRuntime`], tying it all together, in a
 //!   threaded mode (deployment) and a deterministic in-process mode that is
-//!   exactly testable against a single [`menshen_core::MenshenPipeline`].
+//!   exactly testable against a single [`menshen_core::MenshenPipeline`] for
+//!   any dispatcher × shard combination.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "fast-ring"), forbid(unsafe_code))]
+#![cfg_attr(feature = "fast-ring", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod control;
@@ -40,10 +54,16 @@ pub mod runtime;
 pub mod shard;
 
 pub use control::{CompactionReport, ControlOp, EpochEntry, EpochLog};
-pub use ring::{ring as bounded_ring, Consumer, Producer, RingClosed};
+pub use ring::{
+    ring as bounded_ring, ring_with_parker, Consumer, Parker, Producer, RingClosed, SafeSlots,
+    SlotArray,
+};
 pub use rss::{
     toeplitz_hash, RssHasher, Steerer, SteeringMode, DEFAULT_RSS_KEY, MAX_HASH_INPUT, RETA_SIZE,
     RSS_KEY_LEN,
 };
-pub use runtime::{ExecutionMode, RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime};
-pub use shard::{ShardSnapshot, ShardStats, ShardTelemetry};
+pub use runtime::{
+    DispatchSpray, DispatcherStats, ExecutionMode, RuntimeError, RuntimeLatency, RuntimeOptions,
+    ShardedRuntime,
+};
+pub use shard::{RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};

@@ -1,21 +1,62 @@
-//! Bounded SPSC rings between the dispatcher and the worker shards.
+//! Bounded SPSC burst rings between the dispatch plane and the worker shards.
 //!
-//! Each shard is fed through one single-producer/single-consumer ring of
+//! Each shard is fed through single-producer/single-consumer rings of
 //! *bursts* (not individual packets), mirroring how a DPDK dispatcher hands
 //! `rte_ring` entries of mbuf bursts to worker lcores: the ring is bounded so
 //! a slow shard exerts backpressure on the dispatcher instead of letting the
 //! queue grow without limit, and handing over whole bursts amortises the
 //! synchronisation cost over [`menshen_core::BURST_SIZE`] packets.
 //!
-//! The workspace forbids `unsafe`, so the ring is a mutex-plus-condvar
-//!`VecDeque` rather than a lock-free array ring. Because synchronisation
-//! happens once per burst, the lock cost is tens of nanoseconds amortised
-//! over a burst that takes microseconds to process — invisible at this
-//! simulator's packet rates (a production DPDK deployment would swap in a
-//! lock-free SPSC ring here without touching any other code).
+//! # Design
+//!
+//! The ring is a fixed slot array indexed by two monotonically increasing
+//! positions — `tail` (producer) and `head` (consumer) — each on its own
+//! cache line ([`CachePadded`]) so the producer's store never invalidates the
+//! consumer's line. Both sides keep a *cached* copy of the opposite index:
+//! the common push/pop only touches its own index plus the slot, and reloads
+//! the opposite index (one shared-line read) only when the cached value says
+//! the ring looks full/empty. Occupancy telemetry ([`Producer::len`],
+//! [`Consumer::occupancy`], the depth high-watermark) reads the indices with
+//! relaxed atomics — no lock is ever taken to observe the ring.
+//!
+//! Blocking operations use a **spin-then-park** wait strategy: a short
+//! `spin_loop` phase covers the common case where the opposite side is
+//! actively working, then the waiter parks on a [`Parker`] so an idle shard
+//! costs zero CPU. The flag/recheck protocol in [`Parker`] (all
+//! `SeqCst`) makes the wakeup race-free: a producer that publishes an item
+//! and then sees no waiter is *guaranteed* the consumer will observe the item
+//! before deciding to park, and vice versa. A shard consuming several rings
+//! (one per dispatcher) shares one parker across all of them, so any producer
+//! can wake it.
+//!
+//! # Slot storage: safe by default, `fast-ring` for the lock-free array
+//!
+//! The workspace forbids `unsafe` by default, so slot transfer goes through a
+//! [`SlotArray`] abstraction with two interchangeable implementations:
+//!
+//! * [`SafeSlots`] (default): one `Mutex<Option<T>>` per slot. The SPSC
+//!   index protocol already guarantees a slot is touched by exactly one side
+//!   at a time, so every lock acquisition is uncontended — a single atomic
+//!   exchange, not a syscall — but the checker still sees safe code only.
+//! * [`FastSlots`] (`--features fast-ring`): one `UnsafeCell<MaybeUninit<T>>`
+//!   per slot, the classic lock-free layout. The `unsafe` blocks rely on
+//!   exactly the invariant the index protocol provides (producer writes only
+//!   vacated slots, consumer reads only published ones, positions ordered by
+//!   the acquire/release index handoff) and are confined to this module.
+//!
+//! Both implementations run the same conformance and stress suite
+//! (`ring_conformance_suite!`), so the feature swap cannot change observable
+//! semantics.
 
-use std::collections::VecDeque;
+use menshen_core::Gauge;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Iterations of the spin phase before a blocked side parks. Long enough to
+/// ride out the opposite side finishing one burst, short enough that an idle
+/// shard reaches the parked (zero-CPU) state in well under a microsecond.
+const SPIN_LIMIT: u32 = 128;
 
 /// Error returned when pushing into a ring whose consumer is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,147 +70,453 @@ impl std::fmt::Display for RingClosed {
 
 impl std::error::Error for RingClosed {}
 
-struct RingState<T> {
-    queue: VecDeque<T>,
-    closed: bool,
+/// Pads (and aligns) a value to a cache line so the producer's and
+/// consumer's hot indices never share one.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// A park/unpark rendezvous with a race-free flag protocol.
+///
+/// Waiter: take the lock, raise `waiting` (`SeqCst`), issue a `SeqCst`
+/// fence, re-check the readiness condition, and only then block on the
+/// condvar. Waker: publish the state change (`SeqCst` store), then check
+/// `waiting` (`SeqCst` load) — if raised, take the lock and notify. The
+/// fence is what makes the Dekker argument hold for *any* readiness
+/// predicate, whatever orderings its own loads use: if the waker's flag
+/// load missed the raised flag, that load precedes the flag store in the
+/// single total order of `SeqCst` operations, so the waker's earlier state
+/// publication precedes the waiter's fence — and a load sequenced after a
+/// `SeqCst` fence must observe every `SeqCst` store that precedes the fence
+/// in that order. If instead the waker saw the flag, the lock serialises it
+/// behind the waiter's re-check, so the notify cannot be lost.
+///
+/// One parker can serve a consumer draining several rings (the shard's
+/// per-dispatcher inputs): every producer wakes the same parker.
+#[derive(Debug, Default)]
+pub struct Parker {
+    lock: Mutex<()>,
+    cv: Condvar,
+    waiting: AtomicBool,
 }
 
-struct RingInner<T> {
-    state: Mutex<RingState<T>>,
-    not_full: Condvar,
-    not_empty: Condvar,
+impl Parker {
+    /// Creates a parker.
+    pub fn new() -> Self {
+        Parker::default()
+    }
+
+    /// Blocks until `ready()` returns true. `ready` is evaluated under the
+    /// parker's lock with the `waiting` flag raised, so any waker that
+    /// changes the condition and then calls [`unpark`](Parker::unpark)
+    /// cannot be missed.
+    pub fn park_until(&self, mut ready: impl FnMut() -> bool) {
+        let mut guard = self.lock.lock().expect("parker lock poisoned");
+        self.waiting.store(true, Ordering::SeqCst);
+        // Close the Dekker race against a waker that published state and
+        // then missed the flag: after this fence, the first `ready()`
+        // evaluation observes every SeqCst store that preceded the waker's
+        // flag load — regardless of the orderings `ready` itself uses (the
+        // predicates read indices with Acquire/Relaxed).
+        std::sync::atomic::fence(Ordering::SeqCst);
+        while !ready() {
+            guard = self.cv.wait(guard).expect("parker lock poisoned");
+        }
+        self.waiting.store(false, Ordering::SeqCst);
+        drop(guard);
+    }
+
+    /// Wakes a parked waiter, if any. Cheap when nobody waits: one `SeqCst`
+    /// load. The caller must have already published (with `SeqCst` stores)
+    /// whatever state change makes the waiter's condition true.
+    pub fn unpark(&self) {
+        if self.waiting.load(Ordering::SeqCst) {
+            let _guard = self.lock.lock().expect("parker lock poisoned");
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Slot storage for one ring: a fixed array transferring values from the
+/// producer to the consumer.
+///
+/// # Contract
+///
+/// The ring guarantees `write(i, v)` is called only when slot `i` is vacant
+/// and owned by the producer, and `take(i)` only when slot `i` was published
+/// and is owned by the consumer; the head/tail acquire/release handoff
+/// orders the two. Implementations may rely on this exclusivity.
+pub trait SlotArray<T>: Send + Sync {
+    /// Allocates `capacity` vacant slots.
+    fn with_capacity(capacity: usize) -> Self;
+    /// Stores `value` into vacant slot `index`.
+    fn write(&self, index: usize, value: T);
+    /// Moves the value out of occupied slot `index`, leaving it vacant.
+    fn take(&self, index: usize) -> T;
+}
+
+/// The always-available safe slot array: one `Mutex<Option<T>>` per slot.
+/// Every acquisition is uncontended by the SPSC contract, so the cost is one
+/// atomic exchange per slot transfer — the indices, not these locks, carry
+/// the cross-thread synchronisation.
+#[derive(Debug)]
+pub struct SafeSlots<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+}
+
+impl<T: Send> SlotArray<T> for SafeSlots<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        SafeSlots {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn write(&self, index: usize, value: T) {
+        let previous = self.slots[index]
+            .lock()
+            .expect("slot lock poisoned")
+            .replace(value);
+        debug_assert!(previous.is_none(), "SPSC contract: slot was occupied");
+    }
+
+    fn take(&self, index: usize) -> T {
+        self.slots[index]
+            .lock()
+            .expect("slot lock poisoned")
+            .take()
+            .expect("SPSC contract: slot was vacant")
+    }
+}
+
+/// The lock-free slot array behind `--features fast-ring`: bare
+/// `UnsafeCell<MaybeUninit<T>>` slots, relying on the ring's index protocol
+/// for exclusivity and ordering (see [`SlotArray`]'s contract).
+#[cfg(feature = "fast-ring")]
+#[allow(unsafe_code)]
+pub mod fast {
+    use super::SlotArray;
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+
+    /// Lock-free slot storage. See the module docs for the safety argument.
+    #[derive(Debug)]
+    pub struct FastSlots<T> {
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    }
+
+    // SAFETY: the SlotArray contract guarantees each slot is accessed by at
+    // most one thread at a time, with the handoff between threads ordered by
+    // the ring's acquire/release index protocol.
+    unsafe impl<T: Send> Sync for FastSlots<T> {}
+
+    impl<T: Send> SlotArray<T> for FastSlots<T> {
+        fn with_capacity(capacity: usize) -> Self {
+            FastSlots {
+                slots: (0..capacity)
+                    .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                    .collect(),
+            }
+        }
+
+        fn write(&self, index: usize, value: T) {
+            // SAFETY: the contract gives the producer exclusive access to
+            // this vacant slot; writing a MaybeUninit drops nothing.
+            unsafe { (*self.slots[index].get()).write(value) };
+        }
+
+        fn take(&self, index: usize) -> T {
+            // SAFETY: the contract guarantees the slot holds an initialised
+            // value published by the producer, and that the consumer has
+            // exclusive access; reading moves the value out, and the ring
+            // never reads a slot twice before the producer rewrites it.
+            unsafe { (*self.slots[index].get()).assume_init_read() }
+        }
+    }
+}
+
+#[cfg(feature = "fast-ring")]
+pub use fast::FastSlots;
+
+/// The slot storage the runtime's rings use: lock-free under
+/// `--features fast-ring`, the safe per-slot-mutex array otherwise.
+#[cfg(feature = "fast-ring")]
+pub type DefaultSlots<T> = FastSlots<T>;
+/// The slot storage the runtime's rings use: lock-free under
+/// `--features fast-ring`, the safe per-slot-mutex array otherwise.
+#[cfg(not(feature = "fast-ring"))]
+pub type DefaultSlots<T> = SafeSlots<T>;
+
+struct RingInner<T, S: SlotArray<T>> {
+    slots: S,
     capacity: usize,
+    /// Consumer position (total items popped). Padded: the producer reloads
+    /// it only on the apparent-full slow path.
+    head: CachePadded<AtomicUsize>,
+    /// Producer position (total items pushed).
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+    /// Parks a producer blocked on a full ring.
+    producer_parker: Parker,
+    /// Parks the consumer when every ring it drains is empty — shared across
+    /// the consumer's rings, hence the `Arc`.
+    consumer_parker: Arc<Parker>,
+    /// Ring-depth telemetry: observed on every push, never locked.
+    depth: Gauge,
+    _marker: std::marker::PhantomData<T>,
 }
 
-/// Creates a bounded ring holding at most `capacity` items, returning the
-/// producer and consumer handles.
-pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+impl<T, S: SlotArray<T>> Drop for RingInner<T, S> {
+    fn drop(&mut self) {
+        // Drain undelivered items so their destructors run. Only the last
+        // handle reaches this, so the relaxed loads are exact.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for position in head..tail {
+            drop(self.slots.take(position % self.capacity));
+        }
+    }
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` items, returning
+/// the producer and consumer handles. Uses the feature-selected
+/// [`DefaultSlots`] storage and a private consumer parker.
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_with_parker(capacity, Arc::new(Parker::new()))
+}
+
+/// Like [`ring`], but parks the consumer on the given shared `parker` — the
+/// building block for a consumer that drains several rings (a shard fed by
+/// N dispatchers): every ring's producer wakes the same parker.
+pub fn ring_with_parker<T: Send>(
+    capacity: usize,
+    parker: Arc<Parker>,
+) -> (Producer<T, DefaultSlots<T>>, Consumer<T, DefaultSlots<T>>) {
+    ring_with_slots(capacity, parker)
+}
+
+/// [`ring_with_parker`] for an explicit slot-storage implementation; the
+/// conformance suite uses this to drive [`SafeSlots`] and `FastSlots`
+/// through identical tests.
+pub fn ring_with_slots<T: Send, S: SlotArray<T>>(
+    capacity: usize,
+    parker: Arc<Parker>,
+) -> (Producer<T, S>, Consumer<T, S>) {
     assert!(capacity > 0, "ring capacity must be positive");
     let inner = Arc::new(RingInner {
-        state: Mutex::new(RingState {
-            queue: VecDeque::with_capacity(capacity),
-            closed: false,
-        }),
-        not_full: Condvar::new(),
-        not_empty: Condvar::new(),
+        slots: S::with_capacity(capacity),
         capacity,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        producer_parker: Parker::new(),
+        consumer_parker: parker,
+        depth: Gauge::new(),
+        _marker: std::marker::PhantomData,
     });
     (
         Producer {
             inner: Arc::clone(&inner),
+            cached_head: Cell::new(0),
         },
-        Consumer { inner },
+        Consumer {
+            inner,
+            cached_tail: Cell::new(0),
+        },
     )
 }
 
 /// The producer (dispatcher) side of a bounded ring.
-pub struct Producer<T> {
-    inner: Arc<RingInner<T>>,
+pub struct Producer<T, S: SlotArray<T> = DefaultSlots<T>> {
+    inner: Arc<RingInner<T, S>>,
+    /// Last observed consumer position: the fast path pushes without reading
+    /// the shared head line while `tail - cached_head < capacity`.
+    cached_head: Cell<usize>,
 }
 
-impl<T> Producer<T> {
-    /// Pushes one item, blocking while the ring is full (backpressure).
-    pub fn push(&self, item: T) -> Result<(), RingClosed> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        while state.queue.len() >= self.inner.capacity {
-            if state.closed {
-                return Err(RingClosed);
+impl<T, S: SlotArray<T>> Producer<T, S> {
+    /// True when the ring looks full against the *freshly reloaded* head.
+    /// Updates the cache.
+    fn reload_full(&self, tail: usize) -> bool {
+        let head = self.inner.head.0.load(Ordering::Acquire);
+        self.cached_head.set(head);
+        tail - head >= self.inner.capacity
+    }
+
+    /// Publishes `value` at `tail`. Separated so push/try_push share one
+    /// definition of the store-then-wake ordering.
+    fn commit(&self, tail: usize, value: T) {
+        self.inner.slots.write(tail % self.inner.capacity, value);
+        // SeqCst, not just Release: the consumer-side parker protocol needs
+        // the index store ordered before the `waiting` flag load in unpark.
+        self.inner.tail.0.store(tail + 1, Ordering::SeqCst);
+        self.inner
+            .depth
+            .observe((tail + 1 - self.inner.head.0.load(Ordering::Relaxed)) as u64);
+        self.inner.consumer_parker.unpark();
+    }
+
+    /// Pushes one item, blocking while the ring is full (backpressure):
+    /// spins briefly, then parks until the consumer frees a slot.
+    pub fn push(&self, value: T) -> Result<(), RingClosed> {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() >= self.inner.capacity && self.reload_full(tail) {
+            let mut spins = 0;
+            while self.reload_full(tail) {
+                if self.inner.closed.load(Ordering::SeqCst) {
+                    return Err(RingClosed);
+                }
+                spins += 1;
+                if spins < SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    self.inner.producer_parker.park_until(|| {
+                        !self.reload_full(tail) || self.inner.closed.load(Ordering::SeqCst)
+                    });
+                }
             }
-            state = self.inner.not_full.wait(state).expect("ring lock poisoned");
         }
-        if state.closed {
+        if self.inner.closed.load(Ordering::SeqCst) {
             return Err(RingClosed);
         }
-        state.queue.push_back(item);
-        drop(state);
-        self.inner.not_empty.notify_one();
+        self.commit(tail, value);
         Ok(())
     }
 
-    /// Pushes without blocking; returns the item back if the ring is full.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        if state.closed || state.queue.len() >= self.inner.capacity {
-            return Err(item);
+    /// Pushes without blocking; returns the item back if the ring is full or
+    /// closed.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(value);
         }
-        state.queue.push_back(item);
-        drop(state);
-        self.inner.not_empty.notify_one();
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() >= self.inner.capacity && self.reload_full(tail) {
+            return Err(value);
+        }
+        self.commit(tail, value);
         Ok(())
     }
 
-    /// Closes the ring: the consumer drains what is queued, then sees end-of-
-    /// stream.
+    /// Closes the ring: the consumer drains what is queued, then sees
+    /// end-of-stream.
     pub fn close(&self) {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        state.closed = true;
-        drop(state);
-        self.inner.not_empty.notify_all();
-        self.inner.not_full.notify_all();
+        self.inner.closed.store(true, Ordering::SeqCst);
+        self.inner.consumer_parker.unpark();
+        self.inner.producer_parker.unpark();
     }
 
-    /// Number of items currently queued.
+    /// Number of items currently queued. Lock-free (relaxed index reads):
+    /// telemetry, not synchronisation.
     pub fn len(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("ring lock poisoned")
-            .queue
-            .len()
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
     }
 
-    /// True if nothing is queued.
+    /// True if nothing is queued. Lock-free.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The deepest the ring has ever been, in items (relaxed gauge, observed
+    /// on every push).
+    pub fn depth_high_watermark(&self) -> u64 {
+        self.inner.depth.high_watermark()
+    }
+}
+
+impl<T, S: SlotArray<T>> Drop for Producer<T, S> {
+    fn drop(&mut self) {
+        // A vanished producer means end-of-stream for the consumer.
+        self.close();
     }
 }
 
 /// The consumer (worker shard) side of a bounded ring.
-pub struct Consumer<T> {
-    inner: Arc<RingInner<T>>,
+pub struct Consumer<T, S: SlotArray<T> = DefaultSlots<T>> {
+    inner: Arc<RingInner<T, S>>,
+    /// Last observed producer position: the fast path pops without reading
+    /// the shared tail line while `cached_tail > head`.
+    cached_tail: Cell<usize>,
 }
 
-impl<T> Consumer<T> {
-    /// Pops one item, blocking while the ring is empty. Returns `None` once
-    /// the ring is closed *and* drained.
+impl<T, S: SlotArray<T>> Consumer<T, S> {
+    /// True when the ring looks empty against the freshly reloaded tail.
+    /// Updates the cache.
+    fn reload_empty(&self, head: usize) -> bool {
+        let tail = self.inner.tail.0.load(Ordering::Acquire);
+        self.cached_tail.set(tail);
+        tail == head
+    }
+
+    /// Takes the item at `head` and advances.
+    fn consume(&self, head: usize) -> T {
+        let value = self.inner.slots.take(head % self.inner.capacity);
+        // SeqCst for the producer-side parker protocol (mirror of commit).
+        self.inner.head.0.store(head + 1, Ordering::SeqCst);
+        self.inner.producer_parker.unpark();
+        value
+    }
+
+    /// Pops one item, blocking (spin-then-park) while the ring is empty.
+    /// Returns `None` once the ring is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        loop {
-            if let Some(item) = state.queue.pop_front() {
-                drop(state);
-                self.inner.not_full.notify_one();
-                return Some(item);
-            }
-            if state.closed {
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        let mut spins = 0;
+        while self.cached_tail.get() == head && self.reload_empty(head) {
+            if self.inner.closed.load(Ordering::SeqCst) && self.reload_empty(head) {
                 return None;
             }
-            state = self
-                .inner
-                .not_empty
-                .wait(state)
-                .expect("ring lock poisoned");
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                self.inner.consumer_parker.park_until(|| {
+                    !self.reload_empty(head) || self.inner.closed.load(Ordering::SeqCst)
+                });
+            }
         }
+        Some(self.consume(head))
     }
 
-    /// Pops without blocking.
+    /// Pops without blocking; `None` when the ring is currently empty.
     pub fn try_pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        let item = state.queue.pop_front();
-        if item.is_some() {
-            drop(state);
-            self.inner.not_full.notify_one();
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        if self.cached_tail.get() == head && self.reload_empty(head) {
+            return None;
         }
-        item
+        Some(self.consume(head))
+    }
+
+    /// Number of items currently queued. Lock-free.
+    pub fn occupancy(&self) -> usize {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when the producer closed the ring and everything queued has been
+    /// popped — end-of-stream.
+    pub fn is_finished(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
+            && self.reload_empty(self.inner.head.0.load(Ordering::Relaxed))
+    }
+
+    /// The deepest the ring has ever been, in items.
+    pub fn depth_high_watermark(&self) -> u64 {
+        self.inner.depth.high_watermark()
+    }
+
+    /// The parker this consumer blocks on (shared across a shard's rings).
+    pub fn parker(&self) -> &Arc<Parker> {
+        &self.inner.consumer_parker
     }
 }
 
-impl<T> Drop for Consumer<T> {
+impl<T, S: SlotArray<T>> Drop for Consumer<T, S> {
     fn drop(&mut self) {
         // A vanished consumer must unblock a producer stuck in `push`.
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
-        state.closed = true;
-        drop(state);
-        self.inner.not_full.notify_all();
+        self.inner.closed.store(true, Ordering::SeqCst);
+        self.inner.producer_parker.unpark();
     }
 }
 
@@ -178,49 +525,202 @@ mod tests {
     use super::*;
     use std::thread;
 
+    /// The shared conformance + stress suite, instantiated per slot-storage
+    /// implementation: FIFO order, capacity/backpressure, close and drop
+    /// semantics, occupancy telemetry, and a concurrent producer/consumer
+    /// hammer. Both ring implementations must pass the identical suite —
+    /// the `fast-ring` feature swap is not allowed to change observable
+    /// behaviour.
+    macro_rules! ring_conformance_suite {
+        ($module:ident, $slots:ident) => {
+            mod $module {
+                use super::*;
+
+                fn make<T: Send>(
+                    capacity: usize,
+                ) -> (Producer<T, $slots<T>>, Consumer<T, $slots<T>>) {
+                    ring_with_slots(capacity, Arc::new(Parker::new()))
+                }
+
+                #[test]
+                fn fifo_order_and_close_semantics() {
+                    let (tx, rx) = make::<u32>(4);
+                    for i in 0..4 {
+                        tx.push(i).unwrap();
+                    }
+                    assert_eq!(tx.try_push(99), Err(99), "ring is full");
+                    assert_eq!(rx.pop(), Some(0));
+                    assert_eq!(tx.try_push(99), Ok(()), "one slot freed");
+                    tx.close();
+                    assert_eq!(rx.pop(), Some(1));
+                    assert_eq!(rx.pop(), Some(2));
+                    assert_eq!(rx.pop(), Some(3));
+                    assert!(!rx.is_finished(), "still one queued item");
+                    assert_eq!(rx.pop(), Some(99));
+                    assert!(rx.is_finished());
+                    assert_eq!(rx.pop(), None, "closed and drained");
+                    assert_eq!(tx.push(7), Err(RingClosed));
+                }
+
+                #[test]
+                fn occupancy_is_lock_free_and_tracks_watermark() {
+                    let (tx, rx) = make::<u8>(8);
+                    assert!(tx.is_empty());
+                    assert_eq!(rx.occupancy(), 0);
+                    for i in 0..5 {
+                        tx.push(i).unwrap();
+                    }
+                    assert_eq!(tx.len(), 5);
+                    assert_eq!(rx.occupancy(), 5);
+                    rx.try_pop().unwrap();
+                    rx.try_pop().unwrap();
+                    assert_eq!(tx.len(), 3);
+                    tx.push(9).unwrap();
+                    assert_eq!(tx.depth_high_watermark(), 5, "deepest point was 5");
+                    assert_eq!(rx.depth_high_watermark(), 5);
+                }
+
+                #[test]
+                fn blocking_push_applies_backpressure_across_threads() {
+                    let (tx, rx) = make::<u64>(2);
+                    let producer = thread::spawn(move || {
+                        for i in 0..10_000u64 {
+                            tx.push(i).unwrap();
+                        }
+                    });
+                    let mut expected = 0u64;
+                    while let Some(item) = rx.pop() {
+                        assert_eq!(item, expected, "FIFO order under backpressure");
+                        expected += 1;
+                        if expected == 10_000 {
+                            break;
+                        }
+                    }
+                    producer.join().unwrap();
+                    assert_eq!(expected, 10_000);
+                }
+
+                #[test]
+                fn concurrent_hammer_preserves_order_and_loses_nothing() {
+                    // Deliberately tiny capacity so both sides cross the
+                    // full/empty boundaries (and the spin→park transition)
+                    // constantly.
+                    const ITEMS: u64 = 200_000;
+                    let (tx, rx) = make::<u64>(4);
+                    let producer = thread::spawn(move || {
+                        for i in 0..ITEMS {
+                            tx.push(i).unwrap();
+                        }
+                        // tx drops here: end-of-stream for the consumer.
+                    });
+                    let consumer = thread::spawn(move || {
+                        let mut next = 0u64;
+                        while let Some(item) = rx.pop() {
+                            assert_eq!(item, next);
+                            next += 1;
+                        }
+                        next
+                    });
+                    producer.join().unwrap();
+                    assert_eq!(consumer.join().unwrap(), ITEMS, "every item delivered");
+                }
+
+                #[test]
+                fn dropping_consumer_unblocks_producer() {
+                    let (tx, rx) = make::<u8>(1);
+                    tx.push(1).unwrap();
+                    let producer = thread::spawn(move || tx.push(2));
+                    drop(rx);
+                    assert_eq!(producer.join().unwrap(), Err(RingClosed));
+                }
+
+                #[test]
+                fn dropping_producer_finishes_the_stream() {
+                    let (tx, rx) = make::<u8>(4);
+                    tx.push(1).unwrap();
+                    drop(tx);
+                    assert_eq!(rx.pop(), Some(1), "queued items still drain");
+                    assert_eq!(rx.pop(), None, "then end-of-stream");
+                }
+
+                #[test]
+                fn dropping_a_loaded_ring_drops_queued_items() {
+                    use std::sync::atomic::AtomicUsize;
+                    static DROPS: AtomicUsize = AtomicUsize::new(0);
+                    struct Counted;
+                    impl Drop for Counted {
+                        fn drop(&mut self) {
+                            DROPS.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    DROPS.store(0, Ordering::SeqCst);
+                    let (tx, rx) = make::<Counted>(8);
+                    for _ in 0..5 {
+                        tx.push(Counted).unwrap();
+                    }
+                    drop(rx.pop()); // one consumed and dropped normally
+                    drop(tx);
+                    drop(rx); // four still queued: the ring must free them
+                    assert_eq!(DROPS.load(Ordering::SeqCst), 5, "no queued item leaked");
+                }
+
+                #[test]
+                fn shared_parker_wakes_a_multi_ring_consumer() {
+                    let parker = Arc::new(Parker::new());
+                    let (tx_a, rx_a) = ring_with_slots::<u32, $slots<u32>>(4, Arc::clone(&parker));
+                    let (tx_b, rx_b) = ring_with_slots::<u32, $slots<u32>>(4, Arc::clone(&parker));
+                    let consumer = thread::spawn(move || {
+                        // Drain both rings until both finish, parking on the
+                        // shared parker whenever both are empty.
+                        let mut seen = Vec::new();
+                        loop {
+                            let mut progressed = false;
+                            for rx in [&rx_a, &rx_b] {
+                                if let Some(item) = rx.try_pop() {
+                                    seen.push(item);
+                                    progressed = true;
+                                }
+                            }
+                            if progressed {
+                                continue;
+                            }
+                            if rx_a.is_finished() && rx_b.is_finished() {
+                                return seen;
+                            }
+                            rx_a.parker().park_until(|| {
+                                rx_a.occupancy() > 0
+                                    || rx_b.occupancy() > 0
+                                    || (rx_a.is_finished() && rx_b.is_finished())
+                            });
+                        }
+                    });
+                    // Give the consumer time to park, then wake it from
+                    // either producer.
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    tx_b.push(2).unwrap();
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    tx_a.push(1).unwrap();
+                    drop(tx_a);
+                    drop(tx_b);
+                    let mut seen = consumer.join().unwrap();
+                    seen.sort_unstable();
+                    assert_eq!(seen, vec![1, 2]);
+                }
+            }
+        };
+    }
+
+    ring_conformance_suite!(safe_ring, SafeSlots);
+    #[cfg(feature = "fast-ring")]
+    ring_conformance_suite!(fast_ring, FastSlots);
+
     #[test]
-    fn fifo_order_and_close_semantics() {
-        let (tx, rx) = ring::<u32>(4);
-        for i in 0..4 {
-            tx.push(i).unwrap();
-        }
-        assert_eq!(tx.try_push(99), Err(99), "ring is full");
-        assert_eq!(rx.pop(), Some(0));
-        assert_eq!(tx.try_push(99), Ok(()), "one slot freed");
+    fn default_ring_selects_the_feature_implementation() {
+        // Smoke-test the public constructor (whatever the feature picked).
+        let (tx, rx) = ring::<u32>(2);
+        tx.push(7).unwrap();
+        assert_eq!(rx.pop(), Some(7));
         tx.close();
-        assert_eq!(rx.pop(), Some(1));
-        assert_eq!(rx.pop(), Some(2));
-        assert_eq!(rx.pop(), Some(3));
-        assert_eq!(rx.pop(), Some(99));
-        assert_eq!(rx.pop(), None, "closed and drained");
-        assert_eq!(tx.push(7), Err(RingClosed));
-    }
-
-    #[test]
-    fn blocking_push_applies_backpressure_across_threads() {
-        let (tx, rx) = ring::<u64>(2);
-        let producer = thread::spawn(move || {
-            for i in 0..100u64 {
-                tx.push(i).unwrap();
-            }
-        });
-        let mut seen = Vec::new();
-        while let Some(item) = rx.pop() {
-            seen.push(item);
-            if seen.len() == 100 {
-                break;
-            }
-        }
-        producer.join().unwrap();
-        assert_eq!(seen, (0..100).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn dropping_consumer_unblocks_producer() {
-        let (tx, rx) = ring::<u8>(1);
-        tx.push(1).unwrap();
-        let producer = thread::spawn(move || tx.push(2));
-        drop(rx);
-        assert_eq!(producer.join().unwrap(), Err(RingClosed));
+        assert_eq!(rx.pop(), None);
     }
 }

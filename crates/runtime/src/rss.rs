@@ -199,6 +199,12 @@ impl Steerer {
     /// hashes src/dst IP and src/dst UDP port; non-IP packets hash whatever
     /// prefix of those fields exists (zeros otherwise).
     pub fn shard_for(&self, packet: &Packet) -> usize {
+        self.shard_for_hash(self.flow_hash(packet))
+    }
+
+    /// The Toeplitz hash of `packet`'s steering fields under the current
+    /// mode — the value whose low bits index the RETA.
+    pub fn flow_hash(&self, packet: &Packet) -> u32 {
         let mut buf = [0u8; MAX_HASH_INPUT];
         let len = match self.mode {
             SteeringMode::TenantAffine => match packet.vlan_id() {
@@ -210,8 +216,53 @@ impl Steerer {
             },
             SteeringMode::FiveTuple => self.five_tuple_into(packet, &mut buf),
         };
-        let hash = self.hasher.hash(&buf[..len]);
-        usize::from(self.reta[(hash as usize) & (RETA_SIZE - 1)])
+        self.hasher.hash(&buf[..len])
+    }
+
+    /// The RETA entry a flow hash selects.
+    pub fn reta_index(hash: u32) -> usize {
+        (hash as usize) & (RETA_SIZE - 1)
+    }
+
+    /// The shard a precomputed [`flow_hash`](Self::flow_hash) steers to.
+    pub fn shard_for_hash(&self, hash: u32) -> usize {
+        usize::from(self.reta[Self::reta_index(hash)])
+    }
+
+    /// The contiguous slice of RETA entries dispatcher `dispatcher` (of
+    /// `dispatchers`) owns under the per-NIC-queue partition: the table is
+    /// split as evenly as 128 entries allow, earlier dispatchers taking the
+    /// remainder. Together the slices cover the RETA exactly once — this is
+    /// how a multi-queue NIC splits its indirection table over RX queues.
+    pub fn reta_slice(dispatchers: usize, dispatcher: usize) -> std::ops::Range<usize> {
+        assert!(dispatchers > 0, "at least one dispatcher");
+        assert!(dispatcher < dispatchers, "dispatcher index out of range");
+        let base = RETA_SIZE / dispatchers;
+        let remainder = RETA_SIZE % dispatchers;
+        let extra = dispatcher.min(remainder);
+        let start = dispatcher * base + extra;
+        let len = base + usize::from(dispatcher < remainder);
+        start..start + len
+    }
+
+    /// The dispatcher that owns `packet` under the RETA partition of
+    /// [`reta_slice`](Self::reta_slice): hash → RETA entry → owning slice.
+    /// Flow-affine spray: every packet of one flow reaches the same
+    /// dispatcher, preserving per-flow order end to end (at the cost of one
+    /// hash on the ingress thread).
+    pub fn dispatcher_for(&self, packet: &Packet, dispatchers: usize) -> usize {
+        assert!(dispatchers > 0, "at least one dispatcher");
+        let index = Self::reta_index(self.flow_hash(packet));
+        // Invert the slice layout: the first `remainder` dispatchers hold
+        // `base + 1` entries each.
+        let base = RETA_SIZE / dispatchers;
+        let remainder = RETA_SIZE % dispatchers;
+        let wide = remainder * (base + 1);
+        if index < wide {
+            index / (base + 1)
+        } else {
+            remainder + (index - wide) / base
+        }
     }
 
     fn five_tuple_into(&self, packet: &Packet, buf: &mut [u8; MAX_HASH_INPUT]) -> usize {
@@ -401,6 +452,54 @@ mod tests {
             seen.iter().filter(|&&s| s).count() >= 6,
             "256 flows should cover most of 8 shards, got {seen:?}"
         );
+    }
+
+    #[test]
+    fn reta_slices_partition_the_table_exactly() {
+        for dispatchers in 1..=9usize {
+            let mut covered = [false; RETA_SIZE];
+            let mut sizes = Vec::new();
+            for dispatcher in 0..dispatchers {
+                let slice = Steerer::reta_slice(dispatchers, dispatcher);
+                sizes.push(slice.len());
+                for entry in slice {
+                    assert!(!covered[entry], "entry {entry} owned twice");
+                    covered[entry] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "{dispatchers} dispatchers");
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "slices must be balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn dispatcher_for_matches_the_reta_slice_owner() {
+        let steerer = Steerer::new(SteeringMode::FiveTuple, 4);
+        for dispatchers in [1usize, 2, 3, 4, 7] {
+            for flow in 0..128u16 {
+                let packet = PacketBuilder::udp_data(
+                    3,
+                    [10, 1, (flow >> 8) as u8, flow as u8],
+                    [10, 0, 1, 1],
+                    4000 + flow,
+                    80,
+                    &[],
+                );
+                let owner = steerer.dispatcher_for(&packet, dispatchers);
+                assert!(owner < dispatchers);
+                let index = Steerer::reta_index(steerer.flow_hash(&packet));
+                assert!(
+                    Steerer::reta_slice(dispatchers, owner).contains(&index),
+                    "flow {flow}: dispatcher {owner} does not own RETA entry {index}"
+                );
+                // And the hash split never changes the shard decision.
+                assert_eq!(
+                    steerer.shard_for(&packet),
+                    steerer.shard_for_hash(steerer.flow_hash(&packet))
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,41 +1,54 @@
-//! The sharded runtime: dispatcher → rings → shards → aggregator.
+//! The sharded runtime: dispatch plane → rings → shards → aggregator.
 //!
 //! [`ShardedRuntime`] owns N worker shards, each running its own
 //! [`MenshenPipeline`] replica, and scales the single-pipeline batched data
 //! path across cores the way DPDK deployments shard a NIC's traffic over
 //! worker lcores:
 //!
-//! * the **dispatcher** (the caller of [`ShardedRuntime::submit`] /
-//!   [`ShardedRuntime::process_batch`]) steers every packet with an RSS-style
-//!   Toeplitz hash ([`crate::Steerer`]) — tenant-affine by default, so all of
-//!   a tenant's packets, counters and stateful ALU words stay on one shard
-//!   and the isolation semantics of the single pipeline carry over unchanged;
-//! * **bounded SPSC rings** ([`crate::ring`]) carry bursts to the shards with
-//!   backpressure;
+//! * the **dispatch plane** steers every packet with an RSS-style Toeplitz
+//!   hash ([`crate::Steerer`]) — tenant-affine by default, so all of a
+//!   tenant's packets, counters and stateful ALU words stay on one shard and
+//!   the isolation semantics of the single pipeline carry over unchanged.
+//!   With [`RuntimeOptions::dispatchers`] `== 0` the submitting thread
+//!   steers inline (the classic serial dispatcher); with `dispatchers ≥ 1`
+//!   the plane is **parallel**: the submitter only sprays raw chunks across
+//!   per-dispatcher input rings (the per-NIC-queue model — round-robin, or
+//!   flow-affine along the RETA partition of [`crate::Steerer::reta_slice`]),
+//!   and each dispatcher thread runs the Toeplitz steer + burst-assembly
+//!   loop over its own row of shard rings;
+//! * **bounded SPSC rings** ([`crate::ring`]) carry bursts to the shards
+//!   with backpressure — one ring per (dispatcher, shard) pair, so every
+//!   ring keeps exactly one producer and one consumer;
 //! * the **epoch-versioned control plane** ([`crate::control`]) broadcasts
 //!   every configuration change to all replicas, applied at burst boundaries
-//!   — reconfiguration is hitless: other tenants' traffic keeps flowing while
-//!   a module is re-streamed, exactly as on the single pipeline;
+//!   — the synchronous wrappers flush first, which quiesces every dispatcher
+//!   (partial bursts drained, nothing in flight) before the epoch publishes,
+//!   so reconfiguration ordering is preserved no matter how many dispatcher
+//!   threads feed the shards;
 //! * the **aggregator** merges per-tenant counters, device statistics and
 //!   shard tallies across replicas ([`ShardedRuntime::aggregated_counters`]).
 //!
 //! # Execution modes
 //!
-//! [`ExecutionMode::Threaded`] runs each shard on its own `std::thread` — the
-//! deployment shape. [`ExecutionMode::Deterministic`] keeps all replicas
-//! in-process and drains them round-robin inside `process_batch`, with
-//! control changes applied synchronously between bursts; it exists so the
-//! sharded runtime is *exactly* testable against a single pipeline (same
-//! steering, same replica semantics, no scheduling nondeterminism). The
-//! `shard_equivalence` integration tests exploit this to prove the per-tenant
-//! verdict multiset and counter totals match a lone `MenshenPipeline` for any
-//! shard count, including across interleaved reconfigurations.
+//! [`ExecutionMode::Threaded`] runs each shard (and each dispatcher, when
+//! configured) on its own `std::thread` — the deployment shape.
+//! [`ExecutionMode::Deterministic`] keeps all replicas in-process and drains
+//! them round-robin inside `process_batch`, with control changes applied
+//! synchronously between bursts; it simulates the same dispatcher spray and
+//! per-(dispatcher, shard) burst grouping, so the sharded runtime is
+//! *exactly* testable against a single pipeline for any dispatcher × shard
+//! combination (same steering, same replica semantics, no scheduling
+//! nondeterminism). The `shard_equivalence` integration tests exploit this
+//! to prove the per-tenant verdict multiset, counter totals, stateful words
+//! and link statistics match a lone `MenshenPipeline` for 1–8 shards × 1–4
+//! dispatchers, including across interleaved reconfigurations.
 
 use crate::control::{CompactionReport, ControlOp, EpochEntry};
-use crate::ring::{ring, Producer};
+use crate::ring::{ring, ring_with_parker, Parker, Producer};
 use crate::rss::{Steerer, SteeringMode};
 use crate::shard::{
-    apply_entry, run_worker, ShardInput, ShardSnapshot, ShardStats, ShardTelemetry, Shared,
+    apply_entry, run_dispatcher, run_worker, Burst, RingDepth, ShardSnapshot, ShardStats,
+    ShardTelemetry, Shared,
 };
 use menshen_core::{LatencyHistogram, StateMergeability};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
@@ -55,9 +68,29 @@ pub enum ExecutionMode {
     /// them round-robin. Bit-for-bit reproducible; used by the equivalence
     /// tests and anywhere determinism beats parallelism.
     Deterministic,
-    /// One `std::thread` per shard, fed through bounded SPSC rings. The
-    /// deployment shape; throughput scales with cores.
+    /// One `std::thread` per shard (plus one per dispatcher when
+    /// [`RuntimeOptions::dispatchers`] ≥ 1), fed through bounded SPSC rings.
+    /// The deployment shape; throughput scales with cores.
     Threaded,
+}
+
+/// How the submitting thread sprays packets across the dispatcher threads
+/// (ignored when [`RuntimeOptions::dispatchers`] is 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchSpray {
+    /// Burst-sized chunks rotate round-robin over the dispatchers — the
+    /// cheapest spray (no per-packet work on the ingress thread, maximum
+    /// dispatch parallelism). Packets of one flow may traverse different
+    /// dispatchers, so cross-burst per-flow order is only preserved within
+    /// each dispatcher — the same relaxation a multi-queue NIC exhibits
+    /// when a flow migrates queues.
+    #[default]
+    RoundRobin,
+    /// Each packet goes to the dispatcher owning its RETA slice
+    /// ([`crate::Steerer::reta_slice`]): per-flow order is preserved end to
+    /// end, at the cost of one Toeplitz hash per packet on the ingress
+    /// thread (the model of hardware RSS spreading flows over NIC queues).
+    FlowAffine,
 }
 
 /// Construction-time options for [`ShardedRuntime`].
@@ -65,13 +98,21 @@ pub enum ExecutionMode {
 pub struct RuntimeOptions {
     /// Number of worker shards (≥ 1).
     pub shards: usize,
+    /// Number of dispatcher threads. `0` means the submitting thread steers
+    /// inline (the classic serial dispatcher); `n ≥ 1` spawns `n` dispatcher
+    /// threads, each steering its share of the traffic over its own row of
+    /// per-shard rings.
+    pub dispatchers: usize,
+    /// How the submitter sprays chunks over dispatcher threads.
+    pub spray: DispatchSpray,
     /// Threaded or deterministic execution.
     pub mode: ExecutionMode,
     /// Which flow identifiers steer packets to shards.
     pub steering: SteeringMode,
     /// Packets per burst handed to a shard.
     pub burst_size: usize,
-    /// Ring capacity per shard, in bursts.
+    /// Ring capacity per (dispatcher, shard) ring, in bursts — also the
+    /// capacity of each dispatcher's input ring, in chunks.
     pub ring_capacity: usize,
 }
 
@@ -80,6 +121,8 @@ impl RuntimeOptions {
     pub fn deterministic(shards: usize) -> Self {
         RuntimeOptions {
             shards,
+            dispatchers: 0,
+            spray: DispatchSpray::RoundRobin,
             mode: ExecutionMode::Deterministic,
             steering: SteeringMode::TenantAffine,
             burst_size: BURST_SIZE,
@@ -98,6 +141,19 @@ impl RuntimeOptions {
     /// Replaces the steering mode.
     pub fn with_steering(mut self, steering: SteeringMode) -> Self {
         self.steering = steering;
+        self
+    }
+
+    /// Sets the number of dispatcher threads (0 = inline dispatch on the
+    /// submitting thread).
+    pub fn with_dispatchers(mut self, dispatchers: usize) -> Self {
+        self.dispatchers = dispatchers;
+        self
+    }
+
+    /// Replaces the dispatcher spray policy.
+    pub fn with_spray(mut self, spray: DispatchSpray) -> Self {
+        self.spray = spray;
         self
     }
 }
@@ -122,6 +178,12 @@ pub enum RuntimeError {
     ShardDown {
         /// The dead shard's index.
         shard: usize,
+    },
+    /// A dispatcher thread is no longer running (shutdown, or it exited
+    /// without a failed shard on record), so submissions cannot be accepted.
+    DispatcherDown {
+        /// The dead dispatcher's index.
+        dispatcher: usize,
     },
     /// A module whose stateful memory is not mergeable (it overwrites
     /// stateful words instead of additively updating them) was loaded under
@@ -148,6 +210,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ShardDown { shard } => {
                 write!(f, "worker shard {shard} is no longer running")
             }
+            RuntimeError::DispatcherDown { dispatcher } => {
+                write!(f, "dispatcher {dispatcher} is no longer running")
+            }
             RuntimeError::NonMergeableState { module, detail } => {
                 write!(
                     f,
@@ -172,22 +237,57 @@ pub struct RuntimeLatency {
     pub burst_ns: LatencyHistogram,
 }
 
+/// One dispatcher thread's occupancy and throughput telemetry
+/// ([`ShardedRuntime::dispatcher_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Packets the submitter has handed this dispatcher.
+    pub packets_submitted: u64,
+    /// Packets this dispatcher has steered and pushed onto shard rings.
+    pub packets_dispatched: u64,
+    /// Bursts pushed onto shard rings.
+    pub bursts_dispatched: u64,
+    /// Chunks currently queued in this dispatcher's input ring (relaxed
+    /// occupancy gauge — telemetry, not synchronisation).
+    pub queued_chunks: u64,
+    /// The deepest this dispatcher's input ring has ever been, in chunks.
+    pub queue_depth_high_watermark: u64,
+    /// True once the dispatcher thread has exited.
+    pub exited: bool,
+}
+
 /// A deterministic-mode shard: the replica lives in the runtime itself.
 struct LocalShard {
     pipeline: MenshenPipeline,
     telemetry: ShardTelemetry,
 }
 
-/// A threaded-mode shard handle: the replica lives on its worker thread.
+/// A threaded-mode shard handle.
 struct Worker {
-    input: Producer<ShardInput>,
+    /// The single input ring's producer in inline-dispatch mode; `None`
+    /// when dispatcher threads own the producers.
+    input: Option<Producer<Burst>>,
+    /// The shard's park handle (shared by all its input rings): the control
+    /// plane wakes it so published epochs are applied promptly even while
+    /// idle.
+    parker: Arc<Parker>,
     handle: Option<JoinHandle<()>>,
     submitted_bursts: u64,
 }
 
+/// A dispatcher-thread handle.
+struct DispatcherHandle {
+    input: Producer<Burst>,
+    handle: Option<JoinHandle<()>>,
+    submitted_packets: u64,
+}
+
 enum Backend {
     Deterministic(Vec<LocalShard>),
-    Threaded(Vec<Worker>),
+    Threaded {
+        workers: Vec<Worker>,
+        dispatchers: Vec<DispatcherHandle>,
+    },
 }
 
 /// Once the live portion of the epoch log reaches this many entries, the
@@ -206,11 +306,15 @@ pub struct ShardedRuntime {
     /// checkpoints and standby replicas.
     genesis: MenshenPipeline,
     // Dispatcher scratch, reused across calls so steady-state dispatch does
-    // not allocate.
+    // not allocate. In deterministic mode the scratch is indexed by
+    // (dispatcher × shard) group; the inline threaded path uses the first
+    // `shards` entries.
     scatter: Vec<Vec<Packet>>,
     scatter_pos: Vec<Vec<usize>>,
     verdict_scratch: Vec<Verdict>,
     reorder: Vec<Option<Verdict>>,
+    /// Round-robin spray cursor (threaded dispatcher mode).
+    spray_cursor: usize,
 }
 
 impl ShardedRuntime {
@@ -248,7 +352,7 @@ impl ShardedRuntime {
                 }
             }
         }
-        let shared = Arc::new(Shared::new(options.shards));
+        let shared = Arc::new(Shared::new(options.shards, options.dispatchers));
         let steerer = Steerer::new(options.steering, options.shards);
         let backend = match options.mode {
             ExecutionMode::Deterministic => Backend::Deterministic(
@@ -259,30 +363,80 @@ impl ShardedRuntime {
                     })
                     .collect(),
             ),
-            ExecutionMode::Threaded => Backend::Threaded(
-                (0..options.shards)
-                    .map(|index| {
+            ExecutionMode::Threaded => {
+                let mut workers = Vec::with_capacity(options.shards);
+                // One ring row per dispatcher (or the single inline row):
+                // every (producer, shard) pair gets a dedicated SPSC ring,
+                // and each shard's rings share one parker.
+                let rows = options.dispatchers.max(1);
+                let mut producer_rows: Vec<Vec<Producer<Burst>>> = (0..rows)
+                    .map(|_| Vec::with_capacity(options.shards))
+                    .collect();
+                for index in 0..options.shards {
+                    let parker = Arc::new(Parker::new());
+                    let mut consumers = Vec::with_capacity(rows);
+                    for row in producer_rows.iter_mut() {
+                        let (producer, consumer) =
+                            ring_with_parker(options.ring_capacity, Arc::clone(&parker));
+                        row.push(producer);
+                        consumers.push(consumer);
+                    }
+                    let pipeline = template.config_replica();
+                    let shared = Arc::clone(&shared);
+                    let worker_parker = Arc::clone(&parker);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("menshen-shard-{index}"))
+                        .spawn(move || {
+                            run_worker(index, pipeline, consumers, worker_parker, shared)
+                        })
+                        .expect("spawning a shard thread");
+                    workers.push(Worker {
+                        input: None,
+                        parker,
+                        handle: Some(handle),
+                        submitted_bursts: 0,
+                    });
+                }
+                let mut dispatchers = Vec::with_capacity(options.dispatchers);
+                if options.dispatchers == 0 {
+                    // Inline dispatch: the submitting thread owns the single
+                    // producer row.
+                    let row = producer_rows.pop().expect("one inline row");
+                    for (worker, producer) in workers.iter_mut().zip(row) {
+                        worker.input = Some(producer);
+                    }
+                } else {
+                    for (index, row) in producer_rows.into_iter().enumerate() {
                         let (producer, consumer) = ring(options.ring_capacity);
-                        let pipeline = template.config_replica();
                         let shared = Arc::clone(&shared);
+                        let steerer = steerer.clone();
+                        let burst_size = options.burst_size;
                         let handle = std::thread::Builder::new()
-                            .name(format!("menshen-shard-{index}"))
-                            .spawn(move || run_worker(index, pipeline, consumer, shared))
-                            .expect("spawning a shard thread");
-                        Worker {
+                            .name(format!("menshen-dispatch-{index}"))
+                            .spawn(move || {
+                                run_dispatcher(index, steerer, consumer, row, burst_size, shared)
+                            })
+                            .expect("spawning a dispatcher thread");
+                        dispatchers.push(DispatcherHandle {
                             input: producer,
                             handle: Some(handle),
-                            submitted_bursts: 0,
-                        }
-                    })
-                    .collect(),
-            ),
+                            submitted_packets: 0,
+                        });
+                    }
+                }
+                Backend::Threaded {
+                    workers,
+                    dispatchers,
+                }
+            }
         };
+        let groups = options.dispatchers.max(1) * options.shards;
         ShardedRuntime {
-            scatter: vec![Vec::new(); options.shards],
-            scatter_pos: vec![Vec::new(); options.shards],
+            scatter: vec![Vec::new(); groups],
+            scatter_pos: vec![Vec::new(); groups],
             verdict_scratch: Vec::new(),
             reorder: Vec::new(),
+            spray_cursor: 0,
             steerer,
             shared,
             backend,
@@ -295,6 +449,11 @@ impl ShardedRuntime {
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
         self.options.shards
+    }
+
+    /// Number of dispatcher threads (0 = inline dispatch).
+    pub fn dispatcher_count(&self) -> usize {
+        self.options.dispatchers
     }
 
     /// The execution mode.
@@ -318,6 +477,7 @@ impl ShardedRuntime {
             .progress
             .lock()
             .expect("progress lock poisoned")
+            .shards
             .iter()
             .map(|p| p.applied_epoch)
             .collect()
@@ -334,7 +494,9 @@ impl ShardedRuntime {
     /// synchronous wrappers ([`load_module`](Self::load_module) …) which
     /// flush in-flight traffic first and then wait — the hitless-reconfig
     /// ordering guarantee: the change lands strictly after all previously
-    /// submitted packets and strictly before all subsequent ones.
+    /// submitted packets and strictly before all subsequent ones. The flush
+    /// quiesces every dispatcher thread too (partial bursts drained), so the
+    /// ordering holds for any dispatcher count.
     ///
     /// This is the unchecked low-level entry point: ops are applied as
     /// given, without the state-mergeability gate the typed wrappers
@@ -350,10 +512,14 @@ impl ShardedRuntime {
         match &mut self.backend {
             Backend::Deterministic(shards) => {
                 for (index, shard) in shards.iter_mut().enumerate() {
-                    let (snapshot, error) =
-                        apply_entry(&mut shard.pipeline, &entry, &shard.telemetry);
+                    let (snapshot, error) = apply_entry(
+                        &mut shard.pipeline,
+                        &entry,
+                        &shard.telemetry,
+                        RingDepth::default(),
+                    );
                     let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
-                    let slot = &mut progress[index];
+                    let slot = &mut progress.shards[index];
                     slot.applied_epoch = entry.epoch;
                     if let Some(snapshot) = snapshot {
                         slot.snapshot = Some(snapshot);
@@ -363,7 +529,7 @@ impl ShardedRuntime {
                     }
                 }
             }
-            Backend::Threaded(_) => {}
+            Backend::Threaded { .. } => {}
         }
         // Both modes append to the log — it is the durable control-plane
         // history that compaction checkpoints and standby replicas are
@@ -374,12 +540,12 @@ impl ShardedRuntime {
             .lock()
             .expect("log lock poisoned")
             .append(entry);
-        self.shared.published.store(self.epoch, Ordering::Release);
-        if let Backend::Threaded(workers) = &self.backend {
+        // SeqCst: the store participates in the shard parkers' flag/recheck
+        // wakeup protocol, so a parked shard cannot miss the new epoch.
+        self.shared.published.store(self.epoch, Ordering::SeqCst);
+        if let Backend::Threaded { workers, .. } = &self.backend {
             for worker in workers.iter() {
-                // Wake shards blocked on an empty ring; a full ring means
-                // the shard has burst boundaries coming up anyway.
-                let _ = worker.input.try_push(ShardInput::Sync);
+                worker.parker.unpark();
             }
         }
         self.epoch
@@ -392,6 +558,7 @@ impl ShardedRuntime {
     pub fn wait_for_epoch(&self, epoch: u64) -> Result<(), RuntimeError> {
         let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
         while progress
+            .shards
             .iter()
             .any(|p| !p.exited && p.applied_epoch < epoch)
         {
@@ -402,6 +569,7 @@ impl ShardedRuntime {
                 .expect("progress lock poisoned");
         }
         match progress
+            .shards
             .iter()
             .position(|p| p.exited && p.applied_epoch < epoch)
         {
@@ -420,6 +588,7 @@ impl ShardedRuntime {
         let result = {
             let progress = self.shared.progress.lock().expect("progress lock poisoned");
             progress
+                .shards
                 .iter()
                 .find_map(|slot| match &slot.last_error {
                     Some((failed_epoch, message)) if *failed_epoch == epoch => {
@@ -454,6 +623,7 @@ impl ShardedRuntime {
         let min_applied = {
             let progress = self.shared.progress.lock().expect("progress lock poisoned");
             progress
+                .shards
                 .iter()
                 .filter(|slot| !slot.exited)
                 .map(|slot| slot.applied_epoch)
@@ -567,9 +737,11 @@ impl ShardedRuntime {
     // -----------------------------------------------------------------------
 
     /// Deterministic-mode data path: steers `packets` across the shard
-    /// replicas, drains the shards round-robin (shard 0, 1, …), and returns
-    /// one verdict per packet in the *input* order. Not available in threaded
-    /// mode, where verdict streams live on the worker threads — use
+    /// replicas — simulating the configured dispatcher count and spray, so
+    /// the per-shard burst grouping matches what the threaded dispatch plane
+    /// would produce — drains the shards in (shard, dispatcher) order, and
+    /// returns one verdict per packet in the *input* order. Not available in
+    /// threaded mode, where verdict streams live on the worker threads — use
     /// [`submit`](Self::submit) / [`flush`](Self::flush) and the aggregated
     /// statistics instead.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Verdict>, RuntimeError> {
@@ -578,57 +750,81 @@ impl ShardedRuntime {
                 "process_batch requires deterministic mode; threaded runtimes expose submit/flush",
             ));
         };
+        let dispatchers = self.options.dispatchers.max(1);
+        let shard_count = self.options.shards;
         let total = packets.len();
         let batch_start = Instant::now();
+        // Model the dispatch plane: the spray assigns each packet a
+        // dispatcher (round-robin per burst-sized chunk, or flow-affine by
+        // RETA slice), and each dispatcher's Toeplitz steer picks the shard.
+        let mut chunk_fill = 0usize;
+        let mut cursor = 0usize;
         for (position, packet) in packets.into_iter().enumerate() {
+            let dispatcher = match self.options.spray {
+                DispatchSpray::RoundRobin => {
+                    let d = cursor;
+                    chunk_fill += 1;
+                    if chunk_fill == self.options.burst_size {
+                        chunk_fill = 0;
+                        cursor = (cursor + 1) % dispatchers;
+                    }
+                    d
+                }
+                DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, dispatchers),
+            };
             let shard = self.steerer.shard_for(&packet);
-            self.scatter[shard].push(packet);
-            self.scatter_pos[shard].push(position);
+            let group = dispatcher * shard_count + shard;
+            self.scatter[group].push(packet);
+            self.scatter_pos[group].push(position);
         }
         // The reorder buffer is reused scratch like the scatter vectors; the
         // only steady-state allocation left is the returned Vec itself.
         self.reorder.clear();
         self.reorder.resize_with(total, || None);
         for (index, shard) in shards.iter_mut().enumerate() {
-            if self.scatter[index].is_empty() {
-                continue;
+            for dispatcher in 0..dispatchers {
+                let group = dispatcher * shard_count + index;
+                if self.scatter[group].is_empty() {
+                    continue;
+                }
+                let service_start = Instant::now();
+                shard
+                    .pipeline
+                    .process_batch_into(&self.scatter[group], &mut self.verdict_scratch);
+                let service_ns = service_start.elapsed().as_nanos() as u64;
+                let forwarded = self
+                    .verdict_scratch
+                    .iter()
+                    .filter(|v| v.is_forwarded())
+                    .count() as u64;
+                let processed = self.scatter[group].len() as u64;
+                // Deterministic-mode latency: sojourn is measured from batch
+                // entry (shards drain in order, so later shards' packets wait
+                // on earlier drains, exactly like ring queueing in threaded
+                // mode).
+                shard.telemetry.burst_ns.record(service_ns);
+                shard
+                    .telemetry
+                    .packet_ns
+                    .record_n(batch_start.elapsed().as_nanos() as u64, processed);
+                for (verdict, &position) in self
+                    .verdict_scratch
+                    .drain(..)
+                    .zip(self.scatter_pos[group].iter())
+                {
+                    self.reorder[position] = Some(verdict);
+                }
+                let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+                let slot = &mut progress.shards[index];
+                slot.bursts_done += 1;
+                slot.stats.bursts += 1;
+                slot.stats.packets += processed;
+                slot.stats.forwarded += forwarded;
+                slot.stats.dropped += processed - forwarded;
+                drop(progress);
+                self.scatter[group].clear();
+                self.scatter_pos[group].clear();
             }
-            let service_start = Instant::now();
-            shard
-                .pipeline
-                .process_batch_into(&self.scatter[index], &mut self.verdict_scratch);
-            let service_ns = service_start.elapsed().as_nanos() as u64;
-            let forwarded = self
-                .verdict_scratch
-                .iter()
-                .filter(|v| v.is_forwarded())
-                .count() as u64;
-            let processed = self.scatter[index].len() as u64;
-            // Deterministic-mode latency: sojourn is measured from batch
-            // entry (shards drain in order, so later shards' packets wait on
-            // earlier drains, exactly like ring queueing in threaded mode).
-            shard.telemetry.burst_ns.record(service_ns);
-            shard
-                .telemetry
-                .packet_ns
-                .record_n(batch_start.elapsed().as_nanos() as u64, processed);
-            for (verdict, &position) in self
-                .verdict_scratch
-                .drain(..)
-                .zip(self.scatter_pos[index].iter())
-            {
-                self.reorder[position] = Some(verdict);
-            }
-            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
-            let slot = &mut progress[index];
-            slot.bursts_done += 1;
-            slot.stats.bursts += 1;
-            slot.stats.packets += processed;
-            slot.stats.forwarded += forwarded;
-            slot.stats.dropped += processed - forwarded;
-            drop(progress);
-            self.scatter[index].clear();
-            self.scatter_pos[index].clear();
         }
         Ok(self
             .reorder
@@ -637,20 +833,19 @@ impl ShardedRuntime {
             .collect())
     }
 
-    /// Threaded-mode data path: steers `packets` into per-shard bursts of
-    /// [`RuntimeOptions::burst_size`] and pushes them onto the shard rings,
-    /// blocking for backpressure when a ring is full. Returns immediately
+    /// Threaded-mode data path: hands `packets` to the dispatch plane,
+    /// blocking for backpressure when rings are full. Returns immediately
     /// after enqueueing; pair with [`flush`](Self::flush) to wait for
-    /// completion. Clones each packet into its shard burst — callers that
-    /// already own the packets should prefer
-    /// [`submit_owned`](Self::submit_owned), which moves them (a real DPDK
-    /// dispatcher passes mbuf pointers; cloning in the serial dispatcher
+    /// completion. Clones each packet — callers that already own the packets
+    /// should prefer [`submit_owned`](Self::submit_owned), which moves them
+    /// (a real DPDK dispatcher passes mbuf pointers; cloning in the ingress
     /// stage is pure overhead).
     ///
-    /// Errors with [`RuntimeError::ShardDown`] — without silently dropping
-    /// the remaining packets — if a destination shard has shut down.
+    /// Errors with [`RuntimeError::ShardDown`] /
+    /// [`RuntimeError::DispatcherDown`] — without silently dropping the
+    /// remaining packets — if a destination worker has shut down.
     pub fn submit(&mut self, packets: &[Packet]) -> Result<(), RuntimeError> {
-        if !matches!(self.backend, Backend::Threaded(_)) {
+        if !matches!(self.backend, Backend::Threaded { .. }) {
             return Err(RuntimeError::WrongMode(
                 "submit requires threaded mode; deterministic runtimes expose process_batch",
             ));
@@ -659,7 +854,14 @@ impl ShardedRuntime {
     }
 
     /// Like [`submit`](Self::submit), but takes ownership of the packets so
-    /// the serial dispatcher stage never copies packet payloads.
+    /// the ingress stage never copies packet payloads.
+    ///
+    /// With inline dispatch (`dispatchers == 0`) the calling thread steers
+    /// the whole submission into per-shard scratch first and only then
+    /// touches the rings — ring synchronisation once per (shard, burst),
+    /// never per packet. With dispatcher threads the calling thread only
+    /// sprays burst-sized chunks over the dispatcher input rings; the
+    /// dispatchers steer in parallel.
     ///
     /// Every packet is stamped with the runtime's ingress clock
     /// (`Packet::timestamp_ns`, nanoseconds since runtime start) so the
@@ -667,66 +869,222 @@ impl ShardedRuntime {
     /// (e.g. a trace capture time, already consumed by the replay pacer) is
     /// overwritten, because latency must be measured on one clock.
     pub fn submit_owned(&mut self, packets: Vec<Packet>) -> Result<(), RuntimeError> {
-        let Backend::Threaded(workers) = &mut self.backend else {
+        let Backend::Threaded {
+            workers,
+            dispatchers,
+        } = &mut self.backend
+        else {
             return Err(RuntimeError::WrongMode(
                 "submit requires threaded mode; deterministic runtimes expose process_batch",
             ));
         };
         let ingress_ns = self.shared.now_ns();
-        let mut failed_shard = None;
-        'dispatch: for mut packet in packets {
-            packet.timestamp_ns = ingress_ns;
-            let shard = self.steerer.shard_for(&packet);
-            self.scatter[shard].push(packet);
-            if self.scatter[shard].len() >= self.options.burst_size {
-                let burst = std::mem::take(&mut self.scatter[shard]);
-                if workers[shard].input.push(ShardInput::Burst(burst)).is_err() {
-                    failed_shard = Some(shard);
-                    break 'dispatch;
-                }
-                workers[shard].submitted_bursts += 1;
+        if dispatchers.is_empty() {
+            // Inline dispatch: steer everything into per-shard scratch
+            // first (no ring traffic at all), then push whole bursts.
+            for mut packet in packets {
+                packet.timestamp_ns = ingress_ns;
+                let shard = self.steerer.shard_for(&packet);
+                self.scatter[shard].push(packet);
             }
-        }
-        if failed_shard.is_none() {
-            // Flush partial bursts so every submitted packet is in flight.
-            for (index, worker) in workers.iter_mut().enumerate() {
-                if !self.scatter[index].is_empty() {
-                    let burst = std::mem::take(&mut self.scatter[index]);
-                    if worker.input.push(ShardInput::Burst(burst)).is_err() {
+            // Chunk each shard's scratch into order-preserving bursts (pure
+            // moves, still no ring traffic) …
+            let burst_size = self.options.burst_size;
+            let mut queues: Vec<Vec<Burst>> = self
+                .scatter
+                .iter_mut()
+                .take(workers.len())
+                .map(|scratch| {
+                    let mut bursts: Vec<Burst> = Vec::new();
+                    let mut pending = std::mem::take(scratch);
+                    while pending.len() > burst_size {
+                        let rest = pending.split_off(burst_size);
+                        bursts.push(pending);
+                        pending = rest;
+                    }
+                    if !pending.is_empty() {
+                        bursts.push(pending);
+                    }
+                    bursts
+                })
+                .collect();
+            // … then push them round-robin across the shards, one burst per
+            // shard per round, so a backpressuring shard never starves the
+            // others of work that is already steered and ready.
+            let mut failed_shard = None;
+            let mut cursors = vec![0usize; workers.len()];
+            'drain: loop {
+                let mut progressed = false;
+                for (index, worker) in workers.iter_mut().enumerate() {
+                    let Some(burst) = queues[index].get_mut(cursors[index]) else {
+                        continue;
+                    };
+                    let burst = std::mem::take(burst);
+                    cursors[index] += 1;
+                    progressed = true;
+                    let input = worker.input.as_ref().expect("inline worker has a producer");
+                    if input.push(burst).is_err() {
                         failed_shard = Some(index);
-                        break;
+                        break 'drain;
                     }
                     worker.submitted_bursts += 1;
                 }
+                if !progressed {
+                    break;
+                }
+            }
+            if let Some(shard) = failed_shard {
+                // Never leave half a submission lingering in the scatter
+                // buffers: drop it and tell the caller exactly what was lost.
+                for scatter in &mut self.scatter {
+                    scatter.clear();
+                }
+                return Err(RuntimeError::ShardDown { shard });
+            }
+            return Ok(());
+        }
+        // Parallel dispatch plane: spray chunks over the dispatcher input
+        // rings. Chunk scratch reuses the scatter buffers (one per
+        // dispatcher — the buffers are sized dispatchers × shards, so the
+        // first `dispatchers` entries are free for this).
+        let count = dispatchers.len();
+        let mut failed = None;
+        'spray: for mut packet in packets {
+            packet.timestamp_ns = ingress_ns;
+            let target = match self.options.spray {
+                DispatchSpray::RoundRobin => self.spray_cursor,
+                DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, count),
+            };
+            self.scatter[target].push(packet);
+            if self.scatter[target].len() >= self.options.burst_size {
+                let chunk = std::mem::take(&mut self.scatter[target]);
+                let submitted = chunk.len() as u64;
+                if dispatchers[target].input.push(chunk).is_err() {
+                    failed = Some(target);
+                    break 'spray;
+                }
+                dispatchers[target].submitted_packets += submitted;
+                if self.options.spray == DispatchSpray::RoundRobin {
+                    self.spray_cursor = (self.spray_cursor + 1) % count;
+                }
             }
         }
-        if let Some(shard) = failed_shard {
-            // Never leave half a submission lingering in the scatter
-            // buffers: drop it and tell the caller exactly what was lost.
+        if failed.is_none() {
+            // Flush partial chunks so every submitted packet is in flight.
+            // A flushed partial also advances the round-robin cursor:
+            // otherwise sub-burst submissions would pin every packet to
+            // dispatcher 0 forever.
+            let mut cursor_flushed = false;
+            for (index, dispatcher) in dispatchers.iter_mut().enumerate() {
+                if self.scatter[index].is_empty() {
+                    continue;
+                }
+                cursor_flushed |= index == self.spray_cursor;
+                let chunk = std::mem::take(&mut self.scatter[index]);
+                let submitted = chunk.len() as u64;
+                if dispatcher.input.push(chunk).is_err() {
+                    failed = Some(index);
+                    break;
+                }
+                dispatcher.submitted_packets += submitted;
+            }
+            if cursor_flushed && self.options.spray == DispatchSpray::RoundRobin {
+                self.spray_cursor = (self.spray_cursor + 1) % count;
+            }
+        }
+        if let Some(dispatcher) = failed {
             for scatter in &mut self.scatter {
                 scatter.clear();
             }
-            return Err(RuntimeError::ShardDown { shard });
+            // Blame the shard whose ring failed the dispatcher if one is on
+            // record; otherwise the dispatcher itself is gone.
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            return Err(
+                match progress
+                    .dispatchers
+                    .get(dispatcher)
+                    .and_then(|slot| slot.failed_shard)
+                {
+                    Some(shard) => RuntimeError::ShardDown { shard },
+                    None => RuntimeError::DispatcherDown { dispatcher },
+                },
+            );
         }
         Ok(())
     }
 
-    /// Blocks until every burst submitted so far has been fully processed.
-    /// No-op in deterministic mode (processing is synchronous there). A
-    /// shard that exited (shutdown or panic) is not waited on; the loss
-    /// surfaces as [`RuntimeError::ShardDown`] from the next
+    /// Blocks until every packet submitted so far has been fully processed.
+    /// No-op in deterministic mode (processing is synchronous there).
+    ///
+    /// With dispatcher threads this is a two-stage barrier: first every
+    /// dispatcher quiesces (all received packets steered, partial bursts
+    /// drained to the shard rings), then every shard finishes the bursts
+    /// pushed to it — which is exactly the "all dispatchers quiesce at burst
+    /// boundaries" precondition the control plane needs before publishing an
+    /// epoch. A worker that exited (shutdown or panic) is not waited on; the
+    /// loss surfaces as [`RuntimeError::ShardDown`] /
+    /// [`RuntimeError::DispatcherDown`] from the next
     /// [`submit`](Self::submit) or control-plane call rather than as a hang
     /// here.
     pub fn flush(&mut self) {
-        let Backend::Threaded(workers) = &self.backend else {
+        let Backend::Threaded {
+            workers,
+            dispatchers,
+        } = &self.backend
+        else {
             return;
         };
-        let targets: Vec<u64> = workers.iter().map(|w| w.submitted_bursts).collect();
+        if dispatchers.is_empty() {
+            let targets: Vec<u64> = workers.iter().map(|w| w.submitted_bursts).collect();
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            while progress
+                .shards
+                .iter()
+                .zip(targets.iter())
+                .any(|(slot, &target)| !slot.exited && slot.bursts_done < target)
+            {
+                progress = self
+                    .shared
+                    .cv
+                    .wait(progress)
+                    .expect("progress lock poisoned");
+            }
+            return;
+        }
+        // Stage 1: every live dispatcher has steered everything it was
+        // handed (partial bursts included — the dispatcher flushes them the
+        // moment its input ring runs dry).
+        let targets: Vec<u64> = dispatchers.iter().map(|d| d.submitted_packets).collect();
         let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
         while progress
+            .dispatchers
             .iter()
             .zip(targets.iter())
-            .any(|(slot, &target)| !slot.exited && slot.bursts_done < target)
+            .any(|(slot, &target)| !slot.exited && slot.packets_dispatched < target)
+        {
+            progress = self
+                .shared
+                .cv
+                .wait(progress)
+                .expect("progress lock poisoned");
+        }
+        // Stage 2: every live shard has processed everything the dispatchers
+        // actually pushed to it (summed per shard across dispatchers, so an
+        // exited worker never blocks the barrier).
+        let shard_targets: Vec<u64> = (0..workers.len())
+            .map(|shard| {
+                progress
+                    .dispatchers
+                    .iter()
+                    .map(|slot| slot.per_shard.get(shard).copied().unwrap_or(0))
+                    .sum()
+            })
+            .collect();
+        while progress
+            .shards
+            .iter()
+            .zip(shard_targets.iter())
+            .any(|(slot, &target)| !slot.exited && slot.stats.packets < target)
         {
             progress = self
                 .shared
@@ -746,8 +1104,30 @@ impl ShardedRuntime {
             .progress
             .lock()
             .expect("progress lock poisoned")
+            .shards
             .iter()
             .map(|slot| slot.stats)
+            .collect()
+    }
+
+    /// Per-dispatcher occupancy and throughput telemetry. Empty unless the
+    /// runtime runs dispatcher threads.
+    pub fn dispatcher_stats(&self) -> Vec<DispatcherStats> {
+        let Backend::Threaded { dispatchers, .. } = &self.backend else {
+            return Vec::new();
+        };
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        dispatchers
+            .iter()
+            .zip(progress.dispatchers.iter())
+            .map(|(handle, slot)| DispatcherStats {
+                packets_submitted: handle.submitted_packets,
+                packets_dispatched: slot.packets_dispatched,
+                bursts_dispatched: slot.bursts_dispatched,
+                queued_chunks: handle.input.len() as u64,
+                queue_depth_high_watermark: handle.input.depth_high_watermark(),
+                exited: slot.exited,
+            })
             .collect()
     }
 
@@ -757,6 +1137,7 @@ impl ShardedRuntime {
         self.control(vec![ControlOp::Snapshot])?;
         let progress = self.shared.progress.lock().expect("progress lock poisoned");
         Ok(progress
+            .shards
             .iter()
             .map(|slot| slot.snapshot.clone().unwrap_or_default())
             .collect())
@@ -783,7 +1164,7 @@ impl ShardedRuntime {
 
     /// Merged latency telemetry across all shards (one `Snapshot` epoch,
     /// preceded by a flush): each shard records per-packet sojourn and
-    /// per-burst service time locally, and the dispatcher merges the
+    /// per-burst service time locally, and the control plane merges the
     /// histograms here — bucket-count addition, which is exact.
     pub fn aggregated_latency(&mut self) -> Result<RuntimeLatency, RuntimeError> {
         let mut merged = RuntimeLatency::default();
@@ -792,6 +1173,17 @@ impl ShardedRuntime {
             merged.burst_ns.merge(&snapshot.burst_latency);
         }
         Ok(merged)
+    }
+
+    /// Per-shard input-ring depth telemetry from the most recent snapshot
+    /// round: (high-watermark, occupancy at snapshot time), in bursts. Takes
+    /// a fresh snapshot epoch.
+    pub fn ring_depths(&mut self) -> Result<Vec<RingDepth>, RuntimeError> {
+        Ok(self
+            .snapshots()?
+            .into_iter()
+            .map(|snapshot| snapshot.ring)
+            .collect())
     }
 
     /// Aggregated device statistics: link packets/bytes sum across shards;
@@ -824,7 +1216,7 @@ impl ShardedRuntime {
     pub fn shard_pipeline(&self, index: usize) -> Option<&MenshenPipeline> {
         match &self.backend {
             Backend::Deterministic(shards) => shards.get(index).map(|s| &s.pipeline),
-            Backend::Threaded(_) => None,
+            Backend::Threaded { .. } => None,
         }
     }
 
@@ -853,12 +1245,28 @@ impl ShardedRuntime {
         any.then_some(sum)
     }
 
-    /// Shuts the runtime down: closes every ring, lets shards drain what is
-    /// queued, and joins the worker threads. Called automatically on drop.
+    /// Shuts the runtime down: closes the dispatcher input rings, joins the
+    /// dispatchers (each flushes its scratch and closes its shard rings),
+    /// lets shards drain what is queued, and joins the worker threads.
+    /// Called automatically on drop.
     pub fn shutdown(&mut self) {
-        if let Backend::Threaded(workers) = &mut self.backend {
+        if let Backend::Threaded {
+            workers,
+            dispatchers,
+        } = &mut self.backend
+        {
+            for dispatcher in dispatchers.iter() {
+                dispatcher.input.close();
+            }
+            for dispatcher in dispatchers.iter_mut() {
+                if let Some(handle) = dispatcher.handle.take() {
+                    let _ = handle.join();
+                }
+            }
             for worker in workers.iter() {
-                worker.input.close();
+                if let Some(input) = &worker.input {
+                    input.close();
+                }
             }
             for worker in workers.iter_mut() {
                 if let Some(handle) = worker.handle.take() {
@@ -1007,6 +1415,129 @@ mod tests {
     }
 
     #[test]
+    fn multi_dispatcher_runtime_accounts_for_every_packet() {
+        for spray in [DispatchSpray::RoundRobin, DispatchSpray::FlowAffine] {
+            let mut runtime = ShardedRuntime::new(
+                TABLE5,
+                RuntimeOptions::threaded(3)
+                    .with_dispatchers(2)
+                    .with_spray(spray),
+            );
+            runtime
+                .load_module(&simple_module(1, 0x0a00_0002, 1111))
+                .unwrap();
+            runtime
+                .load_module(&simple_module(2, 0x0a00_0002, 2222))
+                .unwrap();
+            let packets: Vec<Packet> = (0..500).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+            runtime.submit(&packets).unwrap();
+            runtime.submit(&packets).unwrap();
+            runtime.flush();
+            let stats = runtime.shard_stats();
+            assert_eq!(
+                stats.iter().map(|s| s.packets).sum::<u64>(),
+                1000,
+                "{spray:?}"
+            );
+            assert_eq!(stats.iter().map(|s| s.forwarded).sum::<u64>(), 1000);
+            let counters = runtime.aggregated_counters().unwrap();
+            assert_eq!(counters[&1].packets_out, 500);
+            assert_eq!(counters[&2].packets_out, 500);
+            // The dispatch-plane telemetry agrees with the submission.
+            let dstats = runtime.dispatcher_stats();
+            assert_eq!(dstats.len(), 2);
+            assert_eq!(
+                dstats.iter().map(|d| d.packets_submitted).sum::<u64>(),
+                1000
+            );
+            assert_eq!(
+                dstats.iter().map(|d| d.packets_dispatched).sum::<u64>(),
+                1000,
+                "flush implies every dispatcher quiesced ({spray:?})"
+            );
+            assert!(dstats.iter().all(|d| !d.exited));
+            if spray == DispatchSpray::RoundRobin {
+                // Round-robin spray puts work on every dispatcher.
+                assert!(dstats.iter().all(|d| d.packets_submitted > 0), "{dstats:?}");
+            }
+            runtime.shutdown();
+        }
+    }
+
+    #[test]
+    fn sub_burst_submissions_still_rotate_over_dispatchers() {
+        // Submissions smaller than a burst flush as partial chunks; the
+        // round-robin cursor must advance on those too, or every packet
+        // would pin to dispatcher 0 and the plane would degrade to serial.
+        let mut runtime =
+            ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2).with_dispatchers(3));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        for _ in 0..30 {
+            runtime.submit(&[packet_for(1)]).unwrap();
+        }
+        runtime.flush();
+        let dstats = runtime.dispatcher_stats();
+        assert!(
+            dstats.iter().all(|d| d.packets_submitted == 10),
+            "single-packet submissions must rotate evenly: {dstats:?}"
+        );
+        assert_eq!(dstats.iter().map(|d| d.packets_dispatched).sum::<u64>(), 30);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn multi_dispatcher_reconfiguration_stays_hitless() {
+        let mut runtime =
+            ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2).with_dispatchers(2));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime
+            .load_module(&simple_module(2, 0x0a00_0002, 2222))
+            .unwrap();
+        let packets: Vec<Packet> = (0..200).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+        runtime.submit(&packets).unwrap();
+        // The sync wrapper flushes first: both dispatchers must quiesce at a
+        // burst boundary before the epoch publishes, so all 200 in-flight
+        // packets forward under the old configuration.
+        runtime
+            .update_module(&simple_module(1, 0x0a00_0002, 7777))
+            .unwrap();
+        runtime.submit(&packets).unwrap();
+        runtime.begin_reconfiguration(ModuleId::new(1)).unwrap();
+        runtime.submit(&packets).unwrap();
+        runtime.end_reconfiguration(ModuleId::new(1)).unwrap();
+        runtime.flush();
+        let counters = runtime.aggregated_counters().unwrap();
+        assert_eq!(counters[&2].packets_out, 300);
+        assert_eq!(counters[&1].packets_out, 200);
+        assert_eq!(counters[&1].packets_dropped, 100);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn ring_depth_telemetry_reaches_snapshots() {
+        let mut runtime =
+            ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2).with_dispatchers(1));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        let packets: Vec<Packet> = (0..400).map(|_| packet_for(1)).collect();
+        runtime.submit(&packets).unwrap();
+        runtime.flush();
+        let depths = runtime.ring_depths().unwrap();
+        assert_eq!(depths.len(), 2);
+        // Tenant-affine: every packet went to one shard, whose ring depth
+        // watermark must have registered at least one queued burst.
+        assert!(depths.iter().any(|d| d.high_watermark >= 1), "{depths:?}");
+        // After a flush nothing is queued anywhere.
+        assert!(depths.iter().all(|d| d.occupancy == 0), "{depths:?}");
+        runtime.shutdown();
+    }
+
+    #[test]
     fn threaded_reconfiguration_is_hitless_for_other_tenants() {
         let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
         runtime
@@ -1075,6 +1606,26 @@ mod tests {
         ));
         assert!(matches!(
             runtime.aggregated_counters(),
+            Err(RuntimeError::ShardDown { .. })
+        ));
+        runtime.flush(); // must return, not hang
+    }
+
+    #[test]
+    fn shutdown_with_dispatchers_surfaces_errors_promptly() {
+        let mut runtime =
+            ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2).with_dispatchers(3));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime.submit(&[packet_for(1)]).unwrap();
+        runtime.shutdown();
+        assert!(matches!(
+            runtime.submit(&[packet_for(1)]),
+            Err(RuntimeError::DispatcherDown { .. } | RuntimeError::ShardDown { .. })
+        ));
+        assert!(matches!(
+            runtime.load_module(&simple_module(2, 0x0a00_0002, 2222)),
             Err(RuntimeError::ShardDown { .. })
         ));
         runtime.flush(); // must return, not hang

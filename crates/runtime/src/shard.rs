@@ -1,24 +1,36 @@
-//! Worker shards: one pipeline replica, one input ring, one thread.
+//! Worker threads of the dispatch plane: shards and dispatchers.
 //!
-//! A shard is deliberately boring — that is the point of the design. It owns
-//! a full [`MenshenPipeline`] replica and loops over exactly three steps:
-//! apply pending control-plane epochs (in published order), pop the next
-//! burst from its SPSC ring, process it with the allocation-free batched data
-//! path. All cross-thread coordination happens at burst granularity through
-//! the [`Shared`] state: the epoch log on the way in, the progress board
+//! A **shard** is deliberately boring — that is the point of the design. It
+//! owns a full [`MenshenPipeline`] replica and loops over exactly three
+//! steps: apply pending control-plane epochs (in published order), pop the
+//! next burst from one of its SPSC input rings (one ring per dispatcher,
+//! drained round-robin, all sharing one [`Parker`] so any producer can wake
+//! an idle shard), process it with the allocation-free batched data path.
+//! All cross-thread coordination happens at burst granularity through the
+//! [`Shared`] state: the epoch log on the way in, the progress board
 //! (applied epoch, bursts completed, traffic tallies, on-demand snapshots)
 //! on the way out.
 //!
+//! A **dispatcher** is one thread of the parallel dispatch plane
+//! (`RuntimeOptions::dispatchers ≥ 1`): it pops raw packet chunks from its
+//! own input ring (the model of one NIC RX queue), steers every packet with
+//! its own [`crate::Steerer`] clone into per-shard scratch, and hands full
+//! bursts to its row of shard rings — so ring synchronisation happens once
+//! per (dispatcher, shard, burst), never per packet. Partial bursts are
+//! flushed whenever the input ring runs dry, which is exactly the quiesce
+//! point the control plane's flush barrier waits for.
+//!
 //! Each shard also keeps two local [`LatencyHistogram`]s — per-packet
-//! sojourn time (ring wait + service, measured from the dispatcher's ingress
-//! stamp in [`menshen_packet::Packet::timestamp_ns`]) and per-burst service
-//! time. Recording is shard-local and lock-free; the dispatcher only sees
-//! the histograms when a `Snapshot` epoch exports them, and merges them
-//! across shards (merging bucket counts is exact, so nothing is lost by
-//! recording locally).
+//! sojourn time (ring wait + service, measured from the ingress stamp in
+//! [`menshen_packet::Packet::timestamp_ns`]) and per-burst service time —
+//! plus, at snapshot time, its input rings' depth high-watermark and current
+//! occupancy, so backpressure is visible in telemetry. Recording is
+//! shard-local and lock-free; the control plane only sees the data when a
+//! `Snapshot` epoch exports it.
 
 use crate::control::{EpochEntry, EpochLog};
-use crate::ring::Consumer;
+use crate::ring::{Consumer, Parker, Producer};
+use crate::rss::Steerer;
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::{LatencyHistogram, MenshenPipeline, ModuleCounters, SystemStats, Verdict};
 use menshen_packet::Packet;
@@ -26,13 +38,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// What the dispatcher feeds a shard.
-pub(crate) enum ShardInput {
-    /// A burst of packets to process.
-    Burst(Vec<Packet>),
-    /// A wake-up so a blocked shard notices newly published epochs.
-    Sync,
-}
+/// What travels through the rings: one burst of packets.
+pub(crate) type Burst = Vec<Packet>;
+
+/// Iterations a shard spins over its empty rings before parking.
+const IDLE_SPIN_LIMIT: u32 = 128;
 
 /// Per-shard traffic tallies, updated once per burst.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +69,16 @@ pub struct ShardTelemetry {
     pub burst_ns: LatencyHistogram,
 }
 
+/// A snapshot of one shard's input-ring depths, taken at `Snapshot` epochs
+/// so queueing/backpressure is visible in telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingDepth {
+    /// The deepest any of this shard's input rings has ever been, in bursts.
+    pub high_watermark: u64,
+    /// Bursts queued across this shard's input rings at snapshot time.
+    pub occupancy: u64,
+}
+
 /// A shard's exported statistics snapshot, produced on demand by the
 /// [`crate::ControlOp::Snapshot`] operation.
 #[derive(Debug, Clone, Default)]
@@ -73,6 +93,9 @@ pub struct ShardSnapshot {
     pub latency: LatencyHistogram,
     /// Cumulative per-burst service time recorded by this shard.
     pub burst_latency: LatencyHistogram,
+    /// Input-ring depth telemetry (zero in deterministic mode, where no
+    /// rings exist).
+    pub ring: RingDepth,
 }
 
 /// One shard's slice of the progress board.
@@ -80,7 +103,8 @@ pub struct ShardSnapshot {
 pub(crate) struct ShardProgress {
     /// Highest epoch this shard has fully applied.
     pub applied_epoch: u64,
-    /// Bursts completed (matched against bursts submitted for `flush`).
+    /// Bursts completed (matched against bursts submitted for inline-mode
+    /// `flush`).
     pub bursts_done: u64,
     /// Running traffic tallies.
     pub stats: ShardStats,
@@ -94,30 +118,61 @@ pub(crate) struct ShardProgress {
     pub exited: bool,
 }
 
-/// State shared between the runtime (control plane + dispatcher) and all
-/// shard threads.
+/// One dispatcher's slice of the progress board.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DispatcherProgress {
+    /// Packets this dispatcher has handed to shard rings (partial bursts
+    /// still in its scratch are *not* counted — the flush barrier waits for
+    /// this to reach the submitted count, which only happens after the
+    /// dispatcher's quiesce-point flush).
+    pub packets_dispatched: u64,
+    /// Bursts this dispatcher has pushed onto shard rings.
+    pub bursts_dispatched: u64,
+    /// Packets pushed per destination shard — the flush barrier sums these
+    /// across dispatchers to know how much each shard still owes.
+    pub per_shard: Vec<u64>,
+    /// True once the dispatcher thread has exited (shutdown or failure).
+    pub exited: bool,
+    /// The shard whose ring closed under this dispatcher, if that is why it
+    /// exited.
+    pub failed_shard: Option<usize>,
+}
+
+/// The progress board: one slot per shard plus one per dispatcher, guarded
+/// by a single mutex so the shared condvar can wait on any combination.
+#[derive(Debug, Default)]
+pub(crate) struct ProgressBoard {
+    pub shards: Vec<ShardProgress>,
+    pub dispatchers: Vec<DispatcherProgress>,
+}
+
+/// State shared between the runtime (control plane) and all worker threads.
 pub(crate) struct Shared {
     /// The compactable log of published control epochs.
     pub log: Mutex<EpochLog>,
     /// Epoch of the newest published entry; checked without taking the log
-    /// lock on the per-burst fast path.
+    /// lock on the per-burst fast path. `SeqCst` so the shard parkers'
+    /// flag/recheck wakeup protocol covers epoch publication too.
     pub published: AtomicU64,
-    /// One progress slot per shard.
-    pub progress: Mutex<Vec<ShardProgress>>,
+    /// The progress board (shards + dispatchers).
+    pub progress: Mutex<ProgressBoard>,
     /// Notified whenever any progress slot advances.
     pub cv: Condvar,
     /// The runtime's clock origin: ingress stamps and latency measurements
-    /// are nanoseconds since this instant, so dispatcher and shards share a
-    /// time base.
+    /// are nanoseconds since this instant, so dispatchers and shards share
+    /// a time base.
     pub start: Instant,
 }
 
 impl Shared {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, dispatchers: usize) -> Self {
         Shared {
             log: Mutex::new(EpochLog::new()),
             published: AtomicU64::new(0),
-            progress: Mutex::new(vec![ShardProgress::default(); shards]),
+            progress: Mutex::new(ProgressBoard {
+                shards: vec![ShardProgress::default(); shards],
+                dispatchers: vec![DispatcherProgress::default(); dispatchers],
+            }),
             cv: Condvar::new(),
             start: Instant::now(),
         }
@@ -137,6 +192,7 @@ pub(crate) fn apply_entry(
     pipeline: &mut MenshenPipeline,
     entry: &EpochEntry,
     telemetry: &ShardTelemetry,
+    ring: RingDepth,
 ) -> (Option<ShardSnapshot>, Option<String>) {
     let mut error = None;
     let mut wants_snapshot = false;
@@ -149,7 +205,7 @@ pub(crate) fn apply_entry(
             error.get_or_insert_with(|| e.to_string());
         }
     }
-    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline, telemetry));
+    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline, telemetry, ring));
     (snapshot, error)
 }
 
@@ -158,6 +214,7 @@ pub(crate) fn apply_entry(
 pub(crate) fn take_snapshot(
     pipeline: &MenshenPipeline,
     telemetry: &ShardTelemetry,
+    ring: RingDepth,
 ) -> ShardSnapshot {
     let counters = pipeline
         .loaded_modules()
@@ -175,6 +232,19 @@ pub(crate) fn take_snapshot(
         filter: pipeline.filter().counters(),
         latency: telemetry.packet_ns.clone(),
         burst_latency: telemetry.burst_ns.clone(),
+        ring,
+    }
+}
+
+/// The current ring-depth telemetry across a shard's input rings.
+fn ring_depth(inputs: &[Consumer<Burst>]) -> RingDepth {
+    RingDepth {
+        high_watermark: inputs
+            .iter()
+            .map(|ring| ring.depth_high_watermark())
+            .max()
+            .unwrap_or(0),
+        occupancy: inputs.iter().map(|ring| ring.occupancy() as u64).sum(),
     }
 }
 
@@ -188,9 +258,10 @@ pub(crate) fn apply_pending(
     shared: &Shared,
     applied: &mut u64,
     telemetry: &ShardTelemetry,
+    inputs: &[Consumer<Burst>],
 ) {
     // Fast path: nothing new published since this shard's cursor.
-    if *applied >= shared.published.load(Ordering::Acquire) {
+    if *applied >= shared.published.load(Ordering::SeqCst) {
         return;
     }
     // Copy the pending suffix out of the log so heavyweight ops (module
@@ -200,10 +271,10 @@ pub(crate) fn apply_pending(
         log.entries_after(*applied)
     };
     for entry in &pending {
-        let (snapshot, error) = apply_entry(pipeline, entry, telemetry);
+        let (snapshot, error) = apply_entry(pipeline, entry, telemetry, ring_depth(inputs));
         *applied = entry.epoch;
         let mut progress = shared.progress.lock().expect("progress lock poisoned");
-        let slot = &mut progress[shard_index];
+        let slot = &mut progress.shards[shard_index];
         slot.applied_epoch = entry.epoch;
         if let Some(snapshot) = snapshot {
             slot.snapshot = Some(snapshot);
@@ -219,35 +290,41 @@ pub(crate) fn apply_pending(
 /// Marks a shard as exited on the progress board when the worker returns
 /// *or panics*, so `wait_for_epoch`/`flush` can never block forever on a
 /// dead shard.
-struct ExitGuard {
+struct ShardExitGuard {
     shared: Arc<Shared>,
     shard_index: usize,
 }
 
-impl Drop for ExitGuard {
+impl Drop for ShardExitGuard {
     fn drop(&mut self) {
         let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
-        progress[self.shard_index].exited = true;
+        progress.shards[self.shard_index].exited = true;
         drop(progress);
         self.shared.cv.notify_all();
     }
 }
 
-/// The shard thread body: apply pending epochs, pop, process, tally — until
-/// the ring closes.
+/// The shard thread body: apply pending epochs, pop a burst from one of the
+/// input rings (round-robin over dispatchers), process, tally — until every
+/// ring closes. With all rings empty the shard spins briefly, then parks on
+/// the shared parker; dispatchers, the inline submitter, and the control
+/// plane all wake it through that parker.
 pub(crate) fn run_worker(
     shard_index: usize,
     mut pipeline: MenshenPipeline,
-    input: Consumer<ShardInput>,
+    inputs: Vec<Consumer<Burst>>,
+    parker: Arc<Parker>,
     shared: Arc<Shared>,
 ) {
-    let _exit_guard = ExitGuard {
+    let _exit_guard = ShardExitGuard {
         shared: Arc::clone(&shared),
         shard_index,
     };
     let mut applied = 0u64;
     let mut telemetry = ShardTelemetry::default();
     let mut verdicts: Vec<Verdict> = Vec::new();
+    let mut next_ring = 0usize;
+    let mut idle_spins = 0u32;
     loop {
         apply_pending(
             shard_index,
@@ -255,34 +332,60 @@ pub(crate) fn run_worker(
             &shared,
             &mut applied,
             &telemetry,
+            &inputs,
         );
-        match input.pop() {
-            None => break,
-            Some(ShardInput::Sync) => continue,
-            Some(ShardInput::Burst(packets)) => {
-                let service_start = Instant::now();
-                pipeline.process_batch_into(&packets, &mut verdicts);
-                let service_ns = service_start.elapsed().as_nanos() as u64;
-                let done_ns = shared.now_ns();
-                telemetry.burst_ns.record(service_ns);
-                for packet in &packets {
-                    telemetry
-                        .packet_ns
-                        .record(done_ns.saturating_sub(packet.timestamp_ns));
-                }
-                let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
-                let total = packets.len() as u64;
-                let mut progress = shared.progress.lock().expect("progress lock poisoned");
-                let slot = &mut progress[shard_index];
-                slot.bursts_done += 1;
-                slot.stats.bursts += 1;
-                slot.stats.packets += total;
-                slot.stats.forwarded += forwarded;
-                slot.stats.dropped += total - forwarded;
-                drop(progress);
-                shared.cv.notify_all();
+        // Round-robin over the per-dispatcher input rings so no dispatcher
+        // can starve another.
+        let mut burst = None;
+        for offset in 0..inputs.len() {
+            let ring = (next_ring + offset) % inputs.len();
+            if let Some(packets) = inputs[ring].try_pop() {
+                next_ring = (ring + 1) % inputs.len();
+                burst = Some(packets);
+                break;
             }
         }
+        let Some(packets) = burst else {
+            if inputs.iter().all(|ring| ring.is_finished()) {
+                break;
+            }
+            idle_spins += 1;
+            if idle_spins < IDLE_SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                // Park until any producer publishes a burst, every ring
+                // finishes, or a new control epoch needs applying.
+                parker.park_until(|| {
+                    inputs.iter().any(|ring| ring.occupancy() > 0)
+                        || inputs.iter().all(|ring| ring.is_finished())
+                        || shared.published.load(Ordering::SeqCst) > applied
+                });
+                idle_spins = 0;
+            }
+            continue;
+        };
+        idle_spins = 0;
+        let service_start = Instant::now();
+        pipeline.process_batch_into(&packets, &mut verdicts);
+        let service_ns = service_start.elapsed().as_nanos() as u64;
+        let done_ns = shared.now_ns();
+        telemetry.burst_ns.record(service_ns);
+        for packet in &packets {
+            telemetry
+                .packet_ns
+                .record(done_ns.saturating_sub(packet.timestamp_ns));
+        }
+        let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
+        let total = packets.len() as u64;
+        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+        let slot = &mut progress.shards[shard_index];
+        slot.bursts_done += 1;
+        slot.stats.bursts += 1;
+        slot.stats.packets += total;
+        slot.stats.forwarded += forwarded;
+        slot.stats.dropped += total - forwarded;
+        drop(progress);
+        shared.cv.notify_all();
     }
     // Epochs published after the final burst must still be acknowledged so a
     // concurrent `wait_for_epoch` cannot hang across shutdown.
@@ -292,5 +395,131 @@ pub(crate) fn run_worker(
         &shared,
         &mut applied,
         &telemetry,
+        &inputs,
     );
+}
+
+/// Marks a dispatcher as exited (and records the shard that failed it, if
+/// any) when the thread returns or panics.
+struct DispatcherExitGuard {
+    shared: Arc<Shared>,
+    dispatcher_index: usize,
+    failed_shard: Option<usize>,
+}
+
+impl Drop for DispatcherExitGuard {
+    fn drop(&mut self) {
+        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        let slot = &mut progress.dispatchers[self.dispatcher_index];
+        slot.exited = true;
+        slot.failed_shard = self.failed_shard;
+        drop(progress);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The dispatcher thread body: pop a chunk of ingress packets from this
+/// dispatcher's input ring, Toeplitz-steer every packet into per-shard
+/// scratch, and push *full* bursts onto this dispatcher's row of shard
+/// rings — ring synchronisation once per (dispatcher, shard, burst).
+/// Partial bursts are flushed whenever the input ring runs dry: that is the
+/// dispatcher's quiesce point, after which its `packets_dispatched` equals
+/// everything it ever received, which is exactly what the control plane's
+/// flush barrier waits for before publishing an epoch.
+pub(crate) fn run_dispatcher(
+    dispatcher_index: usize,
+    steerer: Steerer,
+    input: Consumer<Burst>,
+    outputs: Vec<Producer<Burst>>,
+    burst_size: usize,
+    shared: Arc<Shared>,
+) {
+    let mut exit_guard = DispatcherExitGuard {
+        shared: Arc::clone(&shared),
+        dispatcher_index,
+        failed_shard: None,
+    };
+    // One accounting site for every burst handoff: takes the shard's scratch
+    // and pushes it, bumping the dispatch tallies on success. Returns false
+    // when the shard's ring has closed.
+    struct DispatchState {
+        scatter: Vec<Vec<Packet>>,
+        packets: u64,
+        bursts: u64,
+        per_shard: Vec<u64>,
+    }
+    impl DispatchState {
+        fn push_scratch(
+            &mut self,
+            outputs: &[Producer<Burst>],
+            shard: usize,
+            burst_size: usize,
+        ) -> bool {
+            let burst = std::mem::replace(&mut self.scatter[shard], Vec::with_capacity(burst_size));
+            let packets = burst.len() as u64;
+            if outputs[shard].push(burst).is_err() {
+                return false;
+            }
+            self.packets += packets;
+            self.bursts += 1;
+            self.per_shard[shard] += packets;
+            true
+        }
+
+        fn advertise(&self, shared: &Shared, dispatcher_index: usize) {
+            let mut progress = shared.progress.lock().expect("progress lock poisoned");
+            let slot = &mut progress.dispatchers[dispatcher_index];
+            slot.packets_dispatched = self.packets;
+            slot.bursts_dispatched = self.bursts;
+            slot.per_shard.clear();
+            slot.per_shard.extend_from_slice(&self.per_shard);
+            drop(progress);
+            shared.cv.notify_all();
+        }
+    }
+    let mut state = DispatchState {
+        scatter: (0..outputs.len())
+            .map(|_| Vec::with_capacity(burst_size))
+            .collect(),
+        packets: 0,
+        bursts: 0,
+        per_shard: vec![0u64; outputs.len()],
+    };
+    'run: while let Some(chunk) = input.pop() {
+        for packet in chunk {
+            let shard = steerer.shard_for(&packet);
+            state.scatter[shard].push(packet);
+            if state.scatter[shard].len() >= burst_size
+                && !state.push_scratch(&outputs, shard, burst_size)
+            {
+                exit_guard.failed_shard = Some(shard);
+                break 'run;
+            }
+        }
+        // Quiesce point: no further chunk is immediately available, so
+        // flush partial bursts — every packet received so far is now in
+        // flight — and advertise progress for the flush barrier.
+        if input.occupancy() == 0 {
+            for shard in 0..outputs.len() {
+                if !state.scatter[shard].is_empty()
+                    && !state.push_scratch(&outputs, shard, burst_size)
+                {
+                    exit_guard.failed_shard = Some(shard);
+                    break 'run;
+                }
+            }
+        }
+        state.advertise(&shared, dispatcher_index);
+    }
+    // Input closed (or a shard ring failed): flush whatever scratch remains
+    // toward still-open rings, then let the producers drop — which closes
+    // this dispatcher's row of shard rings.
+    for shard in 0..outputs.len() {
+        if !state.scatter[shard].is_empty() {
+            // Best effort on the way out: a closed ring here just means the
+            // shard is already gone too.
+            let _ = state.push_scratch(&outputs, shard, burst_size);
+        }
+    }
+    state.advertise(&shared, dispatcher_index);
 }

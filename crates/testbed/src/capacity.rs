@@ -1,0 +1,225 @@
+//! Closed-loop capacity sweep: offered load vs latency, until the p99 knees.
+//!
+//! The trace-replay engine ([`menshen_trace::replay`]) is open-loop: it
+//! offers load at a scheduled rate regardless of how the device copes. This
+//! module closes the loop around it — the classic way a capacity figure is
+//! produced with an open-loop generator: replay the trace rate-rescaled at
+//! an offered rate, read the measured p50/p99 sojourn, then *decide the next
+//! offered rate from the measurement* (step up geometrically) until the p99
+//! knees — the latency blows past a multiple of its low-load baseline, or
+//! the device visibly saturates (achieved rate falls below the offered
+//! rate). The last pre-knee offered rate is the reported capacity.
+//!
+//! Every point runs on a fresh runtime (configuration replica of the same
+//! template), so the latency histograms are independent and a point can
+//! never inherit queue backlog from its predecessor.
+
+use crate::replay::ReplayPoint;
+use menshen_core::MenshenPipeline;
+use menshen_packet::Packet;
+use menshen_runtime::{RuntimeOptions, ShardedRuntime, SteeringMode};
+use menshen_trace::replay::{replay_sharded, Pacing};
+
+/// Knobs for [`capacity_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct CapacitySweepConfig {
+    /// The first offered rate, packets per second. Should be comfortably
+    /// below capacity: its p99 is the baseline the knee is judged against.
+    pub start_pps: f64,
+    /// Geometric step between offered rates (> 1).
+    pub growth: f64,
+    /// Hard cap on the number of points (the sweep also stops at the knee).
+    pub max_points: usize,
+    /// The p99 knee threshold: a point whose p99 exceeds
+    /// `knee_factor × baseline p99` ends the sweep.
+    pub knee_factor: f64,
+    /// The saturation threshold: a point whose achieved rate falls below
+    /// `saturation_margin × offered` ends the sweep (the open-loop sender
+    /// was backpressured — the device is past capacity).
+    pub saturation_margin: f64,
+}
+
+impl Default for CapacitySweepConfig {
+    fn default() -> Self {
+        CapacitySweepConfig {
+            start_pps: 250_000.0,
+            growth: 2.0,
+            max_points: 12,
+            knee_factor: 8.0,
+            saturation_margin: 0.9,
+        }
+    }
+}
+
+/// One offered-load point of the capacity sweep.
+#[derive(Debug, Clone)]
+pub struct CapacityPoint {
+    /// The scheduled offered rate, packets per second.
+    pub offered_pps: f64,
+    /// The replay point measured at that rate (latency percentiles,
+    /// achieved rate, accounting).
+    pub replay: ReplayPoint,
+    /// True when this point triggered the knee condition.
+    pub kneed: bool,
+}
+
+/// The capacity sweep result.
+#[derive(Debug, Clone)]
+pub struct CapacityReport {
+    /// Worker shards each point ran with.
+    pub shards: usize,
+    /// Dispatcher threads each point ran with (0 = inline dispatch).
+    pub dispatchers: usize,
+    /// The p99 at the first (baseline) offered rate, nanoseconds.
+    pub baseline_p99_ns: u64,
+    /// The last offered rate *before* the knee — the capacity figure.
+    /// `None` when the sweep exhausted `max_points` without kneeing.
+    pub knee_pps: Option<f64>,
+    /// Every point measured, in offered-rate order (the kneed point, when
+    /// found, is last).
+    pub points: Vec<CapacityPoint>,
+}
+
+/// Runs the closed-loop sweep: rate-rescaled replay of `trace` through a
+/// fresh threaded runtime per offered rate, stepping the rate up by
+/// `config.growth` until the p99 sojourn knees (see the module docs).
+pub fn capacity_sweep(
+    template: &MenshenPipeline,
+    trace: &[Packet],
+    shards: usize,
+    dispatchers: usize,
+    steering: SteeringMode,
+    config: CapacitySweepConfig,
+) -> CapacityReport {
+    assert!(!trace.is_empty(), "the sweep needs a trace");
+    assert!(config.growth > 1.0, "the offered rate must actually grow");
+    assert!(config.start_pps > 0.0, "the starting rate must be positive");
+    let mut points: Vec<CapacityPoint> = Vec::new();
+    let mut baseline_p99_ns = 0u64;
+    let mut knee_pps = None;
+    let mut offered = config.start_pps;
+    for index in 0..config.max_points.max(1) {
+        let mut runtime = ShardedRuntime::from_pipeline(
+            template,
+            RuntimeOptions::threaded(shards)
+                .with_dispatchers(dispatchers)
+                .with_steering(steering),
+        );
+        let report = replay_sharded(&mut runtime, trace, Pacing::RateRescaled { pps: offered })
+            .expect("threaded replay accepts submissions");
+        runtime.shutdown();
+        let replay = ReplayPoint {
+            trace: String::new(),
+            shards,
+            submitted: report.submitted,
+            forwarded: report.forwarded,
+            dropped: report.dropped,
+            all_packets_accounted: report.all_packets_accounted(),
+            achieved_mpps: report.achieved_pps / 1e6,
+            latency: report.latency.percentiles(),
+            burst_latency: report.burst_latency.percentiles(),
+            skew: report.shard_skew(),
+            effective_shards: report.effective_shards(),
+            shard_packets: report.shard_packets,
+        };
+        if index == 0 {
+            baseline_p99_ns = replay.latency.p99_ns.max(1);
+        }
+        // The closed loop: the next step (and whether there is one) depends
+        // on what this point measured.
+        let latency_kneed =
+            replay.latency.p99_ns as f64 > config.knee_factor * baseline_p99_ns as f64;
+        let saturated =
+            (replay.achieved_mpps * 1e6) < config.saturation_margin * offered && index > 0;
+        let kneed = index > 0 && (latency_kneed || saturated);
+        points.push(CapacityPoint {
+            offered_pps: offered,
+            replay,
+            kneed,
+        });
+        if kneed {
+            knee_pps = Some(offered / config.growth);
+            break;
+        }
+        offered *= config.growth;
+    }
+    CapacityReport {
+        shards,
+        dispatchers,
+        baseline_p99_ns,
+        knee_pps,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::passthrough_module;
+    use menshen_rmt::params::PipelineParams;
+    use menshen_trace::synth::{synthesize, WorkloadSpec};
+
+    fn template(tenants: u16) -> MenshenPipeline {
+        let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+        for id in 1..=tenants {
+            pipeline
+                .load_module(&passthrough_module(id))
+                .expect("passthrough loads");
+        }
+        pipeline
+    }
+
+    fn trace(tenants: u16, packets: usize) -> Vec<Packet> {
+        let mut spec = WorkloadSpec::uniform(tenants, 64, packets);
+        spec.mean_rate_pps = 10_000_000.0; // keep the capture span tiny
+        synthesize(&spec).unwrap()
+    }
+
+    #[test]
+    fn sweep_steps_geometrically_and_accounts_every_point() {
+        let template = template(4);
+        let trace = trace(4, 256);
+        let config = CapacitySweepConfig {
+            start_pps: 500_000.0,
+            growth: 4.0,
+            max_points: 4,
+            ..CapacitySweepConfig::default()
+        };
+        let report = capacity_sweep(&template, &trace, 2, 0, SteeringMode::FiveTuple, config);
+        assert!(!report.points.is_empty());
+        assert!(report.baseline_p99_ns >= 1);
+        for (index, point) in report.points.iter().enumerate() {
+            assert!(point.replay.all_packets_accounted, "{point:?}");
+            assert_eq!(point.replay.submitted, 256);
+            let expected = 500_000.0 * 4.0f64.powi(index as i32);
+            assert!((point.offered_pps - expected).abs() < 1e-6);
+            assert!(point.replay.latency.p99_ns >= point.replay.latency.p50_ns);
+        }
+        // Only the last point may knee, and the knee names the previous rate.
+        for point in &report.points[..report.points.len() - 1] {
+            assert!(!point.kneed);
+        }
+        if let Some(knee) = report.knee_pps {
+            assert!(report.points.last().unwrap().kneed);
+            let last = report.points.last().unwrap().offered_pps;
+            assert!((knee - last / 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn an_aggressive_knee_factor_finds_a_knee_immediately() {
+        let template = template(2);
+        let trace = trace(2, 128);
+        let config = CapacitySweepConfig {
+            start_pps: 1_000_000.0,
+            growth: 2.0,
+            max_points: 8,
+            knee_factor: 0.0, // any nonzero p99 knees → stops at point 2
+            saturation_margin: 0.0,
+        };
+        let report = capacity_sweep(&template, &trace, 1, 0, SteeringMode::TenantAffine, config);
+        assert_eq!(report.points.len(), 2, "baseline + the kneeing point");
+        assert!(report.points[1].kneed);
+        assert_eq!(report.knee_pps, Some(1_000_000.0));
+    }
+}

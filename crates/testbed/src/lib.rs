@@ -20,19 +20,27 @@
 //!   cores-vs-Mpps aggregate series;
 //! * [`replay`] — the trace-replay experiment: uniform and heavy-tailed
 //!   traces (from `menshen-trace`) through the threaded runtime across
-//!   shard counts, reporting latency percentiles and RSS balance.
+//!   shard counts, reporting latency percentiles and RSS balance;
+//! * [`capacity`] — the closed-loop capacity sweep: rate-rescaled replay at
+//!   geometrically increasing offered rates until the p99 sojourn knees,
+//!   turning the latency series into a capacity figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod reconfig_experiment;
 pub mod replay;
 pub mod scaling;
 pub mod throughput;
 pub mod traffic;
 
+pub use capacity::{capacity_sweep, CapacityPoint, CapacityReport, CapacitySweepConfig};
 pub use reconfig_experiment::{ReconfigExperiment, ReconfigTimeline, TimelinePoint};
 pub use replay::{replay_sweep, ReplayPoint, ReplaySweepReport};
-pub use scaling::{shard_scaling_sweep, ShardScalingPoint, ShardScalingReport};
+pub use scaling::{
+    dispatch_scaling_sweep, shard_scaling_sweep, DispatchScalingPoint, DispatchScalingReport,
+    ShardScalingPoint, ShardScalingReport,
+};
 pub use throughput::{latency_sweep, throughput_sweep, LatencyPoint, ThroughputPoint};
 pub use traffic::{RateMix, RateMixError, SizeSweep, TrafficGenerator};

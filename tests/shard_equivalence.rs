@@ -23,7 +23,7 @@ use menshen_bench::workloads::{flow_dst_ip, flow_rule_tenant_with_port};
 use menshen_core::{ModuleConfig, ModuleCounters};
 use menshen_packet::{Packet, PacketBuilder};
 use menshen_rmt::config::KeyMask;
-use menshen_runtime::ShardedRuntime;
+use menshen_runtime::{DispatchSpray, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -195,12 +195,30 @@ struct RunOutcome {
     multisets: HashMap<Option<u16>, Vec<VerdictKey>>,
 }
 
-fn run_equivalence(shards: usize, seed: u64) -> RunOutcome {
+/// Runs the randomized equivalence experiment.
+///
+/// With `dispatchers == 0` (the classic inline dispatcher) the sharded
+/// runtime must match the lone pipeline *per position*. With dispatcher
+/// threads modeled (`dispatchers ≥ 1`) packets of different tenants
+/// interleave differently per shard — exactly as with parallel NIC queues —
+/// so the guarantee is the per-burst verdict *multiset* (and therefore the
+/// per-tenant multisets), which this function asserts instead.
+fn run_equivalence_with(
+    shards: usize,
+    dispatchers: usize,
+    spray: DispatchSpray,
+    seed: u64,
+) -> RunOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     // A CAM deep enough for TENANTS × FLOWS_PER_TENANT rules per stage.
     let params = TABLE5.with_table_depth(64);
     let mut single = MenshenPipeline::new(params);
-    let mut sharded = ShardedRuntime::new(params, RuntimeOptions::deterministic(shards));
+    let mut sharded = ShardedRuntime::new(
+        params,
+        RuntimeOptions::deterministic(shards)
+            .with_dispatchers(dispatchers)
+            .with_spray(spray),
+    );
     for module in 1..=TENANTS {
         let config = tenant_module(module, 1000 + module);
         single.load_module(&config).expect("single load");
@@ -222,17 +240,34 @@ fn run_equivalence(shards: usize, seed: u64) -> RunOutcome {
         let expected = single.process_batch(burst.clone());
         let got = sharded.process_batch(burst).expect("deterministic mode");
         assert_eq!(expected.len(), got.len());
-        for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
-            let (ka, kb) = (project(a), project(b));
+        if dispatchers == 0 {
+            for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    project(a),
+                    project(b),
+                    "seed {seed}, {shards} shards, burst {burst_index}, packet {position}"
+                );
+            }
+        } else {
+            // Parallel dispatch reorders across tenants within a burst; the
+            // burst-level verdict multiset must still be identical.
+            let mut a: Vec<VerdictKey> = expected.iter().map(project).collect();
+            let mut b: Vec<VerdictKey> = got.iter().map(project).collect();
+            a.sort();
+            b.sort();
             assert_eq!(
-                ka, kb,
-                "seed {seed}, {shards} shards, burst {burst_index}, packet {position}"
+                a, b,
+                "seed {seed}, {shards} shards × {dispatchers} dispatchers ({spray:?}), \
+                 burst {burst_index}: verdict multisets diverged"
             );
-            let bucket = match &ka {
+        }
+        for verdict in &expected {
+            let key = project(verdict);
+            let bucket = match &key {
                 VerdictKey::Forwarded { module_id, .. } => Some(*module_id),
                 VerdictKey::Dropped { module_id, .. } => *module_id,
             };
-            multisets.entry(bucket).or_default().push(ka);
+            multisets.entry(bucket).or_default().push(key);
         }
     }
     for module in marked.drain(..) {
@@ -283,7 +318,7 @@ fn sharded_runtime_is_equivalent_for_every_shard_count() {
         // Same seed for every shard count: the verdict multisets must also
         // agree *across* shard counts, since steering only redistributes
         // work and never changes per-tenant semantics.
-        let mut outcome = run_equivalence(shards, 0xE0_0001);
+        let mut outcome = run_equivalence_with(shards, 0, DispatchSpray::RoundRobin, 0xE0_0001);
         for bucket in outcome.multisets.values_mut() {
             bucket.sort();
         }
@@ -307,7 +342,42 @@ fn randomized_interleavings_hold_across_seeds() {
     {
         // Vary the shard count with the seed to cover odd counts too.
         let shards = 2 + (index * 2 + 1) % 7; // 3, 5, 7, 2 → odd-heavy mix
-        run_equivalence(shards, seed);
+        run_equivalence_with(shards, 0, DispatchSpray::RoundRobin, seed);
+    }
+}
+
+#[test]
+fn multi_dispatcher_grid_is_equivalent_to_the_lone_pipeline() {
+    // The acceptance grid: 2–4 dispatchers × 1–8 shards, interleaved
+    // reconfigurations throughout (run_equivalence_with mixes control-plane
+    // events between bursts). Per-tenant verdict multisets, counter totals,
+    // stateful words and link statistics must match the lone pipeline at
+    // every point — and, with the shared seed, agree across the whole grid.
+    let mut reference: Option<HashMap<Option<u16>, Vec<VerdictKey>>> = None;
+    for dispatchers in [2usize, 3, 4] {
+        for shards in [1usize, 3, 8] {
+            let mut outcome =
+                run_equivalence_with(shards, dispatchers, DispatchSpray::RoundRobin, 0xD15_0001);
+            for bucket in outcome.multisets.values_mut() {
+                bucket.sort();
+            }
+            match &reference {
+                None => reference = Some(outcome.multisets),
+                Some(reference) => assert_eq!(
+                    reference, &outcome.multisets,
+                    "{dispatchers} dispatchers × {shards} shards diverged"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn flow_affine_spray_holds_the_same_equivalence() {
+    // The RETA-partitioned (flow-affine) spray preserves per-flow order end
+    // to end; the equivalence contract is identical.
+    for (dispatchers, shards) in [(2usize, 4usize), (4, 5), (3, 1)] {
+        run_equivalence_with(shards, dispatchers, DispatchSpray::FlowAffine, 0x00AF_F14E);
     }
 }
 
