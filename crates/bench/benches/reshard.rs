@@ -1,0 +1,152 @@
+//! The elasticity benchmark: live resharding (2 → 8 → 2 shards) under trace
+//! replay, committed as the `reshard` section of `BENCH_throughput.json`.
+//!
+//! The cost of an elastic step must be a measured number: each transition
+//! reports its **migration pause** (the wall-clock the ingress is blocked
+//! while the runtime quiesces, exports the moving tenants' state, stands
+//! up/retires shards, injects the state into the new owners and publishes
+//! the new RETA) together with how much state actually moved, and each
+//! traffic stage reports its throughput and p99 sojourn — so the series
+//! shows the plane healthy *after* every resize, not just before.
+
+use menshen_bench::workloads::flow_rule_tenant;
+use menshen_core::MenshenPipeline;
+use menshen_json::Json;
+use menshen_rmt::TABLE5;
+use menshen_runtime::SteeringMode;
+use menshen_testbed::elasticity::{elasticity_experiment, ElasticityConfig};
+use menshen_trace::synth::{synthesize, WorkloadSpec};
+
+const TENANTS: u16 = 8;
+const RULES_PER_TENANT: usize = 150; // same CAM shape as the other benches
+
+fn main() {
+    let fast = std::env::var_os("MENSHEN_BENCH_FAST").is_some();
+    let stages: Vec<usize> = if fast { vec![2, 4, 2] } else { vec![2, 8, 2] };
+    let packets_per_stage = if fast { 2_048 } else { 65_536 };
+    let trace_packets = if fast { 1_024 } else { 8_192 };
+
+    let params = TABLE5.with_table_depth(2048);
+    let mut template = MenshenPipeline::new(params);
+    for module_id in 1..=TENANTS {
+        template
+            .load_module(&flow_rule_tenant(module_id, RULES_PER_TENANT))
+            .unwrap();
+    }
+    let mut spec = WorkloadSpec::uniform(TENANTS, 600, trace_packets);
+    spec.rules_per_tenant = RULES_PER_TENANT;
+    spec.mean_rate_pps = 10_000_000.0;
+    let trace = synthesize(&spec).expect("workload spec is valid");
+
+    let config = ElasticityConfig {
+        stages: stages.clone(),
+        packets_per_stage,
+        dispatchers: 0,
+        steering: SteeringMode::TenantAffine,
+    };
+    println!(
+        "{TENANTS} tenants × {RULES_PER_TENANT} rules, {packets_per_stage} packets per stage, \
+         shard schedule {stages:?} (unpaced replay, resize between stages)"
+    );
+    let report = elasticity_experiment(&template, &trace, &config)
+        .expect("threaded replay accepts submissions");
+
+    println!();
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "shards", "packets", "Mpps", "p50 ns", "p99 ns"
+    );
+    for stage in &report.stages {
+        println!(
+            "{:>8} {:>10} {:>10.2} {:>10} {:>12}",
+            stage.shards, stage.packets, stage.mpps, stage.latency.p50_ns, stage.latency.p99_ns
+        );
+    }
+    println!();
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "resize", "pause µs", "modules", "words"
+    );
+    for transition in &report.transitions {
+        println!(
+            "{:>4} → {:>3} {:>12.1} {:>10} {:>10}",
+            transition.from_shards,
+            transition.to_shards,
+            transition.pause_ns as f64 / 1e3,
+            transition.migrated_modules,
+            transition.migrated_words
+        );
+    }
+    println!(
+        "\npost-resize throughput: {:.2} Mpps; worst migration pause: {:.1} µs",
+        report.post_resize_mpps(),
+        report.worst_pause_ns() as f64 / 1e3
+    );
+
+    assert!(
+        report.all_packets_accounted,
+        "a resize lost packets from the books: {report:?}"
+    );
+    assert_eq!(
+        report.total_packets,
+        (stages.len() * packets_per_stage) as u64
+    );
+    assert!(report.transitions.iter().all(|t| t.pause_ns > 0));
+    // Tenant state moved on every transition of this schedule (tenant-affine
+    // steering: every tenant is single-owner and the RETA rewrite moves
+    // most of them).
+    assert!(report.transitions.iter().all(|t| t.migrated_modules > 0));
+
+    let stage_rows: Vec<Json> = report
+        .stages
+        .iter()
+        .map(|stage| {
+            Json::obj([
+                ("shards", Json::from(stage.shards)),
+                ("packets", Json::from(stage.packets)),
+                ("mpps", Json::from(stage.mpps)),
+                ("p50_ns", Json::from(stage.latency.p50_ns)),
+                ("p99_ns", Json::from(stage.latency.p99_ns)),
+                ("p999_ns", Json::from(stage.latency.p999_ns)),
+                ("mean_ns", Json::from(stage.latency.mean_ns)),
+            ])
+        })
+        .collect();
+    let transition_rows: Vec<Json> = report
+        .transitions
+        .iter()
+        .map(|transition| {
+            Json::obj([
+                ("from_shards", Json::from(transition.from_shards)),
+                ("to_shards", Json::from(transition.to_shards)),
+                ("pause_ns", Json::from(transition.pause_ns)),
+                ("migrated_modules", Json::from(transition.migrated_modules)),
+                ("migrated_words", Json::from(transition.migrated_words)),
+            ])
+        })
+        .collect();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Json::obj([
+        ("tenants", Json::from(TENANTS)),
+        ("rules_per_tenant", Json::from(RULES_PER_TENANT)),
+        ("packets_per_stage", Json::from(packets_per_stage)),
+        ("host_parallelism", Json::from(host_parallelism)),
+        ("steering", Json::from("tenant_affine")),
+        ("pacing", Json::from("unpaced_between_resizes")),
+        ("total_packets", Json::from(report.total_packets)),
+        (
+            "all_packets_accounted",
+            Json::Bool(report.all_packets_accounted),
+        ),
+        ("post_resize_mpps", Json::from(report.post_resize_mpps())),
+        ("worst_pause_ns", Json::from(report.worst_pause_ns())),
+        ("stages", Json::Arr(stage_rows)),
+        ("transitions", Json::Arr(transition_rows)),
+    ]);
+    if !fast {
+        menshen_bench::update_baseline("reshard", &doc);
+    }
+    menshen_bench::write_json("bench_reshard", &doc);
+}

@@ -53,6 +53,15 @@ pub enum CoreError {
     },
     /// A static or resource check failed (message from the checker).
     CheckFailed(String),
+    /// An exported [`crate::pipeline::ModuleState`] does not fit the target
+    /// replica's configuration (different stage count or segment size) — the
+    /// source and target are not configuration replicas of each other.
+    StateShapeMismatch {
+        /// The module whose state was being imported.
+        module_id: u16,
+        /// What differed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -94,6 +103,10 @@ impl fmt::Display for CoreError {
                 write!(f, "module {module_id} is being reconfigured")
             }
             CoreError::CheckFailed(msg) => write!(f, "check failed: {msg}"),
+            CoreError::StateShapeMismatch { module_id, detail } => write!(
+                f,
+                "module {module_id} state snapshot does not fit this replica: {detail}"
+            ),
         }
     }
 }

@@ -64,13 +64,15 @@ pub use module::{
 pub use overlay::OverlayTable;
 pub use packet_filter::{FilterDecision, PacketFilter};
 pub use partition::{Allocation, RangeAllocator};
-pub use pipeline::{DropReason, LoadReport, MenshenPipeline, ModuleCounters, Verdict, BURST_SIZE};
+pub use pipeline::{
+    DropReason, LoadReport, MenshenPipeline, ModuleCounters, ModuleState, Verdict, BURST_SIZE,
+};
 pub use reconfig::{ReconfigCommand, ResourceKind, WritePayload};
 pub use resources::{ResourceChecker, SharingPolicy};
 pub use segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
 pub use sw_interface::{ControlPlane, DeviceStats};
 pub use system_module::{ForwardingDecision, SystemModule, SystemStats};
-pub use telemetry::{Gauge, LatencyHistogram, Percentiles};
+pub use telemetry::{BaselineMismatch, Gauge, LatencyHistogram, Percentiles};
 
 /// Result alias used across the crate.
 pub type Result<T> = core::result::Result<T, CoreError>;

@@ -142,6 +142,76 @@ pub struct ModuleCounters {
     pub bytes_out: u64,
 }
 
+impl ModuleCounters {
+    /// Adds `other`'s tallies onto this one, field by field. Every field of
+    /// the type is additive by design, which is what makes per-shard
+    /// counters aggregatable and migratable — every summation site (merge,
+    /// state injection, cross-shard aggregation) goes through here so a new
+    /// field can never be forgotten at one of them.
+    pub fn add(&mut self, other: &ModuleCounters) {
+        self.packets_in += other.packets_in;
+        self.packets_out += other.packets_out;
+        self.packets_dropped += other.packets_dropped;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// A portable snapshot of one module's *dynamic* state: its traffic counters
+/// and the contents of its stateful-memory segments, in segment-local word
+/// order per stage.
+///
+/// This is the unit of tenant state migration: the sharded runtime extracts
+/// it on the source replica ([`MenshenPipeline::take_module_state`], which
+/// clears the source so exactly one live copy exists), merges extracts from
+/// several replicas if needed ([`ModuleState::merge`] — exact for additive
+/// state, and trivially exact when all but one extract is zero), and replays
+/// it into the target replica ([`MenshenPipeline::import_module_state`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleState {
+    /// The module this state belongs to.
+    pub module_id: u16,
+    /// The module's traffic counters at extraction time.
+    pub counters: ModuleCounters,
+    /// Per stage, the words of the module's stateful segment (segment-local
+    /// order). Stages where the module owns no stateful memory are empty.
+    pub stages: Vec<Vec<u64>>,
+}
+
+impl ModuleState {
+    /// Total stateful words carried (across all stages).
+    pub fn word_count(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when the snapshot carries no information: zero counters and all
+    /// stateful words zero. Migration skips injecting these.
+    pub fn is_zero(&self) -> bool {
+        self.counters == ModuleCounters::default()
+            && self.stages.iter().all(|s| s.iter().all(|&w| w == 0))
+    }
+
+    /// Folds `other` into `self` by addition: counters sum, stateful words
+    /// add element-wise (wrapping, like the hardware's `loadd`). Exact for
+    /// mergeable (additive) state; for single-owner state every extract but
+    /// one is zero, so the sum equals the lone live copy.
+    pub fn merge(&mut self, other: &ModuleState) {
+        debug_assert_eq!(self.module_id, other.module_id);
+        self.counters.add(&other.counters);
+        if self.stages.len() < other.stages.len() {
+            self.stages.resize(other.stages.len(), Vec::new());
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(other.stages.iter()) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (word, &value) in mine.iter_mut().zip(theirs.iter()) {
+                *word = word.wrapping_add(value);
+            }
+        }
+    }
+}
+
 /// Software-side record of one loaded module.
 #[derive(Debug, Clone)]
 struct ModuleRuntime {
@@ -1178,6 +1248,120 @@ impl MenshenPipeline {
         }
         replica
     }
+
+    // -----------------------------------------------------------------------
+    // State migration (live-resharding support)
+    // -----------------------------------------------------------------------
+
+    /// Snapshots one module's dynamic state — traffic counters plus the
+    /// contents of its stateful segments — without modifying the pipeline.
+    /// Returns `None` if the module is not loaded.
+    pub fn export_module_state(&self, module: ModuleId) -> Option<ModuleState> {
+        let runtime = self.modules.get(&module.value())?;
+        let stages = self
+            .stages
+            .iter()
+            .zip(runtime.stateful_ranges.iter())
+            .map(|(stage, range)| {
+                stage
+                    .hw
+                    .stateful
+                    .snapshot_range(range.start as u32, range.len as u32)
+                    .expect("load-time allocations are always in bounds")
+            })
+            .collect();
+        Some(ModuleState {
+            module_id: module.value(),
+            counters: runtime.counters,
+            stages,
+        })
+    }
+
+    /// Extracts one module's dynamic state and clears it on this pipeline
+    /// (counters zeroed, stateful segments zeroed) in one step — the "move"
+    /// half of migration. After a take exactly one live copy of the state
+    /// exists: the returned snapshot. Returns `None` if the module is not
+    /// loaded.
+    pub fn take_module_state(&mut self, module: ModuleId) -> Option<ModuleState> {
+        let runtime = self.modules.get_mut(&module.value())?;
+        let counters = std::mem::take(&mut runtime.counters);
+        let ranges = runtime.stateful_ranges.clone();
+        let stages = self
+            .stages
+            .iter_mut()
+            .zip(ranges.iter())
+            .map(|(stage, range)| {
+                stage
+                    .hw
+                    .stateful
+                    .take_range(range.start as u32, range.len as u32)
+                    .expect("load-time allocations are always in bounds")
+            })
+            .collect();
+        Some(ModuleState {
+            module_id: module.value(),
+            counters,
+            stages,
+        })
+    }
+
+    /// Replays an exported [`ModuleState`] into this pipeline by *addition*:
+    /// counters sum and stateful words add element-wise (wrapping). For
+    /// single-owner state the target segment is zero, so addition equals
+    /// assignment; for replicated mergeable state addition is exactly the
+    /// legal merge. The module must be loaded with the same per-stage
+    /// segment shape the snapshot was taken from (configuration replicas
+    /// always satisfy this), else [`CoreError::StateShapeMismatch`].
+    pub fn import_module_state(&mut self, state: &ModuleState) -> Result<()> {
+        let runtime = self
+            .modules
+            .get_mut(&state.module_id)
+            .ok_or(CoreError::UnknownModule {
+                module_id: state.module_id,
+            })?;
+        if state.stages.len() > runtime.stateful_ranges.len() {
+            return Err(CoreError::StateShapeMismatch {
+                module_id: state.module_id,
+                detail: format!(
+                    "snapshot spans {} stages, replica has {}",
+                    state.stages.len(),
+                    runtime.stateful_ranges.len()
+                ),
+            });
+        }
+        for (stage_index, (words, range)) in state
+            .stages
+            .iter()
+            .zip(runtime.stateful_ranges.iter())
+            .enumerate()
+        {
+            if words.len() > range.len {
+                return Err(CoreError::StateShapeMismatch {
+                    module_id: state.module_id,
+                    detail: format!(
+                        "stage {stage_index}: snapshot carries {} words, segment holds {}",
+                        words.len(),
+                        range.len
+                    ),
+                });
+            }
+        }
+        runtime.counters.add(&state.counters);
+        let ranges = runtime.stateful_ranges.clone();
+        for ((stage, words), range) in self
+            .stages
+            .iter_mut()
+            .zip(state.stages.iter())
+            .zip(ranges.iter())
+        {
+            stage
+                .hw
+                .stateful
+                .merge_range(range.start as u32, words)
+                .expect("shape checked above");
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1269,6 +1453,71 @@ mod tests {
         let counters = pipeline.module_counters(ModuleId::new(7)).unwrap();
         assert_eq!(counters.packets_in, 1);
         assert_eq!(counters.packets_out, 1);
+    }
+
+    #[test]
+    fn module_state_export_take_import_round_trip() {
+        let mut source = MenshenPipeline::new(TABLE5);
+        let config = simple_module(3, 0x0a00_0002, 4444);
+        source.load_module(&config).unwrap();
+        // Drive traffic so both counters and stateful word 0 advance.
+        for _ in 0..5 {
+            assert!(source.process(packet_for(3, 2)).is_forwarded());
+        }
+        let exported = source.export_module_state(ModuleId::new(3)).unwrap();
+        assert_eq!(exported.module_id, 3);
+        assert_eq!(exported.counters.packets_in, 5);
+        assert_eq!(exported.stages[0][0], 5, "loadd counter travelled");
+        assert!(!exported.is_zero());
+        assert_eq!(exported.word_count(), 16); // one 16-word stage-0 segment
+                                               // Export alone does not disturb the source.
+        assert_eq!(source.read_stateful(ModuleId::new(3), 0, 0), Some(5));
+
+        // Take moves: the source is cleared.
+        let taken = source.take_module_state(ModuleId::new(3)).unwrap();
+        assert_eq!(taken, exported);
+        assert_eq!(source.read_stateful(ModuleId::new(3), 0, 0), Some(0));
+        assert_eq!(
+            source.module_counters(ModuleId::new(3)).unwrap(),
+            ModuleCounters::default()
+        );
+
+        // Import replays into a configuration replica, and the replica is
+        // indistinguishable from the original afterwards.
+        let mut target = source.config_replica();
+        target.import_module_state(&taken).unwrap();
+        assert_eq!(target.read_stateful(ModuleId::new(3), 0, 0), Some(5));
+        assert_eq!(
+            target.module_counters(ModuleId::new(3)).unwrap(),
+            taken.counters
+        );
+        assert!(target.process(packet_for(3, 2)).is_forwarded());
+        assert_eq!(target.read_stateful(ModuleId::new(3), 0, 0), Some(6));
+
+        // Merging two extracts sums counters and words.
+        let mut merged = taken.clone();
+        merged.merge(&taken);
+        assert_eq!(merged.counters.packets_in, 10);
+        assert_eq!(merged.stages[0][0], 10);
+
+        // Unknown modules surface as errors / None.
+        assert!(source.export_module_state(ModuleId::new(9)).is_none());
+        assert!(source.take_module_state(ModuleId::new(9)).is_none());
+        let orphan = ModuleState {
+            module_id: 9,
+            ..ModuleState::default()
+        };
+        assert!(matches!(
+            target.import_module_state(&orphan),
+            Err(CoreError::UnknownModule { module_id: 9 })
+        ));
+        // Shape mismatches are refused instead of corrupting memory.
+        let mut fat = taken.clone();
+        fat.stages[0] = vec![1; 4096];
+        assert!(matches!(
+            target.import_module_state(&fat),
+            Err(CoreError::StateShapeMismatch { module_id: 3, .. })
+        ));
     }
 
     #[test]

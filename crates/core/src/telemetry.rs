@@ -138,13 +138,29 @@ impl LatencyHistogram {
     /// buckets, so they are accurate to within one sub-bucket rather than
     /// exact. This is what lets a caller measure one run's latency on a
     /// reused runtime whose histograms are cumulative.
-    pub fn subtracting(&self, baseline: &LatencyHistogram) -> LatencyHistogram {
+    ///
+    /// A baseline that is *not* a prefix — any bucket where it exceeds this
+    /// histogram, e.g. a snapshot kept across a runtime reset or taken from
+    /// a different stream — is detected and surfaced as
+    /// [`BaselineMismatch`] instead of silently under-reporting via
+    /// saturating per-bucket subtraction.
+    pub fn subtracting(
+        &self,
+        baseline: &LatencyHistogram,
+    ) -> core::result::Result<LatencyHistogram, BaselineMismatch> {
         if baseline.total == 0 {
-            return self.clone();
+            return Ok(self.clone());
+        }
+        if baseline.total > self.total {
+            return Err(BaselineMismatch {
+                bucket: None,
+                current: self.total,
+                baseline: baseline.total,
+            });
         }
         let mut delta = LatencyHistogram {
             counts: vec![0; BUCKET_COUNT],
-            total: self.total.saturating_sub(baseline.total),
+            total: self.total - baseline.total,
             sum: self.sum.saturating_sub(baseline.sum),
             min: u64::MAX,
             max: 0,
@@ -154,7 +170,14 @@ impl LatencyHistogram {
         for index in 0..BUCKET_COUNT {
             let mine = self.counts.get(index).copied().unwrap_or(0);
             let theirs = baseline.counts.get(index).copied().unwrap_or(0);
-            let remaining = mine.saturating_sub(theirs);
+            if theirs > mine {
+                return Err(BaselineMismatch {
+                    bucket: Some(index),
+                    current: mine,
+                    baseline: theirs,
+                });
+            }
+            let remaining = mine - theirs;
             delta.counts[index] = remaining;
             if remaining > 0 {
                 first.get_or_insert(index);
@@ -168,7 +191,7 @@ impl LatencyHistogram {
             delta.total = 0;
             delta.sum = 0;
         }
-        delta
+        Ok(delta)
     }
 
     /// Number of recorded values.
@@ -239,6 +262,43 @@ impl LatencyHistogram {
         }
     }
 }
+
+/// Error from [`LatencyHistogram::subtracting`]: the claimed baseline is not
+/// an earlier snapshot of the same recording stream — somewhere it counts
+/// more samples than the histogram it is subtracted from. The classic cause
+/// is a stale baseline held across a runtime reset (or a resize that
+/// replaced shards), where silent saturating subtraction would under-report
+/// latency instead of flagging the measurement as invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineMismatch {
+    /// The first offending bucket index, or `None` when the totals already
+    /// disagree.
+    pub bucket: Option<usize>,
+    /// The histogram's count at that point.
+    pub current: u64,
+    /// The baseline's (larger) count at that point.
+    pub baseline: u64,
+}
+
+impl core::fmt::Display for BaselineMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.bucket {
+            Some(bucket) => write!(
+                f,
+                "inconsistent latency baseline: bucket {bucket} counts {} in the baseline \
+                 but only {} in the histogram (stale or foreign baseline)",
+                self.baseline, self.current
+            ),
+            None => write!(
+                f,
+                "inconsistent latency baseline: baseline holds {} samples, histogram only {}",
+                self.baseline, self.current
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineMismatch {}
 
 /// The percentile summary the runtime and benches report.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -398,7 +458,7 @@ mod tests {
             cumulative.record(value);
             suffix_only.record(value);
         }
-        let delta = cumulative.subtracting(&baseline);
+        let delta = cumulative.subtracting(&baseline).unwrap();
         assert_eq!(delta.count(), 800);
         for q in [0.5, 0.9, 0.99] {
             assert_eq!(delta.quantile(q), suffix_only.quantile(q), "q {q}");
@@ -408,11 +468,92 @@ mod tests {
         assert!(delta.min() <= suffix_only.min());
         assert!(delta.max() >= suffix_only.max());
         // Subtracting everything leaves an empty histogram.
-        let empty = cumulative.subtracting(&cumulative);
+        let empty = cumulative.subtracting(&cumulative).unwrap();
         assert_eq!(empty.count(), 0);
         assert_eq!(empty.quantile(0.5), 0);
         // Subtracting an empty baseline is the identity.
-        assert_eq!(cumulative.subtracting(&LatencyHistogram::new()), cumulative);
+        assert_eq!(
+            cumulative.subtracting(&LatencyHistogram::new()).unwrap(),
+            cumulative
+        );
+    }
+
+    #[test]
+    fn stale_baselines_are_detected_not_under_reported() {
+        // A "reset" stream: the stale baseline from before the reset counts
+        // samples the fresh histogram never saw. Saturating subtraction used
+        // to return a silently wrong (under-counted) delta; now it errors.
+        let mut stale_baseline = LatencyHistogram::new();
+        for i in 0..500u64 {
+            stale_baseline.record(1_000 + i * 13);
+        }
+        let mut after_reset = LatencyHistogram::new();
+        for i in 0..200u64 {
+            after_reset.record(2_000 + i * 7);
+        }
+        let err = after_reset.subtracting(&stale_baseline).unwrap_err();
+        assert_eq!(err.current, 200);
+        assert_eq!(err.baseline, 500);
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+
+        // Equal totals but shifted buckets (a *different* stream of the same
+        // length): caught per bucket.
+        let mut other_stream = LatencyHistogram::new();
+        for i in 0..200u64 {
+            other_stream.record(9_000_000 + i);
+        }
+        let err = after_reset.subtracting(&other_stream).unwrap_err();
+        assert!(err.bucket.is_some());
+        assert!(err.baseline > err.current);
+    }
+
+    /// Property test (seeded-loop style): for random histograms `a`, `b`,
+    /// `(a merged b).subtracting(a) == b` bucket-exactly, and subtracting in
+    /// the wrong direction errors whenever `a` has a bucket `b` lacks.
+    #[test]
+    fn subtract_after_merge_round_trips() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 1u64..=8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            for _ in 0..rng.gen_range(1..3000) {
+                let octave = rng.gen_range(0u32..40);
+                a.record(rng.gen_range(0u64..(1u64 << octave).max(2)));
+            }
+            for _ in 0..rng.gen_range(1..3000) {
+                let octave = rng.gen_range(0u32..40);
+                b.record(rng.gen_range(0u64..(1u64 << octave).max(2)));
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let recovered = merged.subtracting(&a).unwrap();
+            assert_eq!(recovered.count(), b.count(), "seed {seed}");
+            assert_eq!(recovered.counts, b.counts, "seed {seed}: bucket-exact");
+            // Quantiles agree to the bucket: counts are identical, and the
+            // only permitted difference is the clamp to the observed max,
+            // which subtraction recovers bucket-accurately rather than
+            // exactly.
+            for q in [0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    bucket_index(recovered.quantile(q)),
+                    bucket_index(b.quantile(q)),
+                    "seed {seed} q {q}"
+                );
+                assert!(recovered.quantile(q) >= b.quantile(q), "seed {seed} q {q}");
+            }
+            // min/max recovery is bucket-accurate.
+            assert!(recovered.min() <= b.min() && recovered.max() >= b.max());
+            // The merged histogram is a superset of both inputs; each input
+            // subtracts cleanly from it in either order.
+            assert_eq!(merged.subtracting(&b).unwrap().counts, a.counts);
+            // But subtracting the *merged* histogram from a part must fail
+            // (unless the other part recorded nothing in every bucket, which
+            // the generator above makes effectively impossible).
+            assert!(a.subtracting(&merged).is_err(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -124,6 +124,58 @@ impl StatefulMemory {
         Ok(())
     }
 
+    /// Copies a contiguous range of words out of the memory without touching
+    /// the access statistics (a management-plane read, like [`peek`]
+    /// (Self::peek)). This is the extraction half of the state-migration
+    /// hooks: the sharded runtime snapshots a module's segment here before
+    /// replaying it into another replica.
+    pub fn snapshot_range(&self, start: u32, len: u32) -> Result<Vec<u64>> {
+        let end = self.range_end(start, len)?;
+        Ok(self.words[start as usize..end].to_vec())
+    }
+
+    /// Copies a contiguous range of words out and zeroes it in one step —
+    /// the "move" primitive of state migration: after a take, exactly one
+    /// copy of the state exists (the returned one), so replaying it into
+    /// another replica cannot double-count.
+    pub fn take_range(&mut self, start: u32, len: u32) -> Result<Vec<u64>> {
+        let end = self.range_end(start, len)?;
+        let mut taken = Vec::with_capacity(len as usize);
+        for word in &mut self.words[start as usize..end] {
+            taken.push(std::mem::take(word));
+        }
+        Ok(taken)
+    }
+
+    /// Adds `words` element-wise (wrapping) onto the range starting at
+    /// `start` — the injection half of state migration. Addition, not
+    /// overwrite: for single-owner state the target range is zero (so add
+    /// equals set), and for replicated mergeable state addition is exactly
+    /// the legal merge.
+    pub fn merge_range(&mut self, start: u32, words: &[u64]) -> Result<()> {
+        let end = self.range_end(start, words.len() as u32)?;
+        for (slot, &value) in self.words[start as usize..end].iter_mut().zip(words) {
+            *slot = slot.wrapping_add(value);
+        }
+        Ok(())
+    }
+
+    /// Bounds-checks `start..start + len`, returning the exclusive end.
+    fn range_end(&self, start: u32, len: u32) -> Result<usize> {
+        let limit = self.words.len() as u32;
+        let end = start.checked_add(len).ok_or(RmtError::StatefulOutOfRange {
+            address: start,
+            limit,
+        })?;
+        if end > limit {
+            return Err(RmtError::StatefulOutOfRange {
+                address: end,
+                limit,
+            });
+        }
+        Ok(end as usize)
+    }
+
     /// Total number of reads performed (statistics for the software interface).
     pub fn read_count(&self) -> u64 {
         self.reads
@@ -197,6 +249,39 @@ mod tests {
         assert_eq!(mem.peek(5), Some(105));
         assert!(mem.clear_range(6, 3).is_err());
         assert!(mem.clear_range(u32::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn migration_range_ops_move_and_merge_state() {
+        let mut mem = StatefulMemory::new(8);
+        for i in 0..8 {
+            mem.write(i, 10 + u64::from(i)).unwrap();
+        }
+        let stats = (mem.read_count(), mem.write_count());
+        // Snapshot copies without clearing or counting.
+        assert_eq!(mem.snapshot_range(2, 3).unwrap(), vec![12, 13, 14]);
+        assert_eq!(mem.peek(2), Some(12));
+        // Take moves: the source range is zeroed.
+        assert_eq!(mem.take_range(2, 3).unwrap(), vec![12, 13, 14]);
+        assert_eq!(mem.peek(2), Some(0));
+        assert_eq!(mem.peek(4), Some(0));
+        assert_eq!(mem.peek(5), Some(15), "words outside the range survive");
+        // Merge adds (wrapping) onto the destination.
+        mem.merge_range(2, &[12, 13, 14]).unwrap();
+        assert_eq!(mem.snapshot_range(2, 3).unwrap(), vec![12, 13, 14]);
+        mem.write(7, u64::MAX).unwrap();
+        mem.merge_range(7, &[2]).unwrap();
+        assert_eq!(mem.peek(7), Some(1), "merge wraps like loadd");
+        // None of the range ops count as data-path accesses.
+        assert_eq!(
+            (mem.read_count(), mem.write_count()),
+            (stats.0, stats.1 + 1),
+            "only the explicit write above counts"
+        );
+        // Bounds are enforced like every other accessor.
+        assert!(mem.snapshot_range(6, 3).is_err());
+        assert!(mem.take_range(u32::MAX, 2).is_err());
+        assert!(mem.merge_range(7, &[1, 2]).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! that replayed the full log ([`EpochLog::standby_replica`]), which is what
 //! future elastic resharding needs.
 
-use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, ReconfigCommand};
+use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, ModuleState, ReconfigCommand};
 use menshen_packet::Ipv4Address;
 
 /// One replicated control-plane operation. Applied identically, in published
@@ -54,12 +54,48 @@ pub enum ControlOp {
     /// Ask each shard to publish a snapshot of its per-module counters and
     /// device statistics (the aggregation path; no pipeline state changes).
     Snapshot,
+    /// Live-resharding, step 1: every shard with index ≥ `from_shard`
+    /// extracts-and-clears the listed modules' dynamic state
+    /// ([`MenshenPipeline::take_module_state`]) and publishes the extracts on
+    /// the progress board for the control plane to merge. A *dynamic-state*
+    /// op: it replays as a no-op on configuration replicas (compaction
+    /// checkpoints, standby replicas), which by definition carry no dynamic
+    /// state to extract.
+    ExportState {
+        /// The modules whose state moves.
+        modules: Vec<ModuleId>,
+        /// First shard index the export applies to (0 = every shard; a
+        /// shrink exports everything only from the retiring tail).
+        from_shard: usize,
+    },
+    /// Live-resharding, step 2: the shard whose index equals `shard` replays
+    /// a merged extract into its replica
+    /// ([`MenshenPipeline::import_module_state`]); every other shard — and
+    /// every configuration replica — treats it as a no-op.
+    InjectState {
+        /// The target shard index.
+        shard: usize,
+        /// The merged state to replay.
+        state: Box<ModuleState>,
+    },
+    /// Live-resharding, step 3 (scale-in only): every shard with index ≥
+    /// `keep` acknowledges the epoch and then exits its worker loop. A no-op
+    /// on configuration replicas and on surviving shards.
+    Retire {
+        /// Number of shards that remain after the epoch.
+        keep: usize,
+    },
 }
 
 impl ControlOp {
-    /// Applies this operation to one pipeline replica. [`ControlOp::Snapshot`]
-    /// is a no-op here — the shard handles it after applying, by exporting
-    /// its statistics.
+    /// Applies this operation to one pipeline replica.
+    ///
+    /// [`ControlOp::Snapshot`], [`ControlOp::ExportState`],
+    /// [`ControlOp::InjectState`] and [`ControlOp::Retire`] are no-ops here:
+    /// they act on *per-shard dynamic state* (or the worker loop itself), so
+    /// the shard handles them in `apply_entry` where it knows its own index
+    /// — and a configuration replica rebuilt from the log (compaction
+    /// checkpoint, standby) correctly skips them, staying config-only.
     pub fn apply(&self, pipeline: &mut MenshenPipeline) -> menshen_core::Result<()> {
         match self {
             ControlOp::Load(config) => pipeline.load_module(config).map(|_| ()),
@@ -77,6 +113,8 @@ impl ControlOp {
                 Ok(())
             }
             ControlOp::Snapshot => Ok(()),
+            ControlOp::ExportState { .. } | ControlOp::InjectState { .. } => Ok(()),
+            ControlOp::Retire { .. } => Ok(()),
         }
     }
 }

@@ -35,7 +35,14 @@
 //!   published as a numbered epoch; shards apply epochs in order at burst
 //!   boundaries and acknowledge them, and the flush barrier quiesces every
 //!   dispatcher before an epoch publishes, giving hitless reconfiguration
-//!   at any dispatcher count.
+//!   at any dispatcher count. The same machinery carries **live
+//!   resharding**: [`ShardedRuntime::resize`] / [`ShardedRuntime::set_reta`]
+//!   export the moving tenants' state (`ExportState`), stand shards up from
+//!   the compacted log or retire them (`Retire`), replay the state into its
+//!   new owners (`InjectState`), and publish the new RETA — all at a full
+//!   quiesce, so no packet ever observes a half-moved tenant. Non-mergeable
+//!   stateful programs are pinned tenant-affine under 5-tuple steering
+//!   ([`Steerer::pin_module`]) so they stay single-owner and migratable.
 //! * [`shard`] — the shard and dispatcher thread bodies and the cross-thread
 //!   progress board.
 //! * [`runtime`] — [`ShardedRuntime`], tying it all together, in a
@@ -63,7 +70,7 @@ pub use rss::{
     RSS_KEY_LEN,
 };
 pub use runtime::{
-    DispatchSpray, DispatcherStats, ExecutionMode, RuntimeError, RuntimeLatency, RuntimeOptions,
-    ShardedRuntime,
+    DispatchSpray, DispatcherStats, ExecutionMode, ResizeReport, RetiredTally, RuntimeError,
+    RuntimeLatency, RuntimeOptions, ShardedRuntime,
 };
 pub use shard::{RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};

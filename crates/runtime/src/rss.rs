@@ -155,12 +155,31 @@ pub enum SteeringMode {
 
 /// The dispatcher's per-packet steering decision: Toeplitz hash → indirection
 /// table → shard index.
+///
+/// Beyond the classic hash + RETA, the steerer supports two control-plane
+/// operations that live resharding is built on:
+///
+/// * **RETA rewrite** ([`retarget`](Self::retarget) /
+///   [`set_reta`](Self::set_reta)): the indirection table can be rebuilt for
+///   a new shard count or replaced wholesale, exactly like writing a NIC's
+///   indirection table at runtime. The sharded runtime publishes rewrites
+///   only at a full quiesce, after migrating the moving tenants' state.
+/// * **Module pinning** ([`pin_module`](Self::pin_module)): under 5-tuple
+///   steering, a pinned module's packets are steered by the *tenant* hash
+///   instead — all of its traffic lands on one shard, giving it exactly one
+///   live copy of its stateful memory. This is how programs with
+///   non-mergeable state become legal under 5-tuple steering: they are
+///   pinned single-owner and *migrated* on RETA changes, rather than
+///   replicated and rejected.
 #[derive(Debug, Clone)]
 pub struct Steerer {
     hasher: RssHasher,
     mode: SteeringMode,
     reta: [u16; RETA_SIZE],
     shards: usize,
+    /// Modules steered tenant-affine even in 5-tuple mode (single-owner
+    /// state). Empty in tenant-affine mode, where every module already is.
+    pinned: std::collections::HashSet<u16>,
 }
 
 impl Steerer {
@@ -168,16 +187,24 @@ impl Steerer {
     /// the indirection table round-robin (the usual driver default).
     pub fn new(mode: SteeringMode, shards: usize) -> Self {
         assert!(shards > 0, "a steerer needs at least one shard");
+        Steerer {
+            hasher: RssHasher::default(),
+            mode,
+            reta: Self::round_robin_reta(shards),
+            shards,
+            pinned: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The driver-default indirection table: entries rotate round-robin over
+    /// `shards` shards.
+    pub fn round_robin_reta(shards: usize) -> [u16; RETA_SIZE] {
+        assert!(shards > 0, "a RETA needs at least one shard");
         let mut reta = [0u16; RETA_SIZE];
         for (i, entry) in reta.iter_mut().enumerate() {
             *entry = (i % shards) as u16;
         }
-        Steerer {
-            hasher: RssHasher::default(),
-            mode,
-            reta,
-            shards,
-        }
+        reta
     }
 
     /// The number of shards this steerer spreads over.
@@ -188,6 +215,73 @@ impl Steerer {
     /// The steering mode.
     pub fn mode(&self) -> SteeringMode {
         self.mode
+    }
+
+    /// The current indirection table.
+    pub fn reta(&self) -> &[u16; RETA_SIZE] {
+        &self.reta
+    }
+
+    /// Rewrites the steerer for a new shard count with the round-robin
+    /// default table — the scale-out/in entry point.
+    pub fn retarget(&mut self, shards: usize) {
+        assert!(shards > 0, "a steerer needs at least one shard");
+        self.shards = shards;
+        self.reta = Self::round_robin_reta(shards);
+    }
+
+    /// Replaces the indirection table wholesale. Every entry must name an
+    /// existing shard.
+    pub fn set_reta(&mut self, reta: [u16; RETA_SIZE]) {
+        assert!(
+            reta.iter().all(|&entry| usize::from(entry) < self.shards),
+            "RETA entries must name shards below {}",
+            self.shards
+        );
+        self.reta = reta;
+    }
+
+    /// Pins `module` to tenant-affine steering (single-owner state) even in
+    /// 5-tuple mode. Returns true if the pin set changed.
+    pub fn pin_module(&mut self, module: u16) -> bool {
+        self.pinned.insert(module)
+    }
+
+    /// Clears a module's pin. Returns true if the pin set changed.
+    pub fn unpin_module(&mut self, module: u16) -> bool {
+        self.pinned.remove(&module)
+    }
+
+    /// True when `module` steers tenant-affine regardless of the mode.
+    pub fn is_pinned(&self, module: u16) -> bool {
+        self.pinned.contains(&module)
+    }
+
+    /// The pinned modules, sorted (telemetry/test surface).
+    pub fn pinned_modules(&self) -> Vec<u16> {
+        let mut pinned: Vec<u16> = self.pinned.iter().copied().collect();
+        pinned.sort_unstable();
+        pinned
+    }
+
+    /// The Toeplitz hash of a module's tenant identity (the VLAN ID) — the
+    /// hash tenant-affine steering uses, exposed so the control plane can
+    /// compute a tenant's owner shard without a packet in hand.
+    pub fn tenant_hash(&self, module: u16) -> u32 {
+        self.hasher.hash(&module.to_be_bytes())
+    }
+
+    /// The shard that owns all of `module`'s traffic, when the module is
+    /// single-owner under the current steering (tenant-affine mode, or a
+    /// pinned module in 5-tuple mode); `None` when the module's flows spread
+    /// over shards.
+    pub fn owner_shard(&self, module: u16) -> Option<usize> {
+        match self.mode {
+            SteeringMode::TenantAffine => Some(self.shard_for_hash(self.tenant_hash(module))),
+            SteeringMode::FiveTuple => self
+                .is_pinned(module)
+                .then(|| self.shard_for_hash(self.tenant_hash(module))),
+        }
     }
 
     /// Steers one packet to a shard index in `0..shards`.
@@ -203,7 +297,9 @@ impl Steerer {
     }
 
     /// The Toeplitz hash of `packet`'s steering fields under the current
-    /// mode — the value whose low bits index the RETA.
+    /// mode — the value whose low bits index the RETA. In 5-tuple mode a
+    /// packet belonging to a *pinned* module hashes its tenant identity
+    /// instead, so all of the module's traffic shares one RETA entry.
     pub fn flow_hash(&self, packet: &Packet) -> u32 {
         let mut buf = [0u8; MAX_HASH_INPUT];
         let len = match self.mode {
@@ -214,7 +310,16 @@ impl Steerer {
                 }
                 Err(_) => self.five_tuple_into(packet, &mut buf),
             },
-            SteeringMode::FiveTuple => self.five_tuple_into(packet, &mut buf),
+            SteeringMode::FiveTuple => {
+                if !self.pinned.is_empty() {
+                    if let Ok(vid) = packet.vlan_id() {
+                        if self.pinned.contains(&vid.value()) {
+                            return self.tenant_hash(vid.value());
+                        }
+                    }
+                }
+                self.five_tuple_into(packet, &mut buf)
+            }
         };
         self.hasher.hash(&buf[..len])
     }
@@ -500,6 +605,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn retarget_and_set_reta_redirect_flows() {
+        let mut steerer = Steerer::new(SteeringMode::TenantAffine, 4);
+        let packet = PacketBuilder::udp_data(9, [10, 0, 0, 1], [10, 0, 1, 1], 1111, 80, &[]);
+        let before = steerer.shard_for(&packet);
+        assert!(before < 4);
+        // Scale out: same hash, wider table.
+        steerer.retarget(8);
+        assert_eq!(steerer.shards(), 8);
+        assert!(steerer.shard_for(&packet) < 8);
+        assert_eq!(
+            steerer.owner_shard(9),
+            Some(steerer.shard_for(&packet)),
+            "owner_shard computes the same decision without a packet"
+        );
+        // Scale in to one shard: everything pins to 0.
+        steerer.retarget(1);
+        assert_eq!(steerer.shard_for(&packet), 0);
+        // A custom RETA sends every flow to one chosen shard.
+        steerer.retarget(4);
+        steerer.set_reta([3u16; RETA_SIZE]);
+        assert_eq!(steerer.shard_for(&packet), 3);
+        assert_eq!(steerer.reta()[0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "RETA entries must name shards")]
+    fn set_reta_rejects_out_of_range_entries() {
+        let mut steerer = Steerer::new(SteeringMode::TenantAffine, 2);
+        steerer.set_reta([2u16; RETA_SIZE]);
+    }
+
+    #[test]
+    fn pinned_modules_steer_tenant_affine_under_five_tuple() {
+        let mut steerer = Steerer::new(SteeringMode::FiveTuple, 8);
+        // Unpinned: flows of module 7 spread.
+        let flows: Vec<Packet> = (0..64u16)
+            .map(|flow| {
+                PacketBuilder::udp_data(
+                    7,
+                    [10, 0, 0, (1 + flow % 200) as u8],
+                    [10, 0, 1, 1],
+                    1024 + flow,
+                    80,
+                    &[],
+                )
+            })
+            .collect();
+        let spread: std::collections::HashSet<usize> =
+            flows.iter().map(|p| steerer.shard_for(p)).collect();
+        assert!(spread.len() > 1, "unpinned flows must spread");
+        assert_eq!(steerer.owner_shard(7), None);
+
+        // Pinned: every flow of module 7 lands on the tenant-affine owner,
+        // which matches what tenant-affine mode would pick.
+        assert!(steerer.pin_module(7));
+        assert!(!steerer.pin_module(7), "already pinned");
+        assert!(steerer.is_pinned(7));
+        assert_eq!(steerer.pinned_modules(), vec![7]);
+        let owner = steerer.owner_shard(7).expect("pinned modules are owned");
+        let affine = Steerer::new(SteeringMode::TenantAffine, 8);
+        assert_eq!(owner, affine.owner_shard(7).unwrap());
+        for packet in &flows {
+            assert_eq!(steerer.shard_for(packet), owner);
+        }
+        // Other modules keep spreading.
+        let other = PacketBuilder::udp_data(8, [10, 0, 0, 9], [10, 0, 1, 1], 2000, 80, &[]);
+        assert_eq!(
+            steerer.flow_hash(&other),
+            Steerer::new(SteeringMode::FiveTuple, 8).flow_hash(&other)
+        );
+        // Unpinning restores the spread.
+        assert!(steerer.unpin_module(7));
+        let spread_again: std::collections::HashSet<usize> =
+            flows.iter().map(|p| steerer.shard_for(p)).collect();
+        assert_eq!(spread, spread_again);
     }
 
     #[test]

@@ -45,21 +45,22 @@
 
 use crate::control::{CompactionReport, ControlOp, EpochEntry};
 use crate::ring::{ring, ring_with_parker, Parker, Producer};
-use crate::rss::{Steerer, SteeringMode};
+use crate::rss::{Steerer, SteeringMode, RETA_SIZE};
 use crate::shard::{
-    apply_entry, run_dispatcher, run_worker, Burst, RingDepth, ShardSnapshot, ShardStats,
-    ShardTelemetry, Shared,
+    apply_entry, run_dispatcher, run_worker, Burst, DispatcherUpdate, RingDepth, ShardSnapshot,
+    ShardStats, ShardTelemetry, Shared,
 };
+use menshen_core::packet_filter::FilterCounters;
 use menshen_core::{LatencyHistogram, StateMergeability};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
-use menshen_core::{SystemStats, Verdict, BURST_SIZE};
+use menshen_core::{ModuleState, SystemStats, Verdict, BURST_SIZE};
 use menshen_packet::{Ipv4Address, Packet};
 use menshen_rmt::params::PipelineParams;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the runtime executes its shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,18 +186,12 @@ pub enum RuntimeError {
         /// The dead dispatcher's index.
         dispatcher: usize,
     },
-    /// A module whose stateful memory is not mergeable (it overwrites
-    /// stateful words instead of additively updating them) was loaded under
-    /// 5-tuple steering, where every shard keeps an independent copy of the
-    /// state. Accepting it would silently compute wrong aggregates, so the
-    /// runtime refuses up front. Load the module under tenant-affine
-    /// steering instead, or make its state additive.
-    NonMergeableState {
-        /// The offending module.
-        module: u16,
-        /// Which stage/rule and why (from
-        /// [`ModuleConfig::state_mergeability`]).
-        detail: String,
+    /// A `resize`/`set_reta` request was structurally invalid (zero shards,
+    /// a RETA entry naming a shard that would not exist) and was refused
+    /// before touching the plane.
+    InvalidResize {
+        /// What was wrong with the request.
+        message: String,
     },
 }
 
@@ -213,12 +208,8 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::DispatcherDown { dispatcher } => {
                 write!(f, "dispatcher {dispatcher} is no longer running")
             }
-            RuntimeError::NonMergeableState { module, detail } => {
-                write!(
-                    f,
-                    "module {module} has non-mergeable stateful memory and cannot run \
-                     under 5-tuple steering: {detail}"
-                )
+            RuntimeError::InvalidResize { message } => {
+                write!(f, "invalid resize request: {message}")
             }
         }
     }
@@ -256,6 +247,50 @@ pub struct DispatcherStats {
     pub exited: bool,
 }
 
+/// The outcome of one live resharding operation
+/// ([`ShardedRuntime::resize`] / [`ShardedRuntime::set_reta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResizeReport {
+    /// Shard count before the operation.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// Wall-clock duration the ingress was blocked: flush-barrier quiesce →
+    /// state export → replica stand-up/retirement → injection → RETA
+    /// publication. This is the *migration pause* — the one number a
+    /// deployment pays per elastic step.
+    pub pause: Duration,
+    /// Single-owner modules whose state moved to a different shard.
+    pub migrated_modules: usize,
+    /// Stateful words replayed into target replicas (across all injected
+    /// snapshots).
+    pub migrated_words: usize,
+    /// The epoch that committed the migration (injections + retirements).
+    pub epoch: u64,
+}
+
+/// Dynamic totals inherited from shards that were retired by scale-in:
+/// their traffic tallies, link statistics and latency histograms. Per-module
+/// counters and stateful words are *not* here — those migrate into surviving
+/// replicas — but shard-level telemetry has no owning replica to move to, so
+/// the runtime folds it into every aggregate instead of losing history.
+#[derive(Debug, Clone, Default)]
+pub struct RetiredTally {
+    /// Number of shards retired over the runtime's lifetime.
+    pub shards_retired: usize,
+    /// Summed traffic tallies of retired shards.
+    pub stats: ShardStats,
+    /// Summed link statistics of retired shards (`link_packets` /
+    /// `link_bytes`; queue length keeps the max).
+    pub system: SystemStats,
+    /// Summed packet-filter counters of retired shards.
+    pub filter: FilterCounters,
+    /// Merged per-packet sojourn histograms of retired shards.
+    pub latency: LatencyHistogram,
+    /// Merged per-burst service-time histograms of retired shards.
+    pub burst_latency: LatencyHistogram,
+}
+
 /// A deterministic-mode shard: the replica lives in the runtime itself.
 struct LocalShard {
     pipeline: MenshenPipeline,
@@ -290,6 +325,53 @@ enum Backend {
     },
 }
 
+/// Spawns one worker-shard thread with one input ring per producer row
+/// (dispatcher, or the single inline row), all sharing the shard's parker.
+/// Returns the handle plus the ring producers in row order. Used both at
+/// construction and when a live resize stands up additional shards —
+/// `initial_epoch` is the epoch the shard's pipeline already embodies.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    options: &RuntimeOptions,
+    index: usize,
+    pipeline: MenshenPipeline,
+    rows: usize,
+    initial_epoch: u64,
+) -> (Worker, Vec<Producer<Burst>>) {
+    let parker = Arc::new(Parker::new());
+    let mut producers = Vec::with_capacity(rows);
+    let mut consumers = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (producer, consumer) = ring_with_parker(options.ring_capacity, Arc::clone(&parker));
+        producers.push(producer);
+        consumers.push(consumer);
+    }
+    let thread_shared = Arc::clone(shared);
+    let worker_parker = Arc::clone(&parker);
+    let handle = std::thread::Builder::new()
+        .name(format!("menshen-shard-{index}"))
+        .spawn(move || {
+            run_worker(
+                index,
+                pipeline,
+                consumers,
+                worker_parker,
+                thread_shared,
+                initial_epoch,
+            )
+        })
+        .expect("spawning a shard thread");
+    (
+        Worker {
+            input: None,
+            parker,
+            handle: Some(handle),
+            submitted_bursts: 0,
+        },
+        producers,
+    )
+}
+
 /// Once the live portion of the epoch log reaches this many entries, the
 /// synchronous control path folds the acknowledged prefix into the
 /// checkpoint so the log stops growing across reconfigurations.
@@ -315,6 +397,8 @@ pub struct ShardedRuntime {
     reorder: Vec<Option<Verdict>>,
     /// Round-robin spray cursor (threaded dispatcher mode).
     spray_cursor: usize,
+    /// Telemetry inherited from shards retired by scale-in.
+    retired: RetiredTally,
 }
 
 impl ShardedRuntime {
@@ -330,30 +414,25 @@ impl ShardedRuntime {
     /// existing pipeline ([`MenshenPipeline::config_replica`]): same loaded
     /// modules and routing state, zeroed counters and stateful memory.
     ///
-    /// Like the construction-time shard/burst contracts, state replication
-    /// is checked up front: replicating a template that contains a
-    /// non-mergeable stateful module under 5-tuple steering panics (the
-    /// load/update paths return [`RuntimeError::NonMergeableState`] for the
-    /// same condition), because every shard would otherwise keep an
-    /// independent last-writer-wins copy and silently compute wrong
-    /// aggregates.
+    /// Templates containing stateful modules whose state is *not* mergeable
+    /// are legal under 5-tuple steering: those modules are **pinned** to
+    /// tenant-affine steering ([`Steerer::pin_module`]), so exactly one
+    /// shard owns each one's state — and live resharding migrates that copy
+    /// when the RETA changes.
     pub fn from_pipeline(template: &MenshenPipeline, options: RuntimeOptions) -> Self {
         assert!(options.shards >= 1, "at least one shard is required");
         assert!(options.burst_size >= 1, "burst size must be positive");
+        let shared = Arc::new(Shared::new(options.shards, options.dispatchers));
+        let mut steerer = Steerer::new(options.steering, options.shards);
         if options.steering == SteeringMode::FiveTuple {
             for module in template.loaded_modules() {
-                if let Some(StateMergeability::NonMergeable { stage, detail }) =
+                if let Some(StateMergeability::NonMergeable { .. }) =
                     template.module_state_mergeability(module)
                 {
-                    panic!(
-                        "cannot replicate {module} under 5-tuple steering: \
-                         non-mergeable state in stage {stage}: {detail}"
-                    );
+                    steerer.pin_module(module.value());
                 }
             }
         }
-        let shared = Arc::new(Shared::new(options.shards, options.dispatchers));
-        let steerer = Steerer::new(options.steering, options.shards);
         let backend = match options.mode {
             ExecutionMode::Deterministic => Backend::Deterministic(
                 (0..options.shards)
@@ -373,29 +452,12 @@ impl ShardedRuntime {
                     .map(|_| Vec::with_capacity(options.shards))
                     .collect();
                 for index in 0..options.shards {
-                    let parker = Arc::new(Parker::new());
-                    let mut consumers = Vec::with_capacity(rows);
-                    for row in producer_rows.iter_mut() {
-                        let (producer, consumer) =
-                            ring_with_parker(options.ring_capacity, Arc::clone(&parker));
+                    let (worker, producers) =
+                        spawn_worker(&shared, &options, index, template.config_replica(), rows, 0);
+                    for (row, producer) in producer_rows.iter_mut().zip(producers) {
                         row.push(producer);
-                        consumers.push(consumer);
                     }
-                    let pipeline = template.config_replica();
-                    let shared = Arc::clone(&shared);
-                    let worker_parker = Arc::clone(&parker);
-                    let handle = std::thread::Builder::new()
-                        .name(format!("menshen-shard-{index}"))
-                        .spawn(move || {
-                            run_worker(index, pipeline, consumers, worker_parker, shared)
-                        })
-                        .expect("spawning a shard thread");
-                    workers.push(Worker {
-                        input: None,
-                        parker,
-                        handle: Some(handle),
-                        submitted_bursts: 0,
-                    });
+                    workers.push(worker);
                 }
                 let mut dispatchers = Vec::with_capacity(options.dispatchers);
                 if options.dispatchers == 0 {
@@ -437,6 +499,7 @@ impl ShardedRuntime {
             verdict_scratch: Vec::new(),
             reorder: Vec::new(),
             spray_cursor: 0,
+            retired: RetiredTally::default(),
             steerer,
             shared,
             backend,
@@ -512,7 +575,8 @@ impl ShardedRuntime {
         match &mut self.backend {
             Backend::Deterministic(shards) => {
                 for (index, shard) in shards.iter_mut().enumerate() {
-                    let (snapshot, error) = apply_entry(
+                    let outcome = apply_entry(
+                        index,
                         &mut shard.pipeline,
                         &entry,
                         &shard.telemetry,
@@ -521,12 +585,17 @@ impl ShardedRuntime {
                     let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
                     let slot = &mut progress.shards[index];
                     slot.applied_epoch = entry.epoch;
-                    if let Some(snapshot) = snapshot {
+                    if let Some(snapshot) = outcome.snapshot {
                         slot.snapshot = Some(snapshot);
                     }
-                    if let Some(message) = error {
+                    if let Some(exports) = outcome.exported {
+                        slot.exported = Some((entry.epoch, exports));
+                    }
+                    if let Some(message) = outcome.error {
                         slot.last_error = Some((entry.epoch, message));
                     }
+                    // `Retire` is acknowledged here; the resize control path
+                    // truncates the local-shard vector itself right after.
                 }
             }
             Backend::Threaded { .. } => {}
@@ -667,42 +736,87 @@ impl ShardedRuntime {
             .standby_replica(&self.genesis)
     }
 
-    /// Refuses modules whose stateful memory cannot be replicated per shard
-    /// under the current steering mode. Tenant-affine steering pins each
-    /// tenant to one shard (one live copy of the state), so anything goes;
-    /// 5-tuple steering replicates state per shard and is only correct for
-    /// additive (mergeable) state.
-    fn check_state_replication(&self, config: &ModuleConfig) -> Result<(), RuntimeError> {
-        if self.steerer.mode() == SteeringMode::FiveTuple {
-            if let StateMergeability::NonMergeable { stage, detail } = config.state_mergeability() {
-                return Err(RuntimeError::NonMergeableState {
-                    module: config.module_id.value(),
-                    detail: format!("stage {stage}: {detail}"),
-                });
+    /// Aligns a module's steering pin with its state classification. Under
+    /// 5-tuple steering, a module whose stateful memory is *not* mergeable
+    /// cannot be replicated per shard (last-writer-wins copies have no
+    /// defined merge), so it is **pinned** to tenant-affine steering instead:
+    /// all of its traffic lands on one shard, giving it exactly one live
+    /// copy — which live resharding then migrates whole on RETA changes.
+    /// Mergeable and stateless modules spread normally. Returns true when
+    /// the pin set changed (the change must then be pushed to the
+    /// dispatchers before the next packet is steered).
+    fn align_pin(&mut self, config: &ModuleConfig) -> bool {
+        let module = config.module_id.value();
+        if self.steerer.mode() == SteeringMode::FiveTuple
+            && matches!(
+                config.state_mergeability(),
+                StateMergeability::NonMergeable { .. }
+            )
+        {
+            self.steerer.pin_module(module)
+        } else {
+            self.steerer.unpin_module(module)
+        }
+    }
+
+    /// Pushes the runtime's current steerer (RETA, shard count, pin set) to
+    /// every dispatcher thread without touching the ring topology. The
+    /// dispatchers adopt it before steering their next chunk; the calling
+    /// thread owns `&mut self`, so no packet can be submitted in between.
+    fn push_steering(&mut self) {
+        if let Backend::Threaded { dispatchers, .. } = &self.backend {
+            for index in 0..dispatchers.len() {
+                self.shared.stage_dispatcher_update(
+                    index,
+                    DispatcherUpdate {
+                        steerer: self.steerer.clone(),
+                        keep: self.options.shards,
+                        append: Vec::new(),
+                    },
+                );
             }
         }
-        Ok(())
     }
 
     /// Loads a module on every shard replica (one epoch). Under 5-tuple
-    /// steering, modules with non-mergeable stateful memory are refused with
-    /// [`RuntimeError::NonMergeableState`] instead of silently computing
-    /// wrong aggregates.
+    /// steering, a module with non-mergeable stateful memory is pinned
+    /// tenant-affine (single-owner state) rather than refused — see
+    /// [`pinned_modules`](Self::pinned_modules).
     pub fn load_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
-        self.check_state_replication(config)?;
+        if self.align_pin(config) {
+            self.push_steering();
+        }
         self.control(vec![ControlOp::Load(Box::new(config.clone()))])
     }
 
-    /// Updates a loaded module on every shard replica (one epoch). Applies
-    /// the same mergeability gate as [`load_module`](Self::load_module).
+    /// Updates a loaded module on every shard replica (one epoch),
+    /// re-aligning its steering pin with the new program's state
+    /// classification.
     pub fn update_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
-        self.check_state_replication(config)?;
+        if self.align_pin(config) {
+            self.push_steering();
+        }
         self.control(vec![ControlOp::Update(Box::new(config.clone()))])
     }
 
-    /// Unloads a module from every shard replica (one epoch).
+    /// Unloads a module from every shard replica (one epoch) and clears any
+    /// steering pin it held.
     pub fn unload_module(&mut self, module: ModuleId) -> Result<(), RuntimeError> {
+        if self.steerer.unpin_module(module.value()) {
+            self.push_steering();
+        }
         self.control(vec![ControlOp::Unload(module)])
+    }
+
+    /// The modules currently pinned to tenant-affine steering under 5-tuple
+    /// mode (single-owner state; empty in tenant-affine mode).
+    pub fn pinned_modules(&self) -> Vec<u16> {
+        self.steerer.pinned_modules()
+    }
+
+    /// The current RSS indirection table.
+    pub fn reta(&self) -> [u16; RETA_SIZE] {
+        *self.steerer.reta()
     }
 
     /// Marks a module as being reconfigured on every shard (its packets drop
@@ -733,6 +847,373 @@ impl ShardedRuntime {
     }
 
     // -----------------------------------------------------------------------
+    // Live resharding: elastic scale-out/in with tenant state migration
+    // -----------------------------------------------------------------------
+
+    /// Live resharding: grows or shrinks the runtime to `new_shards` worker
+    /// shards at runtime, rewriting the indirection table to the round-robin
+    /// default over the new count and migrating every moving tenant's state.
+    ///
+    /// The sequence (all of it while the ingress is blocked — the returned
+    /// [`ResizeReport::pause`] is exactly how long):
+    ///
+    /// 1. **Quiesce** — the two-stage flush barrier drains every dispatcher
+    ///    and every shard, so nothing is in flight anywhere.
+    /// 2. **Export** — one epoch broadcasts [`ControlOp::ExportState`]: each
+    ///    shard extracts-and-clears the moving tenants' counters and
+    ///    stateful words (single-owner modules whose owner shard changes;
+    ///    plus, on a shrink under 5-tuple steering, everything still on the
+    ///    retiring shards), and snapshots its telemetry.
+    /// 3. **Stand up / retire** — new shards spawn from
+    ///    [`standby_replica`](Self::standby_replica) (checkpoint + live
+    ///    epoch suffix, exactly the current configuration); on a shrink the
+    ///    retiring shards' telemetry is folded into the
+    ///    [`retired_tally`](Self::retired_tally).
+    /// 4. **Inject + commit** — a second epoch replays each merged extract
+    ///    into its new owner ([`ControlOp::InjectState`]) and retires the
+    ///    shards beyond the new count ([`ControlOp::Retire`]).
+    /// 5. **Publish the RETA** — the runtime's steerer swaps and every
+    ///    dispatcher thread adopts the new table (and its grown/shrunk ring
+    ///    row) before steering its next packet.
+    ///
+    /// Because the entire sequence runs at a full quiesce, no packet ever
+    /// observes a half-moved tenant: traffic before the resize ran entirely
+    /// under the old RETA against the old owners, traffic after runs
+    /// entirely under the new.
+    pub fn resize(&mut self, new_shards: usize) -> Result<ResizeReport, RuntimeError> {
+        if new_shards == 0 {
+            return Err(RuntimeError::InvalidResize {
+                message: "at least one shard is required".into(),
+            });
+        }
+        self.reshard(new_shards, Steerer::round_robin_reta(new_shards))
+    }
+
+    /// Live RETA rewrite at the current shard count: installs `reta`
+    /// wholesale (every entry must name an existing shard) and migrates the
+    /// single-owner tenants whose owner shard the rewrite moves. Same
+    /// quiesce → export → inject → publish sequence as
+    /// [`resize`](Self::resize).
+    pub fn set_reta(&mut self, reta: [u16; RETA_SIZE]) -> Result<ResizeReport, RuntimeError> {
+        let shards = self.options.shards;
+        if let Some(entry) = reta.iter().find(|&&entry| usize::from(entry) >= shards) {
+            return Err(RuntimeError::InvalidResize {
+                message: format!("RETA entry {entry} names a shard >= the shard count {shards}"),
+            });
+        }
+        self.reshard(shards, reta)
+    }
+
+    /// The shared implementation of [`resize`](Self::resize) and
+    /// [`set_reta`](Self::set_reta). `new_reta` entries must already be
+    /// validated against `new_shards`.
+    fn reshard(
+        &mut self,
+        new_shards: usize,
+        new_reta: [u16; RETA_SIZE],
+    ) -> Result<ResizeReport, RuntimeError> {
+        let start = Instant::now();
+        let old_shards = self.options.shards;
+
+        // 1. Quiesce: dispatchers drained to their input-ring-dry flush
+        // point, shards drained to their last burst. The caller holds
+        // `&mut self`, so no new packet can be submitted until we return.
+        self.flush();
+
+        // The post-migration steering decision (same mode, same pin set).
+        let mut new_steerer = self.steerer.clone();
+        new_steerer.retarget(new_shards);
+        new_steerer.set_reta(new_reta);
+
+        // The current configuration, reconstructed from the log: both the
+        // loaded-module list for the migration plan and the template the new
+        // shards replicate.
+        let standby = self.standby_replica();
+
+        // Plan the moves. Single-owner modules (every module under
+        // tenant-affine steering; pinned modules under 5-tuple) move whole
+        // when their owner shard changes. Replicated modules (5-tuple,
+        // mergeable/stateless) need no move on a RETA change — per-shard
+        // partial sums stay correct wherever the flows land — except on a
+        // shrink, where the retiring shards' partial state must be rescued
+        // into a survivor before the shards disappear.
+        let mut moving: Vec<(ModuleId, usize)> = Vec::new();
+        let mut rescue: Vec<ModuleId> = Vec::new();
+        for module in standby.loaded_modules() {
+            match (
+                self.steerer.owner_shard(module.value()),
+                new_steerer.owner_shard(module.value()),
+            ) {
+                (Some(old_owner), Some(new_owner)) => {
+                    if old_owner != new_owner {
+                        moving.push((module, new_owner));
+                    }
+                }
+                _ => {
+                    if new_shards < old_shards {
+                        rescue.push(module);
+                    }
+                }
+            }
+        }
+
+        // 2. Export epoch: every shard extracts-and-clears the moving
+        // modules (only the owner holds non-zero state; the others
+        // contribute zeros), retiring shards additionally surrender their
+        // replicated state, and everyone snapshots telemetry so a retiring
+        // shard's history survives it.
+        let mut ops: Vec<ControlOp> = Vec::new();
+        if !moving.is_empty() {
+            ops.push(ControlOp::ExportState {
+                modules: moving.iter().map(|(module, _)| *module).collect(),
+                from_shard: 0,
+            });
+        }
+        if !rescue.is_empty() {
+            ops.push(ControlOp::ExportState {
+                modules: rescue,
+                from_shard: new_shards,
+            });
+        }
+        ops.push(ControlOp::Snapshot);
+        let export_epoch = self.publish(ops);
+        self.wait_for_epoch(export_epoch)?;
+
+        // Merge the per-shard extracts. The retiring shards' telemetry is
+        // *not* folded into the lifetime tally yet — that only happens once
+        // the commit epoch below has succeeded, so a resize that fails
+        // mid-way (shard panic, inject error) cannot leave the books
+        // double-counting shards that were never actually dropped.
+        let mut merged: HashMap<u16, ModuleState> = HashMap::new();
+        {
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            for slot in progress.shards.iter_mut() {
+                if let Some((epoch, exports)) = slot.exported.take() {
+                    if epoch == export_epoch {
+                        for state in exports {
+                            match merged.entry(state.module_id) {
+                                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                                    entry.get_mut().merge(&state)
+                                }
+                                std::collections::hash_map::Entry::Vacant(entry) => {
+                                    entry.insert(state);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Scale-out: stand the new shards up *before* the injection
+        // epoch, so injections addressed to them are applied live. Their
+        // replicas embody every epoch up to `export_epoch` (the export op
+        // replays as a no-op on a config replica), so that is their log
+        // cursor.
+        let mut appended_rows: Vec<Vec<Producer<Burst>>> = (0..self.options.dispatchers.max(1))
+            .map(|_| Vec::new())
+            .collect();
+        if new_shards > old_shards {
+            {
+                let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+                let epoch = self.epoch;
+                progress
+                    .shards
+                    .resize_with(new_shards, || crate::shard::ShardProgress {
+                        applied_epoch: epoch,
+                        ..Default::default()
+                    });
+            }
+            match &mut self.backend {
+                Backend::Deterministic(shards) => {
+                    shards.resize_with(new_shards, || LocalShard {
+                        pipeline: standby.config_replica(),
+                        telemetry: ShardTelemetry::default(),
+                    });
+                }
+                Backend::Threaded {
+                    workers,
+                    dispatchers,
+                } => {
+                    let rows = self.options.dispatchers.max(1);
+                    for index in old_shards..new_shards {
+                        let (mut worker, producers) = spawn_worker(
+                            &self.shared,
+                            &self.options,
+                            index,
+                            standby.config_replica(),
+                            rows,
+                            self.epoch,
+                        );
+                        if dispatchers.is_empty() {
+                            let mut producers = producers;
+                            worker.input = Some(producers.remove(0));
+                        } else {
+                            for (row, producer) in appended_rows.iter_mut().zip(producers) {
+                                row.push(producer);
+                            }
+                        }
+                        workers.push(worker);
+                    }
+                }
+            }
+        }
+
+        // 4. Commit epoch: replay each merged extract into its new owner
+        // and retire the tail shards. Rescued replicated state (no single
+        // owner) merges into shard 0 — for mergeable state any survivor is
+        // equally legal, only the sum is defined.
+        let mut ops: Vec<ControlOp> = Vec::new();
+        let mut migrated_modules = 0usize;
+        let mut migrated_words = 0usize;
+        for (module, target) in &moving {
+            if let Some(state) = merged.remove(&module.value()) {
+                if !state.is_zero() {
+                    migrated_modules += 1;
+                    migrated_words += state.word_count();
+                    ops.push(ControlOp::InjectState {
+                        shard: *target,
+                        state: Box::new(state),
+                    });
+                }
+            }
+        }
+        let mut rescued: Vec<ModuleState> = merged.into_values().collect();
+        rescued.sort_by_key(|state| state.module_id);
+        for state in rescued {
+            if !state.is_zero() {
+                migrated_modules += 1;
+                migrated_words += state.word_count();
+                ops.push(ControlOp::InjectState {
+                    shard: 0,
+                    state: Box::new(state),
+                });
+            }
+        }
+        if new_shards < old_shards {
+            ops.push(ControlOp::Retire { keep: new_shards });
+        }
+        // A failed op inside the commit epoch (an inject refused) is
+        // surfaced to the caller, but only *after* the topology bookkeeping
+        // below completes — the Retire op has already taken effect on the
+        // workers, so the shard set must be reconciled either way.
+        let mut commit_error = None;
+        let commit_epoch = if ops.is_empty() {
+            export_epoch
+        } else {
+            let epoch = self.publish(ops);
+            self.wait_for_epoch(epoch)?;
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            commit_error = progress
+                .shards
+                .iter()
+                .find_map(|slot| match &slot.last_error {
+                    Some((failed_epoch, message)) if *failed_epoch == epoch => {
+                        Some(RuntimeError::Control {
+                            epoch,
+                            message: message.clone(),
+                        })
+                    }
+                    _ => None,
+                });
+            epoch
+        };
+
+        // Scale-in bookkeeping: the retired workers have acknowledged the
+        // retire epoch and exited; join them and drop their slots so no
+        // later barrier or epoch ever waits on them.
+        if new_shards < old_shards {
+            match &mut self.backend {
+                Backend::Deterministic(shards) => shards.truncate(new_shards),
+                Backend::Threaded { workers, .. } => {
+                    for worker in workers.iter_mut().skip(new_shards) {
+                        if let Some(handle) = worker.handle.take() {
+                            let _ = handle.join();
+                        }
+                    }
+                    // Dropping a retired worker drops its inline producer
+                    // (if any), closing the already-drained ring.
+                    workers.truncate(new_shards);
+                }
+            }
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            // Fold the retiring shards' telemetry into the lifetime tally —
+            // only now, with the commit epoch acknowledged, are they really
+            // gone (an earlier fold would double-count them on a failed
+            // resize, where the slots survive).
+            for slot in progress.shards.iter_mut().skip(new_shards) {
+                let tally = &mut self.retired;
+                tally.shards_retired += 1;
+                tally.stats.bursts += slot.stats.bursts;
+                tally.stats.packets += slot.stats.packets;
+                tally.stats.forwarded += slot.stats.forwarded;
+                tally.stats.dropped += slot.stats.dropped;
+                if let Some(snapshot) = slot.snapshot.take() {
+                    tally.system.link_packets += snapshot.system.link_packets;
+                    tally.system.link_bytes += snapshot.system.link_bytes;
+                    tally.system.queue_len = tally.system.queue_len.max(snapshot.system.queue_len);
+                    tally.filter.admitted += snapshot.filter.admitted;
+                    tally.filter.dropped_no_vlan += snapshot.filter.dropped_no_vlan;
+                    tally.filter.dropped_reconfiguring += snapshot.filter.dropped_reconfiguring;
+                    tally.filter.reconfig_seen += snapshot.filter.reconfig_seen;
+                    tally.latency.merge(&snapshot.latency);
+                    tally.burst_latency.merge(&snapshot.burst_latency);
+                }
+            }
+            progress.shards.truncate(new_shards);
+            // Dispatcher per-shard tallies follow the shard slots: a stale
+            // entry for a retired index would otherwise become a phantom
+            // flush target if that index is later recreated.
+            for slot in progress.dispatchers.iter_mut() {
+                slot.per_shard.truncate(new_shards);
+            }
+        }
+
+        // 5. Publish the new steering atomically with respect to traffic:
+        // the runtime's steerer swaps now (inline dispatch and the
+        // deterministic simulation read it directly), and every dispatcher
+        // thread adopts its staged clone — plus its grown/shrunk ring row —
+        // before steering the next chunk it pops.
+        self.steerer = new_steerer;
+        self.options.shards = new_shards;
+        let groups = self.options.dispatchers.max(1) * new_shards;
+        self.scatter.resize_with(groups, Vec::new);
+        self.scatter_pos.resize_with(groups, Vec::new);
+        if let Backend::Threaded { dispatchers, .. } = &self.backend {
+            if !dispatchers.is_empty() {
+                for (index, append) in appended_rows.into_iter().enumerate() {
+                    self.shared.stage_dispatcher_update(
+                        index,
+                        DispatcherUpdate {
+                            steerer: self.steerer.clone(),
+                            keep: old_shards.min(new_shards),
+                            append,
+                        },
+                    );
+                }
+            }
+        }
+
+        if let Some(error) = commit_error {
+            return Err(error);
+        }
+        Ok(ResizeReport {
+            from_shards: old_shards,
+            to_shards: new_shards,
+            pause: start.elapsed(),
+            migrated_modules,
+            migrated_words,
+            epoch: commit_epoch,
+        })
+    }
+
+    /// Telemetry inherited from shards retired by scale-in (folded into
+    /// every aggregate this runtime reports).
+    pub fn retired_tally(&self) -> &RetiredTally {
+        &self.retired
+    }
+
+    // -----------------------------------------------------------------------
     // Data path
     // -----------------------------------------------------------------------
 
@@ -744,7 +1225,30 @@ impl ShardedRuntime {
     /// threaded mode, where verdict streams live on the worker threads — use
     /// [`submit`](Self::submit) / [`flush`](Self::flush) and the aggregated
     /// statistics instead.
+    ///
+    /// Allocates the returned vector; callers draining many bursts should
+    /// use [`process_batch_into`](Self::process_batch_into) with a reused
+    /// verdict buffer, mirroring the borrowing batch entry point PR 1 gave
+    /// the single pipeline.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Verdict>, RuntimeError> {
+        let mut verdicts = Vec::with_capacity(packets.len());
+        self.process_batch_into(packets, &mut verdicts)?;
+        Ok(verdicts)
+    }
+
+    /// Allocation-lean variant of [`process_batch`](Self::process_batch):
+    /// writes one verdict per packet, in input order, into `out` (cleared
+    /// first). The steering scatter, per-group position index, per-shard
+    /// verdict scratch and the reorder buffer are all pipeline-owned and
+    /// reused across calls, so the steady state performs no heap allocation
+    /// for verdict storage — the same contract as
+    /// [`MenshenPipeline::process_batch_into`].
+    pub fn process_batch_into(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), RuntimeError> {
+        out.clear();
         let Backend::Deterministic(shards) = &mut self.backend else {
             return Err(RuntimeError::WrongMode(
                 "process_batch requires deterministic mode; threaded runtimes expose submit/flush",
@@ -826,11 +1330,13 @@ impl ShardedRuntime {
                 self.scatter_pos[group].clear();
             }
         }
-        Ok(self
-            .reorder
-            .drain(..)
-            .map(|verdict| verdict.expect("every input position receives a verdict"))
-            .collect())
+        out.reserve(total);
+        out.extend(
+            self.reorder
+                .drain(..)
+                .map(|verdict| verdict.expect("every input position receives a verdict")),
+        );
+        Ok(())
     }
 
     /// Threaded-mode data path: hands `packets` to the dispatch plane,
@@ -1098,7 +1604,10 @@ impl ShardedRuntime {
     // Aggregation
     // -----------------------------------------------------------------------
 
-    /// Per-shard traffic tallies (bursts, packets, forwarded, dropped).
+    /// Per-shard traffic tallies (bursts, packets, forwarded, dropped) of
+    /// the currently live shards. History of shards retired by scale-in
+    /// lives in [`retired_tally`](Self::retired_tally); use
+    /// [`total_stats`](Self::total_stats) for the runtime-lifetime total.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shared
             .progress
@@ -1108,6 +1617,20 @@ impl ShardedRuntime {
             .iter()
             .map(|slot| slot.stats)
             .collect()
+    }
+
+    /// Runtime-lifetime traffic totals: the live shards' tallies plus
+    /// everything processed by since-retired shards — the figure packet
+    /// accounting must balance against across resizes.
+    pub fn total_stats(&self) -> ShardStats {
+        let mut total = self.retired.stats;
+        for stats in self.shard_stats() {
+            total.bursts += stats.bursts;
+            total.packets += stats.packets;
+            total.forwarded += stats.forwarded;
+            total.dropped += stats.dropped;
+        }
+        total
     }
 
     /// Per-dispatcher occupancy and throughput telemetry. Empty unless the
@@ -1151,12 +1674,7 @@ impl ShardedRuntime {
         let mut merged: HashMap<u16, ModuleCounters> = HashMap::new();
         for snapshot in self.snapshots()? {
             for (module, counters) in snapshot.counters {
-                let entry = merged.entry(module).or_default();
-                entry.packets_in += counters.packets_in;
-                entry.packets_out += counters.packets_out;
-                entry.packets_dropped += counters.packets_dropped;
-                entry.bytes_in += counters.bytes_in;
-                entry.bytes_out += counters.bytes_out;
+                merged.entry(module).or_default().add(&counters);
             }
         }
         Ok(merged)
@@ -1168,6 +1686,11 @@ impl ShardedRuntime {
     /// histograms here — bucket-count addition, which is exact.
     pub fn aggregated_latency(&mut self) -> Result<RuntimeLatency, RuntimeError> {
         let mut merged = RuntimeLatency::default();
+        // Retired shards' histograms first: aggregated latency must stay
+        // monotone across resizes, or an earlier snapshot would no longer
+        // subtract cleanly as a baseline.
+        merged.packet_ns.merge(&self.retired.latency);
+        merged.burst_ns.merge(&self.retired.burst_latency);
         for snapshot in self.snapshots()? {
             merged.packet_ns.merge(&snapshot.latency);
             merged.burst_ns.merge(&snapshot.burst_latency);
@@ -1191,7 +1714,12 @@ impl ShardedRuntime {
     /// would be meaningless) and utilisation the mean.
     pub fn aggregated_system_stats(&mut self) -> Result<SystemStats, RuntimeError> {
         let snapshots = self.snapshots()?;
-        let mut merged = SystemStats::default();
+        // Link history observed by since-retired shards stays in the total.
+        let mut merged = SystemStats {
+            link_packets: self.retired.system.link_packets,
+            link_bytes: self.retired.system.link_bytes,
+            ..SystemStats::default()
+        };
         let count = snapshots.len().max(1) as f64;
         for snapshot in snapshots {
             merged.link_packets += snapshot.system.link_packets;
@@ -1262,6 +1790,19 @@ impl ShardedRuntime {
                 if let Some(handle) = dispatcher.handle.take() {
                     let _ = handle.join();
                 }
+            }
+            // Drop any staged-but-unapplied topology updates: they hold the
+            // ring producers of shards stood up by a resize that saw no
+            // traffic afterwards, and those rings must close for their
+            // workers to exit.
+            for slot in self
+                .shared
+                .dispatcher_updates
+                .lock()
+                .expect("dispatcher update lock poisoned")
+                .iter_mut()
+            {
+                slot.take();
             }
             for worker in workers.iter() {
                 if let Some(input) = &worker.input {
@@ -1389,6 +1930,46 @@ mod tests {
                 sharded.read_stateful_aggregate(ModuleId::new(id), 0, 0),
             );
         }
+    }
+
+    #[test]
+    fn process_batch_into_reuses_the_callers_buffer() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(3));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        let burst: Vec<Packet> = (0..96).map(|_| packet_for(1)).collect();
+        let expected = runtime.process_batch(burst.clone()).unwrap();
+        // The borrowing entry point fills the caller's buffer in input
+        // order, clearing any stale contents first, and reuses its capacity
+        // across bursts.
+        let mut verdicts = Vec::new();
+        runtime
+            .process_batch_into(burst.clone(), &mut verdicts)
+            .unwrap();
+        assert_eq!(verdicts.len(), expected.len());
+        for (a, b) in verdicts.iter().zip(&expected) {
+            assert_eq!(a.is_forwarded(), b.is_forwarded());
+            assert_eq!(
+                a.packet().map(|p| p.udp_dst_port()),
+                b.packet().map(|p| p.udp_dst_port())
+            );
+        }
+        let capacity = verdicts.capacity();
+        runtime.process_batch_into(burst, &mut verdicts).unwrap();
+        assert_eq!(verdicts.len(), 96);
+        assert_eq!(
+            verdicts.capacity(),
+            capacity,
+            "steady-state bursts must not reallocate the verdict buffer"
+        );
+        // Wrong mode surfaces identically to process_batch.
+        let mut threaded = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(1));
+        assert!(matches!(
+            threaded.process_batch_into(Vec::new(), &mut verdicts),
+            Err(RuntimeError::WrongMode(_))
+        ));
+        threaded.shutdown();
     }
 
     #[test]
@@ -1657,49 +2238,192 @@ mod tests {
     }
 
     #[test]
-    fn five_tuple_steering_rejects_non_mergeable_state() {
+    fn five_tuple_steering_pins_non_mergeable_state() {
         let mut runtime = ShardedRuntime::new(
             TABLE5,
-            RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+            RuntimeOptions::deterministic(4).with_steering(SteeringMode::FiveTuple),
         );
-        let err = runtime.load_module(&storing_module(3)).unwrap_err();
-        match &err {
-            RuntimeError::NonMergeableState { module, detail } => {
-                assert_eq!(*module, 3);
-                assert!(detail.contains("store"), "{detail}");
-            }
-            other => panic!("expected NonMergeableState, got {other:?}"),
-        }
-        assert!(err.to_string().contains("non-mergeable"), "{err}");
-        // The refusal happens before any epoch is published.
-        assert_eq!(runtime.current_epoch(), 0);
-        // Additive state is fine under 5-tuple steering…
+        // A module that overwrites stateful words cannot be replicated per
+        // shard — instead of being refused, it is pinned tenant-affine so
+        // exactly one shard owns its state.
+        runtime.load_module(&storing_module(3)).unwrap();
+        assert_eq!(runtime.pinned_modules(), vec![3]);
+        // Additive state spreads normally (no pin)…
         runtime
             .load_module(&simple_module(1, 0x0a00_0002, 1111))
             .unwrap();
-        // …and updates are gated identically.
-        assert!(matches!(
-            runtime.update_module(&storing_module(1)),
-            Err(RuntimeError::NonMergeableState { module: 1, .. })
-        ));
+        assert_eq!(runtime.pinned_modules(), vec![3]);
+        // …and an update flips the pin with the program's classification.
+        runtime.update_module(&storing_module(1)).unwrap();
+        assert_eq!(runtime.pinned_modules(), vec![1, 3]);
+        runtime
+            .update_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        assert_eq!(runtime.pinned_modules(), vec![3]);
+        // Unloading clears the pin.
+        runtime.unload_module(ModuleId::new(3)).unwrap();
+        assert!(runtime.pinned_modules().is_empty());
 
-        // Tenant-affine steering keeps exactly one live copy of the state,
-        // so the same module is accepted there.
+        // Tenant-affine steering needs no pins: every module is already
+        // single-owner.
         let mut affine = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
         affine.load_module(&storing_module(3)).unwrap();
+        assert!(affine.pinned_modules().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "non-mergeable state")]
-    fn replicating_a_non_mergeable_template_under_five_tuple_panics() {
-        // The gate must also cover templates configured *before* the runtime
-        // existed — not just the load/update control path.
+    fn replicating_a_non_mergeable_template_under_five_tuple_pins_it() {
+        // Templates configured *before* the runtime existed are pinned at
+        // construction, not rejected: the module's state stays single-owner
+        // and its packets all land on one shard.
         let mut template = MenshenPipeline::new(TABLE5);
         template.load_module(&storing_module(4)).unwrap();
-        let _ = ShardedRuntime::from_pipeline(
+        let mut runtime = ShardedRuntime::from_pipeline(
             &template,
-            RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+            RuntimeOptions::deterministic(3).with_steering(SteeringMode::FiveTuple),
         );
+        assert_eq!(runtime.pinned_modules(), vec![4]);
+        // All of the pinned tenant's flows land on one shard: the stateful
+        // word is written on exactly one replica.
+        let packets: Vec<Packet> = (0..24)
+            .map(|i| {
+                PacketBuilder::udp_data(
+                    4,
+                    [10, 0, 0, 1 + (i % 7) as u8],
+                    [10, 0, 0, 2],
+                    4000 + i,
+                    80,
+                    &[0u8; 8],
+                )
+            })
+            .collect();
+        let verdicts = runtime.process_batch(packets).unwrap();
+        assert!(verdicts.iter().all(|v| v.is_forwarded()));
+        let live_copies = (0..3)
+            .filter(|&shard| {
+                runtime
+                    .shard_pipeline(shard)
+                    .and_then(|p| p.read_stateful(ModuleId::new(4), 0, 2))
+                    .is_some_and(|word| word != 0)
+            })
+            .count();
+        assert_eq!(live_copies, 1, "pinned state must be single-owner");
+    }
+
+    #[test]
+    fn resize_migrates_state_and_accounts_everything() {
+        for mode in [SteeringMode::TenantAffine, SteeringMode::FiveTuple] {
+            let mut runtime =
+                ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2).with_steering(mode));
+            runtime
+                .load_module(&simple_module(1, 0x0a00_0002, 1111))
+                .unwrap();
+            runtime
+                .load_module(&simple_module(2, 0x0a00_0002, 2222))
+                .unwrap();
+            let burst: Vec<Packet> = (0..200).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+            runtime.process_batch(burst.clone()).unwrap();
+
+            // Grow 2 → 5: tenants move to new owners, state travels whole.
+            let report = runtime.resize(5).unwrap();
+            assert_eq!((report.from_shards, report.to_shards), (2, 5));
+            runtime.process_batch(burst.clone()).unwrap();
+            // Shrink 5 → 3: retiring shards' tenants and telemetry move.
+            let report = runtime.resize(3).unwrap();
+            assert_eq!((report.from_shards, report.to_shards), (5, 3));
+            runtime.process_batch(burst).unwrap();
+
+            assert_eq!(runtime.shard_count(), 3);
+            // Counters survived every move: 300 packets per tenant.
+            let counters = runtime.aggregated_counters().unwrap();
+            assert_eq!(counters[&1].packets_out, 300, "{mode:?}");
+            assert_eq!(counters[&2].packets_out, 300, "{mode:?}");
+            // The stateful loadd counter survived too.
+            assert_eq!(
+                runtime.read_stateful_aggregate(ModuleId::new(1), 0, 0),
+                Some(300),
+                "{mode:?}"
+            );
+            // Lifetime accounting balances across the resizes.
+            let total = runtime.total_stats();
+            assert_eq!(total.packets, 600, "{mode:?}");
+            assert_eq!(total.forwarded, 600, "{mode:?}");
+            // Link history (including retired shards') is intact.
+            assert_eq!(
+                runtime.aggregated_system_stats().unwrap().link_packets,
+                600,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_reta_moves_tenants_and_validates_entries() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(4));
+        runtime
+            .load_module(&simple_module(1, 0x0a00_0002, 1111))
+            .unwrap();
+        runtime.process_batch(vec![packet_for(1); 40]).unwrap();
+        // Pin everything to shard 2 by hand.
+        let report = runtime.set_reta([2u16; crate::RETA_SIZE]).unwrap();
+        assert_eq!(report.from_shards, 4);
+        assert_eq!(runtime.reta(), [2u16; crate::RETA_SIZE]);
+        runtime.process_batch(vec![packet_for(1); 40]).unwrap();
+        // All traffic (and the migrated state) now lives on shard 2.
+        assert_eq!(
+            runtime
+                .shard_pipeline(2)
+                .unwrap()
+                .read_stateful(ModuleId::new(1), 0, 0),
+            Some(80),
+            "old state migrated to the RETA's chosen shard"
+        );
+        // Entries beyond the shard count are refused untouched.
+        let err = runtime.set_reta([4u16; crate::RETA_SIZE]).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidResize { .. }), "{err}");
+        assert!(matches!(
+            runtime.resize(0),
+            Err(RuntimeError::InvalidResize { .. })
+        ));
+    }
+
+    #[test]
+    fn threaded_resize_grows_and_shrinks_with_live_traffic() {
+        for dispatchers in [0usize, 2] {
+            let mut runtime = ShardedRuntime::new(
+                TABLE5,
+                RuntimeOptions::threaded(2).with_dispatchers(dispatchers),
+            );
+            runtime
+                .load_module(&simple_module(1, 0x0a00_0002, 1111))
+                .unwrap();
+            runtime
+                .load_module(&simple_module(2, 0x0a00_0002, 2222))
+                .unwrap();
+            let packets: Vec<Packet> = (0..400).map(|i| packet_for(1 + (i % 2) as u16)).collect();
+            runtime.submit(&packets).unwrap();
+            let report = runtime.resize(4).unwrap();
+            assert_eq!(report.to_shards, 4);
+            assert!(report.pause > Duration::ZERO);
+            runtime.submit(&packets).unwrap();
+            let report = runtime.resize(2).unwrap();
+            assert_eq!((report.from_shards, report.to_shards), (4, 2));
+            runtime.submit(&packets).unwrap();
+            runtime.flush();
+
+            let total = runtime.total_stats();
+            assert_eq!(total.packets, 1200, "{dispatchers} dispatchers");
+            assert_eq!(total.forwarded, 1200, "{dispatchers} dispatchers");
+            let counters = runtime.aggregated_counters().unwrap();
+            assert_eq!(counters[&1].packets_out, 600);
+            assert_eq!(counters[&2].packets_out, 600);
+            // Latency telemetry stayed monotone across the resizes: every
+            // packet's sojourn is somewhere in the merged histograms.
+            let latency = runtime.aggregated_latency().unwrap();
+            assert_eq!(latency.packet_ns.count(), 1200);
+            assert!(runtime.retired_tally().shards_retired >= 2);
+            runtime.shutdown();
+        }
     }
 
     #[test]

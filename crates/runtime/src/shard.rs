@@ -32,7 +32,9 @@ use crate::control::{EpochEntry, EpochLog};
 use crate::ring::{Consumer, Parker, Producer};
 use crate::rss::Steerer;
 use menshen_core::packet_filter::FilterCounters;
-use menshen_core::{LatencyHistogram, MenshenPipeline, ModuleCounters, SystemStats, Verdict};
+use menshen_core::{
+    LatencyHistogram, MenshenPipeline, ModuleCounters, ModuleState, SystemStats, Verdict,
+};
 use menshen_packet::Packet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -110,11 +112,15 @@ pub(crate) struct ShardProgress {
     pub stats: ShardStats,
     /// Snapshot exported by the most recent `Snapshot` op.
     pub snapshot: Option<ShardSnapshot>,
+    /// Dynamic state extracted by the most recent `ExportState` op, tagged
+    /// with the epoch that requested it. The resharding control path takes
+    /// these, merges them per module and republishes them as `InjectState`.
+    pub exported: Option<(u64, Vec<ModuleState>)>,
     /// First error of the most recent epoch that failed on this shard, with
     /// the epoch it belongs to.
     pub last_error: Option<(u64, String)>,
-    /// True once the worker thread has exited (shutdown or panic). Waiters
-    /// must never block on an exited shard's progress.
+    /// True once the worker thread has exited (shutdown, retirement or
+    /// panic). Waiters must never block on an exited shard's progress.
     pub exited: bool,
 }
 
@@ -146,6 +152,50 @@ pub(crate) struct ProgressBoard {
     pub dispatchers: Vec<DispatcherProgress>,
 }
 
+/// A pending topology/steering change for one dispatcher thread, staged by
+/// the resharding control path and applied by the dispatcher *before it
+/// steers its next packet*. Resharding only ever publishes these while the
+/// whole plane is quiesced (flush barrier + no concurrent submitter), so a
+/// dispatcher that is parked simply finds the update waiting when the next
+/// chunk wakes it.
+pub(crate) struct DispatcherUpdate {
+    /// The steerer to use from now on (new RETA, shard count, pin set).
+    pub steerer: Steerer,
+    /// Keep only the first `keep` shard rings; the rest are dropped (their
+    /// producers close — the retired workers are already gone).
+    pub keep: usize,
+    /// Producers for newly stood-up shards, appended after `keep`.
+    pub append: Vec<Producer<Burst>>,
+}
+
+impl DispatcherUpdate {
+    /// Composes a later update onto an unapplied earlier one, so a
+    /// dispatcher that slept through several reshards applies their net
+    /// effect in one step.
+    pub(crate) fn then(self, next: DispatcherUpdate) -> DispatcherUpdate {
+        if next.keep <= self.keep {
+            // The later truncation discards everything the earlier update
+            // appended (and possibly more of the originals).
+            DispatcherUpdate {
+                steerer: next.steerer,
+                keep: next.keep,
+                append: next.append,
+            }
+        } else {
+            // The later update keeps `next.keep - self.keep` of the rings
+            // the earlier one appended.
+            let mut append = self.append;
+            append.truncate(next.keep - self.keep);
+            append.extend(next.append);
+            DispatcherUpdate {
+                steerer: next.steerer,
+                keep: self.keep,
+                append,
+            }
+        }
+    }
+}
+
 /// State shared between the runtime (control plane) and all worker threads.
 pub(crate) struct Shared {
     /// The compactable log of published control epochs.
@@ -162,6 +212,13 @@ pub(crate) struct Shared {
     /// are nanoseconds since this instant, so dispatchers and shards share
     /// a time base.
     pub start: Instant,
+    /// Bumped once per staged steering/topology change; dispatchers compare
+    /// it against their last-seen value at chunk boundaries (one relaxed
+    /// load per chunk on the hot path) and drain their update slot when it
+    /// moved.
+    pub steering_version: AtomicU64,
+    /// One staged-update slot per dispatcher (empty for inline dispatch).
+    pub dispatcher_updates: Mutex<Vec<Option<DispatcherUpdate>>>,
 }
 
 impl Shared {
@@ -175,6 +232,8 @@ impl Shared {
             }),
             cv: Condvar::new(),
             start: Instant::now(),
+            steering_version: AtomicU64::new(0),
+            dispatcher_updates: Mutex::new((0..dispatchers).map(|_| None).collect()),
         }
     }
 
@@ -182,31 +241,95 @@ impl Shared {
     pub(crate) fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
     }
+
+    /// Stages `update` for dispatcher `index`, composing onto any update it
+    /// has not applied yet, and bumps the steering version.
+    pub(crate) fn stage_dispatcher_update(&self, index: usize, update: DispatcherUpdate) {
+        let mut slots = self
+            .dispatcher_updates
+            .lock()
+            .expect("dispatcher update lock poisoned");
+        let slot = &mut slots[index];
+        *slot = Some(match slot.take() {
+            Some(pending) => pending.then(update),
+            None => update,
+        });
+        drop(slots);
+        self.steering_version.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
-/// Applies one published entry to a pipeline replica. Returns the snapshot
-/// (if the entry requested one) and the first error message (if any op
-/// failed). Later ops still run after a failure so replicas cannot diverge on
-/// which prefix of the entry they applied.
+/// Everything one applied epoch produced on one shard.
+#[derive(Default)]
+pub(crate) struct EntryOutcome {
+    /// Snapshot, if the entry contained a `Snapshot` op.
+    pub snapshot: Option<ShardSnapshot>,
+    /// Dynamic state extracted by `ExportState` ops addressed to this shard.
+    pub exported: Option<Vec<ModuleState>>,
+    /// First error message, if any op failed.
+    pub error: Option<String>,
+    /// True when a `Retire` op addressed this shard: the worker must exit
+    /// after acknowledging the epoch.
+    pub retired: bool,
+}
+
+/// Applies one published entry to shard `shard_index`'s pipeline replica.
+/// Later ops still run after a failure so replicas cannot diverge on which
+/// prefix of the entry they applied. The per-shard ops (snapshot, state
+/// export/inject, retirement) are resolved here, where the shard index is
+/// known; `ControlOp::apply` treats them as no-ops so configuration replicas
+/// replayed from the log stay config-only.
 pub(crate) fn apply_entry(
+    shard_index: usize,
     pipeline: &mut MenshenPipeline,
     entry: &EpochEntry,
     telemetry: &ShardTelemetry,
     ring: RingDepth,
-) -> (Option<ShardSnapshot>, Option<String>) {
-    let mut error = None;
+) -> EntryOutcome {
+    let mut outcome = EntryOutcome::default();
     let mut wants_snapshot = false;
     for op in &entry.ops {
-        if matches!(op, crate::ControlOp::Snapshot) {
-            wants_snapshot = true;
-            continue;
+        match op {
+            crate::ControlOp::Snapshot => {
+                wants_snapshot = true;
+                continue;
+            }
+            crate::ControlOp::ExportState {
+                modules,
+                from_shard,
+            } => {
+                if shard_index >= *from_shard {
+                    let exports = outcome.exported.get_or_insert_with(Vec::new);
+                    for module in modules {
+                        if let Some(state) = pipeline.take_module_state(*module) {
+                            exports.push(state);
+                        }
+                    }
+                }
+                continue;
+            }
+            crate::ControlOp::InjectState { shard, state } => {
+                if *shard == shard_index {
+                    if let Err(e) = pipeline.import_module_state(state) {
+                        outcome.error.get_or_insert_with(|| e.to_string());
+                    }
+                }
+                continue;
+            }
+            crate::ControlOp::Retire { keep } => {
+                if shard_index >= *keep {
+                    outcome.retired = true;
+                }
+                continue;
+            }
+            _ => {}
         }
         if let Err(e) = op.apply(pipeline) {
-            error.get_or_insert_with(|| e.to_string());
+            outcome.error.get_or_insert_with(|| e.to_string());
         }
     }
-    let snapshot = wants_snapshot.then(|| take_snapshot(pipeline, telemetry, ring));
-    (snapshot, error)
+    outcome.snapshot = wants_snapshot.then(|| take_snapshot(pipeline, telemetry, ring));
+    outcome
 }
 
 /// Exports a replica's per-module counters, device statistics and latency
@@ -251,7 +374,10 @@ fn ring_depth(inputs: &[Consumer<Burst>]) -> RingDepth {
 /// Applies every not-yet-applied epoch to `pipeline` and advertises the new
 /// applied epoch on the progress board. `applied` is the highest epoch this
 /// shard has already applied (its log cursor — compaction-safe, because the
-/// log only ever drops epochs every shard has acknowledged).
+/// log only ever drops epochs every shard has acknowledged). Returns true
+/// when an applied epoch retired this shard: the worker must exit after the
+/// acknowledgement (which this function has already posted, so waiters never
+/// hang on the departing shard).
 pub(crate) fn apply_pending(
     shard_index: usize,
     pipeline: &mut MenshenPipeline,
@@ -259,10 +385,10 @@ pub(crate) fn apply_pending(
     applied: &mut u64,
     telemetry: &ShardTelemetry,
     inputs: &[Consumer<Burst>],
-) {
+) -> bool {
     // Fast path: nothing new published since this shard's cursor.
     if *applied >= shared.published.load(Ordering::SeqCst) {
-        return;
+        return false;
     }
     // Copy the pending suffix out of the log so heavyweight ops (module
     // loads) never run while holding the log lock.
@@ -270,21 +396,27 @@ pub(crate) fn apply_pending(
         let log = shared.log.lock().expect("log lock poisoned");
         log.entries_after(*applied)
     };
+    let mut retired = false;
     for entry in &pending {
-        let (snapshot, error) = apply_entry(pipeline, entry, telemetry, ring_depth(inputs));
+        let outcome = apply_entry(shard_index, pipeline, entry, telemetry, ring_depth(inputs));
         *applied = entry.epoch;
+        retired |= outcome.retired;
         let mut progress = shared.progress.lock().expect("progress lock poisoned");
         let slot = &mut progress.shards[shard_index];
         slot.applied_epoch = entry.epoch;
-        if let Some(snapshot) = snapshot {
+        if let Some(snapshot) = outcome.snapshot {
             slot.snapshot = Some(snapshot);
         }
-        if let Some(message) = error {
+        if let Some(exports) = outcome.exported {
+            slot.exported = Some((entry.epoch, exports));
+        }
+        if let Some(message) = outcome.error {
             slot.last_error = Some((entry.epoch, message));
         }
         drop(progress);
         shared.cv.notify_all();
     }
+    retired
 }
 
 /// Marks a shard as exited on the progress board when the worker returns
@@ -306,34 +438,46 @@ impl Drop for ShardExitGuard {
 
 /// The shard thread body: apply pending epochs, pop a burst from one of the
 /// input rings (round-robin over dispatchers), process, tally — until every
-/// ring closes. With all rings empty the shard spins briefly, then parks on
-/// the shared parker; dispatchers, the inline submitter, and the control
-/// plane all wake it through that parker.
+/// ring closes or a `Retire` epoch addresses this shard. With all rings
+/// empty the shard spins briefly, then parks on the shared parker;
+/// dispatchers, the inline submitter, and the control plane all wake it
+/// through that parker.
+///
+/// `initial_epoch` is the epoch the shard's pipeline already embodies: 0 for
+/// construction-time shards, and the current epoch for shards stood up by a
+/// live resize from a log-reconstructed standby replica.
 pub(crate) fn run_worker(
     shard_index: usize,
     mut pipeline: MenshenPipeline,
     inputs: Vec<Consumer<Burst>>,
     parker: Arc<Parker>,
     shared: Arc<Shared>,
+    initial_epoch: u64,
 ) {
     let _exit_guard = ShardExitGuard {
         shared: Arc::clone(&shared),
         shard_index,
     };
-    let mut applied = 0u64;
+    let mut applied = initial_epoch;
     let mut telemetry = ShardTelemetry::default();
     let mut verdicts: Vec<Verdict> = Vec::new();
     let mut next_ring = 0usize;
     let mut idle_spins = 0u32;
     loop {
-        apply_pending(
+        if apply_pending(
             shard_index,
             &mut pipeline,
             &shared,
             &mut applied,
             &telemetry,
             &inputs,
-        );
+        ) {
+            // Retired by a scale-in epoch. The resharding control path only
+            // publishes retirement at a full quiesce (rings drained, state
+            // already exported), so exiting here loses nothing; the epoch is
+            // already acknowledged, so nobody waits on this shard again.
+            return;
+        }
         // Round-robin over the per-dispatcher input rings so no dispatcher
         // can starve another.
         let mut burst = None;
@@ -389,7 +533,7 @@ pub(crate) fn run_worker(
     }
     // Epochs published after the final burst must still be acknowledged so a
     // concurrent `wait_for_epoch` cannot hang across shutdown.
-    apply_pending(
+    let _ = apply_pending(
         shard_index,
         &mut pipeline,
         &shared,
@@ -428,9 +572,9 @@ impl Drop for DispatcherExitGuard {
 /// flush barrier waits for before publishing an epoch.
 pub(crate) fn run_dispatcher(
     dispatcher_index: usize,
-    steerer: Steerer,
+    mut steerer: Steerer,
     input: Consumer<Burst>,
-    outputs: Vec<Producer<Burst>>,
+    mut outputs: Vec<Producer<Burst>>,
     burst_size: usize,
     shared: Arc<Shared>,
 ) {
@@ -485,7 +629,40 @@ pub(crate) fn run_dispatcher(
         bursts: 0,
         per_shard: vec![0u64; outputs.len()],
     };
+    // Dispatchers are only spawned at construction time, so version 0 is
+    // always the state this thread's steerer and ring row were built from.
+    let mut seen_version = 0u64;
     'run: while let Some(chunk) = input.pop() {
+        // Resharding handshake: before steering anything, adopt any staged
+        // steering/topology change (new RETA + pin set, grown or shrunk ring
+        // row). Updates are staged only while the plane is quiesced, so this
+        // never races a partial burst; the cost on the hot path is one
+        // relaxed-ish atomic load per chunk.
+        let version = shared.steering_version.load(Ordering::SeqCst);
+        if version != seen_version {
+            seen_version = version;
+            let staged = shared
+                .dispatcher_updates
+                .lock()
+                .expect("dispatcher update lock poisoned")[dispatcher_index]
+                .take();
+            if let Some(update) = staged {
+                steerer = update.steerer;
+                // Dropping the truncated producers closes the retired
+                // shards' rings; their workers are already gone.
+                outputs.truncate(update.keep);
+                outputs.extend(update.append);
+                state.scatter.truncate(update.keep);
+                state
+                    .scatter
+                    .resize_with(outputs.len(), || Vec::with_capacity(burst_size));
+                // Per-shard tallies follow the ring row: surviving shards
+                // keep their cumulative counts (their progress slots
+                // survived too), fresh shards start at zero.
+                state.per_shard.truncate(update.keep);
+                state.per_shard.resize(outputs.len(), 0);
+            }
+        }
         for packet in chunk {
             let shard = steerer.shard_for(&packet);
             state.scatter[shard].push(packet);

@@ -1,0 +1,250 @@
+//! The elasticity experiment: live resharding under trace replay.
+//!
+//! A real deployment grows and shrinks its core count under load, so the
+//! resize cost must be a *measured, committed* number rather than folklore.
+//! This experiment replays a trace through the threaded [`ShardedRuntime`]
+//! in stages, calling [`ShardedRuntime::resize`] between stages (e.g.
+//! 2 → 8 → 2), and reports, per transition:
+//!
+//! * the **migration pause** — the wall-clock the ingress is blocked while
+//!   the runtime quiesces, exports the moving tenants' state, stands
+//!   up/retires shards, replays the state into its new owners, and
+//!   publishes the new RETA ([`menshen_runtime::ResizeReport::pause`]);
+//! * how much actually moved (modules and stateful words);
+//! * the latency and throughput of the traffic segment *after* the resize —
+//!   the p99 sojourn in the resize's wake, measured as a baseline-checked
+//!   histogram delta ([`LatencyHistogram::subtracting`], which now fails
+//!   loudly on a stale baseline instead of under-reporting).
+//!
+//! Every packet of every stage is accounted for against the runtime's
+//! lifetime totals ([`ShardedRuntime::total_stats`]), which include the
+//! tallies inherited from retired shards — a resize may never lose a packet
+//! from the books.
+
+use menshen_core::{LatencyHistogram, MenshenPipeline, Percentiles, BURST_SIZE};
+use menshen_packet::Packet;
+use menshen_runtime::{RuntimeError, RuntimeOptions, ShardedRuntime, SteeringMode};
+use std::time::Instant;
+
+/// Knobs for [`elasticity_experiment`].
+#[derive(Debug, Clone)]
+pub struct ElasticityConfig {
+    /// The shard counts visited, in order (e.g. `[2, 8, 2]`): one traffic
+    /// stage runs at each count, with a resize between consecutive stages.
+    pub stages: Vec<usize>,
+    /// Packets replayed per stage (the trace is cycled as needed).
+    pub packets_per_stage: usize,
+    /// Dispatcher threads (0 = inline dispatch).
+    pub dispatchers: usize,
+    /// Steering mode for the run.
+    pub steering: SteeringMode,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            stages: vec![2, 8, 2],
+            packets_per_stage: 4096,
+            dispatchers: 0,
+            steering: SteeringMode::TenantAffine,
+        }
+    }
+}
+
+/// One traffic stage of the experiment (between resizes).
+#[derive(Debug, Clone)]
+pub struct ElasticityStage {
+    /// Worker shards during this stage.
+    pub shards: usize,
+    /// Packets submitted in this stage.
+    pub packets: u64,
+    /// Unpaced throughput of this stage, Mpps.
+    pub mpps: f64,
+    /// Per-packet sojourn percentiles for exactly this stage (histogram
+    /// delta against the stage-entry baseline).
+    pub latency: Percentiles,
+}
+
+/// One resize transition of the experiment.
+#[derive(Debug, Clone)]
+pub struct ElasticityTransition {
+    /// Shard count before.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// The migration pause, nanoseconds (ingress blocked end to end).
+    pub pause_ns: u64,
+    /// Modules whose state moved shards.
+    pub migrated_modules: usize,
+    /// Stateful words replayed into target replicas.
+    pub migrated_words: usize,
+}
+
+/// The elasticity experiment's full report.
+#[derive(Debug, Clone)]
+pub struct ElasticityReport {
+    /// The per-stage traffic measurements, in schedule order.
+    pub stages: Vec<ElasticityStage>,
+    /// The per-resize transitions, in schedule order.
+    pub transitions: Vec<ElasticityTransition>,
+    /// Runtime-lifetime packet total at the end (live + retired shards).
+    pub total_packets: u64,
+    /// True when `total_packets` equals forwarded + dropped — no resize
+    /// lost a packet from the books.
+    pub all_packets_accounted: bool,
+}
+
+impl ElasticityReport {
+    /// Throughput of the final stage (after the last resize), Mpps.
+    pub fn post_resize_mpps(&self) -> f64 {
+        self.stages.last().map(|stage| stage.mpps).unwrap_or(0.0)
+    }
+
+    /// The largest migration pause across all transitions, nanoseconds.
+    pub fn worst_pause_ns(&self) -> u64 {
+        self.transitions
+            .iter()
+            .map(|t| t.pause_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs the elasticity experiment: replay → resize → replay … across
+/// `config.stages`, measuring each stage and each transition. The trace is
+/// submitted unpaced in [`BURST_SIZE`] bursts (the saturation shape — the
+/// hardest traffic to pause).
+pub fn elasticity_experiment(
+    template: &MenshenPipeline,
+    trace: &[Packet],
+    config: &ElasticityConfig,
+) -> Result<ElasticityReport, RuntimeError> {
+    assert!(!trace.is_empty(), "the experiment needs a trace");
+    assert!(!config.stages.is_empty(), "at least one stage");
+    let mut runtime = ShardedRuntime::from_pipeline(
+        template,
+        RuntimeOptions::threaded(config.stages[0])
+            .with_dispatchers(config.dispatchers)
+            .with_steering(config.steering),
+    );
+    let mut stages = Vec::new();
+    let mut transitions = Vec::new();
+    let mut latency_baseline = LatencyHistogram::new();
+    for (index, &shards) in config.stages.iter().enumerate() {
+        if index > 0 {
+            let report = runtime.resize(shards)?;
+            transitions.push(ElasticityTransition {
+                from_shards: report.from_shards,
+                to_shards: report.to_shards,
+                pause_ns: report.pause.as_nanos() as u64,
+                migrated_modules: report.migrated_modules,
+                migrated_words: report.migrated_words,
+            });
+        }
+        let before = runtime.total_stats();
+        let start = Instant::now();
+        let mut submitted = 0usize;
+        while submitted < config.packets_per_stage {
+            let take = BURST_SIZE.min(config.packets_per_stage - submitted);
+            let offset = submitted % trace.len();
+            let take = take.min(trace.len() - offset);
+            runtime.submit(&trace[offset..offset + take])?;
+            submitted += take;
+        }
+        runtime.flush();
+        let wall_secs = start.elapsed().as_secs_f64().max(1e-12);
+        let after = runtime.total_stats();
+        let cumulative = runtime.aggregated_latency()?;
+        let stage_latency = cumulative
+            .packet_ns
+            .subtracting(&latency_baseline)
+            .expect("runtime latency is cumulative across resizes (retired tally included)");
+        latency_baseline = cumulative.packet_ns;
+        stages.push(ElasticityStage {
+            shards,
+            packets: after.packets - before.packets,
+            mpps: submitted as f64 / wall_secs / 1e6,
+            latency: stage_latency.percentiles(),
+        });
+    }
+    let total = runtime.total_stats();
+    let report = ElasticityReport {
+        stages,
+        transitions,
+        total_packets: total.packets,
+        all_packets_accounted: total.packets == total.forwarded + total.dropped,
+    };
+    runtime.shutdown();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::passthrough_module;
+    use menshen_rmt::params::PipelineParams;
+    use menshen_trace::synth::{synthesize, WorkloadSpec};
+
+    fn template(tenants: u16) -> MenshenPipeline {
+        let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+        for id in 1..=tenants {
+            pipeline
+                .load_module(&passthrough_module(id))
+                .expect("passthrough loads");
+        }
+        pipeline
+    }
+
+    fn trace(tenants: u16, packets: usize) -> Vec<Packet> {
+        let mut spec = WorkloadSpec::uniform(tenants, 64, packets);
+        spec.mean_rate_pps = 10_000_000.0;
+        synthesize(&spec).unwrap()
+    }
+
+    #[test]
+    fn grow_shrink_schedule_accounts_for_every_packet() {
+        let template = template(6);
+        let trace = trace(6, 512);
+        for (dispatchers, steering) in [
+            (0usize, SteeringMode::TenantAffine),
+            (1, SteeringMode::FiveTuple),
+        ] {
+            let config = ElasticityConfig {
+                stages: vec![2, 4, 2],
+                packets_per_stage: 1024,
+                dispatchers,
+                steering,
+            };
+            let report = elasticity_experiment(&template, &trace, &config).unwrap();
+            assert_eq!(report.stages.len(), 3);
+            assert_eq!(report.transitions.len(), 2);
+            assert_eq!(report.total_packets, 3 * 1024);
+            assert!(report.all_packets_accounted, "{report:?}");
+            assert_eq!(
+                (
+                    report.transitions[0].from_shards,
+                    report.transitions[0].to_shards
+                ),
+                (2, 4)
+            );
+            assert_eq!(
+                (
+                    report.transitions[1].from_shards,
+                    report.transitions[1].to_shards
+                ),
+                (4, 2)
+            );
+            for transition in &report.transitions {
+                assert!(transition.pause_ns > 0, "pause must be measured");
+            }
+            for stage in &report.stages {
+                assert_eq!(stage.packets, 1024, "{steering:?}");
+                assert!(stage.mpps > 0.0);
+                assert_eq!(stage.latency.count, 1024, "per-stage latency delta");
+                assert!(stage.latency.p99_ns >= stage.latency.p50_ns);
+            }
+            assert!(report.post_resize_mpps() > 0.0);
+            assert!(report.worst_pause_ns() > 0);
+        }
+    }
+}

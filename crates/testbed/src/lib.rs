@@ -23,19 +23,30 @@
 //!   shard counts, reporting latency percentiles and RSS balance;
 //! * [`capacity`] — the closed-loop capacity sweep: rate-rescaled replay at
 //!   geometrically increasing offered rates until the p99 sojourn knees,
-//!   turning the latency series into a capacity figure.
+//!   turning the latency series into a capacity figure;
+//! * [`elasticity`] — live resharding under replay: scale the threaded
+//!   runtime out and back in mid-traffic (e.g. 2 → 8 → 2), measuring each
+//!   transition's migration pause and the post-resize latency/throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod elasticity;
 pub mod reconfig_experiment;
 pub mod replay;
 pub mod scaling;
 pub mod throughput;
 pub mod traffic;
 
-pub use capacity::{capacity_sweep, CapacityPoint, CapacityReport, CapacitySweepConfig};
+pub use capacity::{
+    capacity_sweep, CapacityPoint, CapacityReport, CapacitySweepConfig, KneeDetector, KneeSample,
+    KneeVerdict,
+};
+pub use elasticity::{
+    elasticity_experiment, ElasticityConfig, ElasticityReport, ElasticityStage,
+    ElasticityTransition,
+};
 pub use reconfig_experiment::{ReconfigExperiment, ReconfigTimeline, TimelinePoint};
 pub use replay::{replay_sweep, ReplayPoint, ReplaySweepReport};
 pub use scaling::{

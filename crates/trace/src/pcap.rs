@@ -73,6 +73,20 @@ pub enum PcapError {
     /// The capture is structurally valid but uses a feature this reader
     /// does not support (e.g. a non-Ethernet link type).
     Unsupported(String),
+    /// A classic-pcap record was snaplen-truncated at capture time
+    /// (`incl_len < orig_len`): only a prefix of the original frame is in
+    /// the file. The Menshen data path parses full Ethernet frames, so a
+    /// truncated record cannot be replayed faithfully — the reader surfaces
+    /// this typed error instead of silently treating the prefix as the
+    /// whole frame (which parses, mis-hashes and mis-matches downstream).
+    SnaplenTruncated {
+        /// Zero-based index of the offending record.
+        record: usize,
+        /// Bytes actually stored in the capture.
+        incl_len: u32,
+        /// Bytes of the original frame on the wire.
+        orig_len: u32,
+    },
     /// An I/O error (file readers only).
     Io(String),
 }
@@ -85,6 +99,15 @@ impl std::fmt::Display for PcapError {
             }
             PcapError::Truncated(what) => write!(f, "capture truncated inside {what}"),
             PcapError::Unsupported(what) => write!(f, "unsupported capture feature: {what}"),
+            PcapError::SnaplenTruncated {
+                record,
+                incl_len,
+                orig_len,
+            } => write!(
+                f,
+                "record {record} is snaplen-truncated: {incl_len} of {orig_len} frame bytes \
+                 captured — partial frames cannot be replayed faithfully"
+            ),
             PcapError::Io(message) => write!(f, "capture I/O error: {message}"),
         }
     }
@@ -249,9 +272,27 @@ fn read_classic(bytes: &[u8]) -> Result<Vec<Packet>, PcapError> {
     while cursor.remaining() > 0 {
         let seconds = cursor.u32(codec, "record header")?;
         let fraction = cursor.u32(codec, "record header")?;
-        let incl_len = cursor.u32(codec, "record header")? as usize;
-        let _orig_len = cursor.u32(codec, "record header")?;
-        let data = cursor.take(incl_len, "record data")?;
+        let incl_len = cursor.u32(codec, "record header")?;
+        let orig_len = cursor.u32(codec, "record header")?;
+        // incl_len is how many bytes follow in the file; orig_len is the
+        // frame's on-the-wire size. They differ exactly when the capturing
+        // tool's snaplen cut the frame short — a prefix is not the frame,
+        // so refuse with a typed error rather than parse it as one.
+        if incl_len < orig_len {
+            return Err(PcapError::SnaplenTruncated {
+                record: packets.len(),
+                incl_len,
+                orig_len,
+            });
+        }
+        if incl_len > orig_len {
+            return Err(PcapError::Unsupported(format!(
+                "record {} stores {incl_len} bytes for a {orig_len}-byte frame \
+                 (malformed capture)",
+                packets.len()
+            )));
+        }
+        let data = cursor.take(incl_len as usize, "record data")?;
         let fraction_ns = if nanos {
             u64::from(fraction)
         } else {
@@ -673,6 +714,75 @@ mod tests {
         assert_eq!(packets.len(), 1);
         assert_eq!(packets[0].len(), 70, "pad bytes must not join the frame");
         assert!(packets[0].bytes().iter().all(|&b| b == 0xAB));
+    }
+
+    /// Hand-crafts a classic capture whose single record was truncated by a
+    /// capturing snaplen (`incl_len < orig_len`).
+    fn snaplen_truncated_fixture(codec: Codec, nanos: bool) -> Vec<u8> {
+        let mut capture = Vec::new();
+        let magic = if nanos { MAGIC_NANOS } else { MAGIC_MICROS };
+        capture.extend_from_slice(&codec.put_u32(magic));
+        capture.extend_from_slice(&codec.put_u16(2)); // version major
+        capture.extend_from_slice(&codec.put_u16(4)); // version minor
+        capture.extend_from_slice(&codec.put_u32(0)); // thiszone
+        capture.extend_from_slice(&codec.put_u32(0)); // sigfigs
+        capture.extend_from_slice(&codec.put_u32(64)); // snaplen 64
+        capture.extend_from_slice(&codec.put_u32(LINKTYPE_ETHERNET));
+        // One record: a 128-byte frame of which only 64 bytes were captured.
+        capture.extend_from_slice(&codec.put_u32(7)); // ts seconds
+        capture.extend_from_slice(&codec.put_u32(0)); // ts fraction
+        capture.extend_from_slice(&codec.put_u32(64)); // incl_len
+        capture.extend_from_slice(&codec.put_u32(128)); // orig_len
+        capture.extend_from_slice(&[0x5A; 64]);
+        capture
+    }
+
+    #[test]
+    fn snaplen_truncated_records_are_a_typed_error() {
+        // Regression: the reader used to treat incl_len as the full frame,
+        // silently replaying 64-byte prefixes as if they were the packets.
+        for (big, nanos) in [(false, false), (false, true), (true, false)] {
+            let capture = snaplen_truncated_fixture(Codec { big }, nanos);
+            match read_pcap(&capture) {
+                Err(PcapError::SnaplenTruncated {
+                    record,
+                    incl_len,
+                    orig_len,
+                }) => {
+                    assert_eq!((record, incl_len, orig_len), (0, 64, 128));
+                }
+                other => panic!("expected SnaplenTruncated (big={big}), got {other:?}"),
+            }
+        }
+        let err = read_pcap(&snaplen_truncated_fixture(Codec { big: false }, false)).unwrap_err();
+        assert!(err.to_string().contains("snaplen-truncated"), "{err}");
+
+        // An intact record *after* a truncated one still errors (index 1).
+        let mut capture = Vec::new();
+        write_pcap(
+            &mut capture,
+            &sample_packets()[..1],
+            TimestampPrecision::Micros,
+            Endianness::Little,
+        )
+        .unwrap();
+        let codec = Codec { big: false };
+        capture.extend_from_slice(&codec.put_u32(9));
+        capture.extend_from_slice(&codec.put_u32(0));
+        capture.extend_from_slice(&codec.put_u32(10)); // incl
+        capture.extend_from_slice(&codec.put_u32(1000)); // orig
+        capture.extend_from_slice(&[0xAA; 10]);
+        assert!(matches!(
+            read_pcap(&capture),
+            Err(PcapError::SnaplenTruncated { record: 1, .. })
+        ));
+
+        // incl_len > orig_len is malformed, not truncation.
+        let mut bogus = snaplen_truncated_fixture(Codec { big: false }, false);
+        // Swap incl/orig in the record header (offsets 24+8 and 24+12).
+        bogus[32..36].copy_from_slice(&codec.put_u32(64));
+        bogus[36..40].copy_from_slice(&codec.put_u32(32));
+        assert!(matches!(read_pcap(&bogus), Err(PcapError::Unsupported(_))));
     }
 
     #[test]

@@ -256,8 +256,14 @@ pub fn replay_sharded(
     let telemetry = runtime.aggregated_latency()?;
     let (latency, burst_latency) = match &latency_baseline {
         Some(before) => (
-            telemetry.packet_ns.subtracting(&before.packet_ns),
-            telemetry.burst_ns.subtracting(&before.burst_ns),
+            telemetry
+                .packet_ns
+                .subtracting(&before.packet_ns)
+                .expect("runtime latency is cumulative; an entry snapshot subtracts cleanly"),
+            telemetry
+                .burst_ns
+                .subtracting(&before.burst_ns)
+                .expect("runtime latency is cumulative; an entry snapshot subtracts cleanly"),
         ),
         None => (telemetry.packet_ns, telemetry.burst_ns),
     };

@@ -22,7 +22,9 @@ use menshen::prelude::*;
 use menshen_bench::workloads::{flow_dst_ip, flow_rule_tenant_with_port};
 use menshen_core::{ModuleConfig, ModuleCounters};
 use menshen_packet::{Packet, PacketBuilder};
+use menshen_rmt::action::AluInstruction;
 use menshen_rmt::config::KeyMask;
+use menshen_rmt::phv::ContainerRef as C;
 use menshen_runtime::{DispatchSpray, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -378,6 +380,242 @@ fn flow_affine_spray_holds_the_same_equivalence() {
     // to end; the equivalence contract is identical.
     for (dispatchers, shards) in [(2usize, 4usize), (4, 5), (3, 1)] {
         run_equivalence_with(shards, dispatchers, DispatchSpray::FlowAffine, 0x00AF_F14E);
+    }
+}
+
+/// The elastic variant of the equivalence experiment: a fixed grow/shrink
+/// resize schedule (plus the usual random control-plane churn) interleaves
+/// with the bursts, and the sharded runtime must stay indistinguishable from
+/// the lone pipeline throughout — per-position verdicts with the inline
+/// dispatcher, per-burst multisets with dispatcher threads, and counter
+/// totals / stateful words / link statistics at the end.
+///
+/// `resize_plan` names the shard counts visited after every third burst;
+/// `None` entries perform a custom `set_reta` rewrite instead (all entries
+/// to shard 0), exercising tenant moves without a count change.
+#[allow(clippy::too_many_arguments)]
+fn run_elastic_equivalence(
+    initial_shards: usize,
+    dispatchers: usize,
+    spray: DispatchSpray,
+    steering: SteeringMode,
+    resize_plan: &[Option<usize>],
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = TABLE5.with_table_depth(64);
+    let mut single = MenshenPipeline::new(params);
+    let mut sharded = ShardedRuntime::new(
+        params,
+        RuntimeOptions::deterministic(initial_shards)
+            .with_dispatchers(dispatchers)
+            .with_spray(spray)
+            .with_steering(steering),
+    );
+    for module in 1..=TENANTS {
+        let config = tenant_module(module, 1000 + module);
+        single.load_module(&config).expect("single load");
+        sharded.load_module(&config).expect("sharded load");
+    }
+    let mut marked = Vec::new();
+    let mut resizes = resize_plan.iter();
+    let bursts = 3 * resize_plan.len() + 3;
+    for burst_index in 0..bursts {
+        if burst_index % 3 == 2 {
+            match resizes.next() {
+                Some(Some(target)) => {
+                    let report = sharded.resize(*target).expect("resize");
+                    assert_eq!(report.to_shards, *target, "seed {seed}");
+                    assert_eq!(sharded.shard_count(), *target);
+                }
+                Some(None) => {
+                    // Concentrate every RETA entry on shard 0: all tenants
+                    // move there, no shard count change.
+                    let reta = [0u16; menshen_runtime::RETA_SIZE];
+                    sharded.set_reta(reta).expect("set_reta");
+                }
+                None => {}
+            }
+        } else if burst_index > 0 && rng.gen_bool(0.35) {
+            random_control(&mut rng, &mut single, &mut sharded, &mut marked);
+        }
+        let burst: Vec<Packet> = (0..rng.gen_range(1..64usize))
+            .map(|_| random_packet(&mut rng))
+            .collect();
+        let expected = single.process_batch(burst.clone());
+        let got = sharded.process_batch(burst).expect("deterministic mode");
+        assert_eq!(expected.len(), got.len());
+        if dispatchers == 0 {
+            for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    project(a),
+                    project(b),
+                    "seed {seed}, burst {burst_index}, packet {position} \
+                     ({steering:?}, {} shards)",
+                    sharded.shard_count()
+                );
+            }
+        } else {
+            let mut a: Vec<VerdictKey> = expected.iter().map(project).collect();
+            let mut b: Vec<VerdictKey> = got.iter().map(project).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(
+                a, b,
+                "seed {seed}, burst {burst_index}: multisets diverged after resize"
+            );
+        }
+    }
+    // End-state equivalence: counters, stateful words, link statistics all
+    // survived every migration.
+    let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+    for module in 1..=TENANTS {
+        assert_eq!(
+            single.module_counters(ModuleId::new(module)).unwrap(),
+            aggregated.get(&module).copied().unwrap_or_default(),
+            "seed {seed}: module {module} counters diverged across resizes"
+        );
+        assert_eq!(
+            single.read_stateful(ModuleId::new(module), 0, 0),
+            sharded.read_stateful_aggregate(ModuleId::new(module), 0, 0),
+            "seed {seed}: module {module} stateful word diverged across resizes"
+        );
+    }
+    assert_eq!(
+        single.system().stats().link_packets,
+        sharded
+            .aggregated_system_stats()
+            .expect("snapshot applies")
+            .link_packets,
+        "seed {seed}: link history lost in a resize"
+    );
+}
+
+#[test]
+fn interleaved_resizes_preserve_equivalence_across_the_grid() {
+    // Grow and shrink through 1..=8 (extremes included), both sprays, both
+    // steering modes, with and without dispatcher threads modeled.
+    let plan = [Some(8), Some(3), None, Some(1), Some(5), Some(2)];
+    for &(dispatchers, spray) in &[
+        (0usize, DispatchSpray::RoundRobin),
+        (2, DispatchSpray::RoundRobin),
+        (3, DispatchSpray::FlowAffine),
+    ] {
+        for steering in [SteeringMode::TenantAffine, SteeringMode::FiveTuple] {
+            run_elastic_equivalence(2, dispatchers, spray, steering, &plan, 0xE1A5_71C0);
+        }
+    }
+}
+
+#[test]
+fn resize_equivalence_holds_across_seeds_and_starts() {
+    for (index, seed) in [7u64, 0xFEED_BEEF, 0x0DD5_EED5].into_iter().enumerate() {
+        let start = [4usize, 7, 1][index];
+        let plan = [Some(start + 1), Some(2), Some(6), Some(1)];
+        run_elastic_equivalence(
+            start,
+            index % 2,
+            DispatchSpray::RoundRobin,
+            SteeringMode::TenantAffine,
+            &plan,
+            seed,
+        );
+    }
+}
+
+/// The acceptance-criteria scenario: a stateful program whose state is NOT
+/// mergeable (it `store`s packet-derived values) runs under 5-tuple
+/// steering — legal now because it is pinned single-owner — and its state
+/// migrates across grow and shrink resizes, staying equivalent to the lone
+/// pipeline throughout.
+#[test]
+fn non_mergeable_program_migrates_under_five_tuple_resizes() {
+    let mut rng = StdRng::seed_from_u64(0x57_0BE5);
+    let params = TABLE5.with_table_depth(64);
+    let mut single = MenshenPipeline::new(params);
+    let mut sharded = ShardedRuntime::new(
+        params,
+        RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+    );
+    // Tenant 1: a storing (non-mergeable) program — match its flow-rule dst
+    // IPs, rewrite the port AND store the dst-IP container into stateful
+    // word 2. Tenants 2..: the usual mergeable flow-rule programs.
+    let mut storing = tenant_module(1, 1001);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    single.load_module(&storing).expect("single load");
+    sharded.load_module(&storing).expect("sharded load");
+    assert_eq!(
+        sharded.pinned_modules(),
+        vec![1],
+        "the storing program must be pinned single-owner"
+    );
+    for module in 2..=TENANTS {
+        let config = tenant_module(module, 1000 + module);
+        single.load_module(&config).expect("single load");
+        sharded.load_module(&config).expect("sharded load");
+    }
+
+    let mut migrations = 0usize;
+    for (round, plan) in [8usize, 2, 5, 1, 3].into_iter().enumerate() {
+        for _ in 0..4 {
+            let burst: Vec<Packet> = (0..48).map(|_| random_packet(&mut rng)).collect();
+            let expected = single.process_batch(burst.clone());
+            let got = sharded.process_batch(burst).expect("deterministic mode");
+            for (a, b) in expected.iter().zip(&got) {
+                assert_eq!(project(a), project(b), "round {round}");
+            }
+        }
+        let before = sharded
+            .read_stateful_aggregate(ModuleId::new(1), 0, 2)
+            .unwrap();
+        let report = sharded.resize(plan).expect("resize");
+        migrations += report.migrated_modules;
+        // The pinned tenant's stored word survived the move bit-for-bit —
+        // and only one replica holds it.
+        assert_eq!(
+            sharded.read_stateful_aggregate(ModuleId::new(1), 0, 2),
+            Some(before),
+            "round {round}: stored word lost in migration"
+        );
+        let live_copies = (0..sharded.shard_count())
+            .filter(|&shard| {
+                sharded
+                    .shard_pipeline(shard)
+                    .and_then(|p| p.read_stateful(ModuleId::new(1), 0, 2))
+                    .is_some_and(|word| word != 0)
+            })
+            .count();
+        assert!(
+            live_copies <= 1,
+            "round {round}: non-mergeable state replicated ({live_copies} copies)"
+        );
+    }
+    assert!(migrations > 0, "the schedule must actually move tenants");
+
+    // Final totals: the storing word equals the single pipeline's, counters
+    // and mergeable words aggregate exactly.
+    assert_eq!(
+        single.read_stateful(ModuleId::new(1), 0, 2),
+        sharded.read_stateful_aggregate(ModuleId::new(1), 0, 2),
+        "stored (non-mergeable) state diverged from the lone pipeline"
+    );
+    let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+    for module in 1..=TENANTS {
+        assert_eq!(
+            single.module_counters(ModuleId::new(module)).unwrap(),
+            aggregated.get(&module).copied().unwrap_or_default(),
+            "module {module}"
+        );
+        assert_eq!(
+            single.read_stateful(ModuleId::new(module), 0, 0),
+            sharded.read_stateful_aggregate(ModuleId::new(module), 0, 0),
+            "module {module} mergeable total"
+        );
     }
 }
 

@@ -120,7 +120,7 @@ fn paced_replay_through_a_lone_pipeline_matches_the_capture_clock() {
 }
 
 #[test]
-fn non_mergeable_state_is_refused_under_five_tuple_steering() {
+fn non_mergeable_state_is_pinned_under_five_tuple_steering() {
     use menshen::rmt::action::{AluInstruction, VliwAction};
     use menshen::rmt::phv::ContainerRef as C;
 
@@ -131,12 +131,17 @@ fn non_mergeable_state_is_refused_under_five_tuple_steering() {
         TABLE5.with_table_depth(1024),
         RuntimeOptions::threaded(2).with_steering(SteeringMode::FiveTuple),
     );
-    let err = runtime.load_module(&config).unwrap_err();
-    assert!(err.to_string().contains("non-mergeable"), "{err}");
-    // Tenant-affine accepts the same module (single live copy per tenant).
+    // Non-mergeable state is no longer refused: the module is pinned
+    // tenant-affine, so one shard owns its state (and live resharding
+    // migrates that copy on RETA changes).
+    runtime.load_module(&config).unwrap();
+    assert_eq!(runtime.pinned_modules(), vec![1]);
+    runtime.shutdown();
+    // Tenant-affine needs no pin (every module is already single-owner).
     let mut affine =
         ShardedRuntime::new(TABLE5.with_table_depth(1024), RuntimeOptions::threaded(2));
     affine.load_module(&config).unwrap();
+    assert!(affine.pinned_modules().is_empty());
     assert_eq!(
         affine.standby_replica().loaded_modules(),
         vec![ModuleId::new(1)]
