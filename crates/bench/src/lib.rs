@@ -142,6 +142,43 @@ mod tests {
     }
 
     #[test]
+    fn match_scaling_merge_preserves_every_committed_section() {
+        // The exact shape the match_scaling bench exercises: merging its new
+        // section into a baseline already carrying every other bench's
+        // series must keep them all, whether the section is new or replaced.
+        const SECTIONS: &[&str] = &[
+            "hot_path_single_vs_batch",
+            "shard_scaling",
+            "latency_percentiles",
+            "rss_balance",
+            "dispatch_scaling",
+            "capacity_knee",
+            "reshard",
+        ];
+        let existing = Json::Obj(
+            SECTIONS
+                .iter()
+                .map(|&s| (s.to_string(), Json::obj([("mpps", Json::from(1))])))
+                .collect(),
+        )
+        .pretty();
+        let section = Json::obj([("tiers", vec![1_000usize].to_json())]);
+        let merged =
+            merge_baseline_section(Some(&existing), "match_scaling", section.clone()).unwrap();
+        for s in SECTIONS {
+            assert!(merged.get(s).is_some(), "section {s} must survive");
+        }
+        assert!(merged.get("match_scaling").is_some());
+        // Re-merging (a later full run updating its own numbers) keeps the
+        // rest too.
+        let again =
+            merge_baseline_section(Some(&merged.pretty()), "match_scaling", section).unwrap();
+        for s in SECTIONS {
+            assert!(again.get(s).is_some(), "section {s} must survive re-merge");
+        }
+    }
+
+    #[test]
     fn merge_wraps_legacy_documents_and_rejects_garbage() {
         let legacy = r#"{ "benchmark": "hot_path", "mpps": 5 }"#;
         let merged = merge_baseline_section(Some(legacy), "new_section", Json::from(1)).unwrap();

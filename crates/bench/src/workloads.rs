@@ -66,6 +66,7 @@ pub fn flow_rule_tenant_with_port(module_id: u16, rules: usize, rewrite_port: u1
         )),
         rules,
         stateful_words: 16,
+        ..Default::default()
     };
     config
 }

@@ -125,6 +125,25 @@ pub struct TableDecl {
     pub actions: Vec<String>,
     /// Requested number of entries.
     pub size: usize,
+    /// True when the program declared `size` explicitly. Flat (LPM/range)
+    /// tables use a declared size as the table capacity; without one they
+    /// get the hardware default (10^6 entries).
+    pub size_declared: bool,
+    /// How the table matches its key: exact (default), longest prefix, or
+    /// priority-ordered ranges.
+    pub match_kind: TableMatchKind,
+}
+
+/// The match discipline a table declares via `match = exact|lpm|range;`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableMatchKind {
+    /// Exact match against the full masked key (the CAM path).
+    #[default]
+    Exact,
+    /// Longest-prefix match on a single 32-bit key field.
+    Lpm,
+    /// Priority-ordered range match on a single key field.
+    Range,
 }
 
 /// An action declaration.
@@ -281,6 +300,8 @@ mod tests {
                 keys: vec![FieldRef::new("calc", "op")],
                 actions: vec!["do_add".into()],
                 size: 4,
+                size_declared: true,
+                match_kind: TableMatchKind::Exact,
             }],
             actions: vec![ActionDecl {
                 name: "do_add".into(),

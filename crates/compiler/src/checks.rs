@@ -13,7 +13,7 @@
 //! actually defined) is checked here too, so the backend can assume a
 //! well-formed module.
 
-use crate::ast::{Expr, FieldRef, ModuleAst, Statement};
+use crate::ast::{Expr, FieldRef, ModuleAst, Statement, TableMatchKind};
 use crate::error::CompileError;
 use crate::layout::SYS_HEADER;
 use crate::Result;
@@ -193,6 +193,20 @@ pub fn check_name_resolution(ast: &ModuleAst) -> Result<()> {
             return Err(CompileError::StaticCheck(format!(
                 "table `{}` has no key fields",
                 table.name
+            )));
+        }
+        // Flat match kinds run over one key field: the trie / interval
+        // search consumes a single fixed-offset slice of the lookup key.
+        if table.match_kind != TableMatchKind::Exact && table.keys.len() != 1 {
+            return Err(CompileError::StaticCheck(format!(
+                "table `{}` declares `match = {}` with {} key fields; LPM and \
+                 range tables match exactly one field",
+                table.name,
+                match table.match_kind {
+                    TableMatchKind::Lpm => "lpm",
+                    _ => "range",
+                },
+                table.keys.len()
             )));
         }
     }

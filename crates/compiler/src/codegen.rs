@@ -10,16 +10,18 @@
 //! entries the paper's compiler always emits when a module is (re)compiled
 //! (§5.1, Figure 8 — compilation time scales with this entry count).
 
-use crate::ast::{ActionDecl, Expr, FieldRef, ModuleAst, Statement};
+use crate::ast::{ActionDecl, Expr, FieldRef, ModuleAst, Statement, TableMatchKind};
 use crate::checks::check_module;
 use crate::error::CompileError;
 use crate::layout::PhvAllocation;
 use crate::Result;
-use menshen_core::module::{MatchRule, ModuleConfig, ModuleId, StageModuleConfig};
+use menshen_core::module::{
+    LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule, StageModuleConfig, TableRule,
+};
 use menshen_rmt::action::{AluInstruction, VliwAction};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask};
-use menshen_rmt::key_extractor::KEY_SLOT_WIDTHS;
-use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::key_extractor::{KEY_SLOT_OFFSETS, KEY_SLOT_WIDTHS};
+use menshen_rmt::match_table::{LookupKey, MatchKind};
 use menshen_rmt::params::PipelineParams;
 use menshen_rmt::phv::ContainerType;
 use std::collections::BTreeMap;
@@ -86,9 +88,23 @@ pub struct CompiledTable {
     pub key_extract: KeyExtractEntry,
     /// The key mask programmed for this module in this stage.
     pub key_mask: KeyMask,
+    /// How the table matches: exact (CAM), LPM trie or range intervals, with
+    /// the key-byte placement the flat engines consume.
+    pub match_kind: MatchKind,
+    /// The table's action names in declaration order — the module-local
+    /// action index space flat-table rules reference.
+    pub action_names: Vec<String>,
 }
 
 impl CompiledTable {
+    /// The module-local action index of `action` in this table, if declared.
+    pub fn action_index(&self, action: &str) -> Option<u16> {
+        self.action_names
+            .iter()
+            .position(|name| name == action)
+            .map(|i| i as u16)
+    }
+
     /// Builds the lookup key matching the given field values (fields not
     /// listed default to zero). Use this to install rules or predict hits.
     pub fn key(&self, values: &[(&FieldRef, u64)]) -> LookupKey {
@@ -152,6 +168,61 @@ impl CompiledModule {
             key: table.key(values),
             action: action.clone(),
         })
+    }
+
+    /// Builds an LPM [`TableRule`] for `table`, resolving `action` to its
+    /// module-local index — the unit the runtime's incremental rule-install
+    /// path consumes.
+    pub fn lpm_rule(
+        &self,
+        table: &str,
+        prefix: u32,
+        prefix_len: u8,
+        action: &str,
+    ) -> Result<TableRule> {
+        let table = self.table(table).ok_or_else(|| CompileError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        let action = table
+            .action_index(action)
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "action",
+                name: action.to_string(),
+            })?;
+        Ok(TableRule::Lpm(LpmMatchRule {
+            prefix,
+            prefix_len,
+            action,
+        }))
+    }
+
+    /// Builds a range [`TableRule`] for `table`, resolving `action` to its
+    /// module-local index.
+    pub fn range_rule(
+        &self,
+        table: &str,
+        lo: u64,
+        hi: u64,
+        priority: u16,
+        action: &str,
+    ) -> Result<TableRule> {
+        let table = self.table(table).ok_or_else(|| CompileError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        let action = table
+            .action_index(action)
+            .ok_or_else(|| CompileError::Undefined {
+                kind: "action",
+                name: action.to_string(),
+            })?;
+        Ok(TableRule::Range(RangeMatchRule {
+            lo,
+            hi,
+            priority,
+            action,
+        }))
     }
 
     /// Total number of generated initial entries (what Figure 8 sweeps).
@@ -299,6 +370,7 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
         let stage = options.start_stage + position;
         let table = ast.table(table_name).expect("checked above");
         let (key_fields, key_extract, key_mask) = build_key_config(table_name, &table.keys, &phv)?;
+        let match_kind = lower_match_kind(table_name, table.match_kind, &key_fields)?;
 
         let compiled = CompiledTable {
             name: table.name.clone(),
@@ -306,26 +378,69 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
             key_fields,
             key_extract,
             key_mask,
+            match_kind,
+            action_names: table.actions.clone(),
         };
 
-        // Initial entries: distinct keys, actions round-robined.
+        // Initial entries: distinct keys, actions round-robined. Exact
+        // tables put full VLIW actions behind each CAM entry; flat tables
+        // share one action list and reference it by local index.
         let entry_count = options.initial_entries_per_table.unwrap_or(table.size);
-        let mut rules = Vec::with_capacity(entry_count);
-        for i in 0..entry_count {
-            let first_key_field = compiled.key_fields[0].0.clone();
-            let key = compiled.key(&[(&first_key_field, (i + 1) as u64)]);
-            let action_name = &table.actions[i % table.actions.len().max(1)];
-            let action = actions
-                .get(action_name)
-                .cloned()
-                .unwrap_or_else(VliwAction::nop);
-            rules.push(MatchRule { key, action });
+        let mut rules = Vec::new();
+        let mut lpm_rules = Vec::new();
+        let mut range_rules = Vec::new();
+        let mut table_actions = Vec::new();
+        let local_action = |i: usize| (i % table.actions.len().max(1)) as u16;
+        match match_kind {
+            MatchKind::Exact => {
+                rules.reserve(entry_count);
+                for i in 0..entry_count {
+                    let first_key_field = compiled.key_fields[0].0.clone();
+                    let key = compiled.key(&[(&first_key_field, (i + 1) as u64)]);
+                    let action_name = &table.actions[i % table.actions.len().max(1)];
+                    let action = actions
+                        .get(action_name)
+                        .cloned()
+                        .unwrap_or_else(VliwAction::nop);
+                    rules.push(MatchRule { key, action });
+                }
+            }
+            MatchKind::Lpm { .. } => {
+                table_actions = compiled_table_actions(&table.actions, &actions);
+                lpm_rules.reserve(entry_count);
+                for i in 0..entry_count {
+                    lpm_rules.push(LpmMatchRule {
+                        prefix: (i + 1) as u32,
+                        prefix_len: 32,
+                        action: local_action(i),
+                    });
+                }
+            }
+            MatchKind::Range { .. } => {
+                table_actions = compiled_table_actions(&table.actions, &actions);
+                range_rules.reserve(entry_count);
+                for i in 0..entry_count {
+                    range_rules.push(RangeMatchRule {
+                        lo: (i + 1) as u64,
+                        hi: (i + 1) as u64,
+                        priority: 0,
+                        action: local_action(i),
+                    });
+                }
+            }
         }
 
         config.stages[stage] = StageModuleConfig {
             key_extract: Some(compiled.key_extract),
             key_mask: Some(compiled.key_mask),
+            match_kind,
             rules,
+            table_actions,
+            lpm_rules,
+            range_rules,
+            // A declared size bounds a flat table's capacity; without one the
+            // table gets the hardware default (10^6 entries).
+            table_capacity: if table.size_declared { table.size } else { 0 },
             stateful_words: *stage_stateful_words.get(&stage).unwrap_or(&0),
         };
         compiled_tables.push(compiled);
@@ -341,6 +456,52 @@ pub fn compile_ast(ast: &ModuleAst, options: &CompileOptions) -> Result<Compiled
 
 /// Field→key-slot mapping produced while laying out a table's key.
 type KeyFieldSlots = Vec<(FieldRef, usize)>;
+
+/// Lowers a table's declared match discipline onto the key layout: the flat
+/// kinds record where their single key field sits inside the 24-byte lookup
+/// key, so the data path can slice it without consulting the field mapping.
+fn lower_match_kind(
+    table: &str,
+    kind: TableMatchKind,
+    key_fields: &KeyFieldSlots,
+) -> Result<MatchKind> {
+    match kind {
+        TableMatchKind::Exact => Ok(MatchKind::Exact),
+        TableMatchKind::Lpm => {
+            let slot = key_fields[0].1;
+            if KEY_SLOT_WIDTHS[slot] != 4 {
+                return Err(CompileError::StaticCheck(format!(
+                    "table `{table}` declares `match = lpm` on `{}`, a {}-byte \
+                     field; LPM matches a 32-bit field",
+                    key_fields[0].0.qualified(),
+                    KEY_SLOT_WIDTHS[slot]
+                )));
+            }
+            Ok(MatchKind::Lpm {
+                key_offset: KEY_SLOT_OFFSETS[slot] as u8,
+            })
+        }
+        TableMatchKind::Range => {
+            let slot = key_fields[0].1;
+            Ok(MatchKind::Range {
+                key_offset: KEY_SLOT_OFFSETS[slot] as u8,
+                key_width: KEY_SLOT_WIDTHS[slot] as u8,
+            })
+        }
+    }
+}
+
+/// The compiled VLIW form of a table's action list, in declaration order —
+/// the module-local index space of flat-table rules.
+fn compiled_table_actions(
+    names: &[String],
+    compiled: &BTreeMap<String, VliwAction>,
+) -> Vec<VliwAction> {
+    names
+        .iter()
+        .map(|name| compiled.get(name).cloned().unwrap_or_else(VliwAction::nop))
+        .collect()
+}
 
 /// Builds the key-extractor entry, key mask and field→slot mapping for one
 /// table's key fields.
@@ -712,5 +873,135 @@ module conflict {
         let mut pipeline = MenshenPipeline::new(TABLE5);
         let report = pipeline.load_module(&compiled.config).unwrap();
         assert!(report.reconfig_packets > 4 + 4 + 2 + 2);
+    }
+
+    const FIREWALL: &str = r#"
+module firewall {
+    parser { extract ethernet; extract vlan; extract ipv4; extract udp; }
+    table routes {
+        key = { ipv4.dst_addr; }
+        match = lpm;
+        actions = { to_core; to_edge; }
+    }
+    table ports {
+        key = { udp.dst_port; }
+        match = range;
+        actions = { admit; block; }
+        size = 4096;
+    }
+    action to_core() { set_port(1); }
+    action to_edge() { set_port(2); }
+    action admit() { set_port(3); }
+    action block() { mark_drop(); }
+    apply { routes.apply(); ports.apply(); }
+}
+"#;
+
+    #[test]
+    fn lpm_and_range_tables_lower_to_flat_match_kinds() {
+        let ast = parse_module(FIREWALL).unwrap();
+        let compiled = compile_ast(&ast, &CompileOptions::new(4)).unwrap();
+
+        let routes = compiled.table("routes").unwrap();
+        assert!(matches!(routes.match_kind, MatchKind::Lpm { .. }));
+        assert_eq!(routes.action_index("to_edge"), Some(1));
+        assert_eq!(routes.action_index("ghost"), None);
+        let stage = &compiled.config.stages[routes.stage];
+        assert_eq!(stage.match_kind, routes.match_kind);
+        assert_eq!(stage.table_actions.len(), 2);
+        assert_eq!(
+            stage.table_capacity, 0,
+            "undeclared size → default capacity"
+        );
+
+        let ports = compiled.table("ports").unwrap();
+        match ports.match_kind {
+            MatchKind::Range { key_width, .. } => assert_eq!(key_width, 2),
+            other => panic!("expected range kind, got {other:?}"),
+        }
+        assert_eq!(
+            compiled.config.stages[ports.stage].table_capacity, 4096,
+            "declared size bounds the flat table"
+        );
+
+        // The typed rule builders resolve local action indices.
+        match compiled
+            .lpm_rule("routes", 0x0a000000, 8, "to_core")
+            .unwrap()
+        {
+            TableRule::Lpm(rule) => assert_eq!((rule.prefix_len, rule.action), (8, 0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match compiled.range_rule("ports", 0, 1023, 7, "block").unwrap() {
+            TableRule::Range(rule) => assert_eq!((rule.hi, rule.action), (1023, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(compiled.lpm_rule("routes", 0, 0, "admit").is_err());
+    }
+
+    #[test]
+    fn compiled_flat_module_forwards_through_the_pipeline() {
+        use menshen_core::{MenshenPipeline, TableRule};
+        use menshen_packet::PacketBuilder;
+
+        let ast = parse_module(FIREWALL).unwrap();
+        let compiled = compile_ast(&ast, &CompileOptions::new(4)).unwrap();
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&compiled.config).unwrap();
+
+        let rules: Vec<TableRule> = vec![
+            compiled
+                .lpm_rule("routes", 0x0a00_0000, 8, "to_core")
+                .unwrap(),
+            compiled
+                .lpm_rule("routes", 0xc0a8_0000, 16, "to_edge")
+                .unwrap(),
+        ];
+        let routes = compiled.table("routes").unwrap();
+        pipeline
+            .install_rules(ModuleId::new(4), routes.stage, &rules)
+            .unwrap();
+
+        let packet =
+            PacketBuilder::udp_data(4, [192, 168, 0, 9], [10, 1, 2, 3], 5000, 80, &[0u8; 8]);
+        let verdict = pipeline.process(packet);
+        match verdict {
+            menshen_core::Verdict::Forwarded { ports, .. } => assert_eq!(ports, vec![1]),
+            other => panic!("expected forwarded to port 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lpm_on_non_32_bit_field_rejected() {
+        let source = r#"
+module bad {
+    parser { extract ipv4; extract udp; }
+    table t { key = { udp.dst_port; } match = lpm; actions = { a; } }
+    action a() { set_port(1); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
+        assert!(err.to_string().contains("32-bit"), "{err}");
+    }
+
+    #[test]
+    fn flat_kinds_require_a_single_key_field() {
+        let source = r#"
+module bad {
+    parser { extract ipv4; extract udp; }
+    table t {
+        key = { ipv4.dst_addr; udp.dst_port; }
+        match = lpm;
+        actions = { a; }
+    }
+    action a() { set_port(1); }
+    apply { t.apply(); }
+}
+"#;
+        let ast = parse_module(source).unwrap();
+        let err = compile_ast(&ast, &CompileOptions::new(1)).unwrap_err();
+        assert!(err.to_string().contains("one field"), "{err}");
     }
 }

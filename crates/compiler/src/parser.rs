@@ -186,6 +186,8 @@ impl Parser {
         let mut keys = Vec::new();
         let mut actions = Vec::new();
         let mut size = 16usize;
+        let mut size_declared = false;
+        let mut match_kind = TableMatchKind::default();
         while !self.eat(&TokenKind::RBrace) {
             let section = self.expect_ident()?;
             self.expect(TokenKind::Equals)?;
@@ -206,6 +208,21 @@ impl Parser {
                 }
                 "size" => {
                     size = self.expect_number()? as usize;
+                    size_declared = true;
+                    self.expect(TokenKind::Semicolon)?;
+                }
+                "match" => {
+                    let kind = self.expect_ident()?;
+                    match_kind = match kind.as_str() {
+                        "exact" => TableMatchKind::Exact,
+                        "lpm" => TableMatchKind::Lpm,
+                        "range" => TableMatchKind::Range,
+                        other => {
+                            return Err(self.error(format!(
+                                "unknown match kind `{other}` (expected exact, lpm or range)"
+                            )))
+                        }
+                    };
                     self.expect(TokenKind::Semicolon)?;
                 }
                 other => return Err(self.error(format!("unknown table section `{other}`"))),
@@ -216,6 +233,8 @@ impl Parser {
             keys,
             actions,
             size,
+            size_declared,
+            match_kind,
         })
     }
 

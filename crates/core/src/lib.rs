@@ -59,7 +59,8 @@ pub mod telemetry;
 
 pub use error::CoreError;
 pub use module::{
-    MatchRule, ModuleConfig, ModuleId, ResourceAllocation, StageModuleConfig, StateMergeability,
+    LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule, ResourceAllocation,
+    StageModuleConfig, StateMergeability, TableRule,
 };
 pub use overlay::OverlayTable;
 pub use packet_filter::{FilterDecision, PacketFilter};
@@ -79,7 +80,10 @@ pub type Result<T> = core::result::Result<T, CoreError>;
 
 /// Convenient glob-import surface for examples and downstream crates.
 pub mod prelude {
-    pub use crate::module::{MatchRule, ModuleConfig, ModuleId, StageModuleConfig};
+    pub use crate::module::{
+        LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule, StageModuleConfig,
+        TableRule,
+    };
     pub use crate::pipeline::{DropReason, MenshenPipeline, Verdict, BURST_SIZE};
     pub use crate::resources::SharingPolicy;
     pub use crate::sw_interface::ControlPlane;

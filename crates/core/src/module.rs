@@ -6,7 +6,7 @@
 
 use menshen_rmt::action::{AluOp, VliwAction};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
-use menshen_rmt::match_table::LookupKey;
+use menshen_rmt::match_table::{LookupKey, MatchKind};
 
 /// A module identifier: the 12-bit VLAN ID carried by the module's packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,6 +85,44 @@ pub struct MatchRule {
     pub action: VliwAction,
 }
 
+/// One longest-prefix-match rule of a compiled module. The action index is
+/// *module-local*: it names an entry of the stage's
+/// [`StageModuleConfig::table_actions`] list and is rebased onto the module's
+/// partitioned action range when installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpmMatchRule {
+    /// The prefix value (high bits significant, low bits ignored).
+    pub prefix: u32,
+    /// The prefix length in bits (0..=32).
+    pub prefix_len: u8,
+    /// Module-local action index into `table_actions`.
+    pub action: u16,
+}
+
+/// One range (ternary interval) rule of a compiled module; action index is
+/// module-local like [`LpmMatchRule::action`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeMatchRule {
+    /// Inclusive lower bound of the matched field value.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Rule priority: higher wins; ties go to the earlier install.
+    pub priority: u16,
+    /// Module-local action index into `table_actions`.
+    pub action: u16,
+}
+
+/// One rule for a flat (LPM or range) match table — the unit of incremental
+/// rule install on the control path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRule {
+    /// A longest-prefix-match rule.
+    Lpm(LpmMatchRule),
+    /// A range (ternary interval) rule.
+    Range(RangeMatchRule),
+}
+
 /// Per-stage portion of a compiled module configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StageModuleConfig {
@@ -93,8 +131,22 @@ pub struct StageModuleConfig {
     pub key_extract: Option<KeyExtractEntry>,
     /// Key mask for this module in this stage.
     pub key_mask: Option<KeyMask>,
-    /// Match-action rules to install in this stage.
+    /// How this stage's table matches: exact (CAM), LPM or range. LPM/range
+    /// stages put their rules in `lpm_rules`/`range_rules` and their actions
+    /// in `table_actions`; exact stages use `rules`.
+    pub match_kind: MatchKind,
+    /// Match-action rules to install in this stage (exact match kind).
     pub rules: Vec<MatchRule>,
+    /// Shared VLIW actions for the LPM/range match kinds, installed into the
+    /// module's partitioned action-table range; rules reference them by index.
+    pub table_actions: Vec<VliwAction>,
+    /// Longest-prefix-match rules (LPM match kind).
+    pub lpm_rules: Vec<LpmMatchRule>,
+    /// Range rules (range match kind).
+    pub range_rules: Vec<RangeMatchRule>,
+    /// Maximum rules the stage's LPM/range table may hold; 0 means the
+    /// default ([`menshen_rmt::params::MATCH_TABLE_CAPACITY`]).
+    pub table_capacity: usize,
     /// Words of stateful memory this module needs in this stage.
     pub stateful_words: usize,
 }
@@ -102,7 +154,12 @@ pub struct StageModuleConfig {
 impl StageModuleConfig {
     /// True if the module does nothing in this stage.
     pub fn is_empty(&self) -> bool {
-        self.key_extract.is_none() && self.rules.is_empty() && self.stateful_words == 0
+        self.key_extract.is_none()
+            && self.rules.is_empty()
+            && self.table_actions.is_empty()
+            && self.lpm_rules.is_empty()
+            && self.range_rules.is_empty()
+            && self.stateful_words == 0
     }
 }
 
@@ -134,9 +191,12 @@ impl ModuleConfig {
         }
     }
 
-    /// Total number of match-action rules across all stages.
+    /// Total number of match-action rules across all stages, all match kinds.
     pub fn total_rules(&self) -> usize {
-        self.stages.iter().map(|s| s.rules.len()).sum()
+        self.stages
+            .iter()
+            .map(|s| s.rules.len() + s.lpm_rules.len() + s.range_rules.len())
+            .sum()
     }
 
     /// Total stateful words requested across all stages.
@@ -147,7 +207,14 @@ impl ModuleConfig {
     /// The resource usage of this configuration, for admission control.
     pub fn usage(&self) -> ResourceAllocation {
         ResourceAllocation {
-            match_entries_per_stage: self.stages.iter().map(|s| s.rules.len()).collect(),
+            // LPM/range rules live in their own per-module flat tables; what
+            // they consume from the *partitioned* stage resources is one
+            // action-table entry per shared action.
+            match_entries_per_stage: self
+                .stages
+                .iter()
+                .map(|s| s.rules.len() + s.table_actions.len())
+                .collect(),
             stateful_words_per_stage: self.stages.iter().map(|s| s.stateful_words).collect(),
             phv_containers: self.parser.actions.len(),
         }
@@ -169,8 +236,13 @@ impl ModuleConfig {
     pub fn state_mergeability(&self) -> StateMergeability {
         let mut touches_state = false;
         for (stage, config) in self.stages.iter().enumerate() {
-            for (rule_index, rule) in config.rules.iter().enumerate() {
-                if action_overwrites_state(&rule.action) {
+            let actions = config
+                .rules
+                .iter()
+                .map(|r| &r.action)
+                .chain(config.table_actions.iter());
+            for (rule_index, action) in actions.enumerate() {
+                if action_overwrites_state(action) {
                     return StateMergeability::NonMergeable {
                         stage,
                         detail: format!(
@@ -180,7 +252,7 @@ impl ModuleConfig {
                         ),
                     };
                 }
-                touches_state |= action_touches_state(&rule.action);
+                touches_state |= action_touches_state(action);
             }
         }
         if touches_state {

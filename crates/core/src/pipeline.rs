@@ -43,7 +43,9 @@
 //! it amortises away.
 
 use crate::error::CoreError;
-use crate::module::{ModuleConfig, ModuleId, StateMergeability};
+use crate::module::{
+    LpmMatchRule, ModuleConfig, ModuleId, RangeMatchRule, StateMergeability, TableRule,
+};
 use crate::overlay::OverlayTable;
 use crate::packet_filter::{FilterDecision, PacketFilter};
 use crate::partition::{Allocation, RangeAllocator};
@@ -55,11 +57,13 @@ use menshen_packet::{Ipv4Address, Packet};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
 use menshen_rmt::deparser;
 use menshen_rmt::key_extractor::extract_key;
-use menshen_rmt::match_table::{LookupKey, MatchEntry};
-use menshen_rmt::params::PipelineParams;
+use menshen_rmt::lpm::LpmTable;
+use menshen_rmt::match_table::{LookupKey, MatchEntry, MatchKind};
+use menshen_rmt::params::{PipelineParams, MATCH_TABLE_CAPACITY};
 use menshen_rmt::parser;
 use menshen_rmt::phv::Phv;
 use menshen_rmt::stage::{StageConfig, StageHardware};
+use menshen_rmt::ternary::{RangeRule, RangeTable};
 use std::collections::HashMap;
 
 /// DPDK-style default burst size for [`MenshenPipeline::process_batch`].
@@ -244,6 +248,21 @@ enum ResolvedLookup {
     /// The masked key is burst-constant and hit this CAM address; only the
     /// action execution remains per-packet.
     ConstantHit(usize),
+    /// The module has a flat LPM table in this stage: per-packet trie walk,
+    /// then direct action execution (no CAM probe).
+    PerPacketLpm,
+    /// The module has a flat range table in this stage: per-packet interval
+    /// search, then direct action execution (no CAM probe).
+    PerPacketRange,
+}
+
+/// How one stage resolved for one packet on the batch path: a CAM address
+/// (exact match, executes through the entry's indirection) or a direct
+/// action-table index (flat LPM/range tables).
+#[derive(Debug, Clone, Copy)]
+enum StageHit {
+    Cam(usize),
+    Action(usize),
 }
 
 /// Per-`(module slot, stage)` configuration resolved once per burst.
@@ -291,6 +310,12 @@ impl BatchScratch {
 }
 
 /// One match-action stage plus its Menshen isolation primitives.
+///
+/// Besides the exact-match CAM inside [`StageHardware`], a stage holds one
+/// optional flat match table per module slot: an LPM trie or a range/ternary
+/// interval table. These are isolated by construction — each slot's table is
+/// a separate object, so a lookup can never cross modules — and their rules
+/// reference the module's space-partitioned VLIW action range directly.
 #[derive(Debug, Clone)]
 struct MenshenStage {
     hw: StageHardware,
@@ -299,6 +324,10 @@ struct MenshenStage {
     segment: SegmentTable,
     cam_alloc: RangeAllocator,
     stateful_alloc: RangeAllocator,
+    /// Per-module-slot LPM tables (match kind `lpm`).
+    lpm: Vec<Option<LpmTable>>,
+    /// Per-module-slot range tables (match kind `range`).
+    range: Vec<Option<RangeTable>>,
 }
 
 impl MenshenStage {
@@ -316,6 +345,8 @@ impl MenshenStage {
                 format!("stateful memory, stage {stage_index}"),
                 params.stateful_words,
             ),
+            lpm: vec![None; params.overlay_depth],
+            range: vec![None; params.overlay_depth],
         }
     }
 }
@@ -477,13 +508,27 @@ impl MenshenPipeline {
             let Some(stage) = self.stages.get(stage_index) else {
                 continue;
             };
-            for index in range.start..range.end() {
-                let owned = stage
-                    .hw
-                    .cam
-                    .entry(index)
-                    .map(|entry| entry.module_id == module.value())
+            // A flat-table stage fills the module's partitioned range with
+            // shared actions referenced by rule rather than by CAM entry, so
+            // every action in the range is the module's and must be walked.
+            let flat = stage
+                .lpm
+                .get(runtime.slot)
+                .map(|t| t.is_some())
+                .unwrap_or(false)
+                || stage
+                    .range
+                    .get(runtime.slot)
+                    .map(|t| t.is_some())
                     .unwrap_or(false);
+            for index in range.start..range.end() {
+                let owned = flat
+                    || stage
+                        .hw
+                        .cam
+                        .entry(index)
+                        .map(|entry| entry.module_id == module.value())
+                        .unwrap_or(false);
                 if !owned {
                     continue;
                 }
@@ -574,6 +619,35 @@ impl MenshenPipeline {
                     WritePayload::Action(rule.action.clone()),
                 ));
             }
+            // Flat-table stages: the shared actions land in the module's
+            // partitioned action range (after the exact rules, if any); the
+            // rules themselves are addressed by module slot and rebased onto
+            // that range when applied.
+            for (i, action) in stage_cfg.table_actions.iter().enumerate() {
+                let index = (cam_base + stage_cfg.rules.len() + i) as u8;
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::ActionTable,
+                    stage,
+                    index,
+                    WritePayload::Action(action.clone()),
+                ));
+            }
+            for rule in &stage_cfg.lpm_rules {
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::LpmTable,
+                    stage,
+                    slot as u8,
+                    WritePayload::LpmRule(*rule),
+                ));
+            }
+            for rule in &stage_cfg.range_rules {
+                commands.push(ReconfigCommand::write(
+                    ResourceKind::RangeTable,
+                    stage,
+                    slot as u8,
+                    WritePayload::RangeRule(*rule),
+                ));
+            }
             if stage_cfg.stateful_words > 0 {
                 let range = stateful_ranges
                     .get(stage_idx)
@@ -613,6 +687,9 @@ impl MenshenPipeline {
                 },
             ));
         }
+        for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
+            Self::check_stage_config(stage_idx, stage_cfg)?;
+        }
         let slot =
             self.slots
                 .iter()
@@ -622,13 +699,16 @@ impl MenshenPipeline {
                 })?;
 
         // Space partitioning: reserve CAM and stateful ranges in every stage
-        // the module uses. Roll back on failure so a rejected module leaves
-        // no residue.
+        // the module uses. A flat-table stage consumes one partitioned
+        // action-table entry per shared action; its (up to 10^6) rules live
+        // in the per-slot flat table, not the CAM. Roll back on failure so a
+        // rejected module leaves no residue.
         let mut cam_ranges = Vec::new();
         let mut stateful_ranges = Vec::new();
         for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
             let stage = &mut self.stages[stage_idx];
-            let cam = match stage.cam_alloc.allocate(module_id, stage_cfg.rules.len()) {
+            let entries = stage_cfg.rules.len() + stage_cfg.table_actions.len();
+            let cam = match stage.cam_alloc.allocate(module_id, entries) {
                 Ok(a) => a,
                 Err(e) => {
                     self.rollback_allocations(module_id, stage_idx);
@@ -650,9 +730,37 @@ impl MenshenPipeline {
             stateful_ranges.push(stateful);
         }
 
+        // Stand up the per-slot flat tables before streaming so the rule
+        // writes in the command stream find their target.
+        for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
+            let stage = &mut self.stages[stage_idx];
+            match stage_cfg.match_kind {
+                MatchKind::Exact => {}
+                MatchKind::Lpm { key_offset } => {
+                    stage.lpm[slot] = Some(LpmTable::new(
+                        usize::from(key_offset),
+                        Self::table_capacity(stage_cfg.table_capacity),
+                    ));
+                }
+                MatchKind::Range {
+                    key_offset,
+                    key_width,
+                } => {
+                    stage.range[slot] = Some(RangeTable::new(
+                        usize::from(key_offset),
+                        usize::from(key_width),
+                        Self::table_capacity(stage_cfg.table_capacity),
+                    ));
+                }
+            }
+        }
+
         let commands = self.build_load_commands(config, slot, &cam_ranges, &stateful_ranges);
 
         // Reconfiguration proper: mark the module, stream the packets, unmark.
+        // The slot binding happens first so rule writes addressed by module
+        // slot can resolve the owning module's action range.
+        self.slots[slot] = Some(module_id.value());
         self.filter.bind_slot(slot, module_id.value());
         self.filter.mark_reconfiguring(slot);
         let mut applied = 0;
@@ -662,7 +770,6 @@ impl MenshenPipeline {
         }
         self.filter.clear_reconfiguring(slot);
 
-        self.slots[slot] = Some(module_id.value());
         self.modules.insert(
             module_id.value(),
             ModuleRuntime {
@@ -684,6 +791,75 @@ impl MenshenPipeline {
             stage.cam_alloc.release(module);
             stage.stateful_alloc.release(module);
         }
+    }
+
+    /// The effective capacity of a flat match table: the configured value, or
+    /// the "million rules per table" default when left at zero.
+    fn table_capacity(configured: usize) -> usize {
+        if configured == 0 {
+            MATCH_TABLE_CAPACITY
+        } else {
+            configured
+        }
+    }
+
+    /// Static consistency checks between a stage's match kind and the rule
+    /// lists it carries, performed before any resource is allocated.
+    fn check_stage_config(
+        stage_idx: usize,
+        stage_cfg: &crate::module::StageModuleConfig,
+    ) -> Result<()> {
+        let fail = |detail: String| {
+            Err(CoreError::CheckFailed(format!(
+                "stage {stage_idx}: {detail}"
+            )))
+        };
+        match stage_cfg.match_kind {
+            MatchKind::Exact => {
+                if !stage_cfg.lpm_rules.is_empty() || !stage_cfg.range_rules.is_empty() {
+                    return fail("exact-match stage carries LPM or range rules".into());
+                }
+            }
+            MatchKind::Lpm { .. } => {
+                if !stage_cfg.rules.is_empty() || !stage_cfg.range_rules.is_empty() {
+                    return fail("LPM stage carries exact or range rules".into());
+                }
+            }
+            MatchKind::Range { .. } => {
+                if !stage_cfg.rules.is_empty() || !stage_cfg.lpm_rules.is_empty() {
+                    return fail("range stage carries exact or LPM rules".into());
+                }
+            }
+        }
+        let flat_rules = stage_cfg.lpm_rules.len() + stage_cfg.range_rules.len();
+        if flat_rules > 0 && stage_cfg.table_actions.is_empty() {
+            return fail("flat-table rules reference an empty action list".into());
+        }
+        let capacity = Self::table_capacity(stage_cfg.table_capacity);
+        if flat_rules > capacity {
+            return fail(format!(
+                "{flat_rules} rules exceed the table capacity of {capacity}"
+            ));
+        }
+        for rule in &stage_cfg.lpm_rules {
+            if usize::from(rule.action) >= stage_cfg.table_actions.len() {
+                return fail(format!(
+                    "LPM rule references action {} of {}",
+                    rule.action,
+                    stage_cfg.table_actions.len()
+                ));
+            }
+        }
+        for rule in &stage_cfg.range_rules {
+            if usize::from(rule.action) >= stage_cfg.table_actions.len() {
+                return fail(format!(
+                    "range rule references action {} of {}",
+                    rule.action,
+                    stage_cfg.table_actions.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Updates an already-loaded module with a new configuration. The module's
@@ -724,6 +900,8 @@ impl MenshenPipeline {
             stage.key_mask.clear(slot)?;
             let _ = stage.segment.clear(slot);
             stage.hw.cam.clear_module(module.value());
+            stage.lpm[slot] = None;
+            stage.range[slot] = None;
             stage.cam_alloc.release(module);
             if let Some(range) = runtime.stateful_ranges.get(stage_idx) {
                 if range.len > 0 {
@@ -814,9 +992,145 @@ impl MenshenPipeline {
                     .install_action(index, menshen_rmt::action::VliwAction::nop())
                     .map_err(CoreError::Rmt)?;
             }
+            (WritePayload::LpmRule(rule), _) => self.install_lpm_rule(stage_idx, index, rule)?,
+            (WritePayload::RangeRule(rule), _) => {
+                self.install_range_rule(stage_idx, index, rule)?
+            }
+            (WritePayload::Clear, ResourceKind::LpmTable) => {
+                let stage = self.stage_mut(stage_idx)?;
+                if let Some(table) = stage.lpm.get_mut(index).and_then(|t| t.as_mut()) {
+                    *table = LpmTable::new(table.key_offset(), table.capacity());
+                }
+            }
+            (WritePayload::Clear, ResourceKind::RangeTable) => {
+                let stage = self.stage_mut(stage_idx)?;
+                if let Some(table) = stage.range.get_mut(index).and_then(|t| t.as_mut()) {
+                    *table =
+                        RangeTable::new(table.key_offset(), table.key_width(), table.capacity());
+                }
+            }
         }
         self.filter.count_reconfig_packet();
         Ok(())
+    }
+
+    /// Resolves the action range of the module bound to `slot` in `stage_idx`
+    /// and rebases a module-local action index onto it, enforcing that the
+    /// result stays inside the module's own partition.
+    fn rebase_action(&mut self, stage_idx: usize, slot: usize, local: u16) -> Result<u32> {
+        let module_id =
+            self.slots
+                .get(slot)
+                .copied()
+                .flatten()
+                .ok_or(CoreError::BadReconfigPacket(
+                    "flat-table rule addressed to an unbound module slot",
+                ))?;
+        let stage = self.stage_mut(stage_idx)?;
+        let range = stage.cam_alloc.allocation(ModuleId::new(module_id)).ok_or(
+            CoreError::BadReconfigPacket(
+                "flat-table rule for a module with no action range in this stage",
+            ),
+        )?;
+        if usize::from(local) >= range.len {
+            return Err(CoreError::BadReconfigPacket(
+                "flat-table rule action index outside the module's partitioned range",
+            ));
+        }
+        Ok((range.start + usize::from(local)) as u32)
+    }
+
+    /// Installs one LPM rule into the table of the module bound to `slot`.
+    /// This is the incremental (non-quiescing) rule-install primitive: it
+    /// never rebuilds the trie from scratch and never touches other slots.
+    fn install_lpm_rule(
+        &mut self,
+        stage_idx: usize,
+        slot: usize,
+        rule: &LpmMatchRule,
+    ) -> Result<()> {
+        let action = self.rebase_action(stage_idx, slot, rule.action)?;
+        let table = self
+            .stage_mut(stage_idx)?
+            .lpm
+            .get_mut(slot)
+            .and_then(|t| t.as_mut())
+            .ok_or(CoreError::BadReconfigPacket(
+                "LPM rule for a module slot with no LPM table",
+            ))?;
+        table
+            .insert(rule.prefix, rule.prefix_len, action)
+            .map_err(CoreError::Rmt)
+    }
+
+    /// Installs one range rule into the table of the module bound to `slot`.
+    /// Incremental: the rule lands in the table's delta buffer and is folded
+    /// into the sorted interval layout in amortised batches.
+    fn install_range_rule(
+        &mut self,
+        stage_idx: usize,
+        slot: usize,
+        rule: &RangeMatchRule,
+    ) -> Result<()> {
+        let action = self.rebase_action(stage_idx, slot, rule.action)?;
+        let table = self
+            .stage_mut(stage_idx)?
+            .range
+            .get_mut(slot)
+            .and_then(|t| t.as_mut())
+            .ok_or(CoreError::BadReconfigPacket(
+                "range rule for a module slot with no range table",
+            ))?;
+        table
+            .insert(RangeRule {
+                lo: rule.lo,
+                hi: rule.hi,
+                priority: rule.priority,
+                action,
+            })
+            .map_err(CoreError::Rmt)
+    }
+
+    /// Installs a batch of flat-table rules into a loaded module's stage —
+    /// the typed control-plane entry point for incremental rule install.
+    ///
+    /// Each rule models one daisy-chain write (counted in the filter's
+    /// reconfiguration statistics) but skips packet materialisation; the
+    /// module is *not* marked as being reconfigured, so its traffic keeps
+    /// flowing while rules stream in. Returns the number of rules installed;
+    /// on error, rules before the failing one remain installed (exactly as
+    /// if the daisy chain had carried them one packet at a time).
+    pub fn install_rules(
+        &mut self,
+        module: ModuleId,
+        stage: usize,
+        rules: &[TableRule],
+    ) -> Result<usize> {
+        let slot = self.module_slot(module).ok_or(CoreError::UnknownModule {
+            module_id: module.value(),
+        })?;
+        let mut installed = 0;
+        for rule in rules {
+            match rule {
+                TableRule::Lpm(rule) => self.install_lpm_rule(stage, slot, rule)?,
+                TableRule::Range(rule) => self.install_range_rule(stage, slot, rule)?,
+            }
+            self.filter.count_reconfig_packet();
+            installed += 1;
+        }
+        Ok(installed)
+    }
+
+    /// Read access to a loaded module's LPM table in `stage`, if it has one.
+    pub fn lpm_table(&self, module: ModuleId, stage: usize) -> Option<&LpmTable> {
+        let slot = self.module_slot(module)?;
+        self.stages.get(stage)?.lpm.get(slot)?.as_ref()
+    }
+
+    /// Read access to a loaded module's range table in `stage`, if it has one.
+    pub fn range_table(&self, module: ModuleId, stage: usize) -> Option<&RangeTable> {
+        let slot = self.module_slot(module)?;
+        self.stages.get(stage)?.range.get(slot)?.as_ref()
     }
 
     /// Applies a reconfiguration *packet* arriving over the trusted path
@@ -910,14 +1224,30 @@ impl MenshenPipeline {
         // System-level module, first half.
         self.system.ingress(&mut phv, packet_len, self.cycle);
 
-        // Tenant stages with per-module overlay configuration.
+        // Tenant stages with per-module overlay configuration. A stage where
+        // the module has a flat table (LPM/range) resolves the action index
+        // through that table and executes it directly; otherwise the exact
+        // CAM path runs as before.
         for stage in &mut self.stages {
             let config = StageConfig {
                 key_extract: stage.key_extract.read(slot).copied().unwrap_or_default(),
                 key_mask: stage.key_mask.read(slot).copied().unwrap_or_default(),
             };
             let translator = SegmentTranslator::new(stage.segment.read(slot));
-            stage.hw.process(&mut phv, &config, &translator);
+            let MenshenStage { hw, lpm, range, .. } = stage;
+            if let Some(table) = lpm.get(slot).and_then(|t| t.as_ref()) {
+                let key = extract_key(&phv, &config.key_extract, &config.key_mask);
+                if let Some(action) = table.lookup_key(&key) {
+                    hw.execute_action(action as usize, &mut phv, &translator);
+                }
+            } else if let Some(table) = range.get(slot).and_then(|t| t.as_ref()) {
+                let key = extract_key(&phv, &config.key_extract, &config.key_mask);
+                if let Some(action) = table.lookup_key(&key) {
+                    hw.execute_action(action as usize, &mut phv, &translator);
+                }
+            } else {
+                hw.process(&mut phv, &config, &translator);
+            }
         }
 
         if phv.metadata.discard {
@@ -1085,25 +1415,59 @@ impl MenshenPipeline {
         // System-level module, first half.
         self.system.ingress(phv, packet_len, self.cycle);
 
-        // Tenant stages with the burst-resolved overlay configuration.
+        // Tenant stages with the burst-resolved overlay configuration. CAM
+        // hits execute through `execute_hit` (which records the hit); flat
+        // LPM/range tables resolve the action index directly.
         for (stage_idx, stage_scratch) in slot_scratch.stages.iter().enumerate() {
             let hit = match stage_scratch.lookup {
                 ResolvedLookup::ConstantMiss => continue,
-                ResolvedLookup::ConstantHit(cam_index) => Some(cam_index),
+                ResolvedLookup::ConstantHit(cam_index) => Some(StageHit::Cam(cam_index)),
                 ResolvedLookup::PerPacket => {
                     let key = extract_key(
                         phv,
                         &stage_scratch.config.key_extract,
                         &stage_scratch.config.key_mask,
                     );
-                    self.stages[stage_idx].hw.cam.peek(&key, module_id)
+                    self.stages[stage_idx]
+                        .hw
+                        .cam
+                        .peek(&key, module_id)
+                        .map(StageHit::Cam)
+                }
+                ResolvedLookup::PerPacketLpm => {
+                    let key = extract_key(
+                        phv,
+                        &stage_scratch.config.key_extract,
+                        &stage_scratch.config.key_mask,
+                    );
+                    self.stages[stage_idx].lpm[slot]
+                        .as_ref()
+                        .and_then(|table| table.lookup_key(&key))
+                        .map(|action| StageHit::Action(action as usize))
+                }
+                ResolvedLookup::PerPacketRange => {
+                    let key = extract_key(
+                        phv,
+                        &stage_scratch.config.key_extract,
+                        &stage_scratch.config.key_mask,
+                    );
+                    self.stages[stage_idx].range[slot]
+                        .as_ref()
+                        .and_then(|table| table.lookup_key(&key))
+                        .map(|action| StageHit::Action(action as usize))
                 }
             };
-            if let Some(cam_index) = hit {
+            if let Some(hit) = hit {
                 let translator = SegmentTranslator::new(stage_scratch.segment);
-                self.stages[stage_idx]
-                    .hw
-                    .execute_hit(cam_index, phv, &translator);
+                let hw = &mut self.stages[stage_idx].hw;
+                match hit {
+                    StageHit::Cam(cam_index) => {
+                        hw.execute_hit(cam_index, phv, &translator);
+                    }
+                    StageHit::Action(action) => {
+                        hw.execute_action(action, phv, &translator);
+                    }
+                }
             }
         }
 
@@ -1171,8 +1535,14 @@ impl MenshenPipeline {
             // The masked key is burst-constant when no key byte participates
             // in the match and the predicate bit cannot fire (either masked
             // out or not configured): every packet then produces the all-zero
-            // masked key, so the CAM lookup resolves once per burst.
-            let lookup = if config.key_mask.ignores_all_bytes()
+            // masked key, so the CAM lookup resolves once per burst. Flat
+            // LPM/range tables always look up per packet — the trie walk /
+            // interval search *is* the amortised fast path.
+            let lookup = if stage.lpm[slot].is_some() {
+                ResolvedLookup::PerPacketLpm
+            } else if stage.range[slot].is_some() {
+                ResolvedLookup::PerPacketRange
+            } else if config.key_mask.ignores_all_bytes()
                 && (!config.key_mask.predicate || config.key_extract.predicate.is_none())
             {
                 match stage.hw.cam.peek(&LookupKey::default(), module_id) {
@@ -1245,6 +1615,12 @@ impl MenshenPipeline {
             }
             stage.hw.stateful.reset_stats();
             stage.hw.cam.reset_stats();
+            for table in stage.lpm.iter_mut().flatten() {
+                table.reset_stats();
+            }
+            for table in stage.range.iter_mut().flatten() {
+                table.reset_stats();
+            }
         }
         replica
     }
@@ -1412,6 +1788,7 @@ mod tests {
                     .with(C::h4(7), AluInstruction::loadd(0)),
             }],
             stateful_words: 16,
+            ..Default::default()
         };
         config
     }
@@ -1896,5 +2273,345 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(pipeline.system().stats().link_packets > 0);
+    }
+
+    /// An LPM firewall-style module: the longest matching dst-IP prefix
+    /// selects which shared action rewrites the UDP dst port.
+    fn lpm_module(module_id: u16, rules: Vec<LpmMatchRule>) -> ModuleConfig {
+        let mut config =
+            ModuleConfig::empty(ModuleId::new(module_id), format!("lpm{module_id}"), 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
+            // 4B slot 0 sits at key byte offset 12.
+            match_kind: MatchKind::Lpm { key_offset: 12 },
+            table_actions: vec![
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(1111)),
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(2222)),
+            ],
+            lpm_rules: rules,
+            ..Default::default()
+        };
+        config
+    }
+
+    fn default_lpm_rules() -> Vec<LpmMatchRule> {
+        vec![
+            LpmMatchRule {
+                prefix: 0x0a00_0000, // 10.0.0.0/8
+                prefix_len: 8,
+                action: 0,
+            },
+            LpmMatchRule {
+                prefix: 0x0a00_0000, // 10.0.0.0/24
+                prefix_len: 24,
+                action: 1,
+            },
+        ]
+    }
+
+    fn packet_to(module: u16, dst: [u8; 4], dst_port: u16) -> Packet {
+        PacketBuilder::udp_data(module, [10, 0, 0, 1], dst, 5000, dst_port, &[0u8; 8])
+    }
+
+    fn forwarded_port(verdict: &Verdict) -> Option<u16> {
+        verdict.packet().and_then(|p| p.udp_dst_port())
+    }
+
+    #[test]
+    fn lpm_module_longest_prefix_wins_end_to_end() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let report = pipeline
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .unwrap();
+        // parser + deparser + key extract + key mask + 2 actions + 2 rules
+        assert_eq!(report.reconfig_packets, 8);
+
+        // 10.0.0.5 matches both prefixes; /24 wins.
+        let v = pipeline.process(packet_to(9, [10, 0, 0, 5], 80));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        // 10.1.0.5 only matches /8.
+        let v = pipeline.process(packet_to(9, [10, 1, 0, 5], 80));
+        assert_eq!(forwarded_port(&v), Some(1111));
+        // 11.0.0.1 misses: the packet passes through unchanged.
+        let v = pipeline.process(packet_to(9, [11, 0, 0, 1], 80));
+        assert_eq!(forwarded_port(&v), Some(80));
+
+        let table = pipeline.lpm_table(ModuleId::new(9), 0).unwrap();
+        assert_eq!(table.len(), 2);
+        let (lookups, hits) = table.stats();
+        assert_eq!(lookups, 3);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn lpm_batch_path_matches_sequential() {
+        let packets: Vec<Packet> = [
+            [10, 0, 0, 5],
+            [10, 0, 1, 9],
+            [10, 200, 0, 1],
+            [11, 0, 0, 1],
+            [10, 0, 0, 255],
+        ]
+        .iter()
+        .map(|&dst| packet_to(9, dst, 80))
+        .collect();
+
+        let mut sequential = MenshenPipeline::new(TABLE5);
+        sequential
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .unwrap();
+        let expected: Vec<Verdict> = packets
+            .iter()
+            .map(|p| sequential.process(p.clone()))
+            .collect();
+
+        let mut batched = MenshenPipeline::new(TABLE5);
+        batched
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .unwrap();
+        let got = batched.process_batch(packets);
+
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(got.iter()) {
+            assert!(verdicts_equivalent(a, b), "{a:?} vs {b:?}");
+        }
+        assert_eq!(
+            sequential.module_counters(ModuleId::new(9)),
+            batched.module_counters(ModuleId::new(9)),
+        );
+    }
+
+    /// A range-match module: the UDP dst port (2B slot 0, key offset 20)
+    /// selects an action by priority-ordered interval.
+    fn range_module(module_id: u16, rules: Vec<RangeMatchRule>) -> ModuleConfig {
+        let mut config =
+            ModuleConfig::empty(ModuleId::new(module_id), format!("rng{module_id}"), 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, false, false, true, false],
+                false,
+            )),
+            match_kind: MatchKind::Range {
+                key_offset: 20,
+                key_width: 2,
+            },
+            table_actions: vec![
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(1111)),
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(2222)),
+            ],
+            range_rules: rules,
+            ..Default::default()
+        };
+        config
+    }
+
+    #[test]
+    fn range_module_priority_and_interval_semantics() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline
+            .load_module(&range_module(
+                11,
+                vec![
+                    RangeMatchRule {
+                        lo: 0,
+                        hi: 99,
+                        priority: 1,
+                        action: 0,
+                    },
+                    RangeMatchRule {
+                        lo: 80,
+                        hi: 80,
+                        priority: 5,
+                        action: 1,
+                    },
+                ],
+            ))
+            .unwrap();
+
+        // Port 80 lies in both ranges; the higher-priority exact port wins.
+        let v = pipeline.process(packet_to(11, [10, 0, 0, 2], 80));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        // Port 90 only matches the wide range.
+        let v = pipeline.process(packet_to(11, [10, 0, 0, 2], 90));
+        assert_eq!(forwarded_port(&v), Some(1111));
+        // Port 443 misses.
+        let v = pipeline.process(packet_to(11, [10, 0, 0, 2], 443));
+        assert_eq!(forwarded_port(&v), Some(443));
+        assert!(pipeline.range_table(ModuleId::new(11), 0).is_some());
+    }
+
+    #[test]
+    fn incremental_rule_install_keeps_module_live() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        // Start with an empty LPM table: everything passes through.
+        pipeline.load_module(&lpm_module(9, Vec::new())).unwrap();
+        let v = pipeline.process(packet_to(9, [10, 0, 0, 5], 80));
+        assert_eq!(forwarded_port(&v), Some(80));
+
+        // Stream rules in while the module keeps forwarding (no
+        // begin/end_reconfiguration around the install).
+        let before = pipeline.filter().reconfig_counter();
+        let installed = pipeline
+            .install_rules(
+                ModuleId::new(9),
+                0,
+                &default_lpm_rules()
+                    .into_iter()
+                    .map(TableRule::Lpm)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(installed, 2);
+        assert_eq!(pipeline.filter().reconfig_counter(), before + 2);
+
+        let v = pipeline.process(packet_to(9, [10, 0, 0, 5], 80));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        // Counters show uninterrupted forwarding: both packets went through.
+        let counters = pipeline.module_counters(ModuleId::new(9)).unwrap();
+        assert_eq!(counters.packets_in, 2);
+        assert_eq!(counters.packets_out, 2);
+    }
+
+    #[test]
+    fn daisy_chain_carries_flat_table_rules() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let report = pipeline.load_module(&lpm_module(9, Vec::new())).unwrap();
+        // A single LPM rule write addressed to the module's slot, carried by
+        // a real reconfiguration packet over the trusted path.
+        let packet = ReconfigCommand::write(
+            ResourceKind::LpmTable,
+            0,
+            report.slot as u8,
+            WritePayload::LpmRule(LpmMatchRule {
+                prefix: 0x0a00_0000,
+                prefix_len: 8,
+                action: 0,
+            }),
+        )
+        .to_packet();
+        pipeline.apply_reconfiguration_packet(&packet).unwrap();
+        let v = pipeline.process(packet_to(9, [10, 9, 9, 9], 80));
+        assert_eq!(forwarded_port(&v), Some(1111));
+    }
+
+    #[test]
+    fn flat_rule_action_indices_stay_inside_the_partition() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&lpm_module(9, Vec::new())).unwrap();
+        // Action index 7 is outside the module's two-entry action range: the
+        // write is rejected, so a module cannot execute another's actions.
+        let err = pipeline
+            .install_rules(
+                ModuleId::new(9),
+                0,
+                &[TableRule::Lpm(LpmMatchRule {
+                    prefix: 0,
+                    prefix_len: 0,
+                    action: 7,
+                })],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadReconfigPacket(_)), "{err:?}");
+    }
+
+    #[test]
+    fn mismatched_match_kind_rules_rejected_at_load() {
+        let mut config = lpm_module(9, default_lpm_rules());
+        config.stages[0].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop(),
+        });
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let err = pipeline.load_module(&config).unwrap_err();
+        assert!(matches!(err, CoreError::CheckFailed(_)), "{err:?}");
+        // Nothing was allocated by the rejected load.
+        assert_eq!(pipeline.free_slots(), TABLE5.overlay_depth);
+        assert!(pipeline
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .is_ok());
+    }
+
+    #[test]
+    fn lpm_and_exact_modules_coexist_without_interference() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .unwrap();
+        pipeline
+            .load_module(&simple_module(7, 0x0a00_0002, 9999))
+            .unwrap();
+
+        // Same dst IP, different modules, different match engines.
+        let v = pipeline.process(packet_to(9, [10, 0, 0, 2], 80));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        let v = pipeline.process(packet_for(7, 2));
+        assert_eq!(forwarded_port(&v), Some(9999));
+
+        // Unloading the LPM module frees its flat table and leaves the
+        // exact module untouched.
+        pipeline.unload_module(ModuleId::new(9)).unwrap();
+        assert!(pipeline.lpm_table(ModuleId::new(9), 0).is_none());
+        let v = pipeline.process(packet_for(7, 2));
+        assert_eq!(forwarded_port(&v), Some(9999));
+    }
+
+    #[test]
+    fn config_replica_keeps_flat_tables_and_zeroes_their_stats() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline
+            .load_module(&lpm_module(9, default_lpm_rules()))
+            .unwrap();
+        pipeline.process(packet_to(9, [10, 0, 0, 5], 80));
+        let (lookups, _) = pipeline.lpm_table(ModuleId::new(9), 0).unwrap().stats();
+        assert_eq!(lookups, 1);
+
+        let mut replica = pipeline.config_replica();
+        let (lookups, hits) = replica.lpm_table(ModuleId::new(9), 0).unwrap().stats();
+        assert_eq!((lookups, hits), (0, 0));
+        let v = replica.process(packet_to(9, [10, 0, 0, 5], 80));
+        assert_eq!(forwarded_port(&v), Some(2222));
+    }
+
+    #[test]
+    fn lpm_module_with_stateful_action_classifies_mergeable() {
+        let mut config = lpm_module(9, default_lpm_rules());
+        config.stages[0].table_actions[0] = VliwAction::nop()
+            .with(C::h2(0), AluInstruction::set(1111))
+            .with(C::h4(7), AluInstruction::loadd(0));
+        config.stages[0].stateful_words = 16;
+        assert_eq!(config.state_mergeability(), StateMergeability::Mergeable);
+
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        pipeline.load_module(&config).unwrap();
+        assert_eq!(
+            pipeline.module_state_mergeability(ModuleId::new(9)),
+            Some(StateMergeability::Mergeable)
+        );
+        // The stateful counter really runs behind the LPM hit.
+        pipeline.process(packet_to(9, [10, 1, 2, 3], 80));
+        assert_eq!(pipeline.read_stateful(ModuleId::new(9), 0, 0), Some(1));
     }
 }

@@ -12,6 +12,7 @@
 //! packet = one daisy-chain write).
 
 use crate::error::CoreError;
+use crate::module::{LpmMatchRule, RangeMatchRule};
 use crate::segment_table::SegmentEntry;
 use crate::Result;
 use menshen_packet::{Packet, PacketBuilder, RECONFIG_UDP_DPORT};
@@ -37,6 +38,13 @@ pub enum ResourceKind {
     ActionTable,
     /// A stage's segment table.
     SegmentTable,
+    /// A module slot's longest-prefix-match table (the index field addresses
+    /// the module *slot*; the rule itself rides in the payload, since a
+    /// million-entry table cannot be addressed by the 8-bit index).
+    LpmTable,
+    /// A module slot's range (ternary interval) table; addressed like
+    /// [`ResourceKind::LpmTable`].
+    RangeTable,
 }
 
 impl ResourceKind {
@@ -50,6 +58,8 @@ impl ResourceKind {
             ResourceKind::MatchTable => 5,
             ResourceKind::ActionTable => 6,
             ResourceKind::SegmentTable => 7,
+            ResourceKind::LpmTable => 8,
+            ResourceKind::RangeTable => 9,
         }
     }
 
@@ -63,6 +73,8 @@ impl ResourceKind {
             5 => ResourceKind::MatchTable,
             6 => ResourceKind::ActionTable,
             7 => ResourceKind::SegmentTable,
+            8 => ResourceKind::LpmTable,
+            9 => ResourceKind::RangeTable,
             _ => return Err(CoreError::BadReconfigPacket("unknown resource kind")),
         })
     }
@@ -90,6 +102,10 @@ pub enum WritePayload {
     Action(VliwAction),
     /// A segment-table entry.
     Segment(SegmentEntry),
+    /// One LPM rule for the addressed module slot's LPM table.
+    LpmRule(LpmMatchRule),
+    /// One range rule for the addressed module slot's range table.
+    RangeRule(RangeMatchRule),
     /// Clears the addressed entry (used when unloading a module).
     Clear,
 }
@@ -105,6 +121,8 @@ impl WritePayload {
             WritePayload::MatchEntry { .. } => ResourceKind::MatchTable,
             WritePayload::Action(_) => ResourceKind::ActionTable,
             WritePayload::Segment(_) => ResourceKind::SegmentTable,
+            WritePayload::LpmRule(_) => ResourceKind::LpmTable,
+            WritePayload::RangeRule(_) => ResourceKind::RangeTable,
             WritePayload::Clear => return None,
         })
     }
@@ -175,6 +193,19 @@ impl ReconfigCommand {
             }
             WritePayload::Action(action) => action.encode_bytes(),
             WritePayload::Segment(entry) => entry.encode().to_be_bytes().to_vec(),
+            WritePayload::LpmRule(rule) => {
+                let mut bytes = rule.prefix.to_be_bytes().to_vec();
+                bytes.push(rule.prefix_len);
+                bytes.extend_from_slice(&rule.action.to_be_bytes());
+                bytes
+            }
+            WritePayload::RangeRule(rule) => {
+                let mut bytes = rule.lo.to_be_bytes().to_vec();
+                bytes.extend_from_slice(&rule.hi.to_be_bytes());
+                bytes.extend_from_slice(&rule.priority.to_be_bytes());
+                bytes.extend_from_slice(&rule.action.to_be_bytes());
+                bytes
+            }
             WritePayload::Clear => Vec::new(),
         }
     }
@@ -226,6 +257,32 @@ impl ReconfigCommand {
                     .try_into()
                     .map_err(|_| CoreError::BadReconfigPacket("segment entry length"))?;
                 WritePayload::Segment(SegmentEntry::decode(u16::from_be_bytes(array)))
+            }
+            ResourceKind::LpmTable => {
+                if bytes.len() != 7 {
+                    return Err(CoreError::BadReconfigPacket("LPM rule length"));
+                }
+                WritePayload::LpmRule(LpmMatchRule {
+                    prefix: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+                    prefix_len: bytes[4],
+                    action: u16::from_be_bytes([bytes[5], bytes[6]]),
+                })
+            }
+            ResourceKind::RangeTable => {
+                if bytes.len() != 20 {
+                    return Err(CoreError::BadReconfigPacket("range rule length"));
+                }
+                let word = |at: usize| {
+                    let mut array = [0u8; 8];
+                    array.copy_from_slice(&bytes[at..at + 8]);
+                    u64::from_be_bytes(array)
+                };
+                WritePayload::RangeRule(RangeMatchRule {
+                    lo: word(0),
+                    hi: word(8),
+                    priority: u16::from_be_bytes([bytes[16], bytes[17]]),
+                    action: u16::from_be_bytes([bytes[18], bytes[19]]),
+                })
             }
         })
     }
@@ -291,6 +348,10 @@ pub fn axil_writes_for(kind: ResourceKind) -> u32 {
         ResourceKind::MatchTable => 205,
         ResourceKind::ActionTable => 625,
         ResourceKind::SegmentTable => 16,
+        // prefix(32) + length(6) + action(16)
+        ResourceKind::LpmTable => 54,
+        // lo(64) + hi(64) + priority(16) + action(16)
+        ResourceKind::RangeTable => 160,
     };
     bits.div_ceil(32)
 }
@@ -312,6 +373,8 @@ mod tests {
             ResourceKind::MatchTable,
             ResourceKind::ActionTable,
             ResourceKind::SegmentTable,
+            ResourceKind::LpmTable,
+            ResourceKind::RangeTable,
         ] {
             assert_eq!(ResourceKind::from_code(kind.code()).unwrap(), kind);
         }
@@ -383,7 +446,29 @@ mod tests {
             2,
             WritePayload::Segment(SegmentEntry::new(128, 64)),
         ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::LpmTable,
+            1,
+            3,
+            WritePayload::LpmRule(LpmMatchRule {
+                prefix: 0x0a0b_0000,
+                prefix_len: 17,
+                action: 2,
+            }),
+        ));
+        round_trip(ReconfigCommand::write(
+            ResourceKind::RangeTable,
+            2,
+            4,
+            WritePayload::RangeRule(RangeMatchRule {
+                lo: 1024,
+                hi: u64::MAX,
+                priority: 7,
+                action: 1,
+            }),
+        ));
         round_trip(ReconfigCommand::clear(ResourceKind::MatchTable, 2, 5));
+        round_trip(ReconfigCommand::clear(ResourceKind::LpmTable, 0, 9));
     }
 
     #[test]
@@ -421,6 +506,8 @@ mod tests {
         assert_eq!(axil_writes_for(ResourceKind::KeyExtractor), 2);
         assert_eq!(axil_writes_for(ResourceKind::SegmentTable), 1);
         assert_eq!(axil_writes_for(ResourceKind::KeyMask), 7);
+        assert_eq!(axil_writes_for(ResourceKind::LpmTable), 2);
+        assert_eq!(axil_writes_for(ResourceKind::RangeTable), 5);
     }
 
     #[test]

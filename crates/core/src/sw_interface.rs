@@ -232,6 +232,7 @@ mod tests {
                 action: VliwAction::nop().with(C::h2(0), AluInstruction::set(port)),
             }],
             stateful_words: 0,
+            ..Default::default()
         };
         config
     }

@@ -16,7 +16,9 @@
 pub mod asic;
 pub mod config_time;
 pub mod fpga;
+pub mod match_memory;
 
 pub use asic::{AsicAreaModel, AsicAreaReport};
 pub use config_time::{ConfigTimeModel, Figure12Row, TofinoComparison};
 pub use fpga::{FpgaResourceModel, FpgaResources, Table4};
+pub use match_memory::{MatchMemoryModel, MatchMemoryReport, MatchMemoryRow};

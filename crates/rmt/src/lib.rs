@@ -35,6 +35,7 @@ pub mod config;
 pub mod deparser;
 pub mod error;
 pub mod key_extractor;
+pub mod lpm;
 pub mod match_table;
 pub mod params;
 pub mod parser;
@@ -42,16 +43,19 @@ pub mod phv;
 pub mod pipeline;
 pub mod stage;
 pub mod stateful;
+pub mod ternary;
 
 pub use action::{AluInstruction, AluOp, Operand, VliwAction};
 pub use config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry, Predicate};
 pub use error::RmtError;
-pub use match_table::{ExactMatchTable, LookupKey, MatchEntry};
+pub use lpm::LpmTable;
+pub use match_table::{ExactMatchTable, LookupKey, MatchEntry, MatchKind};
 pub use params::{PipelineParams, TABLE5};
 pub use phv::{ContainerRef, ContainerType, Metadata, Phv};
 pub use pipeline::{PipelineOutput, RmtPipeline, RmtProgram};
 pub use stage::{StageConfig, StageHardware};
 pub use stateful::{AddressTranslate, IdentityTranslation, StatefulMemory};
+pub use ternary::{RangeRule, RangeTable};
 
 /// Result alias used across the crate.
 pub type Result<T> = core::result::Result<T, RmtError>;

@@ -11,8 +11,35 @@ use crate::config::KeyMask;
 use crate::error::RmtError;
 use crate::params::KEY_BYTES;
 use crate::Result;
+use core::cell::Cell;
 use core::fmt;
 use std::collections::HashMap;
+
+/// How a table matches a key against its rules.
+///
+/// `Exact` is the prototype's CAM; `Lpm` and `Range` are the flat, cache-dense
+/// layouts added for million-rule scaling ([`crate::lpm::LpmTable`] and
+/// [`crate::ternary::RangeTable`]). The payload carries where in the 24-byte
+/// lookup key the matched field lives, so the data path can extract it without
+/// consulting the compiler's slot assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchKind {
+    /// Exact match over the full masked key (CAM).
+    #[default]
+    Exact,
+    /// Longest-prefix match over a 32-bit field of the key.
+    Lpm {
+        /// Byte offset of the matched 4-byte field within the 24-byte key.
+        key_offset: u8,
+    },
+    /// Priority range (ternary interval) match over a field of the key.
+    Range {
+        /// Byte offset of the matched field within the 24-byte key.
+        key_offset: u8,
+        /// Width in bytes of the matched field (1..=8).
+        key_width: u8,
+    },
+}
 
 /// A lookup key: 24 bytes of selected containers plus the predicate bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -54,12 +81,24 @@ impl LookupKey {
         }
     }
 
-    /// Returns the value of the slot at `offset..offset+width` as an integer
-    /// (used by tests to inspect constructed keys).
+    /// Returns the value of the slot at `offset..offset+width` as an integer.
+    ///
+    /// Used by tests to inspect constructed keys and by the LPM/range tables
+    /// to extract their matched field from the key. Boundary behaviour is
+    /// total rather than panicking: a zero-width slot reads as 0, bytes past
+    /// the end of the 24-byte key read as 0, and a slot wider than 8 bytes
+    /// keeps only its *least-significant* 8 bytes (the earlier bytes shift
+    /// out of the `u64` exactly as `value << 8` discards them — there is no
+    /// shift-overflow path because the shift amount is a constant 8).
     pub fn slot_value(&self, offset: usize, width: usize) -> u64 {
         let mut value = 0u64;
         for i in 0..width {
-            value = (value << 8) | u64::from(self.bytes[offset + i]);
+            let byte = offset
+                .checked_add(i)
+                .and_then(|at| self.bytes.get(at))
+                .copied()
+                .unwrap_or(0);
+            value = (value << 8) | u64::from(byte);
         }
         value
     }
@@ -105,8 +144,12 @@ pub struct ExactMatchTable {
     entries: Vec<Option<MatchEntry>>,
     index: HashMap<(LookupKey, u16), usize>,
     scan_mode: bool,
-    lookups: u64,
-    hits: u64,
+    // Statistics live in `Cell`s so `lookup` can take `&self`: shards own
+    // their pipelines (the runtime only needs `Send`, never `Sync`), so
+    // single-threaded interior mutability is exactly the right tool and the
+    // read side stays shareable across the match-kind dispatch.
+    lookups: Cell<u64>,
+    hits: Cell<u64>,
 }
 
 impl ExactMatchTable {
@@ -116,8 +159,8 @@ impl ExactMatchTable {
             entries: vec![None; depth],
             index: HashMap::new(),
             scan_mode: false,
-            lookups: 0,
-            hits: 0,
+            lookups: Cell::new(0),
+            hits: Cell::new(0),
         }
     }
 
@@ -222,16 +265,17 @@ impl ExactMatchTable {
     /// Looks up `(key, module_id)`; returns the CAM address of the first
     /// matching entry, resolved in O(1) through the hash index. The module ID
     /// participates in the comparison, so a packet can never hit another
-    /// module's entries.
-    pub fn lookup(&mut self, key: &LookupKey, module_id: u16) -> Option<usize> {
-        self.lookups += 1;
+    /// module's entries. Takes `&self`: statistics are interior-mutable, so
+    /// the read side needs no exclusive borrow.
+    pub fn lookup(&self, key: &LookupKey, module_id: u16) -> Option<usize> {
+        self.lookups.set(self.lookups.get() + 1);
         let hit = if self.scan_mode {
             self.scan(key, module_id)
         } else {
             self.index.get(&(*key, module_id)).copied()
         };
         if hit.is_some() {
-            self.hits += 1;
+            self.hits.set(self.hits.get() + 1);
         }
         hit
     }
@@ -280,14 +324,14 @@ impl ExactMatchTable {
 
     /// Lookup statistics: `(lookups, hits)`.
     pub fn stats(&self) -> (u64, u64) {
-        (self.lookups, self.hits)
+        (self.lookups.get(), self.hits.get())
     }
 
     /// Zeroes the lookup statistics (entries and index are untouched). Used
     /// when a pipeline is snapshotted into a fresh replica.
     pub fn reset_stats(&mut self) {
-        self.lookups = 0;
-        self.hits = 0;
+        self.lookups.set(0);
+        self.hits.set(0);
     }
 }
 
@@ -543,6 +587,120 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn slot_value_boundary_behaviour_is_total() {
+        let mut key = LookupKey::default();
+        for (i, byte) in key.bytes.iter_mut().enumerate() {
+            *byte = i as u8 + 1;
+        }
+        // Zero-width slot reads as zero at any offset, in or out of range.
+        assert_eq!(key.slot_value(0, 0), 0);
+        assert_eq!(key.slot_value(KEY_BYTES, 0), 0);
+        assert_eq!(key.slot_value(usize::MAX, 0), 0);
+        // Widths up to 8 fill the u64 exactly; the last in-range 8-byte read.
+        assert_eq!(
+            key.slot_value(16, 8),
+            0x1112_1314_1516_1718,
+            "8-byte slot fills all 64 bits without shift overflow"
+        );
+        // A slot wider than 8 bytes keeps only its low 8 bytes (64 bits).
+        assert_eq!(key.slot_value(0, 24), key.slot_value(16, 8));
+        // At width 64 the 40 trailing out-of-range bytes read as zero and the
+        // real key bytes shift out of the 64-bit window entirely.
+        assert_eq!(key.slot_value(0, 64), 0);
+        // Bytes past the end of the key read as zero instead of panicking.
+        assert_eq!(key.slot_value(22, 4), 0x1718_0000);
+        assert_eq!(key.slot_value(KEY_BYTES, 4), 0);
+        assert_eq!(key.slot_value(usize::MAX - 2, 4), 0);
+    }
+
+    #[test]
+    fn from_slots_round_trips_through_slot_value() {
+        let values: [(u64, usize); 6] = [
+            (0xffff_ffff_ffff, 6),
+            (0x0102_0304_0506, 6),
+            (0xffff_ffff, 4),
+            (0, 4),
+            (0xffff, 2),
+            (0x00aa, 2),
+        ];
+        let key = LookupKey::from_slots(values, false);
+        let mut offset = 0;
+        for (value, width) in values {
+            assert_eq!(key.slot_value(offset, width), value);
+            offset += width;
+        }
+    }
+
+    /// Satellite check for the mutation API: randomized interleavings of
+    /// `clear_module`, `remove` and re-`install` (same keys re-inserted at
+    /// fresh addresses) keep `verify_index` true, and `peek` agrees with
+    /// `lookup` — the stats-bumping and stats-free paths must resolve every
+    /// probe identically, hits and misses alike.
+    #[test]
+    fn clear_remove_reinstall_interleavings_keep_peek_and_lookup_agreeing() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        const DEPTH: usize = 24;
+        const MODULES: u16 = 3;
+        let mut rng = StdRng::seed_from_u64(0x5eed_1e57);
+        for round in 0..40 {
+            let mut table = ExactMatchTable::new(DEPTH);
+            // Working set of keys per module, so "re-install" genuinely
+            // brings back a previously cleared (key, module) pair.
+            let keys: Vec<LookupKey> = (0u8..6).map(key_with_first_byte).collect();
+            for step in 0..300 {
+                match rng.gen_range(0u32..8) {
+                    0..=3 => {
+                        let entry = MatchEntry {
+                            key: keys[rng.gen_range(0usize..keys.len())],
+                            module_id: rng.gen_range(0u16..MODULES),
+                            action_index: rng.gen_range(0u16..DEPTH as u16),
+                        };
+                        table.install(rng.gen_range(0usize..DEPTH), entry).unwrap();
+                    }
+                    4..=5 => {
+                        table.remove(rng.gen_range(0usize..DEPTH)).unwrap();
+                    }
+                    6 => {
+                        table.clear_module(rng.gen_range(0u16..MODULES));
+                    }
+                    _ => {
+                        // clear → immediate re-install of that module's keys.
+                        let module = rng.gen_range(0u16..MODULES);
+                        table.clear_module(module);
+                        for key in &keys {
+                            if rng.gen_bool(0.5) {
+                                let entry = MatchEntry {
+                                    key: *key,
+                                    module_id: module,
+                                    action_index: 0,
+                                };
+                                table.install(rng.gen_range(0usize..DEPTH), entry).unwrap();
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    table.verify_index(),
+                    "index diverged at round {round} step {step}"
+                );
+                for key in &keys {
+                    for module in 0..MODULES + 1 {
+                        assert_eq!(
+                            table.peek(key, module),
+                            table.lookup(key, module),
+                            "peek/lookup disagree at round {round} step {step}"
+                        );
+                    }
+                }
+            }
+            let (lookups, hits) = table.stats();
+            assert!(lookups >= hits, "hits can never exceed lookups");
         }
     }
 

@@ -45,6 +45,9 @@ pub const VLIW_ENTRY_BITS: usize = ALU_ACTION_BITS * NUM_CONTAINERS;
 pub const SEGMENT_ENTRY_BITS: usize = 16;
 /// Number of bits in a module identifier (a VLAN ID).
 pub const MODULE_ID_BITS: usize = 12;
+/// Default capacity of one LPM/range match table: the "millions of flow
+/// rules" scaling target is 10^6 entries per table (2^20 = 1,048,576).
+pub const MATCH_TABLE_CAPACITY: usize = 1 << 20;
 
 /// Depths of the per-resource tables, i.e. how many entries each one holds.
 ///

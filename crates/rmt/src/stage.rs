@@ -138,6 +138,20 @@ impl StageHardware {
             .entry(cam_index)
             .map(|e| usize::from(e.action_index))
             .unwrap_or(cam_index);
+        self.execute_action(action_index, phv, translate)
+    }
+
+    /// Executes the VLIW action at `action_index` directly, without the CAM
+    /// indirection. This is the execution path of the LPM/range match kinds,
+    /// whose flat tables resolve straight to an action-table index instead of
+    /// a CAM address. An out-of-range index is a no-op (matches the CAM
+    /// miss behaviour).
+    pub fn execute_action(
+        &mut self,
+        action_index: usize,
+        phv: &mut Phv,
+        translate: &dyn AddressTranslate,
+    ) -> ActionOutcome {
         match self.actions.get(action_index) {
             Some(action) => action_engine::execute(action, phv, &mut self.stateful, translate),
             None => ActionOutcome::default(),

@@ -27,7 +27,9 @@
 //! that replayed the full log ([`EpochLog::standby_replica`]), which is what
 //! future elastic resharding needs.
 
-use menshen_core::{MenshenPipeline, ModuleConfig, ModuleId, ModuleState, ReconfigCommand};
+use menshen_core::{
+    MenshenPipeline, ModuleConfig, ModuleId, ModuleState, ReconfigCommand, TableRule,
+};
 use menshen_packet::Ipv4Address;
 
 /// One replicated control-plane operation. Applied identically, in published
@@ -47,6 +49,20 @@ pub enum ControlOp {
     EndReconfiguration(ModuleId),
     /// Apply one raw daisy-chain write.
     Command(ReconfigCommand),
+    /// Install a batch of flat-table (LPM/range) rules into a loaded
+    /// module's stage. A *configuration* op: it replays identically on every
+    /// shard, on compaction checkpoints and on standby replicas, and — being
+    /// an incremental insert into the module's own flat table — it never
+    /// marks the module as reconfiguring, so traffic keeps flowing while
+    /// rules stream in.
+    InstallRules {
+        /// The module whose table grows.
+        module: ModuleId,
+        /// The stage holding the table.
+        stage: usize,
+        /// The rules, applied in order.
+        rules: Vec<TableRule>,
+    },
     /// Install a route in the system-level module.
     AddRoute(Ipv4Address, u16),
     /// Set the system-level module's default output port.
@@ -104,6 +120,11 @@ impl ControlOp {
             ControlOp::BeginReconfiguration(module) => pipeline.begin_reconfiguration(*module),
             ControlOp::EndReconfiguration(module) => pipeline.end_reconfiguration(*module),
             ControlOp::Command(command) => pipeline.apply_command(command),
+            ControlOp::InstallRules {
+                module,
+                stage,
+                rules,
+            } => pipeline.install_rules(*module, *stage, rules).map(|_| ()),
             ControlOp::AddRoute(ip, port) => {
                 pipeline.system_mut().add_route(*ip, *port);
                 Ok(())

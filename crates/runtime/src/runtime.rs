@@ -51,6 +51,7 @@ use crate::shard::{
     ShardStats, ShardTelemetry, Shared,
 };
 use menshen_core::packet_filter::FilterCounters;
+use menshen_core::TableRule;
 use menshen_core::{LatencyHistogram, StateMergeability};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
 use menshen_core::{ModuleState, SystemStats, Verdict, BURST_SIZE};
@@ -834,6 +835,64 @@ impl ShardedRuntime {
     /// Applies one raw daisy-chain write on every shard replica.
     pub fn apply_command(&mut self, command: &ReconfigCommand) -> Result<(), RuntimeError> {
         self.control(vec![ControlOp::Command(command.clone())])
+    }
+
+    /// Installs rules into a module's flat match table (LPM or range) on
+    /// every shard replica, synchronously: flushes in-flight traffic, waits
+    /// for every shard to apply the epoch, and surfaces the first install
+    /// error. The insert itself is incremental — the module is never marked
+    /// reconfiguring, so its packets keep forwarding right up to (and after)
+    /// the epoch boundary.
+    pub fn install_rules(
+        &mut self,
+        module: ModuleId,
+        stage: usize,
+        rules: &[TableRule],
+    ) -> Result<(), RuntimeError> {
+        self.control(vec![ControlOp::InstallRules {
+            module,
+            stage,
+            rules: rules.to_vec(),
+        }])
+    }
+
+    /// Publishes a rule-install epoch without flushing or waiting — the
+    /// non-quiescing control path. Shards pick the rules up at their next
+    /// burst boundary while continuing to process traffic; use
+    /// [`wait_for_epoch`](Self::wait_for_epoch) with the returned epoch to
+    /// observe global visibility. Install errors surface via
+    /// [`epoch_error`](Self::epoch_error) rather than here.
+    pub fn install_rules_async(
+        &mut self,
+        module: ModuleId,
+        stage: usize,
+        rules: &[TableRule],
+    ) -> u64 {
+        self.publish(vec![ControlOp::InstallRules {
+            module,
+            stage,
+            rules: rules.to_vec(),
+        }])
+    }
+
+    /// The first shard error recorded for `epoch`, if any — the async
+    /// counterpart to the synchronous wrappers' error propagation. Control
+    /// ops replay identically on every replica, so one shard's error speaks
+    /// for all of them.
+    pub fn epoch_error(&self, epoch: u64) -> Option<RuntimeError> {
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        progress
+            .shards
+            .iter()
+            .find_map(|slot| match &slot.last_error {
+                Some((failed_epoch, message)) if *failed_epoch == epoch => {
+                    Some(RuntimeError::Control {
+                        epoch,
+                        message: message.clone(),
+                    })
+                }
+                _ => None,
+            })
     }
 
     /// Installs a system-module route on every shard replica.
@@ -1827,11 +1886,12 @@ impl Drop for ShardedRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use menshen_core::module::{MatchRule, StageModuleConfig};
+    use menshen_core::module::{LpmMatchRule, MatchRule, StageModuleConfig};
     use menshen_packet::PacketBuilder;
     use menshen_rmt::action::{AluInstruction, VliwAction};
     use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
     use menshen_rmt::match_table::LookupKey;
+    use menshen_rmt::match_table::MatchKind;
     use menshen_rmt::phv::ContainerRef as C;
     use menshen_rmt::TABLE5;
 
@@ -1872,6 +1932,7 @@ mod tests {
                     .with(C::h4(7), AluInstruction::loadd(0)),
             }],
             stateful_words: 16,
+            ..Default::default()
         };
         config
     }
@@ -2527,6 +2588,174 @@ mod tests {
         assert_eq!(runtime.epoch_log_len(), 0);
         // Standby replicas survive total compaction.
         assert_eq!(runtime.standby_replica().loaded_modules().len(), 3);
+    }
+
+    /// An LPM module matching on the destination IP (4B key slot 0, key byte
+    /// offset 12), rewriting the UDP dst port via its flat-table actions —
+    /// the same shape the core pipeline tests use.
+    fn lpm_module(module_id: u16) -> ModuleConfig {
+        let mut config =
+            ModuleConfig::empty(ModuleId::new(module_id), format!("lpm{module_id}"), 5);
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
+            match_kind: MatchKind::Lpm { key_offset: 12 },
+            table_actions: vec![
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(1111)),
+                VliwAction::nop().with(C::h2(0), AluInstruction::set(2222)),
+            ],
+            lpm_rules: vec![LpmMatchRule {
+                prefix: 0x0a00_0000, // 10.0.0.0/8
+                prefix_len: 8,
+                action: 0,
+            }],
+            ..Default::default()
+        };
+        config
+    }
+
+    fn packet_to(module: u16, dst: [u8; 4]) -> Packet {
+        PacketBuilder::udp_data(module, [10, 0, 0, 1], dst, 5000, 80, &[0u8; 8])
+    }
+
+    fn forwarded_port(verdict: &Verdict) -> Option<u16> {
+        verdict.packet().and_then(|p| p.udp_dst_port())
+    }
+
+    #[test]
+    fn rule_install_reaches_every_shard_and_the_standby_replica() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(3));
+        runtime.load_module(&lpm_module(9)).unwrap();
+
+        // Before the install, 10.0.0.x only matches the /8 loaded with the
+        // module (action 0 → port 1111).
+        let verdicts = runtime
+            .process_batch(vec![packet_to(9, [10, 0, 0, 5])])
+            .unwrap();
+        assert_eq!(forwarded_port(&verdicts[0]), Some(1111));
+
+        // Install a more specific /24 through the control log; the longest
+        // prefix must win on every shard afterwards.
+        runtime
+            .install_rules(
+                ModuleId::new(9),
+                0,
+                &[TableRule::Lpm(LpmMatchRule {
+                    prefix: 0x0a00_0000, // 10.0.0.0/24
+                    prefix_len: 24,
+                    action: 1,
+                })],
+            )
+            .unwrap();
+        let verdicts = runtime
+            .process_batch(vec![
+                packet_to(9, [10, 0, 0, 5]),
+                packet_to(9, [10, 1, 0, 5]),
+                packet_to(9, [11, 0, 0, 1]),
+            ])
+            .unwrap();
+        assert_eq!(forwarded_port(&verdicts[0]), Some(2222), "/24 wins");
+        assert_eq!(forwarded_port(&verdicts[1]), Some(1111), "/8 still holds");
+        assert_eq!(
+            forwarded_port(&verdicts[2]),
+            Some(80),
+            "miss passes through"
+        );
+
+        // InstallRules is a configuration op: a standby replica reconstructed
+        // from the control log carries the installed rule too.
+        let mut standby = runtime.standby_replica();
+        let v = standby.process(packet_to(9, [10, 0, 0, 5]));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        let table = standby.lpm_table(ModuleId::new(9), 0).unwrap();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn rule_install_rejects_foreign_action_indices() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
+        runtime.load_module(&lpm_module(9)).unwrap();
+        // Action index 2 is outside the module's two table actions — the
+        // rebase check must refuse it identically on every replica.
+        let err = runtime
+            .install_rules(
+                ModuleId::new(9),
+                0,
+                &[TableRule::Lpm(LpmMatchRule {
+                    prefix: 0xc0a8_0000,
+                    prefix_len: 16,
+                    action: 2,
+                })],
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Control { .. }), "{err:?}");
+        // The module keeps forwarding with its original rule.
+        let verdicts = runtime
+            .process_batch(vec![packet_to(9, [10, 0, 0, 5])])
+            .unwrap();
+        assert_eq!(forwarded_port(&verdicts[0]), Some(1111));
+    }
+
+    #[test]
+    fn async_rule_install_is_non_quiescing_on_threaded_shards() {
+        let mut runtime = ShardedRuntime::new(TABLE5, RuntimeOptions::threaded(2));
+        runtime.load_module(&lpm_module(9)).unwrap();
+
+        // Publish the install without flushing or waiting, with traffic
+        // submitted around it. The module is never marked reconfiguring, so
+        // every packet must be processed and forwarded — none dropped, none
+        // stalled behind the epoch.
+        runtime
+            .submit(&vec![packet_to(9, [10, 0, 0, 5]); 32])
+            .unwrap();
+        let epoch = runtime.install_rules_async(
+            ModuleId::new(9),
+            0,
+            &[TableRule::Lpm(LpmMatchRule {
+                prefix: 0x0a00_0000,
+                prefix_len: 24,
+                action: 1,
+            })],
+        );
+        runtime
+            .submit(&vec![packet_to(9, [10, 1, 0, 5]); 64])
+            .unwrap();
+        runtime.flush();
+        runtime.wait_for_epoch(epoch).unwrap();
+        assert!(runtime.epoch_error(epoch).is_none());
+
+        let stats = runtime.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.packets).sum::<u64>(), 96);
+        assert_eq!(
+            stats.iter().map(|s| s.forwarded).sum::<u64>(),
+            96,
+            "install burst must not drop traffic"
+        );
+        let counters = runtime
+            .module_counters(ModuleId::new(9))
+            .unwrap()
+            .expect("module loaded");
+        assert_eq!(counters.packets_in, 96);
+        assert_eq!(counters.packets_out, 96);
+
+        // After the epoch every shard applied the rule; the control history a
+        // standby replica replays carries it too, and the /24 now wins.
+        let mut standby = runtime.standby_replica();
+        let v = standby.process(packet_to(9, [10, 0, 0, 5]));
+        assert_eq!(forwarded_port(&v), Some(2222));
+        runtime.shutdown();
     }
 
     #[test]
