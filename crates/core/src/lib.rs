@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod metrics;
 pub mod module;
 pub mod overlay;
 pub mod packet_filter;
 pub mod partition;
 pub mod pipeline;
+pub mod profile;
 pub mod reconfig;
 pub mod resources;
 pub mod segment_table;
@@ -58,6 +60,10 @@ pub mod system_module;
 pub mod telemetry;
 
 pub use error::CoreError;
+pub use metrics::{
+    labels, validate_prometheus, Counter, HistogramHandle, Labels, MetricSample, MetricValue,
+    MetricsRegistry, MetricsSnapshot, TenantTelemetry, VerdictLedger,
+};
 pub use module::{
     LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule, ResourceAllocation,
     StageModuleConfig, StateMergeability, TableRule,
@@ -68,6 +74,7 @@ pub use partition::{Allocation, RangeAllocator};
 pub use pipeline::{
     DropReason, LoadReport, MenshenPipeline, ModuleCounters, ModuleState, Verdict, BURST_SIZE,
 };
+pub use profile::{Phase, StageProfile, DEFAULT_PROFILE_INTERVAL, PROFILE_PHASES};
 pub use reconfig::{ReconfigCommand, ResourceKind, WritePayload};
 pub use resources::{ResourceChecker, SharingPolicy};
 pub use segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};

@@ -49,6 +49,7 @@ use crate::module::{
 use crate::overlay::OverlayTable;
 use crate::packet_filter::{FilterDecision, PacketFilter};
 use crate::partition::{Allocation, RangeAllocator};
+use crate::profile::{HotPathProfiler, PacketSample, Phase, StageProfile};
 use crate::reconfig::{ReconfigCommand, ResourceKind, WritePayload};
 use crate::segment_table::{SegmentEntry, SegmentTable, SegmentTranslator};
 use crate::system_module::{ForwardingDecision, SystemModule};
@@ -364,6 +365,7 @@ pub struct MenshenPipeline {
     slots: Vec<Option<u16>>,
     cycle: u64,
     batch: BatchScratch,
+    profiler: HotPathProfiler,
 }
 
 impl MenshenPipeline {
@@ -381,6 +383,9 @@ impl MenshenPipeline {
             slots: vec![None; params.overlay_depth],
             cycle: 0,
             batch: BatchScratch::default(),
+            // `Default::default()` rather than the named constructor: the
+            // profiler is a unit struct when `profiling` is off.
+            profiler: Default::default(),
             params,
         }
     }
@@ -1303,6 +1308,11 @@ impl MenshenPipeline {
     /// scratch PHV is reused throughout, and per-module counters flush once
     /// at the end.
     ///
+    /// When the `profiling` cargo feature is on, one packet in N (see
+    /// [`set_profile_interval`](Self::set_profile_interval)) is timed per
+    /// stage into [`stage_profile`](Self::stage_profile); without the
+    /// feature the hooks compile to nothing.
+    ///
     /// This is a convenience wrapper over
     /// [`process_batch_into`](Self::process_batch_into); hot paths that
     /// process many bursts (the testbed sweeps, the benches, the sharded
@@ -1327,7 +1337,12 @@ impl MenshenPipeline {
         let mut scratch = std::mem::take(&mut self.batch);
         scratch.begin(self.params.overlay_depth);
         for packet in packets {
-            out.push(self.process_batched_packet(packet, &mut scratch));
+            // 1-in-N sampled stage profiling; without the `profiling`
+            // feature both calls are empty inlined no-ops.
+            let mut sample = self.profiler.begin();
+            let verdict = self.process_batched_packet(packet, &mut scratch, &mut sample);
+            self.profiler.commit(sample);
+            out.push(verdict);
         }
         // Flush the per-module counter deltas accumulated during the burst.
         for &slot in &scratch.touched {
@@ -1345,31 +1360,54 @@ impl MenshenPipeline {
         self.batch = scratch;
     }
 
+    /// The accumulated hot-path stage profile: per-phase service-time
+    /// histograms from 1-in-N sampling on the batch path. Permanently
+    /// empty unless the crate is built with the `profiling` feature and
+    /// sampling is enabled.
+    pub fn stage_profile(&self) -> StageProfile {
+        self.profiler.profile()
+    }
+
+    /// Sets the hot-path sampling interval: one packet in `interval` is
+    /// timed per stage (0 disables sampling). Accumulated histograms are
+    /// kept. A no-op without the `profiling` feature.
+    pub fn set_profile_interval(&mut self, interval: u64) {
+        self.profiler.set_interval(interval);
+    }
+
     /// One packet of a burst. Mirrors [`process`](Self::process) exactly,
     /// except that per-module configuration comes out of the burst scratch
     /// and counters accumulate there. The packet is only cloned on the
     /// forwarding path (the deparser rewrites it); dropped packets touch no
     /// heap at all.
-    fn process_batched_packet(&mut self, packet: &Packet, scratch: &mut BatchScratch) -> Verdict {
+    fn process_batched_packet(
+        &mut self,
+        packet: &Packet,
+        scratch: &mut BatchScratch,
+        sample: &mut PacketSample,
+    ) -> Verdict {
         self.cycle += 1;
         let decision = self.filter.classify(packet);
         let (module_id, buffer_tag) = match decision {
             FilterDecision::Reconfiguration => {
+                sample.mark(Phase::Filter);
                 return Verdict::Dropped {
                     reason: DropReason::UntrustedReconfiguration,
                     module_id: None,
                 };
             }
             FilterDecision::DropNoVlan => {
+                sample.mark(Phase::Filter);
                 return Verdict::Dropped {
                     reason: DropReason::NoVlan,
                     module_id: None,
-                }
+                };
             }
             FilterDecision::DropBeingReconfigured { module_id } => {
                 if let Some(runtime) = self.modules.get_mut(&module_id) {
                     runtime.counters.packets_dropped += 1;
                 }
+                sample.mark(Phase::Filter);
                 return Verdict::Dropped {
                     reason: DropReason::BeingReconfigured,
                     module_id: Some(module_id),
@@ -1384,16 +1422,18 @@ impl MenshenPipeline {
         let slot = match self.modules.get(&module_id).map(|m| m.slot) {
             Some(slot) => slot,
             None => {
+                sample.mark(Phase::Filter);
                 return Verdict::Dropped {
                     reason: DropReason::UnknownModule,
                     module_id: Some(module_id),
-                }
+                };
             }
         };
 
         if scratch.slots[slot].epoch != scratch.epoch {
             self.resolve_slot(slot, module_id, scratch);
         }
+        sample.mark(Phase::Filter);
         // Disjoint borrows of the scratch: slot state and the shared PHV.
         let slot_scratch = &mut scratch.slots[slot];
         let phv = &mut scratch.phv;
@@ -1405,12 +1445,14 @@ impl MenshenPipeline {
         // Parse with the module's own parser entry, reusing the burst PHV.
         if parser::parse_into(phv, packet, &slot_scratch.parser, module_id).is_err() {
             slot_scratch.counters.packets_dropped += 1;
+            sample.mark(Phase::Parse);
             return Verdict::Dropped {
                 reason: DropReason::ModuleDiscard,
                 module_id: Some(module_id),
             };
         }
         phv.metadata.buffer_tag = 1 << buffer_tag;
+        sample.mark(Phase::Parse);
 
         // System-level module, first half.
         self.system.ingress(phv, packet_len, self.cycle);
@@ -1470,6 +1512,7 @@ impl MenshenPipeline {
                 }
             }
         }
+        sample.mark(Phase::Match);
 
         if phv.metadata.discard {
             slot_scratch.counters.packets_dropped += 1;
@@ -1483,11 +1526,13 @@ impl MenshenPipeline {
         let mut packet = packet.clone();
         if deparser::deparse(&mut packet, phv, &slot_scratch.deparser).is_err() {
             slot_scratch.counters.packets_dropped += 1;
+            sample.mark(Phase::Deparse);
             return Verdict::Dropped {
                 reason: DropReason::ModuleDiscard,
                 module_id: Some(module_id),
             };
         }
+        sample.mark(Phase::Deparse);
 
         // System-level module, second half: routing / multicast.
         let dst_ip = packet.ipv4_dst().unwrap_or(Ipv4Address::new(0, 0, 0, 0));
@@ -1499,12 +1544,14 @@ impl MenshenPipeline {
         slot_scratch.counters.packets_out += 1;
         slot_scratch.counters.bytes_out += packet.len() as u64;
 
-        Verdict::Forwarded {
+        let verdict = Verdict::Forwarded {
             packet,
             ports,
             phv: phv.clone(),
             module_id,
-        }
+        };
+        sample.mark(Phase::Egress);
+        verdict
     }
 
     /// Resolves one module slot's overlay configuration into the burst
@@ -1599,6 +1646,8 @@ impl MenshenPipeline {
         let mut replica = self.clone();
         replica.cycle = 0;
         replica.batch = BatchScratch::default();
+        // Fresh profile, same sampling interval: replicas sum on snapshot.
+        replica.profiler = HotPathProfiler::with_interval(self.profiler.interval());
         for runtime in replica.modules.values_mut() {
             runtime.counters = ModuleCounters::default();
         }

@@ -199,12 +199,51 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Exact sum of all recorded values (tracked outside the buckets, so
+    /// it is not subject to bucket quantisation). Zero when empty.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative counts at power-of-two upper bounds: `(le, count_le)`
+    /// pairs where `le = 2^k − 1` and `count_le` is the number of recorded
+    /// values `≤ le`. Octave boundaries coincide with bucket boundaries, so
+    /// the counts are exact, and the series is non-decreasing in both
+    /// coordinates — exactly the shape a Prometheus histogram exposition
+    /// needs. The last pair's bound covers the observed maximum. Empty when
+    /// nothing was recorded.
+    pub fn cumulative_octaves(&self) -> Vec<(u64, u64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut prefix = vec![0u64; self.counts.len()];
+        let mut running = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            running += count;
+            prefix[index] = running;
+        }
+        let mut out = Vec::new();
+        for k in 0..=64u32 {
+            let boundary = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+            out.push((boundary, prefix[bucket_index(boundary)]));
+            if boundary >= self.max {
+                break;
+            }
+        }
+        out
+    }
+
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
 
-    /// Smallest recorded value (0 when empty).
+    /// Smallest recorded value.
+    ///
+    /// **Empty sentinel:** returns `0` when nothing was recorded (the
+    /// internal `u64::MAX` initializer never leaks). Check
+    /// [`is_empty`](Self::is_empty) to distinguish "no samples" from "a
+    /// recorded zero".
     pub fn min(&self) -> u64 {
         if self.total == 0 {
             0
@@ -219,6 +258,12 @@ impl LatencyHistogram {
     }
 
     /// Mean of the recorded values (exact, tracked outside the buckets).
+    ///
+    /// **Empty sentinel:** returns `0.0` when nothing was recorded — the
+    /// same convention as [`min`](Self::min), [`max`](Self::max) and
+    /// [`quantile`](Self::quantile). Callers that must distinguish "no
+    /// samples" from "all samples were zero" check
+    /// [`is_empty`](Self::is_empty) (or [`count`](Self::count)) first.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             0.0
@@ -230,8 +275,12 @@ impl LatencyHistogram {
     /// The value at quantile `q` (`0.0..=1.0`): the upper bound of the
     /// bucket containing the `ceil(q · count)`-th recorded value, clamped to
     /// the observed maximum. Within one bucket's relative error
-    /// (`2^-SUB_BUCKET_BITS`) of the exact sorted-sample quantile. Returns 0
-    /// when empty.
+    /// (`2^-SUB_BUCKET_BITS`) of the exact sorted-sample quantile.
+    ///
+    /// **Empty sentinel:** returns `0` when nothing was recorded, for every
+    /// `q` — so an empty histogram's [`percentiles`](Self::percentiles) is
+    /// `Percentiles::default()`. Check [`is_empty`](Self::is_empty) first
+    /// when zero is a meaningful latency in context.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -248,16 +297,24 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Convenience: the conventionally reported percentile set.
+    /// Convenience: the conventionally reported percentile set, derived
+    /// from [`REPORTED_QUANTILES`] so the struct can never drift from the
+    /// workspace-wide reporting convention.
     pub fn percentiles(&self) -> Percentiles {
+        let q = [
+            self.quantile(REPORTED_QUANTILES[0].0),
+            self.quantile(REPORTED_QUANTILES[1].0),
+            self.quantile(REPORTED_QUANTILES[2].0),
+            self.quantile(REPORTED_QUANTILES[3].0),
+        ];
         Percentiles {
             count: self.total,
             min_ns: self.min(),
             mean_ns: self.mean(),
-            p50_ns: self.quantile(0.50),
-            p90_ns: self.quantile(0.90),
-            p99_ns: self.quantile(0.99),
-            p999_ns: self.quantile(0.999),
+            p50_ns: q[0],
+            p90_ns: q[1],
+            p99_ns: q[2],
+            p999_ns: q[3],
             max_ns: self.max,
         }
     }
@@ -321,6 +378,24 @@ pub struct Percentiles {
     pub max_ns: u64,
 }
 
+impl Percentiles {
+    /// The quantile fields in [`REPORTED_QUANTILES`] order, paired with
+    /// their conventional labels: `(q, label, value_ns)`. Exporters iterate
+    /// this instead of hard-coding field names, so adding a quantile to the
+    /// convention is a one-place change.
+    pub fn reported(&self) -> [(f64, &'static str, u64); REPORTED_QUANTILES.len()] {
+        let values = [self.p50_ns, self.p90_ns, self.p99_ns, self.p999_ns];
+        let mut out = [(0.0, "", 0u64); REPORTED_QUANTILES.len()];
+        for (slot, ((q, label), value)) in out
+            .iter_mut()
+            .zip(REPORTED_QUANTILES.iter().zip(values.iter()))
+        {
+            *slot = (*q, label, *value);
+        }
+        out
+    }
+}
+
 /// A lock-free occupancy gauge with a high-watermark.
 ///
 /// The sharded runtime's hot paths (ring push/pop, dispatcher burst
@@ -358,6 +433,39 @@ impl Gauge {
         self.high_watermark
             .load(core::sync::atomic::Ordering::Relaxed)
     }
+
+    /// Increments the level by `delta` (occupancy-style: a push onto a
+    /// queue). The post-increment level is folded into the high-watermark
+    /// atomically enough for telemetry: under concurrent `add`s each
+    /// observer folds in the level *it* produced, so the watermark is at
+    /// least the largest level any single observer saw. Returns the new
+    /// level.
+    pub fn add(&self, delta: u64) -> u64 {
+        use core::sync::atomic::Ordering::Relaxed;
+        let level = self.value.fetch_add(delta, Relaxed).wrapping_add(delta);
+        self.high_watermark.fetch_max(level, Relaxed);
+        level
+    }
+
+    /// Decrements the level by `delta` (occupancy-style: a pop off a
+    /// queue), **saturating at zero**: a `sub` that races ahead of its
+    /// matching `add` — or plain double-accounting in the caller — clamps
+    /// instead of wrapping to ~2^64, which would poison the watermark
+    /// forever. Returns the new level.
+    pub fn sub(&self, delta: u64) -> u64 {
+        use core::sync::atomic::Ordering::Relaxed;
+        let mut current = self.value.load(Relaxed);
+        loop {
+            let next = current.saturating_sub(delta);
+            match self
+                .value
+                .compare_exchange_weak(current, next, Relaxed, Relaxed)
+            {
+                Ok(_) => return next,
+                Err(observed) => current = observed,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +483,101 @@ mod tests {
         assert_eq!(gauge.high_watermark(), 7, "the watermark never regresses");
         gauge.observe(11);
         assert_eq!(gauge.high_watermark(), 11);
+    }
+
+    #[test]
+    fn gauge_add_sub_track_occupancy_with_underflow_guard() {
+        let gauge = Gauge::new();
+        assert_eq!(gauge.add(3), 3);
+        assert_eq!(gauge.add(4), 7);
+        assert_eq!(gauge.sub(2), 5);
+        assert_eq!(gauge.get(), 5);
+        assert_eq!(gauge.high_watermark(), 7, "watermark saw the peak");
+        // Underflow saturates at zero instead of wrapping to ~2^64.
+        assert_eq!(gauge.sub(100), 0);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(
+            gauge.high_watermark(),
+            7,
+            "a clamped sub never moves the watermark"
+        );
+    }
+
+    #[test]
+    fn gauge_is_consistent_under_concurrent_observers() {
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let gauge = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let gauge = Arc::clone(&gauge);
+                std::thread::spawn(move || {
+                    // Balanced add/sub pairs, plus a spurious sub per loop
+                    // that may race ahead of any add: the guard must clamp,
+                    // never wrap.
+                    for _ in 0..OPS {
+                        gauge.add(2);
+                        gauge.sub(1);
+                        gauge.sub(1);
+                        gauge.sub(1); // unmatched: exercises saturation
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Every add was matched by at least one sub and unmatched subs
+        // saturate, so the level ends in 0..=adds and never wraps.
+        assert!(
+            gauge.get() <= THREADS as u64 * OPS * 2,
+            "level {} wrapped past the total added",
+            gauge.get()
+        );
+        let watermark = gauge.high_watermark();
+        assert!(watermark >= 1, "at least one post-add level was folded in");
+        assert!(
+            watermark <= THREADS as u64 * OPS * 2,
+            "watermark {watermark} exceeds the total ever added"
+        );
+    }
+
+    #[test]
+    fn percentiles_follow_reported_quantiles_convention() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        let p = h.percentiles();
+        // The struct fields must equal quantile() at exactly the
+        // REPORTED_QUANTILES points — no drifted hard-coded constants.
+        for (q, label, value) in p.reported() {
+            assert_eq!(value, h.quantile(q), "{label} (q={q}) drifted");
+        }
+        let labels: Vec<&str> = p.reported().iter().map(|(_, l, _)| *l).collect();
+        assert_eq!(labels, vec!["p50", "p90", "p99", "p99.9"]);
+        assert_eq!(p.reported().len(), REPORTED_QUANTILES.len());
+    }
+
+    #[test]
+    fn empty_histogram_sentinels_are_zero_across_the_api() {
+        // The documented empty-sentinel contract: min/max/quantile return 0,
+        // mean returns 0.0, and the derived Percentiles is the default.
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0, "u64::MAX initializer must not leak");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.percentiles(), Percentiles::default());
+        for (_, _, value) in h.percentiles().reported() {
+            assert_eq!(value, 0);
+        }
     }
 
     #[test]

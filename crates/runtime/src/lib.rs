@@ -55,12 +55,16 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod events;
 pub mod ring;
 pub mod rss;
 pub mod runtime;
 pub mod shard;
 
 pub use control::{CompactionReport, ControlOp, EpochEntry, EpochLog};
+pub use events::{
+    chrome_trace_to_events, ControlEvent, ControlEventKind, EventTrace, DEFAULT_EVENT_CAPACITY,
+};
 pub use ring::{
     ring as bounded_ring, ring_with_parker, Consumer, Parker, Producer, RingClosed, SafeSlots,
     SlotArray,
@@ -70,7 +74,7 @@ pub use rss::{
     RSS_KEY_LEN,
 };
 pub use runtime::{
-    DispatchSpray, DispatcherStats, ExecutionMode, ResizeReport, RetiredTally, RuntimeError,
-    RuntimeLatency, RuntimeOptions, ShardedRuntime,
+    ConservationAudit, DispatchSpray, DispatcherStats, ExecutionMode, ResizeReport, RetiredTally,
+    RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime,
 };
 pub use shard::{RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};

@@ -44,6 +44,7 @@
 //! dispatchers, including across interleaved reconfigurations.
 
 use crate::control::{CompactionReport, ControlOp, EpochEntry};
+use crate::events::{ControlEvent, ControlEventKind};
 use crate::ring::{ring, ring_with_parker, Parker, Producer};
 use crate::rss::{Steerer, SteeringMode, RETA_SIZE};
 use crate::shard::{
@@ -52,12 +53,14 @@ use crate::shard::{
 };
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::TableRule;
+use menshen_core::{labels, MetricsSnapshot, StageProfile, TenantTelemetry, PROFILE_PHASES};
 use menshen_core::{LatencyHistogram, StateMergeability};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
 use menshen_core::{ModuleState, SystemStats, Verdict, BURST_SIZE};
+use menshen_json::Json;
 use menshen_packet::{Ipv4Address, Packet};
 use menshen_rmt::params::PipelineParams;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -290,6 +293,48 @@ pub struct RetiredTally {
     pub latency: LatencyHistogram,
     /// Merged per-burst service-time histograms of retired shards.
     pub burst_latency: LatencyHistogram,
+    /// Merged per-tenant SLO telemetry of retired shards.
+    pub tenants: BTreeMap<u16, TenantTelemetry>,
+    /// Merged sampled stage-timing profiles of retired shards.
+    pub profile: StageProfile,
+}
+
+/// The packet-conservation audit
+/// ([`ShardedRuntime::conservation_audit`]): every packet the runtime ever
+/// accepted, attributed. Taken at a full quiesce, so a healthy runtime
+/// shows zero in flight and a ledger that retells the shard tallies
+/// exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationAudit {
+    /// Packets ever accepted by `submit`/`submit_owned`/`process_batch`.
+    pub submitted: u64,
+    /// Packets the shards (live + retired) finished, per their tallies.
+    pub processed: u64,
+    /// Of those, forwarded.
+    pub forwarded: u64,
+    /// Of those, dropped (all reasons).
+    pub dropped: u64,
+    /// Submitted but not yet processed — ring slots and dispatcher scratch.
+    /// Always zero at the audit's quiesce point unless a worker died.
+    pub in_flight: u64,
+    /// Packets the per-tenant verdict ledgers attributed — the second,
+    /// independent set of books the audit balances against the tallies.
+    pub ledger_total: u64,
+    /// True once a failed submission discarded packets (a worker died
+    /// mid-submit); the books cannot balance after that.
+    pub lossy: bool,
+}
+
+impl ConservationAudit {
+    /// True when every ingress packet is accounted for: nothing lost,
+    /// nothing in flight, verdicts partition the processed count, and the
+    /// per-tenant ledgers independently retell it.
+    pub fn is_balanced(&self) -> bool {
+        !self.lossy
+            && self.in_flight == 0
+            && self.forwarded + self.dropped == self.processed
+            && self.ledger_total == self.processed
+    }
 }
 
 /// A deterministic-mode shard: the replica lives in the runtime itself.
@@ -378,6 +423,54 @@ fn spawn_worker(
 /// checkpoint so the log stops growing across reconfigurations.
 const COMPACT_THRESHOLD: usize = 8;
 
+/// The event-trace record for one control operation, if it has one. Epoch
+/// membership is carried by the surrounding `EpochPublished` record; raw
+/// daisy-chain writes and routing tweaks ride on that record alone.
+fn op_event(op: &ControlOp, epoch: u64) -> Option<ControlEventKind> {
+    Some(match op {
+        ControlOp::Load(config) => ControlEventKind::ModuleLoaded {
+            module: config.module_id.value() as u64,
+        },
+        ControlOp::Update(config) => ControlEventKind::ModuleUpdated {
+            module: config.module_id.value() as u64,
+        },
+        ControlOp::Unload(module) => ControlEventKind::ModuleUnloaded {
+            module: module.value() as u64,
+        },
+        ControlOp::BeginReconfiguration(module) => ControlEventKind::ReconfigBegan {
+            module: module.value() as u64,
+        },
+        ControlOp::EndReconfiguration(module) => ControlEventKind::ReconfigEnded {
+            module: module.value() as u64,
+        },
+        ControlOp::InstallRules {
+            module,
+            stage,
+            rules,
+        } => ControlEventKind::RulesInstalled {
+            module: module.value() as u64,
+            stage: *stage as u64,
+            rules: rules.len() as u64,
+        },
+        ControlOp::Snapshot => ControlEventKind::SnapshotRequested { epoch },
+        ControlOp::ExportState {
+            modules,
+            from_shard,
+        } => ControlEventKind::StateExported {
+            modules: modules.len() as u64,
+            from_shard: *from_shard as u64,
+        },
+        ControlOp::InjectState { shard, state } => ControlEventKind::StateInjected {
+            shard: *shard as u64,
+            modules: u64::from(!state.is_zero()),
+        },
+        ControlOp::Retire { keep } => ControlEventKind::ShardsRetired { kept: *keep as u64 },
+        ControlOp::Command(_) | ControlOp::AddRoute(..) | ControlOp::SetDefaultPort(_) => {
+            return None
+        }
+    })
+}
+
 /// The sharded multi-core runtime. See the module docs for the architecture.
 pub struct ShardedRuntime {
     options: RuntimeOptions,
@@ -400,6 +493,13 @@ pub struct ShardedRuntime {
     spray_cursor: usize,
     /// Telemetry inherited from shards retired by scale-in.
     retired: RetiredTally,
+    /// Packets ever accepted into the runtime — the conservation audit's
+    /// ingress side of the ledger.
+    submitted_packets: u64,
+    /// True once a failed submission discarded packets (a shard or
+    /// dispatcher died mid-submit): from then on the conservation audit can
+    /// report the imbalance but not a clean balance.
+    audit_lossy: bool,
 }
 
 impl ShardedRuntime {
@@ -501,6 +601,8 @@ impl ShardedRuntime {
             reorder: Vec::new(),
             spray_cursor: 0,
             retired: RetiredTally::default(),
+            submitted_packets: 0,
+            audit_lossy: false,
             steerer,
             shared,
             backend,
@@ -569,6 +671,19 @@ impl ShardedRuntime {
     /// steering.
     pub fn publish(&mut self, ops: Vec<ControlOp>) -> u64 {
         self.epoch += 1;
+        let now_ns = self.shared.now_ns();
+        self.shared.events.emit(
+            now_ns,
+            ControlEventKind::EpochPublished {
+                epoch: self.epoch,
+                ops: ops.len() as u64,
+            },
+        );
+        for op in &ops {
+            if let Some(kind) = op_event(op, self.epoch) {
+                self.shared.events.emit(now_ns, kind);
+            }
+        }
         let entry = EpochEntry {
             epoch: self.epoch,
             ops,
@@ -595,6 +710,14 @@ impl ShardedRuntime {
                     if let Some(message) = outcome.error {
                         slot.last_error = Some((entry.epoch, message));
                     }
+                    drop(progress);
+                    self.shared.events.emit(
+                        self.shared.now_ns(),
+                        ControlEventKind::EpochApplied {
+                            epoch: entry.epoch,
+                            shard: index as u64,
+                        },
+                    );
                     // `Retire` is acknowledged here; the resize control path
                     // truncates the local-shard vector itself right after.
                 }
@@ -701,11 +824,22 @@ impl ShardedRuntime {
                 // All shards gone: nobody will ever read the entries again.
                 .unwrap_or(self.epoch)
         };
-        self.shared
+        let report = self
+            .shared
             .log
             .lock()
             .expect("log lock poisoned")
-            .compact(min_applied, &self.genesis)
+            .compact(min_applied, &self.genesis);
+        if report.entries_dropped > 0 {
+            self.shared.events.emit(
+                self.shared.now_ns(),
+                ControlEventKind::LogCompacted {
+                    through_epoch: report.compacted_epoch,
+                    entries_dropped: report.entries_dropped as u64,
+                },
+            );
+        }
+        report
     }
 
     /// Number of live (uncompacted) entries in the control-plane log.
@@ -972,7 +1106,15 @@ impl ShardedRuntime {
         new_reta: [u16; RETA_SIZE],
     ) -> Result<ResizeReport, RuntimeError> {
         let start = Instant::now();
+        let start_ns = self.shared.now_ns();
         let old_shards = self.options.shards;
+        self.shared.events.emit(
+            start_ns,
+            ControlEventKind::ResizeStarted {
+                from_shards: old_shards as u64,
+                to_shards: new_shards as u64,
+            },
+        );
 
         // 1. Quiesce: dispatchers drained to their input-ring-dry flush
         // point, shards drained to their last burst. The caller holds
@@ -1217,6 +1359,10 @@ impl ShardedRuntime {
                     tally.filter.reconfig_seen += snapshot.filter.reconfig_seen;
                     tally.latency.merge(&snapshot.latency);
                     tally.burst_latency.merge(&snapshot.burst_latency);
+                    for (tenant, view) in &snapshot.tenants {
+                        tally.tenants.entry(*tenant).or_default().merge(view);
+                    }
+                    tally.profile.merge(&snapshot.profile);
                 }
             }
             progress.shards.truncate(new_shards);
@@ -1253,13 +1399,33 @@ impl ShardedRuntime {
             }
         }
 
+        self.shared.events.emit(
+            self.shared.now_ns(),
+            ControlEventKind::RetaRewritten {
+                buckets: RETA_SIZE as u64,
+                shards: new_shards as u64,
+            },
+        );
+
         if let Some(error) = commit_error {
             return Err(error);
         }
+        let pause = start.elapsed();
+        self.shared.events.emit(
+            self.shared.now_ns(),
+            ControlEventKind::ResizeCompleted {
+                from_shards: old_shards as u64,
+                to_shards: new_shards as u64,
+                start_ns,
+                pause_ns: pause.as_nanos() as u64,
+                migrated_modules: migrated_modules as u64,
+                migrated_words: migrated_words as u64,
+            },
+        );
         Ok(ResizeReport {
             from_shards: old_shards,
             to_shards: new_shards,
-            pause: start.elapsed(),
+            pause,
             migrated_modules,
             migrated_words,
             epoch: commit_epoch,
@@ -1316,6 +1482,7 @@ impl ShardedRuntime {
         let dispatchers = self.options.dispatchers.max(1);
         let shard_count = self.options.shards;
         let total = packets.len();
+        self.submitted_packets += total as u64;
         let batch_start = Instant::now();
         // Model the dispatch plane: the spray assigns each packet a
         // dispatcher (round-robin per burst-sized chunk, or flow-affine by
@@ -1366,10 +1533,11 @@ impl ShardedRuntime {
                 // on earlier drains, exactly like ring queueing in threaded
                 // mode).
                 shard.telemetry.burst_ns.record(service_ns);
-                shard
-                    .telemetry
-                    .packet_ns
-                    .record_n(batch_start.elapsed().as_nanos() as u64, processed);
+                let sojourn_ns = batch_start.elapsed().as_nanos() as u64;
+                shard.telemetry.packet_ns.record_n(sojourn_ns, processed);
+                for verdict in self.verdict_scratch.iter() {
+                    shard.telemetry.record_verdict(verdict, sojourn_ns);
+                }
                 for (verdict, &position) in self
                     .verdict_scratch
                     .drain(..)
@@ -1444,6 +1612,7 @@ impl ShardedRuntime {
             ));
         };
         let ingress_ns = self.shared.now_ns();
+        self.submitted_packets += packets.len() as u64;
         if dispatchers.is_empty() {
             // Inline dispatch: steer everything into per-shard scratch
             // first (no ring traffic at all), then push whole bursts.
@@ -1501,6 +1670,9 @@ impl ShardedRuntime {
             if let Some(shard) = failed_shard {
                 // Never leave half a submission lingering in the scatter
                 // buffers: drop it and tell the caller exactly what was lost.
+                // Packet conservation is broken from here on — the audit
+                // reports the imbalance instead of a clean balance.
+                self.audit_lossy = true;
                 for scatter in &mut self.scatter {
                     scatter.clear();
                 }
@@ -1558,6 +1730,7 @@ impl ShardedRuntime {
             }
         }
         if let Some(dispatcher) = failed {
+            self.audit_lossy = true;
             for scatter in &mut self.scatter {
                 scatter.clear();
             }
@@ -1766,6 +1939,223 @@ impl ShardedRuntime {
             .into_iter()
             .map(|snapshot| snapshot.ring)
             .collect())
+    }
+
+    // -----------------------------------------------------------------------
+    // Observability: per-tenant SLO views, conservation audit, metrics
+    // export, control-plane event trace
+    // -----------------------------------------------------------------------
+
+    /// Aggregated per-tenant SLO telemetry (sojourn histogram + verdict
+    /// ledger per module ID), merged across live shards and everything
+    /// retired shards recorded before scale-in. Takes one `Snapshot` epoch,
+    /// preceded by a flush. Tenant 0 collects packets that never resolved
+    /// to a module (no VLAN tag, unknown module).
+    pub fn aggregated_tenants(&mut self) -> Result<BTreeMap<u16, TenantTelemetry>, RuntimeError> {
+        let mut merged = self.retired.tenants.clone();
+        for snapshot in self.snapshots()? {
+            for (tenant, view) in snapshot.tenants {
+                merged.entry(tenant).or_default().merge(&view);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Merged sampled stage-timing profile across all shards (live +
+    /// retired). Permanently empty unless `menshen-core` was built with the
+    /// `profiling` cargo feature.
+    pub fn aggregated_profile(&mut self) -> Result<StageProfile, RuntimeError> {
+        let mut merged = self.retired.profile.clone();
+        for snapshot in self.snapshots()? {
+            merged.merge(&snapshot.profile);
+        }
+        Ok(merged)
+    }
+
+    /// Sets the hot-path profiling sample interval (1-in-N; 0 disables) on
+    /// every shard replica. Deterministic mode only — threaded replicas
+    /// live on their worker threads. A no-op on the timing side unless
+    /// `menshen-core` was built with the `profiling` cargo feature.
+    pub fn set_profile_interval(&mut self, interval: u64) -> Result<(), RuntimeError> {
+        let Backend::Deterministic(shards) = &mut self.backend else {
+            return Err(RuntimeError::WrongMode(
+                "set_profile_interval requires deterministic mode",
+            ));
+        };
+        for shard in shards.iter_mut() {
+            shard.pipeline.set_profile_interval(interval);
+        }
+        // Future standbys (resize scale-out) inherit the setting too.
+        self.genesis.set_profile_interval(interval);
+        Ok(())
+    }
+
+    /// The packet-conservation audit: quiesces the plane (flush + one
+    /// snapshot epoch) and balances the books — every packet ever submitted
+    /// must be attributed to a verdict in the shard tallies *and* retold by
+    /// the per-tenant ledgers. See [`ConservationAudit::is_balanced`].
+    pub fn conservation_audit(&mut self) -> Result<ConservationAudit, RuntimeError> {
+        // `snapshots` runs the full flush barrier before its epoch, so the
+        // counts below are taken at a true quiesce.
+        let snapshots = self.snapshots()?;
+        let total = self.total_stats();
+        let mut ledger_total: u64 = self
+            .retired
+            .tenants
+            .values()
+            .map(|view| view.ledger.total())
+            .sum();
+        for snapshot in &snapshots {
+            ledger_total += snapshot
+                .tenants
+                .iter()
+                .map(|(_, view)| view.ledger.total())
+                .sum::<u64>();
+        }
+        Ok(ConservationAudit {
+            submitted: self.submitted_packets,
+            processed: total.packets,
+            forwarded: total.forwarded,
+            dropped: total.dropped,
+            in_flight: self.submitted_packets.saturating_sub(total.packets),
+            ledger_total,
+            lossy: self.audit_lossy,
+        })
+    }
+
+    /// One coherent metrics snapshot of the whole runtime, in the shared
+    /// `menshen_`-prefixed naming scheme — export with
+    /// [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::to_json`]. Takes one `Snapshot` epoch, preceded
+    /// by a flush; snapshots from several runtimes merge exactly
+    /// ([`MetricsSnapshot::merge`]).
+    pub fn metrics_snapshot(&mut self) -> Result<MetricsSnapshot, RuntimeError> {
+        let snapshots = self.snapshots()?;
+        let stats = self.shard_stats();
+        let dispatcher_stats = self.dispatcher_stats();
+        let mut out = MetricsSnapshot::new();
+        out.push_gauge("menshen_control_epoch", Vec::new(), self.epoch, self.epoch);
+        out.push_counter(
+            "menshen_control_events_dropped_total",
+            Vec::new(),
+            self.shared.events.dropped(),
+        );
+        out.push_counter(
+            "menshen_shards_retired_total",
+            Vec::new(),
+            self.retired.shards_retired as u64,
+        );
+        for (index, stat) in stats.iter().enumerate() {
+            let shard = index.to_string();
+            out.push_counter(
+                "menshen_shard_packets_total",
+                labels([("shard", shard.clone())]),
+                stat.packets,
+            );
+            out.push_counter(
+                "menshen_shard_forwarded_total",
+                labels([("shard", shard.clone())]),
+                stat.forwarded,
+            );
+            out.push_counter(
+                "menshen_shard_dropped_total",
+                labels([("shard", shard.clone())]),
+                stat.dropped,
+            );
+            out.push_counter(
+                "menshen_shard_bursts_total",
+                labels([("shard", shard)]),
+                stat.bursts,
+            );
+        }
+        // Merge the cross-shard views (live + retired) once, here, instead
+        // of per-aggregate snapshot epochs.
+        let mut packet_ns = self.retired.latency.clone();
+        let mut burst_ns = self.retired.burst_latency.clone();
+        let mut tenants = self.retired.tenants.clone();
+        let mut profile = self.retired.profile.clone();
+        for (index, snapshot) in snapshots.iter().enumerate() {
+            out.push_gauge(
+                "menshen_ring_occupancy_bursts",
+                labels([("shard", index.to_string())]),
+                snapshot.ring.occupancy,
+                snapshot.ring.high_watermark,
+            );
+            packet_ns.merge(&snapshot.latency);
+            burst_ns.merge(&snapshot.burst_latency);
+            for (tenant, view) in &snapshot.tenants {
+                tenants.entry(*tenant).or_default().merge(view);
+            }
+            profile.merge(&snapshot.profile);
+        }
+        out.push_histogram("menshen_packet_sojourn_ns", Vec::new(), packet_ns);
+        out.push_histogram("menshen_burst_service_ns", Vec::new(), burst_ns);
+        for (tenant, view) in &tenants {
+            let tenant = tenant.to_string();
+            out.push_counter(
+                "menshen_tenant_forwarded_total",
+                labels([("tenant", tenant.clone())]),
+                view.ledger.forwarded,
+            );
+            for (reason, count) in view.ledger.drop_reasons() {
+                out.push_counter(
+                    "menshen_tenant_drops_total",
+                    labels([("reason", reason.to_string()), ("tenant", tenant.clone())]),
+                    count,
+                );
+            }
+            out.push_histogram(
+                "menshen_tenant_sojourn_ns",
+                labels([("tenant", tenant)]),
+                view.sojourn_ns.clone(),
+            );
+        }
+        if !profile.is_empty() {
+            out.push_counter("menshen_stage_samples_total", Vec::new(), profile.sampled);
+            for (stage, histogram) in PROFILE_PHASES.iter().zip(profile.phase_ns.iter()) {
+                out.push_histogram(
+                    "menshen_stage_ns",
+                    labels([("stage", stage.to_string())]),
+                    histogram.clone(),
+                );
+            }
+        }
+        for (index, dispatcher) in dispatcher_stats.iter().enumerate() {
+            let label = index.to_string();
+            out.push_counter(
+                "menshen_dispatcher_packets_total",
+                labels([("dispatcher", label.clone())]),
+                dispatcher.packets_dispatched,
+            );
+            out.push_gauge(
+                "menshen_dispatcher_queue_chunks",
+                labels([("dispatcher", label)]),
+                dispatcher.queued_chunks,
+                dispatcher.queue_depth_high_watermark,
+            );
+        }
+        Ok(out)
+    }
+
+    /// The control-plane event trace, oldest first: every epoch publish and
+    /// per-shard ack, module lifecycle change, rule install, resize step and
+    /// RETA rewrite since start (bounded ring — see
+    /// [`control_events_dropped`](Self::control_events_dropped)).
+    pub fn control_events(&self) -> Vec<ControlEvent> {
+        self.shared.events.events()
+    }
+
+    /// Events evicted from the trace ring because it was full.
+    pub fn control_events_dropped(&self) -> u64 {
+        self.shared.events.dropped()
+    }
+
+    /// The event trace as a Chrome trace-event JSON document — write
+    /// `export_chrome_trace().pretty()` to a file and open it in
+    /// `chrome://tracing` or Perfetto. Round-trips through
+    /// [`crate::events::chrome_trace_to_events`].
+    pub fn export_chrome_trace(&self) -> Json {
+        self.shared.events.to_chrome_trace()
     }
 
     /// Aggregated device statistics: link packets/bytes sum across shards;

@@ -29,13 +29,16 @@
 //! `Snapshot` epoch exports it.
 
 use crate::control::{EpochEntry, EpochLog};
+use crate::events::{ControlEventKind, EventTrace};
 use crate::ring::{Consumer, Parker, Producer};
 use crate::rss::Steerer;
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::{
-    LatencyHistogram, MenshenPipeline, ModuleCounters, ModuleState, SystemStats, Verdict,
+    LatencyHistogram, MenshenPipeline, ModuleCounters, ModuleState, StageProfile, SystemStats,
+    TenantTelemetry, Verdict,
 };
 use menshen_packet::Packet;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -69,6 +72,29 @@ pub struct ShardTelemetry {
     /// Per-burst service time: the wall-clock cost of one
     /// `process_batch_into` call.
     pub burst_ns: LatencyHistogram,
+    /// Per-tenant SLO telemetry (sojourn histogram + verdict ledger), keyed
+    /// by module ID. Tenant 0 collects packets that never resolved to a
+    /// module (no VLAN tag, VLAN with no loaded module).
+    pub tenants: BTreeMap<u16, TenantTelemetry>,
+}
+
+impl ShardTelemetry {
+    /// Attributes one packet's verdict and sojourn to its tenant.
+    pub fn record_verdict(&mut self, verdict: &Verdict, sojourn_ns: u64) {
+        self.tenants
+            .entry(verdict_tenant(verdict))
+            .or_default()
+            .record(verdict, sojourn_ns);
+    }
+}
+
+/// The tenant a verdict is attributed to: the packet's module ID, or 0 for
+/// packets that never resolved to a module (no VLAN tag, unknown module).
+pub(crate) fn verdict_tenant(verdict: &Verdict) -> u16 {
+    match verdict {
+        Verdict::Forwarded { module_id, .. } => *module_id,
+        Verdict::Dropped { module_id, .. } => module_id.unwrap_or(0),
+    }
 }
 
 /// A snapshot of one shard's input-ring depths, taken at `Snapshot` epochs
@@ -95,6 +121,12 @@ pub struct ShardSnapshot {
     pub latency: LatencyHistogram,
     /// Cumulative per-burst service time recorded by this shard.
     pub burst_latency: LatencyHistogram,
+    /// Cumulative per-tenant SLO telemetry recorded by this shard, sorted
+    /// by module ID.
+    pub tenants: Vec<(u16, TenantTelemetry)>,
+    /// Sampled per-stage timing from this shard's replica (empty unless the
+    /// `profiling` cargo feature is enabled in `menshen-core`).
+    pub profile: StageProfile,
     /// Input-ring depth telemetry (zero in deterministic mode, where no
     /// rings exist).
     pub ring: RingDepth,
@@ -219,6 +251,10 @@ pub(crate) struct Shared {
     pub steering_version: AtomicU64,
     /// One staged-update slot per dispatcher (empty for inline dispatch).
     pub dispatcher_updates: Mutex<Vec<Option<DispatcherUpdate>>>,
+    /// The control-plane event trace: every publish, per-shard ack, resize
+    /// step and RETA rewrite leaves a timestamped record here. Shard threads
+    /// write only at epoch boundaries, never per packet.
+    pub events: EventTrace,
 }
 
 impl Shared {
@@ -234,6 +270,7 @@ impl Shared {
             start: Instant::now(),
             steering_version: AtomicU64::new(0),
             dispatcher_updates: Mutex::new((0..dispatchers).map(|_| None).collect()),
+            events: EventTrace::default(),
         }
     }
 
@@ -355,6 +392,12 @@ pub(crate) fn take_snapshot(
         filter: pipeline.filter().counters(),
         latency: telemetry.packet_ns.clone(),
         burst_latency: telemetry.burst_ns.clone(),
+        tenants: telemetry
+            .tenants
+            .iter()
+            .map(|(tenant, view)| (*tenant, view.clone()))
+            .collect(),
+        profile: pipeline.stage_profile(),
         ring,
     }
 }
@@ -414,6 +457,13 @@ pub(crate) fn apply_pending(
             slot.last_error = Some((entry.epoch, message));
         }
         drop(progress);
+        shared.events.emit(
+            shared.now_ns(),
+            ControlEventKind::EpochApplied {
+                epoch: entry.epoch,
+                shard: shard_index as u64,
+            },
+        );
         shared.cv.notify_all();
     }
     retired
@@ -514,10 +564,10 @@ pub(crate) fn run_worker(
         let service_ns = service_start.elapsed().as_nanos() as u64;
         let done_ns = shared.now_ns();
         telemetry.burst_ns.record(service_ns);
-        for packet in &packets {
-            telemetry
-                .packet_ns
-                .record(done_ns.saturating_sub(packet.timestamp_ns));
+        for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+            let sojourn_ns = done_ns.saturating_sub(packet.timestamp_ns);
+            telemetry.packet_ns.record(sojourn_ns);
+            telemetry.record_verdict(verdict, sojourn_ns);
         }
         let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
         let total = packets.len() as u64;

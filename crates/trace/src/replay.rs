@@ -16,9 +16,10 @@
 //! against the device's own tallies, so a replay that loses packets fails
 //! loudly instead of producing a pretty but wrong latency series.
 
-use menshen_core::{LatencyHistogram, MenshenPipeline, Verdict, BURST_SIZE};
+use menshen_core::{LatencyHistogram, MenshenPipeline, TenantTelemetry, Verdict, BURST_SIZE};
 use menshen_packet::Packet;
 use menshen_runtime::{RuntimeError, ShardedRuntime};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// How replay maps trace timestamps to send times.
@@ -63,6 +64,12 @@ pub struct ReplayReport {
     /// Packets processed per shard (one entry per shard; a single entry for
     /// the lone-pipeline path). The raw material for RSS-balance reporting.
     pub shard_packets: Vec<u64>,
+    /// Per-tenant SLO telemetry for *this run* (sojourn histogram + verdict
+    /// ledger per module ID), sorted by tenant. Tenant 0 collects packets
+    /// that never resolved to a module. On a reused runtime the views are
+    /// baseline-subtracted like the latency histograms, so each replay
+    /// reports only its own packets.
+    pub tenants: Vec<(u16, TenantTelemetry)>,
 }
 
 impl ReplayReport {
@@ -82,6 +89,14 @@ impl ReplayReport {
         } else {
             self.submitted as f64 / max as f64
         }
+    }
+
+    /// One tenant's SLO view for this run, if it saw any packets.
+    pub fn tenant_view(&self, tenant: u16) -> Option<&TenantTelemetry> {
+        self.tenants
+            .iter()
+            .find(|(id, _)| *id == tenant)
+            .map(|(_, view)| view)
     }
 
     /// Load-imbalance skew: most-loaded shard over the mean shard load
@@ -174,6 +189,7 @@ pub fn replay_pipeline(
     let (send_ns, offered_pps) = schedule(trace, pacing);
     let mut latency = LatencyHistogram::new();
     let mut burst_latency = LatencyHistogram::new();
+    let mut tenants: BTreeMap<u16, TenantTelemetry> = BTreeMap::new();
     let mut verdicts: Vec<Verdict> = Vec::new();
     let mut forwarded = 0u64;
     let mut dropped = 0u64;
@@ -191,7 +207,16 @@ pub fn replay_pipeline(
             } else {
                 dropped += 1;
             }
-            latency.record(done_ns.saturating_sub(send_ns[first + offset]));
+            let sojourn_ns = done_ns.saturating_sub(send_ns[first + offset]);
+            latency.record(sojourn_ns);
+            let tenant = match verdict {
+                Verdict::Forwarded { module_id, .. } => *module_id,
+                Verdict::Dropped { module_id, .. } => module_id.unwrap_or(0),
+            };
+            tenants
+                .entry(tenant)
+                .or_default()
+                .record(verdict, sojourn_ns);
         }
     }
     let wall_secs = start.elapsed().as_secs_f64().max(1e-12);
@@ -205,6 +230,7 @@ pub fn replay_pipeline(
         latency,
         burst_latency,
         shard_packets: vec![trace.len() as u64],
+        tenants: tenants.into_iter().collect(),
     }
 }
 
@@ -232,8 +258,14 @@ pub fn replay_sharded(
     // The latency histograms are cumulative per shard; snapshot them before
     // the run (only when the runtime has already processed traffic) so the
     // report can subtract and cover exactly this run.
-    let latency_baseline = if baseline.iter().any(|&packets| packets > 0) {
+    let had_traffic = baseline.iter().any(|&packets| packets > 0);
+    let latency_baseline = if had_traffic {
         Some(runtime.aggregated_latency()?)
+    } else {
+        None
+    };
+    let tenant_baseline = if had_traffic {
+        Some(runtime.aggregated_tenants()?)
     } else {
         None
     };
@@ -267,6 +299,20 @@ pub fn replay_sharded(
         ),
         None => (telemetry.packet_ns, telemetry.burst_ns),
     };
+    let tenants: Vec<(u16, TenantTelemetry)> = runtime
+        .aggregated_tenants()?
+        .iter()
+        .map(|(tenant, view)| {
+            let delta = match tenant_baseline.as_ref().and_then(|b| b.get(tenant)) {
+                Some(before) => view
+                    .subtracting(before)
+                    .expect("tenant telemetry is cumulative; an entry snapshot subtracts cleanly"),
+                None => view.clone(),
+            };
+            (*tenant, delta)
+        })
+        .filter(|(_, view)| view.ledger.total() > 0)
+        .collect();
     Ok(ReplayReport {
         submitted: trace.len() as u64,
         forwarded,
@@ -277,6 +323,7 @@ pub fn replay_sharded(
         latency,
         burst_latency,
         shard_packets,
+        tenants,
     })
 }
 
@@ -321,6 +368,20 @@ mod tests {
         assert!(report.burst_latency.count() >= 600 / 32);
         assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.5));
         assert!(report.achieved_pps > 0.0);
+        // The per-tenant ledgers retell the totals exactly.
+        assert_eq!(report.tenants.len(), 4);
+        assert_eq!(
+            report
+                .tenants
+                .iter()
+                .map(|(_, view)| view.ledger.total())
+                .sum::<u64>(),
+            600
+        );
+        for (_, view) in &report.tenants {
+            assert_eq!(view.sojourn_ns.count(), view.ledger.total());
+            assert_eq!(view.ledger.dropped(), 0);
+        }
     }
 
     #[test]
@@ -405,6 +466,16 @@ mod tests {
         assert_eq!(second.latency.count(), 320, "latency must not accumulate");
         assert!(second.burst_latency.count() >= 320 / 32);
         assert!(second.latency.quantile(0.5) > 0);
+        // Tenant views are deltas too: this run's 320 packets, not 640.
+        assert_eq!(
+            second
+                .tenants
+                .iter()
+                .map(|(_, view)| view.ledger.total())
+                .sum::<u64>(),
+            320,
+            "tenant ledgers must not accumulate"
+        );
         runtime.shutdown();
     }
 

@@ -1,0 +1,157 @@
+//! End-to-end tests of the observability plane: the control-plane event
+//! trace must round-trip through the Chrome trace-event exporter, the
+//! metrics snapshot must emit parseable Prometheus text exposition, and the
+//! packet-conservation audit must balance after real traffic.
+
+use menshen::core::{validate_prometheus, MenshenPipeline};
+use menshen::runtime::{chrome_trace_to_events, ControlEventKind, RuntimeOptions, ShardedRuntime};
+use menshen::trace::replay::{replay_sharded, Pacing};
+use menshen::trace::synth::{synthesize, WorkloadSpec};
+use menshen_bench::workloads::flow_rule_tenant;
+use menshen_json::Json;
+
+const TENANTS: u16 = 4;
+const RULES: usize = 64;
+
+fn template() -> MenshenPipeline {
+    let params = menshen::rmt::TABLE5.with_table_depth(1024);
+    let mut pipeline = MenshenPipeline::new(params);
+    for module_id in 1..=TENANTS {
+        pipeline
+            .load_module(&flow_rule_tenant(module_id, RULES))
+            .unwrap();
+    }
+    pipeline
+}
+
+fn trace(packets: usize) -> Vec<menshen::packet::Packet> {
+    let mut spec = WorkloadSpec::heavy_tailed(TENANTS, 96, packets);
+    spec.rules_per_tenant = RULES;
+    spec.mean_rate_pps = 50_000_000.0;
+    synthesize(&spec).unwrap()
+}
+
+/// A resize leaves its whole life cycle in the event trace, and the trace
+/// survives the Chrome trace-event JSON exporter *exactly* — every event
+/// comes back with the same timestamp and payload after a full
+/// serialise → pretty-print → parse → import round trip.
+#[test]
+fn reshard_event_trace_round_trips_through_chrome_json() {
+    let mut runtime = ShardedRuntime::from_pipeline(&template(), RuntimeOptions::threaded(2));
+    // A control-plane load after construction, so the trace also carries a
+    // module life-cycle event (template modules predate the runtime).
+    runtime
+        .load_module(&flow_rule_tenant(TENANTS + 1, RULES))
+        .unwrap();
+    runtime.submit_owned(trace(512)).unwrap();
+    runtime.flush();
+    runtime.resize(4).unwrap();
+    runtime.submit_owned(trace(256)).unwrap();
+    runtime.flush();
+    runtime.resize(2).unwrap();
+
+    let events = runtime.control_events();
+    assert_eq!(runtime.control_events_dropped(), 0);
+    let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    // Both resizes ran their full life cycle; the scale-in also retired
+    // shards and both rewrote the RETA.
+    for expected in [
+        "module_loaded",
+        "epoch_published",
+        "epoch_applied",
+        "resize_started",
+        "state_exported",
+        "state_injected",
+        "shards_retired",
+        "reta_rewritten",
+        "resize_completed",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "event trace is missing {expected:?}; got {names:?}"
+        );
+    }
+    assert_eq!(
+        names.iter().filter(|n| **n == "resize_completed").count(),
+        2,
+        "both resizes must complete"
+    );
+    // The span event carries the measured pause, and it matches a real
+    // start-before-end interval.
+    let completed = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            ControlEventKind::ResizeCompleted {
+                from_shards,
+                to_shards,
+                start_ns,
+                pause_ns,
+                ..
+            } => Some((from_shards, to_shards, start_ns, pause_ns, e.ts_ns)),
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(completed[0].0, 2);
+    assert_eq!(completed[0].1, 4);
+    assert_eq!(completed[1].0, 4);
+    assert_eq!(completed[1].1, 2);
+    for (_, _, start_ns, pause_ns, ts_ns) in completed {
+        assert!(start_ns <= ts_ns);
+        assert!(pause_ns > 0);
+    }
+
+    // Exact round trip through the Chrome trace-event exposition.
+    let exported = runtime.export_chrome_trace();
+    let reparsed = Json::parse(&exported.pretty()).unwrap();
+    let restored = chrome_trace_to_events(&reparsed).unwrap();
+    assert_eq!(restored, events);
+}
+
+/// The metrics snapshot of a runtime that has seen traffic and a resize is
+/// a valid Prometheus text exposition and carries the headline series.
+#[test]
+fn metrics_snapshot_exports_valid_prometheus_and_json() {
+    let mut runtime = ShardedRuntime::from_pipeline(&template(), RuntimeOptions::deterministic(2));
+    let verdicts = runtime.process_batch(trace(512)).unwrap();
+    assert_eq!(verdicts.len(), 512);
+
+    let snapshot = runtime.metrics_snapshot().unwrap();
+    let text = snapshot.to_prometheus();
+    let series = validate_prometheus(&text).expect("exposition must parse");
+    assert!(series >= 8, "expected a rich exposition, got:\n{text}");
+    for name in [
+        "menshen_control_epoch",
+        "menshen_shard_packets_total",
+        "menshen_packet_sojourn_ns",
+        "menshen_tenant_forwarded_total",
+    ] {
+        assert!(text.contains(name), "missing series {name} in:\n{text}");
+    }
+    // Every tenant that forwarded traffic has a labelled sample.
+    assert!(text.contains("tenant=\"1\""));
+
+    // The JSON export carries the same number of series.
+    let json = snapshot.to_json();
+    let rendered = json.pretty();
+    assert!(rendered.contains("menshen_shard_packets_total"));
+}
+
+/// After a replay through the threaded runtime the conservation audit
+/// balances: submitted = processed = forwarded + dropped = ledger total,
+/// with nothing left in flight.
+#[test]
+fn conservation_audit_balances_after_threaded_replay() {
+    let mut runtime = ShardedRuntime::from_pipeline(&template(), RuntimeOptions::threaded(2));
+    let packets = trace(1024);
+    let report = replay_sharded(&mut runtime, &packets, Pacing::Unpaced).unwrap();
+    assert!(report.all_packets_accounted());
+
+    let audit = runtime.conservation_audit().unwrap();
+    assert!(audit.is_balanced(), "audit must balance: {audit:?}");
+    assert_eq!(audit.submitted, 1024);
+    assert_eq!(audit.processed, 1024);
+    assert_eq!(audit.ledger_total, 1024);
+    assert_eq!(audit.in_flight, 0);
+    assert!(!audit.lossy);
+    assert_eq!(audit.forwarded + audit.dropped, 1024);
+}
