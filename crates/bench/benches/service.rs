@@ -1,0 +1,114 @@
+//! The two-process service-loopback experiment.
+//!
+//! Spawns `menshen-serve` (UDP socket data plane on loopback) and
+//! `menshen-loadgen` (paced heavy-tailed replay over real sockets) as
+//! separate OS processes — the closest this testbed gets to the paper's
+//! tester-and-device setup — and commits the `service_loopback` baseline:
+//! achieved kpps, p50/p99 end-to-end latency over loopback, and the
+//! zero-loss graceful drain. Mid-run, the harness resizes the service's
+//! shard set over the control socket to show live reconfiguration under
+//! socket traffic loses nothing.
+
+use menshen_bench::service_proc::{run_loadgen_proc, ServeProc, ServeSpec};
+use menshen_bench::{header, update_baseline, write_json};
+use menshen_json::Json;
+use std::time::Duration;
+
+const SERVE_EXE: &str = env!("CARGO_BIN_EXE_menshen-serve");
+const LOADGEN_EXE: &str = env!("CARGO_BIN_EXE_menshen-loadgen");
+
+fn main() {
+    let fast = std::env::var_os("MENSHEN_BENCH_FAST").is_some();
+    let packets = if fast { 20_000 } else { 100_000 };
+    let rate_pps = if fast { 40_000.0 } else { 100_000.0 };
+
+    header("service loopback: two-process UDP testbed");
+    let serve = ServeProc::spawn(
+        SERVE_EXE,
+        &ServeSpec {
+            queues: 2,
+            shards: 2,
+            tenants: 4,
+            metrics_path: None,
+        },
+    );
+    println!("serve up: data {:?}, control {}", serve.data, serve.control);
+
+    // Live reconfiguration under traffic: scale 2 -> 4 -> 2 while the
+    // generator is mid-replay, from a third thread so the resize overlaps
+    // the paced sends.
+    let control_serve = serve.control;
+    let resizer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        let up = menshen_io::control_request(control_serve, "RESIZE 4", Duration::from_secs(10))
+            .expect("resize up");
+        std::thread::sleep(Duration::from_millis(200));
+        let down = menshen_io::control_request(control_serve, "RESIZE 2", Duration::from_secs(10))
+            .expect("resize down");
+        (up, down)
+    });
+
+    let summary = run_loadgen_proc(LOADGEN_EXE, &serve.data, packets, rate_pps);
+    let (resize_up, resize_down) = resizer.join().expect("resizer thread");
+    assert!(
+        resize_up.starts_with("ok shards 2->4"),
+        "live resize up under traffic: {resize_up}"
+    );
+    assert!(
+        resize_down.starts_with("ok shards 4->2"),
+        "live resize down under traffic: {resize_down}"
+    );
+
+    let drained = serve.drain();
+
+    println!(
+        "sent {} pkts at {:.1} kpps offered / {:.1} kpps achieved",
+        summary.sent,
+        summary.offered_pps / 1e3,
+        summary.achieved_pps / 1e3
+    );
+    println!(
+        "end-to-end rtt: p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+        summary.rtt_p50_ns as f64 / 1e3,
+        summary.rtt_p99_ns as f64 / 1e3,
+        summary.rtt_max_ns as f64 / 1e3
+    );
+    println!(
+        "drain: balanced={} submitted={} forwarded={} dropped={} echoes={}",
+        drained.balanced, drained.submitted, drained.forwarded, drained.dropped, summary.echoes
+    );
+    println!("resize under traffic: {resize_up} / {resize_down}");
+
+    assert!(summary.lossless(), "echo loss over loopback: {summary:?}");
+    assert!(drained.balanced, "drain books do not balance: {drained:?}");
+    assert_eq!(
+        drained.submitted, summary.sent,
+        "every sent frame reached the runtime"
+    );
+    assert!(summary.forwarded > 0, "passthrough tenants forward traffic");
+
+    let doc = Json::obj([
+        ("processes", Json::from(2u64)),
+        ("transport", Json::from("udp_loopback")),
+        ("queues", Json::from(2u64)),
+        ("shards", Json::from(2u64)),
+        ("packets", Json::from(summary.sent)),
+        ("offered_kpps", Json::from(summary.offered_pps / 1e3)),
+        ("achieved_kpps", Json::from(summary.achieved_pps / 1e3)),
+        ("rtt_p50_us", Json::from(summary.rtt_p50_ns as f64 / 1e3)),
+        ("rtt_p99_us", Json::from(summary.rtt_p99_ns as f64 / 1e3)),
+        ("rtt_max_us", Json::from(summary.rtt_max_ns as f64 / 1e3)),
+        ("echoes", Json::from(summary.echoes)),
+        ("forwarded", Json::from(summary.forwarded)),
+        ("dropped", Json::from(summary.dropped)),
+        (
+            "zero_loss_drain",
+            Json::from(summary.lossless() && drained.balanced),
+        ),
+        ("live_resize_under_traffic", Json::from("2->4->2")),
+    ]);
+    if !fast {
+        update_baseline("service_loopback", &doc);
+    }
+    write_json("bench_service", &doc);
+}

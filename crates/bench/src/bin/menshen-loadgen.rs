@@ -1,0 +1,56 @@
+//! `menshen-loadgen`: the load-generator half of the two-process testbed.
+//!
+//! Replays a synthesized heavy-tailed workload over real UDP sockets at a
+//! paced rate against a running `menshen-serve` (one local socket per
+//! service rx queue), matches the verdict echoes back to sends, and prints
+//! the [`menshen_testbed::LoadgenSummary`] as a JSON document — the whole
+//! of stdout, so the parent parses it directly; progress goes to stderr.
+//!
+//! Configuration is by environment variable: `MENSHEN_LOADGEN_TARGETS`
+//! (comma-separated `ip:port` list, required), `_PACKETS`, `_RATE_PPS`,
+//! `_TENANTS`, `_FLOWS`, `_SEED`. Exits nonzero if any send failed or any
+//! echo never came back.
+
+use menshen_json::ToJson;
+use menshen_testbed::{run_loadgen, LoadgenConfig};
+use std::net::SocketAddr;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let targets: Vec<SocketAddr> = std::env::var("MENSHEN_LOADGEN_TARGETS")
+        .expect("MENSHEN_LOADGEN_TARGETS is required (comma-separated ip:port list)")
+        .split(',')
+        .map(|a| a.trim().parse().expect("well-formed target address"))
+        .collect();
+    let defaults = LoadgenConfig::default();
+    let config = LoadgenConfig {
+        targets,
+        tenants: env_f64("MENSHEN_LOADGEN_TENANTS", defaults.tenants as f64) as u16,
+        flows: env_f64("MENSHEN_LOADGEN_FLOWS", defaults.flows as f64) as usize,
+        packets: env_f64("MENSHEN_LOADGEN_PACKETS", defaults.packets as f64) as usize,
+        rate_pps: env_f64("MENSHEN_LOADGEN_RATE_PPS", defaults.rate_pps),
+        seed: env_f64("MENSHEN_LOADGEN_SEED", defaults.seed as f64) as u64,
+        echo_timeout: defaults.echo_timeout,
+    };
+
+    let summary = run_loadgen(&config).expect("load generator run");
+    eprintln!(
+        "sent {} at {:.0} pps, {} echoes ({} forwarded, {} dropped), p99 rtt {} us",
+        summary.sent,
+        summary.achieved_pps,
+        summary.echoes,
+        summary.forwarded,
+        summary.dropped,
+        summary.rtt_p99_ns / 1_000
+    );
+    println!("{}", summary.to_json().pretty());
+    if !summary.lossless() {
+        std::process::exit(2);
+    }
+}

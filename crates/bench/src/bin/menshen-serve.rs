@@ -1,0 +1,86 @@
+//! `menshen-serve`: a standalone network-attached Menshen service.
+//!
+//! Stands a [`menshen_io::Service`] up behind a UDP socket backend on
+//! loopback, announces its addresses on stdout, and serves until a peer
+//! requests `DRAIN` over the control socket (or the safety deadline
+//! passes). The graceful-drain accounting is printed as the final stdout
+//! line, so a parent process can assert the books balanced:
+//!
+//! ```text
+//! READY data=127.0.0.1:5001,127.0.0.1:5002 control=127.0.0.1:6000
+//! DRAINED balanced=true submitted=10000 forwarded=10000 dropped=0 \
+//!     rx_drained=0 tx=10000 tx_errors=0
+//! ```
+//!
+//! Configuration is by environment variable (`MENSHEN_SERVE_QUEUES`,
+//! `_SHARDS`, `_TENANTS`, `_BURST`, `_DEADLINE_SECS`, `_METRICS_PATH`),
+//! which keeps the spawn interface trivial for the two-process testbed.
+//! Exits nonzero when the drain books do not balance.
+
+use menshen_io::{Service, ServiceConfig, UdpSocketIo};
+use menshen_testbed::passthrough_template;
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let queues = env_usize("MENSHEN_SERVE_QUEUES", 2).max(1);
+    let shards = env_usize("MENSHEN_SERVE_SHARDS", 2).max(1);
+    let tenants = env_usize("MENSHEN_SERVE_TENANTS", 4).clamp(1, u16::MAX as usize) as u16;
+    let burst = env_usize("MENSHEN_SERVE_BURST", 64).max(1);
+    let deadline = Duration::from_secs(env_usize("MENSHEN_SERVE_DEADLINE_SECS", 120) as u64);
+    let metrics_path = std::env::var("MENSHEN_SERVE_METRICS_PATH").ok();
+
+    let backend =
+        UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), queues).expect("bind data plane");
+    let data_addrs: Vec<String> = backend
+        .local_addrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    let template = passthrough_template(tenants);
+    let config = ServiceConfig {
+        shards,
+        dispatchers: queues,
+        burst_size: burst,
+        ..ServiceConfig::default()
+    };
+    let mut service = Service::new(&template, Box::new(backend), config).expect("stand up service");
+    let control = service.control_addr().expect("control listener");
+
+    println!("READY data={} control={control}", data_addrs.join(","));
+    std::io::stdout().flush().expect("announce addresses");
+
+    service.serve(Some(deadline)).expect("serve loop");
+
+    if let Some(path) = metrics_path {
+        let snapshot = service.metrics_snapshot().expect("metrics snapshot");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create metrics directory");
+        }
+        std::fs::write(&path, snapshot.to_prometheus()).expect("write metrics exposition");
+        eprintln!("wrote {path}");
+    }
+
+    let report = service.graceful_drain().expect("graceful drain");
+    println!(
+        "DRAINED balanced={} submitted={} forwarded={} dropped={} rx_drained={} tx={} tx_errors={}",
+        report.balanced,
+        report.audit.submitted,
+        report.audit.forwarded,
+        report.audit.dropped,
+        report.rx_discarded,
+        report.link.tx_packets,
+        report.link.tx_errors
+    );
+    if !report.balanced {
+        std::process::exit(2);
+    }
+}

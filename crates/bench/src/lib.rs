@@ -14,6 +14,7 @@ use std::fs;
 use std::path::PathBuf;
 
 pub mod harness;
+pub mod service_proc;
 pub mod workloads;
 
 /// Directory the harness binaries write their JSON results into.

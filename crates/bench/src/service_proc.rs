@@ -1,0 +1,196 @@
+//! Two-process testbed orchestration: spawn `menshen-serve` and
+//! `menshen-loadgen` as real OS processes and parse their stdout protocols.
+//!
+//! The binary paths come from the caller (a bench or integration test,
+//! where `env!("CARGO_BIN_EXE_menshen-serve")` and
+//! `env!("CARGO_BIN_EXE_menshen-loadgen")` resolve); this module owns the
+//! lifecycle — announce-line parsing, the `DRAIN` handshake, and the final
+//! `DRAINED` accounting line.
+
+use menshen_json::Json;
+use menshen_testbed::LoadgenSummary;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// Knobs for a spawned `menshen-serve`.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Rx queues (= dispatchers).
+    pub queues: usize,
+    /// Worker shards.
+    pub shards: usize,
+    /// Passthrough tenants pre-loaded into the template.
+    pub tenants: u16,
+    /// `results/metrics.prom`-style path to write the final exposition to
+    /// (optional).
+    pub metrics_path: Option<String>,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            queues: 2,
+            shards: 2,
+            tenants: 4,
+            metrics_path: None,
+        }
+    }
+}
+
+/// A running `menshen-serve` child with its announced addresses.
+pub struct ServeProc {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    /// Data-plane socket addresses, one per rx queue.
+    pub data: Vec<SocketAddr>,
+    /// Control-socket address.
+    pub control: SocketAddr,
+}
+
+/// The service's final `DRAINED` accounting line, parsed.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainLine {
+    /// The service's own verdict on its books.
+    pub balanced: bool,
+    /// Packets the runtime accepted.
+    pub submitted: u64,
+    /// Of those, forwarded.
+    pub forwarded: u64,
+    /// Of those, dropped.
+    pub dropped: u64,
+    /// Late arrivals discarded at the I/O edge during shutdown.
+    pub rx_drained: u64,
+    /// Verdict echoes transmitted.
+    pub tx: u64,
+    /// Echo transmissions that failed.
+    pub tx_errors: u64,
+}
+
+impl ServeProc {
+    /// Spawns `exe` with `spec` and blocks until it announces `READY`.
+    pub fn spawn(exe: &str, spec: &ServeSpec) -> ServeProc {
+        let mut command = Command::new(exe);
+        command
+            .env("MENSHEN_SERVE_QUEUES", spec.queues.to_string())
+            .env("MENSHEN_SERVE_SHARDS", spec.shards.to_string())
+            .env("MENSHEN_SERVE_TENANTS", spec.tenants.to_string())
+            .stdout(Stdio::piped());
+        if let Some(path) = &spec.metrics_path {
+            command.env("MENSHEN_SERVE_METRICS_PATH", path);
+        }
+        let mut child = command.spawn().expect("spawn menshen-serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("serve stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read READY line");
+        let line = line.trim();
+        let mut data = Vec::new();
+        let mut control = None;
+        for field in line
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("expected READY announcement, got {line:?}"))
+            .split_whitespace()
+        {
+            if let Some(list) = field.strip_prefix("data=") {
+                data = list
+                    .split(',')
+                    .map(|a| a.parse().expect("well-formed data address"))
+                    .collect();
+            } else if let Some(addr) = field.strip_prefix("control=") {
+                control = Some(addr.parse().expect("well-formed control address"));
+            }
+        }
+        ServeProc {
+            child,
+            stdout,
+            data,
+            control: control.expect("READY line names the control address"),
+        }
+    }
+
+    /// Sends one request over the service's control socket.
+    pub fn control(&self, request: &str) -> String {
+        menshen_io::control_request(self.control, request, Duration::from_secs(10))
+            .expect("control request")
+    }
+
+    /// Requests `DRAIN`, waits for the child to exit, and parses its final
+    /// `DRAINED` accounting line.
+    pub fn drain(mut self) -> DrainLine {
+        let reply = self.control("DRAIN");
+        assert_eq!(reply, "ok draining", "drain handshake");
+        let mut last = String::new();
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line).expect("read serve stdout") > 0 {
+            if line.starts_with("DRAINED ") {
+                last = line.trim().to_string();
+            }
+            line.clear();
+        }
+        let status = self.child.wait().expect("wait for serve exit");
+        assert!(!last.is_empty(), "serve exited without a DRAINED line");
+        let mut parsed = DrainLine {
+            balanced: false,
+            submitted: 0,
+            forwarded: 0,
+            dropped: 0,
+            rx_drained: 0,
+            tx: 0,
+            tx_errors: 0,
+        };
+        for field in last.trim_start_matches("DRAINED ").split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else {
+                continue;
+            };
+            match key {
+                "balanced" => parsed.balanced = value == "true",
+                "submitted" => parsed.submitted = value.parse().unwrap_or(0),
+                "forwarded" => parsed.forwarded = value.parse().unwrap_or(0),
+                "dropped" => parsed.dropped = value.parse().unwrap_or(0),
+                "rx_drained" => parsed.rx_drained = value.parse().unwrap_or(0),
+                "tx" => parsed.tx = value.parse().unwrap_or(0),
+                "tx_errors" => parsed.tx_errors = value.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            status.code(),
+            Some(if parsed.balanced { 0 } else { 2 }),
+            "serve exit code matches its own balance verdict"
+        );
+        parsed
+    }
+}
+
+/// Runs `menshen-loadgen` as a child process against `targets` and parses
+/// its stdout JSON summary.
+pub fn run_loadgen_proc(
+    exe: &str,
+    targets: &[SocketAddr],
+    packets: usize,
+    rate_pps: f64,
+) -> LoadgenSummary {
+    let list = targets
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let output = Command::new(exe)
+        .env("MENSHEN_LOADGEN_TARGETS", list)
+        .env("MENSHEN_LOADGEN_PACKETS", packets.to_string())
+        .env("MENSHEN_LOADGEN_RATE_PPS", format!("{rate_pps}"))
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run menshen-loadgen");
+    let stdout = String::from_utf8(output.stdout).expect("loadgen stdout is UTF-8");
+    let json = Json::parse(&stdout)
+        .unwrap_or_else(|e| panic!("loadgen stdout is not JSON ({e:?}):\n{stdout}"));
+    let summary = LoadgenSummary::from_json(&json).expect("loadgen summary fields");
+    assert_eq!(
+        output.status.code(),
+        Some(if summary.lossless() { 0 } else { 2 }),
+        "loadgen exit code matches its own loss verdict"
+    );
+    summary
+}

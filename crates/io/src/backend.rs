@@ -1,0 +1,178 @@
+//! The [`PacketIo`] backend trait and its shared link accounting.
+
+use menshen_core::{labels, Counter, MetricsSnapshot};
+use menshen_packet::Packet;
+use menshen_runtime::EgressSink;
+use std::sync::Arc;
+
+/// Errors surfaced by packet I/O backends.
+#[derive(Debug)]
+pub enum IoError {
+    /// A socket operation failed.
+    Socket {
+        /// What the backend was doing.
+        context: &'static str,
+        /// The underlying OS error.
+        error: std::io::Error,
+    },
+    /// The backend has been drained and can no longer move packets.
+    Closed,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Socket { context, error } => write!(f, "{context}: {error}"),
+            IoError::Closed => write!(f, "packet I/O backend is closed"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Socket { error, .. } => Some(error),
+            IoError::Closed => None,
+        }
+    }
+}
+
+/// A point-in-time copy of a backend's link statistics — the software
+/// equivalent of a NIC's port counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets delivered to the runtime by `rx_burst`.
+    pub rx_packets: u64,
+    /// Frame bytes delivered by `rx_burst`.
+    pub rx_bytes: u64,
+    /// Ingress units that could not become packets (empty/garbled
+    /// datagrams).
+    pub rx_errors: u64,
+    /// Packets discarded by [`PacketIo::drain`] — arrived after rx stopped,
+    /// never entered the runtime, and therefore intentionally outside the
+    /// conservation audit's books.
+    pub rx_drained: u64,
+    /// Verdict echoes (or recorded verdicts) transmitted by the egress sink.
+    pub tx_packets: u64,
+    /// Bytes transmitted by the egress sink.
+    pub tx_bytes: u64,
+    /// Transmit attempts that failed (unlearned peer, socket error). The
+    /// verdict itself is still accounted by the runtime; only the echo is
+    /// lost.
+    pub tx_errors: u64,
+}
+
+impl LinkStats {
+    /// Pushes the stats into a metrics snapshot as `menshen_io_*` counters
+    /// labelled with the backend name, so a service's Prometheus exposition
+    /// covers the I/O edge as well as the pipeline.
+    pub fn push_metrics(&self, snapshot: &mut MetricsSnapshot, backend: &str) {
+        let series: [(&str, u64); 7] = [
+            ("menshen_io_rx_packets_total", self.rx_packets),
+            ("menshen_io_rx_bytes_total", self.rx_bytes),
+            ("menshen_io_rx_errors_total", self.rx_errors),
+            ("menshen_io_rx_drained_total", self.rx_drained),
+            ("menshen_io_tx_packets_total", self.tx_packets),
+            ("menshen_io_tx_bytes_total", self.tx_bytes),
+            ("menshen_io_tx_errors_total", self.tx_errors),
+        ];
+        for (name, value) in series {
+            snapshot.push_counter(name, labels([("backend", backend)]), value);
+        }
+    }
+}
+
+/// Atomic backing store for [`LinkStats`]: shared between a backend's rx
+/// side and its [`EgressSink`], which runs on the worker threads.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    /// See [`LinkStats::rx_packets`].
+    pub rx_packets: Counter,
+    /// See [`LinkStats::rx_bytes`].
+    pub rx_bytes: Counter,
+    /// See [`LinkStats::rx_errors`].
+    pub rx_errors: Counter,
+    /// See [`LinkStats::rx_drained`].
+    pub rx_drained: Counter,
+    /// See [`LinkStats::tx_packets`].
+    pub tx_packets: Counter,
+    /// See [`LinkStats::tx_bytes`].
+    pub tx_bytes: Counter,
+    /// See [`LinkStats::tx_errors`].
+    pub tx_errors: Counter,
+}
+
+impl LinkCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            rx_packets: self.rx_packets.get(),
+            rx_bytes: self.rx_bytes.get(),
+            rx_errors: self.rx_errors.get(),
+            rx_drained: self.rx_drained.get(),
+            tx_packets: self.tx_packets.get(),
+            tx_bytes: self.tx_bytes.get(),
+            tx_errors: self.tx_errors.get(),
+        }
+    }
+
+    /// Accounts one received frame.
+    pub fn record_rx(&self, bytes: usize) {
+        self.rx_packets.inc();
+        self.rx_bytes.add(bytes as u64);
+    }
+
+    /// Accounts one transmitted echo/verdict.
+    pub fn record_tx(&self, bytes: usize) {
+        self.tx_packets.inc();
+        self.tx_bytes.add(bytes as u64);
+    }
+}
+
+/// A pluggable packet I/O backend: where the sharded runtime's packets come
+/// from and where its verdicts go.
+///
+/// The contract mirrors a DPDK port:
+///
+/// * **rx burst** — [`rx_burst`](Self::rx_burst) appends up to `max` ready
+///   packets and returns immediately (never blocks); each packet's
+///   [`ingress_port`](menshen_packet::Packet::ingress_port) names the rx
+///   queue it arrived on;
+/// * **tx burst** — the backend's [`egress`](Self::egress) sink is
+///   installed on the runtime
+///   ([`ShardedRuntime::set_egress`](menshen_runtime::ShardedRuntime::set_egress)),
+///   which hands it every processed packet + verdict on the worker threads;
+/// * **drain** — [`drain`](Self::drain) discards whatever is still pending
+///   on the rx side (counted as `rx_drained`, *not* `rx_packets`), after
+///   which `rx_burst` yields nothing; the graceful-shutdown sequence is
+///   stop rx → drain → runtime flush → conservation audit;
+/// * **link stats** — [`link_stats`](Self::link_stats) must satisfy
+///   `rx_packets == ` packets ever returned by `rx_burst`, so a service can
+///   cross-check the I/O edge against the runtime's conservation audit.
+pub trait PacketIo: Send {
+    /// Stable backend name, used as the `backend` label on metrics.
+    fn label(&self) -> &'static str;
+
+    /// Appends up to `max` ready packets to `out`; returns how many were
+    /// appended. Non-blocking: returns `Ok(0)` when nothing is ready yet.
+    fn rx_burst(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, IoError>;
+
+    /// The verdict-transmit sink to install on the runtime serving this
+    /// backend. Repeated calls return handles to the same sink state.
+    fn egress(&self) -> Arc<dyn EgressSink>;
+
+    /// True once a finite source (a trace) has emitted everything it ever
+    /// will; open-ended backends stay `false`.
+    fn exhausted(&self) -> bool {
+        false
+    }
+
+    /// Discards everything still pending on the rx side and returns how
+    /// many packets were thrown away (accounted as `rx_drained`).
+    /// Subsequent `rx_burst` calls yield nothing that was pending before
+    /// the drain.
+    fn drain(&mut self) -> Result<u64, IoError>;
+
+    /// Cumulative link statistics.
+    fn link_stats(&self) -> LinkStats;
+}

@@ -1,0 +1,209 @@
+//! The verdict-echo wire format.
+//!
+//! A Menshen service does not forward frames to a real next hop — the
+//! testbed's interest is the *verdict*. So for every processed packet the
+//! socket backend sends one compact, fixed-size echo datagram back to the
+//! peer that sent the frame:
+//!
+//! ```text
+//!  offset  size  field
+//!  0       1     magic 0x4D ('M')
+//!  1       1     version (1)
+//!  2       1     kind: 1 = forwarded, 2 = dropped
+//!  3       1     drop reason code (0 for forwarded)
+//!  4       2     module ID, big-endian (0 if the packet never resolved)
+//!  6       2     detail, big-endian: the rewritten UDP destination port
+//!                for forwards (0 if none), 0 for drops
+//!  8       8     token: first 8 bytes of the original frame's transport
+//!                payload, zero-padded — generators put a sequence number
+//!                there, which is how a load generator matches echoes to
+//!                sends for per-packet RTT
+//! ```
+//!
+//! Everything a generator needs to check isolation from outside the process
+//! is here: *which tenant* the packet was attributed to, *what happened* to
+//! it, and *proof the pipeline ran* (the rewritten port a tenant's rules
+//! applied).
+
+use menshen_core::{DropReason, Verdict};
+use menshen_packet::Packet;
+
+/// Size of one echo datagram, bytes.
+pub const ECHO_LEN: usize = 16;
+/// First byte of every echo datagram.
+pub const ECHO_MAGIC: u8 = 0x4d;
+/// Wire-format version.
+pub const ECHO_VERSION: u8 = 1;
+/// Kind byte: the packet was forwarded.
+pub const ECHO_KIND_FORWARDED: u8 = 1;
+/// Kind byte: the packet was dropped.
+pub const ECHO_KIND_DROPPED: u8 = 2;
+/// Bytes of original transport payload carried in the token field.
+pub const ECHO_TOKEN_LEN: usize = 8;
+
+/// Stable wire code for a drop reason (0 = not dropped).
+pub fn drop_reason_code(reason: &DropReason) -> u8 {
+    match reason {
+        DropReason::NoVlan => 1,
+        DropReason::UnknownModule => 2,
+        DropReason::BeingReconfigured => 3,
+        DropReason::ModuleDiscard => 4,
+        DropReason::UntrustedReconfiguration => 5,
+    }
+}
+
+/// One decoded verdict echo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EchoRecord {
+    /// True when the pipeline forwarded the packet.
+    pub forwarded: bool,
+    /// Drop reason code (see [`drop_reason_code`]); 0 for forwards.
+    pub reason: u8,
+    /// The module (tenant) the verdict was attributed to; 0 when the packet
+    /// never resolved to one.
+    pub module_id: u16,
+    /// For forwards: the UDP destination port of the *rewritten* packet —
+    /// evidence the tenant's rules executed. 0 otherwise.
+    pub detail: u16,
+    /// First [`ECHO_TOKEN_LEN`] bytes of the original frame's transport
+    /// payload, zero-padded.
+    pub token: [u8; ECHO_TOKEN_LEN],
+}
+
+impl EchoRecord {
+    /// Builds the record for one processed packet: `packet` is the original
+    /// ingress frame, `verdict` what the pipeline decided.
+    pub fn from_verdict(packet: &Packet, verdict: &Verdict) -> EchoRecord {
+        let mut token = [0u8; ECHO_TOKEN_LEN];
+        if let Some(payload) = packet.transport_payload() {
+            let n = payload.len().min(ECHO_TOKEN_LEN);
+            token[..n].copy_from_slice(&payload[..n]);
+        }
+        match verdict {
+            Verdict::Forwarded {
+                packet: rewritten,
+                module_id,
+                ..
+            } => EchoRecord {
+                forwarded: true,
+                reason: 0,
+                module_id: *module_id,
+                detail: rewritten.udp_dst_port().unwrap_or(0),
+                token,
+            },
+            Verdict::Dropped { reason, module_id } => EchoRecord {
+                forwarded: false,
+                reason: drop_reason_code(reason),
+                module_id: module_id.unwrap_or(0),
+                detail: 0,
+                token,
+            },
+        }
+    }
+
+    /// Serialises the record.
+    pub fn encode(&self) -> [u8; ECHO_LEN] {
+        let mut buf = [0u8; ECHO_LEN];
+        buf[0] = ECHO_MAGIC;
+        buf[1] = ECHO_VERSION;
+        buf[2] = if self.forwarded {
+            ECHO_KIND_FORWARDED
+        } else {
+            ECHO_KIND_DROPPED
+        };
+        buf[3] = self.reason;
+        buf[4..6].copy_from_slice(&self.module_id.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.detail.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.token);
+        buf
+    }
+}
+
+/// Encodes the echo for one processed packet in a single step.
+pub fn encode_echo(packet: &Packet, verdict: &Verdict) -> [u8; ECHO_LEN] {
+    EchoRecord::from_verdict(packet, verdict).encode()
+}
+
+/// Decodes one echo datagram; `None` for anything that is not a
+/// well-formed version-1 echo.
+pub fn decode_echo(buf: &[u8]) -> Option<EchoRecord> {
+    if buf.len() != ECHO_LEN || buf[0] != ECHO_MAGIC || buf[1] != ECHO_VERSION {
+        return None;
+    }
+    let forwarded = match buf[2] {
+        ECHO_KIND_FORWARDED => true,
+        ECHO_KIND_DROPPED => false,
+        _ => return None,
+    };
+    let mut token = [0u8; ECHO_TOKEN_LEN];
+    token.copy_from_slice(&buf[8..16]);
+    Some(EchoRecord {
+        forwarded,
+        reason: buf[3],
+        module_id: u16::from_be_bytes([buf[4], buf[5]]),
+        detail: u16::from_be_bytes([buf[6], buf[7]]),
+        token,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_packet::PacketBuilder;
+
+    #[test]
+    fn dropped_verdict_round_trips() {
+        let packet = PacketBuilder::udp_data(
+            9,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4000,
+            80,
+            &[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5],
+        );
+        let verdict = Verdict::Dropped {
+            reason: DropReason::UnknownModule,
+            module_id: Some(9),
+        };
+        let wire = encode_echo(&packet, &verdict);
+        let echo = decode_echo(&wire).expect("well-formed echo");
+        assert!(!echo.forwarded);
+        assert_eq!(echo.reason, drop_reason_code(&DropReason::UnknownModule));
+        assert_eq!(echo.module_id, 9);
+        assert_eq!(echo.detail, 0);
+        assert_eq!(&echo.token, &[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert_eq!(decode_echo(&[]), None);
+        assert_eq!(decode_echo(&[0u8; ECHO_LEN]), None);
+        let mut wire = [0u8; ECHO_LEN];
+        wire[0] = ECHO_MAGIC;
+        wire[1] = ECHO_VERSION;
+        wire[2] = 7; // unknown kind
+        assert_eq!(decode_echo(&wire), None);
+        let mut short = encode_echo(
+            &PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[]),
+            &Verdict::Dropped {
+                reason: DropReason::NoVlan,
+                module_id: None,
+            },
+        )
+        .to_vec();
+        short.pop();
+        assert_eq!(decode_echo(&short), None);
+    }
+
+    #[test]
+    fn short_payload_token_is_zero_padded() {
+        let packet = PacketBuilder::udp_data(1, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0xab]);
+        let verdict = Verdict::Dropped {
+            reason: DropReason::NoVlan,
+            module_id: None,
+        };
+        let echo = decode_echo(&encode_echo(&packet, &verdict)).unwrap();
+        assert_eq!(echo.token[0], 0xab);
+        assert_eq!(&echo.token[1..], &[0u8; 7]);
+    }
+}

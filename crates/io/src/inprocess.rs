@@ -1,0 +1,190 @@
+//! [`InProcessIo`]: today's in-process `submit_owned` path behind the
+//! [`PacketIo`] trait.
+//!
+//! The producer side is an [`InProcessHandle`] (cloneable, thread-safe): the
+//! caller injects owned packet batches exactly as it used to hand them to
+//! `submit_owned`, and reads the verdict echoes back as decoded
+//! [`EchoRecord`]s — what a socket peer would have received as datagrams.
+
+use crate::backend::{IoError, LinkCounters, LinkStats, PacketIo};
+use crate::echo::{EchoRecord, ECHO_LEN};
+use menshen_core::Verdict;
+use menshen_packet::Packet;
+use menshen_runtime::EgressSink;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct InProcessState {
+    pending: Mutex<VecDeque<Packet>>,
+    echoes: Mutex<Vec<EchoRecord>>,
+    counters: LinkCounters,
+}
+
+/// The in-process backend. Create with [`InProcessIo::new`], which also
+/// returns the producer handle.
+pub struct InProcessIo {
+    state: Arc<InProcessState>,
+}
+
+/// Producer/observer handle to an [`InProcessIo`]: inject packets, read
+/// echoed verdicts. Cloneable and usable from any thread, including after
+/// the backend itself has been moved into a service.
+#[derive(Clone)]
+pub struct InProcessHandle {
+    state: Arc<InProcessState>,
+}
+
+struct InProcessEgress {
+    state: Arc<InProcessState>,
+}
+
+impl InProcessIo {
+    /// Creates the backend and its producer handle.
+    pub fn new() -> (InProcessIo, InProcessHandle) {
+        let state = Arc::new(InProcessState::default());
+        (
+            InProcessIo {
+                state: Arc::clone(&state),
+            },
+            InProcessHandle { state },
+        )
+    }
+}
+
+impl InProcessHandle {
+    /// Queues owned packets for the next `rx_burst` calls.
+    pub fn inject(&self, packets: Vec<Packet>) {
+        self.state
+            .pending
+            .lock()
+            .expect("in-process queue poisoned")
+            .extend(packets);
+    }
+
+    /// Packets injected but not yet received.
+    pub fn pending(&self) -> usize {
+        self.state
+            .pending
+            .lock()
+            .expect("in-process queue poisoned")
+            .len()
+    }
+
+    /// Copies the verdict echoes recorded so far.
+    pub fn echoes(&self) -> Vec<EchoRecord> {
+        self.state
+            .echoes
+            .lock()
+            .expect("in-process echoes poisoned")
+            .clone()
+    }
+
+    /// Takes (and clears) the recorded verdict echoes.
+    pub fn take_echoes(&self) -> Vec<EchoRecord> {
+        std::mem::take(
+            &mut *self
+                .state
+                .echoes
+                .lock()
+                .expect("in-process echoes poisoned"),
+        )
+    }
+}
+
+impl PacketIo for InProcessIo {
+    fn label(&self) -> &'static str {
+        "inprocess"
+    }
+
+    fn rx_burst(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, IoError> {
+        let mut pending = self
+            .state
+            .pending
+            .lock()
+            .expect("in-process queue poisoned");
+        let take = pending.len().min(max);
+        for packet in pending.drain(..take) {
+            self.state.counters.record_rx(packet.len());
+            out.push(packet);
+        }
+        Ok(take)
+    }
+
+    fn egress(&self) -> Arc<dyn EgressSink> {
+        Arc::new(InProcessEgress {
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    fn drain(&mut self) -> Result<u64, IoError> {
+        let mut pending = self
+            .state
+            .pending
+            .lock()
+            .expect("in-process queue poisoned");
+        let discarded = pending.len() as u64;
+        pending.clear();
+        self.state.counters.rx_drained.add(discarded);
+        Ok(discarded)
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        self.state.counters.snapshot()
+    }
+}
+
+impl EgressSink for InProcessEgress {
+    fn transmit(&self, packet: &Packet, verdict: &Verdict) {
+        let record = EchoRecord::from_verdict(packet, verdict);
+        self.state
+            .echoes
+            .lock()
+            .expect("in-process echoes poisoned")
+            .push(record);
+        self.state.counters.record_tx(ECHO_LEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_core::DropReason;
+    use menshen_packet::PacketBuilder;
+
+    #[test]
+    fn inject_rx_echo_roundtrip() {
+        let (mut io, handle) = InProcessIo::new();
+        let packets: Vec<Packet> = (0..5)
+            .map(|i| PacketBuilder::udp_data(3, [10, 0, 0, 1], [10, 0, 0, i], 1, 2, &[i]))
+            .collect();
+        let total_bytes: u64 = packets.iter().map(|p| p.len() as u64).sum();
+        handle.inject(packets);
+
+        let mut out = Vec::new();
+        assert_eq!(io.rx_burst(&mut out, 3).unwrap(), 3);
+        assert_eq!(io.rx_burst(&mut out, 64).unwrap(), 2);
+        assert_eq!(io.rx_burst(&mut out, 64).unwrap(), 0);
+        assert_eq!(out.len(), 5);
+
+        let sink = io.egress();
+        for packet in &out {
+            sink.transmit(
+                packet,
+                &Verdict::Dropped {
+                    reason: DropReason::UnknownModule,
+                    module_id: Some(3),
+                },
+            );
+        }
+        let echoes = handle.echoes();
+        assert_eq!(echoes.len(), 5);
+        assert!(echoes.iter().all(|e| !e.forwarded && e.module_id == 3));
+
+        let stats = io.link_stats();
+        assert_eq!(stats.rx_packets, 5);
+        assert_eq!(stats.rx_bytes, total_bytes);
+        assert_eq!(stats.tx_packets, 5);
+        assert_eq!(stats.tx_bytes, 5 * ECHO_LEN as u64);
+    }
+}

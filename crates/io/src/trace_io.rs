@@ -1,0 +1,178 @@
+//! [`TraceIo`]: `crates/trace` replay behind the [`PacketIo`] trait.
+//!
+//! The backend reuses the replay engine's scheduling model verbatim
+//! ([`schedule_offsets`]): each trace packet becomes receivable once its
+//! scheduled offset has elapsed since the first `rx_burst` call, so
+//! [`Pacing::TimestampFaithful`] and [`Pacing::RateRescaled`] arrivals look
+//! to the service exactly as they would to the in-process replay — and
+//! [`Pacing::Unpaced`] delivers as fast as the service polls. `rx_burst`
+//! never blocks: packets whose send time has not arrived are simply not
+//! ready yet, which keeps the service's control socket responsive while a
+//! paced trace plays.
+
+use crate::backend::{IoError, LinkCounters, LinkStats, PacketIo};
+use crate::echo::ECHO_LEN;
+use menshen_core::Verdict;
+use menshen_packet::Packet;
+use menshen_runtime::EgressSink;
+use menshen_trace::{schedule_offsets, Pacing};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct TraceShared {
+    counters: LinkCounters,
+}
+
+/// A finite trace source with replay-exact pacing. The egress side only
+/// tallies (there is no peer to echo to); verdict accounting lives in the
+/// runtime's conservation audit.
+pub struct TraceIo {
+    packets: Vec<Option<Packet>>,
+    offsets: Vec<u64>,
+    offered_pps: f64,
+    cursor: usize,
+    started: Option<Instant>,
+    shared: Arc<TraceShared>,
+}
+
+struct TraceEgress {
+    shared: Arc<TraceShared>,
+}
+
+impl TraceIo {
+    /// Wraps `trace` under the given pacing policy. The clock starts at the
+    /// first `rx_burst` call, not at construction.
+    pub fn new(trace: Vec<Packet>, pacing: Pacing) -> TraceIo {
+        let (offsets, offered_pps) = schedule_offsets(&trace, pacing);
+        TraceIo {
+            packets: trace.into_iter().map(Some).collect(),
+            offsets,
+            offered_pps,
+            cursor: 0,
+            started: None,
+            shared: Arc::new(TraceShared {
+                counters: LinkCounters::default(),
+            }),
+        }
+    }
+
+    /// The schedule's offered rate, packets per second
+    /// (`f64::INFINITY` when unpaced).
+    pub fn offered_pps(&self) -> f64 {
+        self.offered_pps
+    }
+
+    /// Packets not yet delivered (nor drained).
+    pub fn remaining(&self) -> usize {
+        self.packets.len() - self.cursor
+    }
+}
+
+impl PacketIo for TraceIo {
+    fn label(&self) -> &'static str {
+        "trace"
+    }
+
+    fn rx_burst(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, IoError> {
+        if self.cursor >= self.packets.len() || max == 0 {
+            return Ok(0);
+        }
+        let start = *self.started.get_or_insert_with(Instant::now);
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let mut delivered = 0usize;
+        while delivered < max && self.cursor < self.packets.len() {
+            if self.offsets[self.cursor] > elapsed_ns {
+                break; // not due yet — pacing preserved, caller polls again
+            }
+            let packet = self.packets[self.cursor]
+                .take()
+                .expect("each trace slot is delivered once");
+            self.cursor += 1;
+            self.shared.counters.record_rx(packet.len());
+            out.push(packet);
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    fn egress(&self) -> Arc<dyn EgressSink> {
+        Arc::new(TraceEgress {
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.packets.len()
+    }
+
+    fn drain(&mut self) -> Result<u64, IoError> {
+        let discarded = (self.packets.len() - self.cursor) as u64;
+        self.cursor = self.packets.len();
+        self.shared.counters.rx_drained.add(discarded);
+        Ok(discarded)
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        self.shared.counters.snapshot()
+    }
+}
+
+impl EgressSink for TraceEgress {
+    fn transmit(&self, _packet: &Packet, _verdict: &Verdict) {
+        self.shared.counters.record_tx(ECHO_LEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_packet::PacketBuilder;
+
+    fn trace(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                let mut p =
+                    PacketBuilder::udp_data(2, [10, 0, 0, 1], [10, 0, 0, i as u8], 1, 2, &[]);
+                p.timestamp_ns = i as u64 * 1_000_000; // 1 ms apart
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unpaced_trace_delivers_immediately_and_exhausts() {
+        let mut io = TraceIo::new(trace(10), Pacing::Unpaced);
+        assert!(!io.exhausted());
+        let mut out = Vec::new();
+        assert_eq!(io.rx_burst(&mut out, 4).unwrap(), 4);
+        assert_eq!(io.rx_burst(&mut out, 100).unwrap(), 6);
+        assert_eq!(io.rx_burst(&mut out, 100).unwrap(), 0);
+        assert!(io.exhausted());
+        assert_eq!(io.link_stats().rx_packets, 10);
+    }
+
+    #[test]
+    fn paced_trace_withholds_future_packets() {
+        // 1 ms inter-arrival, rescaled to 10 s per packet: only the first
+        // packet (offset 0) is due within the test's lifetime.
+        let mut io = TraceIo::new(trace(5), Pacing::RateRescaled { pps: 0.1 });
+        let mut out = Vec::new();
+        assert_eq!(io.rx_burst(&mut out, 100).unwrap(), 1);
+        assert_eq!(io.rx_burst(&mut out, 100).unwrap(), 0);
+        assert!(!io.exhausted());
+        assert_eq!(io.remaining(), 4);
+    }
+
+    #[test]
+    fn drain_discards_the_tail() {
+        let mut io = TraceIo::new(trace(8), Pacing::Unpaced);
+        let mut out = Vec::new();
+        io.rx_burst(&mut out, 3).unwrap();
+        assert_eq!(io.drain().unwrap(), 5);
+        assert!(io.exhausted());
+        assert_eq!(io.rx_burst(&mut out, 100).unwrap(), 0);
+        let stats = io.link_stats();
+        assert_eq!(stats.rx_packets, 3);
+        assert_eq!(stats.rx_drained, 5);
+    }
+}

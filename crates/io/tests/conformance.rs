@@ -1,0 +1,185 @@
+//! The `PacketIo` conformance suite.
+//!
+//! Mirrors the runtime's ring conformance suite: one macro generates the
+//! same battery of contract tests for every backend, so a new backend only
+//! has to supply a rig constructor to inherit the full contract check —
+//! rx accounting, tx accounting, drain-empties-everything, and the
+//! service-level cross-check that the link stats agree with the runtime's
+//! conservation audit.
+
+use menshen_core::{DropReason, MenshenPipeline, Verdict};
+use menshen_io::{InProcessIo, PacketIo, Service, ServiceConfig, TraceIo, UdpSocketIo, ECHO_LEN};
+use menshen_packet::{Packet, PacketBuilder};
+use menshen_rmt::TABLE5;
+use menshen_trace::Pacing;
+use std::net::{IpAddr, Ipv4Addr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// A backend under test plus whatever must stay alive beside it (the UDP
+/// rig keeps its feeder socket so echoes have a live peer).
+struct Rig {
+    io: Box<dyn PacketIo>,
+    _keep: Option<UdpSocket>,
+}
+
+fn frames(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let seq = (i as u32).to_be_bytes();
+            PacketBuilder::udp_data(3, [10, 0, 0, 1], [10, 0, 0, 2], 7, 80, &seq)
+        })
+        .collect()
+}
+
+fn inprocess_rig(frames: Vec<Packet>) -> Rig {
+    let (io, handle) = InProcessIo::new();
+    handle.inject(frames);
+    Rig {
+        io: Box::new(io),
+        _keep: None,
+    }
+}
+
+fn trace_rig(frames: Vec<Packet>) -> Rig {
+    Rig {
+        io: Box::new(TraceIo::new(frames, Pacing::Unpaced)),
+        _keep: None,
+    }
+}
+
+fn udp_rig(frames: Vec<Packet>) -> Rig {
+    let io = UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), 2).unwrap();
+    let addrs = io.local_addrs();
+    let feeder = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    for (i, frame) in frames.iter().enumerate() {
+        feeder
+            .send_to(frame.bytes(), addrs[i % addrs.len()])
+            .unwrap();
+    }
+    Rig {
+        io: Box::new(io),
+        _keep: Some(feeder),
+    }
+}
+
+/// Polls `rx_burst` until `want` packets arrive or 10 s pass — socket
+/// backends deliver asynchronously.
+fn rx_all(io: &mut dyn PacketIo, want: usize) -> Vec<Packet> {
+    let mut out = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while out.len() < want && Instant::now() < deadline {
+        if io.rx_burst(&mut out, 16).unwrap() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    out
+}
+
+macro_rules! packet_io_conformance_suite {
+    ($backend:ident, $rig:path) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn rx_accounting_matches_delivery() {
+                let wire = frames(40);
+                let expected_bytes: u64 = wire.iter().map(|p| p.len() as u64).sum();
+                let mut rig = $rig(wire);
+                let got = rx_all(rig.io.as_mut(), 40);
+                assert_eq!(got.len(), 40, "every offered frame is delivered");
+                let stats = rig.io.link_stats();
+                assert_eq!(stats.rx_packets, 40);
+                assert_eq!(stats.rx_bytes, expected_bytes);
+                assert_eq!(stats.rx_errors, 0);
+                assert_eq!(stats.rx_drained, 0);
+                assert_eq!(stats.tx_packets, 0);
+            }
+
+            #[test]
+            fn tx_accounting_counts_every_echo() {
+                let mut rig = $rig(frames(12));
+                let got = rx_all(rig.io.as_mut(), 12);
+                assert_eq!(got.len(), 12);
+                let sink = rig.io.egress();
+                for packet in &got {
+                    sink.transmit(
+                        packet,
+                        &Verdict::Dropped {
+                            reason: DropReason::UnknownModule,
+                            module_id: Some(3),
+                        },
+                    );
+                }
+                let stats = rig.io.link_stats();
+                assert_eq!(stats.tx_packets, 12, "one echo per verdict");
+                assert_eq!(stats.tx_bytes, 12 * ECHO_LEN as u64);
+                assert_eq!(stats.tx_errors, 0);
+            }
+
+            #[test]
+            fn drain_empties_everything() {
+                let mut rig = $rig(frames(30));
+                // Take a first partial burst, then drain the rest.
+                let mut out = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while out.is_empty() && Instant::now() < deadline {
+                    rig.io.rx_burst(&mut out, 8).unwrap();
+                }
+                let received = out.len() as u64;
+                assert!(received >= 1, "at least one burst before the drain");
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    rig.io.drain().unwrap();
+                    let stats = rig.io.link_stats();
+                    if stats.rx_packets + stats.rx_drained == 30 {
+                        break;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "drain never accounted for every frame: {stats:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let stats = rig.io.link_stats();
+                assert_eq!(stats.rx_packets, received);
+                assert_eq!(stats.rx_drained, 30 - received);
+                // Nothing pending survives a drain.
+                let mut after = Vec::new();
+                assert_eq!(rig.io.rx_burst(&mut after, 64).unwrap(), 0);
+            }
+
+            #[test]
+            fn service_audit_cross_checks_link_stats() {
+                let rig = $rig(frames(96));
+                let template = MenshenPipeline::new(TABLE5);
+                let mut service =
+                    Service::new(&template, rig.io, ServiceConfig::default()).unwrap();
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while service.packets_received() < 96 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "service never received every frame"
+                    );
+                    service.poll().unwrap();
+                }
+                let report = service.graceful_drain().unwrap();
+                assert!(report.balanced, "books do not balance: {report:?}");
+                assert_eq!(report.audit.submitted, 96);
+                assert_eq!(
+                    report.link.rx_packets, report.audit.submitted,
+                    "link rx and runtime submissions must agree"
+                );
+                assert_eq!(
+                    report.link.tx_packets, 96,
+                    "every verdict was handed to the egress sink"
+                );
+                assert_eq!(report.link.tx_errors, 0);
+                drop(rig._keep);
+            }
+        }
+    };
+}
+
+packet_io_conformance_suite!(inprocess, super::inprocess_rig);
+packet_io_conformance_suite!(trace, super::trace_rig);
+packet_io_conformance_suite!(udp, super::udp_rig);

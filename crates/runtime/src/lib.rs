@@ -77,4 +77,4 @@ pub use runtime::{
     ConservationAudit, DispatchSpray, DispatcherStats, ExecutionMode, ResizeReport, RetiredTally,
     RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime,
 };
-pub use shard::{RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};
+pub use shard::{EgressSink, RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};

@@ -48,8 +48,8 @@ use crate::events::{ControlEvent, ControlEventKind};
 use crate::ring::{ring, ring_with_parker, Parker, Producer};
 use crate::rss::{Steerer, SteeringMode, RETA_SIZE};
 use crate::shard::{
-    apply_entry, run_dispatcher, run_worker, Burst, DispatcherUpdate, RingDepth, ShardSnapshot,
-    ShardStats, ShardTelemetry, Shared,
+    apply_entry, run_dispatcher, run_worker, Burst, DispatcherUpdate, EgressSink, RingDepth,
+    ShardSnapshot, ShardStats, ShardTelemetry, Shared,
 };
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::TableRule;
@@ -197,6 +197,18 @@ pub enum RuntimeError {
         /// What was wrong with the request.
         message: String,
     },
+    /// An epoch wait exceeded its configured deadline
+    /// ([`ShardedRuntime::set_control_timeout`] /
+    /// [`ShardedRuntime::wait_for_epoch_deadline`]): at least one live shard
+    /// had still not applied the epoch when time ran out. The epoch remains
+    /// published — a stalled-but-alive shard will still apply it eventually —
+    /// so this is a liveness report, not a rollback.
+    EpochTimeout {
+        /// The epoch that was being waited on.
+        epoch: u64,
+        /// How long the waiter was prepared to wait.
+        waited: Duration,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -214,6 +226,13 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidResize { message } => {
                 write!(f, "invalid resize request: {message}")
+            }
+            RuntimeError::EpochTimeout { epoch, waited } => {
+                write!(
+                    f,
+                    "epoch {epoch} not applied by every live shard within {:?}",
+                    waited
+                )
             }
         }
     }
@@ -500,6 +519,11 @@ pub struct ShardedRuntime {
     /// dispatcher died mid-submit): from then on the conservation audit can
     /// report the imbalance but not a clean balance.
     audit_lossy: bool,
+    /// Deadline applied by [`wait_for_epoch`](Self::wait_for_epoch) (and so
+    /// by every synchronous control wrapper): `None` waits forever — the
+    /// historical behaviour — while `Some(limit)` surfaces
+    /// [`RuntimeError::EpochTimeout`] when a live shard stalls past it.
+    control_timeout: Option<Duration>,
 }
 
 impl ShardedRuntime {
@@ -603,6 +627,7 @@ impl ShardedRuntime {
             retired: RetiredTally::default(),
             submitted_packets: 0,
             audit_lossy: false,
+            control_timeout: None,
             steerer,
             shared,
             backend,
@@ -747,19 +772,53 @@ impl ShardedRuntime {
     /// Blocks until every *live* shard has applied `epoch`. Returns `Ok` when
     /// all shards applied it, or `Err(ShardDown)` if a shard exited (shutdown
     /// or worker panic) before reaching it — waiting on a dead shard would
-    /// otherwise hang forever.
+    /// otherwise hang forever. Honours the configured
+    /// [`control timeout`](Self::set_control_timeout), if any, surfacing
+    /// [`RuntimeError::EpochTimeout`] when a live shard stalls past it.
     pub fn wait_for_epoch(&self, epoch: u64) -> Result<(), RuntimeError> {
+        self.wait_for_epoch_deadline(epoch, self.control_timeout)
+    }
+
+    /// [`wait_for_epoch`](Self::wait_for_epoch) with an explicit per-call
+    /// deadline: `None` waits forever, `Some(limit)` returns
+    /// [`RuntimeError::EpochTimeout`] if any live shard has still not
+    /// applied `epoch` after `limit`. The epoch stays published either way.
+    pub fn wait_for_epoch_deadline(
+        &self,
+        epoch: u64,
+        timeout: Option<Duration>,
+    ) -> Result<(), RuntimeError> {
+        let start = Instant::now();
         let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
         while progress
             .shards
             .iter()
             .any(|p| !p.exited && p.applied_epoch < epoch)
         {
-            progress = self
-                .shared
-                .cv
-                .wait(progress)
-                .expect("progress lock poisoned");
+            match timeout {
+                None => {
+                    progress = self
+                        .shared
+                        .cv
+                        .wait(progress)
+                        .expect("progress lock poisoned");
+                }
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        return Err(RuntimeError::EpochTimeout {
+                            epoch,
+                            waited: limit,
+                        });
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(progress, limit - elapsed)
+                        .expect("progress lock poisoned");
+                    progress = guard;
+                }
+            }
         }
         match progress
             .shards
@@ -768,6 +827,38 @@ impl ShardedRuntime {
         {
             Some(shard) => Err(RuntimeError::ShardDown { shard }),
             None => Ok(()),
+        }
+    }
+
+    /// Sets the deadline every epoch wait (and so every synchronous control
+    /// wrapper — `load_module`, `install_rules`, `resize`, …) applies from
+    /// now on: `None` (the default) blocks forever, `Some(limit)` surfaces
+    /// [`RuntimeError::EpochTimeout`] instead of hanging when a shard
+    /// stalls. Long-lived services should set this so a wedged worker turns
+    /// into a typed error on the control path, not a hung control socket.
+    pub fn set_control_timeout(&mut self, timeout: Option<Duration>) {
+        self.control_timeout = timeout;
+    }
+
+    /// The configured control-path deadline, if any.
+    pub fn control_timeout(&self) -> Option<Duration> {
+        self.control_timeout
+    }
+
+    /// Installs (or, with `None`, removes) the [`EgressSink`] the data plane
+    /// hands every processed packet and verdict to. Threaded workers adopt
+    /// the new sink at their next burst boundary; the deterministic path
+    /// reads it per `process_batch` call. Typically called once, before
+    /// traffic starts — packets processed between staging and pickup go to
+    /// whichever sink their worker last saw.
+    pub fn set_egress(&mut self, sink: Option<Arc<dyn EgressSink>>) {
+        *self.shared.egress.lock().expect("egress lock poisoned") = sink;
+        self.shared.egress_version.fetch_add(1, Ordering::SeqCst);
+        // Wake parked workers so an idle plane picks the sink up promptly.
+        if let Backend::Threaded { workers, .. } = &self.backend {
+            for worker in workers.iter() {
+                worker.parker.unpark();
+            }
         }
     }
 
@@ -1511,6 +1602,14 @@ impl ShardedRuntime {
         // only steady-state allocation left is the returned Vec itself.
         self.reorder.clear();
         self.reorder.resize_with(total, || None);
+        // Deterministic mode reads the egress sink once per batch — the
+        // analogue of the threaded workers' per-burst staged pickup.
+        let egress = self
+            .shared
+            .egress
+            .lock()
+            .expect("egress lock poisoned")
+            .clone();
         for (index, shard) in shards.iter_mut().enumerate() {
             for dispatcher in 0..dispatchers {
                 let group = dispatcher * shard_count + index;
@@ -1537,6 +1636,13 @@ impl ShardedRuntime {
                 shard.telemetry.packet_ns.record_n(sojourn_ns, processed);
                 for verdict in self.verdict_scratch.iter() {
                     shard.telemetry.record_verdict(verdict, sojourn_ns);
+                }
+                if let Some(sink) = &egress {
+                    for (packet, verdict) in
+                        self.scatter[group].iter().zip(self.verdict_scratch.iter())
+                    {
+                        sink.transmit(packet, verdict);
+                    }
                 }
                 for (verdict, &position) in self
                     .verdict_scratch

@@ -46,6 +46,27 @@ use std::time::Instant;
 /// What travels through the rings: one burst of packets.
 pub(crate) type Burst = Vec<Packet>;
 
+/// A transmit hook the data plane invokes once per processed packet, with
+/// the *original* ingress packet (its `ingress_port` names the rx queue it
+/// arrived on) and the verdict the pipeline produced (which carries the
+/// rewritten packet for forwards). Socket backends implement this to echo
+/// verdicts back out of the box; in threaded mode it is the only way packet
+/// outcomes leave the worker threads, whose verdict streams are otherwise
+/// consumed as telemetry.
+///
+/// Workers call `transmit` on the hot path, after the burst's pipeline pass
+/// and before its progress-board update — so by the time a flush barrier
+/// returns, every processed packet has been handed to the sink.
+/// Implementations must be cheap and must never panic (a panicking sink
+/// takes its worker shard down).
+///
+/// Install one with [`crate::ShardedRuntime::set_egress`]; workers adopt a
+/// newly staged sink at their next burst boundary.
+pub trait EgressSink: Send + Sync {
+    /// Hands one processed packet and its verdict to the sink.
+    fn transmit(&self, packet: &Packet, verdict: &Verdict);
+}
+
 /// Iterations a shard spins over its empty rings before parking.
 const IDLE_SPIN_LIMIT: u32 = 128;
 
@@ -251,6 +272,13 @@ pub(crate) struct Shared {
     pub steering_version: AtomicU64,
     /// One staged-update slot per dispatcher (empty for inline dispatch).
     pub dispatcher_updates: Mutex<Vec<Option<DispatcherUpdate>>>,
+    /// Bumped once per [`EgressSink`] change; workers compare it against
+    /// their last-seen value at burst boundaries (one atomic load per burst
+    /// on the hot path) and reload the slot below when it moved — the same
+    /// staged-pickup protocol the dispatchers use for steering changes.
+    pub egress_version: AtomicU64,
+    /// The currently installed egress sink, if any.
+    pub egress: Mutex<Option<Arc<dyn EgressSink>>>,
     /// The control-plane event trace: every publish, per-shard ack, resize
     /// step and RETA rewrite leaves a timestamped record here. Shard threads
     /// write only at epoch boundaries, never per packet.
@@ -270,6 +298,8 @@ impl Shared {
             start: Instant::now(),
             steering_version: AtomicU64::new(0),
             dispatcher_updates: Mutex::new((0..dispatchers).map(|_| None).collect()),
+            egress_version: AtomicU64::new(0),
+            egress: Mutex::new(None),
             events: EventTrace::default(),
         }
     }
@@ -513,6 +543,11 @@ pub(crate) fn run_worker(
     let mut verdicts: Vec<Verdict> = Vec::new();
     let mut next_ring = 0usize;
     let mut idle_spins = 0u32;
+    // Shard-local egress-sink cache, refreshed at burst boundaries when the
+    // staged version moves. Workers stood up by a live resize start at
+    // version 0 and adopt any already-installed sink on their first burst.
+    let mut egress: Option<Arc<dyn EgressSink>> = None;
+    let mut egress_seen = 0u64;
     loop {
         if apply_pending(
             shard_index,
@@ -568,6 +603,19 @@ pub(crate) fn run_worker(
             let sojourn_ns = done_ns.saturating_sub(packet.timestamp_ns);
             telemetry.packet_ns.record(sojourn_ns);
             telemetry.record_verdict(verdict, sojourn_ns);
+        }
+        // Verdict egress: hand every processed packet to the installed sink
+        // *before* the progress-board update, so a flush barrier returning
+        // implies every packet it covers has been transmitted.
+        let version = shared.egress_version.load(Ordering::SeqCst);
+        if version != egress_seen {
+            egress_seen = version;
+            egress = shared.egress.lock().expect("egress lock poisoned").clone();
+        }
+        if let Some(sink) = &egress {
+            for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+                sink.transmit(packet, verdict);
+            }
         }
         let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
         let total = packets.len() as u64;

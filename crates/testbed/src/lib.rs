@@ -36,6 +36,7 @@ pub mod elasticity;
 pub mod reconfig_experiment;
 pub mod replay;
 pub mod scaling;
+pub mod service;
 pub mod throughput;
 pub mod traffic;
 
@@ -53,5 +54,6 @@ pub use scaling::{
     dispatch_scaling_sweep, shard_scaling_sweep, DispatchScalingPoint, DispatchScalingReport,
     ShardScalingPoint, ShardScalingReport,
 };
+pub use service::{passthrough_template, run_loadgen, LoadgenConfig, LoadgenSummary};
 pub use throughput::{latency_sweep, throughput_sweep, LatencyPoint, ThroughputPoint};
 pub use traffic::{RateMix, RateMixError, SizeSweep, TrafficGenerator};

@@ -1,0 +1,405 @@
+//! The two-process service testbed: tenant templates for a network-attached
+//! service and the socket load generator that drives it.
+//!
+//! The paper's testbed points MoonGen at a NIC; ours points
+//! [`run_loadgen`] at a [`menshen_io::UdpSocketIo`] service over loopback.
+//! The generator replays a synthesized heavy-tailed trace
+//! ([`menshen_trace::WorkloadSpec::heavy_tailed`]) over real UDP sockets at
+//! a paced rate — one socket per service rx queue, so echoes return to the
+//! socket that offered the frame — stamps a sequence number into every
+//! frame's payload, and matches the service's verdict echoes back to sends
+//! for per-packet round-trip latency.
+
+use menshen_core::MenshenPipeline;
+use menshen_io::{decode_echo, ECHO_TOKEN_LEN};
+use menshen_json::{Json, ToJson};
+use menshen_packet::Packet;
+use menshen_rmt::params::PipelineParams;
+use menshen_trace::{schedule_offsets, synthesize, Pacing, WorkloadSpec};
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use crate::throughput::passthrough_module;
+
+/// A pipeline template with `tenants` passthrough modules (IDs `1..=n`)
+/// pre-loaded — the configuration a service boots with so tagged traffic
+/// resolves and forwards immediately.
+pub fn passthrough_template(tenants: u16) -> MenshenPipeline {
+    let mut pipeline = MenshenPipeline::new(PipelineParams::default());
+    for id in 1..=tenants {
+        pipeline
+            .load_module(&passthrough_module(id))
+            .expect("passthrough template module loads");
+    }
+    pipeline
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The service's data-plane socket addresses, one per rx queue; the
+    /// generator binds one local socket per target.
+    pub targets: Vec<SocketAddr>,
+    /// Tenants in the synthesized workload (VLAN IDs `1..=tenants`).
+    pub tenants: u16,
+    /// Distinct flows in the workload.
+    pub flows: usize,
+    /// Packets to send.
+    pub packets: usize,
+    /// Offered rate, packets per second.
+    pub rate_pps: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// How long to keep collecting echoes after no progress.
+    pub echo_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            targets: Vec::new(),
+            tenants: 4,
+            flows: 256,
+            packets: 10_000,
+            rate_pps: 50_000.0,
+            seed: 0x10AD,
+            echo_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What one load-generator run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenSummary {
+    /// Rate the schedule offered, packets per second.
+    pub offered_pps: f64,
+    /// Frames actually sent.
+    pub sent: u64,
+    /// Sends that failed at the socket.
+    pub send_errors: u64,
+    /// Verdict echoes received and matched to a send.
+    pub echoes: u64,
+    /// Of those, forwarded verdicts.
+    pub forwarded: u64,
+    /// Of those, dropped verdicts.
+    pub dropped: u64,
+    /// Echo datagrams that decoded but matched no outstanding send.
+    pub unmatched: u64,
+    /// Wall-clock duration of the send phase, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Achieved send rate over the send phase, packets per second.
+    pub achieved_pps: f64,
+    /// Median end-to-end round trip (send → verdict echo), nanoseconds.
+    pub rtt_p50_ns: u64,
+    /// 99th-percentile round trip, nanoseconds.
+    pub rtt_p99_ns: u64,
+    /// Worst round trip, nanoseconds.
+    pub rtt_max_ns: u64,
+}
+
+impl LoadgenSummary {
+    /// True when every send got its verdict echo back.
+    pub fn lossless(&self) -> bool {
+        self.send_errors == 0 && self.echoes == self.sent
+    }
+
+    /// Parses a summary previously serialised with [`ToJson`] — how the
+    /// parent process reads a generator subprocess's stdout.
+    pub fn from_json(json: &Json) -> Option<LoadgenSummary> {
+        fn num(json: &Json, key: &str) -> Option<f64> {
+            match json.get(key)? {
+                Json::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+        Some(LoadgenSummary {
+            offered_pps: num(json, "offered_pps")?,
+            sent: num(json, "sent")? as u64,
+            send_errors: num(json, "send_errors")? as u64,
+            echoes: num(json, "echoes")? as u64,
+            forwarded: num(json, "forwarded")? as u64,
+            dropped: num(json, "dropped")? as u64,
+            unmatched: num(json, "unmatched")? as u64,
+            elapsed_ns: num(json, "elapsed_ns")? as u64,
+            achieved_pps: num(json, "achieved_pps")?,
+            rtt_p50_ns: num(json, "rtt_p50_ns")? as u64,
+            rtt_p99_ns: num(json, "rtt_p99_ns")? as u64,
+            rtt_max_ns: num(json, "rtt_max_ns")? as u64,
+        })
+    }
+}
+
+impl ToJson for LoadgenSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_pps", Json::from(self.offered_pps)),
+            ("sent", Json::from(self.sent)),
+            ("send_errors", Json::from(self.send_errors)),
+            ("echoes", Json::from(self.echoes)),
+            ("forwarded", Json::from(self.forwarded)),
+            ("dropped", Json::from(self.dropped)),
+            ("unmatched", Json::from(self.unmatched)),
+            ("elapsed_ns", Json::from(self.elapsed_ns)),
+            ("achieved_pps", Json::from(self.achieved_pps)),
+            ("rtt_p50_ns", Json::from(self.rtt_p50_ns)),
+            ("rtt_p99_ns", Json::from(self.rtt_p99_ns)),
+            ("rtt_max_ns", Json::from(self.rtt_max_ns)),
+        ])
+    }
+}
+
+/// Stamps sequence number `seq` into the frame's transport payload (the
+/// bytes the service echoes back as the token). Frames with payloads
+/// shorter than 4 bytes are left unstamped.
+fn stamp_seq(packet: Packet, seq: u32) -> Packet {
+    let Some(payload) = packet.transport_payload() else {
+        return packet;
+    };
+    if payload.len() < 4 {
+        return packet;
+    }
+    let ts = packet.timestamp_ns;
+    let payload_len = payload.len();
+    let mut bytes = packet.into_bytes();
+    let offset = bytes.len() - payload_len;
+    bytes[offset..offset + 4].copy_from_slice(&seq.to_be_bytes());
+    Packet::from_bytes_at(bytes, ts)
+}
+
+/// Scheduler-friendly pacing: unlike `menshen_trace::pace_until` (which
+/// spin-waits the final stretch for replay-grade precision), the generator
+/// yields the CPU while it waits — on a small machine the service process
+/// needs those cycles to keep its receive buffers drained, and yield-level
+/// jitter is well under the inter-packet gaps the testbed paces at.
+fn pace_yielding(start: Instant, target_ns: u64) {
+    loop {
+        let now = start.elapsed().as_nanos() as u64;
+        if now >= target_ns {
+            return;
+        }
+        let remaining = target_ns - now;
+        if remaining > 500_000 {
+            std::thread::sleep(Duration::from_nanos(remaining - 200_000));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Reads the sequence number out of an echo token.
+fn token_seq(token: &[u8; ECHO_TOKEN_LEN]) -> u32 {
+    u32::from_be_bytes([token[0], token[1], token[2], token[3]])
+}
+
+/// Runs the load generator: synthesizes the heavy-tailed workload, replays
+/// it over real UDP sockets at the configured rate, and matches verdict
+/// echoes back to sends.
+pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
+    assert!(
+        !config.targets.is_empty(),
+        "at least one target is required"
+    );
+    let mut spec = WorkloadSpec::heavy_tailed(config.tenants, config.flows, config.packets);
+    spec.seed = config.seed;
+    let trace = synthesize(&spec).expect("workload spec is valid");
+    let trace: Vec<Packet> = trace
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| stamp_seq(p, i as u32))
+        .collect();
+    let (offsets, offered_pps) = schedule_offsets(
+        &trace,
+        Pacing::RateRescaled {
+            pps: config.rate_pps,
+        },
+    );
+
+    let mut sockets = Vec::with_capacity(config.targets.len());
+    for _ in &config.targets {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_nonblocking(true)?;
+        sockets.push(socket);
+    }
+
+    // send_at[seq] = Some(instant) while the echo is outstanding.
+    let mut send_at: Vec<Option<Instant>> = vec![None; trace.len()];
+    let mut rtts: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut summary = LoadgenSummary {
+        offered_pps,
+        sent: 0,
+        send_errors: 0,
+        echoes: 0,
+        forwarded: 0,
+        dropped: 0,
+        unmatched: 0,
+        elapsed_ns: 0,
+        achieved_pps: 0.0,
+        rtt_p50_ns: 0,
+        rtt_p99_ns: 0,
+        rtt_max_ns: 0,
+    };
+    let mut buf = [0u8; 64];
+    let mut collect = |sockets: &[UdpSocket],
+                       send_at: &mut Vec<Option<Instant>>,
+                       rtts: &mut Vec<u64>,
+                       summary: &mut LoadgenSummary| {
+        let mut progressed = false;
+        for socket in sockets {
+            while let Ok((n, _)) = socket.recv_from(&mut buf) {
+                progressed = true;
+                let Some(echo) = decode_echo(&buf[..n]) else {
+                    summary.unmatched += 1;
+                    continue;
+                };
+                let seq = token_seq(&echo.token) as usize;
+                let Some(at) = send_at.get_mut(seq).and_then(Option::take) else {
+                    summary.unmatched += 1;
+                    continue;
+                };
+                rtts.push(at.elapsed().as_nanos() as u64);
+                summary.echoes += 1;
+                if echo.forwarded {
+                    summary.forwarded += 1;
+                } else {
+                    summary.dropped += 1;
+                }
+            }
+        }
+        progressed
+    };
+
+    let start = Instant::now();
+    for (i, packet) in trace.iter().enumerate() {
+        pace_yielding(start, offsets[i]);
+        let lane = i % sockets.len();
+        match sockets[lane].send_to(packet.bytes(), config.targets[lane]) {
+            Ok(_) => {
+                send_at[i] = Some(Instant::now());
+                summary.sent += 1;
+            }
+            Err(_) => summary.send_errors += 1,
+        }
+        // Drain the echo path on every send: socket buffers never overflow
+        // and the RTT measurement is not quantised by a collection cadence.
+        collect(&sockets, &mut send_at, &mut rtts, &mut summary);
+    }
+    summary.elapsed_ns = start.elapsed().as_nanos() as u64;
+    summary.achieved_pps = if summary.elapsed_ns > 0 {
+        summary.sent as f64 * 1e9 / summary.elapsed_ns as f64
+    } else {
+        0.0
+    };
+
+    // Collect the tail: echoes still in flight after the last send.
+    let mut last_progress = Instant::now();
+    while summary.echoes < summary.sent && last_progress.elapsed() < config.echo_timeout {
+        if collect(&sockets, &mut send_at, &mut rtts, &mut summary) {
+            last_progress = Instant::now();
+        } else {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    rtts.sort_unstable();
+    if !rtts.is_empty() {
+        summary.rtt_p50_ns = rtts[rtts.len() / 2];
+        summary.rtt_p99_ns = rtts[((rtts.len() * 99) / 100).min(rtts.len() - 1)];
+        summary.rtt_max_ns = *rtts.last().expect("nonempty");
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menshen_io::{Service, ServiceConfig, UdpSocketIo};
+    use std::net::IpAddr;
+
+    #[test]
+    fn template_forwards_tagged_traffic() {
+        let mut pipeline = passthrough_template(3);
+        let packet = menshen_packet::PacketBuilder::udp_data(
+            2,
+            [10, 0, 0, 1],
+            [10, 0, 1, 1],
+            7,
+            80,
+            &[0; 8],
+        );
+        let verdict = pipeline.process(packet);
+        assert!(verdict.is_forwarded(), "{verdict:?}");
+    }
+
+    #[test]
+    fn stamped_sequence_survives_the_wire_format() {
+        let spec = WorkloadSpec::heavy_tailed(2, 16, 4);
+        let trace = synthesize(&spec).unwrap();
+        let stamped = stamp_seq(trace[0].clone(), 0xDEAD);
+        let payload = stamped.transport_payload().unwrap();
+        assert_eq!(&payload[..4], &0xDEADu32.to_be_bytes());
+    }
+
+    #[test]
+    fn loadgen_summary_json_round_trips() {
+        let summary = LoadgenSummary {
+            offered_pps: 50_000.0,
+            sent: 10_000,
+            send_errors: 0,
+            echoes: 10_000,
+            forwarded: 9_990,
+            dropped: 10,
+            unmatched: 0,
+            elapsed_ns: 200_000_000,
+            achieved_pps: 49_987.5,
+            rtt_p50_ns: 120_000,
+            rtt_p99_ns: 900_000,
+            rtt_max_ns: 2_000_000,
+        };
+        let parsed = LoadgenSummary::from_json(&summary.to_json()).unwrap();
+        assert_eq!(parsed, summary);
+        assert!(parsed.lossless());
+    }
+
+    /// In-process end-to-end: a service on real loopback sockets, the
+    /// generator in the same test — the single-process rehearsal of the
+    /// two-process testbed.
+    #[test]
+    fn loadgen_against_a_live_service_is_lossless() {
+        let queues = 2;
+        let io = UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), queues).unwrap();
+        let targets = io.local_addrs();
+        let template = passthrough_template(4);
+        let config = ServiceConfig {
+            shards: 2,
+            dispatchers: queues,
+            ..ServiceConfig::default()
+        };
+        let mut service = Service::new(&template, Box::new(io), config).unwrap();
+        let control = service.control_addr().expect("control listener");
+
+        let server = std::thread::spawn(move || {
+            // Serve until the generator requests DRAIN over the control
+            // socket; the deadline only bounds a wedged test.
+            service.serve(Some(Duration::from_secs(30))).unwrap();
+            service.graceful_drain().unwrap()
+        });
+
+        let summary = run_loadgen(&LoadgenConfig {
+            targets,
+            packets: 2_000,
+            rate_pps: 20_000.0,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(summary.sent, 2_000);
+        assert!(summary.lossless(), "echo loss over loopback: {summary:?}");
+        assert_eq!(summary.forwarded, 2_000, "passthrough forwards everything");
+        assert!(summary.rtt_p50_ns > 0 && summary.rtt_p99_ns >= summary.rtt_p50_ns);
+
+        let reply = menshen_io::control_request(control, "DRAIN", Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, "ok draining");
+        let report = server.join().unwrap();
+        assert!(report.balanced, "drain books: {report:?}");
+        assert_eq!(report.audit.submitted, 2_000);
+    }
+}

@@ -38,5 +38,7 @@ pub use pcap::{
     read_pcap, read_pcap_file, write_pcap, write_pcap_file, write_pcapng, write_pcapng_file,
     Endianness, PcapError, TimestampPrecision,
 };
-pub use replay::{replay_pipeline, replay_sharded, Pacing, ReplayReport};
+pub use replay::{
+    pace_until, replay_pipeline, replay_sharded, schedule_offsets, Pacing, ReplayReport,
+};
 pub use synth::{synthesize, FlowPopularity, SynthError, WorkloadSpec};

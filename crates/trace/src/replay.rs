@@ -112,8 +112,12 @@ impl ReplayReport {
 }
 
 /// Scheduled send offsets (ns from replay start) for `trace` under `pacing`,
-/// plus the offered rate.
-fn schedule(trace: &[Packet], pacing: Pacing) -> (Vec<u64>, f64) {
+/// plus the offered rate in packets per second. Public so packet-I/O
+/// backends (`menshen-io`'s `TraceIo`) and external generators can reuse the
+/// replay engine's exact pacing model: `Unpaced` is all-zeros,
+/// `TimestampFaithful` preserves inter-arrival gaps, `RateRescaled`
+/// stretches or compresses them to the target rate.
+pub fn schedule_offsets(trace: &[Packet], pacing: Pacing) -> (Vec<u64>, f64) {
     match pacing {
         Pacing::Unpaced => (vec![0; trace.len()], f64::INFINITY),
         Pacing::TimestampFaithful => {
@@ -159,8 +163,9 @@ fn schedule(trace: &[Packet], pacing: Pacing) -> (Vec<u64>, f64) {
 }
 
 /// Busy-waits (sleeping for the coarse part) until `target_ns` after
-/// `start`. Sub-millisecond precision comes from the spin tail.
-fn wait_until(start: Instant, target_ns: u64) {
+/// `start`. Sub-millisecond precision comes from the spin tail. Public as
+/// the companion pacer to [`schedule_offsets`].
+pub fn pace_until(start: Instant, target_ns: u64) {
     loop {
         let now = start.elapsed().as_nanos() as u64;
         if now >= target_ns {
@@ -186,7 +191,7 @@ pub fn replay_pipeline(
     trace: &[Packet],
     pacing: Pacing,
 ) -> ReplayReport {
-    let (send_ns, offered_pps) = schedule(trace, pacing);
+    let (send_ns, offered_pps) = schedule_offsets(trace, pacing);
     let mut latency = LatencyHistogram::new();
     let mut burst_latency = LatencyHistogram::new();
     let mut tenants: BTreeMap<u16, TenantTelemetry> = BTreeMap::new();
@@ -196,7 +201,7 @@ pub fn replay_pipeline(
     let start = Instant::now();
     for (burst_index, burst) in trace.chunks(BURST_SIZE).enumerate() {
         let first = burst_index * BURST_SIZE;
-        wait_until(start, send_ns[first + burst.len() - 1]);
+        pace_until(start, send_ns[first + burst.len() - 1]);
         let service_start = Instant::now();
         pipeline.process_batch_into(burst, &mut verdicts);
         burst_latency.record(service_start.elapsed().as_nanos() as u64);
@@ -251,7 +256,7 @@ pub fn replay_sharded(
     trace: &[Packet],
     pacing: Pacing,
 ) -> Result<ReplayReport, RuntimeError> {
-    let (send_ns, offered_pps) = schedule(trace, pacing);
+    let (send_ns, offered_pps) = schedule_offsets(trace, pacing);
     let baseline: Vec<u64> = runtime.shard_stats().iter().map(|s| s.packets).collect();
     let baseline_forwarded: u64 = runtime.shard_stats().iter().map(|s| s.forwarded).sum();
     let baseline_dropped: u64 = runtime.shard_stats().iter().map(|s| s.dropped).sum();
@@ -272,7 +277,7 @@ pub fn replay_sharded(
     let start = Instant::now();
     for (burst_index, burst) in trace.chunks(BURST_SIZE).enumerate() {
         let first = burst_index * BURST_SIZE;
-        wait_until(start, send_ns[first + burst.len() - 1]);
+        pace_until(start, send_ns[first + burst.len() - 1]);
         runtime.submit_owned(burst.to_vec())?;
     }
     runtime.flush();

@@ -1,0 +1,89 @@
+//! The network-attached service, end to end in one process: stand a
+//! [`menshen::io::Service`] up behind real UDP sockets on loopback, drive
+//! it with the heavy-tailed socket load generator, reconfigure it live
+//! over the control socket, and export the combined runtime + I/O metrics
+//! of the live run —
+//!
+//! * `results/metrics.prom` — the Prometheus text exposition, including
+//!   the `menshen_io_*` link counters of the socket data plane.
+//!
+//! Run with `cargo run --release --example serve`. For the true
+//! two-process version of this testbed, see `menshen-serve` /
+//! `menshen-loadgen` in `crates/bench` and the README's
+//! "running as a network service" section.
+
+use menshen::io::{control_request, Service, ServiceConfig, UdpSocketIo};
+use menshen::testbed::{passthrough_template, run_loadgen, LoadgenConfig};
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Duration;
+
+const QUEUES: usize = 2;
+const PACKETS: usize = 20_000;
+
+fn main() {
+    let backend =
+        UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), QUEUES).expect("bind data plane");
+    let targets = backend.local_addrs();
+    let template = passthrough_template(4);
+    let config = ServiceConfig {
+        shards: 2,
+        dispatchers: QUEUES,
+        ..ServiceConfig::default()
+    };
+    let mut service = Service::new(&template, Box::new(backend), config).expect("stand up");
+    let control = service.control_addr().expect("control listener");
+    println!("service up: data {targets:?}, control {control}");
+
+    // The generator runs beside the serve loop and, once every echo is
+    // back, reconfigures the live service and asks it to drain.
+    let generator = std::thread::spawn(move || {
+        let summary = run_loadgen(&LoadgenConfig {
+            targets,
+            packets: PACKETS,
+            rate_pps: 50_000.0,
+            ..LoadgenConfig::default()
+        })
+        .expect("load generator");
+        let t = Duration::from_secs(10);
+        let resize = control_request(control, "RESIZE 4", t).expect("live resize");
+        let drain = control_request(control, "DRAIN", t).expect("drain request");
+        (summary, resize, drain)
+    });
+
+    service
+        .serve(Some(Duration::from_secs(60)))
+        .expect("serve loop");
+
+    // Snapshot the *live* run — rx/tx counters of the socket edge included —
+    // before the drain tears the runtime down.
+    let snapshot = service.metrics_snapshot().expect("metrics snapshot");
+    let exposition = snapshot.to_prometheus();
+    let series = exposition.lines().filter(|l| !l.starts_with('#')).count();
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/metrics.prom", &exposition).unwrap();
+    println!("wrote results/metrics.prom ({series} series)");
+
+    let (summary, resize, drain) = generator.join().expect("generator thread");
+    assert_eq!(drain, "ok draining");
+    let report = service.graceful_drain().expect("graceful drain");
+
+    println!(
+        "sent {} pkts at {:.1} kpps; rtt p50 {:.0} us, p99 {:.0} us; live {resize:?}",
+        summary.sent,
+        summary.achieved_pps / 1e3,
+        summary.rtt_p50_ns as f64 / 1e3,
+        summary.rtt_p99_ns as f64 / 1e3,
+    );
+    println!(
+        "drain: balanced={} submitted={} forwarded={} dropped={} echoes={}",
+        report.balanced,
+        report.audit.submitted,
+        report.audit.forwarded,
+        report.audit.dropped,
+        summary.echoes
+    );
+    assert!(
+        summary.lossless() && report.balanced,
+        "loopback run lost packets"
+    );
+}

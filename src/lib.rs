@@ -14,6 +14,8 @@
 //! * [`programs`] — the evaluated modules of Table 3.
 //! * [`runtime`] — the sharded multi-core runtime: RSS flow steering,
 //!   per-shard pipeline replicas, epoch-versioned reconfiguration.
+//! * [`io`] — pluggable packet I/O backends (in-process, trace replay, UDP
+//!   sockets) and the network-attached [`io::Service`] runner.
 //! * [`trace`] — trace-driven traffic: pcap/pcapng I/O, heavy-tailed
 //!   workload synthesis, paced replay with latency percentiles.
 //! * [`testbed`] — traffic generation and the §5 experiments.
@@ -28,6 +30,7 @@
 pub use menshen_compiler as compiler;
 pub use menshen_core as core;
 pub use menshen_cost as cost;
+pub use menshen_io as io;
 pub use menshen_packet as packet;
 pub use menshen_programs as programs;
 pub use menshen_rmt as rmt;
@@ -39,6 +42,7 @@ pub use menshen_trace as trace;
 pub mod prelude {
     pub use menshen_compiler::{compile_source, CompileOptions};
     pub use menshen_core::prelude::*;
+    pub use menshen_io::{PacketIo, Service, ServiceConfig, UdpSocketIo};
     pub use menshen_packet::{Packet, PacketBuilder};
     pub use menshen_programs::{all_programs, EvaluatedProgram};
     pub use menshen_rmt::{PipelineParams, TABLE5};
