@@ -683,9 +683,9 @@ impl MetricsRegistry {
 }
 
 /// Attributes every packet a tenant offered to exactly one outcome:
-/// forwarded, or one of the five [`DropReason`]s. The conservation audit
-/// cross-checks `total()` against the runtime's ingress count — a packet
-/// the ledger never saw is a packet the runtime lost.
+/// forwarded, one of the five [`DropReason`]s, or a backpressure shed. The
+/// conservation audit cross-checks `total()` against the runtime's ingress
+/// count — a packet the ledger never saw is a packet the runtime lost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerdictLedger {
     /// Packets forwarded.
@@ -700,6 +700,11 @@ pub struct VerdictLedger {
     pub dropped_module_discard: u64,
     /// Dropped: reconfiguration traffic on the untrusted path.
     pub dropped_untrusted_reconfig: u64,
+    /// Shed before processing: this tenant's submission could not be queued
+    /// within the bounded wait (its shard's ring stayed full), so the packet
+    /// was dropped at ingress instead of head-of-line-blocking other
+    /// tenants. The overloaded tenant pays for its own overload.
+    pub dropped_backpressure: u64,
 }
 
 impl VerdictLedger {
@@ -722,13 +727,20 @@ impl VerdictLedger {
         }
     }
 
-    /// Total drops, all reasons.
+    /// Attributes `count` packets shed at submission because the tenant's
+    /// ring stayed full past the bounded wait.
+    pub fn record_backpressure(&mut self, count: u64) {
+        self.dropped_backpressure += count;
+    }
+
+    /// Total drops, all reasons (backpressure sheds included).
     pub fn dropped(&self) -> u64 {
         self.dropped_no_vlan
             + self.dropped_unknown_module
             + self.dropped_reconfiguring
             + self.dropped_module_discard
             + self.dropped_untrusted_reconfig
+            + self.dropped_backpressure
     }
 
     /// Every packet the ledger attributed (forwarded + dropped).
@@ -744,6 +756,7 @@ impl VerdictLedger {
         self.dropped_reconfiguring += other.dropped_reconfiguring;
         self.dropped_module_discard += other.dropped_module_discard;
         self.dropped_untrusted_reconfig += other.dropped_untrusted_reconfig;
+        self.dropped_backpressure += other.dropped_backpressure;
     }
 
     /// `self − baseline`, or `None` when `baseline` is not an earlier
@@ -766,18 +779,20 @@ impl VerdictLedger {
                 self.dropped_untrusted_reconfig,
                 baseline.dropped_untrusted_reconfig,
             )?,
+            dropped_backpressure: sub(self.dropped_backpressure, baseline.dropped_backpressure)?,
         })
     }
 
     /// The drop counts paired with their metric label values, in a fixed
     /// order — what the exporters iterate.
-    pub fn drop_reasons(&self) -> [(&'static str, u64); 5] {
+    pub fn drop_reasons(&self) -> [(&'static str, u64); 6] {
         [
             ("no_vlan", self.dropped_no_vlan),
             ("unknown_module", self.dropped_unknown_module),
             ("reconfiguring", self.dropped_reconfiguring),
             ("module_discard", self.dropped_module_discard),
             ("untrusted_reconfig", self.dropped_untrusted_reconfig),
+            ("backpressure", self.dropped_backpressure),
         ]
     }
 }
@@ -1059,11 +1074,12 @@ mod tests {
         ledger.record_drop(DropReason::UnknownModule);
         ledger.record_drop(DropReason::BeingReconfigured);
         ledger.record_drop(DropReason::UntrustedReconfiguration);
-        assert_eq!(ledger.dropped(), 5);
+        ledger.record_backpressure(1);
+        assert_eq!(ledger.dropped(), 6);
         assert_eq!(ledger.forwarded, 0);
-        assert_eq!(ledger.total(), 5);
+        assert_eq!(ledger.total(), 6);
         let reasons = ledger.drop_reasons();
-        assert_eq!(reasons.iter().map(|(_, n)| n).sum::<u64>(), 5);
+        assert_eq!(reasons.iter().map(|(_, n)| n).sum::<u64>(), 6);
         assert!(reasons.iter().all(|(_, n)| *n == 1));
 
         let baseline = ledger;

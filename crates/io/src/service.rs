@@ -61,6 +61,11 @@ pub enum ServiceError {
     },
     /// The runtime reported an error.
     Runtime(RuntimeError),
+    /// [`Service::graceful_drain`] was called on a service that already
+    /// drained. The first drain stopped rx, audited the books and shut the
+    /// runtime down; repeating any of that would double-count, so the
+    /// second call gets this typed refusal instead.
+    AlreadyDrained,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -69,6 +74,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Io(e) => write!(f, "packet I/O: {e}"),
             ServiceError::Socket { context, error } => write!(f, "{context}: {error}"),
             ServiceError::Runtime(e) => write!(f, "runtime: {e}"),
+            ServiceError::AlreadyDrained => write!(f, "service already drained"),
         }
     }
 }
@@ -79,6 +85,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Io(e) => Some(e),
             ServiceError::Socket { error, .. } => Some(error),
             ServiceError::Runtime(e) => Some(e),
+            ServiceError::AlreadyDrained => None,
         }
     }
 }
@@ -177,6 +184,7 @@ pub struct Service {
     burst_size: usize,
     received: u64,
     drain_requested: bool,
+    drained: bool,
     num_stages: usize,
 }
 
@@ -221,6 +229,7 @@ impl Service {
             burst_size: config.burst_size.max(1),
             received: 0,
             drain_requested: false,
+            drained: false,
             num_stages: template.params().num_stages,
         })
     }
@@ -313,9 +322,19 @@ impl Service {
     }
 
     /// Graceful shutdown: stop rx → drain the I/O edge → flush barrier →
-    /// conservation audit → runtime shutdown → report. Consumes the
-    /// service; the control listener closes with it.
-    pub fn graceful_drain(mut self) -> Result<DrainReport, ServiceError> {
+    /// conservation audit → runtime shutdown → report. The control
+    /// listener closes with it. Idempotent in the typed sense: a second
+    /// call returns [`ServiceError::AlreadyDrained`] instead of
+    /// double-counting against an already-shut runtime.
+    pub fn graceful_drain(&mut self) -> Result<DrainReport, ServiceError> {
+        if self.drained {
+            return Err(ServiceError::AlreadyDrained);
+        }
+        self.drained = true;
+        // 0. Close the control edge: no further reconfiguration can race
+        //    the final books.
+        self.listener = None;
+        self.conns.clear();
         // 1. Stop rx: simply stop calling rx_burst. Anything that arrives
         //    from here on is discarded at the edge, visibly.
         let rx_discarded = self.backend.drain()?;
@@ -699,6 +718,23 @@ mod tests {
             "tx series missing:\n{body}"
         );
         service.graceful_drain().unwrap();
+    }
+
+    #[test]
+    fn second_drain_is_a_typed_refusal() {
+        let (io, handle) = InProcessIo::new();
+        let mut service =
+            Service::new(&template(), Box::new(io), ServiceConfig::default()).unwrap();
+        handle.inject(frames(3, 16));
+        while service.packets_received() < 16 {
+            service.poll().unwrap();
+        }
+        let report = service.graceful_drain().unwrap();
+        assert!(report.balanced);
+        match service.graceful_drain() {
+            Err(ServiceError::AlreadyDrained) => {}
+            other => panic!("second drain must refuse, got {other:?}"),
+        }
     }
 
     #[test]

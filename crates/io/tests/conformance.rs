@@ -183,3 +183,103 @@ macro_rules! packet_io_conformance_suite {
 packet_io_conformance_suite!(inprocess, super::inprocess_rig);
 packet_io_conformance_suite!(trace, super::trace_rig);
 packet_io_conformance_suite!(udp, super::udp_rig);
+
+/// UDP-specific error-path contract: the real-socket backend must stay
+/// quiet through `WouldBlock` storms, survive a peer that vanishes (the
+/// ECONNREFUSED echo path), and shrug off a sender closing mid-burst —
+/// all without panicking on a worker thread or mis-counting the link.
+mod udp_error_paths {
+    use super::*;
+
+    fn drop_verdict() -> Verdict {
+        Verdict::Dropped {
+            reason: DropReason::UnknownModule,
+            module_id: Some(3),
+        }
+    }
+
+    #[test]
+    fn wouldblock_storm_reports_dry_not_errors() {
+        let mut io = UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), 2).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..1_000 {
+            assert_eq!(
+                io.rx_burst(&mut out, 64).unwrap(),
+                0,
+                "an empty queue set is dry, never an error"
+            );
+        }
+        let stats = io.link_stats();
+        assert_eq!(stats.rx_packets, 0);
+        assert_eq!(stats.rx_errors, 0);
+        // The storm must not poison later delivery.
+        let feeder = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let wire = frames(1);
+        feeder
+            .send_to(wire[0].bytes(), io.local_addrs()[0])
+            .unwrap();
+        let got = rx_all(&mut io, 1);
+        assert_eq!(got.len(), 1, "delivery works right after the dry storm");
+    }
+
+    #[test]
+    fn echoes_to_a_vanished_peer_are_counted_never_fatal() {
+        let mut io = UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), 1).unwrap();
+        let addr = io.local_addrs()[0];
+        let wire = frames(1);
+        {
+            let peer = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            peer.send_to(wire[0].bytes(), addr).unwrap();
+        }
+        // Peer socket is closed now; the kernel may feed the resulting ICMP
+        // port-unreachable back as ECONNREFUSED on a later send. The sink
+        // contract: never panic (it runs on worker threads), and every
+        // attempt lands in exactly one tx counter.
+        let got = rx_all(&mut io, 1);
+        assert_eq!(got.len(), 1);
+        let sink = io.egress();
+        let attempts = 8u64;
+        for _ in 0..attempts {
+            sink.transmit(&got[0], &drop_verdict());
+        }
+        let stats = io.link_stats();
+        assert_eq!(
+            stats.tx_packets + stats.tx_errors,
+            attempts,
+            "every echo attempt accounted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn sender_closing_mid_burst_leaves_the_backend_serviceable() {
+        let mut io = UdpSocketIo::bind(IpAddr::V4(Ipv4Addr::LOCALHOST), 2).unwrap();
+        let addrs = io.local_addrs();
+        let wire = frames(24);
+        {
+            let feeder = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            for (i, frame) in wire.iter().enumerate() {
+                feeder
+                    .send_to(frame.bytes(), addrs[i % addrs.len()])
+                    .unwrap();
+            }
+            // Feeder closes here — mid-burst from the backend's view.
+        }
+        let got = rx_all(&mut io, 24);
+        assert_eq!(got.len(), 24, "frames on the wire outlive their sender");
+        let mut after = Vec::new();
+        assert_eq!(io.rx_burst(&mut after, 16).unwrap(), 0, "then just dry");
+        assert_eq!(io.link_stats().rx_errors, 0);
+        // A fresh peer is learned and echoed to as if nothing happened.
+        let fresh = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        fresh
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        fresh.send_to(wire[0].bytes(), addrs[0]).unwrap();
+        let one = rx_all(&mut io, 1);
+        assert_eq!(one.len(), 1);
+        io.egress().transmit(&one[0], &drop_verdict());
+        let mut buf = [0u8; 64];
+        let (n, _) = fresh.recv_from(&mut buf).unwrap();
+        assert_eq!(n, ECHO_LEN, "echo reaches the re-learned peer");
+    }
+}

@@ -139,6 +139,32 @@ pub enum ControlEventKind {
         /// Active shard count after the rewrite.
         shards: u64,
     },
+    /// A worker shard died (panic caught and contained) and was taken out
+    /// of the steering table.
+    ShardFailed {
+        /// The dead shard.
+        shard: u64,
+        /// Nanoseconds between the worker's death and the supervisor
+        /// noticing it.
+        detection_ns: u64,
+    },
+    /// A shard stopped making progress while its rings held work — routed
+    /// around, but left running in case it wakes.
+    ShardWedged {
+        /// The wedged shard.
+        shard: u64,
+        /// Nanoseconds since the shard's last heartbeat.
+        stalled_ns: u64,
+    },
+    /// A failed shard was replaced by a standby replica and steered back in.
+    ShardRecovered {
+        /// The recovered shard slot.
+        shard: u64,
+        /// Nanoseconds the slot was out of service (death to re-steer).
+        pause_ns: u64,
+        /// In-flight packets that could not be recovered.
+        lost: u64,
+    },
     /// A live resize completed (rendered as a Chrome duration span).
     ResizeCompleted {
         /// Shards before.
@@ -176,6 +202,9 @@ impl ControlEventKind {
             ControlEventKind::StateInjected { .. } => "state_injected",
             ControlEventKind::ShardsRetired { .. } => "shards_retired",
             ControlEventKind::RetaRewritten { .. } => "reta_rewritten",
+            ControlEventKind::ShardFailed { .. } => "shard_failed",
+            ControlEventKind::ShardWedged { .. } => "shard_wedged",
+            ControlEventKind::ShardRecovered { .. } => "shard_recovered",
             ControlEventKind::ResizeCompleted { .. } => "resize_completed",
         }
     }
@@ -223,6 +252,18 @@ impl ControlEventKind {
             ControlEventKind::RetaRewritten { buckets, shards } => {
                 vec![("buckets", buckets), ("shards", shards)]
             }
+            ControlEventKind::ShardFailed {
+                shard,
+                detection_ns,
+            } => vec![("shard", shard), ("detection_ns", detection_ns)],
+            ControlEventKind::ShardWedged { shard, stalled_ns } => {
+                vec![("shard", shard), ("stalled_ns", stalled_ns)]
+            }
+            ControlEventKind::ShardRecovered {
+                shard,
+                pause_ns,
+                lost,
+            } => vec![("shard", shard), ("pause_ns", pause_ns), ("lost", lost)],
             ControlEventKind::ResizeCompleted {
                 from_shards,
                 to_shards,
@@ -248,6 +289,9 @@ impl ControlEventKind {
         match *self {
             ControlEventKind::EpochApplied { shard, .. } => shard + 1,
             ControlEventKind::StateInjected { shard, .. } => shard + 1,
+            ControlEventKind::ShardFailed { shard, .. } => shard + 1,
+            ControlEventKind::ShardWedged { shard, .. } => shard + 1,
+            ControlEventKind::ShardRecovered { shard, .. } => shard + 1,
             _ => 0,
         }
     }
@@ -360,6 +404,19 @@ impl ControlEvent {
             "reta_rewritten" => ControlEventKind::RetaRewritten {
                 buckets: field("buckets")?,
                 shards: field("shards")?,
+            },
+            "shard_failed" => ControlEventKind::ShardFailed {
+                shard: field("shard")?,
+                detection_ns: field("detection_ns")?,
+            },
+            "shard_wedged" => ControlEventKind::ShardWedged {
+                shard: field("shard")?,
+                stalled_ns: field("stalled_ns")?,
+            },
+            "shard_recovered" => ControlEventKind::ShardRecovered {
+                shard: field("shard")?,
+                pause_ns: field("pause_ns")?,
+                lost: field("lost")?,
             },
             "resize_completed" => ControlEventKind::ResizeCompleted {
                 from_shards: field("from_shards")?,
@@ -521,6 +578,19 @@ mod tests {
             ControlEventKind::RetaRewritten {
                 buckets: 128,
                 shards: 4,
+            },
+            ControlEventKind::ShardFailed {
+                shard: 1,
+                detection_ns: 40_000,
+            },
+            ControlEventKind::ShardWedged {
+                shard: 2,
+                stalled_ns: 9_000_000,
+            },
+            ControlEventKind::ShardRecovered {
+                shard: 1,
+                pause_ns: 600_000,
+                lost: 17,
             },
             ControlEventKind::ResizeCompleted {
                 from_shards: 2,

@@ -1,0 +1,289 @@
+//! Deterministic fault injection: the chaos plane's schedule.
+//!
+//! A [`FaultPlan`] pins every fault to an exact coordinate — worker faults
+//! to `(shard, burst index)`, dispatcher stalls to `(dispatcher, chunk
+//! index)`, control-connection aborts to a request index, and wire-level
+//! packet faults to a packet index — so a failure scenario is *replayable*:
+//! the same plan against the same traffic produces the same panics, the
+//! same stalls, and the same books, run after run. Plans are either built
+//! explicitly or derived from a seed via [`FaultPlan::randomized`], which
+//! uses the workspace's deterministic [`StdRng`] so a one-line seed in a
+//! bug report reconstructs the whole schedule.
+//!
+//! The runtime arms a plan with `ShardedRuntime::arm_faults`; a disarmed
+//! runtime pays one relaxed atomic load per burst for the hook. Packet
+//! faults never touch the runtime at all — [`FaultPlan::apply_to_frames`]
+//! is a pure transform over raw wire frames, applied by the test harness
+//! in front of whatever `PacketIo` backend is under test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// A fault aimed at one worker shard, fired just before it processes the
+/// burst at the scheduled index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker panics mid-burst. The runtime must contain the unwind,
+    /// count the burst as lost, and recover the shard.
+    Panic,
+    /// The worker sleeps for the given duration before processing the
+    /// burst — a slow shard whose rings back up.
+    Stall(Duration),
+}
+
+/// A fault applied to one position in a wire-level packet stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFault {
+    /// The frame never arrives.
+    Drop,
+    /// The frame arrives twice.
+    Duplicate,
+    /// The frame arrives after its successor.
+    Reorder,
+    /// The frame arrives with its VLAN TPID byte flipped — it parses, but
+    /// carries no recognisable tenant tag.
+    Corrupt,
+}
+
+/// A seeded, replayable schedule of faults. Every coordinate is exact, so
+/// two runs of the same plan against the same traffic fail identically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    worker: BTreeMap<(usize, u64), WorkerFault>,
+    dispatcher: BTreeMap<(usize, u64), Duration>,
+    control_disconnects: BTreeSet<u64>,
+    packet: BTreeMap<u64, PacketFault>,
+}
+
+/// Bounds for [`FaultPlan::randomized`]: how much schedule to generate and
+/// over what horizon.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Worker shards available as panic/stall targets.
+    pub shards: usize,
+    /// Burst-index horizon faults are scheduled within.
+    pub burst_horizon: u64,
+    /// Worker panics to schedule.
+    pub worker_panics: usize,
+    /// Worker stalls to schedule.
+    pub worker_stalls: usize,
+    /// Duration of each scheduled stall.
+    pub stall: Duration,
+    /// Packet-index horizon for wire-level faults.
+    pub packet_horizon: u64,
+    /// Wire-level packet faults to schedule.
+    pub packet_faults: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a worker panic at `(shard, burst)`.
+    pub fn with_worker_panic(mut self, shard: usize, burst: u64) -> Self {
+        self.worker.insert((shard, burst), WorkerFault::Panic);
+        self
+    }
+
+    /// Schedules a worker stall of `stall` at `(shard, burst)`.
+    pub fn with_worker_stall(mut self, shard: usize, burst: u64, stall: Duration) -> Self {
+        self.worker
+            .insert((shard, burst), WorkerFault::Stall(stall));
+        self
+    }
+
+    /// Schedules a dispatcher stall (a wedge, if long) of `stall` at
+    /// `(dispatcher, chunk)`.
+    pub fn with_dispatcher_stall(mut self, dispatcher: usize, chunk: u64, stall: Duration) -> Self {
+        self.dispatcher.insert((dispatcher, chunk), stall);
+        self
+    }
+
+    /// Schedules the control connection carrying request `request` to be
+    /// torn down mid-exchange (consumed by the service-level harness).
+    pub fn with_control_disconnect(mut self, request: u64) -> Self {
+        self.control_disconnects.insert(request);
+        self
+    }
+
+    /// Schedules a wire-level fault on the packet at `index`.
+    pub fn with_packet_fault(mut self, index: u64, fault: PacketFault) -> Self {
+        self.packet.insert(index, fault);
+        self
+    }
+
+    /// Derives a whole schedule from `seed`: the same seed and spec always
+    /// produce the same plan, so a failing chaos run is reproduced by its
+    /// seed alone.
+    pub fn randomized(seed: u64, spec: &FaultSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..spec.worker_panics {
+            let shard = rng.gen_range(0..spec.shards.max(1) as u64) as usize;
+            let burst = rng.gen_range(0..spec.burst_horizon.max(1));
+            plan.worker.insert((shard, burst), WorkerFault::Panic);
+        }
+        for _ in 0..spec.worker_stalls {
+            let shard = rng.gen_range(0..spec.shards.max(1) as u64) as usize;
+            let burst = rng.gen_range(0..spec.burst_horizon.max(1));
+            // Panics win ties: a shard that stalls and then dies is just a
+            // shard that dies.
+            plan.worker
+                .entry((shard, burst))
+                .or_insert(WorkerFault::Stall(spec.stall));
+        }
+        for _ in 0..spec.packet_faults {
+            let index = rng.gen_range(0..spec.packet_horizon.max(1));
+            let fault = match rng.gen_range(0..4u64) {
+                0 => PacketFault::Drop,
+                1 => PacketFault::Duplicate,
+                2 => PacketFault::Reorder,
+                _ => PacketFault::Corrupt,
+            };
+            plan.packet.insert(index, fault);
+        }
+        plan
+    }
+
+    /// The fault (if any) scheduled for worker `shard` at `burst`.
+    pub fn worker_fault(&self, shard: usize, burst: u64) -> Option<WorkerFault> {
+        self.worker.get(&(shard, burst)).copied()
+    }
+
+    /// The stall (if any) scheduled for dispatcher `dispatcher` at `chunk`.
+    pub fn dispatcher_stall(&self, dispatcher: usize, chunk: u64) -> Option<Duration> {
+        self.dispatcher.get(&(dispatcher, chunk)).copied()
+    }
+
+    /// True when the control connection carrying request `request` should
+    /// be torn down.
+    pub fn control_disconnect(&self, request: u64) -> bool {
+        self.control_disconnects.contains(&request)
+    }
+
+    /// True when any worker fault is scheduled (used by harnesses to decide
+    /// whether supervision is required).
+    pub fn has_worker_faults(&self) -> bool {
+        !self.worker.is_empty()
+    }
+
+    /// Scheduled worker faults, in coordinate order.
+    pub fn worker_faults(&self) -> impl Iterator<Item = ((usize, u64), WorkerFault)> + '_ {
+        self.worker.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Applies the wire-level packet faults to a frame stream: drops,
+    /// duplicates, adjacent-pair reorders, and TPID-byte corruption, all at
+    /// their exact scheduled indices. Pure and deterministic — the chaos
+    /// harness runs it in front of the socket, the runtime never sees it.
+    pub fn apply_to_frames(&self, frames: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(frames.len() + self.packet.len());
+        let mut deferred: Option<Vec<u8>> = None;
+        for (index, frame) in frames.iter().enumerate() {
+            match self.packet.get(&(index as u64)) {
+                Some(PacketFault::Drop) => {}
+                Some(PacketFault::Duplicate) => {
+                    out.push(frame.clone());
+                    out.push(frame.clone());
+                }
+                Some(PacketFault::Reorder) => {
+                    if let Some(held) = deferred.take() {
+                        out.push(held);
+                    }
+                    deferred = Some(frame.clone());
+                    continue;
+                }
+                Some(PacketFault::Corrupt) => {
+                    let mut corrupted = frame.clone();
+                    if let Some(byte) = corrupted.get_mut(12) {
+                        *byte ^= 0xFF;
+                    }
+                    out.push(corrupted);
+                }
+                None => out.push(frame.clone()),
+            }
+            if let Some(held) = deferred.take() {
+                out.push(held);
+            }
+        }
+        if let Some(held) = deferred {
+            out.push(held);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let spec = FaultSpec {
+            shards: 8,
+            burst_horizon: 1000,
+            worker_panics: 3,
+            worker_stalls: 4,
+            stall: Duration::from_millis(5),
+            packet_horizon: 10_000,
+            packet_faults: 50,
+        };
+        let a = FaultPlan::randomized(42, &spec);
+        let b = FaultPlan::randomized(42, &spec);
+        assert_eq!(a.worker, b.worker);
+        assert_eq!(a.packet, b.packet);
+        assert!(a.has_worker_faults());
+        let c = FaultPlan::randomized(43, &spec);
+        assert_ne!(
+            (a.worker, a.packet),
+            (c.worker, c.packet),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn explicit_coordinates_are_exact() {
+        let plan = FaultPlan::new()
+            .with_worker_panic(2, 17)
+            .with_worker_stall(1, 5, Duration::from_millis(3))
+            .with_dispatcher_stall(0, 9, Duration::from_millis(1))
+            .with_control_disconnect(4);
+        assert_eq!(plan.worker_fault(2, 17), Some(WorkerFault::Panic));
+        assert_eq!(
+            plan.worker_fault(1, 5),
+            Some(WorkerFault::Stall(Duration::from_millis(3)))
+        );
+        assert_eq!(plan.worker_fault(2, 16), None);
+        assert_eq!(plan.dispatcher_stall(0, 9), Some(Duration::from_millis(1)));
+        assert!(plan.control_disconnect(4));
+        assert!(!plan.control_disconnect(5));
+    }
+
+    #[test]
+    fn frame_faults_apply_at_exact_indices() {
+        let frames: Vec<Vec<u8>> = (0u8..6).map(|i| vec![i; 16]).collect();
+        let plan = FaultPlan::new()
+            .with_packet_fault(0, PacketFault::Drop)
+            .with_packet_fault(1, PacketFault::Duplicate)
+            .with_packet_fault(3, PacketFault::Reorder)
+            .with_packet_fault(5, PacketFault::Corrupt);
+        let out = plan.apply_to_frames(&frames);
+        let firsts: Vec<u8> = out.iter().map(|f| f[0]).collect();
+        // 0 dropped; 1 duplicated; 3 swapped behind 4; 5 corrupted at byte 12.
+        assert_eq!(firsts, vec![1, 1, 2, 4, 3, 5]);
+        assert_eq!(out.last().unwrap()[12], 5 ^ 0xFF, "TPID byte flipped");
+        assert_eq!(out.last().unwrap().len(), 16, "length preserved");
+    }
+
+    #[test]
+    fn trailing_reorder_still_delivers_the_frame() {
+        let frames: Vec<Vec<u8>> = (0u8..3).map(|i| vec![i; 16]).collect();
+        let plan = FaultPlan::new().with_packet_fault(2, PacketFault::Reorder);
+        let out = plan.apply_to_frames(&frames);
+        assert_eq!(out.len(), 3, "nothing lost at the stream tail");
+    }
+}

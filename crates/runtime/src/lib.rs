@@ -56,6 +56,7 @@
 
 pub mod control;
 pub mod events;
+pub mod faults;
 pub mod ring;
 pub mod rss;
 pub mod runtime;
@@ -65,16 +66,17 @@ pub use control::{CompactionReport, ControlOp, EpochEntry, EpochLog};
 pub use events::{
     chrome_trace_to_events, ControlEvent, ControlEventKind, EventTrace, DEFAULT_EVENT_CAPACITY,
 };
+pub use faults::{FaultPlan, FaultSpec, PacketFault, WorkerFault};
 pub use ring::{
-    ring as bounded_ring, ring_with_parker, Consumer, Parker, Producer, RingClosed, SafeSlots,
-    SlotArray,
+    ring as bounded_ring, ring_with_parker, Consumer, Parker, Producer, PushError, RingClosed,
+    SafeSlots, SlotArray,
 };
 pub use rss::{
     toeplitz_hash, RssHasher, Steerer, SteeringMode, DEFAULT_RSS_KEY, MAX_HASH_INPUT, RETA_SIZE,
     RSS_KEY_LEN,
 };
 pub use runtime::{
-    ConservationAudit, DispatchSpray, DispatcherStats, ExecutionMode, ResizeReport, RetiredTally,
-    RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime,
+    ConservationAudit, DispatchSpray, DispatcherStats, ExecutionMode, RecoveryReport, ResizeReport,
+    RetiredTally, RuntimeError, RuntimeLatency, RuntimeOptions, ShardedRuntime,
 };
 pub use shard::{EgressSink, RingDepth, ShardSnapshot, ShardStats, ShardTelemetry};

@@ -52,6 +52,7 @@ use menshen_core::Gauge;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Iterations of the spin phase before a blocked side parks. Long enough to
 /// ride out the opposite side finishing one burst, short enough that an idle
@@ -69,6 +70,33 @@ impl std::fmt::Display for RingClosed {
 }
 
 impl std::error::Error for RingClosed {}
+
+/// Why a deadline-bounded push was rejected. The value rides along so the
+/// caller can account for it (shed it, retry it, or count it as lost)
+/// instead of silently dropping it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The consumer side has shut down; the ring will never drain.
+    Closed(T),
+    /// The ring stayed full past the deadline — the consumer is alive (or
+    /// wedged) but not keeping up. The caller should shed the value rather
+    /// than park forever.
+    Timeout(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected value.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(value) | PushError::Timeout(value) => value,
+        }
+    }
+
+    /// True when the rejection was a deadline expiry, not a closed ring.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, PushError::Timeout(_))
+    }
+}
 
 /// Pads (and aligns) a value to a cache line so the producer's and
 /// consumer's hot indices never share one.
@@ -124,6 +152,35 @@ impl Parker {
         }
         self.waiting.store(false, Ordering::SeqCst);
         drop(guard);
+    }
+
+    /// Like [`park_until`](Parker::park_until), but gives up at `deadline`.
+    /// Returns `true` if the condition became true, `false` on expiry. The
+    /// flag protocol is identical, so wakeups cannot be lost; the deadline
+    /// only bounds how long the waiter stays blocked when *nothing* wakes it
+    /// — the foundation for bounded-wait submission (graceful shedding
+    /// instead of parking forever on a wedged consumer).
+    pub fn park_deadline_until(&self, mut ready: impl FnMut() -> bool, deadline: Instant) -> bool {
+        let mut guard = self.lock.lock().expect("parker lock poisoned");
+        self.waiting.store(true, Ordering::SeqCst);
+        // Same Dekker fence as `park_until`; see that method.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let mut became_ready = true;
+        while !ready() {
+            let now = Instant::now();
+            if now >= deadline {
+                became_ready = false;
+                break;
+            }
+            let (reacquired, _timed_out) = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .expect("parker lock poisoned");
+            guard = reacquired;
+        }
+        self.waiting.store(false, Ordering::SeqCst);
+        drop(guard);
+        became_ready
     }
 
     /// Wakes a parked waiter, if any. Cheap when nobody waits: one `SeqCst`
@@ -382,6 +439,42 @@ impl<T, S: SlotArray<T>> Producer<T, S> {
         Ok(())
     }
 
+    /// Pushes one item, blocking at most `wait` while the ring is full.
+    /// Where [`push`](Producer::push) parks forever — correct when the
+    /// consumer is healthy, a deadlock when it is wedged — this bails out
+    /// with [`PushError::Timeout`] so the caller can shed the item and keep
+    /// the rest of the pipeline moving (graceful degradation under
+    /// overload), and with [`PushError::Closed`] when the consumer is gone.
+    pub fn push_deadline(&self, value: T, wait: Duration) -> Result<(), PushError<T>> {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() >= self.inner.capacity && self.reload_full(tail) {
+            let deadline = Instant::now() + wait;
+            let mut spins = 0;
+            while self.reload_full(tail) {
+                if self.inner.closed.load(Ordering::SeqCst) {
+                    return Err(PushError::Closed(value));
+                }
+                spins += 1;
+                if spins < SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    let woke = self.inner.producer_parker.park_deadline_until(
+                        || !self.reload_full(tail) || self.inner.closed.load(Ordering::SeqCst),
+                        deadline,
+                    );
+                    if !woke && self.reload_full(tail) {
+                        return Err(PushError::Timeout(value));
+                    }
+                }
+            }
+        }
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(PushError::Closed(value));
+        }
+        self.commit(tail, value);
+        Ok(())
+    }
+
     /// Pushes without blocking; returns the item back if the ring is full or
     /// closed.
     pub fn try_push(&self, value: T) -> Result<(), T> {
@@ -509,6 +602,17 @@ impl<T, S: SlotArray<T>> Consumer<T, S> {
     /// The parker this consumer blocks on (shared across a shard's rings).
     pub fn parker(&self) -> &Arc<Parker> {
         &self.inner.consumer_parker
+    }
+
+    /// Closes the ring from the consumer side without dropping the handle:
+    /// producers stop accepting new items (and any producer parked on a full
+    /// ring wakes with [`RingClosed`]), while this consumer can still drain
+    /// what was already queued. The shard supervisor uses this to seal a
+    /// dead shard's rings before counting the residue as lost.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        self.inner.producer_parker.unpark();
+        self.inner.consumer_parker.unpark();
     }
 }
 
@@ -705,6 +809,51 @@ mod tests {
                     let mut seen = consumer.join().unwrap();
                     seen.sort_unstable();
                     assert_eq!(seen, vec![1, 2]);
+                }
+
+                #[test]
+                fn push_deadline_sheds_instead_of_parking_forever() {
+                    let (tx, rx) = make::<u8>(2);
+                    tx.push(1).unwrap();
+                    tx.push(2).unwrap();
+                    // Full ring, nobody draining: the bounded push must come
+                    // back with Timeout and hand the value back.
+                    let start = Instant::now();
+                    match tx.push_deadline(3, Duration::from_millis(20)) {
+                        Err(PushError::Timeout(value)) => assert_eq!(value, 3),
+                        other => panic!("expected timeout, got {other:?}"),
+                    }
+                    assert!(start.elapsed() >= Duration::from_millis(20));
+                    // A freed slot lets the same call succeed immediately.
+                    assert_eq!(rx.pop(), Some(1));
+                    tx.push_deadline(3, Duration::from_millis(20)).unwrap();
+                    assert_eq!(rx.pop(), Some(2));
+                    assert_eq!(rx.pop(), Some(3));
+                }
+
+                #[test]
+                fn push_deadline_reports_closed_ring() {
+                    let (tx, rx) = make::<u8>(1);
+                    tx.push(1).unwrap();
+                    rx.close();
+                    match tx.push_deadline(2, Duration::from_secs(5)) {
+                        Err(PushError::Closed(value)) => assert_eq!(value, 2),
+                        other => panic!("expected closed, got {other:?}"),
+                    }
+                    // The consumer can still drain what was queued.
+                    assert_eq!(rx.pop(), Some(1));
+                    assert!(rx.is_finished());
+                }
+
+                #[test]
+                fn consumer_close_unblocks_parked_producer() {
+                    let (tx, rx) = make::<u8>(1);
+                    tx.push(1).unwrap();
+                    let producer = thread::spawn(move || tx.push(2));
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    rx.close();
+                    assert_eq!(producer.join().unwrap(), Err(RingClosed));
+                    assert_eq!(rx.pop(), Some(1), "residue drains after close");
                 }
             }
         };

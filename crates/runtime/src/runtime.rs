@@ -45,7 +45,8 @@
 
 use crate::control::{CompactionReport, ControlOp, EpochEntry};
 use crate::events::{ControlEvent, ControlEventKind};
-use crate::ring::{ring, ring_with_parker, Parker, Producer};
+use crate::faults::FaultPlan;
+use crate::ring::{ring, ring_with_parker, Parker, Producer, PushError};
 use crate::rss::{Steerer, SteeringMode, RETA_SIZE};
 use crate::shard::{
     apply_entry, run_dispatcher, run_worker, Burst, DispatcherUpdate, EgressSink, RingDepth,
@@ -60,7 +61,7 @@ use menshen_core::{ModuleState, SystemStats, Verdict, BURST_SIZE};
 use menshen_json::Json;
 use menshen_packet::{Ipv4Address, Packet};
 use menshen_rmt::params::PipelineParams;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,6 +120,16 @@ pub struct RuntimeOptions {
     /// Ring capacity per (dispatcher, shard) ring, in bursts — also the
     /// capacity of each dispatcher's input ring, in chunks.
     pub ring_capacity: usize,
+    /// How long a submission (ingress → dispatcher ring, dispatcher → shard
+    /// ring) waits on a full ring before *shedding* the burst instead of
+    /// parking forever. Shed packets are attributed per tenant
+    /// ([`ConservationAudit::shed`], the ledgers' backpressure column), so
+    /// an overloaded tenant pays for its own overload instead of
+    /// head-of-line-blocking the rest of the plane.
+    pub submit_wait: Duration,
+    /// How stale a shard's heartbeat may grow *while work is queued for it*
+    /// before [`ShardedRuntime::supervise`] declares it wedged.
+    pub wedge_threshold: Duration,
 }
 
 impl RuntimeOptions {
@@ -132,6 +143,8 @@ impl RuntimeOptions {
             steering: SteeringMode::TenantAffine,
             burst_size: BURST_SIZE,
             ring_capacity: 64,
+            submit_wait: Duration::from_secs(5),
+            wedge_threshold: Duration::from_millis(500),
         }
     }
 
@@ -159,6 +172,19 @@ impl RuntimeOptions {
     /// Replaces the dispatcher spray policy.
     pub fn with_spray(mut self, spray: DispatchSpray) -> Self {
         self.spray = spray;
+        self
+    }
+
+    /// Sets the bounded wait a full ring is given before the submission is
+    /// shed (per-tenant backpressure drop) instead of parking forever.
+    pub fn with_submit_wait(mut self, wait: Duration) -> Self {
+        self.submit_wait = wait;
+        self
+    }
+
+    /// Sets the heartbeat staleness threshold for wedged-shard detection.
+    pub fn with_wedge_threshold(mut self, threshold: Duration) -> Self {
+        self.wedge_threshold = threshold;
         self
     }
 }
@@ -292,7 +318,8 @@ pub struct ResizeReport {
     pub epoch: u64,
 }
 
-/// Dynamic totals inherited from shards that were retired by scale-in:
+/// Dynamic totals inherited from shards that are gone — retired by
+/// scale-in or recovered after a failure (the dead incarnation's books):
 /// their traffic tallies, link statistics and latency histograms. Per-module
 /// counters and stateful words are *not* here — those migrate into surviving
 /// replicas — but shard-level telemetry has no owning replica to move to, so
@@ -331,29 +358,61 @@ pub struct ConservationAudit {
     pub processed: u64,
     /// Of those, forwarded.
     pub forwarded: u64,
-    /// Of those, dropped (all reasons).
+    /// Dropped, all reasons — verdict drops on the shards *plus* the shed
+    /// count below (shed packets are backpressure drops, attributed in the
+    /// ledgers' backpressure column).
     pub dropped: u64,
+    /// Packets shed before processing because a ring stayed full past the
+    /// bounded submission wait — the overloaded tenant's own typed
+    /// backpressure drops, never another tenant's head-of-line stall.
+    pub shed: u64,
+    /// Packets that worker failure made unprocessable: in-flight bursts of
+    /// dead workers, ring residue drained during recovery, and bursts that
+    /// hit a closed ring. Exact, not estimated — failure containment keeps
+    /// the dead shard's rings open until the supervisor has counted them.
+    pub lost_to_failure: u64,
     /// Submitted but not yet processed — ring slots and dispatcher scratch.
     /// Always zero at the audit's quiesce point unless a worker died.
     pub in_flight: u64,
-    /// Packets the per-tenant verdict ledgers attributed — the second,
-    /// independent set of books the audit balances against the tallies.
+    /// Packets the per-tenant verdict ledgers attributed (shed included) —
+    /// the second, independent set of books the audit balances against the
+    /// tallies.
     pub ledger_total: u64,
-    /// True once a failed submission discarded packets (a worker died
-    /// mid-submit); the books cannot balance after that.
+    /// True when the books cannot be certified exact. Recovery seals a dead
+    /// shard's rings before counting anything, so every in-flight push
+    /// resolves deterministically (residue or a counted `Closed` refusal)
+    /// and the flag stays false through any failure schedule; it is kept so
+    /// a future backend whose accounting *can* race has a way to say so.
     pub lossy: bool,
 }
 
 impl ConservationAudit {
-    /// True when every ingress packet is accounted for: nothing lost,
-    /// nothing in flight, verdicts partition the processed count, and the
-    /// per-tenant ledgers independently retell it.
+    /// True when every ingress packet is accounted for: nothing in flight,
+    /// verdicts plus shed partition the submitted count (less what failure
+    /// provably lost), and the per-tenant ledgers independently retell it.
     pub fn is_balanced(&self) -> bool {
         !self.lossy
             && self.in_flight == 0
-            && self.forwarded + self.dropped == self.processed
-            && self.ledger_total == self.processed
+            && self.forwarded + self.dropped == self.processed + self.shed
+            && self.ledger_total == self.processed + self.shed
     }
+}
+
+/// The outcome of recovering one failed shard
+/// ([`ShardedRuntime::supervise`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The shard that died and was respawned in place.
+    pub shard: usize,
+    /// Packets the failure made unprocessable (the casualty's in-flight
+    /// burst plus the ring residue the supervisor drained), now in
+    /// [`ConservationAudit::lost_to_failure`].
+    pub lost_packets: u64,
+    /// Worker death → supervisor noticing (bounded by how often
+    /// [`supervise`](ShardedRuntime::supervise) is called).
+    pub detection: Duration,
+    /// Route-around → replacement worker live: the recovery pause.
+    pub pause: Duration,
 }
 
 /// A deterministic-mode shard: the replica lives in the runtime itself.
@@ -515,10 +574,26 @@ pub struct ShardedRuntime {
     /// Packets ever accepted into the runtime — the conservation audit's
     /// ingress side of the ledger.
     submitted_packets: u64,
-    /// True once a failed submission discarded packets (a shard or
-    /// dispatcher died mid-submit): from then on the conservation audit can
-    /// report the imbalance but not a clean balance.
+    /// True once the books lost certainty (a recovery handshake timed out,
+    /// so a residue count may have raced a push): from then on the
+    /// conservation audit reports the imbalance but not a clean balance.
     audit_lossy: bool,
+    /// Packets shed per tenant on the *submitting* thread (inline dispatch
+    /// to a full shard ring, or spray to a full dispatcher input ring).
+    /// The dispatcher threads keep their own shed maps on the progress
+    /// board; aggregates merge both.
+    shed_inline: BTreeMap<u16, u64>,
+    /// Packets lost to failure and already folded out of the progress board
+    /// (recovered casualties' in-flight bursts, drained ring residue, and
+    /// submissions that hit a closed ring).
+    lost_folded: u64,
+    /// Worker failures detected and recovered over the runtime's lifetime
+    /// (`menshen_runtime_failures_total`).
+    failures: u64,
+    /// Shards currently routed around as wedged (stale heartbeat while
+    /// their rings held work). A wedged shard is left running in case it
+    /// wakes; if it later dies, recovery clears its entry here.
+    wedged_routed: BTreeSet<usize>,
     /// Deadline applied by [`wait_for_epoch`](Self::wait_for_epoch) (and so
     /// by every synchronous control wrapper): `None` waits forever — the
     /// historical behaviour — while `Some(limit)` surfaces
@@ -598,10 +673,19 @@ impl ShardedRuntime {
                         let shared = Arc::clone(&shared);
                         let steerer = steerer.clone();
                         let burst_size = options.burst_size;
+                        let submit_wait = options.submit_wait;
                         let handle = std::thread::Builder::new()
                             .name(format!("menshen-dispatch-{index}"))
                             .spawn(move || {
-                                run_dispatcher(index, steerer, consumer, row, burst_size, shared)
+                                run_dispatcher(
+                                    index,
+                                    steerer,
+                                    consumer,
+                                    row,
+                                    burst_size,
+                                    submit_wait,
+                                    shared,
+                                )
                             })
                             .expect("spawning a dispatcher thread");
                         dispatchers.push(DispatcherHandle {
@@ -627,6 +711,10 @@ impl ShardedRuntime {
             retired: RetiredTally::default(),
             submitted_packets: 0,
             audit_lossy: false,
+            shed_inline: BTreeMap::new(),
+            lost_folded: 0,
+            failures: 0,
+            wedged_routed: BTreeSet::new(),
             control_timeout: None,
             steerer,
             shared,
@@ -866,7 +954,20 @@ impl ShardedRuntime {
     /// one epoch, wait for every shard to apply it, and surface the first
     /// error if the ops failed (identically, on every replica).
     fn control(&mut self, ops: Vec<ControlOp>) -> Result<(), RuntimeError> {
-        self.flush();
+        // The pre-publish flush honours the control timeout too: a stalled
+        // shard turns the sync op into a typed `EpochTimeout` instead of a
+        // hang, without wedging later epochs (nothing is published here — a
+        // retry after the stall clears proceeds normally).
+        if let Some(limit) = self.control_timeout {
+            if !self.flush_until(Some(Instant::now() + limit)) {
+                return Err(RuntimeError::EpochTimeout {
+                    epoch: self.epoch,
+                    waited: limit,
+                });
+            }
+        } else {
+            self.flush();
+        }
         let epoch = self.publish(ops);
         self.wait_for_epoch(epoch)?;
         let result = {
@@ -998,6 +1099,7 @@ impl ShardedRuntime {
                         steerer: self.steerer.clone(),
                         keep: self.options.shards,
                         append: Vec::new(),
+                        replace: Vec::new(),
                     },
                 );
             }
@@ -1315,6 +1417,8 @@ impl ShardedRuntime {
                         applied_epoch: epoch,
                         ..Default::default()
                     });
+                let mut wreckage = self.shared.wreckage.lock().expect("wreckage lock poisoned");
+                wreckage.resize_with(new_shards, || None);
             }
             match &mut self.backend {
                 Backend::Deterministic(shards) => {
@@ -1462,7 +1566,11 @@ impl ShardedRuntime {
             // flush target if that index is later recreated.
             for slot in progress.dispatchers.iter_mut() {
                 slot.per_shard.truncate(new_shards);
+                slot.lost_per_shard.truncate(new_shards);
             }
+            drop(progress);
+            let mut wreckage = self.shared.wreckage.lock().expect("wreckage lock poisoned");
+            wreckage.truncate(new_shards);
         }
 
         // 5. Publish the new steering atomically with respect to traffic:
@@ -1484,6 +1592,7 @@ impl ShardedRuntime {
                             steerer: self.steerer.clone(),
                             keep: old_shards.min(new_shards),
                             append,
+                            replace: Vec::new(),
                         },
                     );
                 }
@@ -1719,6 +1828,7 @@ impl ShardedRuntime {
         };
         let ingress_ns = self.shared.now_ns();
         self.submitted_packets += packets.len() as u64;
+        let wait = self.options.submit_wait;
         if dispatchers.is_empty() {
             // Inline dispatch: steer everything into per-shard scratch
             // first (no ring traffic at all), then push whole bursts.
@@ -1750,10 +1860,13 @@ impl ShardedRuntime {
                 .collect();
             // … then push them round-robin across the shards, one burst per
             // shard per round, so a backpressuring shard never starves the
-            // others of work that is already steered and ready.
+            // others of work that is already steered and ready. Every burst
+            // leaves this loop accounted: delivered, shed (ring full past
+            // the bounded wait — the overloaded tenant's own drop), or lost
+            // (ring closed: the worker is gone).
             let mut failed_shard = None;
             let mut cursors = vec![0usize; workers.len()];
-            'drain: loop {
+            loop {
                 let mut progressed = false;
                 for (index, worker) in workers.iter_mut().enumerate() {
                     let Some(burst) = queues[index].get_mut(cursors[index]) else {
@@ -1763,36 +1876,64 @@ impl ShardedRuntime {
                     cursors[index] += 1;
                     progressed = true;
                     let input = worker.input.as_ref().expect("inline worker has a producer");
-                    if input.push(burst).is_err() {
-                        failed_shard = Some(index);
-                        break 'drain;
+                    match input.push_deadline(burst, wait) {
+                        Ok(()) => worker.submitted_bursts += 1,
+                        Err(PushError::Timeout(burst)) => {
+                            for packet in &burst {
+                                *self
+                                    .shed_inline
+                                    .entry(crate::shard::packet_tenant(packet))
+                                    .or_insert(0) += 1;
+                            }
+                        }
+                        Err(PushError::Closed(burst)) => {
+                            self.lost_folded += burst.len() as u64;
+                            failed_shard = Some(index);
+                        }
                     }
-                    worker.submitted_bursts += 1;
                 }
                 if !progressed {
                     break;
                 }
             }
             if let Some(shard) = failed_shard {
-                // Never leave half a submission lingering in the scatter
-                // buffers: drop it and tell the caller exactly what was lost.
-                // Packet conservation is broken from here on — the audit
-                // reports the imbalance instead of a clean balance.
-                self.audit_lossy = true;
-                for scatter in &mut self.scatter {
-                    scatter.clear();
-                }
                 return Err(RuntimeError::ShardDown { shard });
             }
             return Ok(());
         }
         // Parallel dispatch plane: spray chunks over the dispatcher input
-        // rings. Chunk scratch reuses the scatter buffers (one per
-        // dispatcher — the buffers are sized dispatchers × shards, so the
-        // first `dispatchers` entries are free for this).
+        // rings, with the same bounded-wait accounting (a full input ring
+        // sheds the chunk per tenant; a closed one counts it lost). Chunk
+        // scratch reuses the scatter buffers (one per dispatcher — the
+        // buffers are sized dispatchers × shards, so the first `dispatchers`
+        // entries are free for this).
         let count = dispatchers.len();
         let mut failed = None;
-        'spray: for mut packet in packets {
+        let shed_inline = &mut self.shed_inline;
+        let lost_folded = &mut self.lost_folded;
+        let mut push_chunk =
+            |dispatcher: &mut DispatcherHandle, index: usize, chunk: Burst| -> Option<usize> {
+                let submitted = chunk.len() as u64;
+                match dispatcher.input.push_deadline(chunk, wait) {
+                    Ok(()) => {
+                        dispatcher.submitted_packets += submitted;
+                        None
+                    }
+                    Err(PushError::Timeout(chunk)) => {
+                        for packet in &chunk {
+                            *shed_inline
+                                .entry(crate::shard::packet_tenant(packet))
+                                .or_insert(0) += 1;
+                        }
+                        None
+                    }
+                    Err(PushError::Closed(chunk)) => {
+                        *lost_folded += chunk.len() as u64;
+                        Some(index)
+                    }
+                }
+            };
+        for mut packet in packets {
             packet.timestamp_ns = ingress_ns;
             let target = match self.options.spray {
                 DispatchSpray::RoundRobin => self.spray_cursor,
@@ -1801,47 +1942,36 @@ impl ShardedRuntime {
             self.scatter[target].push(packet);
             if self.scatter[target].len() >= self.options.burst_size {
                 let chunk = std::mem::take(&mut self.scatter[target]);
-                let submitted = chunk.len() as u64;
-                if dispatchers[target].input.push(chunk).is_err() {
-                    failed = Some(target);
-                    break 'spray;
+                if let Some(index) = push_chunk(&mut dispatchers[target], target, chunk) {
+                    failed = Some(index);
                 }
-                dispatchers[target].submitted_packets += submitted;
                 if self.options.spray == DispatchSpray::RoundRobin {
                     self.spray_cursor = (self.spray_cursor + 1) % count;
                 }
             }
         }
-        if failed.is_none() {
-            // Flush partial chunks so every submitted packet is in flight.
-            // A flushed partial also advances the round-robin cursor:
-            // otherwise sub-burst submissions would pin every packet to
-            // dispatcher 0 forever.
-            let mut cursor_flushed = false;
-            for (index, dispatcher) in dispatchers.iter_mut().enumerate() {
-                if self.scatter[index].is_empty() {
-                    continue;
-                }
-                cursor_flushed |= index == self.spray_cursor;
-                let chunk = std::mem::take(&mut self.scatter[index]);
-                let submitted = chunk.len() as u64;
-                if dispatcher.input.push(chunk).is_err() {
-                    failed = Some(index);
-                    break;
-                }
-                dispatcher.submitted_packets += submitted;
+        // Flush partial chunks so every submitted packet is in flight.
+        // A flushed partial also advances the round-robin cursor:
+        // otherwise sub-burst submissions would pin every packet to
+        // dispatcher 0 forever.
+        let mut cursor_flushed = false;
+        for (index, dispatcher) in dispatchers.iter_mut().enumerate() {
+            if self.scatter[index].is_empty() {
+                continue;
             }
-            if cursor_flushed && self.options.spray == DispatchSpray::RoundRobin {
-                self.spray_cursor = (self.spray_cursor + 1) % count;
+            cursor_flushed |= index == self.spray_cursor;
+            let chunk = std::mem::take(&mut self.scatter[index]);
+            if let Some(failed_index) = push_chunk(dispatcher, index, chunk) {
+                failed = Some(failed_index);
             }
         }
+        if cursor_flushed && self.options.spray == DispatchSpray::RoundRobin {
+            self.spray_cursor = (self.spray_cursor + 1) % count;
+        }
         if let Some(dispatcher) = failed {
-            self.audit_lossy = true;
-            for scatter in &mut self.scatter {
-                scatter.clear();
-            }
             // Blame the shard whose ring failed the dispatcher if one is on
-            // record; otherwise the dispatcher itself is gone.
+            // record; otherwise the dispatcher itself is gone. Either way the
+            // lost packets are already counted, so the books still balance.
             let progress = self.shared.progress.lock().expect("progress lock poisoned");
             return Err(
                 match progress
@@ -1871,12 +2001,43 @@ impl ShardedRuntime {
     /// [`submit`](Self::submit) or control-plane call rather than as a hang
     /// here.
     pub fn flush(&mut self) {
+        self.flush_until(None);
+    }
+
+    /// [`flush`](Self::flush) with a deadline: returns `false` (with the
+    /// barrier incomplete) if the plane has not quiesced by `deadline`.
+    /// `None` waits forever. A shard wedged mid-burst thus turns a
+    /// synchronous control op into [`RuntimeError::EpochTimeout`] instead of
+    /// an unbounded hang.
+    fn flush_until(&mut self, deadline: Option<Instant>) -> bool {
+        // One condvar wait honouring the optional deadline; returns false
+        // once the deadline has passed.
+        fn wait_step<'a>(
+            shared: &'a Shared,
+            guard: std::sync::MutexGuard<'a, crate::shard::ProgressBoard>,
+            deadline: Option<Instant>,
+        ) -> Option<std::sync::MutexGuard<'a, crate::shard::ProgressBoard>> {
+            match deadline {
+                None => Some(shared.cv.wait(guard).expect("progress lock poisoned")),
+                Some(limit) => {
+                    let now = Instant::now();
+                    if now >= limit {
+                        return None;
+                    }
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(guard, limit - now)
+                        .expect("progress lock poisoned");
+                    Some(guard)
+                }
+            }
+        }
         let Backend::Threaded {
             workers,
             dispatchers,
         } = &self.backend
         else {
-            return;
+            return true;
         };
         if dispatchers.is_empty() {
             let targets: Vec<u64> = workers.iter().map(|w| w.submitted_bursts).collect();
@@ -1887,17 +2048,17 @@ impl ShardedRuntime {
                 .zip(targets.iter())
                 .any(|(slot, &target)| !slot.exited && slot.bursts_done < target)
             {
-                progress = self
-                    .shared
-                    .cv
-                    .wait(progress)
-                    .expect("progress lock poisoned");
+                match wait_step(&self.shared, progress, deadline) {
+                    Some(guard) => progress = guard,
+                    None => return false,
+                }
             }
-            return;
+            return true;
         }
         // Stage 1: every live dispatcher has steered everything it was
         // handed (partial bursts included — the dispatcher flushes them the
-        // moment its input ring runs dry).
+        // moment its input ring runs dry). `packets_dispatched` counts shed
+        // and lost packets too, so a shedding dispatcher still quiesces.
         let targets: Vec<u64> = dispatchers.iter().map(|d| d.submitted_packets).collect();
         let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
         while progress
@@ -1906,15 +2067,17 @@ impl ShardedRuntime {
             .zip(targets.iter())
             .any(|(slot, &target)| !slot.exited && slot.packets_dispatched < target)
         {
-            progress = self
-                .shared
-                .cv
-                .wait(progress)
-                .expect("progress lock poisoned");
+            match wait_step(&self.shared, progress, deadline) {
+                Some(guard) => progress = guard,
+                None => return false,
+            }
         }
         // Stage 2: every live shard has processed everything the dispatchers
         // actually pushed to it (summed per shard across dispatchers, so an
-        // exited worker never blocks the barrier).
+        // exited worker never blocks the barrier). A respawned shard's
+        // `flush_offset` credits what its dead predecessor processed or
+        // provably lost, so the cumulative per-shard push counts still
+        // reconcile.
         let shard_targets: Vec<u64> = (0..workers.len())
             .map(|shard| {
                 progress
@@ -1928,13 +2091,397 @@ impl ShardedRuntime {
             .shards
             .iter()
             .zip(shard_targets.iter())
-            .any(|(slot, &target)| !slot.exited && slot.stats.packets < target)
+            .any(|(slot, &target)| !slot.exited && slot.stats.packets + slot.flush_offset < target)
         {
-            progress = self
+            match wait_step(&self.shared, progress, deadline) {
+                Some(guard) => progress = guard,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    // -----------------------------------------------------------------------
+    // Chaos plane: fault injection, shard supervision & recovery
+    // -----------------------------------------------------------------------
+
+    /// Arms a deterministic fault-injection schedule: workers consult it per
+    /// burst and dispatchers per chunk (one relaxed atomic load each when
+    /// disarmed). The same plan against the same traffic reproduces the same
+    /// panics and stalls — chaos runs are replayable from a seed.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        *self.shared.faults.lock().expect("fault plan lock poisoned") = Some(Arc::new(plan));
+        self.shared.faults_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms fault injection; faults already fired stay fired.
+    pub fn disarm_faults(&mut self) {
+        self.shared.faults_armed.store(false, Ordering::SeqCst);
+        *self.shared.faults.lock().expect("fault plan lock poisoned") = None;
+    }
+
+    /// Worker failures (deaths and wedges) the supervisor has detected over
+    /// the runtime's lifetime — `menshen_runtime_failures_total`.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Packets shed per tenant because a ring stayed full past the bounded
+    /// submission wait: the submitting thread's own shed map merged with
+    /// every dispatcher's. These are the graceful-degradation drops — an
+    /// overloaded tenant sheds its own load instead of head-of-line
+    /// blocking the plane.
+    pub fn shed_by_tenant(&self) -> BTreeMap<u16, u64> {
+        let mut merged = self.shed_inline.clone();
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        for slot in progress.dispatchers.iter() {
+            for (tenant, count) in &slot.shed_tenants {
+                *merged.entry(*tenant).or_insert(0) += count;
+            }
+        }
+        merged
+    }
+
+    /// Packets that worker failure made unprocessable, runtime-lifetime:
+    /// casualties already folded by recovery plus losses still sitting on
+    /// the progress board (a dead shard awaiting [`supervise`]
+    /// (Self::supervise), bursts that hit a closed ring).
+    pub fn lost_to_failure_total(&self) -> u64 {
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        let boarded: u64 = progress
+            .shards
+            .iter()
+            .map(|slot| slot.lost_packets)
+            .sum::<u64>()
+            + progress
+                .dispatchers
+                .iter()
+                .map(|slot| slot.lost_per_shard.iter().sum::<u64>())
+                .sum::<u64>();
+        self.lost_folded + boarded
+    }
+
+    /// Nudges every not-yet-adopted dispatcher awake (an empty chunk — zero
+    /// packets, so no tally moves) and waits until each live dispatcher has
+    /// acknowledged the current steering version, or `deadline` passes.
+    fn await_steering_adoption(&self, deadline: Instant) -> bool {
+        let Backend::Threaded { dispatchers, .. } = &self.backend else {
+            return true;
+        };
+        if dispatchers.is_empty() {
+            return true;
+        }
+        let target = self.shared.steering_version.load(Ordering::SeqCst);
+        loop {
+            let pending: Vec<usize> = {
+                let progress = self.shared.progress.lock().expect("progress lock poisoned");
+                progress
+                    .dispatchers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, slot)| !slot.exited && slot.steering_adopted < target)
+                    .map(|(index, _)| index)
+                    .collect()
+            };
+            if pending.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // A dispatcher parked on an empty input ring only re-checks the
+            // steering version when a chunk arrives; feed it an empty one.
+            // `try_push` because a *full* input ring means the dispatcher is
+            // busy and will hit the version check on its own.
+            for index in &pending {
+                let _ = dispatchers[*index].input.try_push(Vec::new());
+            }
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            let _ = self
                 .shared
                 .cv
-                .wait(progress)
+                .wait_timeout(progress, Duration::from_millis(5))
                 .expect("progress lock poisoned");
+        }
+    }
+
+    /// Detects dead and wedged shards and recovers the dead ones in place.
+    /// Call it periodically (or after a submission returns
+    /// [`RuntimeError::ShardDown`]); detection latency is bounded by the
+    /// call cadence. Threaded mode only — deterministic mode has no worker
+    /// threads to die — and a healthy plane pays one progress-board scan.
+    ///
+    /// Recovery of a dead shard is a two-phase handshake built for *exact*
+    /// loss accounting:
+    ///
+    /// 1. **Route around.** The RETA is rewritten away from the casualty and
+    ///    staged to every dispatcher; the supervisor waits for each live
+    ///    dispatcher to acknowledge the version, after which no new push can
+    ///    target the dead shard's rings.
+    /// 2. **Count and respawn.** The casualty's rings (kept open by failure
+    ///    containment, so racing pushes landed instead of erroring) are
+    ///    sealed and drained; the residue plus the worker's in-flight burst
+    ///    is the shard's exact `lost_to_failure` contribution. Telemetry
+    ///    folds into [`retired_tally`](Self::retired_tally), a replacement
+    ///    is spawned from [`standby_replica`](Self::standby_replica) at the
+    ///    current epoch, and a second staged update swaps the fresh rings
+    ///    into the original slot and restores the original steering.
+    ///
+    /// A wedged shard — stale heartbeat while its rings hold work — is
+    /// routed around and left running in case it wakes, with a
+    /// [`ControlEventKind::ShardWedged`] event; no state is touched.
+    ///
+    /// If a dispatcher never acknowledges the route-around within the
+    /// [`submit_wait`](RuntimeOptions::with_submit_wait) budget, recovery
+    /// proceeds anyway but the conservation audit is marked lossy — the
+    /// books are then best-effort rather than certified.
+    pub fn supervise(&mut self) -> Vec<RecoveryReport> {
+        if matches!(self.backend, Backend::Deterministic(_)) {
+            return Vec::new();
+        }
+        let shards = self.options.shards;
+        let detect_ns = self.shared.now_ns();
+        // 1. Detect: a contained panic sets `failure`; a wedge is a live
+        // worker owing work whose heartbeat went stale.
+        let mut dead: Vec<(usize, u64)> = Vec::new();
+        let mut wedged: Vec<(usize, u64)> = Vec::new();
+        {
+            let wedge_ns = self.options.wedge_threshold.as_nanos() as u64;
+            let progress = self.shared.progress.lock().expect("progress lock poisoned");
+            for (index, slot) in progress.shards.iter().enumerate() {
+                if slot.exited {
+                    if slot.failure.is_some() {
+                        let died = slot.exited_at_ns.unwrap_or(detect_ns);
+                        dead.push((index, detect_ns.saturating_sub(died)));
+                    }
+                } else if !self.wedged_routed.contains(&index) {
+                    let owed: u64 = progress
+                        .dispatchers
+                        .iter()
+                        .map(|d| d.per_shard.get(index).copied().unwrap_or(0))
+                        .sum();
+                    let stalled = detect_ns.saturating_sub(slot.heartbeat_ns);
+                    if owed > slot.stats.packets + slot.flush_offset && stalled > wedge_ns {
+                        wedged.push((index, stalled));
+                    }
+                }
+            }
+        }
+        let dead_set: BTreeSet<usize> = dead.iter().map(|(shard, _)| *shard).collect();
+        // Wedged shards: event + route-around, nothing else.
+        if !wedged.is_empty() {
+            let mut reta = *self.steerer.reta();
+            let mut changed = false;
+            for &(shard, stalled_ns) in &wedged {
+                self.failures += 1;
+                self.wedged_routed.insert(shard);
+                self.shared.events.emit(
+                    detect_ns,
+                    ControlEventKind::ShardWedged {
+                        shard: shard as u64,
+                        stalled_ns,
+                    },
+                );
+            }
+            for &(shard, _) in &wedged {
+                if let Some(target) =
+                    (0..shards).find(|i| !self.wedged_routed.contains(i) && !dead_set.contains(i))
+                {
+                    for bucket in reta.iter_mut() {
+                        if *bucket as usize == shard {
+                            *bucket = target as u16;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if changed {
+                self.steerer.set_reta(reta);
+                self.stage_steering_to_all();
+                let _ = self.await_steering_adoption(Instant::now() + self.options.submit_wait);
+            }
+        }
+        // Dead shards: the full two-phase recovery, one casualty at a time.
+        let mut reports = Vec::new();
+        for (shard, detection_ns) in dead {
+            let pause_start = Instant::now();
+            self.failures += 1;
+            self.wedged_routed.remove(&shard);
+            self.shared.events.emit(
+                detect_ns,
+                ControlEventKind::ShardFailed {
+                    shard: shard as u64,
+                    detection_ns,
+                },
+            );
+            // Phase 1: seal the casualty's rings *first*. After the seal
+            // every in-flight push resolves exactly — it either landed
+            // before the seal (drained as residue below) or comes back
+            // `Closed` and is counted by its pusher's loss tally — and a
+            // dispatcher parked on the dead shard's full ring wakes
+            // immediately instead of sitting out its whole bounded wait.
+            // The books therefore need no adoption handshake; the
+            // route-around below is purely an availability optimisation.
+            let original = self.steerer.clone();
+            let parked = self.shared.wreckage.lock().expect("wreckage lock poisoned")[shard].take();
+            if let Some(consumers) = &parked {
+                for consumer in consumers {
+                    consumer.close();
+                }
+            }
+            if let Some(target) = (0..shards).find(|i| *i != shard && !dead_set.contains(i)) {
+                let mut reta = *self.steerer.reta();
+                for bucket in reta.iter_mut() {
+                    if *bucket as usize == shard {
+                        *bucket = target as u16;
+                    }
+                }
+                self.steerer.set_reta(reta);
+            }
+            self.stage_steering_to_all();
+            // Best effort: a dispatcher that misses the window sheds onto
+            // the sealed ring's `Closed` path, which stays on the books.
+            let _ = self.await_steering_adoption(Instant::now() + self.options.submit_wait);
+            // Phase 2a: drain the sealed wreckage. Residue — bursts that
+            // were pushed but never popped — is exactly what the dispatch
+            // tallies credited to this shard beyond what it processed or
+            // carried in flight.
+            let mut residue: u64 = 0;
+            if let Some(consumers) = parked {
+                for consumer in consumers {
+                    while let Some(burst) = consumer.pop() {
+                        residue += burst.len() as u64;
+                    }
+                }
+            }
+            // Phase 2b: fold the casualty's books. Its processed + lost
+            // packets become the slot's flush offset so cumulative per-shard
+            // dispatch tallies still reconcile across the respawn, its
+            // telemetry joins the retired tally, and its provable losses
+            // leave the board for `lost_folded`.
+            let epoch = self.epoch;
+            let now_ns = self.shared.now_ns();
+            let lost_now;
+            {
+                let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+                let slot = &mut progress.shards[shard];
+                lost_now = slot.lost_packets + residue;
+                let flush_offset =
+                    slot.flush_offset + slot.stats.packets + slot.lost_packets + residue;
+                let tally = &mut self.retired;
+                tally.shards_retired += 1;
+                tally.stats.bursts += slot.stats.bursts;
+                tally.stats.packets += slot.stats.packets;
+                tally.stats.forwarded += slot.stats.forwarded;
+                tally.stats.dropped += slot.stats.dropped;
+                if let Some(snapshot) = slot.snapshot.take() {
+                    tally.system.link_packets += snapshot.system.link_packets;
+                    tally.system.link_bytes += snapshot.system.link_bytes;
+                    tally.system.queue_len = tally.system.queue_len.max(snapshot.system.queue_len);
+                    tally.filter.admitted += snapshot.filter.admitted;
+                    tally.filter.dropped_no_vlan += snapshot.filter.dropped_no_vlan;
+                    tally.filter.dropped_reconfiguring += snapshot.filter.dropped_reconfiguring;
+                    tally.filter.reconfig_seen += snapshot.filter.reconfig_seen;
+                    tally.latency.merge(&snapshot.latency);
+                    tally.burst_latency.merge(&snapshot.burst_latency);
+                    for (tenant, view) in &snapshot.tenants {
+                        tally.tenants.entry(*tenant).or_default().merge(view);
+                    }
+                    tally.profile.merge(&snapshot.profile);
+                }
+                *slot = crate::shard::ShardProgress {
+                    applied_epoch: epoch,
+                    flush_offset,
+                    heartbeat_ns: now_ns,
+                    ..Default::default()
+                };
+            }
+            self.lost_folded += lost_now;
+            // Phase 2c: respawn in place from the compacted log — the
+            // replacement embodies the current epoch, so `entries_after`
+            // hands it nothing stale — and swap its fresh rings into the
+            // original slot, restoring the original steering.
+            let standby = self.standby_replica();
+            let rows = self.options.dispatchers.max(1);
+            let (mut worker, mut producers) = spawn_worker(
+                &self.shared,
+                &self.options,
+                shard,
+                standby.config_replica(),
+                rows,
+                epoch,
+            );
+            self.steerer = original;
+            let inline = {
+                let Backend::Threaded {
+                    workers,
+                    dispatchers,
+                } = &mut self.backend
+                else {
+                    unreachable!("supervise only runs in threaded mode");
+                };
+                let inline = dispatchers.is_empty();
+                if inline {
+                    worker.input = Some(producers.remove(0));
+                }
+                let old = std::mem::replace(&mut workers[shard], worker);
+                if let Some(handle) = old.handle {
+                    let _ = handle.join();
+                }
+                inline
+            };
+            if !inline {
+                for (dispatcher, producer) in producers.into_iter().enumerate() {
+                    self.shared.stage_dispatcher_update(
+                        dispatcher,
+                        DispatcherUpdate {
+                            steerer: self.steerer.clone(),
+                            keep: shards,
+                            append: Vec::new(),
+                            replace: vec![(shard, producer)],
+                        },
+                    );
+                }
+                // Best effort again: until a dispatcher adopts the
+                // replacement producer it pushes at the sealed old ring and
+                // its `Closed` losses stay on the books.
+                let _ = self.await_steering_adoption(Instant::now() + self.options.submit_wait);
+            }
+            let pause = pause_start.elapsed();
+            self.shared.events.emit(
+                self.shared.now_ns(),
+                ControlEventKind::ShardRecovered {
+                    shard: shard as u64,
+                    pause_ns: pause.as_nanos() as u64,
+                    lost: lost_now,
+                },
+            );
+            reports.push(RecoveryReport {
+                shard,
+                lost_packets: lost_now,
+                detection: Duration::from_nanos(detection_ns),
+                pause,
+            });
+        }
+        reports
+    }
+
+    /// Stages the runtime's current steerer to every dispatcher, topology
+    /// unchanged.
+    fn stage_steering_to_all(&self) {
+        let Backend::Threaded { dispatchers, .. } = &self.backend else {
+            return;
+        };
+        for index in 0..dispatchers.len() {
+            self.shared.stage_dispatcher_update(
+                index,
+                DispatcherUpdate {
+                    steerer: self.steerer.clone(),
+                    keep: self.options.shards,
+                    append: Vec::new(),
+                    replace: Vec::new(),
+                },
+            );
         }
     }
 
@@ -2064,6 +2611,18 @@ impl ShardedRuntime {
                 merged.entry(tenant).or_default().merge(&view);
             }
         }
+        // Shed packets never reached a shard, so no shard ledger attributed
+        // them; fold them into each tenant's backpressure column here — the
+        // overloaded tenant's view includes its own shed load.
+        for (tenant, count) in self.shed_by_tenant() {
+            if count > 0 {
+                merged
+                    .entry(tenant)
+                    .or_default()
+                    .ledger
+                    .record_backpressure(count);
+            }
+        }
         Ok(merged)
     }
 
@@ -2118,13 +2677,19 @@ impl ShardedRuntime {
                 .map(|(_, view)| view.ledger.total())
                 .sum::<u64>();
         }
+        let shed: u64 = self.shed_by_tenant().values().sum();
+        let lost_to_failure = self.lost_to_failure_total();
         Ok(ConservationAudit {
             submitted: self.submitted_packets,
             processed: total.packets,
             forwarded: total.forwarded,
-            dropped: total.dropped,
-            in_flight: self.submitted_packets.saturating_sub(total.packets),
-            ledger_total,
+            dropped: total.dropped + shed,
+            shed,
+            lost_to_failure,
+            in_flight: self
+                .submitted_packets
+                .saturating_sub(total.packets + shed + lost_to_failure),
+            ledger_total: ledger_total + shed,
             lossy: self.audit_lossy,
         })
     }
@@ -2150,6 +2715,17 @@ impl ShardedRuntime {
             "menshen_shards_retired_total",
             Vec::new(),
             self.retired.shards_retired as u64,
+        );
+        out.push_counter("menshen_runtime_failures_total", Vec::new(), self.failures);
+        out.push_counter(
+            "menshen_runtime_lost_packets_total",
+            Vec::new(),
+            self.lost_to_failure_total(),
+        );
+        out.push_counter(
+            "menshen_runtime_shed_packets_total",
+            Vec::new(),
+            self.shed_by_tenant().values().sum(),
         );
         for (index, stat) in stats.iter().enumerate() {
             let shard = index.to_string();
@@ -2179,6 +2755,15 @@ impl ShardedRuntime {
         let mut packet_ns = self.retired.latency.clone();
         let mut burst_ns = self.retired.burst_latency.clone();
         let mut tenants = self.retired.tenants.clone();
+        for (tenant, count) in self.shed_by_tenant() {
+            if count > 0 {
+                tenants
+                    .entry(tenant)
+                    .or_default()
+                    .ledger
+                    .record_backpressure(count);
+            }
+        }
         let mut profile = self.retired.profile.clone();
         for (index, snapshot) in snapshots.iter().enumerate() {
             out.push_gauge(

@@ -30,7 +30,8 @@
 
 use crate::control::{EpochEntry, EpochLog};
 use crate::events::{ControlEventKind, EventTrace};
-use crate::ring::{Consumer, Parker, Producer};
+use crate::faults::{FaultPlan, WorkerFault};
+use crate::ring::{Consumer, Parker, Producer, PushError};
 use crate::rss::Steerer;
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::{
@@ -39,9 +40,9 @@ use menshen_core::{
 };
 use menshen_packet::Packet;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What travels through the rings: one burst of packets.
 pub(crate) type Burst = Vec<Packet>;
@@ -118,6 +119,25 @@ pub(crate) fn verdict_tenant(verdict: &Verdict) -> u16 {
     }
 }
 
+/// The tenant a *not yet processed* packet is attributed to for shed
+/// accounting: its VLAN ID (which is the module ID in Menshen's tenancy
+/// model), or 0 when untagged.
+pub(crate) fn packet_tenant(packet: &Packet) -> u16 {
+    packet.vlan_id().map(|id| id.value()).unwrap_or(0)
+}
+
+/// Renders a caught panic payload as a message (the common `&str`/`String`
+/// payloads verbatim, anything else generically).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
 /// A snapshot of one shard's input-ring depths, taken at `Snapshot` epochs
 /// so queueing/backpressure is visible in telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -175,6 +195,26 @@ pub(crate) struct ShardProgress {
     /// True once the worker thread has exited (shutdown, retirement or
     /// panic). Waiters must never block on an exited shard's progress.
     pub exited: bool,
+    /// The panic message of a *contained* worker failure — set by the dying
+    /// worker just before it exits, so the supervisor can tell an abnormal
+    /// death from orderly shutdown/retirement.
+    pub failure: Option<String>,
+    /// When (nanoseconds since runtime start) the worker died. Detection
+    /// latency is measured against this.
+    pub exited_at_ns: Option<u64>,
+    /// The worker's last sign of life (nanoseconds since runtime start),
+    /// posted with every burst completion. A stale heartbeat *while the
+    /// shard's rings hold work* marks a wedged shard.
+    pub heartbeat_ns: u64,
+    /// Packets bound for this slot that failure made unprocessable: the
+    /// burst in flight when the worker died, plus the ring residue the
+    /// supervisor drained. Feeds the conservation audit's `lost_to_failure`.
+    pub lost_packets: u64,
+    /// Processing credit inherited from this slot's previous incarnations —
+    /// a recovered casualty's processed + lost packets. The flush barrier
+    /// adds it to the replacement worker's (from-zero) counters so the
+    /// per-shard dispatch tallies still reconcile across a respawn.
+    pub flush_offset: u64,
 }
 
 /// One dispatcher's slice of the progress board.
@@ -192,9 +232,23 @@ pub(crate) struct DispatcherProgress {
     pub per_shard: Vec<u64>,
     /// True once the dispatcher thread has exited (shutdown or failure).
     pub exited: bool,
-    /// The shard whose ring closed under this dispatcher, if that is why it
-    /// exited.
+    /// The most recent shard whose ring closed under this dispatcher. Since
+    /// the chaos work a closed shard ring no longer kills the dispatcher
+    /// (the burst is counted in `lost_per_shard` and dispatch continues);
+    /// this survives as a diagnostic.
     pub failed_shard: Option<usize>,
+    /// The steering version this dispatcher last adopted. The supervisor
+    /// waits for every live dispatcher to reach a staged version before
+    /// draining a dead shard's rings, so no in-flight push can race the
+    /// residue count.
+    pub steering_adopted: u64,
+    /// Packets shed per tenant because a shard ring stayed full past the
+    /// bounded wait — the overloaded tenant's own backpressure drops.
+    pub shed_tenants: BTreeMap<u16, u64>,
+    /// Packets lost per destination shard because its ring closed
+    /// mid-stream (the degraded path: a worker death that left no
+    /// drainable rings behind).
+    pub lost_per_shard: Vec<u64>,
 }
 
 /// The progress board: one slot per shard plus one per dispatcher, guarded
@@ -219,6 +273,12 @@ pub(crate) struct DispatcherUpdate {
     pub keep: usize,
     /// Producers for newly stood-up shards, appended after `keep`.
     pub append: Vec<Producer<Burst>>,
+    /// In-place slot replacements — `(slot, producer)` pairs that swap one
+    /// surviving slot's producer for a fresh ring. Shard recovery uses this
+    /// to steer a respawned replacement back into an existing slot without
+    /// disturbing its neighbours; dropping the old producer closes the dead
+    /// (already drained) ring.
+    pub replace: Vec<(usize, Producer<Burst>)>,
 }
 
 impl DispatcherUpdate {
@@ -226,13 +286,36 @@ impl DispatcherUpdate {
     /// dispatcher that slept through several reshards applies their net
     /// effect in one step.
     pub(crate) fn then(self, next: DispatcherUpdate) -> DispatcherUpdate {
+        // Later slot replacements win over earlier ones for the same slot;
+        // earlier replacements survive only if the later topology keeps
+        // their slot.
+        fn merge_replace(
+            earlier: Vec<(usize, Producer<Burst>)>,
+            later: Vec<(usize, Producer<Burst>)>,
+            limit: usize,
+        ) -> Vec<(usize, Producer<Burst>)> {
+            let mut merged: Vec<(usize, Producer<Burst>)> = earlier
+                .into_iter()
+                .filter(|(slot, _)| *slot < limit)
+                .collect();
+            for (slot, producer) in later {
+                if let Some(entry) = merged.iter_mut().find(|(s, _)| *s == slot) {
+                    entry.1 = producer;
+                } else {
+                    merged.push((slot, producer));
+                }
+            }
+            merged
+        }
         if next.keep <= self.keep {
             // The later truncation discards everything the earlier update
             // appended (and possibly more of the originals).
+            let keep = next.keep;
             DispatcherUpdate {
                 steerer: next.steerer,
-                keep: next.keep,
+                keep,
                 append: next.append,
+                replace: merge_replace(self.replace, next.replace, keep),
             }
         } else {
             // The later update keeps `next.keep - self.keep` of the rings
@@ -244,6 +327,7 @@ impl DispatcherUpdate {
                 steerer: next.steerer,
                 keep: self.keep,
                 append,
+                replace: merge_replace(self.replace, next.replace, usize::MAX),
             }
         }
     }
@@ -283,6 +367,21 @@ pub(crate) struct Shared {
     /// step and RETA rewrite leaves a timestamped record here. Shard threads
     /// write only at epoch boundaries, never per packet.
     pub events: EventTrace,
+    /// The armed fault-injection schedule, if any. Workers and dispatchers
+    /// consult it per burst/chunk — but only after the one-relaxed-load
+    /// `faults_armed` check below, so a production runtime pays a single
+    /// branch per burst for the whole chaos plane.
+    pub faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Fast-path gate for `faults`.
+    pub faults_armed: AtomicBool,
+    /// One slot per shard where a dying worker parks its input-ring
+    /// consumers. Keeping the consumers alive keeps the rings *open*, so
+    /// in-flight dispatcher pushes still land instead of erroring — every
+    /// unprocessed packet is then either the dying worker's in-flight burst
+    /// (counted by the worker) or ring residue the supervisor drains and
+    /// counts. That is what makes `lost_to_failure` exact rather than an
+    /// estimate.
+    pub wreckage: Mutex<Vec<Option<Vec<Consumer<Burst>>>>>,
 }
 
 impl Shared {
@@ -301,12 +400,41 @@ impl Shared {
             egress_version: AtomicU64::new(0),
             egress: Mutex::new(None),
             events: EventTrace::default(),
+            faults: Mutex::new(None),
+            faults_armed: AtomicBool::new(false),
+            wreckage: Mutex::new((0..shards).map(|_| None).collect()),
         }
     }
 
     /// Nanoseconds since the runtime's clock origin.
     pub(crate) fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The fault (if any) scheduled for worker `shard` at its `burst`-th
+    /// popped burst. One relaxed load when no plan is armed.
+    pub(crate) fn worker_fault(&self, shard: usize, burst: u64) -> Option<WorkerFault> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.faults
+            .lock()
+            .expect("fault plan lock poisoned")
+            .as_ref()
+            .and_then(|plan| plan.worker_fault(shard, burst))
+    }
+
+    /// The stall (if any) scheduled for dispatcher `dispatcher` at its
+    /// `chunk`-th popped chunk.
+    pub(crate) fn dispatcher_fault(&self, dispatcher: usize, chunk: u64) -> Option<Duration> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.faults
+            .lock()
+            .expect("fault plan lock poisoned")
+            .as_ref()
+            .and_then(|plan| plan.dispatcher_stall(dispatcher, chunk))
     }
 
     /// Stages `update` for dispatcher `index`, composing onto any update it
@@ -543,6 +671,14 @@ pub(crate) fn run_worker(
     let mut verdicts: Vec<Verdict> = Vec::new();
     let mut next_ring = 0usize;
     let mut idle_spins = 0u32;
+    // Bursts popped so far — the fault plan's per-worker coordinate.
+    let mut burst_index = 0u64;
+    // Seed the heartbeat so the wedge detector has a baseline even if the
+    // first burst takes a while to arrive.
+    {
+        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+        progress.shards[shard_index].heartbeat_ns = shared.now_ns();
+    }
     // Shard-local egress-sink cache, refreshed at burst boundaries when the
     // staged version moves. Workers stood up by a live resize start at
     // version 0 and adopt any already-installed sink on their first burst.
@@ -594,28 +730,60 @@ pub(crate) fn run_worker(
             continue;
         };
         idle_spins = 0;
-        let service_start = Instant::now();
-        pipeline.process_batch_into(&packets, &mut verdicts);
-        let service_ns = service_start.elapsed().as_nanos() as u64;
-        let done_ns = shared.now_ns();
-        telemetry.burst_ns.record(service_ns);
-        for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
-            let sojourn_ns = done_ns.saturating_sub(packet.timestamp_ns);
-            telemetry.packet_ns.record(sojourn_ns);
-            telemetry.record_verdict(verdict, sojourn_ns);
+        // Chaos hook: one relaxed load when disarmed. Stalls run outside the
+        // containment (they are slowness, not death); panics fire inside it.
+        let fault = shared.worker_fault(shard_index, burst_index);
+        burst_index += 1;
+        if let Some(WorkerFault::Stall(stall)) = fault {
+            std::thread::sleep(stall);
         }
-        // Verdict egress: hand every processed packet to the installed sink
-        // *before* the progress-board update, so a flush barrier returning
-        // implies every packet it covers has been transmitted.
-        let version = shared.egress_version.load(Ordering::SeqCst);
-        if version != egress_seen {
-            egress_seen = version;
-            egress = shared.egress.lock().expect("egress lock poisoned").clone();
-        }
-        if let Some(sink) = &egress {
-            for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
-                sink.transmit(packet, verdict);
+        // Panic containment: anything that unwinds out of the burst's
+        // pipeline pass (an injected fault or an organic bug) is caught
+        // here, where the worker's locals are still alive — so the dying
+        // worker can post a final telemetry snapshot, count the in-flight
+        // burst as lost, and park its ring consumers for the supervisor to
+        // drain. The borrows are confined to this burst (AssertUnwindSafe
+        // is sound: on Err every borrowed local is either discarded or
+        // rebuilt from scratch by the next incarnation of this slot).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if matches!(fault, Some(WorkerFault::Panic)) {
+                panic!("injected fault: worker {shard_index} killed at burst {burst_index}");
             }
+            let service_start = Instant::now();
+            pipeline.process_batch_into(&packets, &mut verdicts);
+            let service_ns = service_start.elapsed().as_nanos() as u64;
+            let done_ns = shared.now_ns();
+            telemetry.burst_ns.record(service_ns);
+            for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+                let sojourn_ns = done_ns.saturating_sub(packet.timestamp_ns);
+                telemetry.packet_ns.record(sojourn_ns);
+                telemetry.record_verdict(verdict, sojourn_ns);
+            }
+            // Verdict egress: hand every processed packet to the installed
+            // sink *before* the progress-board update, so a flush barrier
+            // returning implies every packet it covers has been transmitted.
+            let version = shared.egress_version.load(Ordering::SeqCst);
+            if version != egress_seen {
+                egress_seen = version;
+                egress = shared.egress.lock().expect("egress lock poisoned").clone();
+            }
+            if let Some(sink) = &egress {
+                for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+                    sink.transmit(packet, verdict);
+                }
+            }
+        }));
+        if let Err(payload) = outcome {
+            contain_worker_panic(
+                shard_index,
+                &pipeline,
+                &telemetry,
+                inputs,
+                &shared,
+                &*payload,
+                packets.len() as u64,
+            );
+            return;
         }
         let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
         let total = packets.len() as u64;
@@ -626,6 +794,7 @@ pub(crate) fn run_worker(
         slot.stats.packets += total;
         slot.stats.forwarded += forwarded;
         slot.stats.dropped += total - forwarded;
+        slot.heartbeat_ns = shared.now_ns();
         drop(progress);
         shared.cv.notify_all();
     }
@@ -639,6 +808,41 @@ pub(crate) fn run_worker(
         &telemetry,
         &inputs,
     );
+}
+
+/// A contained worker panic's last act, run with the dying worker's locals
+/// still alive: post a final telemetry snapshot (so the casualty's ledgers
+/// still fold into the books), record the failure and the in-flight burst's
+/// packets as lost, and park the input-ring consumers in the wreckage slot.
+/// Parking the consumers keeps the rings *open*: concurrent dispatcher
+/// pushes land normally, and the supervisor later drains the residue and
+/// counts it — which is what makes `lost_to_failure` exact.
+fn contain_worker_panic(
+    shard_index: usize,
+    pipeline: &MenshenPipeline,
+    telemetry: &ShardTelemetry,
+    inputs: Vec<Consumer<Burst>>,
+    shared: &Shared,
+    payload: &(dyn std::any::Any + Send),
+    lost_in_flight: u64,
+) {
+    let message = panic_message(payload);
+    let snapshot = take_snapshot(pipeline, telemetry, ring_depth(&inputs));
+    let died_at = shared.now_ns();
+    {
+        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+        let slot = &mut progress.shards[shard_index];
+        slot.snapshot = Some(snapshot);
+        slot.failure = Some(message);
+        slot.exited_at_ns = Some(died_at);
+        slot.lost_packets += lost_in_flight;
+    }
+    let mut wreckage = shared.wreckage.lock().expect("wreckage lock poisoned");
+    if let Some(slot) = wreckage.get_mut(shard_index) {
+        *slot = Some(inputs);
+    }
+    drop(wreckage);
+    shared.cv.notify_all();
 }
 
 /// Marks a dispatcher as exited (and records the shard that failed it, if
@@ -674,6 +878,7 @@ pub(crate) fn run_dispatcher(
     input: Consumer<Burst>,
     mut outputs: Vec<Producer<Burst>>,
     burst_size: usize,
+    submit_wait: Duration,
     shared: Arc<Shared>,
 ) {
     let mut exit_guard = DispatcherExitGuard {
@@ -681,14 +886,20 @@ pub(crate) fn run_dispatcher(
         dispatcher_index,
         failed_shard: None,
     };
-    // One accounting site for every burst handoff: takes the shard's scratch
-    // and pushes it, bumping the dispatch tallies on success. Returns false
-    // when the shard's ring has closed.
+    // One accounting site for every burst handoff: takes the shard's
+    // scratch and pushes it with a bounded wait. Every consumed packet is
+    // accounted exactly once — delivered (`per_shard`), shed per tenant on
+    // a full ring past the deadline, or lost per shard on a closed ring —
+    // so a dead or wedged shard can never wedge the dispatcher, and the
+    // conservation audit still balances.
     struct DispatchState {
         scatter: Vec<Vec<Packet>>,
         packets: u64,
         bursts: u64,
         per_shard: Vec<u64>,
+        shed_tenants: BTreeMap<u16, u64>,
+        lost_per_shard: Vec<u64>,
+        failed_shard: Option<usize>,
     }
     impl DispatchState {
         fn push_scratch(
@@ -696,16 +907,36 @@ pub(crate) fn run_dispatcher(
             outputs: &[Producer<Burst>],
             shard: usize,
             burst_size: usize,
-        ) -> bool {
+            wait: Duration,
+        ) {
             let burst = std::mem::replace(&mut self.scatter[shard], Vec::with_capacity(burst_size));
             let packets = burst.len() as u64;
-            if outputs[shard].push(burst).is_err() {
-                return false;
-            }
+            // `packets` counts everything consumed from the input ring
+            // (delivered, shed, or lost) so the stage-1 flush barrier never
+            // waits on packets that can no longer move.
             self.packets += packets;
-            self.bursts += 1;
-            self.per_shard[shard] += packets;
-            true
+            match outputs[shard].push_deadline(burst, wait) {
+                Ok(()) => {
+                    self.bursts += 1;
+                    self.per_shard[shard] += packets;
+                }
+                Err(PushError::Timeout(burst)) => {
+                    // The ring stayed full past the bounded wait: shed the
+                    // burst, attributed to the tenants that offered it. The
+                    // overloaded (or failure-orphaned) tenant pays; other
+                    // tenants' shards keep draining.
+                    for packet in &burst {
+                        *self.shed_tenants.entry(packet_tenant(packet)).or_insert(0) += 1;
+                    }
+                }
+                Err(PushError::Closed(_)) => {
+                    // Degraded path: the ring closed without a wreckage
+                    // drain (worker died outside containment). Count the
+                    // burst as lost and keep dispatching to the survivors.
+                    self.lost_per_shard[shard] += packets;
+                    self.failed_shard = Some(shard);
+                }
+            }
         }
 
         fn advertise(&self, shared: &Shared, dispatcher_index: usize) {
@@ -715,6 +946,10 @@ pub(crate) fn run_dispatcher(
             slot.bursts_dispatched = self.bursts;
             slot.per_shard.clear();
             slot.per_shard.extend_from_slice(&self.per_shard);
+            slot.shed_tenants = self.shed_tenants.clone();
+            slot.lost_per_shard.clear();
+            slot.lost_per_shard.extend_from_slice(&self.lost_per_shard);
+            slot.failed_shard = self.failed_shard;
             drop(progress);
             shared.cv.notify_all();
         }
@@ -726,16 +961,25 @@ pub(crate) fn run_dispatcher(
         packets: 0,
         bursts: 0,
         per_shard: vec![0u64; outputs.len()],
+        shed_tenants: BTreeMap::new(),
+        lost_per_shard: vec![0u64; outputs.len()],
+        failed_shard: None,
     };
     // Dispatchers are only spawned at construction time, so version 0 is
     // always the state this thread's steerer and ring row were built from.
     let mut seen_version = 0u64;
-    'run: while let Some(chunk) = input.pop() {
-        // Resharding handshake: before steering anything, adopt any staged
-        // steering/topology change (new RETA + pin set, grown or shrunk ring
-        // row). Updates are staged only while the plane is quiesced, so this
-        // never races a partial burst; the cost on the hot path is one
-        // relaxed-ish atomic load per chunk.
+    // Chunks popped so far — the fault plan's per-dispatcher coordinate.
+    let mut chunk_index = 0u64;
+    while let Some(chunk) = input.pop() {
+        // Chaos hook: a scheduled dispatcher stall (wedge, if long).
+        if let Some(stall) = shared.dispatcher_fault(dispatcher_index, chunk_index) {
+            std::thread::sleep(stall);
+        }
+        chunk_index += 1;
+        // Resharding/recovery handshake: before steering anything, adopt
+        // any staged steering/topology change (new RETA + pin set, grown or
+        // shrunk ring row, in-place slot replacements). The cost on the hot
+        // path is one atomic load per chunk.
         let version = shared.steering_version.load(Ordering::SeqCst);
         if version != seen_version {
             seen_version = version;
@@ -745,11 +989,28 @@ pub(crate) fn run_dispatcher(
                 .expect("dispatcher update lock poisoned")[dispatcher_index]
                 .take();
             if let Some(update) = staged {
+                // Flush partial bursts to the *old* rings first, so every
+                // packet steered under the old table is either delivered or
+                // counted before the rings change hands. (Resharding stages
+                // updates only at a full quiesce, where this is a no-op;
+                // failure recovery stages them live and relies on it.)
+                for shard in 0..outputs.len() {
+                    if !state.scatter[shard].is_empty() {
+                        state.push_scratch(&outputs, shard, burst_size, submit_wait);
+                    }
+                }
                 steerer = update.steerer;
                 // Dropping the truncated producers closes the retired
                 // shards' rings; their workers are already gone.
                 outputs.truncate(update.keep);
                 outputs.extend(update.append);
+                for (slot, producer) in update.replace {
+                    if slot < outputs.len() {
+                        // Swapping in the replacement drops (and closes)
+                        // the dead, already-drained ring.
+                        outputs[slot] = producer;
+                    }
+                }
                 state.scatter.truncate(update.keep);
                 state
                     .scatter
@@ -759,16 +1020,22 @@ pub(crate) fn run_dispatcher(
                 // survived too), fresh shards start at zero.
                 state.per_shard.truncate(update.keep);
                 state.per_shard.resize(outputs.len(), 0);
+                state.lost_per_shard.truncate(update.keep);
+                state.lost_per_shard.resize(outputs.len(), 0);
             }
+            // Acknowledge adoption — the supervisor waits for every live
+            // dispatcher to reach the staged version before draining a dead
+            // shard's rings, so no in-flight push can race the drain.
+            let mut progress = shared.progress.lock().expect("progress lock poisoned");
+            progress.dispatchers[dispatcher_index].steering_adopted = version;
+            drop(progress);
+            shared.cv.notify_all();
         }
         for packet in chunk {
             let shard = steerer.shard_for(&packet);
             state.scatter[shard].push(packet);
-            if state.scatter[shard].len() >= burst_size
-                && !state.push_scratch(&outputs, shard, burst_size)
-            {
-                exit_guard.failed_shard = Some(shard);
-                break 'run;
+            if state.scatter[shard].len() >= burst_size {
+                state.push_scratch(&outputs, shard, burst_size, submit_wait);
             }
         }
         // Quiesce point: no further chunk is immediately available, so
@@ -776,25 +1043,21 @@ pub(crate) fn run_dispatcher(
         // flight — and advertise progress for the flush barrier.
         if input.occupancy() == 0 {
             for shard in 0..outputs.len() {
-                if !state.scatter[shard].is_empty()
-                    && !state.push_scratch(&outputs, shard, burst_size)
-                {
-                    exit_guard.failed_shard = Some(shard);
-                    break 'run;
+                if !state.scatter[shard].is_empty() {
+                    state.push_scratch(&outputs, shard, burst_size, submit_wait);
                 }
             }
         }
         state.advertise(&shared, dispatcher_index);
     }
-    // Input closed (or a shard ring failed): flush whatever scratch remains
-    // toward still-open rings, then let the producers drop — which closes
-    // this dispatcher's row of shard rings.
+    // Input closed: flush whatever scratch remains toward still-open rings,
+    // then let the producers drop — which closes this dispatcher's row of
+    // shard rings.
     for shard in 0..outputs.len() {
         if !state.scatter[shard].is_empty() {
-            // Best effort on the way out: a closed ring here just means the
-            // shard is already gone too.
-            let _ = state.push_scratch(&outputs, shard, burst_size);
+            state.push_scratch(&outputs, shard, burst_size, submit_wait);
         }
     }
+    exit_guard.failed_shard = state.failed_shard;
     state.advertise(&shared, dispatcher_index);
 }

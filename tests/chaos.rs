@@ -1,0 +1,631 @@
+//! The chaos suite: deterministic fault injection against the sharded
+//! runtime and the network-attached service.
+//!
+//! Every scenario drives a seeded, replayable [`FaultPlan`] — worker panics
+//! and stalls at exact burst indices, wire-level packet faults at exact
+//! stream positions, control-connection aborts at exact request indices —
+//! and then holds the plane to the conservation contract: every failure is
+//! detected and recovered by `supervise()`, and afterwards
+//!
+//! ```text
+//! forwarded + dropped + lost_to_failure == submitted      (in_flight == 0)
+//! ```
+//!
+//! with the per-tenant ledgers independently retelling the same story.
+
+use menshen::core::MenshenPipeline;
+use menshen::io::{control_request, InProcessIo, Service, ServiceConfig, UdpSocketIo};
+use menshen::packet::{Packet, PacketBuilder};
+use menshen::runtime::{
+    ControlEventKind, FaultPlan, FaultSpec, RuntimeError, RuntimeOptions, ShardedRuntime,
+};
+use menshen::trace::synth::{synthesize, WorkloadSpec};
+use menshen_bench::workloads::flow_rule_tenant;
+use std::time::{Duration, Instant};
+
+const TENANTS: u16 = 4;
+const RULES: usize = 64;
+
+fn template() -> MenshenPipeline {
+    let params = menshen::rmt::TABLE5.with_table_depth(1024);
+    let mut pipeline = MenshenPipeline::new(params);
+    for module_id in 1..=TENANTS {
+        pipeline
+            .load_module(&flow_rule_tenant(module_id, RULES))
+            .unwrap();
+    }
+    pipeline
+}
+
+fn trace(packets: usize) -> Vec<Packet> {
+    let mut spec = WorkloadSpec::heavy_tailed(TENANTS, 96, packets);
+    spec.rules_per_tenant = RULES;
+    spec.mean_rate_pps = 50_000_000.0;
+    synthesize(&spec).unwrap()
+}
+
+/// `n` packets all carrying `tenant`'s VLAN tag — single-shard traffic
+/// under tenant-affine steering.
+fn tenant_frames(tenant: u16, n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let seq = (i as u32).to_be_bytes();
+            PacketBuilder::udp_data(tenant, [10, 0, 0, 1], [10, 0, 0, 2], 7, 80, &seq)
+        })
+        .collect()
+}
+
+/// Which shard `tenant`'s traffic lands on under tenant-affine steering
+/// with `shards` shards. Probed through a deterministic replica, which the
+/// shard-equivalence suite pins to the exact same steering as the threaded
+/// plane.
+fn tenant_shard(tenant: u16, shards: usize) -> usize {
+    let mut probe =
+        ShardedRuntime::from_pipeline(&template(), RuntimeOptions::deterministic(shards));
+    probe.process_batch(tenant_frames(tenant, 32)).unwrap();
+    let stats = probe.shard_stats();
+    stats
+        .iter()
+        .position(|s| s.packets > 0)
+        .expect("the probe batch landed on some shard")
+}
+
+/// The shards that see any of the synthetic 4-tenant trace.
+fn trafficked_shards(shards: usize) -> Vec<usize> {
+    let mut probe =
+        ShardedRuntime::from_pipeline(&template(), RuntimeOptions::deterministic(shards));
+    probe.process_batch(trace(512)).unwrap();
+    probe
+        .shard_stats()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.packets > 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Asserts the ISSUE's headline identity on a finished audit.
+fn assert_conserved(audit: &menshen::runtime::ConservationAudit) {
+    assert!(audit.is_balanced(), "books do not balance: {audit:?}");
+    assert_eq!(
+        audit.forwarded + audit.dropped + audit.lost_to_failure,
+        audit.submitted,
+        "forwarded + dropped + lost_to_failure must partition submitted: {audit:?}"
+    );
+    assert_eq!(audit.in_flight, 0, "{audit:?}");
+}
+
+/// A scheduled worker panic is contained, detected by the supervisor,
+/// routed around, and the shard respawned from a standby replica — across
+/// the full dispatcher-threaded path — with every packet accounted for.
+#[test]
+fn seeded_panics_are_detected_recovered_and_accounted() {
+    let victims = trafficked_shards(4);
+    assert!(!victims.is_empty());
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &template(),
+        RuntimeOptions::threaded(4)
+            .with_dispatchers(2)
+            .with_submit_wait(Duration::from_millis(100))
+            .with_wedge_threshold(Duration::from_secs(30)),
+    );
+    // Kill up to two distinct trafficked shards, early in their burst
+    // streams so a handful of waves reaches the coordinates.
+    let mut plan = FaultPlan::new();
+    let targets: Vec<usize> = victims.iter().copied().take(2).collect();
+    for (i, shard) in targets.iter().enumerate() {
+        plan = plan.with_worker_panic(*shard, 2 + i as u64);
+    }
+    runtime.arm_faults(plan);
+
+    let mut recovered = std::collections::BTreeSet::new();
+    let mut reports = Vec::new();
+    for _ in 0..200 {
+        runtime.submit_owned(trace(256)).unwrap();
+        for report in runtime.supervise() {
+            recovered.insert(report.shard);
+            reports.push(report);
+        }
+        if targets.iter().all(|s| recovered.contains(s)) {
+            break;
+        }
+        // Death is not instantaneous: the casualty still has to post its
+        // final snapshot and unwind off its thread before the supervisor
+        // can see the body.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Stop the plan re-firing on respawned workers (their burst counters
+    // restart at zero). A worker that re-entered the armed window just
+    // before the disarm may still be mid-death — give any such straggler
+    // time to land, sweep the plane quiet, then prove the recovered shards
+    // carry traffic.
+    runtime.disarm_faults();
+    std::thread::sleep(Duration::from_millis(50));
+    loop {
+        let late = runtime.supervise();
+        if late.is_empty() {
+            break;
+        }
+        for report in late {
+            recovered.insert(report.shard);
+            reports.push(report);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    runtime.submit_owned(trace(512)).unwrap();
+    runtime.flush();
+    assert!(
+        runtime.supervise().is_empty(),
+        "plane is quiet after disarm"
+    );
+
+    assert_eq!(
+        recovered,
+        targets
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>(),
+        "every scheduled casualty was detected and recovered"
+    );
+    assert!(runtime.failures() >= targets.len() as u64);
+    for report in &reports {
+        assert!(report.pause > Duration::ZERO, "{report:?}");
+        assert!(report.detection < Duration::from_secs(30), "{report:?}");
+    }
+
+    let events = runtime.control_events();
+    let failed = events
+        .iter()
+        .filter(|e| matches!(e.kind, ControlEventKind::ShardFailed { .. }))
+        .count();
+    let respawned = events
+        .iter()
+        .filter(|e| matches!(e.kind, ControlEventKind::ShardRecovered { .. }))
+        .count();
+    assert!(
+        failed >= targets.len() && respawned == failed,
+        "{failed} failures, {respawned} recoveries"
+    );
+
+    let audit = runtime.conservation_audit().unwrap();
+    assert_conserved(&audit);
+    assert!(
+        audit.lost_to_failure > 0,
+        "a mid-burst panic loses its burst"
+    );
+    // Reports carry the shard-side losses (in-flight burst + sealed-ring
+    // residue). A dispatcher refused by a ring in the seal window adds its
+    // burst straight to the audit's column, so the audit may exceed the
+    // report sum — never the other way around.
+    let reported: u64 = reports.iter().map(|r| r.lost_packets).sum();
+    assert!(
+        reported <= audit.lost_to_failure,
+        "reports claim {reported} lost but the audit only carries {}",
+        audit.lost_to_failure
+    );
+
+    // The failure counter is on the metrics plane too.
+    let snapshot = runtime.metrics_snapshot().unwrap();
+    let text = snapshot.to_prometheus();
+    assert!(
+        text.contains("menshen_runtime_failures_total"),
+        "failures counter missing from the exposition"
+    );
+}
+
+/// After a kill and recovery the respawned shard pulls its weight: the
+/// plane's post-recovery throughput is within 10% of its pre-failure
+/// throughput (best-of-N waves on both sides, to de-noise scheduling).
+#[test]
+fn post_recovery_throughput_is_within_ten_percent() {
+    let victims = trafficked_shards(2);
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &template(),
+        RuntimeOptions::threaded(2).with_submit_wait(Duration::from_millis(200)),
+    );
+    let wave = trace(8192);
+    let time_wave = |rt: &mut ShardedRuntime| {
+        let start = Instant::now();
+        rt.submit_owned(wave.clone()).unwrap();
+        rt.flush();
+        start.elapsed()
+    };
+    // Warm-up, then best-of-7 before the failure.
+    time_wave(&mut runtime);
+    let before = (0..7).map(|_| time_wave(&mut runtime)).min().unwrap();
+
+    // Kill one trafficked shard at its *next* burst and recover it.
+    let victim = victims[0];
+    let next_burst = runtime.shard_stats()[victim].bursts + 1;
+    runtime.arm_faults(FaultPlan::new().with_worker_panic(victim, next_burst));
+    let mut recovered = Vec::new();
+    for _ in 0..200 {
+        runtime.submit_owned(trace(256)).unwrap();
+        recovered.extend(runtime.supervise());
+        if !recovered.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    runtime.disarm_faults();
+    assert_eq!(recovered.len(), 1, "exactly the scheduled casualty");
+    assert_eq!(recovered[0].shard, victim);
+
+    runtime.flush();
+    // A genuinely degraded plane stays slow across remeasures; debug-build
+    // scheduling noise does not. Remeasure before believing a bad ratio.
+    let mut after = (0..7).map(|_| time_wave(&mut runtime)).min().unwrap();
+    let mut ratio = after.as_secs_f64() / before.as_secs_f64();
+    for _ in 0..4 {
+        if ratio <= 1.0 / 0.9 {
+            break;
+        }
+        after = (0..7).map(|_| time_wave(&mut runtime)).min().unwrap();
+        ratio = after.as_secs_f64() / before.as_secs_f64();
+    }
+    assert!(
+        ratio <= 1.0 / 0.9,
+        "post-recovery throughput degraded beyond 10%: before {before:?}, after {after:?} \
+         ({:.1}% of pre-failure)",
+        100.0 / ratio
+    );
+    assert_conserved(&runtime.conservation_audit().unwrap());
+}
+
+/// The chaos plane is replayable: the same seed derives the same fault
+/// schedule, and driving that schedule against the same traffic kills the
+/// same shards — with the books conserved on every run. (How often a
+/// respawned shard is re-killed before the plan is disarmed is wall-clock
+/// timing, so the replay contract is the schedule and the casualty set,
+/// not the kill count.)
+#[test]
+fn same_seed_replays_the_same_failure_schedule() {
+    const SEED: u64 = 1984;
+    let spec = FaultSpec {
+        shards: 4,
+        burst_horizon: 8,
+        worker_panics: 2,
+        worker_stalls: 1,
+        stall: Duration::from_millis(1),
+        packet_horizon: 1,
+        packet_faults: 0,
+    };
+    // The schedule itself is bit-identical across derivations.
+    let schedule: Vec<_> = FaultPlan::randomized(SEED, &spec).worker_faults().collect();
+    assert_eq!(
+        schedule,
+        FaultPlan::randomized(SEED, &spec)
+            .worker_faults()
+            .collect::<Vec<_>>(),
+        "one seed, one schedule"
+    );
+    assert!(!schedule.is_empty());
+
+    fn run(seed: u64, spec: &FaultSpec) -> std::collections::BTreeSet<u64> {
+        let mut runtime = ShardedRuntime::from_pipeline(
+            &template(),
+            RuntimeOptions::threaded(4).with_submit_wait(Duration::from_secs(5)),
+        );
+        runtime.arm_faults(FaultPlan::randomized(seed, spec));
+        for _ in 0..24 {
+            runtime.submit_owned(trace(256)).unwrap();
+            runtime.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Let every casualty finish dying, recover it, then disarm and
+        // prove the books.
+        for _ in 0..50 {
+            runtime.supervise();
+            let stuck = runtime
+                .control_events()
+                .iter()
+                .filter(|e| matches!(e.kind, ControlEventKind::ShardFailed { .. }))
+                .count()
+                == 0;
+            if !stuck {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        runtime.disarm_faults();
+        runtime.flush();
+        runtime.supervise();
+        runtime.flush();
+        let audit = runtime.conservation_audit().unwrap();
+        assert_conserved(&audit);
+        runtime
+            .control_events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ControlEventKind::ShardFailed { shard, .. } => Some(shard),
+                _ => None,
+            })
+            .collect()
+    }
+    let a = run(SEED, &spec);
+    let b = run(SEED, &spec);
+    assert!(
+        !a.is_empty(),
+        "seed {SEED} schedules at least one reachable panic"
+    );
+    assert_eq!(a, b, "same seed, same traffic — same casualties");
+}
+
+/// Graceful degradation: when one shard backs up, the bounded submission
+/// wait sheds the *overloaded tenant's* packets as typed backpressure drops
+/// — the neighbour tenant on the healthy shard never loses a packet and
+/// never stalls behind the hot one.
+#[test]
+fn an_overloaded_tenant_sheds_without_blocking_its_neighbours() {
+    // Find two tenants that land on different shards of a 2-shard plane.
+    let (hot, cold) = {
+        let shard_of: Vec<(u16, usize)> = (1..=TENANTS).map(|t| (t, tenant_shard(t, 2))).collect();
+        let (hot, hot_shard) = shard_of[0];
+        let cold = shard_of
+            .iter()
+            .find(|(_, s)| *s != hot_shard)
+            .map(|(t, _)| *t)
+            .expect("four tenants cover both shards");
+        (hot, cold)
+    };
+    let hot_shard = tenant_shard(hot, 2);
+
+    let mut options = RuntimeOptions::threaded(2).with_submit_wait(Duration::from_millis(20));
+    options.ring_capacity = 2;
+    let mut runtime = ShardedRuntime::from_pipeline(&template(), options);
+    // The hot tenant's shard sleeps through its first burst while its tiny
+    // rings fill behind it.
+    runtime.arm_faults(FaultPlan::new().with_worker_stall(
+        hot_shard,
+        0,
+        Duration::from_millis(500),
+    ));
+
+    let mut hot_submitted = 0u64;
+    let mut cold_submitted = 0u64;
+    for _ in 0..8 {
+        runtime.submit_owned(tenant_frames(hot, 32)).unwrap();
+        hot_submitted += 32;
+        runtime.submit_owned(tenant_frames(cold, 32)).unwrap();
+        cold_submitted += 32;
+    }
+    runtime.disarm_faults();
+    runtime.flush();
+
+    let shed = runtime.shed_by_tenant();
+    let hot_shed = shed.get(&hot).copied().unwrap_or(0);
+    let cold_shed = shed.get(&cold).copied().unwrap_or(0);
+    assert!(
+        hot_shed > 0,
+        "the stalled shard's tenant pays in shed packets: {shed:?}"
+    );
+    assert_eq!(cold_shed, 0, "the healthy tenant never sheds: {shed:?}");
+
+    let audit = runtime.conservation_audit().unwrap();
+    assert_conserved(&audit);
+    assert_eq!(audit.shed, hot_shed, "{audit:?}");
+    assert_eq!(audit.lost_to_failure, 0, "nothing died: {audit:?}");
+    assert_eq!(
+        audit.submitted,
+        hot_submitted + cold_submitted,
+        "shed packets still count as submitted"
+    );
+
+    // The ledgers tell the same story, per tenant: the hot tenant's losses
+    // are *typed* backpressure drops, the cold tenant has none.
+    let tenants = runtime.aggregated_tenants().unwrap();
+    assert_eq!(tenants[&hot].ledger.dropped_backpressure, hot_shed);
+    assert_eq!(tenants[&cold].ledger.dropped_backpressure, 0);
+    let cold_ledger = &tenants[&cold].ledger;
+    assert_eq!(
+        cold_ledger.forwarded
+            + cold_ledger
+                .drop_reasons()
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<u64>(),
+        cold_submitted,
+        "every cold-tenant packet got a verdict"
+    );
+}
+
+/// Satellite (c): a stalled shard turns a synchronous control op into a
+/// typed `EpochTimeout` under traffic — and once the stall clears, later
+/// epochs publish normally (the timeout wedges nothing).
+#[test]
+fn a_stalled_shard_times_out_the_control_op_without_wedging_later_epochs() {
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &template(),
+        RuntimeOptions::threaded(2).with_wedge_threshold(Duration::from_secs(30)),
+    );
+    runtime.set_control_timeout(Some(Duration::from_millis(100)));
+    // Whichever shard the trace hits first sleeps well past the control
+    // deadline; stall both coordinates so the fault fires regardless of the
+    // tenant→shard map.
+    runtime.arm_faults(
+        FaultPlan::new()
+            .with_worker_stall(0, 0, Duration::from_millis(600))
+            .with_worker_stall(1, 0, Duration::from_millis(600)),
+    );
+    runtime.submit_owned(trace(256)).unwrap();
+
+    let err = runtime
+        .load_module(&flow_rule_tenant(9, 8))
+        .expect_err("a stalled shard must fail the sync op, not hang it");
+    match err {
+        RuntimeError::EpochTimeout { waited, .. } => {
+            assert_eq!(waited, Duration::from_millis(100));
+        }
+        other => panic!("expected EpochTimeout, got {other:?}"),
+    }
+
+    // The stall passes; the plane is not wedged: the next sync op flushes,
+    // publishes and applies cleanly, and traffic keeps balancing.
+    runtime.disarm_faults();
+    runtime.flush();
+    runtime
+        .load_module(&flow_rule_tenant(9, 8))
+        .expect("later epochs publish normally after the stall clears");
+    runtime.submit_owned(trace(256)).unwrap();
+    runtime.flush();
+    assert_eq!(runtime.failures(), 0, "a stall is not a failure");
+    assert!(runtime.supervise().is_empty(), "nothing to recover");
+    assert_conserved(&runtime.conservation_audit().unwrap());
+}
+
+/// Submissions against a plane whose workers have all died return within
+/// the bounded wait (shed, typed per tenant) instead of parking forever —
+/// and supervision then rebuilds the whole plane.
+#[test]
+fn submissions_against_dead_shards_return_bounded_never_park() {
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &template(),
+        RuntimeOptions::threaded(2)
+            .with_submit_wait(Duration::from_millis(30))
+            .with_wedge_threshold(Duration::from_secs(30)),
+    );
+    // Both workers die on their very first burst.
+    runtime.arm_faults(
+        FaultPlan::new()
+            .with_worker_panic(0, 0)
+            .with_worker_panic(1, 0),
+    );
+    let start = Instant::now();
+    for _ in 0..10 {
+        // Rings of dead workers stay open (failure containment), so pushes
+        // land until the rings fill, then shed after the bounded wait; the
+        // call must always come back.
+        runtime.submit_owned(trace(128)).unwrap();
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "bounded-wait submission never parks forever"
+    );
+
+    // Poll until both corpses surface — the plan stays armed until then,
+    // so even a worker the scheduler was slow to run still meets its
+    // burst-0 fault. No traffic flows here, so a respawned worker (fresh
+    // burst counter) cannot re-fire before the disarm below.
+    let mut reports = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while reports.len() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "corpses never surfaced: {reports:?}"
+        );
+        reports.extend(runtime.supervise());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    runtime.disarm_faults();
+    assert_eq!(reports.len(), 2, "both casualties recovered: {reports:?}");
+    runtime.submit_owned(trace(512)).unwrap();
+    runtime.flush();
+    let audit = runtime.conservation_audit().unwrap();
+    assert_conserved(&audit);
+    assert!(audit.lost_to_failure > 0);
+}
+
+/// Wire-level chaos: a seeded schedule of drops, duplicates, reorders and
+/// TPID corruption applied in front of the real UDP socket backend. The
+/// service's books balance against what actually arrived — a hostile wire
+/// can change *what* the plane sees, never make the accounting lie.
+#[test]
+fn wire_level_packet_faults_keep_the_service_books_balanced() {
+    use menshen::runtime::PacketFault;
+    let clean: Vec<Vec<u8>> = tenant_frames(3, 64)
+        .iter()
+        .map(|p| p.bytes().to_vec())
+        .collect();
+    let plan = FaultPlan::new()
+        .with_packet_fault(3, PacketFault::Drop)
+        .with_packet_fault(9, PacketFault::Duplicate)
+        .with_packet_fault(17, PacketFault::Reorder)
+        .with_packet_fault(30, PacketFault::Corrupt)
+        .with_packet_fault(31, PacketFault::Duplicate)
+        .with_packet_fault(50, PacketFault::Drop);
+    let wire = plan.apply_to_frames(&clean);
+    assert_eq!(wire.len(), clean.len(), "2 dropped, 2 duplicated");
+
+    let io = UdpSocketIo::bind(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST), 2).unwrap();
+    let addrs = io.local_addrs();
+    let mut service = Service::new(&template(), Box::new(io), ServiceConfig::default()).unwrap();
+    let feeder = std::net::UdpSocket::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+    for (i, frame) in wire.iter().enumerate() {
+        feeder.send_to(frame, addrs[i % addrs.len()]).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.packets_received() < wire.len() as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "service never saw the faulted stream: {} of {}",
+            service.packets_received(),
+            wire.len()
+        );
+        service.poll().unwrap();
+    }
+    let report = service.graceful_drain().unwrap();
+    assert!(
+        report.balanced,
+        "faulted wire unbalanced the books: {report:?}"
+    );
+    assert_eq!(report.link.rx_packets, wire.len() as u64);
+    assert_eq!(
+        report.audit.submitted + report.rx_discarded,
+        report.link.rx_packets,
+        "every arrived frame is either in the audit or counted discarded"
+    );
+    assert_conserved(&report.audit);
+}
+
+/// Control-plane chaos: clients that tear their connection down
+/// mid-exchange, at seeded request indices, never take the service with
+/// them — the surviving requests are answered and the drain still balances.
+#[test]
+fn control_disconnects_mid_exchange_leave_the_service_serving() {
+    let plan = FaultPlan::new()
+        .with_control_disconnect(1)
+        .with_control_disconnect(3)
+        .with_control_disconnect(4);
+    let (io, handle) = InProcessIo::new();
+    let mut service = Service::new(&template(), Box::new(io), ServiceConfig::default()).unwrap();
+    let addr = service.control_addr().expect("control listener");
+
+    let client = std::thread::spawn(move || {
+        let timeout = Duration::from_secs(10);
+        let mut replies = Vec::new();
+        for request in 0..6u64 {
+            if plan.control_disconnect(request) {
+                // The scheduled abort: write the request, slam the
+                // connection shut before reading the reply.
+                use std::io::Write;
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                stream.write_all(b"STATS\n").unwrap();
+                drop(stream);
+            } else {
+                replies.push(control_request(addr, "PING", timeout).unwrap());
+            }
+        }
+        replies.push(control_request(addr, "DRAIN", timeout).unwrap());
+        replies
+    });
+
+    let mut injected = 0usize;
+    while !service.drain_requested() {
+        if injected < 4_096 {
+            handle.inject(tenant_frames(3, 32));
+            injected += 32;
+        }
+        service.poll().unwrap();
+    }
+    let replies = client.join().unwrap();
+    assert_eq!(replies.len(), 4, "three PINGs and the DRAIN all answered");
+    assert!(replies[..3].iter().all(|r| r == "ok pong"), "{replies:?}");
+    assert_eq!(replies[3], "ok draining");
+
+    let report = service.graceful_drain().unwrap();
+    assert!(
+        report.balanced,
+        "aborted control clients cost packets: {report:?}"
+    );
+    assert_eq!(report.audit.submitted, injected as u64);
+}
