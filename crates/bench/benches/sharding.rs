@@ -16,12 +16,14 @@
 //! effective shard count taken from the workload's actual steering balance.
 //! The JSON records which source each point used, plus the host parallelism.
 
-use menshen_bench::workloads::{flow_rule_tenant, flow_workload};
+use menshen_bench::workloads::{flow_rule_tenant, flow_rule_tenant_with_port, flow_workload};
 use menshen_core::MenshenPipeline;
 use menshen_json::Json;
+use menshen_rmt::action::AluInstruction;
+use menshen_rmt::phv::ContainerRef as C;
 use menshen_rmt::TABLE5;
 use menshen_runtime::SteeringMode;
-use menshen_testbed::scaling::{dispatch_scaling_sweep, shard_scaling_sweep};
+use menshen_testbed::scaling::{dispatch_scaling_sweep, scr_scaling_sweep, shard_scaling_sweep};
 
 const TENANTS: u16 = 8;
 const RULES_PER_TENANT: usize = 150; // 8 × 150 = 1200 CAM entries ≥ 1k
@@ -139,6 +141,135 @@ fn main() {
         menshen_bench::update_baseline("shard_scaling", &doc);
     }
     menshen_bench::write_json("bench_sharding", &doc);
+
+    // ------------------------------------------------------------------
+    // Stateful (state-compute-replication) series: tenant 1 becomes a
+    // storing, NON-mergeable program — its rules overwrite stateful word 2
+    // with a packet field — so under 5-tuple steering it runs *replicated*:
+    // every shard owns part of its flows and replays digests for the rest.
+    // The series reports the replay-aware scaling model plus the digest
+    // wire overhead per packet.
+    // ------------------------------------------------------------------
+    let mut stateful_template = MenshenPipeline::new(params);
+    let mut storing = flow_rule_tenant_with_port(1, RULES_PER_TENANT, 1001);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    stateful_template.load_module(&storing).unwrap();
+    for module_id in 2..=TENANTS {
+        stateful_template
+            .load_module(&flow_rule_tenant(module_id, RULES_PER_TENANT))
+            .unwrap();
+    }
+    let stateful_report = scr_scaling_sweep(&stateful_template, &packets, &SHARD_COUNTS, reps);
+    assert_eq!(
+        stateful_report.replicated_modules,
+        vec![1],
+        "the storing tenant must classify Replicated"
+    );
+
+    println!();
+    println!(
+        "stateful series (tenant 1 storing/replicated): per-shard {:>7.2} Mpps   \
+         replay {:>7.2} Mdigests/s   dispatcher {:>7.2} Mpps",
+        stateful_report.per_shard_mpps, stateful_report.replay_mpps, stateful_report.dispatch_mpps
+    );
+    println!();
+    println!(
+        "shards   aggregate Mpps   source     model Mpps   threaded-on-host Mpps   digest B/pkt   speedup"
+    );
+    for point in &stateful_report.points {
+        println!(
+            "{:>6}   {:>14.2}   {:<8} {:>12.2}   {:>21.2}   {:>12.2}   {:>6.2}x{}",
+            point.shards,
+            point.aggregate_mpps,
+            point.source,
+            point.model_mpps,
+            point.threaded_mpps,
+            point.digest_bytes_per_packet,
+            point.speedup,
+            if point.all_packets_accounted {
+                ""
+            } else {
+                "   (!) packets unaccounted"
+            }
+        );
+    }
+    for point in &stateful_report.points {
+        assert!(
+            point.all_packets_accounted,
+            "stateful threaded runtime lost packets at {} shards",
+            point.shards
+        );
+    }
+    let stateful_4 = stateful_report.point(4).expect("the sweep covers 4 shards");
+    // The committed acceptance figure: a non-mergeable storing tenant no
+    // longer caps the series at one shard — the replay-aware model scales
+    // past 1× despite the digest replay tax.
+    assert!(
+        stateful_4.model_speedup > 1.0,
+        "replicated storing tenant must scale past one shard \
+         (got {:.2}x model speedup)",
+        stateful_4.model_speedup
+    );
+
+    let stateful_series: Vec<Json> = stateful_report
+        .points
+        .iter()
+        .map(|point| {
+            Json::obj([
+                ("cores", Json::from(point.shards)),
+                ("mpps", Json::from(point.aggregate_mpps)),
+                ("source", Json::from(point.source)),
+                ("model_mpps", Json::from(point.model_mpps)),
+                ("threaded_on_host_mpps", Json::from(point.threaded_mpps)),
+                ("effective_shards", Json::from(point.effective_shards)),
+                ("speedup_vs_1_shard", Json::from(point.speedup)),
+                ("model_speedup_vs_1_shard", Json::from(point.model_speedup)),
+                ("digest_packets", Json::from(point.digest_packets)),
+                ("digest_bytes", Json::from(point.digest_bytes)),
+                (
+                    "digest_bytes_per_packet",
+                    Json::from(point.digest_bytes_per_packet),
+                ),
+                (
+                    "all_packets_accounted",
+                    Json::Bool(point.all_packets_accounted),
+                ),
+            ])
+        })
+        .collect();
+    let stateful_doc = Json::obj([
+        ("tenants", Json::from(TENANTS)),
+        ("storing_tenants", Json::from(1u64)),
+        ("cam_entries_installed", Json::from(installed)),
+        ("workload_packets", Json::from(packets.len())),
+        ("steering", Json::from("five_tuple_rss")),
+        ("execution_mode", Json::from("replicated_non_mergeable")),
+        (
+            "host_parallelism",
+            Json::from(stateful_report.host_parallelism),
+        ),
+        ("per_shard_mpps", Json::from(stateful_report.per_shard_mpps)),
+        (
+            "replay_mdigests_per_s",
+            Json::from(stateful_report.replay_mpps),
+        ),
+        ("dispatch_mpps", Json::from(stateful_report.dispatch_mpps)),
+        ("cores_vs_mpps", Json::Arr(stateful_series)),
+        ("speedup_at_4_shards", Json::from(stateful_4.speedup)),
+        (
+            "model_speedup_at_4_shards",
+            Json::from(stateful_4.model_speedup),
+        ),
+    ]);
+    if !fast {
+        menshen_bench::update_baseline("shard_scaling_stateful", &stateful_doc);
+    }
+    menshen_bench::write_json("bench_sharding_stateful", &stateful_doc);
 
     // ------------------------------------------------------------------
     // Dispatch-scaling series: dispatchers × shards → Mpps. The point of

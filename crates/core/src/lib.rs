@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod error;
 pub mod metrics;
 pub mod module;
@@ -59,14 +60,15 @@ pub mod sw_interface;
 pub mod system_module;
 pub mod telemetry;
 
+pub use digest::{DigestField, DigestSpec, StateDigest, DIGEST_MAX_FIELDS};
 pub use error::CoreError;
 pub use metrics::{
     labels, validate_prometheus, Counter, HistogramHandle, Labels, MetricSample, MetricValue,
     MetricsRegistry, MetricsSnapshot, TenantTelemetry, VerdictLedger,
 };
 pub use module::{
-    LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule, ResourceAllocation,
-    StageModuleConfig, StateMergeability, TableRule,
+    ExecutionMode, LpmMatchRule, MatchRule, ModuleConfig, ModuleId, RangeMatchRule,
+    ResourceAllocation, StageModuleConfig, StateMergeability, TableRule,
 };
 pub use overlay::OverlayTable;
 pub use packet_filter::{FilterDecision, PacketFilter};

@@ -4,6 +4,7 @@
 //! program in the paper's terminology). Modules are identified on the wire by
 //! the packet's VLAN ID (12 bits) and inside the pipeline by the same value.
 
+use crate::digest::DigestSpec;
 use menshen_rmt::action::{AluOp, VliwAction};
 use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParserEntry};
 use menshen_rmt::match_table::{LookupKey, MatchKind};
@@ -177,6 +178,10 @@ pub struct ModuleConfig {
     pub deparser: ParserEntry,
     /// Per-stage configuration, indexed by stage.
     pub stages: Vec<StageModuleConfig>,
+    /// Operator pin hint: force tenant-affine pinning even when the module
+    /// would qualify for state-compute replication (e.g. to keep digest
+    /// overhead off the wire for a tenant known to fit one shard).
+    pub pinned: bool,
 }
 
 impl ModuleConfig {
@@ -188,7 +193,14 @@ impl ModuleConfig {
             parser: ParserEntry::default(),
             deparser: ParserEntry::default(),
             stages: vec![StageModuleConfig::default(); num_stages],
+            pinned: false,
         }
+    }
+
+    /// Sets the pin hint (builder style). See [`ModuleConfig::pinned`].
+    pub fn with_pinned(mut self, pinned: bool) -> Self {
+        self.pinned = pinned;
+        self
     }
 
     /// Total number of match-action rules across all stages, all match kinds.
@@ -261,6 +273,38 @@ impl ModuleConfig {
             StateMergeability::Stateless
         }
     }
+
+    /// The per-module state-digest recipe, or `None` when the parser extracts
+    /// more fields than a digest can carry. Derived entirely from the parser
+    /// entry because every input the module's matching and ALUs can observe
+    /// arrives through a parser-filled PHV container.
+    pub fn digest_spec(&self) -> Option<DigestSpec> {
+        DigestSpec::from_parser(self.module_id.value(), &self.parser)
+    }
+
+    /// Chooses how this module executes across shard replicas — the load-time
+    /// refinement of [`ModuleConfig::state_mergeability`]:
+    ///
+    /// * mergeable (or stateless) state splits per shard and merges by
+    ///   summation, so the module runs everywhere with no extra machinery;
+    /// * non-mergeable state is *replicated*: every shard keeps a full copy
+    ///   and the dispatcher broadcasts per-packet [`DigestSpec`] digests so
+    ///   all copies advance identically (State-Compute Replication);
+    /// * pinning — the old single-shard regime — remains for modules that
+    ///   opt out via [`ModuleConfig::pinned`] or whose parsers are too wide
+    ///   to digest.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        match self.state_mergeability() {
+            StateMergeability::Stateless | StateMergeability::Mergeable => ExecutionMode::Mergeable,
+            StateMergeability::NonMergeable { .. } => {
+                if self.pinned || self.digest_spec().is_none() {
+                    ExecutionMode::Pinned
+                } else {
+                    ExecutionMode::Replicated
+                }
+            }
+        }
+    }
 }
 
 /// True if any ALU of `action` overwrites stateful memory (`store`) — the
@@ -296,6 +340,23 @@ pub enum StateMergeability {
         /// Which rule and why.
         detail: String,
     },
+}
+
+/// How a module's state executes across shard replicas under 5-tuple
+/// steering — the three-way refinement of [`StateMergeability`] chosen at
+/// load time. See [`ModuleConfig::execution_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// State is absent or additive: shards keep independent partial copies
+    /// that merge exactly by summation.
+    Mergeable,
+    /// Non-mergeable state owned by exactly one shard; all of the tenant's
+    /// traffic is steered there and resizes migrate the single copy.
+    Pinned,
+    /// Non-mergeable state replicated on every shard, kept bit-identical by
+    /// replaying dispatcher-broadcast packet digests (State-Compute
+    /// Replication); any replica's snapshot is authoritative.
+    Replicated,
 }
 
 #[cfg(test)]
@@ -362,6 +423,46 @@ mod tests {
             }
             other => panic!("expected NonMergeable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn execution_mode_refines_mergeability() {
+        use menshen_rmt::action::AluInstruction;
+        use menshen_rmt::config::ParseAction;
+        use menshen_rmt::phv::ContainerRef as C;
+
+        let mut config = ModuleConfig::empty(ModuleId::new(1), "m", 3);
+        assert_eq!(config.execution_mode(), ExecutionMode::Mergeable);
+
+        config.stages[0].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop().with(C::h4(7), AluInstruction::loadd(0)),
+        });
+        assert_eq!(config.execution_mode(), ExecutionMode::Mergeable);
+
+        // A store makes the module non-mergeable; with a digestible parser it
+        // replicates instead of pinning.
+        config.stages[0].rules.push(MatchRule {
+            key: LookupKey::default(),
+            action: VliwAction::nop().with(C::h4(3), AluInstruction::store(C::h4(1), 4)),
+        });
+        assert_eq!(config.execution_mode(), ExecutionMode::Replicated);
+
+        // The operator pin hint forces the old single-shard regime.
+        assert_eq!(
+            config.clone().with_pinned(true).execution_mode(),
+            ExecutionMode::Pinned
+        );
+
+        // A parser too wide to digest also falls back to pinning.
+        config.parser = ParserEntry::new(
+            (0..9)
+                .map(|i| ParseAction::new(14 + 2 * i, C::h2(i % 8)).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        assert!(config.digest_spec().is_none());
+        assert_eq!(config.execution_mode(), ExecutionMode::Pinned);
     }
 
     #[test]

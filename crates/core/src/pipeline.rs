@@ -42,9 +42,11 @@
 //! the index without bumping the CAM's lookup/hit statistics for the probes
 //! it amortises away.
 
+use crate::digest::{DigestSpec, StateDigest};
 use crate::error::CoreError;
 use crate::module::{
-    LpmMatchRule, ModuleConfig, ModuleId, RangeMatchRule, StateMergeability, TableRule,
+    ExecutionMode, LpmMatchRule, ModuleConfig, ModuleId, RangeMatchRule, StateMergeability,
+    TableRule,
 };
 use crate::overlay::OverlayTable;
 use crate::packet_filter::{FilterDecision, PacketFilter};
@@ -62,7 +64,7 @@ use menshen_rmt::lpm::LpmTable;
 use menshen_rmt::match_table::{LookupKey, MatchEntry, MatchKind};
 use menshen_rmt::params::{PipelineParams, MATCH_TABLE_CAPACITY};
 use menshen_rmt::parser;
-use menshen_rmt::phv::Phv;
+use menshen_rmt::phv::{ContainerRef, Phv};
 use menshen_rmt::stage::{StageConfig, StageHardware};
 use menshen_rmt::ternary::{RangeRule, RangeTable};
 use std::collections::HashMap;
@@ -225,6 +227,8 @@ struct ModuleRuntime {
     cam_ranges: Vec<Allocation>,
     stateful_ranges: Vec<Allocation>,
     counters: ModuleCounters,
+    /// The load-time pin hint from [`ModuleConfig::pinned`].
+    pinned: bool,
 }
 
 /// Report returned by [`MenshenPipeline::load_module`].
@@ -559,6 +563,35 @@ impl MenshenPipeline {
         })
     }
 
+    /// The digest recipe for a *loaded* module, built from the parser entry
+    /// actually installed in its overlay slot. `None` if the module is not
+    /// loaded or its parser extracts more fields than a digest can carry.
+    pub fn module_digest_spec(&self, module: ModuleId) -> Option<DigestSpec> {
+        let runtime = self.modules.get(&module.value())?;
+        let parser = self.parser_table.read(runtime.slot)?;
+        DigestSpec::from_parser(module.value(), parser)
+    }
+
+    /// Chooses how a *loaded* module executes across shard replicas — the
+    /// installed-form counterpart of [`ModuleConfig::execution_mode`], driven
+    /// by [`module_state_mergeability`](Self::module_state_mergeability), the
+    /// load-time pin hint and the installed parser's digestibility. Returns
+    /// `None` if the module is not loaded.
+    pub fn module_execution_mode(&self, module: ModuleId) -> Option<ExecutionMode> {
+        let mergeability = self.module_state_mergeability(module)?;
+        let runtime = self.modules.get(&module.value())?;
+        Some(match mergeability {
+            StateMergeability::Stateless | StateMergeability::Mergeable => ExecutionMode::Mergeable,
+            StateMergeability::NonMergeable { .. } => {
+                if runtime.pinned || self.module_digest_spec(module).is_none() {
+                    ExecutionMode::Pinned
+                } else {
+                    ExecutionMode::Replicated
+                }
+            }
+        })
+    }
+
     // -----------------------------------------------------------------------
     // Module lifecycle
     // -----------------------------------------------------------------------
@@ -578,13 +611,13 @@ impl MenshenPipeline {
         commands.push(ReconfigCommand::write(
             ResourceKind::Parser,
             0,
-            slot as u8,
+            slot as u16,
             WritePayload::Parser(config.parser.clone()),
         ));
         commands.push(ReconfigCommand::write(
             ResourceKind::Deparser,
             0,
-            slot as u8,
+            slot as u16,
             WritePayload::Deparser(config.deparser.clone()),
         ));
         for (stage_idx, stage_cfg) in config.stages.iter().enumerate() {
@@ -593,7 +626,7 @@ impl MenshenPipeline {
                 commands.push(ReconfigCommand::write(
                     ResourceKind::KeyExtractor,
                     stage,
-                    slot as u8,
+                    slot as u16,
                     WritePayload::KeyExtract(entry),
                 ));
             }
@@ -601,13 +634,13 @@ impl MenshenPipeline {
                 commands.push(ReconfigCommand::write(
                     ResourceKind::KeyMask,
                     stage,
-                    slot as u8,
+                    slot as u16,
                     WritePayload::KeyMask(mask),
                 ));
             }
             let cam_base = cam_ranges.get(stage_idx).map(|a| a.start).unwrap_or(0);
             for (i, rule) in stage_cfg.rules.iter().enumerate() {
-                let index = (cam_base + i) as u8;
+                let index = (cam_base + i) as u16;
                 commands.push(ReconfigCommand::write(
                     ResourceKind::MatchTable,
                     stage,
@@ -629,7 +662,7 @@ impl MenshenPipeline {
             // rules themselves are addressed by module slot and rebased onto
             // that range when applied.
             for (i, action) in stage_cfg.table_actions.iter().enumerate() {
-                let index = (cam_base + stage_cfg.rules.len() + i) as u8;
+                let index = (cam_base + stage_cfg.rules.len() + i) as u16;
                 commands.push(ReconfigCommand::write(
                     ResourceKind::ActionTable,
                     stage,
@@ -641,7 +674,7 @@ impl MenshenPipeline {
                 commands.push(ReconfigCommand::write(
                     ResourceKind::LpmTable,
                     stage,
-                    slot as u8,
+                    slot as u16,
                     WritePayload::LpmRule(*rule),
                 ));
             }
@@ -649,7 +682,7 @@ impl MenshenPipeline {
                 commands.push(ReconfigCommand::write(
                     ResourceKind::RangeTable,
                     stage,
-                    slot as u8,
+                    slot as u16,
                     WritePayload::RangeRule(*rule),
                 ));
             }
@@ -661,7 +694,7 @@ impl MenshenPipeline {
                 commands.push(ReconfigCommand::write(
                     ResourceKind::SegmentTable,
                     stage,
-                    slot as u8,
+                    slot as u16,
                     WritePayload::Segment(SegmentEntry::new(range.start as u32, range.len as u32)),
                 ));
             }
@@ -783,6 +816,7 @@ impl MenshenPipeline {
                 cam_ranges,
                 stateful_ranges,
                 counters: ModuleCounters::default(),
+                pinned: config.pinned,
             },
         );
         Ok(LoadReport {
@@ -1608,6 +1642,63 @@ impl MenshenPipeline {
         scratch.touched.push(slot);
     }
 
+    /// Replays one dispatcher-broadcast [`StateDigest`] — the receive half of
+    /// State-Compute Replication. The digest's field values rebuild exactly
+    /// the PHV the module's parser would have produced for the digested
+    /// packet (every input the module's matching and ALUs can observe is a
+    /// parser-filled container), and the module's match-action stages run
+    /// over it so every stateful ALU op executes precisely as it did on the
+    /// shard that owned the packet. The replica's state words therefore
+    /// advance bit-identically, while everything packet-shaped is skipped:
+    /// no verdict, no traffic counters, no deparsing, no system-module
+    /// forwarding. Stateful accesses land in the replay tallies
+    /// ([`menshen_rmt::StatefulMemory::set_replay`]) so real-traffic
+    /// statistics stay clean.
+    ///
+    /// Digests for unknown modules or modules currently marked as being
+    /// reconfigured are ignored: the owning shard drops those packets, so a
+    /// replica must not advance state for them either.
+    pub fn apply_state_digest(&mut self, digest: &StateDigest) {
+        let module_id = digest.module();
+        let Some(slot) = self.modules.get(&module_id).map(|m| m.slot) else {
+            return;
+        };
+        if slot < 32 && self.filter.bitmap() & (1 << slot) != 0 {
+            return;
+        }
+        let mut phv = std::mem::take(&mut self.batch.phv);
+        phv.reset();
+        phv.module_id = module_id;
+        for &(code, value) in digest.fields() {
+            if let Ok(container) = ContainerRef::from_code(code) {
+                phv.set(container, value);
+            }
+        }
+        for stage in &mut self.stages {
+            let config = StageConfig {
+                key_extract: stage.key_extract.read(slot).copied().unwrap_or_default(),
+                key_mask: stage.key_mask.read(slot).copied().unwrap_or_default(),
+            };
+            let translator = SegmentTranslator::new(stage.segment.read(slot));
+            let key = extract_key(&phv, &config.key_extract, &config.key_mask);
+            let MenshenStage { hw, lpm, range, .. } = stage;
+            hw.stateful.set_replay(true);
+            if let Some(table) = lpm.get(slot).and_then(|t| t.as_ref()) {
+                if let Some(action) = table.lookup_key(&key) {
+                    hw.execute_action(action as usize, &mut phv, &translator);
+                }
+            } else if let Some(table) = range.get(slot).and_then(|t| t.as_ref()) {
+                if let Some(action) = table.lookup_key(&key) {
+                    hw.execute_action(action as usize, &mut phv, &translator);
+                }
+            } else if let Some(cam_index) = hw.cam.peek(&key, module_id) {
+                hw.execute_hit(cam_index, &mut phv, &translator);
+            }
+            hw.stateful.set_replay(false);
+        }
+        self.batch.phv = phv;
+    }
+
     /// Marks a module as being reconfigured (software register write); its
     /// packets are dropped until [`end_reconfiguration`](Self::end_reconfiguration).
     pub fn begin_reconfiguration(&mut self, module: ModuleId) -> Result<()> {
@@ -1977,6 +2068,103 @@ mod tests {
         assert!(pipeline
             .module_state_mergeability(ModuleId::new(99))
             .is_none());
+    }
+
+    /// `simple_module` with the loadd swapped for a `store` of the matched
+    /// dst IP — the canonical non-mergeable (last-writer-wins) program.
+    fn storing_module(module_id: u16, dst_ip: u32, rewrite_port: u16) -> ModuleConfig {
+        let mut config = simple_module(module_id, dst_ip, rewrite_port);
+        config.stages[0].rules[0].action = VliwAction::nop()
+            .with(C::h2(0), AluInstruction::set(rewrite_port))
+            .with(C::h4(7), AluInstruction::store(C::h4(1), 2));
+        config
+    }
+
+    #[test]
+    fn loaded_module_execution_mode_matches_the_config_classification() {
+        let mut pipeline = MenshenPipeline::new(TABLE5);
+        let additive = simple_module(1, 0x0a00_0002, 1111);
+        let storing = storing_module(2, 0x0a00_0002, 2222);
+        let pinned = storing_module(3, 0x0a00_0002, 3333).with_pinned(true);
+        for config in [&additive, &storing, &pinned] {
+            pipeline.load_module(config).unwrap();
+            assert_eq!(
+                pipeline.module_execution_mode(config.module_id),
+                Some(config.execution_mode()),
+                "module {}",
+                config.module_id
+            );
+        }
+        assert_eq!(
+            pipeline.module_execution_mode(ModuleId::new(2)),
+            Some(ExecutionMode::Replicated)
+        );
+        assert_eq!(
+            pipeline.module_execution_mode(ModuleId::new(3)),
+            Some(ExecutionMode::Pinned),
+            "the pin hint survives loading"
+        );
+        assert!(pipeline.module_execution_mode(ModuleId::new(99)).is_none());
+        let spec = pipeline.module_digest_spec(ModuleId::new(2)).unwrap();
+        assert_eq!(spec.fields().len(), 2, "spec mirrors the installed parser");
+    }
+
+    #[test]
+    fn digest_replay_advances_state_identically_to_processing() {
+        let config = storing_module(7, 0x0a00_0002, 9999);
+        let mut owner = MenshenPipeline::new(TABLE5);
+        owner.load_module(&config).unwrap();
+        let mut replica = owner.config_replica();
+        let spec = owner.module_digest_spec(ModuleId::new(7)).unwrap();
+
+        // The owner processes real packets; the replica sees only digests.
+        for i in 0..5u8 {
+            let packet = packet_for(7, 2);
+            let digest = spec.extract(&packet, 0);
+            assert!(owner.process(packet).is_forwarded());
+            replica.apply_state_digest(&digest);
+            assert_eq!(
+                replica.read_stateful(ModuleId::new(7), 0, 2),
+                owner.read_stateful(ModuleId::new(7), 0, 2),
+                "replica word tracks the owner after packet {i}"
+            );
+        }
+        // `store` wrote the matched dst IP into word 2 on both sides.
+        assert_eq!(
+            replica.read_stateful(ModuleId::new(7), 0, 2),
+            Some(0x0a00_0002)
+        );
+
+        // Digests are bookkeeping: no counters, no verdicts, clean stats.
+        assert_eq!(
+            replica.module_counters(ModuleId::new(7)),
+            Some(ModuleCounters::default())
+        );
+
+        // Non-matching packets replay as faithfully as matching ones (the
+        // stage misses, so state is untouched on both sides).
+        let miss = packet_for(7, 9);
+        let digest = spec.extract(&miss, 0);
+        assert!(owner.process(miss).is_forwarded());
+        replica.apply_state_digest(&digest);
+        assert_eq!(
+            replica.read_stateful(ModuleId::new(7), 0, 2),
+            owner.read_stateful(ModuleId::new(7), 0, 2)
+        );
+
+        // Digests for unknown or reconfiguring modules are ignored.
+        let mut stray = spec.extract(&packet_for(7, 2), 0);
+        replica.begin_reconfiguration(ModuleId::new(7)).unwrap();
+        replica.apply_state_digest(&stray);
+        replica.end_reconfiguration(ModuleId::new(7)).unwrap();
+        assert_eq!(
+            replica.read_stateful(ModuleId::new(7), 0, 2),
+            Some(0x0a00_0002),
+            "reconfiguring modules drop digests like they drop packets"
+        );
+        stray.set_before(1);
+        let mut empty = MenshenPipeline::new(TABLE5);
+        empty.apply_state_digest(&stray); // unknown module: no-op, no panic
     }
 
     #[test]
@@ -2553,7 +2741,7 @@ mod tests {
         let packet = ReconfigCommand::write(
             ResourceKind::LpmTable,
             0,
-            report.slot as u8,
+            report.slot as u16,
             WritePayload::LpmRule(LpmMatchRule {
                 prefix: 0x0a00_0000,
                 prefix_len: 8,

@@ -40,7 +40,7 @@ pub enum ResourceKind {
     SegmentTable,
     /// A module slot's longest-prefix-match table (the index field addresses
     /// the module *slot*; the rule itself rides in the payload, since a
-    /// million-entry table cannot be addressed by the 8-bit index).
+    /// million-entry table cannot be addressed by the 16-bit index).
     LpmTable,
     /// A module slot's range (ternary interval) table; addressed like
     /// [`ResourceKind::LpmTable`].
@@ -137,8 +137,9 @@ pub struct ReconfigCommand {
     /// Target stage (0-based; ignored for the parser and deparser).
     pub stage: u8,
     /// Entry index within the table: the module slot for overlay tables, the
-    /// CAM/action address for partitioned tables.
-    pub index: u8,
+    /// CAM/action address for partitioned tables. 16 bits, so partitioned
+    /// tables deeper than 256 entries are addressable.
+    pub index: u16,
     /// Whether this command clears the entry rather than writing it.
     pub clear: bool,
     /// The entry to write (ignored when `clear` is set).
@@ -147,7 +148,7 @@ pub struct ReconfigCommand {
 
 impl ReconfigCommand {
     /// Convenience constructor for a write command.
-    pub fn write(kind: ResourceKind, stage: u8, index: u8, payload: WritePayload) -> Self {
+    pub fn write(kind: ResourceKind, stage: u8, index: u16, payload: WritePayload) -> Self {
         ReconfigCommand {
             kind,
             stage,
@@ -158,7 +159,7 @@ impl ReconfigCommand {
     }
 
     /// Convenience constructor for a clear command.
-    pub fn clear(kind: ResourceKind, stage: u8, index: u8) -> Self {
+    pub fn clear(kind: ResourceKind, stage: u8, index: u16) -> Self {
         ReconfigCommand {
             kind,
             stage,
@@ -289,12 +290,12 @@ impl ReconfigCommand {
 
     /// Encodes the command into a reconfiguration packet: a VLAN-tagged UDP
     /// datagram with destination port [`RECONFIG_UDP_DPORT`] whose payload is
-    /// `resource_id(2) | index(1) | length(2) | entry bytes`.
+    /// `resource_id(2) | index(2) | length(2) | entry bytes`.
     pub fn to_packet(&self) -> Packet {
         let entry_bytes = self.payload_bytes();
-        let mut payload = Vec::with_capacity(5 + entry_bytes.len());
+        let mut payload = Vec::with_capacity(6 + entry_bytes.len());
         payload.extend_from_slice(&self.resource_id().to_be_bytes());
-        payload.push(self.index);
+        payload.extend_from_slice(&self.index.to_be_bytes());
         payload.extend_from_slice(&(entry_bytes.len() as u16).to_be_bytes());
         payload.extend_from_slice(&entry_bytes);
         PacketBuilder::new().with_vlan(0).build_udp(
@@ -314,17 +315,17 @@ impl ReconfigCommand {
         let payload = packet
             .transport_payload()
             .ok_or(CoreError::BadReconfigPacket("no UDP payload"))?;
-        if payload.len() < 5 {
+        if payload.len() < 6 {
             return Err(CoreError::BadReconfigPacket("payload too short"));
         }
         let resource_id = u16::from_be_bytes([payload[0], payload[1]]);
         let kind = ResourceKind::from_code((resource_id & 0xf) as u8)?;
         let stage = ((resource_id >> 4) & 0xf) as u8;
         let clear = (resource_id >> 8) & 1 == 1;
-        let index = payload[2];
-        let len = usize::from(u16::from_be_bytes([payload[3], payload[4]]));
+        let index = u16::from_be_bytes([payload[2], payload[3]]);
+        let len = usize::from(u16::from_be_bytes([payload[4], payload[5]]));
         let entry_bytes = payload
-            .get(5..5 + len)
+            .get(6..6 + len)
             .ok_or(CoreError::BadReconfigPacket("entry truncated"))?;
         let payload = Self::decode_payload(kind, clear, entry_bytes)?;
         Ok(ReconfigCommand {
@@ -492,8 +493,8 @@ mod tests {
         // Corrupt the declared length so the entry appears truncated.
         let mut bytes = packet.into_bytes();
         let payload_off = 46; // eth(14)+vlan(4)+ip(20)+udp(8)
-        bytes[payload_off + 3] = 0xff;
         bytes[payload_off + 4] = 0xff;
+        bytes[payload_off + 5] = 0xff;
         let corrupted = Packet::from_bytes(bytes);
         assert!(ReconfigCommand::from_packet(&corrupted).is_err());
     }

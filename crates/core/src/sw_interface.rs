@@ -109,7 +109,7 @@ impl ControlPlane {
         self.pipeline.apply_command(&ReconfigCommand::write(
             ResourceKind::MatchTable,
             stage as u8,
-            index as u8,
+            index as u16,
             WritePayload::MatchEntry {
                 key: rule.key,
                 module_id: module.value(),
@@ -118,7 +118,7 @@ impl ControlPlane {
         self.pipeline.apply_command(&ReconfigCommand::write(
             ResourceKind::ActionTable,
             stage as u8,
-            index as u8,
+            index as u16,
             WritePayload::Action(rule.action.clone()),
         ))
     }

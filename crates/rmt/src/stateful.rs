@@ -37,6 +37,12 @@ pub struct StatefulMemory {
     words: Vec<u64>,
     reads: u64,
     writes: u64,
+    /// When set, accesses are digest replays (State-Compute Replication):
+    /// the data mutations are identical, but they are tallied in the
+    /// `replay_*` counters so real traffic statistics stay clean.
+    replay: bool,
+    replay_reads: u64,
+    replay_writes: u64,
 }
 
 impl StatefulMemory {
@@ -46,6 +52,9 @@ impl StatefulMemory {
             words: vec![0; size],
             reads: 0,
             writes: 0,
+            replay: false,
+            replay_reads: 0,
+            replay_writes: 0,
         }
     }
 
@@ -69,7 +78,11 @@ impl StatefulMemory {
                     address,
                     limit: self.words.len() as u32,
                 })?;
-        self.reads += 1;
+        if self.replay {
+            self.replay_reads += 1;
+        } else {
+            self.reads += 1;
+        }
         Ok(word)
     }
 
@@ -81,7 +94,11 @@ impl StatefulMemory {
             .get_mut(address as usize)
             .ok_or(RmtError::StatefulOutOfRange { address, limit })?;
         *slot = value;
-        self.writes += 1;
+        if self.replay {
+            self.replay_writes += 1;
+        } else {
+            self.writes += 1;
+        }
         Ok(())
     }
 
@@ -95,8 +112,13 @@ impl StatefulMemory {
             .ok_or(RmtError::StatefulOutOfRange { address, limit })?;
         let old = *slot;
         *slot = slot.wrapping_add(1);
-        self.reads += 1;
-        self.writes += 1;
+        if self.replay {
+            self.replay_reads += 1;
+            self.replay_writes += 1;
+        } else {
+            self.reads += 1;
+            self.writes += 1;
+        }
         Ok(old)
     }
 
@@ -186,11 +208,32 @@ impl StatefulMemory {
         self.writes
     }
 
+    /// Enters or leaves digest-replay accounting. While set, every access
+    /// mutates the words exactly as normal but is tallied in the replay
+    /// counters — the digest-apply path of State-Compute Replication wraps
+    /// each replayed stage in `set_replay(true)` / `set_replay(false)` so a
+    /// replica's real-traffic statistics are not inflated by replays.
+    pub fn set_replay(&mut self, replay: bool) {
+        self.replay = replay;
+    }
+
+    /// Total reads performed while in replay mode.
+    pub fn replay_read_count(&self) -> u64 {
+        self.replay_reads
+    }
+
+    /// Total writes performed while in replay mode.
+    pub fn replay_write_count(&self) -> u64 {
+        self.replay_writes
+    }
+
     /// Zeroes the read/write statistics (the memory contents are untouched).
     /// Used when a pipeline is snapshotted into a fresh replica.
     pub fn reset_stats(&mut self) {
         self.reads = 0;
         self.writes = 0;
+        self.replay_reads = 0;
+        self.replay_writes = 0;
     }
 }
 
@@ -282,6 +325,27 @@ mod tests {
         assert!(mem.snapshot_range(6, 3).is_err());
         assert!(mem.take_range(u32::MAX, 2).is_err());
         assert!(mem.merge_range(7, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn replay_mode_mutates_identically_but_counts_separately() {
+        let mut mem = StatefulMemory::new(4);
+        mem.load_and_add(0).unwrap();
+        mem.set_replay(true);
+        assert_eq!(mem.load_and_add(0).unwrap(), 1);
+        mem.write(1, 9).unwrap();
+        assert_eq!(mem.read(1).unwrap(), 9);
+        mem.set_replay(false);
+        assert_eq!(mem.peek(0), Some(2), "replay advances the words");
+        assert_eq!((mem.read_count(), mem.write_count()), (1, 1));
+        assert_eq!(
+            (mem.replay_read_count(), mem.replay_write_count()),
+            (2, 2),
+            "replay accesses land in their own tallies"
+        );
+        mem.reset_stats();
+        assert_eq!(mem.replay_read_count(), 0);
+        assert_eq!(mem.replay_write_count(), 0);
     }
 
     #[test]

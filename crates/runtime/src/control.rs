@@ -101,13 +101,39 @@ pub enum ControlOp {
         /// Number of shards that remain after the epoch.
         keep: usize,
     },
+    /// State-compute replication: the shard whose index equals `shard`
+    /// publishes a *non-clearing* snapshot of the listed modules' dynamic
+    /// state ([`MenshenPipeline::export_module_state`]) on the progress
+    /// board. Unlike [`ControlOp::ExportState`], the donor keeps its state —
+    /// any replica of a replicated module holds the authoritative words, so
+    /// seeding a new or recovered replica never needs a single-owner move.
+    /// A no-op on every other shard and on configuration replicas.
+    ExportStateSnapshot {
+        /// The replicated modules whose state is snapshotted.
+        modules: Vec<ModuleId>,
+        /// The donor shard index.
+        shard: usize,
+    },
+    /// State-compute replication: the shard whose index equals `shard`
+    /// *replaces* its dynamic state words for the snapshotted modules with
+    /// the carried extract, keeping its own counters (the publisher zeroes
+    /// the snapshot's counters; the target folds them onto its own history).
+    /// Used to seed grown shards and rebuild recovered replicas from a live
+    /// peer. A no-op on every other shard and on configuration replicas.
+    ReplaceState {
+        /// The target shard index.
+        shard: usize,
+        /// The snapshot to replace state words from.
+        state: Box<ModuleState>,
+    },
 }
 
 impl ControlOp {
     /// Applies this operation to one pipeline replica.
     ///
     /// [`ControlOp::Snapshot`], [`ControlOp::ExportState`],
-    /// [`ControlOp::InjectState`] and [`ControlOp::Retire`] are no-ops here:
+    /// [`ControlOp::InjectState`], [`ControlOp::ExportStateSnapshot`],
+    /// [`ControlOp::ReplaceState`] and [`ControlOp::Retire`] are no-ops here:
     /// they act on *per-shard dynamic state* (or the worker loop itself), so
     /// the shard handles them in `apply_entry` where it knows its own index
     /// — and a configuration replica rebuilt from the log (compaction
@@ -135,6 +161,7 @@ impl ControlOp {
             }
             ControlOp::Snapshot => Ok(()),
             ControlOp::ExportState { .. } | ControlOp::InjectState { .. } => Ok(()),
+            ControlOp::ExportStateSnapshot { .. } | ControlOp::ReplaceState { .. } => Ok(()),
             ControlOp::Retire { .. } => Ok(()),
         }
     }

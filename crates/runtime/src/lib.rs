@@ -40,9 +40,16 @@
 //!   export the moving tenants' state (`ExportState`), stand shards up from
 //!   the compacted log or retire them (`Retire`), replay the state into its
 //!   new owners (`InjectState`), and publish the new RETA — all at a full
-//!   quiesce, so no packet ever observes a half-moved tenant. Non-mergeable
-//!   stateful programs are pinned tenant-affine under 5-tuple steering
-//!   ([`Steerer::pin_module`]) so they stay single-owner and migratable.
+//!   quiesce, so no packet ever observes a half-moved tenant. Under 5-tuple
+//!   steering a non-mergeable stateful program runs in one of two regimes:
+//!   **replicated** by default (state-compute replication — the dispatcher
+//!   broadcasts a per-packet state digest to every non-owning shard, whose
+//!   replica replays it on the match-action path so all copies advance in
+//!   lockstep; resize seeds new replicas from any live copy, and
+//!   `supervise()` reseeds a respawned one from a live peer), or **pinned**
+//!   tenant-affine when the module opts out with a pin hint or its parser
+//!   is not digestible ([`Steerer::pin_module`]) — single-owner and
+//!   migratable, at the price of one shard carrying the whole tenant.
 //! * [`shard`] — the shard and dispatcher thread bodies and the cross-thread
 //!   progress board.
 //! * [`runtime`] — [`ShardedRuntime`], tying it all together, in a

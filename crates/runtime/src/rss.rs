@@ -26,12 +26,19 @@
 //! [`SteeringMode::FiveTuple`] hashes the IPv4/UDP 5-tuple fields, spreading
 //! one tenant's flows over all shards the way a NIC spreads connections over
 //! cores. Per-flow relative order is still preserved and aggregated counters
-//! still sum correctly, but *stateful* programs then update per-shard copies
-//! of their state independently — the State-Compute-Replication regime, which
-//! is only semantics-preserving for programs whose state is mergeable (e.g.
-//! counters). The runtime documents this trade-off rather than hiding it.
+//! still sum correctly. For *stateful* programs the steerer then supports
+//! three regimes per module: mergeable state spreads freely (per-shard
+//! copies sum exactly), non-mergeable state is either **pinned**
+//! tenant-affine (single owner, migrated on resize) or — when the module's
+//! parser projects into a compact digest — **replicated** via
+//! State-Compute Replication: its flows spread like any other traffic while
+//! the dispatch plane broadcasts per-packet state digests so every shard
+//! replays the module's state transitions in the same global order.
 
+use menshen_core::DigestSpec;
 use menshen_packet::Packet;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Length in bytes of the RSS secret key.
 pub const RSS_KEY_LEN: usize = 40;
@@ -167,10 +174,19 @@ pub enum SteeringMode {
 /// * **Module pinning** ([`pin_module`](Self::pin_module)): under 5-tuple
 ///   steering, a pinned module's packets are steered by the *tenant* hash
 ///   instead — all of its traffic lands on one shard, giving it exactly one
-///   live copy of its stateful memory. This is how programs with
-///   non-mergeable state become legal under 5-tuple steering: they are
-///   pinned single-owner and *migrated* on RETA changes, rather than
-///   replicated and rejected.
+///   live copy of its stateful memory. Pinning is the fallback for
+///   non-mergeable modules whose parsers are too wide to digest (or that an
+///   operator pins explicitly); pinned state is *migrated* single-owner on
+///   RETA changes.
+/// * **State-compute replication**
+///   ([`set_replicated`](Self::set_replicated)): a non-mergeable module
+///   whose parser projects into a compact [`DigestSpec`] spreads its flows
+///   like any other traffic. The dispatcher consults
+///   [`digest_spec_for`](Self::digest_spec_for) per packet and broadcasts a
+///   state digest to every non-owning shard, and
+///   [`dispatcher_for`](Self::dispatcher_for) routes *all* of the module's
+///   packets through one dispatcher so every replica observes the module's
+///   state transitions in one global order.
 #[derive(Debug, Clone)]
 pub struct Steerer {
     hasher: RssHasher,
@@ -180,6 +196,10 @@ pub struct Steerer {
     /// Modules steered tenant-affine even in 5-tuple mode (single-owner
     /// state). Empty in tenant-affine mode, where every module already is.
     pinned: std::collections::HashSet<u16>,
+    /// Modules running replicated under State-Compute Replication, with the
+    /// digest spec the dispatch plane extracts per packet. Their flows
+    /// spread; their state digests broadcast. Empty in tenant-affine mode.
+    replicated: HashMap<u16, Arc<DigestSpec>>,
 }
 
 impl Steerer {
@@ -193,6 +213,7 @@ impl Steerer {
             reta: Self::round_robin_reta(shards),
             shards,
             pinned: std::collections::HashSet::new(),
+            replicated: HashMap::new(),
         }
     }
 
@@ -262,6 +283,56 @@ impl Steerer {
         let mut pinned: Vec<u16> = self.pinned.iter().copied().collect();
         pinned.sort_unstable();
         pinned
+    }
+
+    /// Marks `module` as replicated under State-Compute Replication: its
+    /// flows spread by the 5-tuple hash while the dispatch plane extracts
+    /// `spec` digests from its packets and broadcasts them to every
+    /// non-owning shard. Returns true if the entry changed.
+    pub fn set_replicated(&mut self, module: u16, spec: Arc<DigestSpec>) -> bool {
+        self.replicated.insert(module, spec).is_none()
+    }
+
+    /// Clears a module's replicated entry. Returns true if it existed.
+    pub fn clear_replicated(&mut self, module: u16) -> bool {
+        self.replicated.remove(&module).is_some()
+    }
+
+    /// True when `module` runs replicated (digest-broadcast) rather than
+    /// pinned or plain-mergeable.
+    pub fn is_replicated(&self, module: u16) -> bool {
+        self.replicated.contains_key(&module)
+    }
+
+    /// The replicated modules, sorted (telemetry/test surface).
+    pub fn replicated_modules(&self) -> Vec<u16> {
+        let mut replicated: Vec<u16> = self.replicated.keys().copied().collect();
+        replicated.sort_unstable();
+        replicated
+    }
+
+    /// The digest spec of a replicated module, if any.
+    pub fn digest_spec(&self, module: u16) -> Option<&Arc<DigestSpec>> {
+        self.replicated.get(&module)
+    }
+
+    /// The digest spec a dispatcher must extract from `packet`, when the
+    /// packet belongs to a replicated module. One empty-map check on the
+    /// per-packet hot path when no module is replicated.
+    pub fn digest_spec_for(&self, packet: &Packet) -> Option<&DigestSpec> {
+        if self.replicated.is_empty() {
+            return None;
+        }
+        let vid = packet.vlan_id().ok()?;
+        self.replicated.get(&vid.value()).map(Arc::as_ref)
+    }
+
+    /// The dispatcher that owns *all* of a replicated module's traffic —
+    /// digest broadcast is only order-preserving if one thread serialises
+    /// the module's packets, so replicated modules trade dispatcher-level
+    /// spray for a stable per-module dispatcher.
+    pub fn replicated_dispatcher(&self, module: u16, dispatchers: usize) -> usize {
+        (self.tenant_hash(module) as usize) % dispatchers.max(1)
     }
 
     /// The Toeplitz hash of a module's tenant identity (the VLAN ID) — the
@@ -354,9 +425,18 @@ impl Steerer {
     /// [`reta_slice`](Self::reta_slice): hash → RETA entry → owning slice.
     /// Flow-affine spray: every packet of one flow reaches the same
     /// dispatcher, preserving per-flow order end to end (at the cost of one
-    /// hash on the ingress thread).
+    /// hash on the ingress thread). A *replicated* module's packets all
+    /// route to [`replicated_dispatcher`](Self::replicated_dispatcher)
+    /// instead, so one thread serialises the module's digest stream.
     pub fn dispatcher_for(&self, packet: &Packet, dispatchers: usize) -> usize {
         assert!(dispatchers > 0, "at least one dispatcher");
+        if !self.replicated.is_empty() {
+            if let Ok(vid) = packet.vlan_id() {
+                if self.replicated.contains_key(&vid.value()) {
+                    return self.replicated_dispatcher(vid.value(), dispatchers);
+                }
+            }
+        }
         let index = Self::reta_index(self.flow_hash(packet));
         // Invert the slice layout: the first `remainder` dispatchers hold
         // `base + 1` entries each.
@@ -683,6 +763,71 @@ mod tests {
         let spread_again: std::collections::HashSet<usize> =
             flows.iter().map(|p| steerer.shard_for(p)).collect();
         assert_eq!(spread, spread_again);
+    }
+
+    #[test]
+    fn replicated_modules_spread_shards_but_share_a_dispatcher() {
+        use menshen_rmt::config::{ParseAction, ParserEntry};
+        use menshen_rmt::phv::ContainerRef;
+
+        let mut steerer = Steerer::new(SteeringMode::FiveTuple, 8);
+        let parser = ParserEntry::new(vec![
+            ParseAction::new(34, ContainerRef::h4(1)).unwrap(),
+            ParseAction::new(40, ContainerRef::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        let spec = Arc::new(DigestSpec::from_parser(7, &parser).unwrap());
+        assert!(steerer.set_replicated(7, Arc::clone(&spec)));
+        assert!(steerer.is_replicated(7));
+        assert_eq!(steerer.replicated_modules(), vec![7]);
+
+        let flows: Vec<Packet> = (0..64u16)
+            .map(|flow| {
+                PacketBuilder::udp_data(
+                    7,
+                    [10, 0, 0, (1 + flow % 200) as u8],
+                    [10, 0, 1, 1],
+                    1024 + flow,
+                    80,
+                    &[],
+                )
+            })
+            .collect();
+        // Flows spread over shards exactly as if the module were unmarked —
+        // replication never perturbs data-plane placement.
+        let plain = Steerer::new(SteeringMode::FiveTuple, 8);
+        for packet in &flows {
+            assert_eq!(steerer.shard_for(packet), plain.shard_for(packet));
+            assert!(steerer.digest_spec_for(packet).is_some());
+        }
+        let spread: std::collections::HashSet<usize> =
+            flows.iter().map(|p| steerer.shard_for(p)).collect();
+        assert!(spread.len() > 1, "replicated flows must spread");
+        assert_eq!(
+            steerer.owner_shard(7),
+            None,
+            "replicated modules are unowned"
+        );
+
+        // ... but every packet routes through the module's one dispatcher.
+        for dispatchers in [1usize, 2, 3, 4] {
+            let owner = steerer.replicated_dispatcher(7, dispatchers);
+            assert!(owner < dispatchers);
+            for packet in &flows {
+                assert_eq!(steerer.dispatcher_for(packet, dispatchers), owner);
+            }
+        }
+        // Other modules keep flow-affine spray and extract no digest.
+        let other = PacketBuilder::udp_data(8, [10, 0, 0, 9], [10, 0, 1, 1], 2000, 80, &[]);
+        assert!(steerer.digest_spec_for(&other).is_none());
+        assert_eq!(
+            steerer.dispatcher_for(&other, 4),
+            plain.dispatcher_for(&other, 4)
+        );
+
+        assert!(steerer.clear_replicated(7));
+        assert!(!steerer.is_replicated(7));
+        assert!(steerer.digest_spec_for(&flows[0]).is_none());
     }
 
     #[test]

@@ -49,13 +49,14 @@ use crate::faults::FaultPlan;
 use crate::ring::{ring, ring_with_parker, Parker, Producer, PushError};
 use crate::rss::{Steerer, SteeringMode, RETA_SIZE};
 use crate::shard::{
-    apply_entry, run_dispatcher, run_worker, Burst, DispatcherUpdate, EgressSink, RingDepth,
-    ShardSnapshot, ShardStats, ShardTelemetry, Shared,
+    apply_entry, process_shard_burst, run_dispatcher, run_worker, Burst, DispatcherUpdate,
+    EgressSink, RingDepth, ShardBurst, ShardSnapshot, ShardStats, ShardTelemetry, Shared,
 };
 use menshen_core::packet_filter::FilterCounters;
+use menshen_core::ExecutionMode as ModuleExecutionMode;
 use menshen_core::TableRule;
 use menshen_core::{labels, MetricsSnapshot, StageProfile, TenantTelemetry, PROFILE_PHASES};
-use menshen_core::{LatencyHistogram, StateMergeability};
+use menshen_core::{LatencyHistogram, StateDigest};
 use menshen_core::{MenshenPipeline, ModuleConfig, ModuleCounters, ModuleId, ReconfigCommand};
 use menshen_core::{ModuleState, SystemStats, Verdict, BURST_SIZE};
 use menshen_json::Json;
@@ -425,7 +426,7 @@ struct LocalShard {
 struct Worker {
     /// The single input ring's producer in inline-dispatch mode; `None`
     /// when dispatcher threads own the producers.
-    input: Option<Producer<Burst>>,
+    input: Option<Producer<ShardBurst>>,
     /// The shard's park handle (shared by all its input rings): the control
     /// plane wakes it so published epochs are applied promptly even while
     /// idle.
@@ -461,7 +462,7 @@ fn spawn_worker(
     pipeline: MenshenPipeline,
     rows: usize,
     initial_epoch: u64,
-) -> (Worker, Vec<Producer<Burst>>) {
+) -> (Worker, Vec<Producer<ShardBurst>>) {
     let parker = Arc::new(Parker::new());
     let mut producers = Vec::with_capacity(rows);
     let mut consumers = Vec::with_capacity(rows);
@@ -542,6 +543,14 @@ fn op_event(op: &ControlOp, epoch: u64) -> Option<ControlEventKind> {
             shard: *shard as u64,
             modules: u64::from(!state.is_zero()),
         },
+        ControlOp::ExportStateSnapshot { modules, shard } => ControlEventKind::StateExported {
+            modules: modules.len() as u64,
+            from_shard: *shard as u64,
+        },
+        ControlOp::ReplaceState { shard, state } => ControlEventKind::StateInjected {
+            shard: *shard as u64,
+            modules: u64::from(!state.is_zero()),
+        },
         ControlOp::Retire { keep } => ControlEventKind::ShardsRetired { kept: *keep as u64 },
         ControlOp::Command(_) | ControlOp::AddRoute(..) | ControlOp::SetDefaultPort(_) => {
             return None
@@ -565,8 +574,19 @@ pub struct ShardedRuntime {
     // `shards` entries.
     scatter: Vec<Vec<Packet>>,
     scatter_pos: Vec<Vec<usize>>,
+    /// Per-group state digests awaiting dispatch, parallel to `scatter`:
+    /// each digest's `before` indexes into the receiving group's packet
+    /// scatter, so replicated-module replay interleaves in global order.
+    digest_scatter: Vec<Vec<StateDigest>>,
     verdict_scratch: Vec<Verdict>,
+    interleave_scratch: Vec<Verdict>,
     reorder: Vec<Option<Verdict>>,
+    /// State digests generated on this thread (deterministic simulation and
+    /// inline threaded dispatch) — `menshen_runtime_digest_packets_total`
+    /// together with the dispatcher threads' own tallies.
+    digest_packets: u64,
+    /// Wire bytes of those digests (`menshen_runtime_digest_bytes_total`).
+    digest_bytes: u64,
     /// Round-robin spray cursor (threaded dispatcher mode).
     spray_cursor: usize,
     /// Telemetry inherited from shards retired by scale-in.
@@ -615,10 +635,14 @@ impl ShardedRuntime {
     /// modules and routing state, zeroed counters and stateful memory.
     ///
     /// Templates containing stateful modules whose state is *not* mergeable
-    /// are legal under 5-tuple steering: those modules are **pinned** to
-    /// tenant-affine steering ([`Steerer::pin_module`]), so exactly one
-    /// shard owns each one's state — and live resharding migrates that copy
-    /// when the RETA changes.
+    /// are legal under 5-tuple steering, in one of two regimes chosen by
+    /// [`MenshenPipeline::module_execution_mode`]: digestible programs are
+    /// **replicated** ([`Steerer::set_replicated`]) — every shard keeps a
+    /// bit-identical copy of the state, kept in sync by per-packet state
+    /// digests broadcast from the dispatch plane — while pin-hinted or
+    /// non-digestible programs are **pinned** to tenant-affine steering
+    /// ([`Steerer::pin_module`]), so exactly one shard owns each one's
+    /// state and live resharding migrates that copy when the RETA changes.
     pub fn from_pipeline(template: &MenshenPipeline, options: RuntimeOptions) -> Self {
         assert!(options.shards >= 1, "at least one shard is required");
         assert!(options.burst_size >= 1, "burst size must be positive");
@@ -626,10 +650,20 @@ impl ShardedRuntime {
         let mut steerer = Steerer::new(options.steering, options.shards);
         if options.steering == SteeringMode::FiveTuple {
             for module in template.loaded_modules() {
-                if let Some(StateMergeability::NonMergeable { .. }) =
-                    template.module_state_mergeability(module)
-                {
-                    steerer.pin_module(module.value());
+                match template.module_execution_mode(module) {
+                    Some(ModuleExecutionMode::Pinned) => {
+                        steerer.pin_module(module.value());
+                    }
+                    Some(ModuleExecutionMode::Replicated) => {
+                        if let Some(spec) = template.module_digest_spec(module) {
+                            steerer.set_replicated(module.value(), Arc::new(spec));
+                        } else {
+                            // Unreachable (Replicated implies a digest spec),
+                            // but a pin is always a safe fallback.
+                            steerer.pin_module(module.value());
+                        }
+                    }
+                    Some(ModuleExecutionMode::Mergeable) | None => {}
                 }
             }
         }
@@ -648,7 +682,7 @@ impl ShardedRuntime {
                 // every (producer, shard) pair gets a dedicated SPSC ring,
                 // and each shard's rings share one parker.
                 let rows = options.dispatchers.max(1);
-                let mut producer_rows: Vec<Vec<Producer<Burst>>> = (0..rows)
+                let mut producer_rows: Vec<Vec<Producer<ShardBurst>>> = (0..rows)
                     .map(|_| Vec::with_capacity(options.shards))
                     .collect();
                 for index in 0..options.shards {
@@ -705,8 +739,12 @@ impl ShardedRuntime {
         ShardedRuntime {
             scatter: vec![Vec::new(); groups],
             scatter_pos: vec![Vec::new(); groups],
+            digest_scatter: vec![Vec::new(); groups],
             verdict_scratch: Vec::new(),
+            interleave_scratch: Vec::new(),
             reorder: Vec::new(),
+            digest_packets: 0,
+            digest_bytes: 0,
             spray_cursor: 0,
             retired: RetiredTally::default(),
             submitted_packets: 0,
@@ -1063,26 +1101,53 @@ impl ShardedRuntime {
             .standby_replica(&self.genesis)
     }
 
-    /// Aligns a module's steering pin with its state classification. Under
-    /// 5-tuple steering, a module whose stateful memory is *not* mergeable
-    /// cannot be replicated per shard (last-writer-wins copies have no
-    /// defined merge), so it is **pinned** to tenant-affine steering instead:
-    /// all of its traffic lands on one shard, giving it exactly one live
-    /// copy — which live resharding then migrates whole on RETA changes.
-    /// Mergeable and stateless modules spread normally. Returns true when
-    /// the pin set changed (the change must then be pushed to the
-    /// dispatchers before the next packet is steered).
-    fn align_pin(&mut self, config: &ModuleConfig) -> bool {
+    /// Aligns a module's steering regime with its execution-mode
+    /// classification ([`ModuleConfig::execution_mode`]). Under 5-tuple
+    /// steering:
+    ///
+    /// * **Mergeable** (and stateless) modules spread normally — per-shard
+    ///   partial state sums to the true value, no extra machinery.
+    /// * **Replicated** modules spread too, with every shard keeping a full
+    ///   bit-identical copy of the state: the dispatch plane extracts a
+    ///   compact state digest from each packet ([`Steerer::digest_spec_for`])
+    ///   and broadcasts it to the non-owning shards, which replay it in
+    ///   global order.
+    /// * **Pinned** modules (explicit hint, or non-digestible parsers) fall
+    ///   back to tenant-affine steering: one shard owns the state, and live
+    ///   resharding migrates that copy whole on RETA changes.
+    ///
+    /// Tenant-affine steering is already single-owner, so nothing is pinned
+    /// or replicated there. Returns true when the steering tables changed
+    /// (the change must then be pushed to the dispatchers before the next
+    /// packet is steered).
+    fn align_steering(&mut self, config: &ModuleConfig) -> bool {
         let module = config.module_id.value();
-        if self.steerer.mode() == SteeringMode::FiveTuple
-            && matches!(
-                config.state_mergeability(),
-                StateMergeability::NonMergeable { .. }
-            )
-        {
-            self.steerer.pin_module(module)
+        if self.steerer.mode() != SteeringMode::FiveTuple {
+            let unpinned = self.steerer.unpin_module(module);
+            self.steerer.clear_replicated(module) || unpinned
         } else {
-            self.steerer.unpin_module(module)
+            match config.execution_mode() {
+                ModuleExecutionMode::Mergeable => {
+                    let unpinned = self.steerer.unpin_module(module);
+                    self.steerer.clear_replicated(module) || unpinned
+                }
+                ModuleExecutionMode::Replicated => match config.digest_spec() {
+                    Some(spec) => {
+                        let unpinned = self.steerer.unpin_module(module);
+                        self.steerer.set_replicated(module, Arc::new(spec)) || unpinned
+                    }
+                    // Unreachable (Replicated implies a digest spec), but a
+                    // pin is always a safe fallback.
+                    None => {
+                        let cleared = self.steerer.clear_replicated(module);
+                        self.steerer.pin_module(module) || cleared
+                    }
+                },
+                ModuleExecutionMode::Pinned => {
+                    let cleared = self.steerer.clear_replicated(module);
+                    self.steerer.pin_module(module) || cleared
+                }
+            }
         }
     }
 
@@ -1107,30 +1172,32 @@ impl ShardedRuntime {
     }
 
     /// Loads a module on every shard replica (one epoch). Under 5-tuple
-    /// steering, a module with non-mergeable stateful memory is pinned
-    /// tenant-affine (single-owner state) rather than refused — see
-    /// [`pinned_modules`](Self::pinned_modules).
+    /// steering, a module with non-mergeable stateful memory is replicated
+    /// (digest-broadcast, see [`replicated_modules`](Self::replicated_modules))
+    /// or pinned tenant-affine ([`pinned_modules`](Self::pinned_modules))
+    /// rather than refused.
     pub fn load_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
-        if self.align_pin(config) {
+        if self.align_steering(config) {
             self.push_steering();
         }
         self.control(vec![ControlOp::Load(Box::new(config.clone()))])
     }
 
     /// Updates a loaded module on every shard replica (one epoch),
-    /// re-aligning its steering pin with the new program's state
+    /// re-aligning its steering regime with the new program's execution-mode
     /// classification.
     pub fn update_module(&mut self, config: &ModuleConfig) -> Result<(), RuntimeError> {
-        if self.align_pin(config) {
+        if self.align_steering(config) {
             self.push_steering();
         }
         self.control(vec![ControlOp::Update(Box::new(config.clone()))])
     }
 
     /// Unloads a module from every shard replica (one epoch) and clears any
-    /// steering pin it held.
+    /// steering pin or replication entry it held.
     pub fn unload_module(&mut self, module: ModuleId) -> Result<(), RuntimeError> {
-        if self.steerer.unpin_module(module.value()) {
+        let unpinned = self.steerer.unpin_module(module.value());
+        if self.steerer.clear_replicated(module.value()) || unpinned {
             self.push_steering();
         }
         self.control(vec![ControlOp::Unload(module)])
@@ -1140,6 +1207,30 @@ impl ShardedRuntime {
     /// mode (single-owner state; empty in tenant-affine mode).
     pub fn pinned_modules(&self) -> Vec<u16> {
         self.steerer.pinned_modules()
+    }
+
+    /// The modules currently running replicated under 5-tuple mode — their
+    /// flows spread across shards while every shard keeps a bit-identical
+    /// copy of the stateful words via digest broadcast (empty in
+    /// tenant-affine mode).
+    pub fn replicated_modules(&self) -> Vec<u16> {
+        self.steerer.replicated_modules()
+    }
+
+    /// State digests generated runtime-lifetime as `(packets, wire_bytes)`:
+    /// one digest per (replicated-module packet, non-owning shard), counted
+    /// at generation time whether dispatch happened inline, in the
+    /// deterministic simulation, or on dispatcher threads. Digests are
+    /// control metadata — they never appear in packet conservation.
+    pub fn digest_totals(&self) -> (u64, u64) {
+        let mut packets = self.digest_packets;
+        let mut bytes = self.digest_bytes;
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        for slot in progress.dispatchers.iter() {
+            packets += slot.digests_dispatched;
+            bytes += slot.digest_bytes_dispatched;
+        }
+        (packets, bytes)
     }
 
     /// The current RSS indirection table.
@@ -1326,13 +1417,17 @@ impl ShardedRuntime {
 
         // Plan the moves. Single-owner modules (every module under
         // tenant-affine steering; pinned modules under 5-tuple) move whole
-        // when their owner shard changes. Replicated modules (5-tuple,
-        // mergeable/stateless) need no move on a RETA change — per-shard
-        // partial sums stay correct wherever the flows land — except on a
-        // shrink, where the retiring shards' partial state must be rescued
-        // into a survivor before the shards disappear.
+        // when their owner shard changes. Spread modules (5-tuple,
+        // mergeable or replicated) need no move on a RETA change — mergeable
+        // per-shard partial sums stay correct wherever the flows land, and
+        // replicated copies are bit-identical everywhere — except on a
+        // shrink, where the retiring shards' state must be rescued into a
+        // survivor before the shards disappear, and, for replicated modules,
+        // on a grow, where the brand-new shards must be seeded with a full
+        // copy of the state before any of the module's traffic reaches them.
         let mut moving: Vec<(ModuleId, usize)> = Vec::new();
         let mut rescue: Vec<ModuleId> = Vec::new();
+        let mut seeding: Vec<ModuleId> = Vec::new();
         for module in standby.loaded_modules() {
             match (
                 self.steerer.owner_shard(module.value()),
@@ -1346,6 +1441,9 @@ impl ShardedRuntime {
                 _ => {
                     if new_shards < old_shards {
                         rescue.push(module);
+                    } else if new_shards > old_shards && self.steerer.is_replicated(module.value())
+                    {
+                        seeding.push(module);
                     }
                 }
             }
@@ -1354,8 +1452,10 @@ impl ShardedRuntime {
         // 2. Export epoch: every shard extracts-and-clears the moving
         // modules (only the owner holds non-zero state; the others
         // contribute zeros), retiring shards additionally surrender their
-        // replicated state, and everyone snapshots telemetry so a retiring
-        // shard's history survives it.
+        // rescued state, shard 0 snapshots the replicated modules a grow
+        // must seed (non-clearing — any replica's copy is authoritative),
+        // and everyone snapshots telemetry so a retiring shard's history
+        // survives it.
         let mut ops: Vec<ControlOp> = Vec::new();
         if !moving.is_empty() {
             ops.push(ControlOp::ExportState {
@@ -1367,6 +1467,12 @@ impl ShardedRuntime {
             ops.push(ControlOp::ExportState {
                 modules: rescue,
                 from_shard: new_shards,
+            });
+        }
+        if !seeding.is_empty() {
+            ops.push(ControlOp::ExportStateSnapshot {
+                modules: seeding.clone(),
+                shard: 0,
             });
         }
         ops.push(ControlOp::Snapshot);
@@ -1404,9 +1510,10 @@ impl ShardedRuntime {
         // replicas embody every epoch up to `export_epoch` (the export op
         // replays as a no-op on a config replica), so that is their log
         // cursor.
-        let mut appended_rows: Vec<Vec<Producer<Burst>>> = (0..self.options.dispatchers.max(1))
-            .map(|_| Vec::new())
-            .collect();
+        let mut appended_rows: Vec<Vec<Producer<ShardBurst>>> =
+            (0..self.options.dispatchers.max(1))
+                .map(|_| Vec::new())
+                .collect();
         if new_shards > old_shards {
             {
                 let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
@@ -1455,10 +1562,11 @@ impl ShardedRuntime {
             }
         }
 
-        // 4. Commit epoch: replay each merged extract into its new owner
-        // and retire the tail shards. Rescued replicated state (no single
-        // owner) merges into shard 0 — for mergeable state any survivor is
-        // equally legal, only the sum is defined.
+        // 4. Commit epoch: replay each merged extract into its new owner,
+        // seed grown shards' replicated copies, and retire the tail shards.
+        // Rescued state (no single owner) merges into shard 0 — for
+        // mergeable state any survivor is equally legal, only the sum is
+        // defined.
         let mut ops: Vec<ControlOp> = Vec::new();
         let mut migrated_modules = 0usize;
         let mut migrated_words = 0usize;
@@ -1474,9 +1582,38 @@ impl ShardedRuntime {
                 }
             }
         }
+        // Grow: every new shard receives a whole copy of each replicated
+        // module's state (shard 0's snapshot), with the snapshot's counters
+        // zeroed — the copy is state replication, not traffic history, and
+        // the counter aggregate must not multiply.
+        for module in &seeding {
+            if let Some(state) = merged.remove(&module.value()) {
+                let mut seed = state;
+                seed.counters = ModuleCounters::default();
+                if !seed.is_zero() {
+                    migrated_modules += 1;
+                    for target in old_shards..new_shards {
+                        migrated_words += seed.word_count();
+                        ops.push(ControlOp::ReplaceState {
+                            shard: target,
+                            state: Box::new(seed.clone()),
+                        });
+                    }
+                }
+            }
+        }
         let mut rescued: Vec<ModuleState> = merged.into_values().collect();
         rescued.sort_by_key(|state| state.module_id);
-        for state in rescued {
+        for mut state in rescued {
+            if self.steerer.is_replicated(state.module_id) {
+                // Each retiring replica surrendered a *full* copy of the
+                // replicated words; the survivors already hold one, so only
+                // the retiring shards' counter partials travel — re-merging
+                // the words would multiply the state by the retiree count.
+                for stage in state.stages.iter_mut() {
+                    stage.iter_mut().for_each(|word| *word = 0);
+                }
+            }
             if !state.is_zero() {
                 migrated_modules += 1;
                 migrated_words += state.word_count();
@@ -1583,6 +1720,7 @@ impl ShardedRuntime {
         let groups = self.options.dispatchers.max(1) * new_shards;
         self.scatter.resize_with(groups, Vec::new);
         self.scatter_pos.resize_with(groups, Vec::new);
+        self.digest_scatter.resize_with(groups, Vec::new);
         if let Backend::Threaded { dispatchers, .. } = &self.backend {
             if !dispatchers.is_empty() {
                 for (index, append) in appended_rows.into_iter().enumerate() {
@@ -1690,20 +1828,46 @@ impl ShardedRuntime {
         let mut chunk_fill = 0usize;
         let mut cursor = 0usize;
         for (position, packet) in packets.into_iter().enumerate() {
-            let dispatcher = match self.options.spray {
-                DispatchSpray::RoundRobin => {
-                    let d = cursor;
-                    chunk_fill += 1;
-                    if chunk_fill == self.options.burst_size {
-                        chunk_fill = 0;
-                        cursor = (cursor + 1) % dispatchers;
+            let spec = self.steerer.digest_spec_for(&packet);
+            let dispatcher = match &spec {
+                // Replicated modules trade dispatcher-level parallelism for
+                // global order: all of a module's packets ride one
+                // dispatcher so a single steering thread serialises its
+                // digest stream (`dispatcher_for` folds this in for
+                // FlowAffine; the round-robin spray is overridden here).
+                Some(spec) => self
+                    .steerer
+                    .replicated_dispatcher(spec.module(), dispatchers),
+                None => match self.options.spray {
+                    DispatchSpray::RoundRobin => {
+                        let d = cursor;
+                        chunk_fill += 1;
+                        if chunk_fill == self.options.burst_size {
+                            chunk_fill = 0;
+                            cursor = (cursor + 1) % dispatchers;
+                        }
+                        d
                     }
-                    d
-                }
-                DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, dispatchers),
+                    DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, dispatchers),
+                },
             };
             let shard = self.steerer.shard_for(&packet);
             let group = dispatcher * shard_count + shard;
+            if let Some(spec) = spec {
+                // Broadcast the packet's state digest to every non-owning
+                // shard of the same dispatcher, anchored before the first
+                // of that shard's own not-yet-drained packets.
+                for other in 0..shard_count {
+                    if other == shard {
+                        continue;
+                    }
+                    let other_group = dispatcher * shard_count + other;
+                    let digest = spec.extract(&packet, self.scatter[other_group].len() as u32);
+                    self.digest_packets += 1;
+                    self.digest_bytes += digest.wire_bytes() as u64;
+                    self.digest_scatter[other_group].push(digest);
+                }
+            }
             self.scatter[group].push(packet);
             self.scatter_pos[group].push(position);
         }
@@ -1722,13 +1886,17 @@ impl ShardedRuntime {
         for (index, shard) in shards.iter_mut().enumerate() {
             for dispatcher in 0..dispatchers {
                 let group = dispatcher * shard_count + index;
-                if self.scatter[group].is_empty() {
+                if self.scatter[group].is_empty() && self.digest_scatter[group].is_empty() {
                     continue;
                 }
                 let service_start = Instant::now();
-                shard
-                    .pipeline
-                    .process_batch_into(&self.scatter[group], &mut self.verdict_scratch);
+                process_shard_burst(
+                    &mut shard.pipeline,
+                    &self.scatter[group],
+                    &self.digest_scatter[group],
+                    &mut self.verdict_scratch,
+                    &mut self.interleave_scratch,
+                );
                 let service_ns = service_start.elapsed().as_nanos() as u64;
                 let forwarded = self
                     .verdict_scratch
@@ -1770,6 +1938,7 @@ impl ShardedRuntime {
                 drop(progress);
                 self.scatter[group].clear();
                 self.scatter_pos[group].clear();
+                self.digest_scatter[group].clear();
             }
         }
         out.reserve(total);
@@ -1832,28 +2001,71 @@ impl ShardedRuntime {
         if dispatchers.is_empty() {
             // Inline dispatch: steer everything into per-shard scratch
             // first (no ring traffic at all), then push whole bursts.
+            // Replicated-module packets additionally leave a state digest
+            // in every other shard's digest scratch, anchored at that
+            // shard's current packet count so replay interleaves in
+            // submission order.
             for mut packet in packets {
                 packet.timestamp_ns = ingress_ns;
                 let shard = self.steerer.shard_for(&packet);
+                if let Some(spec) = self.steerer.digest_spec_for(&packet) {
+                    for other in 0..workers.len() {
+                        if other == shard {
+                            continue;
+                        }
+                        let digest = spec.extract(&packet, self.scatter[other].len() as u32);
+                        self.digest_packets += 1;
+                        self.digest_bytes += digest.wire_bytes() as u64;
+                        self.digest_scatter[other].push(digest);
+                    }
+                }
                 self.scatter[shard].push(packet);
             }
             // Chunk each shard's scratch into order-preserving bursts (pure
             // moves, still no ring traffic) …
             let burst_size = self.options.burst_size;
-            let mut queues: Vec<Vec<Burst>> = self
+            let digest_scatter = &mut self.digest_scatter;
+            let mut queues: Vec<Vec<ShardBurst>> = self
                 .scatter
                 .iter_mut()
                 .take(workers.len())
-                .map(|scratch| {
-                    let mut bursts: Vec<Burst> = Vec::new();
+                .enumerate()
+                .map(|(shard, scratch)| {
+                    let mut bursts: Vec<ShardBurst> = Vec::new();
                     let mut pending = std::mem::take(scratch);
                     while pending.len() > burst_size {
                         let rest = pending.split_off(burst_size);
-                        bursts.push(pending);
+                        bursts.push(ShardBurst {
+                            packets: pending,
+                            digests: Vec::new(),
+                        });
                         pending = rest;
                     }
                     if !pending.is_empty() {
-                        bursts.push(pending);
+                        bursts.push(ShardBurst {
+                            packets: pending,
+                            digests: Vec::new(),
+                        });
+                    }
+                    // Re-anchor the shard's digests from submission-absolute
+                    // positions to burst-relative ones: a digest anchored at
+                    // absolute position `p` rides burst `p / burst_size`
+                    // (clamped to the last burst), before that burst's
+                    // `p % burst_size`-th packet. A shard owed only digests
+                    // gets a packetless burst carrying them.
+                    let digests = std::mem::take(&mut digest_scatter[shard]);
+                    if !digests.is_empty() {
+                        if bursts.is_empty() {
+                            bursts.push(ShardBurst::default());
+                        }
+                        let last = bursts.len() - 1;
+                        for mut digest in digests {
+                            let p = digest.before() as usize;
+                            let k = (p / burst_size).min(last);
+                            let rel = (p - k * burst_size).min(bursts[k].packets.len());
+                            digest.set_before(rel as u32);
+                            bursts[k].digests.push(digest);
+                        }
                     }
                     bursts
                 })
@@ -1879,7 +2091,11 @@ impl ShardedRuntime {
                     match input.push_deadline(burst, wait) {
                         Ok(()) => worker.submitted_bursts += 1,
                         Err(PushError::Timeout(burst)) => {
-                            for packet in &burst {
+                            // Shed bursts drop their digests with their
+                            // packets — under overload the replicas may
+                            // diverge until rebuilt, the documented
+                            // degraded regime.
+                            for packet in &burst.packets {
                                 *self
                                     .shed_inline
                                     .entry(crate::shard::packet_tenant(packet))
@@ -1887,7 +2103,7 @@ impl ShardedRuntime {
                             }
                         }
                         Err(PushError::Closed(burst)) => {
-                            self.lost_folded += burst.len() as u64;
+                            self.lost_folded += burst.packets.len() as u64;
                             failed_shard = Some(index);
                         }
                     }
@@ -1935,9 +2151,16 @@ impl ShardedRuntime {
             };
         for mut packet in packets {
             packet.timestamp_ns = ingress_ns;
-            let target = match self.options.spray {
-                DispatchSpray::RoundRobin => self.spray_cursor,
-                DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, count),
+            // Replicated-module packets always ride their module's
+            // dispatcher — the digest streams the dispatcher threads
+            // generate are only globally ordered if one thread serialises
+            // each module's traffic. Everything else sprays as configured.
+            let target = match self.steerer.digest_spec_for(&packet) {
+                Some(spec) => self.steerer.replicated_dispatcher(spec.module(), count),
+                None => match self.options.spray {
+                    DispatchSpray::RoundRobin => self.spray_cursor,
+                    DispatchSpray::FlowAffine => self.steerer.dispatcher_for(&packet, count),
+                },
             };
             self.scatter[target].push(packet);
             if self.scatter[target].len() >= self.options.burst_size {
@@ -1945,7 +2168,7 @@ impl ShardedRuntime {
                 if let Some(index) = push_chunk(&mut dispatchers[target], target, chunk) {
                     failed = Some(index);
                 }
-                if self.options.spray == DispatchSpray::RoundRobin {
+                if self.options.spray == DispatchSpray::RoundRobin && target == self.spray_cursor {
                     self.spray_cursor = (self.spray_cursor + 1) % count;
                 }
             }
@@ -2350,7 +2573,7 @@ impl ShardedRuntime {
             if let Some(consumers) = parked {
                 for consumer in consumers {
                     while let Some(burst) = consumer.pop() {
-                        residue += burst.len() as u64;
+                        residue += burst.packets.len() as u64;
                     }
                 }
             }
@@ -2446,6 +2669,57 @@ impl ShardedRuntime {
                 // replacement producer it pushes at the sealed old ring and
                 // its `Closed` losses stay on the books.
                 let _ = self.await_steering_adoption(Instant::now() + self.options.submit_wait);
+            }
+            // SCR rebuild: the replacement replica of every replicated
+            // module must rejoin with the same state words as its peers —
+            // and any live replica's snapshot is authoritative, so the
+            // lowest live survivor donates a non-clearing snapshot that
+            // replaces the respawn's zeroed words. The snapshot's counters
+            // are zeroed first: the respawned shard's traffic history
+            // starts clean, exactly like its telemetry slot.
+            let replicated = self.steerer.replicated_modules();
+            if !replicated.is_empty() {
+                if let Some(donor) = (0..shards).find(|i| {
+                    *i != shard && !dead_set.contains(i) && !self.wedged_routed.contains(i)
+                }) {
+                    // Quiesce so the donor's copy reflects every digest in
+                    // flight; bounded so a wedged plane cannot hang the
+                    // supervisor.
+                    let _ = self.flush_until(Some(Instant::now() + self.options.submit_wait));
+                    let modules: Vec<ModuleId> =
+                        replicated.iter().map(|m| ModuleId::new(*m)).collect();
+                    let export_epoch = self.publish(vec![ControlOp::ExportStateSnapshot {
+                        modules,
+                        shard: donor,
+                    }]);
+                    if self.wait_for_epoch(export_epoch).is_ok() {
+                        let mut seeds: Vec<ModuleState> = Vec::new();
+                        {
+                            let mut progress =
+                                self.shared.progress.lock().expect("progress lock poisoned");
+                            if let Some((epoch, exports)) = progress.shards[donor].exported.take() {
+                                if epoch == export_epoch {
+                                    seeds = exports;
+                                }
+                            }
+                        }
+                        seeds.sort_by_key(|state| state.module_id);
+                        let mut ops: Vec<ControlOp> = Vec::new();
+                        for mut state in seeds {
+                            state.counters = ModuleCounters::default();
+                            if !state.is_zero() {
+                                ops.push(ControlOp::ReplaceState {
+                                    shard,
+                                    state: Box::new(state),
+                                });
+                            }
+                        }
+                        if !ops.is_empty() {
+                            let epoch = self.publish(ops);
+                            let _ = self.wait_for_epoch(epoch);
+                        }
+                    }
+                }
             }
             let pause = pause_start.elapsed();
             self.shared.events.emit(
@@ -2727,6 +3001,17 @@ impl ShardedRuntime {
             Vec::new(),
             self.shed_by_tenant().values().sum(),
         );
+        let (digest_packets, digest_bytes) = self.digest_totals();
+        out.push_counter(
+            "menshen_runtime_digest_packets_total",
+            Vec::new(),
+            digest_packets,
+        );
+        out.push_counter(
+            "menshen_runtime_digest_bytes_total",
+            Vec::new(),
+            digest_bytes,
+        );
         for (index, stat) in stats.iter().enumerate() {
             let shard = index.to_string();
             out.push_counter(
@@ -2888,11 +3173,14 @@ impl ShardedRuntime {
         }
     }
 
-    /// Deterministic mode only: a module's stateful word summed across all
-    /// shard replicas. Under tenant-affine steering exactly one replica's
-    /// copy ever advances, so the sum equals the single-pipeline value;
-    /// under 5-tuple steering the sum is the merged value of the replicated
-    /// state (correct for counter-style state, the SCR regime).
+    /// Deterministic mode only: a module's stateful word aggregated across
+    /// the shard replicas. Under tenant-affine steering exactly one
+    /// replica's copy ever advances, so the sum equals the single-pipeline
+    /// value; under 5-tuple steering a mergeable module's per-shard partial
+    /// sums likewise add up to the true value. A **replicated** module
+    /// keeps a bit-identical full copy on every shard (digest broadcast),
+    /// so its value is read from any one replica — summing would multiply
+    /// it by the shard count.
     pub fn read_stateful_aggregate(
         &self,
         module: ModuleId,
@@ -2902,6 +3190,11 @@ impl ShardedRuntime {
         let Backend::Deterministic(shards) = &self.backend else {
             return None;
         };
+        if self.steerer.is_replicated(module.value()) {
+            return shards
+                .iter()
+                .find_map(|shard| shard.pipeline.read_stateful(module, stage, local_address));
+        }
         let mut sum = 0u64;
         let mut any = false;
         for shard in shards {
@@ -2911,6 +3204,38 @@ impl ShardedRuntime {
             }
         }
         any.then_some(sum)
+    }
+
+    /// Exports a non-clearing snapshot of `modules`' stateful words from
+    /// one shard replica through the epoch log — the same donor path
+    /// [`supervise`](Self::supervise) uses to rebuild a respawned replica
+    /// of a replicated module. Works in both execution modes (threaded
+    /// shards have no [`shard_pipeline`](Self::shard_pipeline) hook, this
+    /// is their inspection window). Returns the states sorted by module;
+    /// empty when the shard is down or holds none of the modules.
+    pub fn export_shard_state(
+        &mut self,
+        shard: usize,
+        modules: &[ModuleId],
+    ) -> Result<Vec<ModuleState>, RuntimeError> {
+        let epoch = self.publish(vec![ControlOp::ExportStateSnapshot {
+            modules: modules.to_vec(),
+            shard,
+        }]);
+        self.wait_for_epoch(epoch)?;
+        let mut exports = {
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            match progress
+                .shards
+                .get_mut(shard)
+                .and_then(|slot| slot.exported.take())
+            {
+                Some((at, states)) if at == epoch => states,
+                _ => Vec::new(),
+            }
+        };
+        exports.sort_by_key(|state| state.module_id);
+        Ok(exports)
     }
 
     /// Shuts the runtime down: closes the dispatcher input rings, joins the
@@ -3370,7 +3695,7 @@ mod tests {
     }
 
     /// A module whose action overwrites a stateful word — classified
-    /// non-mergeable, so 5-tuple steering must refuse it.
+    /// non-mergeable, so 5-tuple steering must replicate (or pin) it.
     fn storing_module(module_id: u16) -> ModuleConfig {
         let mut config = simple_module(module_id, 0x0a00_0002, 4444);
         config.stages[0].rules[0].action = VliwAction::nop()
@@ -3380,53 +3705,65 @@ mod tests {
     }
 
     #[test]
-    fn five_tuple_steering_pins_non_mergeable_state() {
+    fn five_tuple_steering_replicates_non_mergeable_state() {
         let mut runtime = ShardedRuntime::new(
             TABLE5,
             RuntimeOptions::deterministic(4).with_steering(SteeringMode::FiveTuple),
         );
-        // A module that overwrites stateful words cannot be replicated per
-        // shard — instead of being refused, it is pinned tenant-affine so
-        // exactly one shard owns its state.
+        // A module that overwrites stateful words cannot merge per-shard
+        // partial state — but its parser is digestible, so instead of being
+        // pinned to one shard it runs *replicated*: its flows spread and
+        // digest broadcast keeps every copy of the state identical.
         runtime.load_module(&storing_module(3)).unwrap();
-        assert_eq!(runtime.pinned_modules(), vec![3]);
-        // Additive state spreads normally (no pin)…
+        assert_eq!(runtime.replicated_modules(), vec![3]);
+        assert!(runtime.pinned_modules().is_empty());
+        // Additive state spreads normally (no pin, no replication)…
         runtime
             .load_module(&simple_module(1, 0x0a00_0002, 1111))
             .unwrap();
-        assert_eq!(runtime.pinned_modules(), vec![3]);
-        // …and an update flips the pin with the program's classification.
+        assert_eq!(runtime.replicated_modules(), vec![3]);
+        // …and an update flips the regime with the program's classification.
         runtime.update_module(&storing_module(1)).unwrap();
-        assert_eq!(runtime.pinned_modules(), vec![1, 3]);
+        assert_eq!(runtime.replicated_modules(), vec![1, 3]);
         runtime
             .update_module(&simple_module(1, 0x0a00_0002, 1111))
             .unwrap();
-        assert_eq!(runtime.pinned_modules(), vec![3]);
-        // Unloading clears the pin.
+        assert_eq!(runtime.replicated_modules(), vec![3]);
+        // The explicit pin hint opts a program out of replication.
+        runtime
+            .load_module(&storing_module(5).with_pinned(true))
+            .unwrap();
+        assert_eq!(runtime.pinned_modules(), vec![5]);
+        assert_eq!(runtime.replicated_modules(), vec![3]);
+        // Unloading clears either regime.
         runtime.unload_module(ModuleId::new(3)).unwrap();
+        runtime.unload_module(ModuleId::new(5)).unwrap();
+        assert!(runtime.replicated_modules().is_empty());
         assert!(runtime.pinned_modules().is_empty());
 
-        // Tenant-affine steering needs no pins: every module is already
-        // single-owner.
+        // Tenant-affine steering needs neither pins nor replication: every
+        // module is already single-owner.
         let mut affine = ShardedRuntime::new(TABLE5, RuntimeOptions::deterministic(2));
         affine.load_module(&storing_module(3)).unwrap();
         assert!(affine.pinned_modules().is_empty());
+        assert!(affine.replicated_modules().is_empty());
     }
 
     #[test]
-    fn replicating_a_non_mergeable_template_under_five_tuple_pins_it() {
-        // Templates configured *before* the runtime existed are pinned at
-        // construction, not rejected: the module's state stays single-owner
-        // and its packets all land on one shard.
+    fn replicating_a_non_mergeable_template_under_five_tuple_spreads_it() {
+        // Templates configured *before* the runtime existed join the
+        // replicated regime at construction: the module's flows spread
+        // across shards while digest broadcast keeps every replica's
+        // stateful words bit-identical — including on shards that never
+        // processed one of its packets.
         let mut template = MenshenPipeline::new(TABLE5);
         template.load_module(&storing_module(4)).unwrap();
         let mut runtime = ShardedRuntime::from_pipeline(
             &template,
             RuntimeOptions::deterministic(3).with_steering(SteeringMode::FiveTuple),
         );
-        assert_eq!(runtime.pinned_modules(), vec![4]);
-        // All of the pinned tenant's flows land on one shard: the stateful
-        // word is written on exactly one replica.
+        assert_eq!(runtime.replicated_modules(), vec![4]);
+        assert!(runtime.pinned_modules().is_empty());
         let packets: Vec<Packet> = (0..24)
             .map(|i| {
                 PacketBuilder::udp_data(
@@ -3441,15 +3778,29 @@ mod tests {
             .collect();
         let verdicts = runtime.process_batch(packets).unwrap();
         assert!(verdicts.iter().all(|v| v.is_forwarded()));
-        let live_copies = (0..3)
-            .filter(|&shard| {
+        // The flows spread past one shard (no pin)…
+        let touched = runtime
+            .shard_stats()
+            .iter()
+            .filter(|stats| stats.packets > 0)
+            .count();
+        assert!(touched > 1, "5-tuple steering must spread the tenant");
+        // …and every replica holds the stored word, replicas that saw no
+        // packet included — digest replay wrote it there.
+        for shard in 0..3 {
+            assert_eq!(
                 runtime
                     .shard_pipeline(shard)
-                    .and_then(|p| p.read_stateful(ModuleId::new(4), 0, 2))
-                    .is_some_and(|word| word != 0)
-            })
-            .count();
-        assert_eq!(live_copies, 1, "pinned state must be single-owner");
+                    .unwrap()
+                    .read_stateful(ModuleId::new(4), 0, 2),
+                Some(0x0a00_0002),
+                "replica {shard} must carry the replicated store"
+            );
+        }
+        // One digest per packet per non-owning shard, counted at generation.
+        let (digest_packets, digest_bytes) = runtime.digest_totals();
+        assert_eq!(digest_packets, 24 * 2);
+        assert!(digest_bytes >= digest_packets);
     }
 
     #[test]

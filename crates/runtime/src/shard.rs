@@ -35,8 +35,8 @@ use crate::ring::{Consumer, Parker, Producer, PushError};
 use crate::rss::Steerer;
 use menshen_core::packet_filter::FilterCounters;
 use menshen_core::{
-    LatencyHistogram, MenshenPipeline, ModuleCounters, ModuleState, StageProfile, SystemStats,
-    TenantTelemetry, Verdict,
+    LatencyHistogram, MenshenPipeline, ModuleCounters, ModuleState, StageProfile, StateDigest,
+    SystemStats, TenantTelemetry, Verdict,
 };
 use menshen_packet::Packet;
 use std::collections::BTreeMap;
@@ -44,8 +44,60 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// What travels through the rings: one burst of packets.
+/// What travels through a *dispatcher's* input ring: one chunk of raw
+/// ingress packets, not yet steered.
 pub(crate) type Burst = Vec<Packet>;
+
+/// What travels through a *shard's* input ring: one burst of steered
+/// packets plus the state digests of packets the replicated-module plane
+/// steered elsewhere. Digests are bookkeeping, not traffic — only
+/// `packets` feeds the dispatch tallies, the flush barrier and the
+/// conservation audit.
+#[derive(Debug, Default)]
+pub(crate) struct ShardBurst {
+    /// Steered packets, processed by the shard's pipeline replica.
+    pub packets: Vec<Packet>,
+    /// State digests of replicated-module packets owned by *other* shards,
+    /// interleaved with `packets` via [`StateDigest::before`]: a digest
+    /// replays after `packets[..before]` and before `packets[before..]`.
+    /// `before` values are nondecreasing within a burst.
+    pub digests: Vec<StateDigest>,
+}
+
+/// Processes one shard burst: the shard's own packets through the batched
+/// data path, with each foreign-packet digest replayed at its recorded
+/// interleave point, so every replica of a replicated module observes the
+/// module's packets in the same global order. `scratch` is a reusable
+/// verdict buffer (the batch path clears its output vector, so segments are
+/// collected there and appended).
+pub(crate) fn process_shard_burst(
+    pipeline: &mut MenshenPipeline,
+    packets: &[Packet],
+    digests: &[StateDigest],
+    verdicts: &mut Vec<Verdict>,
+    scratch: &mut Vec<Verdict>,
+) {
+    if digests.is_empty() {
+        pipeline.process_batch_into(packets, verdicts);
+        return;
+    }
+    verdicts.clear();
+    verdicts.reserve(packets.len());
+    let mut cursor = 0usize;
+    for digest in digests {
+        let boundary = (digest.before() as usize).min(packets.len());
+        if boundary > cursor {
+            pipeline.process_batch_into(&packets[cursor..boundary], scratch);
+            verdicts.append(scratch);
+            cursor = boundary;
+        }
+        pipeline.apply_state_digest(digest);
+    }
+    if cursor < packets.len() {
+        pipeline.process_batch_into(&packets[cursor..], scratch);
+        verdicts.append(scratch);
+    }
+}
 
 /// A transmit hook the data plane invokes once per processed packet, with
 /// the *original* ingress packet (its `ingress_port` names the rx queue it
@@ -249,6 +301,13 @@ pub(crate) struct DispatcherProgress {
     /// mid-stream (the degraded path: a worker death that left no
     /// drainable rings behind).
     pub lost_per_shard: Vec<u64>,
+    /// State digests this dispatcher generated for replicated-module
+    /// packets (one per packet per non-owning shard). Bookkeeping, not
+    /// packets: excluded from `packets_dispatched` and the flush barrier.
+    pub digests_dispatched: u64,
+    /// Wire bytes of those digests — the replication overhead the bench
+    /// plane reports as bytes/packet.
+    pub digest_bytes_dispatched: u64,
 }
 
 /// The progress board: one slot per shard plus one per dispatcher, guarded
@@ -272,13 +331,13 @@ pub(crate) struct DispatcherUpdate {
     /// producers close — the retired workers are already gone).
     pub keep: usize,
     /// Producers for newly stood-up shards, appended after `keep`.
-    pub append: Vec<Producer<Burst>>,
+    pub append: Vec<Producer<ShardBurst>>,
     /// In-place slot replacements — `(slot, producer)` pairs that swap one
     /// surviving slot's producer for a fresh ring. Shard recovery uses this
     /// to steer a respawned replacement back into an existing slot without
     /// disturbing its neighbours; dropping the old producer closes the dead
     /// (already drained) ring.
-    pub replace: Vec<(usize, Producer<Burst>)>,
+    pub replace: Vec<(usize, Producer<ShardBurst>)>,
 }
 
 impl DispatcherUpdate {
@@ -290,11 +349,11 @@ impl DispatcherUpdate {
         // earlier replacements survive only if the later topology keeps
         // their slot.
         fn merge_replace(
-            earlier: Vec<(usize, Producer<Burst>)>,
-            later: Vec<(usize, Producer<Burst>)>,
+            earlier: Vec<(usize, Producer<ShardBurst>)>,
+            later: Vec<(usize, Producer<ShardBurst>)>,
             limit: usize,
-        ) -> Vec<(usize, Producer<Burst>)> {
-            let mut merged: Vec<(usize, Producer<Burst>)> = earlier
+        ) -> Vec<(usize, Producer<ShardBurst>)> {
+            let mut merged: Vec<(usize, Producer<ShardBurst>)> = earlier
                 .into_iter()
                 .filter(|(slot, _)| *slot < limit)
                 .collect();
@@ -381,7 +440,7 @@ pub(crate) struct Shared {
     /// (counted by the worker) or ring residue the supervisor drains and
     /// counts. That is what makes `lost_to_failure` exact rather than an
     /// estimate.
-    pub wreckage: Mutex<Vec<Option<Vec<Consumer<Burst>>>>>,
+    pub wreckage: Mutex<Vec<Option<Vec<Consumer<ShardBurst>>>>>,
 }
 
 impl Shared {
@@ -511,6 +570,35 @@ pub(crate) fn apply_entry(
                 }
                 continue;
             }
+            crate::ControlOp::ExportStateSnapshot { modules, shard } => {
+                if shard_index == *shard {
+                    let exports = outcome.exported.get_or_insert_with(Vec::new);
+                    for module in modules {
+                        if let Some(state) = pipeline.export_module_state(*module) {
+                            exports.push(state);
+                        }
+                    }
+                }
+                continue;
+            }
+            crate::ControlOp::ReplaceState { shard, state } => {
+                if *shard == shard_index {
+                    // Replace-not-merge: clear the target's own words first
+                    // (keeping its counter history), then import the
+                    // snapshot — additive import onto zeroed words is
+                    // assignment, so the replica ends bit-identical to the
+                    // donor without double-counting traffic.
+                    let module = menshen_core::ModuleId::new(state.module_id);
+                    if let Some(own) = pipeline.take_module_state(module) {
+                        let mut merged = (**state).clone();
+                        merged.counters.add(&own.counters);
+                        if let Err(e) = pipeline.import_module_state(&merged) {
+                            outcome.error.get_or_insert_with(|| e.to_string());
+                        }
+                    }
+                }
+                continue;
+            }
             crate::ControlOp::Retire { keep } => {
                 if shard_index >= *keep {
                     outcome.retired = true;
@@ -561,7 +649,7 @@ pub(crate) fn take_snapshot(
 }
 
 /// The current ring-depth telemetry across a shard's input rings.
-fn ring_depth(inputs: &[Consumer<Burst>]) -> RingDepth {
+fn ring_depth(inputs: &[Consumer<ShardBurst>]) -> RingDepth {
     RingDepth {
         high_watermark: inputs
             .iter()
@@ -585,7 +673,7 @@ pub(crate) fn apply_pending(
     shared: &Shared,
     applied: &mut u64,
     telemetry: &ShardTelemetry,
-    inputs: &[Consumer<Burst>],
+    inputs: &[Consumer<ShardBurst>],
 ) -> bool {
     // Fast path: nothing new published since this shard's cursor.
     if *applied >= shared.published.load(Ordering::SeqCst) {
@@ -657,7 +745,7 @@ impl Drop for ShardExitGuard {
 pub(crate) fn run_worker(
     shard_index: usize,
     mut pipeline: MenshenPipeline,
-    inputs: Vec<Consumer<Burst>>,
+    inputs: Vec<Consumer<ShardBurst>>,
     parker: Arc<Parker>,
     shared: Arc<Shared>,
     initial_epoch: u64,
@@ -669,6 +757,7 @@ pub(crate) fn run_worker(
     let mut applied = initial_epoch;
     let mut telemetry = ShardTelemetry::default();
     let mut verdicts: Vec<Verdict> = Vec::new();
+    let mut run_scratch: Vec<Verdict> = Vec::new();
     let mut next_ring = 0usize;
     let mut idle_spins = 0u32;
     // Bursts popped so far — the fault plan's per-worker coordinate.
@@ -704,13 +793,13 @@ pub(crate) fn run_worker(
         let mut burst = None;
         for offset in 0..inputs.len() {
             let ring = (next_ring + offset) % inputs.len();
-            if let Some(packets) = inputs[ring].try_pop() {
+            if let Some(popped) = inputs[ring].try_pop() {
                 next_ring = (ring + 1) % inputs.len();
-                burst = Some(packets);
+                burst = Some(popped);
                 break;
             }
         }
-        let Some(packets) = burst else {
+        let Some(burst) = burst else {
             if inputs.iter().all(|ring| ring.is_finished()) {
                 break;
             }
@@ -750,11 +839,17 @@ pub(crate) fn run_worker(
                 panic!("injected fault: worker {shard_index} killed at burst {burst_index}");
             }
             let service_start = Instant::now();
-            pipeline.process_batch_into(&packets, &mut verdicts);
+            process_shard_burst(
+                &mut pipeline,
+                &burst.packets,
+                &burst.digests,
+                &mut verdicts,
+                &mut run_scratch,
+            );
             let service_ns = service_start.elapsed().as_nanos() as u64;
             let done_ns = shared.now_ns();
             telemetry.burst_ns.record(service_ns);
-            for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+            for (packet, verdict) in burst.packets.iter().zip(verdicts.iter()) {
                 let sojourn_ns = done_ns.saturating_sub(packet.timestamp_ns);
                 telemetry.packet_ns.record(sojourn_ns);
                 telemetry.record_verdict(verdict, sojourn_ns);
@@ -768,7 +863,7 @@ pub(crate) fn run_worker(
                 egress = shared.egress.lock().expect("egress lock poisoned").clone();
             }
             if let Some(sink) = &egress {
-                for (packet, verdict) in packets.iter().zip(verdicts.iter()) {
+                for (packet, verdict) in burst.packets.iter().zip(verdicts.iter()) {
                     sink.transmit(packet, verdict);
                 }
             }
@@ -781,12 +876,12 @@ pub(crate) fn run_worker(
                 inputs,
                 &shared,
                 &*payload,
-                packets.len() as u64,
+                burst.packets.len() as u64,
             );
             return;
         }
         let forwarded = verdicts.iter().filter(|v| v.is_forwarded()).count() as u64;
-        let total = packets.len() as u64;
+        let total = burst.packets.len() as u64;
         let mut progress = shared.progress.lock().expect("progress lock poisoned");
         let slot = &mut progress.shards[shard_index];
         slot.bursts_done += 1;
@@ -821,7 +916,7 @@ fn contain_worker_panic(
     shard_index: usize,
     pipeline: &MenshenPipeline,
     telemetry: &ShardTelemetry,
-    inputs: Vec<Consumer<Burst>>,
+    inputs: Vec<Consumer<ShardBurst>>,
     shared: &Shared,
     payload: &(dyn std::any::Any + Send),
     lost_in_flight: u64,
@@ -876,7 +971,7 @@ pub(crate) fn run_dispatcher(
     dispatcher_index: usize,
     mut steerer: Steerer,
     input: Consumer<Burst>,
-    mut outputs: Vec<Producer<Burst>>,
+    mut outputs: Vec<Producer<ShardBurst>>,
     burst_size: usize,
     submit_wait: Duration,
     shared: Arc<Shared>,
@@ -894,26 +989,45 @@ pub(crate) fn run_dispatcher(
     // conservation audit still balances.
     struct DispatchState {
         scatter: Vec<Vec<Packet>>,
+        /// Per shard, the digests of replicated-module packets steered to
+        /// *other* shards, with `before` indices into the same shard's
+        /// `scatter`. Flushed together with `scatter[shard]` — always — so
+        /// the recorded interleave points stay valid.
+        digest_scatter: Vec<Vec<StateDigest>>,
         packets: u64,
         bursts: u64,
         per_shard: Vec<u64>,
         shed_tenants: BTreeMap<u16, u64>,
         lost_per_shard: Vec<u64>,
+        digests: u64,
+        digest_bytes: u64,
         failed_shard: Option<usize>,
     }
     impl DispatchState {
+        fn pending(&self, shard: usize) -> bool {
+            !self.scatter[shard].is_empty() || !self.digest_scatter[shard].is_empty()
+        }
+
         fn push_scratch(
             &mut self,
-            outputs: &[Producer<Burst>],
+            outputs: &[Producer<ShardBurst>],
             shard: usize,
             burst_size: usize,
             wait: Duration,
         ) {
-            let burst = std::mem::replace(&mut self.scatter[shard], Vec::with_capacity(burst_size));
-            let packets = burst.len() as u64;
+            let burst = ShardBurst {
+                packets: std::mem::replace(
+                    &mut self.scatter[shard],
+                    Vec::with_capacity(burst_size),
+                ),
+                digests: std::mem::take(&mut self.digest_scatter[shard]),
+            };
+            let packets = burst.packets.len() as u64;
             // `packets` counts everything consumed from the input ring
             // (delivered, shed, or lost) so the stage-1 flush barrier never
-            // waits on packets that can no longer move.
+            // waits on packets that can no longer move. Digests ride along
+            // unaccounted here: they are generated bookkeeping, not
+            // consumed traffic.
             self.packets += packets;
             match outputs[shard].push_deadline(burst, wait) {
                 Ok(()) => {
@@ -924,8 +1038,10 @@ pub(crate) fn run_dispatcher(
                     // The ring stayed full past the bounded wait: shed the
                     // burst, attributed to the tenants that offered it. The
                     // overloaded (or failure-orphaned) tenant pays; other
-                    // tenants' shards keep draining.
-                    for packet in &burst {
+                    // tenants' shards keep draining. Its digests drop with
+                    // it — the degraded regime where an overloaded replica
+                    // falls behind until rebuilt from a live peer.
+                    for packet in &burst.packets {
                         *self.shed_tenants.entry(packet_tenant(packet)).or_insert(0) += 1;
                     }
                 }
@@ -949,6 +1065,8 @@ pub(crate) fn run_dispatcher(
             slot.shed_tenants = self.shed_tenants.clone();
             slot.lost_per_shard.clear();
             slot.lost_per_shard.extend_from_slice(&self.lost_per_shard);
+            slot.digests_dispatched = self.digests;
+            slot.digest_bytes_dispatched = self.digest_bytes;
             slot.failed_shard = self.failed_shard;
             drop(progress);
             shared.cv.notify_all();
@@ -958,11 +1076,14 @@ pub(crate) fn run_dispatcher(
         scatter: (0..outputs.len())
             .map(|_| Vec::with_capacity(burst_size))
             .collect(),
+        digest_scatter: vec![Vec::new(); outputs.len()],
         packets: 0,
         bursts: 0,
         per_shard: vec![0u64; outputs.len()],
         shed_tenants: BTreeMap::new(),
         lost_per_shard: vec![0u64; outputs.len()],
+        digests: 0,
+        digest_bytes: 0,
         failed_shard: None,
     };
     // Dispatchers are only spawned at construction time, so version 0 is
@@ -995,7 +1116,7 @@ pub(crate) fn run_dispatcher(
                 // updates only at a full quiesce, where this is a no-op;
                 // failure recovery stages them live and relies on it.)
                 for shard in 0..outputs.len() {
-                    if !state.scatter[shard].is_empty() {
+                    if state.pending(shard) {
                         state.push_scratch(&outputs, shard, burst_size, submit_wait);
                     }
                 }
@@ -1015,6 +1136,8 @@ pub(crate) fn run_dispatcher(
                 state
                     .scatter
                     .resize_with(outputs.len(), || Vec::with_capacity(burst_size));
+                state.digest_scatter.truncate(update.keep);
+                state.digest_scatter.resize_with(outputs.len(), Vec::new);
                 // Per-shard tallies follow the ring row: surviving shards
                 // keep their cumulative counts (their progress slots
                 // survived too), fresh shards start at zero.
@@ -1033,6 +1156,27 @@ pub(crate) fn run_dispatcher(
         }
         for packet in chunk {
             let shard = steerer.shard_for(&packet);
+            // State-compute replication: a replicated-module packet's state
+            // digest broadcasts to every *other* shard, stamped with the
+            // receiver's current scatter depth so the replica replays it at
+            // the exact interleave point the owner processes the packet at.
+            // All of a replicated module's packets flow through one
+            // dispatcher (steering affinity), so this order is the module's
+            // global order.
+            if let Some(spec) = steerer.digest_spec_for(&packet) {
+                for other in 0..outputs.len() {
+                    if other == shard {
+                        continue;
+                    }
+                    let digest = spec.extract(&packet, state.scatter[other].len() as u32);
+                    state.digests += 1;
+                    state.digest_bytes += digest.wire_bytes() as u64;
+                    state.digest_scatter[other].push(digest);
+                    if state.digest_scatter[other].len() >= burst_size {
+                        state.push_scratch(&outputs, other, burst_size, submit_wait);
+                    }
+                }
+            }
             state.scatter[shard].push(packet);
             if state.scatter[shard].len() >= burst_size {
                 state.push_scratch(&outputs, shard, burst_size, submit_wait);
@@ -1043,7 +1187,7 @@ pub(crate) fn run_dispatcher(
         // flight — and advertise progress for the flush barrier.
         if input.occupancy() == 0 {
             for shard in 0..outputs.len() {
-                if !state.scatter[shard].is_empty() {
+                if state.pending(shard) {
                     state.push_scratch(&outputs, shard, burst_size, submit_wait);
                 }
             }
@@ -1054,7 +1198,7 @@ pub(crate) fn run_dispatcher(
     // then let the producers drop — which closes this dispatcher's row of
     // shard rings.
     for shard in 0..outputs.len() {
-        if !state.scatter[shard].is_empty() {
+        if state.pending(shard) {
             state.push_scratch(&outputs, shard, burst_size, submit_wait);
         }
     }

@@ -24,9 +24,10 @@
 //!    the workload (a skewed tenant→shard hash shows up as a lower
 //!    effective shard count, not as an optimistic straight line).
 
-use menshen_core::{MenshenPipeline, Verdict, BURST_SIZE};
+use menshen_core::{DigestSpec, MenshenPipeline, ModuleId, StateDigest, Verdict, BURST_SIZE};
 use menshen_packet::Packet;
 use menshen_runtime::{RuntimeOptions, ShardedRuntime, Steerer, SteeringMode};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -215,6 +216,237 @@ pub fn shard_scaling_sweep(
         dispatch_mpps,
         host_parallelism,
         steering,
+        points,
+    }
+}
+
+/// One row of the stateful (state-compute-replication) cores-vs-Mpps series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrScalingPoint {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// The reported aggregate rate in Mpps (measured when the host allows,
+    /// modeled otherwise).
+    pub aggregate_mpps: f64,
+    /// Where `aggregate_mpps` came from: `"measured"` or `"model"`.
+    pub source: &'static str,
+    /// The replay-aware pipeline model:
+    /// `min(dispatch, N_e / (t_native + (N_e − 1) · t_replay))` — every
+    /// replica pays for its native share of the workload PLUS a digest
+    /// replay of everyone else's replicated-module packets, so replication
+    /// scales sub-linearly by construction and the model says by how much.
+    pub model_mpps: f64,
+    /// Wall-clock rate of the real threaded runtime *on this host*.
+    pub threaded_mpps: f64,
+    /// Effective parallelism after steering imbalance.
+    pub effective_shards: f64,
+    /// Speedup of `aggregate_mpps` over the first point (mixed-methodology
+    /// on small hosts; gates should use `model_speedup`).
+    pub speedup: f64,
+    /// Speedup of `model_mpps` over the first point's — host-independent.
+    pub model_speedup: f64,
+    /// State digests the threaded run generated, summed over repetitions.
+    pub digest_packets: u64,
+    /// Wire bytes of those digests.
+    pub digest_bytes: u64,
+    /// The replication wire overhead per submitted packet, bytes.
+    pub digest_bytes_per_packet: f64,
+    /// True when the threaded run accounted for every submitted packet in
+    /// the shard tallies and the per-tenant counters — digests are control
+    /// traffic and must NOT appear in either.
+    pub all_packets_accounted: bool,
+}
+
+/// The stateful scaling sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrScalingReport {
+    /// Measured single-replica rate over the workload (native packets), Mpps.
+    pub per_shard_mpps: f64,
+    /// Measured digest-replay rate of one replica, Mdigests/s — the cost of
+    /// keeping a replica's state current for packets it never owned.
+    pub replay_mpps: f64,
+    /// Measured steering (dispatcher) rate over the workload, Mpps.
+    pub dispatch_mpps: f64,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// The module IDs that classified as Replicated under 5-tuple steering.
+    pub replicated_modules: Vec<u16>,
+    /// One point per requested shard count.
+    pub points: Vec<ScrScalingPoint>,
+}
+
+impl ScrScalingReport {
+    /// The point for a given shard count.
+    pub fn point(&self, shards: usize) -> Option<&ScrScalingPoint> {
+        self.points.iter().find(|p| p.shards == shards)
+    }
+}
+
+/// Runs the shard-scaling sweep for a *stateful, non-mergeable* workload
+/// under State-Compute Replication. Steering is fixed at
+/// [`SteeringMode::FiveTuple`]: that is the regime where a storing program
+/// must either pin (the old world) or replicate (this sweep).
+///
+/// Same measure-or-model convention as [`shard_scaling_sweep`], with two
+/// SCR-specific additions: the model charges every replica for replaying
+/// the digests of packets it did not own (so it flattens honestly as shards
+/// grow), and every point reports the digest wire overhead per packet taken
+/// from the real threaded run's [`ShardedRuntime::digest_totals`].
+pub fn scr_scaling_sweep(
+    template: &MenshenPipeline,
+    packets: &[Packet],
+    shard_counts: &[usize],
+    reps: usize,
+) -> ScrScalingReport {
+    assert!(!packets.is_empty(), "the sweep needs a workload");
+    let steering = SteeringMode::FiveTuple;
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Which modules replicate? Ask the runtime itself — the probe instance
+    // classifies every loaded module exactly as the measured runs will.
+    let probe = ShardedRuntime::from_pipeline(
+        template,
+        RuntimeOptions::deterministic(2).with_steering(steering),
+    );
+    let replicated_modules = probe.replicated_modules();
+    drop(probe);
+    assert!(
+        !replicated_modules.is_empty(),
+        "the SCR sweep needs at least one replicated (storing) module"
+    );
+    let specs: HashMap<u16, DigestSpec> = replicated_modules
+        .iter()
+        .filter_map(|&module| {
+            template
+                .module_digest_spec(ModuleId::new(module))
+                .map(|spec| (module, spec))
+        })
+        .collect();
+
+    // (1) Measured native per-shard rate: one replica, batched data path.
+    let mut replica = template.config_replica();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    let per_shard_mpps = measure_mpps(packets.len(), reps, || {
+        for burst in packets.chunks(BURST_SIZE) {
+            replica.process_batch_into(burst, &mut verdicts);
+        }
+    });
+
+    // (2) Measured replay rate: the same replica replaying the workload's
+    // digest stream — match + stateful ALUs, no verdicts, no deparse.
+    let digests: Vec<StateDigest> = packets
+        .iter()
+        .filter_map(|packet| {
+            let module = packet.vlan_id().ok()?.value();
+            specs.get(&module).map(|spec| spec.extract(packet, 0))
+        })
+        .collect();
+    assert!(
+        !digests.is_empty(),
+        "the workload never touches a replicated module"
+    );
+    let mut replayer = template.config_replica();
+    let replay_mpps = measure_mpps(digests.len(), reps, || {
+        for digest in &digests {
+            replayer.apply_state_digest(digest);
+        }
+    });
+    let digest_share = digests.len() as f64 / packets.len() as f64;
+
+    // (3) Measured dispatcher rate: the steering decision alone.
+    let steer_probe = Steerer::new(steering, shard_counts.iter().copied().max().unwrap_or(1));
+    let mut shard_sink = 0usize;
+    let dispatch_mpps = measure_mpps(packets.len(), reps, || {
+        for packet in packets {
+            shard_sink = shard_sink.wrapping_add(steer_probe.shard_for(packet));
+        }
+    });
+    assert!(shard_sink < usize::MAX, "keep the steering loop observable");
+
+    let t_native = 1.0 / per_shard_mpps; // µs per native packet
+    let t_replay = 1.0 / replay_mpps; // µs per replayed digest
+
+    let mut points = Vec::with_capacity(shard_counts.len());
+    let mut baseline_mpps = None;
+    let mut model_baseline_mpps = None;
+    for &shards in shard_counts {
+        let steerer = Steerer::new(steering, shards);
+        let mut loads = vec![0u64; shards];
+        for packet in packets {
+            loads[steerer.shard_for(packet)] += 1;
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0).max(1);
+        let effective_shards = packets.len() as f64 / max_load as f64;
+        // The replay-aware model: the most loaded replica processes its
+        // P/N_e native packets and replays the digest share of the other
+        // (1 − 1/N_e) of the workload. Per-packet time across the aggregate:
+        // t_native/N_e + (1 − 1/N_e) · digest_share · t_replay.
+        let per_packet =
+            t_native / effective_shards + (1.0 - 1.0 / effective_shards) * digest_share * t_replay;
+        let model_mpps = (1.0 / per_packet).min(dispatch_mpps);
+
+        // (4) The real threaded runtime, end to end, digests flowing.
+        let mut runtime = ShardedRuntime::from_pipeline(
+            template,
+            RuntimeOptions::threaded(shards).with_steering(steering),
+        );
+        let mut threaded_secs = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let owned = packets.to_vec();
+            let start = Instant::now();
+            runtime
+                .submit_owned(owned)
+                .expect("threaded runtime accepts submissions");
+            runtime.flush();
+            threaded_secs = threaded_secs.min(start.elapsed().as_secs_f64());
+        }
+        let threaded_mpps = packets.len() as f64 / threaded_secs.max(1e-12) / 1e6;
+        let (digest_packets, digest_bytes) = runtime.digest_totals();
+        let tallied: u64 = runtime.shard_stats().iter().map(|s| s.packets).sum();
+        let counted: u64 = runtime
+            .aggregated_counters()
+            .expect("snapshot epoch applies")
+            .values()
+            .map(|c| c.packets_in)
+            .sum();
+        let submitted = (packets.len() * reps.max(1)) as u64;
+        // Digest replay must never leak into packet accounting: the shard
+        // tallies and the per-tenant counters both count submitted packets
+        // exactly, digests notwithstanding.
+        let all_packets_accounted = tallied == submitted && counted == submitted;
+        runtime.shutdown();
+
+        let (aggregate_mpps, source) = if host_parallelism > shards {
+            (threaded_mpps, "measured")
+        } else {
+            (model_mpps, "model")
+        };
+        let baseline = *baseline_mpps.get_or_insert(aggregate_mpps);
+        let model_baseline = *model_baseline_mpps.get_or_insert(model_mpps);
+        points.push(ScrScalingPoint {
+            shards,
+            aggregate_mpps,
+            source,
+            model_mpps,
+            threaded_mpps,
+            effective_shards,
+            speedup: aggregate_mpps / baseline,
+            model_speedup: model_mpps / model_baseline,
+            digest_packets,
+            digest_bytes,
+            digest_bytes_per_packet: digest_bytes as f64 / submitted as f64,
+            all_packets_accounted,
+        });
+    }
+
+    ScrScalingReport {
+        per_shard_mpps,
+        replay_mpps,
+        dispatch_mpps,
+        host_parallelism,
+        replicated_modules,
         points,
     }
 }
@@ -554,6 +786,104 @@ mod tests {
         let two = report.point(2, 1).unwrap().steer_mpps;
         assert!(two >= one * 0.8, "steering regressed: {one} → {two}");
         assert!(report.point(3, 1).is_none());
+    }
+
+    /// A storing (non-mergeable) tenant: match the generator's dst IP,
+    /// rewrite the UDP port, count packets in word 0 AND store the dst-IP
+    /// container into word 2 — the store makes it classify Replicated under
+    /// 5-tuple steering.
+    fn storing_module(module_id: u16) -> menshen_core::ModuleConfig {
+        use menshen_core::module::{MatchRule, StageModuleConfig};
+        use menshen_rmt::action::{AluInstruction, VliwAction};
+        use menshen_rmt::config::{KeyExtractEntry, KeyMask, ParseAction, ParserEntry};
+        use menshen_rmt::match_table::LookupKey;
+        use menshen_rmt::phv::ContainerRef as C;
+
+        let mut config = menshen_core::ModuleConfig::empty(
+            menshen_core::ModuleId::new(module_id),
+            format!("storing{module_id}"),
+            PipelineParams::default().num_stages,
+        );
+        config.parser = ParserEntry::new(vec![
+            ParseAction::new(34, C::h4(1)).unwrap(),
+            ParseAction::new(40, C::h2(0)).unwrap(),
+        ])
+        .unwrap();
+        config.deparser = ParserEntry::new(vec![ParseAction::new(40, C::h2(0)).unwrap()]).unwrap();
+        let key = LookupKey::from_slots(
+            [
+                (0, 6),
+                (0, 6),
+                (0x0a00_0101, 4), // TrafficGenerator frames target 10.0.1.1
+                (0, 4),
+                (0, 2),
+                (0, 2),
+            ],
+            false,
+        );
+        config.stages[0] = StageModuleConfig {
+            key_extract: Some(KeyExtractEntry {
+                slots_4b: [1, 0],
+                ..Default::default()
+            }),
+            key_mask: Some(KeyMask::for_slots(
+                [false, false, true, false, false, false],
+                false,
+            )),
+            rules: vec![MatchRule {
+                key,
+                action: VliwAction::nop()
+                    .with(C::h2(0), AluInstruction::set(4444))
+                    .with(C::h4(7), AluInstruction::loadd(0))
+                    .with(C::h4(3), AluInstruction::store(C::h4(1), 2)),
+            }],
+            stateful_words: 16,
+            ..Default::default()
+        };
+        config
+    }
+
+    #[test]
+    fn scr_sweep_replicates_accounts_and_reports_digest_overhead() {
+        // The realistic SCR population: ONE storing (replicated) tenant in a
+        // crowd of mergeable ones. Digest replay is per-event more expensive
+        // than a batched native packet, so replicating 100% of the traffic
+        // cannot scale — the regime the sweep models is a storing fraction.
+        let mut template = MenshenPipeline::new(PipelineParams::default());
+        template
+            .load_module(&storing_module(1))
+            .expect("storing tenant loads");
+        for id in 2..=4u16 {
+            template
+                .load_module(&passthrough_module(id))
+                .expect("passthrough loads");
+        }
+        let packets = workload(4, 512);
+        let report = scr_scaling_sweep(&template, &packets, &[1, 2, 4], 1);
+        assert_eq!(report.replicated_modules, vec![1]);
+        assert!(report.per_shard_mpps > 0.0);
+        assert!(report.replay_mpps > 0.0);
+        assert!(report.dispatch_mpps > 0.0);
+        for point in &report.points {
+            assert!(point.all_packets_accounted, "{point:?}");
+            assert!(point.model_mpps > 0.0);
+            assert!(point.effective_shards <= point.shards as f64 + 1e-9);
+        }
+        // A lone shard has no peers to inform; with peers, every replicated
+        // packet broadcasts to all N−1 of them, so the overhead grows with
+        // the replica count and the per-packet wire cost is visible.
+        let one = report.point(1).unwrap();
+        assert_eq!(one.digest_packets, 0, "{one:?}");
+        let two = report.point(2).unwrap();
+        let four = report.point(4).unwrap();
+        assert!(four.digest_packets > two.digest_packets, "{report:?}");
+        assert!(four.digest_bytes_per_packet > 0.0);
+        // Replay is cheaper than full packet processing (no parse, deparse
+        // or verdict), so the replay-aware model still scales past 1 shard.
+        assert!(
+            four.model_speedup > 1.0,
+            "SCR model failed to scale: {report:?}"
+        );
     }
 
     #[test]

@@ -13,14 +13,17 @@
 //!
 //! with the per-tenant ledgers independently retelling the same story.
 
-use menshen::core::MenshenPipeline;
+use menshen::core::{MenshenPipeline, ModuleId};
 use menshen::io::{control_request, InProcessIo, Service, ServiceConfig, UdpSocketIo};
 use menshen::packet::{Packet, PacketBuilder};
 use menshen::runtime::{
     ControlEventKind, FaultPlan, FaultSpec, RuntimeError, RuntimeOptions, ShardedRuntime,
+    SteeringMode,
 };
 use menshen::trace::synth::{synthesize, WorkloadSpec};
-use menshen_bench::workloads::flow_rule_tenant;
+use menshen_bench::workloads::{flow_rule_tenant, flow_rule_tenant_with_port, flow_workload};
+use menshen_rmt::action::AluInstruction;
+use menshen_rmt::phv::ContainerRef as C;
 use std::time::{Duration, Instant};
 
 const TENANTS: u16 = 4;
@@ -42,6 +45,28 @@ fn trace(packets: usize) -> Vec<Packet> {
     spec.rules_per_tenant = RULES;
     spec.mean_rate_pps = 50_000_000.0;
     synthesize(&spec).unwrap()
+}
+
+/// Like [`template`], but tenant 1 `store`s its dst IP into stateful word
+/// 2 — non-mergeable, so it classifies Replicated under 5-tuple steering
+/// and every shard replica replays its digest stream.
+fn storing_template() -> MenshenPipeline {
+    let params = menshen::rmt::TABLE5.with_table_depth(1024);
+    let mut pipeline = MenshenPipeline::new(params);
+    let mut storing = flow_rule_tenant_with_port(1, RULES, 1001);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    pipeline.load_module(&storing).unwrap();
+    for module_id in 2..=TENANTS {
+        pipeline
+            .load_module(&flow_rule_tenant(module_id, RULES))
+            .unwrap();
+    }
+    pipeline
 }
 
 /// `n` packets all carrying `tenant`'s VLAN tag — single-shard traffic
@@ -523,6 +548,131 @@ fn submissions_against_dead_shards_return_bounded_never_park() {
     let audit = runtime.conservation_audit().unwrap();
     assert_conserved(&audit);
     assert!(audit.lost_to_failure > 0);
+}
+
+/// Digest traffic is control metadata, not packets: a replicated tenant's
+/// digest broadcast must leave the conservation identity untouched —
+/// `forwarded + dropped + lost_to_failure == submitted` counts data packets
+/// only, on a plane that demonstrably carried digests the whole time.
+#[test]
+fn digest_traffic_never_perturbs_the_conservation_audit() {
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &storing_template(),
+        RuntimeOptions::threaded(4)
+            .with_steering(SteeringMode::FiveTuple)
+            .with_submit_wait(Duration::from_millis(200)),
+    );
+    assert_eq!(runtime.replicated_modules(), vec![1]);
+    let submitted = 8 * 512u64;
+    for _ in 0..8 {
+        runtime
+            .submit_owned(flow_workload(TENANTS, RULES, 512))
+            .unwrap();
+    }
+    runtime.flush();
+
+    let (digest_packets, digest_bytes) = runtime.digest_totals();
+    assert!(
+        digest_packets > 0 && digest_bytes > 0,
+        "replication on a 4-shard plane must broadcast digests"
+    );
+    let audit = runtime.conservation_audit().unwrap();
+    assert_conserved(&audit);
+    assert_eq!(
+        audit.submitted, submitted,
+        "digests must not inflate the submitted column: {audit:?}"
+    );
+    assert_eq!(audit.lost_to_failure, 0, "nothing died: {audit:?}");
+    // The per-tenant ledgers retell it: every data packet got exactly one
+    // verdict, replayed digests got none.
+    let tenants = runtime.aggregated_tenants().unwrap();
+    let verdicts: u64 = tenants
+        .values()
+        .map(|t| t.ledger.forwarded + t.ledger.drop_reasons().iter().map(|(_, n)| n).sum::<u64>())
+        .sum();
+    assert_eq!(verdicts, submitted, "one verdict per data packet, exactly");
+}
+
+/// SCR under fire: a shard killed mid-digest-stream loses its replica of
+/// the storing tenant's words; `supervise()` respawns it and reseeds the
+/// replica from a live peer's snapshot. Afterwards every shard holds
+/// bit-identical copies again — traffic after the rebuild keeps them in
+/// lockstep — and the books balance.
+#[test]
+fn a_replica_killed_mid_digest_stream_is_rebuilt_from_a_live_peer() {
+    let mut runtime = ShardedRuntime::from_pipeline(
+        &storing_template(),
+        RuntimeOptions::threaded(4)
+            .with_steering(SteeringMode::FiveTuple)
+            .with_submit_wait(Duration::from_millis(100))
+            .with_wedge_threshold(Duration::from_secs(30)),
+    );
+    assert_eq!(runtime.replicated_modules(), vec![1]);
+    // Seed every replica with digest-carried state, then kill one shard at
+    // its next burst — mid-stream, with digests still in flight.
+    runtime
+        .submit_owned(flow_workload(TENANTS, RULES, 1024))
+        .unwrap();
+    runtime.flush();
+    let victim = 1usize;
+    let next_burst = runtime.shard_stats()[victim].bursts + 1;
+    runtime.arm_faults(FaultPlan::new().with_worker_panic(victim, next_burst));
+
+    let mut recovered = Vec::new();
+    for _ in 0..200 {
+        runtime
+            .submit_owned(flow_workload(TENANTS, RULES, 256))
+            .unwrap();
+        recovered.extend(runtime.supervise());
+        if !recovered.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    runtime.disarm_faults();
+    std::thread::sleep(Duration::from_millis(50));
+    loop {
+        let late = runtime.supervise();
+        if late.is_empty() {
+            break;
+        }
+        recovered.extend(late);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        recovered.iter().any(|r| r.shard == victim),
+        "the scheduled casualty was recovered: {recovered:?}"
+    );
+
+    // Post-rebuild traffic: the respawned replica must replay digests in
+    // lockstep with its peers from its reseeded baseline.
+    runtime
+        .submit_owned(flow_workload(TENANTS, RULES, 1024))
+        .unwrap();
+    runtime.flush();
+
+    let storing = [ModuleId::new(1)];
+    let reference = runtime
+        .export_shard_state(0, &storing)
+        .unwrap()
+        .pop()
+        .expect("shard 0 holds the replicated module");
+    assert!(
+        reference.stages.iter().any(|s| s.iter().any(|&w| w != 0)),
+        "the storing tenant's words advanced"
+    );
+    for shard in 1..runtime.shard_count() {
+        let replica = runtime
+            .export_shard_state(shard, &storing)
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| panic!("shard {shard} holds the replicated module"));
+        assert_eq!(
+            replica.stages, reference.stages,
+            "shard {shard}'s replica diverged from shard 0 after the rebuild"
+        );
+    }
+    assert_conserved(&runtime.conservation_audit().unwrap());
 }
 
 /// Wire-level chaos: a seeded schedule of drops, duplicates, reorders and

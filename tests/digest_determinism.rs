@@ -1,0 +1,194 @@
+//! Digest determinism: for one fixed packet trace, the per-shard digest
+//! streams — the (module, field-values) sequences each replica replays —
+//! and the final stateful words are invariant in the number of dispatchers
+//! that carry the trace. Per-module dispatcher affinity pins a replicated
+//! module's packets to one dispatcher, so no interleaving of 1..=4
+//! dispatcher queues can reorder its digest stream. The `before` stamps ARE
+//! allowed to differ (they are scatter-relative positions), so the
+//! comparison here is field-level and state-level, not byte-level:
+//!
+//! * a digest-only replica that replays the module's packets in trace order
+//!   via [`MenshenPipeline::apply_state_digest`] must land on the same
+//!   stateful words as every runtime replica, for every dispatcher count —
+//!   if any runtime dropped, duplicated or reordered a digest, its storing
+//!   word (last-writer-wins) or counting word (occurrence count) would
+//!   diverge;
+//! * the digest packet/byte totals must be identical across dispatcher
+//!   counts (same stream, different carriage);
+//! * the final stateful words must be bit-identical across dispatcher
+//!   counts, sprays, and the lone reference pipeline.
+//!
+//! In the style of the repository's other property tests this is a seeded
+//! randomized loop: every failure reproduces from the printed seed.
+
+use menshen::prelude::*;
+use menshen_bench::workloads::{flow_dst_ip, flow_rule_tenant_with_port};
+use menshen_core::ModuleConfig;
+use menshen_packet::{Packet, PacketBuilder};
+use menshen_rmt::action::AluInstruction;
+use menshen_rmt::phv::ContainerRef as C;
+use menshen_runtime::{DispatchSpray, ShardedRuntime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TENANTS: u16 = 4;
+const FLOWS_PER_TENANT: usize = 4;
+const STORING: u16 = 1;
+
+/// The storing (non-mergeable) tenant: the shared flow-rule shape plus a
+/// `store` of the dst-IP container into stateful word 2. Classifies as
+/// Replicated under 5-tuple steering.
+fn storing_tenant(module_id: u16, rewrite_port: u16) -> ModuleConfig {
+    let mut storing = flow_rule_tenant_with_port(module_id, FLOWS_PER_TENANT, rewrite_port);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    storing
+}
+
+/// A random tenant packet, tagged with the module it belongs to: mostly
+/// flow-rule hits, some misses. No untagged or reconfiguration frames —
+/// module membership must be decidable by construction so the test can
+/// rebuild the digest stream independently of the runtime.
+fn random_packet(rng: &mut StdRng) -> (u16, Packet) {
+    let module = rng.gen_range(1..=TENANTS);
+    let dst = if rng.gen_bool(0.8) {
+        let ip = flow_dst_ip(module, rng.gen_range(0..FLOWS_PER_TENANT));
+        [
+            ((ip >> 24) & 0xff) as u8,
+            ((ip >> 16) & 0xff) as u8,
+            ((ip >> 8) & 0xff) as u8,
+            (ip & 0xff) as u8,
+        ]
+    } else {
+        [10, 9, 9, rng.gen_range(1..250u8)]
+    };
+    let packet = PacketBuilder::udp_data(
+        module,
+        [10, 0, 0, rng.gen_range(1..250u8)],
+        dst,
+        rng.gen_range(1024..65000u16),
+        80,
+        &[0u8; 8],
+    );
+    (module, packet)
+}
+
+#[test]
+fn digest_streams_are_invariant_in_the_dispatcher_count() {
+    for seed in [0xD16_0001u64, 0xD16_0BEE, 0xD16_5EED] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace: Vec<Vec<(u16, Packet)>> = (0..10)
+            .map(|_| {
+                (0..rng.gen_range(8..48usize))
+                    .map(|_| random_packet(&mut rng))
+                    .collect()
+            })
+            .collect();
+        let params = TABLE5.with_table_depth(64);
+        let storing = storing_tenant(STORING, 1001);
+
+        // Reference 1: the lone pipeline processing the whole trace.
+        let mut single = MenshenPipeline::new(params);
+        single.load_module(&storing).expect("single load");
+        for module in 2..=TENANTS {
+            let config = flow_rule_tenant_with_port(module, FLOWS_PER_TENANT, 1000 + module);
+            single.load_module(&config).expect("single load");
+        }
+        for burst in &trace {
+            single.process_batch(burst.iter().map(|(_, p)| p.clone()).collect());
+        }
+
+        // Reference 2: a digest-only replica that never sees a packet. It
+        // replays the storing module's packets in trace order, rebuilt from
+        // the same digest recipe the dispatchers use. Any runtime replica
+        // whose stream was reordered, duplicated or truncated must diverge
+        // from it in the storing word (last-writer-wins) or the counting
+        // word (occurrence count).
+        let mut replayer = MenshenPipeline::new(params);
+        replayer.load_module(&storing).expect("replayer load");
+        let spec = replayer
+            .module_digest_spec(ModuleId::new(STORING))
+            .expect("the storing parser must be digestible");
+        for burst in &trace {
+            for (module, packet) in burst {
+                if *module == STORING {
+                    replayer.apply_state_digest(&spec.extract(packet, 0));
+                }
+            }
+        }
+        let stored = single.read_stateful(ModuleId::new(STORING), 0, 2);
+        let counted = single.read_stateful(ModuleId::new(STORING), 0, 0);
+        assert!(stored.is_some(), "seed {seed}: trace never hit the tenant");
+        assert_eq!(
+            replayer.read_stateful(ModuleId::new(STORING), 0, 2),
+            stored,
+            "seed {seed}: digest replay itself diverged from packet processing"
+        );
+        assert_eq!(
+            replayer.read_stateful(ModuleId::new(STORING), 0, 0),
+            counted,
+            "seed {seed}: digest replay miscounted"
+        );
+
+        // The property: every dispatcher count (and both sprays) carries
+        // the same per-shard digest streams, so every replica's words and
+        // the runtime-wide digest totals are invariant.
+        let shards = 4usize;
+        let mut totals: Option<(u64, u64)> = None;
+        for dispatchers in 0..=4usize {
+            for spray in [DispatchSpray::RoundRobin, DispatchSpray::FlowAffine] {
+                let mut sharded = ShardedRuntime::new(
+                    params,
+                    RuntimeOptions::deterministic(shards)
+                        .with_dispatchers(dispatchers)
+                        .with_spray(spray)
+                        .with_steering(SteeringMode::FiveTuple),
+                );
+                sharded.load_module(&storing).expect("sharded load");
+                assert_eq!(sharded.replicated_modules(), vec![STORING]);
+                for module in 2..=TENANTS {
+                    let config =
+                        flow_rule_tenant_with_port(module, FLOWS_PER_TENANT, 1000 + module);
+                    sharded.load_module(&config).expect("sharded load");
+                }
+                for burst in &trace {
+                    sharded
+                        .process_batch(burst.iter().map(|(_, p)| p.clone()).collect())
+                        .expect("deterministic mode");
+                }
+                for shard in 0..shards {
+                    let replica = sharded.shard_pipeline(shard).expect("shard pipeline");
+                    assert_eq!(
+                        replica.read_stateful(ModuleId::new(STORING), 0, 2),
+                        stored,
+                        "seed {seed}, {dispatchers} dispatchers ({spray:?}): \
+                         replica {shard} stored word diverged"
+                    );
+                    assert_eq!(
+                        replica.read_stateful(ModuleId::new(STORING), 0, 0),
+                        counted,
+                        "seed {seed}, {dispatchers} dispatchers ({spray:?}): \
+                         replica {shard} counting word diverged"
+                    );
+                }
+                let observed = sharded.digest_totals();
+                assert!(
+                    observed.0 > 0,
+                    "seed {seed}: replication must generate digests"
+                );
+                match totals {
+                    None => totals = Some(observed),
+                    Some(expected) => assert_eq!(
+                        expected, observed,
+                        "seed {seed}, {dispatchers} dispatchers ({spray:?}): \
+                         digest totals diverged — the stream is not the same stream"
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -3,12 +3,16 @@
 //! metrics snapshot must emit parseable Prometheus text exposition, and the
 //! packet-conservation audit must balance after real traffic.
 
-use menshen::core::{validate_prometheus, MenshenPipeline};
-use menshen::runtime::{chrome_trace_to_events, ControlEventKind, RuntimeOptions, ShardedRuntime};
+use menshen::core::{validate_prometheus, MenshenPipeline, MetricValue, MetricsSnapshot};
+use menshen::runtime::{
+    chrome_trace_to_events, ControlEventKind, RuntimeOptions, ShardedRuntime, SteeringMode,
+};
 use menshen::trace::replay::{replay_sharded, Pacing};
 use menshen::trace::synth::{synthesize, WorkloadSpec};
-use menshen_bench::workloads::flow_rule_tenant;
+use menshen_bench::workloads::{flow_rule_tenant, flow_rule_tenant_with_port, flow_workload};
 use menshen_json::Json;
+use menshen_rmt::action::AluInstruction;
+use menshen_rmt::phv::ContainerRef as C;
 
 const TENANTS: u16 = 4;
 const RULES: usize = 64;
@@ -134,6 +138,90 @@ fn metrics_snapshot_exports_valid_prometheus_and_json() {
     let json = snapshot.to_json();
     let rendered = json.pretty();
     assert!(rendered.contains("menshen_shard_packets_total"));
+}
+
+/// The digest counters ride the metrics plane: every snapshot reports
+/// exactly its runtime's [`ShardedRuntime::digest_totals`], a single-shard
+/// runtime reports zero (no replication peers → no digest traffic), and two
+/// runtimes' snapshots fold by [`MetricsSnapshot::merge`] into the exact
+/// sum — so a fleet-level scrape can aggregate digest overhead without
+/// double counting or loss.
+#[test]
+fn digest_counters_ride_and_merge_in_the_metrics_snapshot() {
+    let params = menshen::rmt::TABLE5.with_table_depth(1024);
+    let mut template = MenshenPipeline::new(params);
+    let mut storing = flow_rule_tenant_with_port(1, RULES, 1001);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    template.load_module(&storing).unwrap();
+    for module_id in 2..=TENANTS {
+        template
+            .load_module(&flow_rule_tenant(module_id, RULES))
+            .unwrap();
+    }
+
+    let counter = |snapshot: &MetricsSnapshot, name: &str| -> u64 {
+        match snapshot.get(name, &[]) {
+            Some(MetricValue::Counter(value)) => *value,
+            other => panic!("{name} must be a bare counter, got {other:?}"),
+        }
+    };
+    let run = |shards: usize, packets: usize| -> (MetricsSnapshot, (u64, u64)) {
+        let mut runtime = ShardedRuntime::from_pipeline(
+            &template,
+            RuntimeOptions::deterministic(shards).with_steering(SteeringMode::FiveTuple),
+        );
+        assert_eq!(runtime.replicated_modules(), vec![1]);
+        runtime
+            .process_batch(flow_workload(TENANTS, RULES, packets))
+            .unwrap();
+        let snapshot = runtime.metrics_snapshot().unwrap();
+        (snapshot, runtime.digest_totals())
+    };
+
+    // Each snapshot reports its own runtime's totals, byte for byte.
+    let (alone, totals_alone) = run(1, 256);
+    let (small, totals_small) = run(2, 256);
+    let (wide, totals_wide) = run(4, 512);
+    for (snapshot, (packets, bytes)) in [
+        (&alone, totals_alone),
+        (&small, totals_small),
+        (&wide, totals_wide),
+    ] {
+        assert_eq!(
+            counter(snapshot, "menshen_runtime_digest_packets_total"),
+            packets
+        );
+        assert_eq!(
+            counter(snapshot, "menshen_runtime_digest_bytes_total"),
+            bytes
+        );
+    }
+    assert_eq!(totals_alone, (0, 0), "one shard has no replication peers");
+    assert!(totals_small.0 > 0, "two shards must exchange digests");
+    assert!(
+        totals_wide.0 > totals_small.0,
+        "more peers, more digest fan-out"
+    );
+
+    // Merging folds the counters into the exact sum and the merged
+    // exposition still parses.
+    let mut fleet = small.clone();
+    fleet.merge(&wide);
+    fleet.merge(&alone);
+    assert_eq!(
+        counter(&fleet, "menshen_runtime_digest_packets_total"),
+        totals_small.0 + totals_wide.0
+    );
+    assert_eq!(
+        counter(&fleet, "menshen_runtime_digest_bytes_total"),
+        totals_small.1 + totals_wide.1
+    );
+    validate_prometheus(&fleet.to_prometheus()).expect("merged exposition must parse");
 }
 
 /// After a replay through the threaded runtime the conservation audit

@@ -523,11 +523,11 @@ fn resize_equivalence_holds_across_seeds_and_starts() {
     }
 }
 
-/// The acceptance-criteria scenario: a stateful program whose state is NOT
-/// mergeable (it `store`s packet-derived values) runs under 5-tuple
-/// steering — legal now because it is pinned single-owner — and its state
-/// migrates across grow and shrink resizes, staying equivalent to the lone
-/// pipeline throughout.
+/// The pin-hint scenario: a stateful program whose state is NOT mergeable
+/// (it `store`s packet-derived values) opts OUT of state-compute
+/// replication with the load-time pin hint, runs under 5-tuple steering as
+/// a pinned single owner, and its state migrates across grow and shrink
+/// resizes, staying equivalent to the lone pipeline throughout.
 #[test]
 fn non_mergeable_program_migrates_under_five_tuple_resizes() {
     let mut rng = StdRng::seed_from_u64(0x57_0BE5);
@@ -539,8 +539,9 @@ fn non_mergeable_program_migrates_under_five_tuple_resizes() {
     );
     // Tenant 1: a storing (non-mergeable) program — match its flow-rule dst
     // IPs, rewrite the port AND store the dst-IP container into stateful
-    // word 2. Tenants 2..: the usual mergeable flow-rule programs.
-    let mut storing = tenant_module(1, 1001);
+    // word 2 — with the pin hint set, so it stays single-owner instead of
+    // replicating. Tenants 2..: the usual mergeable flow-rule programs.
+    let mut storing = tenant_module(1, 1001).with_pinned(true);
     for rule in &mut storing.stages[0].rules {
         rule.action = rule
             .action
@@ -552,7 +553,11 @@ fn non_mergeable_program_migrates_under_five_tuple_resizes() {
     assert_eq!(
         sharded.pinned_modules(),
         vec![1],
-        "the storing program must be pinned single-owner"
+        "the pin hint must force single ownership"
+    );
+    assert!(
+        sharded.replicated_modules().is_empty(),
+        "a pin-hinted program must not replicate"
     );
     for module in 2..=TENANTS {
         let config = tenant_module(module, 1000 + module);
@@ -658,4 +663,194 @@ fn five_tuple_steering_preserves_mergeable_state_totals() {
             "module {module} merged stateful total"
         );
     }
+}
+
+/// Builds the storing (non-mergeable) tenant used by the replication tests:
+/// the shared flow-rule shape plus a `store` of the dst-IP container into
+/// stateful word 2. Without a pin hint it classifies as Replicated.
+fn storing_tenant(module_id: u16, rewrite_port: u16) -> ModuleConfig {
+    let mut storing = tenant_module(module_id, rewrite_port);
+    for rule in &mut storing.stages[0].rules {
+        rule.action = rule
+            .action
+            .clone()
+            .with(C::h4(3), AluInstruction::store(C::h4(1), 2));
+    }
+    storing
+}
+
+/// The state-compute-replication acceptance scenario: a storing
+/// (non-mergeable) program runs UNPINNED under 5-tuple steering for every
+/// shard count 1..=8. Each shard owns only the flows hashed to it and
+/// rebuilds the rest of the program's state from dispatcher digests, so
+/// per-position verdicts, aggregated counter totals and — on EVERY replica —
+/// the stateful words must stay bit-identical to the lone pipeline.
+#[test]
+fn replicated_storing_program_matches_the_lone_pipeline_across_shard_counts() {
+    for shards in 1..=8usize {
+        let mut rng = StdRng::seed_from_u64(0x5C2_0001 + shards as u64);
+        let params = TABLE5.with_table_depth(64);
+        let mut single = MenshenPipeline::new(params);
+        let mut sharded = ShardedRuntime::new(
+            params,
+            RuntimeOptions::deterministic(shards).with_steering(SteeringMode::FiveTuple),
+        );
+        let storing = storing_tenant(1, 1001);
+        single.load_module(&storing).expect("single load");
+        sharded.load_module(&storing).expect("sharded load");
+        assert_eq!(
+            sharded.replicated_modules(),
+            vec![1],
+            "the storing program must replicate, not pin"
+        );
+        assert!(
+            sharded.pinned_modules().is_empty(),
+            "no program asked for the pin hint"
+        );
+        for module in 2..=TENANTS {
+            let config = tenant_module(module, 1000 + module);
+            single.load_module(&config).expect("single load");
+            sharded.load_module(&config).expect("sharded load");
+        }
+
+        for burst_index in 0..12 {
+            let burst: Vec<Packet> = (0..48).map(|_| random_packet(&mut rng)).collect();
+            let expected = single.process_batch(burst.clone());
+            let got = sharded.process_batch(burst).expect("deterministic mode");
+            for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    project(a),
+                    project(b),
+                    "{shards} shards, burst {burst_index}, packet {position}"
+                );
+            }
+        }
+
+        // EVERY replica holds the complete stored word and the complete
+        // per-flow counter word, bit-identical to the lone pipeline: digest
+        // replay advanced the state for every packet a replica never saw.
+        let stored = single.read_stateful(ModuleId::new(1), 0, 2);
+        let counted = single.read_stateful(ModuleId::new(1), 0, 0);
+        assert!(stored.is_some(), "the workload must have hit tenant 1");
+        for shard in 0..shards {
+            let replica = sharded.shard_pipeline(shard).expect("shard pipeline");
+            assert_eq!(
+                replica.read_stateful(ModuleId::new(1), 0, 2),
+                stored,
+                "{shards} shards: replica {shard} stored word diverged"
+            );
+            assert_eq!(
+                replica.read_stateful(ModuleId::new(1), 0, 0),
+                counted,
+                "{shards} shards: replica {shard} counter word diverged"
+            );
+        }
+        assert_eq!(
+            sharded.read_stateful_aggregate(ModuleId::new(1), 0, 2),
+            stored,
+            "{shards} shards: the aggregate read must surface the replica word"
+        );
+
+        // Counter totals still aggregate exactly: digest replay bumps no
+        // traffic counters, so replication never double-counts.
+        let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+        for module in 1..=TENANTS {
+            assert_eq!(
+                single.module_counters(ModuleId::new(module)).unwrap(),
+                aggregated.get(&module).copied().unwrap_or_default(),
+                "{shards} shards: module {module} counters diverged"
+            );
+        }
+        for module in 2..=TENANTS {
+            assert_eq!(
+                single.read_stateful(ModuleId::new(module), 0, 0),
+                sharded.read_stateful_aggregate(ModuleId::new(module), 0, 0),
+                "{shards} shards: module {module} mergeable total diverged"
+            );
+        }
+
+        // Digest traffic flowed exactly when there were peers to inform.
+        let (digest_packets, digest_bytes) = sharded.digest_totals();
+        if shards > 1 {
+            assert!(
+                digest_packets > 0,
+                "{shards} shards: replication must generate digests"
+            );
+            assert!(digest_bytes >= digest_packets, "digests carry wire bytes");
+        } else {
+            assert_eq!(digest_packets, 0, "a lone shard has no peers to inform");
+        }
+    }
+}
+
+/// Elastic resizes of a replicated program: growing seeds the new replicas
+/// with a whole copy of the state (not a partition of it), shrinking
+/// preserves counter totals while retiring surplus replicas, and the
+/// program stays equivalent to the lone pipeline across the whole schedule.
+#[test]
+fn replicated_program_survives_elastic_resizes() {
+    let mut rng = StdRng::seed_from_u64(0x5C2_E1A5);
+    let params = TABLE5.with_table_depth(64);
+    let mut single = MenshenPipeline::new(params);
+    let mut sharded = ShardedRuntime::new(
+        params,
+        RuntimeOptions::deterministic(2).with_steering(SteeringMode::FiveTuple),
+    );
+    let storing = storing_tenant(1, 1001);
+    single.load_module(&storing).expect("single load");
+    sharded.load_module(&storing).expect("sharded load");
+    assert_eq!(sharded.replicated_modules(), vec![1]);
+    for module in 2..=TENANTS {
+        let config = tenant_module(module, 1000 + module);
+        single.load_module(&config).expect("single load");
+        sharded.load_module(&config).expect("sharded load");
+    }
+
+    for (round, plan) in [5usize, 3, 8, 1, 4].into_iter().enumerate() {
+        for _ in 0..4 {
+            let burst: Vec<Packet> = (0..48).map(|_| random_packet(&mut rng)).collect();
+            let expected = single.process_batch(burst.clone());
+            let got = sharded.process_batch(burst).expect("deterministic mode");
+            for (position, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(project(a), project(b), "round {round}, packet {position}");
+            }
+        }
+        let stored = single.read_stateful(ModuleId::new(1), 0, 2);
+        sharded.resize(plan).expect("resize");
+        assert_eq!(sharded.shard_count(), plan);
+        // Every replica on the NEW layout holds the whole stored word:
+        // grow-seeding copied it to the fresh shards, shrinking kept it on
+        // the survivors.
+        for shard in 0..plan {
+            let replica = sharded.shard_pipeline(shard).expect("shard pipeline");
+            assert_eq!(
+                replica.read_stateful(ModuleId::new(1), 0, 2),
+                stored,
+                "round {round}: replica {shard} lost the stored word in the resize"
+            );
+        }
+        // Counter totals survived the resize exactly (retired replicas hand
+        // their partial counters to a survivor; fresh seeds start at zero).
+        let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+        assert_eq!(
+            single.module_counters(ModuleId::new(1)).unwrap(),
+            aggregated.get(&1).copied().unwrap_or_default(),
+            "round {round}: storing tenant counters diverged across the resize"
+        );
+    }
+
+    // Final totals for every tenant.
+    let aggregated = sharded.aggregated_counters().expect("snapshot applies");
+    for module in 1..=TENANTS {
+        assert_eq!(
+            single.module_counters(ModuleId::new(module)).unwrap(),
+            aggregated.get(&module).copied().unwrap_or_default(),
+            "module {module}"
+        );
+    }
+    assert_eq!(
+        single.read_stateful(ModuleId::new(1), 0, 2),
+        sharded.read_stateful_aggregate(ModuleId::new(1), 0, 2),
+        "stored word diverged from the lone pipeline after the schedule"
+    );
 }

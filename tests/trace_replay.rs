@@ -120,28 +120,43 @@ fn paced_replay_through_a_lone_pipeline_matches_the_capture_clock() {
 }
 
 #[test]
-fn non_mergeable_state_is_pinned_under_five_tuple_steering() {
+fn non_mergeable_state_replicates_under_five_tuple_steering_unless_pin_hinted() {
     use menshen::rmt::action::{AluInstruction, VliwAction};
     use menshen::rmt::phv::ContainerRef as C;
 
     let mut config = flow_rule_tenant(1, 4);
     config.stages[0].rules[0].action =
         VliwAction::nop().with(C::h4(3), AluInstruction::store(C::h4(1), 0));
+    // Non-mergeable storing state defaults to state-compute replication:
+    // every shard carries a replica kept in lockstep by digest replay, so
+    // no pin is needed and the tenant scales past one shard.
     let mut runtime = ShardedRuntime::new(
         TABLE5.with_table_depth(1024),
         RuntimeOptions::threaded(2).with_steering(SteeringMode::FiveTuple),
     );
-    // Non-mergeable state is no longer refused: the module is pinned
-    // tenant-affine, so one shard owns its state (and live resharding
-    // migrates that copy on RETA changes).
     runtime.load_module(&config).unwrap();
-    assert_eq!(runtime.pinned_modules(), vec![1]);
+    assert!(runtime.pinned_modules().is_empty());
+    assert_eq!(runtime.replicated_modules(), vec![1]);
     runtime.shutdown();
-    // Tenant-affine needs no pin (every module is already single-owner).
+    // The pin hint opts back into the tenant-affine single-owner regime
+    // (one shard owns the state; live resharding migrates that copy).
+    let mut pinned = ShardedRuntime::new(
+        TABLE5.with_table_depth(1024),
+        RuntimeOptions::threaded(2).with_steering(SteeringMode::FiveTuple),
+    );
+    pinned
+        .load_module(&config.clone().with_pinned(true))
+        .unwrap();
+    assert_eq!(pinned.pinned_modules(), vec![1]);
+    assert!(pinned.replicated_modules().is_empty());
+    pinned.shutdown();
+    // Tenant-affine needs neither pin nor replication (every module is
+    // already single-owner).
     let mut affine =
         ShardedRuntime::new(TABLE5.with_table_depth(1024), RuntimeOptions::threaded(2));
     affine.load_module(&config).unwrap();
     assert!(affine.pinned_modules().is_empty());
+    assert!(affine.replicated_modules().is_empty());
     assert_eq!(
         affine.standby_replica().loaded_modules(),
         vec![ModuleId::new(1)]
